@@ -1,0 +1,77 @@
+/// Ablation (§5.2): what Lemma 1 (upper-half replication) and Lemma 2
+/// (query-before-insert) individually contribute to the range join.
+/// Runs the GR-index join over every snapshot of each dataset with the
+/// lemmas toggled. Expected shape: both-lemmas (production RJC) is the
+/// fastest and replicates the fewest GridObjects; disabling Lemma 1
+/// roughly doubles replication; disabling Lemma 2 adds a full second
+/// query pass plus deduplication work (the SRJ scheme is both off).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "cluster/range_join.h"
+#include "common/stopwatch.h"
+
+namespace comove::bench {
+namespace {
+
+void BM_JoinLemmas(benchmark::State& state) {
+  const auto which = static_cast<trajgen::StandardDataset>(state.range(0));
+  const bool lemma1 = state.range(1) != 0;
+  const bool lemma2 = state.range(2) != 0;
+  const trajgen::Dataset& dataset = CachedDataset(which);
+  const auto snapshots = dataset.ToSnapshots();
+
+  cluster::RangeJoinOptions join;
+  join.eps = PctOfExtent(dataset, kDefaultEpsPct);
+  join.grid_cell_width = PctOfExtent(dataset, kDefaultLgPct);
+  const cluster::RangeJoinVariant variant{lemma1, lemma2};
+
+  state.SetLabel(std::string(trajgen::StandardDatasetName(which)) +
+                 "/lemma1=" + (lemma1 ? "on" : "off") +
+                 "/lemma2=" + (lemma2 ? "on" : "off"));
+
+  std::size_t pairs = 0;
+  std::size_t grid_objects = 0;
+  for (auto _ : state) {
+    pairs = 0;
+    grid_objects = 0;
+    for (const Snapshot& s : snapshots) {
+      grid_objects += cluster::GridAllocate(s, join, lemma1).size();
+      pairs += cluster::RangeJoinRJC(s, join, variant).size();
+    }
+    benchmark::DoNotOptimize(pairs);
+  }
+  state.counters["pairs"] = static_cast<double>(pairs);
+  state.counters["grid_objects"] = static_cast<double>(grid_objects);
+  state.counters["join_ms_per_snapshot"] = benchmark::Counter(
+      static_cast<double>(snapshots.size()),
+      benchmark::Counter::kIsIterationInvariantRate |
+          benchmark::Counter::kInvert);
+}
+
+void RegisterAll() {
+  for (const auto which :
+       {trajgen::StandardDataset::kGeoLife, trajgen::StandardDataset::kTaxi,
+        trajgen::StandardDataset::kBrinkhoff}) {
+    for (const int lemma1 : {1, 0}) {
+      for (const int lemma2 : {1, 0}) {
+        benchmark::RegisterBenchmark("Ablation/JoinLemmas", &BM_JoinLemmas)
+            ->Args({static_cast<int>(which), lemma1, lemma2})
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace comove::bench
+
+int main(int argc, char** argv) {
+  comove::bench::WarmUp();
+  comove::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

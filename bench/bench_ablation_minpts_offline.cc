@@ -1,0 +1,98 @@
+/// Two further ablations:
+///
+/// 1. minPts sweep (the paper fixes minPts = 10 and varies only eps,
+///    §7 "similar performance is observed for different values of
+///    minPts" - this bench verifies that claim holds here too: latency
+///    and throughput should be nearly flat in minPts).
+///
+/// 2. Offline vs online mining: the SPARE-style historical miner
+///    (src/offline) against the streaming pipeline on the same data.
+///    Offline mining amortises partitioning over the whole history and
+///    wins on total wall time, but answers only after the stream ends -
+///    the quantitative version of the paper's §1 motivation for a
+///    streaming system.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "cluster/clustering.h"
+#include "common/stopwatch.h"
+#include "offline/spare_miner.h"
+
+namespace comove::bench {
+namespace {
+
+void BM_MinPtsSweep(benchmark::State& state) {
+  const auto which = static_cast<trajgen::StandardDataset>(state.range(0));
+  const int min_pts = static_cast<int>(state.range(1));
+  const trajgen::Dataset& dataset = CachedDataset(which);
+  core::IcpeOptions options = DefaultOptions(dataset);
+  options.cluster_options.dbscan.min_pts = min_pts;
+  state.SetLabel(std::string(trajgen::StandardDatasetName(which)) +
+                 "/minPts=" + std::to_string(min_pts));
+  benchmark::DoNotOptimize(core::RunIcpe(dataset, options));  // warm run
+  core::IcpeResult result;
+  for (auto _ : state) {
+    result = core::RunIcpe(dataset, options);
+    benchmark::DoNotOptimize(result);
+  }
+  ReportRun(state, result);
+}
+
+void BM_OfflineVsOnline(benchmark::State& state) {
+  const auto which = static_cast<trajgen::StandardDataset>(state.range(0));
+  const bool offline = state.range(1) != 0;
+  const trajgen::Dataset& dataset = CachedDataset(which);
+  core::IcpeOptions options = DefaultOptions(dataset);
+  state.SetLabel(std::string(trajgen::StandardDatasetName(which)) +
+                 (offline ? "/offline-SPARE" : "/online-ICPE"));
+
+  std::size_t patterns = 0;
+  for (auto _ : state) {
+    if (offline) {
+      // Offline: cluster the full history first, then star-partition mine.
+      std::vector<ClusterSnapshot> history;
+      for (const Snapshot& s : dataset.ToSnapshots()) {
+        history.push_back(cluster::ClusterSnapshotWith(
+            cluster::ClusteringMethod::kRJC, s, options.cluster_options));
+      }
+      patterns =
+          offline::MineOffline(history, options.constraints).size();
+    } else {
+      patterns = core::RunIcpe(dataset, options).patterns.size();
+    }
+    benchmark::DoNotOptimize(patterns);
+  }
+  state.counters["patterns"] = static_cast<double>(patterns);
+}
+
+void RegisterAll() {
+  for (const auto which : {trajgen::StandardDataset::kTaxi,
+                           trajgen::StandardDataset::kBrinkhoff}) {
+    for (const int min_pts : {2, 4, 6, 8, 10}) {
+      benchmark::RegisterBenchmark("Ablation/MinPtsSweep", &BM_MinPtsSweep)
+          ->Args({static_cast<int>(which), min_pts})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+    for (const int offline : {0, 1}) {
+      benchmark::RegisterBenchmark("Ablation/OfflineVsOnline",
+                                   &BM_OfflineVsOnline)
+          ->Args({static_cast<int>(which), offline})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace comove::bench
+
+int main(int argc, char** argv) {
+  comove::bench::WarmUp();
+  comove::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,68 @@
+/// Figure 10 (a-f): clustering latency and throughput vs the distance
+/// threshold eps, comparing SRJ [36], GDC [14] and our RJC on all three
+/// datasets. Expected shape (paper §7.1): RJC beats SRJ (Lemmas 1+2 avoid
+/// replication and verification work) and GDC (whose eps-derived grid
+/// over-partitions); latency rises and throughput falls as eps grows.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace comove::bench {
+namespace {
+
+void BM_ClusteringVsEps(benchmark::State& state) {
+  const auto which = static_cast<trajgen::StandardDataset>(state.range(0));
+  const auto method =
+      static_cast<cluster::ClusteringMethod>(state.range(1));
+  const double eps_pct = kEpsPctGrid[static_cast<std::size_t>(
+      state.range(2))];
+  const trajgen::Dataset& dataset = CachedDataset(which);
+
+  core::IcpeOptions options = DefaultOptions(dataset);
+  options.enumerator = core::EnumeratorKind::kNone;
+  options.clustering = method;
+  options.cluster_options.join.eps = PctOfExtent(dataset, eps_pct);
+
+  state.SetLabel(std::string(trajgen::StandardDatasetName(which)) + "/" +
+                 cluster::ClusteringMethodName(method) +
+                 "/eps=" + std::to_string(eps_pct) + "%");
+  benchmark::DoNotOptimize(core::RunIcpe(dataset, options));  // warm run
+  core::IcpeResult result;
+  for (auto _ : state) {
+    result = core::RunIcpe(dataset, options);
+    benchmark::DoNotOptimize(result);
+  }
+  ReportRun(state, result);
+}
+
+void RegisterAll() {
+  for (const auto which :
+       {trajgen::StandardDataset::kGeoLife, trajgen::StandardDataset::kTaxi,
+        trajgen::StandardDataset::kBrinkhoff}) {
+    for (const auto method :
+         {cluster::ClusteringMethod::kSRJ, cluster::ClusteringMethod::kGDC,
+          cluster::ClusteringMethod::kRJC}) {
+      for (std::size_t e = 0; e < std::size(kEpsPctGrid); ++e) {
+        benchmark::RegisterBenchmark("Fig10/ClusteringVsEps",
+                                     &BM_ClusteringVsEps)
+            ->Args({static_cast<int>(which), static_cast<int>(method),
+                    static_cast<int>(e)})
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace comove::bench
+
+int main(int argc, char** argv) {
+  comove::bench::WarmUp();
+  comove::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

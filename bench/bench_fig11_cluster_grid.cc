@@ -1,0 +1,69 @@
+/// Figure 11 (a-f): clustering latency and throughput vs the grid cell
+/// width lg. Expected shape (paper §7.1): RJC/SRJ performance is U-shaped
+/// in lg (too-small cells -> partition management overhead; too-large
+/// cells -> no pruning), while GDC is flat because its grid derives from
+/// eps and ignores lg entirely.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace comove::bench {
+namespace {
+
+void BM_ClusteringVsLg(benchmark::State& state) {
+  const auto which = static_cast<trajgen::StandardDataset>(state.range(0));
+  const auto method =
+      static_cast<cluster::ClusteringMethod>(state.range(1));
+  const double lg_pct =
+      kLgPctGrid[static_cast<std::size_t>(state.range(2))];
+  const trajgen::Dataset& dataset = CachedDataset(which);
+
+  core::IcpeOptions options = DefaultOptions(dataset);
+  options.enumerator = core::EnumeratorKind::kNone;
+  options.clustering = method;
+  options.cluster_options.join.grid_cell_width =
+      PctOfExtent(dataset, lg_pct);
+
+  state.SetLabel(std::string(trajgen::StandardDatasetName(which)) + "/" +
+                 cluster::ClusteringMethodName(method) +
+                 "/lg=" + std::to_string(lg_pct) + "%");
+  benchmark::DoNotOptimize(core::RunIcpe(dataset, options));  // warm run
+  core::IcpeResult result;
+  for (auto _ : state) {
+    result = core::RunIcpe(dataset, options);
+    benchmark::DoNotOptimize(result);
+  }
+  ReportRun(state, result);
+}
+
+void RegisterAll() {
+  for (const auto which :
+       {trajgen::StandardDataset::kGeoLife, trajgen::StandardDataset::kTaxi,
+        trajgen::StandardDataset::kBrinkhoff}) {
+    for (const auto method :
+         {cluster::ClusteringMethod::kSRJ, cluster::ClusteringMethod::kGDC,
+          cluster::ClusteringMethod::kRJC}) {
+      for (std::size_t i = 0; i < std::size(kLgPctGrid); ++i) {
+        benchmark::RegisterBenchmark("Fig11/ClusteringVsLg",
+                                     &BM_ClusteringVsLg)
+            ->Args({static_cast<int>(which), static_cast<int>(method),
+                    static_cast<int>(i)})
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace comove::bench
+
+int main(int argc, char** argv) {
+  comove::bench::WarmUp();
+  comove::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

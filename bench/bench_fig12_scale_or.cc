@@ -1,0 +1,93 @@
+/// Figure 12 (a-d): full pattern-detection latency and throughput vs the
+/// ratio of objects Or, for methods B (baseline), F (FBA) and V (VBA),
+/// plus the average cluster size curve. Expected shape (paper §7.2):
+/// B only runs for small Or (its 2^|P| candidate materialisation
+/// explodes with the average cluster size - rows where that happens are
+/// skipped here, matching the missing bars in the paper); F achieves the
+/// best latency and V the best throughput; both degrade as Or grows.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench_common.h"
+#include "cluster/clustering.h"
+
+namespace comove::bench {
+namespace {
+
+/// Largest partition BA would have to materialise on this dataset (the
+/// largest cluster minus one), used to skip infeasible B rows gracefully.
+std::size_t MaxClusterSize(const trajgen::Dataset& dataset,
+                           const core::IcpeOptions& options) {
+  std::size_t max_size = 0;
+  for (const Snapshot& s : dataset.ToSnapshots()) {
+    const ClusterSnapshot cs = cluster::ClusterSnapshotWith(
+        cluster::ClusteringMethod::kRJC, s, options.cluster_options);
+    for (const Cluster& c : cs.clusters) {
+      max_size = std::max(max_size, c.members.size());
+    }
+  }
+  return max_size;
+}
+
+void BM_DetectionVsOr(benchmark::State& state) {
+  const auto which = static_cast<trajgen::StandardDataset>(state.range(0));
+  const auto kind = static_cast<core::EnumeratorKind>(state.range(1));
+  const double ratio = kOrGrid[static_cast<std::size_t>(state.range(2))];
+  const trajgen::Dataset dataset =
+      CachedDataset(which).SampleObjects(ratio);
+
+  core::IcpeOptions options = DefaultOptions(dataset);
+  options.enumerator = kind;
+  state.SetLabel(std::string(trajgen::StandardDatasetName(which)) + "/" +
+                 core::EnumeratorKindName(kind) +
+                 "/Or=" + std::to_string(static_cast<int>(ratio * 100)) +
+                 "%");
+
+  if (kind == core::EnumeratorKind::kBA &&
+      MaxClusterSize(dataset, options) > 21) {
+    state.SkipWithError(
+        "BA infeasible: 2^|P| candidates exceed memory (paper Fig. 12 "
+        "shows the same gap)");
+    return;
+  }
+
+  benchmark::DoNotOptimize(core::RunIcpe(dataset, options));  // warm run
+  core::IcpeResult result;
+  for (auto _ : state) {
+    result = core::RunIcpe(dataset, options);
+    benchmark::DoNotOptimize(result);
+  }
+  ReportRun(state, result);
+}
+
+void RegisterAll() {
+  for (const auto which : {trajgen::StandardDataset::kTaxi,
+                           trajgen::StandardDataset::kBrinkhoff}) {
+    for (const auto kind :
+         {core::EnumeratorKind::kBA, core::EnumeratorKind::kFBA,
+          core::EnumeratorKind::kVBA}) {
+      for (std::size_t i = 0; i < std::size(kOrGrid); ++i) {
+        benchmark::RegisterBenchmark("Fig12/DetectionVsOr",
+                                     &BM_DetectionVsOr)
+            ->Args({static_cast<int>(which), static_cast<int>(kind),
+                    static_cast<int>(i)})
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace comove::bench
+
+int main(int argc, char** argv) {
+  comove::bench::WarmUp();
+  comove::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

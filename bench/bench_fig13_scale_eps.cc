@@ -1,0 +1,64 @@
+/// Figure 13 (a-d): full pattern-detection latency and throughput vs the
+/// distance threshold eps, methods F (FBA) and V (VBA), with the average
+/// cluster size curve. Expected shape (paper §7.2): both methods degrade
+/// as eps grows (larger join search space AND larger clusters to
+/// enumerate); F keeps the latency edge, V the throughput edge.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace comove::bench {
+namespace {
+
+void BM_DetectionVsEps(benchmark::State& state) {
+  const auto which = static_cast<trajgen::StandardDataset>(state.range(0));
+  const auto kind = static_cast<core::EnumeratorKind>(state.range(1));
+  const double eps_pct =
+      kEpsPctGrid[static_cast<std::size_t>(state.range(2))];
+  const trajgen::Dataset& dataset = CachedDataset(which);
+
+  core::IcpeOptions options = DefaultOptions(dataset);
+  options.enumerator = kind;
+  options.cluster_options.join.eps = PctOfExtent(dataset, eps_pct);
+
+  state.SetLabel(std::string(trajgen::StandardDatasetName(which)) + "/" +
+                 core::EnumeratorKindName(kind) +
+                 "/eps=" + std::to_string(eps_pct) + "%");
+  benchmark::DoNotOptimize(core::RunIcpe(dataset, options));  // warm run
+  core::IcpeResult result;
+  for (auto _ : state) {
+    result = core::RunIcpe(dataset, options);
+    benchmark::DoNotOptimize(result);
+  }
+  ReportRun(state, result);
+}
+
+void RegisterAll() {
+  for (const auto which : {trajgen::StandardDataset::kTaxi,
+                           trajgen::StandardDataset::kBrinkhoff}) {
+    for (const auto kind :
+         {core::EnumeratorKind::kFBA, core::EnumeratorKind::kVBA}) {
+      for (std::size_t i = 0; i < std::size(kEpsPctGrid); ++i) {
+        benchmark::RegisterBenchmark("Fig13/DetectionVsEps",
+                                     &BM_DetectionVsEps)
+            ->Args({static_cast<int>(which), static_cast<int>(kind),
+                    static_cast<int>(i)})
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace comove::bench
+
+int main(int argc, char** argv) {
+  comove::bench::WarmUp();
+  comove::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

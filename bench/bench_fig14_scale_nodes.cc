@@ -1,0 +1,63 @@
+/// Figure 14 (a-d): full pattern-detection latency and throughput vs the
+/// number of nodes N, methods F (FBA) and V (VBA). The paper scales
+/// machines 1..10; this reproduction scales the per-stage subtask count
+/// (worker-thread groups) over the same grid, exercising the same
+/// partitioning and synchronisation code paths. Expected shape: latency
+/// falls and throughput rises with N for both methods.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace comove::bench {
+namespace {
+
+void BM_DetectionVsN(benchmark::State& state) {
+  const auto which = static_cast<trajgen::StandardDataset>(state.range(0));
+  const auto kind = static_cast<core::EnumeratorKind>(state.range(1));
+  const int n = static_cast<int>(state.range(2));
+  const trajgen::Dataset& dataset = CachedDataset(which);
+
+  core::IcpeOptions options = DefaultOptions(dataset);
+  options.enumerator = kind;
+  options.parallelism = n;
+
+  state.SetLabel(std::string(trajgen::StandardDatasetName(which)) + "/" +
+                 core::EnumeratorKindName(kind) + "/N=" +
+                 std::to_string(n));
+  benchmark::DoNotOptimize(core::RunIcpe(dataset, options));  // warm run
+  core::IcpeResult result;
+  for (auto _ : state) {
+    result = core::RunIcpe(dataset, options);
+    benchmark::DoNotOptimize(result);
+  }
+  ReportRun(state, result);
+}
+
+void RegisterAll() {
+  for (const auto which : {trajgen::StandardDataset::kTaxi,
+                           trajgen::StandardDataset::kBrinkhoff}) {
+    for (const auto kind :
+         {core::EnumeratorKind::kFBA, core::EnumeratorKind::kVBA}) {
+      for (const int n : kNGrid) {
+        benchmark::RegisterBenchmark("Fig14/DetectionVsN",
+                                     &BM_DetectionVsN)
+            ->Args({static_cast<int>(which), static_cast<int>(kind), n})
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace comove::bench
+
+int main(int argc, char** argv) {
+  comove::bench::WarmUp();
+  comove::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

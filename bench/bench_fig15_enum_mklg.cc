@@ -1,0 +1,86 @@
+/// Figure 15 (a-h): pattern-enumeration latency and throughput vs the
+/// four pattern constraints M, K, L, G on Brinkhoff, comparing FBA and
+/// VBA (BA omitted - it cannot run at this scale; clustering cost is
+/// constant across the sweeps). Expected shape (paper §7.3): VBA has the
+/// better throughput and FBA the better latency everywhere; latency falls
+/// (throughput rises) as M, K or L grow - fewer valid candidates and
+/// stronger Lemma 5 pruning - and rises as G grows (more valid patterns).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace comove::bench {
+namespace {
+
+enum class Knob { kM, kK, kL, kG };
+
+const char* KnobName(Knob knob) {
+  switch (knob) {
+    case Knob::kM: return "M";
+    case Knob::kK: return "K";
+    case Knob::kL: return "L";
+    case Knob::kG: return "G";
+  }
+  return "?";
+}
+
+void BM_EnumerationVsConstraint(benchmark::State& state) {
+  const auto knob = static_cast<Knob>(state.range(0));
+  const auto kind = static_cast<core::EnumeratorKind>(state.range(1));
+  const int value = static_cast<int>(state.range(2));
+  const trajgen::Dataset& dataset =
+      CachedDataset(trajgen::StandardDataset::kBrinkhoff);
+
+  core::IcpeOptions options = DefaultOptions(dataset);
+  options.enumerator = kind;
+  switch (knob) {
+    case Knob::kM: options.constraints.m = value; break;
+    case Knob::kK: options.constraints.k = value; break;
+    case Knob::kL: options.constraints.l = value; break;
+    case Knob::kG: options.constraints.g = value; break;
+  }
+
+  state.SetLabel(std::string("Brinkhoff/") +
+                 core::EnumeratorKindName(kind) + "/" + KnobName(knob) +
+                 "=" + std::to_string(value));
+  benchmark::DoNotOptimize(core::RunIcpe(dataset, options));  // warm run
+  core::IcpeResult result;
+  for (auto _ : state) {
+    result = core::RunIcpe(dataset, options);
+    benchmark::DoNotOptimize(result);
+  }
+  ReportRun(state, result);
+}
+
+void RegisterKnob(Knob knob, const int* grid, std::size_t n) {
+  for (const auto kind :
+       {core::EnumeratorKind::kFBA, core::EnumeratorKind::kVBA}) {
+    for (std::size_t i = 0; i < n; ++i) {
+      benchmark::RegisterBenchmark("Fig15/EnumerationVsConstraint",
+                                   &BM_EnumerationVsConstraint)
+          ->Args({static_cast<int>(knob), static_cast<int>(kind), grid[i]})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+void RegisterAll() {
+  RegisterKnob(Knob::kM, kMGrid, std::size(kMGrid));
+  RegisterKnob(Knob::kK, kKGrid, std::size(kKGrid));
+  RegisterKnob(Knob::kL, kLGrid, std::size(kLGrid));
+  RegisterKnob(Knob::kG, kGGrid, std::size(kGGrid));
+}
+
+}  // namespace
+}  // namespace comove::bench
+
+int main(int argc, char** argv) {
+  comove::bench::WarmUp();
+  comove::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

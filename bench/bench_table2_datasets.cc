@@ -1,0 +1,40 @@
+/// Table 2 analogue: statistics of the three evaluation datasets.
+/// The paper reports #trajectories, #locations, #snapshots and storage
+/// size for GeoLife, Taxi and Brinkhoff; this binary prints the same rows
+/// for the synthetic stand-ins (at bench scale). The shape to check:
+/// Taxi has by far the most locations/snapshots; GeoLife and Brinkhoff
+/// are comparable to each other.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace comove::bench {
+namespace {
+
+void BM_DatasetStats(benchmark::State& state) {
+  const auto which =
+      static_cast<trajgen::StandardDataset>(state.range(0));
+  state.SetLabel(trajgen::StandardDatasetName(which));
+  trajgen::DatasetStats stats;
+  for (auto _ : state) {
+    stats = CachedDataset(which).ComputeStats();
+    benchmark::DoNotOptimize(stats);
+  }
+  state.counters["trajectories"] = static_cast<double>(stats.trajectories);
+  state.counters["locations"] = static_cast<double>(stats.locations);
+  state.counters["snapshots"] = static_cast<double>(stats.snapshots);
+  state.counters["storage_mb"] = stats.storage_mb;
+}
+
+BENCHMARK(BM_DatasetStats)
+    ->Arg(static_cast<int>(trajgen::StandardDataset::kGeoLife))
+    ->Arg(static_cast<int>(trajgen::StandardDataset::kTaxi))
+    ->Arg(static_cast<int>(trajgen::StandardDataset::kBrinkhoff))
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace comove::bench
+
+BENCHMARK_MAIN();

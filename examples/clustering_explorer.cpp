@@ -1,0 +1,63 @@
+/// Clustering explorer: compares the three snapshot-clustering methods of
+/// §7.1 (our RJC against the SRJ and GDC baselines) on one dataset and
+/// prints a Fig. 10-style table - per-snapshot latency, throughput, and
+/// the replication volume each scheme ships between subtasks. All three
+/// produce identical clusters; only their cost differs.
+
+#include <cstdio>
+
+#include "cluster/range_join.h"
+#include "core/icpe_engine.h"
+#include "trajgen/standard_datasets.h"
+
+int main() {
+  using namespace comove;
+
+  const trajgen::Dataset dataset =
+      MakeStandardDataset(trajgen::StandardDataset::kGeoLife, /*scale=*/0.2);
+  const auto stats = dataset.ComputeStats();
+  const double eps = stats.MaxDistance() * 0.006;
+  const double lg = stats.MaxDistance() * 0.016;
+  std::printf("dataset %s: %lld objects, %lld snapshots | eps=%.1f lg=%.1f\n\n",
+              dataset.name.c_str(),
+              static_cast<long long>(stats.trajectories),
+              static_cast<long long>(stats.snapshots), eps, lg);
+
+  // Replication volume of the GR-index join with and without Lemma 1
+  // (GDC's eps-grid replication is counted separately below).
+  cluster::RangeJoinOptions join{.grid_cell_width = lg, .eps = eps};
+  std::size_t with_l1 = 0, without_l1 = 0;
+  for (const Snapshot& s : dataset.ToSnapshots()) {
+    with_l1 += cluster::GridAllocate(s, join, /*use_lemma1=*/true).size();
+    without_l1 +=
+        cluster::GridAllocate(s, join, /*use_lemma1=*/false).size();
+  }
+  std::printf("GR-index replication: %zu GridObjects with Lemma 1, "
+              "%zu without (%.0f%% saved)\n\n",
+              with_l1, without_l1,
+              100.0 * (1.0 - static_cast<double>(with_l1) /
+                                 static_cast<double>(without_l1)));
+
+  std::printf("%-6s %14s %16s %10s %14s\n", "method", "latency(ms)",
+              "throughput(tps)", "clusters", "avg |cluster|");
+  for (const auto method :
+       {cluster::ClusteringMethod::kRJC, cluster::ClusteringMethod::kSRJ,
+        cluster::ClusteringMethod::kGDC}) {
+    core::IcpeOptions options;
+    options.enumerator = core::EnumeratorKind::kNone;
+    options.clustering = method;
+    options.cluster_options.join = join;
+    options.cluster_options.dbscan.min_pts = 4;
+    options.parallelism = 4;
+    const core::IcpeResult result = RunIcpe(dataset, options);
+    std::printf("%-6s %14.3f %16.0f %10lld %14.2f\n",
+                cluster::ClusteringMethodName(method),
+                result.snapshots.average_latency_ms,
+                result.snapshots.throughput_tps,
+                static_cast<long long>(result.cluster_count),
+                result.avg_cluster_size);
+  }
+  std::printf("\nall methods emit identical clusters; RJC's Lemma 1+2 "
+              "pruning is pure cost reduction (§5.2).\n");
+  return 0;
+}

@@ -1,0 +1,233 @@
+/// comove_tool - the library's command-line Swiss army knife.
+///
+///   comove_tool generate <geolife|taxi|brinkhoff> <scale> <out.csv>
+///       Synthesize a standard dataset and write it as CSV.
+///
+///   comove_tool detect <in.csv> [--eps X] [--minpts N] [--mklg M,K,L,G]
+///                      [--enumerator fba|vba|ba] [--parallelism N]
+///                      [--json out.json] [--svg out.svg] [--maximal]
+///       Run the ICPE pipeline over a CSV stream; print a summary and
+///       optionally export JSON results and an SVG rendering.
+///
+///   comove_tool compress <in.csv> <tolerance> <out.csv>
+///       Pattern-based compression round trip: detect patterns, compress,
+///       decompress, write the (bounded-error) reconstruction, report the
+///       achieved ratio.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "apps/json_export.h"
+#include "apps/svg_export.h"
+#include "apps/trajectory_compression.h"
+#include "core/icpe_engine.h"
+#include "pattern/analysis.h"
+#include "trajgen/csv_loader.h"
+#include "trajgen/standard_datasets.h"
+
+namespace {
+
+using namespace comove;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  comove_tool generate <geolife|taxi|brinkhoff> <scale> <out.csv>\n"
+      "  comove_tool detect <in.csv> [--eps X] [--minpts N] "
+      "[--mklg M,K,L,G]\n"
+      "               [--enumerator fba|vba|ba] [--parallelism N]\n"
+      "               [--json out.json] [--svg out.svg] [--maximal]\n"
+      "  comove_tool compress <in.csv> <tolerance> <out.csv>\n");
+  return 2;
+}
+
+int RunGenerate(int argc, char** argv) {
+  if (argc != 5) return Usage();
+  trajgen::StandardDataset which;
+  const std::string name = argv[2];
+  if (name == "geolife") {
+    which = trajgen::StandardDataset::kGeoLife;
+  } else if (name == "taxi") {
+    which = trajgen::StandardDataset::kTaxi;
+  } else if (name == "brinkhoff") {
+    which = trajgen::StandardDataset::kBrinkhoff;
+  } else {
+    return Usage();
+  }
+  const double scale = std::atof(argv[3]);
+  if (scale <= 0.0 || scale > 1.0) {
+    std::fprintf(stderr, "scale must be in (0, 1]\n");
+    return 2;
+  }
+  const trajgen::Dataset dataset = MakeStandardDataset(which, scale);
+  std::ofstream out(argv[4]);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", argv[4]);
+    return 1;
+  }
+  WriteCsvDataset(dataset, out);
+  const auto stats = dataset.ComputeStats();
+  std::printf("wrote %s: %lld trajectories, %lld records, %lld snapshots\n",
+              argv[4], static_cast<long long>(stats.trajectories),
+              static_cast<long long>(stats.locations),
+              static_cast<long long>(stats.snapshots));
+  return 0;
+}
+
+bool ParseMklg(const char* text, PatternConstraints* c) {
+  return std::sscanf(text, "%d,%d,%d,%d", &c->m, &c->k, &c->l, &c->g) == 4 &&
+         c->IsValid();
+}
+
+int RunDetect(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  trajgen::Dataset dataset;
+  const auto load = trajgen::LoadCsvDatasetFile(argv[2], &dataset);
+  if (!load.ok) {
+    std::fprintf(stderr, "error: %s\n", load.error.c_str());
+    return 1;
+  }
+  const auto stats = dataset.ComputeStats();
+
+  core::IcpeOptions options;
+  options.cluster_options.join.eps = stats.MaxDistance() * 0.006;
+  options.cluster_options.join.grid_cell_width = stats.MaxDistance() * 0.016;
+  options.cluster_options.dbscan.min_pts = 4;
+  options.constraints = PatternConstraints{3, 8, 3, 2};
+  std::string json_path;
+  std::string svg_path;
+  bool maximal_only = false;
+  for (int i = 3; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      return ++i < argc ? argv[i] : nullptr;
+    };
+    if (!std::strcmp(argv[i], "--eps")) {
+      if (const char* v = next()) options.cluster_options.join.eps =
+          std::atof(v);
+    } else if (!std::strcmp(argv[i], "--minpts")) {
+      if (const char* v = next()) {
+        options.cluster_options.dbscan.min_pts = std::atoi(v);
+      }
+    } else if (!std::strcmp(argv[i], "--mklg")) {
+      const char* v = next();
+      if (v == nullptr || !ParseMklg(v, &options.constraints)) {
+        std::fprintf(stderr, "bad --mklg (want M,K,L,G)\n");
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--enumerator")) {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      if (!std::strcmp(v, "fba")) {
+        options.enumerator = core::EnumeratorKind::kFBA;
+      } else if (!std::strcmp(v, "vba")) {
+        options.enumerator = core::EnumeratorKind::kVBA;
+      } else if (!std::strcmp(v, "ba")) {
+        options.enumerator = core::EnumeratorKind::kBA;
+      } else {
+        return Usage();
+      }
+    } else if (!std::strcmp(argv[i], "--parallelism")) {
+      if (const char* v = next()) options.parallelism = std::atoi(v);
+    } else if (!std::strcmp(argv[i], "--json")) {
+      if (const char* v = next()) json_path = v;
+    } else if (!std::strcmp(argv[i], "--svg")) {
+      if (const char* v = next()) svg_path = v;
+    } else if (!std::strcmp(argv[i], "--maximal")) {
+      maximal_only = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  core::IcpeResult result = RunIcpe(dataset, options);
+  if (maximal_only) {
+    result.patterns = pattern::FilterMaximalPatterns(result.patterns);
+  }
+  const auto pstats = pattern::ComputePatternStatistics(result.patterns);
+  std::printf("%s: %zu patterns (%s), mean size %.1f, mean duration %.1f\n",
+              dataset.name.c_str(), result.patterns.size(),
+              maximal_only ? "maximal" : "all", pstats.mean_size,
+              pstats.mean_duration);
+  std::printf("latency %.2f ms | throughput %.0f snapshots/s | "
+              "clusters %lld (avg %.1f members)\n",
+              result.snapshots.average_latency_ms,
+              result.snapshots.throughput_tps,
+              static_cast<long long>(result.cluster_count),
+              result.avg_cluster_size);
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    apps::WriteResultJson(result, out);
+    std::printf("results -> %s\n", json_path.c_str());
+  }
+  if (!svg_path.empty()) {
+    std::ofstream out(svg_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", svg_path.c_str());
+      return 1;
+    }
+    apps::WriteSvg(dataset, result.patterns, out);
+    std::printf("rendering -> %s\n", svg_path.c_str());
+  }
+  return 0;
+}
+
+int RunCompress(int argc, char** argv) {
+  if (argc != 5) return Usage();
+  trajgen::Dataset dataset;
+  const auto load = trajgen::LoadCsvDatasetFile(argv[2], &dataset);
+  if (!load.ok) {
+    std::fprintf(stderr, "error: %s\n", load.error.c_str());
+    return 1;
+  }
+  const double tolerance = std::atof(argv[3]);
+  const auto stats = dataset.ComputeStats();
+
+  core::IcpeOptions options;
+  options.cluster_options.join.eps = stats.MaxDistance() * 0.006;
+  options.cluster_options.join.grid_cell_width = stats.MaxDistance() * 0.016;
+  options.cluster_options.dbscan.min_pts = 3;
+  options.constraints = PatternConstraints{3, 8, 3, 2};
+  const core::IcpeResult result = RunIcpe(dataset, options);
+
+  apps::CompressionOptions copts;
+  copts.tolerance = tolerance;
+  const auto compressed =
+      CompressWithPatterns(dataset, result.patterns, copts);
+  const std::size_t baseline =
+      apps::CompressWithPatterns(dataset, {}, {0.0, 1.0}).EstimateBytes();
+  const trajgen::Dataset restored = compressed.Decompress();
+  std::ofstream out(argv[4]);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", argv[4]);
+    return 1;
+  }
+  WriteCsvDataset(restored, out);
+  std::printf("%zu patterns | %zu/%zu records as deltas | %zu -> %zu bytes "
+              "(%.2fx) | error <= %.4f\n",
+              result.patterns.size(), compressed.delta_records(),
+              compressed.total_records(), baseline,
+              compressed.EstimateBytes(),
+              static_cast<double>(baseline) /
+                  static_cast<double>(compressed.EstimateBytes()),
+              tolerance / 2);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  if (!std::strcmp(argv[1], "generate")) return RunGenerate(argc, argv);
+  if (!std::strcmp(argv[1], "detect")) return RunDetect(argc, argv);
+  if (!std::strcmp(argv[1], "compress")) return RunCompress(argc, argv);
+  return Usage();
+}

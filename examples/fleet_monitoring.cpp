@@ -1,0 +1,85 @@
+/// Fleet monitoring: the paper's Taxi scenario. A dense taxi fleet
+/// streams positions every 5 s; we detect convoys (taxis that travel
+/// together - e.g. following the same passenger demand, or platooning on
+/// a highway) in real time and compare the FBA and VBA enumerators on the
+/// same stream, reproducing the §7.4 deployment guidance: pick FBA when
+/// its throughput keeps up with the input rate, VBA when throughput is
+/// the binding constraint and detection latency is less critical.
+
+#include <cstdio>
+
+#include "core/icpe_engine.h"
+#include "trajgen/brinkhoff_generator.h"
+
+namespace {
+
+comove::core::IcpeResult RunWith(const comove::trajgen::Dataset& fleet,
+                                 comove::core::EnumeratorKind kind) {
+  comove::core::IcpeOptions options;
+  options.enumerator = kind;
+  options.cluster_options.join.eps = 18.0;
+  options.cluster_options.join.grid_cell_width = 150.0;
+  options.cluster_options.dbscan.min_pts = 3;
+  // Convoys: at least 3 taxis, together for 10 intervals (~50 s of clock
+  // time at the 5 s sampling), tolerating 2-interval drop-outs.
+  options.constraints = comove::PatternConstraints{3, 10, 3, 2};
+  options.parallelism = 4;
+  return RunIcpe(fleet, options);
+}
+
+}  // namespace
+
+int main() {
+  using namespace comove;
+
+  const trajgen::Dataset fleet =
+      trajgen::GenerateTaxiLike(/*object_count=*/300, /*duration=*/120,
+                                /*seed=*/7);
+  const auto stats = fleet.ComputeStats();
+  std::printf("fleet stream: %lld taxis, %lld reports, %lld intervals "
+              "(%.0f s of clock time at %.0f s sampling)\n\n",
+              static_cast<long long>(stats.trajectories),
+              static_cast<long long>(stats.locations),
+              static_cast<long long>(stats.snapshots),
+              static_cast<double>(stats.snapshots) * fleet.interval_seconds,
+              fleet.interval_seconds);
+
+  const core::IcpeResult fba = RunWith(fleet, core::EnumeratorKind::kFBA);
+  const core::IcpeResult vba = RunWith(fleet, core::EnumeratorKind::kVBA);
+
+  std::printf("%-6s %12s %14s %10s\n", "method", "latency(ms)",
+              "throughput(tps)", "convoys");
+  std::printf("%-6s %12.2f %14.0f %10zu\n", "FBA",
+              fba.snapshots.average_latency_ms, fba.snapshots.throughput_tps,
+              fba.patterns.size());
+  std::printf("%-6s %12.2f %14.0f %10zu\n\n", "VBA",
+              vba.snapshots.average_latency_ms, vba.snapshots.throughput_tps,
+              vba.patterns.size());
+
+  // Input arrives at 1 snapshot per 5 s = 0.2 snapshots/s; both methods
+  // keep up easily here, so §7.4 recommends FBA for its lower latency.
+  const double input_rate = 1.0 / fleet.interval_seconds;
+  const bool fba_keeps_up = fba.snapshots.throughput_tps > input_rate;
+  std::printf("input rate %.2f snapshots/s -> recommended enumerator: %s\n\n",
+              input_rate, fba_keeps_up ? "FBA (latency-optimal, keeps up)"
+                                       : "VBA (throughput-optimal)");
+
+  // Show the largest convoys.
+  const CoMovementPattern* largest = nullptr;
+  for (const CoMovementPattern& p : fba.patterns) {
+    if (largest == nullptr || p.objects.size() > largest->objects.size()) {
+      largest = &p;
+    }
+  }
+  if (largest != nullptr) {
+    std::printf("largest convoy: %zu taxis {", largest->objects.size());
+    for (std::size_t i = 0; i < largest->objects.size(); ++i) {
+      std::printf("%s%d", i ? ", " : "", largest->objects[i]);
+    }
+    std::printf("} co-travelling across %zu intervals\n",
+                largest->times.size());
+  } else {
+    std::printf("no convoys under these constraints\n");
+  }
+  return 0;
+}

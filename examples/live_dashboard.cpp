@@ -1,0 +1,76 @@
+/// Live dashboard: the pipeline running against a *simulated real-time*
+/// stream (the source is throttled to a fixed arrival rate instead of
+/// replaying at full speed). Patterns print the moment an enumeration
+/// subtask proves them, stamped with the wall-clock offset since stream
+/// start - which makes the FBA/VBA latency difference visible to the
+/// naked eye: rerun with VBA and watch detections arrive in bursts when
+/// co-movement episodes close.
+///
+///   ./examples/live_dashboard [fba|vba]
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+#include "core/icpe_engine.h"
+#include "pattern/live_index.h"
+#include "trajgen/brinkhoff_generator.h"
+
+int main(int argc, char** argv) {
+  using namespace comove;
+  const bool use_vba = argc > 1 && !std::strcmp(argv[1], "vba");
+
+  trajgen::BrinkhoffOptions gen;
+  gen.object_count = 80;
+  gen.duration = 60;
+  gen.group_count = 6;
+  gen.group_size = 5;
+  const trajgen::Dataset dataset = GenerateBrinkhoff(gen, 99);
+
+  core::IcpeOptions options;
+  options.enumerator =
+      use_vba ? core::EnumeratorKind::kVBA : core::EnumeratorKind::kFBA;
+  options.cluster_options.join.eps = 14.0;
+  options.cluster_options.join.grid_cell_width = 100.0;
+  options.cluster_options.dbscan.min_pts = 3;
+  options.constraints = PatternConstraints{3, 8, 3, 2};
+  options.parallelism = 2;
+  options.replay_delay_us = 25000;  // 25 ms per snapshot ~ 40 snapshots/s
+
+  pattern::LivePatternIndex index;
+  const auto start = std::chrono::steady_clock::now();
+  std::mutex print_mu;
+  int printed = 0;
+  options.on_pattern = [&](const CoMovementPattern& p) {
+    index.Add(p);
+    std::lock_guard<std::mutex> lock(print_mu);
+    if (printed >= 25) return;  // keep the demo terse
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    std::printf("[t+%6.3fs] pattern {", secs);
+    for (std::size_t i = 0; i < p.objects.size(); ++i) {
+      std::printf("%s%d", i ? "," : "", p.objects[i]);
+    }
+    std::printf("} over snapshots [%d..%d]\n", p.times.front(),
+                p.times.back());
+    if (++printed == 25) std::printf("  ... (suppressing further lines)\n");
+  };
+
+  std::printf("streaming %zu records at ~40 snapshots/s with %s...\n\n",
+              dataset.records.size(),
+              core::EnumeratorKindName(options.enumerator));
+  const core::IcpeResult result = RunIcpe(dataset, options);
+
+  std::printf("\nstream complete: %zu distinct patterns | avg response "
+              "%.1f ms | max %.1f ms\n",
+              result.patterns.size(), result.snapshots.average_latency_ms,
+              result.snapshots.max_latency_ms);
+  // The live index is immediately queryable, e.g. for object 0's crew:
+  const auto companions = index.CompanionsOf(0);
+  std::printf("object 0 currently co-moves with %zu objects\n",
+              companions.size());
+  return 0;
+}

@@ -1,0 +1,135 @@
+/// Future-movement prediction: the paper's Fig. 1 motivation. Patterns
+/// detected on the live stream tell us which objects habitually move
+/// together; when we then need to predict where an object is heading, its
+/// co-movement partners are the best predictor - if the group is already
+/// further along the shared route, the object will follow.
+///
+/// This example detects patterns on the first 3/4 of a stream, then for
+/// several target objects predicts their position at a future time as the
+/// centroid of their strongest pattern's partners, and scores the
+/// prediction against the withheld ground truth versus a naive
+/// dead-reckoning baseline (continue at the last observed velocity).
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "core/icpe_engine.h"
+#include "trajgen/waypoint_generator.h"
+
+namespace {
+
+using namespace comove;
+
+/// Position lookup built from the raw records.
+using PositionMap = std::map<std::pair<Timestamp, TrajectoryId>, Point>;
+
+PositionMap IndexPositions(const trajgen::Dataset& dataset) {
+  PositionMap at;
+  for (const GpsRecord& r : dataset.records) {
+    at[{r.time, r.id}] = r.location;
+  }
+  return at;
+}
+
+/// The pattern containing `target` with the longest witness sequence.
+const CoMovementPattern* StrongestPatternOf(
+    const std::vector<CoMovementPattern>& patterns, TrajectoryId target) {
+  const CoMovementPattern* best = nullptr;
+  for (const CoMovementPattern& p : patterns) {
+    const bool contains =
+        std::binary_search(p.objects.begin(), p.objects.end(), target);
+    if (contains && (best == nullptr ||
+                     p.times.size() > best->times.size())) {
+      best = &p;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  trajgen::WaypointOptions gen;
+  gen.object_count = 150;
+  gen.duration = 130;
+  gen.group_count = 12;
+  gen.group_size = 5;
+  gen.report_prob = 1.0;  // clean ground truth for scoring
+  // Short legs and brief stops: routes turn within the prediction window,
+  // which is where trajectory-level extrapolation breaks down and
+  // group-level knowledge pays off.
+  gen.poi_count = 30;
+  gen.city_radius = 800.0;
+  gen.max_dwell = 4;
+  const trajgen::Dataset full = GenerateGeoLifeLike(gen, /*seed=*/31);
+  const Timestamp horizon = 90;   // train on [0, 90), predict at 115
+  const Timestamp target_time = 115;
+  const trajgen::Dataset train = full.TruncateTime(horizon);
+  const PositionMap at = IndexPositions(full);
+
+  core::IcpeOptions options;
+  options.cluster_options.join.eps = 25.0;
+  options.cluster_options.join.grid_cell_width = 200.0;
+  options.cluster_options.dbscan.min_pts = 3;
+  options.constraints = PatternConstraints{3, 12, 4, 3};
+  options.parallelism = 4;
+  const core::IcpeResult result = RunIcpe(train, options);
+  std::printf("detected %zu patterns on the first %d snapshots\n\n",
+              result.patterns.size(), horizon);
+
+  std::printf("%-8s %16s %16s %10s\n", "object", "pattern-err",
+              "dead-reckon-err", "partners");
+  double pattern_total = 0.0, naive_total = 0.0;
+  int scored = 0;
+  for (TrajectoryId target = 0; target < 150 && scored < 12; ++target) {
+    const CoMovementPattern* pattern =
+        StrongestPatternOf(result.patterns, target);
+    if (pattern == nullptr) continue;
+    const auto truth = at.find({target_time, target});
+    const auto last = at.find({horizon - 1, target});
+    const auto prev = at.find({horizon - 2, target});
+    if (truth == at.end() || last == at.end() || prev == at.end()) continue;
+
+    // Pattern prediction: centroid of the partners at the target time
+    // (in deployment the partners' live positions keep streaming in even
+    // when the target's signal is lost - that asymmetry is the use case).
+    Point centroid{0, 0};
+    int found = 0;
+    for (const TrajectoryId partner : pattern->objects) {
+      if (partner == target) continue;
+      const auto pos = at.find({target_time, partner});
+      if (pos != at.end()) {
+        centroid.x += pos->second.x;
+        centroid.y += pos->second.y;
+        ++found;
+      }
+    }
+    if (found == 0) continue;
+    centroid.x /= found;
+    centroid.y /= found;
+
+    // Baseline: dead reckoning from the last observed velocity.
+    const double steps = static_cast<double>(target_time - (horizon - 1));
+    const Point naive{
+        last->second.x + (last->second.x - prev->second.x) * steps,
+        last->second.y + (last->second.y - prev->second.y) * steps};
+
+    const double pattern_err = L2Distance(centroid, truth->second);
+    const double naive_err = L2Distance(naive, truth->second);
+    pattern_total += pattern_err;
+    naive_total += naive_err;
+    ++scored;
+    std::printf("%-8d %16.1f %16.1f %10zu\n", target, pattern_err,
+                naive_err, pattern->objects.size() - 1);
+  }
+
+  if (scored > 0) {
+    std::printf("\nmean error over %d objects: pattern %.1f vs "
+                "dead-reckoning %.1f (lower is better)\n",
+                scored, pattern_total / scored, naive_total / scored);
+  } else {
+    std::printf("no scorable objects - relax the constraints\n");
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+/// Quickstart: generate a small network-based trajectory stream, run the
+/// full ICPE pipeline (GR-index clustering + FBA enumeration) over it,
+/// and print the detected co-movement patterns and the pipeline metrics.
+///
+///   $ ./examples/quickstart
+///
+/// This is the 30-second tour of the public API: a Dataset from a
+/// generator, IcpeOptions, RunIcpe, IcpeResult.
+
+#include <cstdio>
+
+#include "core/icpe_engine.h"
+#include "trajgen/brinkhoff_generator.h"
+
+int main() {
+  using namespace comove;
+
+  // 1. A synthetic stream: 120 objects on a road network for 80 ticks,
+  //    with 6 seeded groups of 5 objects travelling together.
+  trajgen::BrinkhoffOptions gen;
+  gen.object_count = 120;
+  gen.duration = 80;
+  gen.group_count = 6;
+  gen.group_size = 5;
+  const trajgen::Dataset dataset = GenerateBrinkhoff(gen, /*seed=*/2024);
+  const trajgen::DatasetStats stats = dataset.ComputeStats();
+  std::printf("dataset: %s | %lld trajectories, %lld records, %lld snapshots\n",
+              dataset.name.c_str(),
+              static_cast<long long>(stats.trajectories),
+              static_cast<long long>(stats.locations),
+              static_cast<long long>(stats.snapshots));
+
+  // 2. Configure the pipeline: CP(M=3, K=8, L=3, G=2) patterns over
+  //    DBSCAN(eps, minPts=3) clusters, 4 parallel subtasks per stage.
+  core::IcpeOptions options;
+  options.clustering = cluster::ClusteringMethod::kRJC;
+  options.enumerator = core::EnumeratorKind::kFBA;
+  options.cluster_options.join.eps = 15.0;
+  options.cluster_options.join.grid_cell_width = 120.0;
+  options.cluster_options.dbscan.min_pts = 3;
+  options.constraints = PatternConstraints{3, 8, 3, 2};
+  options.parallelism = 4;
+
+  // 3. Run and inspect.
+  const core::IcpeResult result = RunIcpe(dataset, options);
+  std::printf("\n%zu co-movement patterns CP(%d,%d,%d,%d):\n",
+              result.patterns.size(), options.constraints.m,
+              options.constraints.k, options.constraints.l,
+              options.constraints.g);
+  std::size_t shown = 0;
+  for (const CoMovementPattern& p : result.patterns) {
+    if (++shown > 10) {
+      std::printf("  ... and %zu more\n", result.patterns.size() - 10);
+      break;
+    }
+    std::printf("  objects {");
+    for (std::size_t i = 0; i < p.objects.size(); ++i) {
+      std::printf("%s%d", i ? ", " : "", p.objects[i]);
+    }
+    std::printf("} together over T=[%d..%d] (%zu snapshots)\n",
+                p.times.front(), p.times.back(), p.times.size());
+  }
+
+  std::printf("\npipeline: avg latency %.2f ms | throughput %.0f snapshots/s\n",
+              result.snapshots.average_latency_ms,
+              result.snapshots.throughput_tps);
+  std::printf("          clustering %.3f ms/snapshot, enumeration %.3f ms/tick\n",
+              result.avg_cluster_ms, result.avg_enum_ms);
+  return 0;
+}

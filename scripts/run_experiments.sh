@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure and ablation, saving the raw rows
+# to bench_output.txt and the test log to test_output.txt (the artefacts
+# EXPERIMENTS.md is written against).
+#
+# Usage: scripts/run_experiments.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+if [ ! -d "$BUILD_DIR" ]; then
+  cmake -B "$BUILD_DIR" -G Ninja
+fi
+cmake --build "$BUILD_DIR"
+
+echo "== tests =="
+ctest --test-dir "$BUILD_DIR" 2>&1 | tee "$ROOT/test_output.txt" | tail -3
+
+echo "== benches =="
+: > "$ROOT/bench_output.txt"
+for b in "$BUILD_DIR"/bench/*; do
+  [ -x "$b" ] || continue
+  echo "===== $b" | tee -a "$ROOT/bench_output.txt"
+  "$b" 2>&1 | tee -a "$ROOT/bench_output.txt" | grep -cE "iterations|ms " \
+    | sed 's/^/  rows: /'
+done
+echo "wrote $ROOT/test_output.txt and $ROOT/bench_output.txt"

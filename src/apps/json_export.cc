@@ -1,0 +1,58 @@
+#include "apps/json_export.h"
+
+#include <ostream>
+
+namespace comove::apps {
+
+namespace {
+
+template <typename T>
+void WriteIntArray(const std::vector<T>& values, std::ostream& out) {
+  out << '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out << ',';
+    out << values[i];
+  }
+  out << ']';
+}
+
+void WritePattern(const CoMovementPattern& p, std::ostream& out) {
+  out << "{\"objects\":";
+  WriteIntArray(p.objects, out);
+  out << ",\"times\":";
+  WriteIntArray(p.times, out);
+  out << '}';
+}
+
+}  // namespace
+
+void WritePatternsJson(const std::vector<CoMovementPattern>& patterns,
+                       std::ostream& out) {
+  out << "[";
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    if (i) out << ",";
+    out << "\n  ";
+    WritePattern(patterns[i], out);
+  }
+  out << "\n]\n";
+}
+
+void WriteResultJson(const core::IcpeResult& result, std::ostream& out) {
+  out << "{\n";
+  out << "  \"snapshots\": " << result.snapshots.snapshots << ",\n";
+  out << "  \"avg_latency_ms\": " << result.snapshots.average_latency_ms
+      << ",\n";
+  out << "  \"max_latency_ms\": " << result.snapshots.max_latency_ms
+      << ",\n";
+  out << "  \"throughput_tps\": " << result.snapshots.throughput_tps
+      << ",\n";
+  out << "  \"avg_cluster_ms\": " << result.avg_cluster_ms << ",\n";
+  out << "  \"avg_enum_ms\": " << result.avg_enum_ms << ",\n";
+  out << "  \"avg_cluster_size\": " << result.avg_cluster_size << ",\n";
+  out << "  \"cluster_count\": " << result.cluster_count << ",\n";
+  out << "  \"patterns\": ";
+  WritePatternsJson(result.patterns, out);
+  out << "}\n";
+}
+
+}  // namespace comove::apps

@@ -1,0 +1,31 @@
+#ifndef COMOVE_APPS_JSON_EXPORT_H_
+#define COMOVE_APPS_JSON_EXPORT_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "common/types.h"
+#include "core/icpe_engine.h"
+
+/// \file
+/// JSON export of detection results for downstream tooling (dashboards,
+/// notebooks). Hand-rolled writer - the schema is small and fixed, and
+/// the library carries no third-party dependencies.
+
+namespace comove::apps {
+
+/// Writes `patterns` as a JSON array of {"objects": [...], "times": [...]}.
+void WritePatternsJson(const std::vector<CoMovementPattern>& patterns,
+                       std::ostream& out);
+
+/// Writes a full run result: metrics plus patterns.
+/// {
+///   "snapshots": N, "avg_latency_ms": ..., "throughput_tps": ...,
+///   "avg_cluster_ms": ..., "avg_enum_ms": ..., "avg_cluster_size": ...,
+///   "patterns": [...]
+/// }
+void WriteResultJson(const core::IcpeResult& result, std::ostream& out);
+
+}  // namespace comove::apps
+
+#endif  // COMOVE_APPS_JSON_EXPORT_H_

@@ -1,0 +1,98 @@
+#include "apps/svg_export.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "common/check.h"
+#include "pattern/analysis.h"
+
+namespace comove::apps {
+
+namespace {
+
+/// A small qualitative palette; communities cycle through it.
+constexpr const char* kPalette[] = {
+    "#e6194b", "#3cb44b", "#4363d8", "#f58231", "#911eb4",
+    "#46f0f0", "#f032e6", "#bcf60c", "#008080", "#9a6324",
+};
+constexpr std::size_t kPaletteSize = std::size(kPalette);
+
+}  // namespace
+
+void WriteSvg(const trajgen::Dataset& dataset,
+              const std::vector<CoMovementPattern>& patterns,
+              std::ostream& out, const SvgOptions& options) {
+  COMOVE_CHECK(options.width > 0 && options.height > 0);
+
+  // Colour assignment: travel community index -> palette entry.
+  std::map<TrajectoryId, std::size_t> community_of;
+  {
+    const auto graph = pattern::CoMovementGraph::FromPatterns(patterns);
+    std::size_t index = 0;
+    for (const auto& community : graph.Components()) {
+      for (const TrajectoryId id : community) community_of[id] = index;
+      ++index;
+    }
+  }
+
+  // Extent -> viewport transform.
+  const trajgen::DatasetStats stats = dataset.ComputeStats();
+  const Rect extent = stats.extent;
+  const double span_x = std::max(extent.Width(), 1e-9);
+  const double span_y = std::max(extent.Height(), 1e-9);
+  const double scale =
+      std::min((options.width - 2 * options.margin) / span_x,
+               (options.height - 2 * options.margin) / span_y);
+  const auto tx = [&](double x) {
+    return options.margin + (x - extent.min_x) * scale;
+  };
+  const auto ty = [&](double y) {
+    // SVG's y axis points down; flip so north stays up.
+    return options.height - options.margin - (y - extent.min_y) * scale;
+  };
+
+  // Group per trajectory (records are time-sorted).
+  std::map<TrajectoryId, std::vector<Point>> paths;
+  for (const GpsRecord& r : dataset.records) {
+    paths[r.id].push_back(r.location);
+  }
+
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+      << options.width << "\" height=\"" << options.height
+      << "\" viewBox=\"0 0 " << options.width << " " << options.height
+      << "\">\n";
+  out << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  out << "<!-- dataset: " << dataset.name << ", " << paths.size()
+      << " trajectories, " << patterns.size() << " patterns -->\n";
+
+  // Grey background trajectories first so coloured groups stay on top.
+  for (const bool coloured_pass : {false, true}) {
+    for (const auto& [id, points] : paths) {
+      if (points.size() < options.min_reports) continue;
+      const auto community = community_of.find(id);
+      const bool coloured = community != community_of.end();
+      if (coloured != coloured_pass) continue;
+      const char* color =
+          coloured ? kPalette[community->second % kPaletteSize] : "#cccccc";
+      const char* opacity = coloured ? "0.9" : "0.35";
+      out << "<polyline fill=\"none\" stroke=\"" << color
+          << "\" stroke-opacity=\"" << opacity << "\" stroke-width=\""
+          << options.stroke << "\" points=\"";
+      for (const Point& p : points) {
+        out << tx(p.x) << ',' << ty(p.y) << ' ';
+      }
+      out << "\"/>\n";
+      if (options.draw_points) {
+        for (const Point& p : points) {
+          out << "<circle cx=\"" << tx(p.x) << "\" cy=\"" << ty(p.y)
+              << "\" r=\"" << options.stroke * 1.5 << "\" fill=\"" << color
+              << "\" fill-opacity=\"" << opacity << "\"/>\n";
+        }
+      }
+    }
+  }
+  out << "</svg>\n";
+}
+
+}  // namespace comove::apps

@@ -1,0 +1,38 @@
+#ifndef COMOVE_APPS_SVG_EXPORT_H_
+#define COMOVE_APPS_SVG_EXPORT_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "common/types.h"
+#include "trajgen/dataset.h"
+
+/// \file
+/// SVG rendering of trajectory datasets and detected patterns: each
+/// trajectory becomes a polyline, members of co-movement patterns share a
+/// colour, everything else is drawn in grey. Useful for debugging
+/// clustering/enumeration parameter choices and for documentation.
+
+namespace comove::apps {
+
+/// Rendering knobs.
+struct SvgOptions {
+  double width = 900.0;    ///< canvas width in px
+  double height = 900.0;   ///< canvas height in px
+  double margin = 20.0;    ///< border around the data extent
+  double stroke = 1.0;     ///< polyline stroke width
+  bool draw_points = false;  ///< also mark every report
+  /// Only trajectories with at least this many reports are drawn.
+  std::size_t min_reports = 2;
+};
+
+/// Writes an SVG document rendering `dataset`. Trajectories belonging to
+/// any of `patterns` are coloured per travel community (connected
+/// co-movement component); others are light grey.
+void WriteSvg(const trajgen::Dataset& dataset,
+              const std::vector<CoMovementPattern>& patterns,
+              std::ostream& out, const SvgOptions& options = {});
+
+}  // namespace comove::apps
+
+#endif  // COMOVE_APPS_SVG_EXPORT_H_

@@ -1,0 +1,178 @@
+#include "apps/trajectory_compression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "pattern/analysis.h"
+
+namespace comove::apps {
+
+namespace {
+
+/// Bytes of a zigzag varint encoding of v.
+std::size_t VarintBytes(std::int64_t v) {
+  std::uint64_t z = (static_cast<std::uint64_t>(v) << 1) ^
+                    static_cast<std::uint64_t>(v >> 63);
+  std::size_t bytes = 1;
+  while (z >= 0x80) {
+    z >>= 7;
+    ++bytes;
+  }
+  return bytes;
+}
+
+}  // namespace
+
+std::size_t CompressedTrajectories::EstimateBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& [id, records] : trajectories) {
+    bytes += 8;  // id + reference id + record count header
+    for (const CompressedRecord& r : records) {
+      bytes += VarintBytes(r.time - r.last_time);  // delta-coded time
+      bytes += 1;                                  // flags
+      if (r.is_delta) {
+        bytes += VarintBytes(r.qx) + VarintBytes(r.qy);
+      } else {
+        bytes += 16;  // two raw doubles
+      }
+    }
+  }
+  return bytes;
+}
+
+std::size_t CompressedTrajectories::delta_records() const {
+  std::size_t n = 0;
+  for (const auto& [id, records] : trajectories) {
+    for (const CompressedRecord& r : records) {
+      if (r.is_delta) ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t CompressedTrajectories::total_records() const {
+  std::size_t n = 0;
+  for (const auto& [id, records] : trajectories) n += records.size();
+  return n;
+}
+
+trajgen::Dataset CompressedTrajectories::Decompress() const {
+  // Process objects in ascending id order: every reference has a smaller
+  // id, so its positions are already materialised.
+  const double step = tolerance > 0.0 ? tolerance : 1.0;
+  std::map<std::pair<TrajectoryId, Timestamp>, Point> at;
+  trajgen::DatasetBuilder builder(name);
+  for (const auto& [id, records] : trajectories) {
+    const auto ref_it = references.find(id);
+    const TrajectoryId ref =
+        ref_it == references.end() ? kNoReference : ref_it->second;
+    for (const CompressedRecord& r : records) {
+      Point p;
+      if (r.is_delta) {
+        COMOVE_CHECK_MSG(ref != kNoReference && ref < id,
+                         "delta record without a valid reference");
+        const auto base = at.find({ref, r.time});
+        COMOVE_CHECK_MSG(base != at.end(),
+                         "reference position missing at delta time");
+        p = Point{base->second.x + r.qx * step,
+                  base->second.y + r.qy * step};
+      } else {
+        p = Point{r.x, r.y};
+      }
+      at[{id, r.time}] = p;
+      builder.Add(id, r.time, p);
+    }
+  }
+  trajgen::Dataset out = builder.Finalize(interval_seconds);
+  return out;
+}
+
+CompressedTrajectories CompressWithPatterns(
+    const trajgen::Dataset& dataset,
+    const std::vector<CoMovementPattern>& patterns,
+    const CompressionOptions& options) {
+  COMOVE_CHECK(options.tolerance >= 0.0 && options.max_delta > 0.0);
+
+  // Reference selection: strongest co-mover with a smaller id.
+  const auto graph = pattern::CoMovementGraph::FromPatterns(patterns);
+  std::map<TrajectoryId, TrajectoryId> references;
+  {
+    std::map<TrajectoryId, std::int64_t> best_weight;
+    for (const CoMovementPattern& p : patterns) {
+      for (std::size_t i = 0; i < p.objects.size(); ++i) {
+        for (std::size_t j = 0; j < i; ++j) {
+          // objects sorted: p.objects[j] < p.objects[i].
+          const TrajectoryId self = p.objects[i];
+          const TrajectoryId candidate = p.objects[j];
+          const std::int64_t weight = graph.EdgeWeight(self, candidate);
+          auto it = best_weight.find(self);
+          if (it == best_weight.end() || weight > it->second) {
+            best_weight[self] = weight;
+            references[self] = candidate;
+          }
+        }
+      }
+    }
+  }
+
+  // Position lookup of the ORIGINAL data (deltas are computed against the
+  // reconstructed reference positions so quantisation error does not
+  // accumulate along reference chains).
+  const double step = options.tolerance > 0.0 ? options.tolerance : 1.0;
+  std::map<std::pair<TrajectoryId, Timestamp>, Point> reconstructed;
+
+  CompressedTrajectories out;
+  out.name = dataset.name;
+  out.interval_seconds = dataset.interval_seconds;
+  out.tolerance = options.tolerance;
+  out.references = references;
+
+  // Group records per trajectory (records are time-sorted already).
+  std::map<TrajectoryId, std::vector<const GpsRecord*>> per_object;
+  for (const GpsRecord& r : dataset.records) {
+    per_object[r.id].push_back(&r);
+  }
+
+  for (const auto& [id, records] : per_object) {
+    const auto ref_it = references.find(id);
+    const TrajectoryId ref = ref_it == references.end()
+                                 ? CompressedTrajectories::kNoReference
+                                 : ref_it->second;
+    std::vector<CompressedRecord> compressed;
+    compressed.reserve(records.size());
+    for (const GpsRecord* r : records) {
+      CompressedRecord cr;
+      cr.time = r->time;
+      cr.last_time = r->last_time;
+      Point stored = r->location;
+      // tolerance == 0 disables quantised deltas entirely (lossless).
+      if (options.tolerance > 0.0 &&
+          ref != CompressedTrajectories::kNoReference) {
+        const auto base = reconstructed.find({ref, r->time});
+        if (base != reconstructed.end()) {
+          const double dx = r->location.x - base->second.x;
+          const double dy = r->location.y - base->second.y;
+          if (std::abs(dx) <= options.max_delta &&
+              std::abs(dy) <= options.max_delta) {
+            cr.is_delta = true;
+            cr.qx = static_cast<std::int32_t>(std::lround(dx / step));
+            cr.qy = static_cast<std::int32_t>(std::lround(dy / step));
+            stored = Point{base->second.x + cr.qx * step,
+                           base->second.y + cr.qy * step};
+          }
+        }
+      }
+      if (!cr.is_delta) {
+        cr.x = r->location.x;
+        cr.y = r->location.y;
+      }
+      reconstructed[{id, r->time}] = stored;
+      compressed.push_back(cr);
+    }
+    out.trajectories.emplace(id, std::move(compressed));
+  }
+  return out;
+}
+
+}  // namespace comove::apps

@@ -1,0 +1,38 @@
+#include "cluster/clustering.h"
+
+#include "cluster/gdc.h"
+#include "common/check.h"
+
+namespace comove::cluster {
+
+const char* ClusteringMethodName(ClusteringMethod method) {
+  switch (method) {
+    case ClusteringMethod::kRJC:
+      return "RJC";
+    case ClusteringMethod::kSRJ:
+      return "SRJ";
+    case ClusteringMethod::kGDC:
+      return "GDC";
+  }
+  return "unknown";
+}
+
+ClusterSnapshot ClusterSnapshotWith(ClusteringMethod method,
+                                    const Snapshot& snapshot,
+                                    const ClusteringOptions& options) {
+  switch (method) {
+    case ClusteringMethod::kRJC:
+      return DbscanFromNeighbors(
+          snapshot, RangeJoinRJC(snapshot, options.join), options.dbscan);
+    case ClusteringMethod::kSRJ:
+      return DbscanFromNeighbors(
+          snapshot, RangeJoinSRJ(snapshot, options.join), options.dbscan);
+    case ClusteringMethod::kGDC:
+      return GdcCluster(snapshot, options.join.eps, options.dbscan,
+                        options.join.metric);
+  }
+  COMOVE_CHECK(false);
+  return ClusterSnapshot{};
+}
+
+}  // namespace comove::cluster

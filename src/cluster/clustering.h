@@ -1,0 +1,38 @@
+#ifndef COMOVE_CLUSTER_CLUSTERING_H_
+#define COMOVE_CLUSTER_CLUSTERING_H_
+
+#include "cluster/dbscan.h"
+#include "cluster/range_join.h"
+#include "common/types.h"
+
+/// \file
+/// Snapshot clustering facade: one entry point covering the paper's three
+/// compared methods (RJC - ours; SRJ and GDC - adapted baselines, §7.1).
+
+namespace comove::cluster {
+
+/// Which clustering method to run.
+enum class ClusteringMethod {
+  kRJC,  ///< GR-index range join with Lemmas 1+2, then DBSCAN (ours)
+  kSRJ,  ///< full-replication GR-index join [36], then DBSCAN
+  kGDC,  ///< eps/2-grid neighbour search [14], then DBSCAN
+};
+
+/// Printable method name ("RJC", "SRJ", "GDC").
+const char* ClusteringMethodName(ClusteringMethod method);
+
+/// Combined knobs for snapshot clustering.
+struct ClusteringOptions {
+  RangeJoinOptions join;    ///< lg, eps, R-tree tuning (GDC uses eps only)
+  DbscanOptions dbscan;     ///< minPts
+};
+
+/// Clusters one snapshot with the chosen method. All methods produce
+/// identical clusters (they only differ in cost); tests assert this.
+ClusterSnapshot ClusterSnapshotWith(ClusteringMethod method,
+                                    const Snapshot& snapshot,
+                                    const ClusteringOptions& options);
+
+}  // namespace comove::cluster
+
+#endif  // COMOVE_CLUSTER_CLUSTERING_H_

@@ -1,0 +1,95 @@
+#include "cluster/dbscan.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace comove::cluster {
+
+ClusterSnapshot DbscanFromNeighbors(const Snapshot& snapshot,
+                                    const std::vector<NeighborPair>& pairs,
+                                    const DbscanOptions& options) {
+  COMOVE_CHECK(options.min_pts >= 1);
+  const std::size_t n = snapshot.entries.size();
+
+  // Dense indexing of the snapshot's trajectory ids.
+  std::unordered_map<TrajectoryId, std::int32_t> index_of;
+  index_of.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool inserted =
+        index_of.emplace(snapshot.entries[i].id, static_cast<std::int32_t>(i))
+            .second;
+    COMOVE_CHECK_MSG(inserted, "duplicate trajectory in snapshot");
+  }
+
+  // Adjacency from the join output.
+  std::vector<std::vector<std::int32_t>> adjacency(n);
+  for (const NeighborPair& p : pairs) {
+    const auto ia = index_of.find(p.a);
+    const auto ib = index_of.find(p.b);
+    COMOVE_CHECK_MSG(ia != index_of.end() && ib != index_of.end(),
+                     "join pair references id outside the snapshot");
+    adjacency[static_cast<std::size_t>(ia->second)].push_back(ib->second);
+    adjacency[static_cast<std::size_t>(ib->second)].push_back(ia->second);
+  }
+
+  // Core test: |neighbourhood| = degree + 1 (the point itself counts).
+  std::vector<bool> core(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    core[i] = static_cast<std::int32_t>(adjacency[i].size()) + 1 >=
+              options.min_pts;
+  }
+
+  // Expand clusters: BFS over core-core edges; border points (non-core
+  // within eps of a core) join the first cluster that reaches them.
+  constexpr std::int32_t kUnassigned = -1;
+  std::vector<std::int32_t> cluster_of(n, kUnassigned);
+  std::int32_t next_cluster = 0;
+  std::vector<std::int32_t> frontier;
+  for (std::size_t seed = 0; seed < n; ++seed) {
+    if (!core[seed] || cluster_of[seed] != kUnassigned) continue;
+    const std::int32_t cid = next_cluster++;
+    cluster_of[seed] = cid;
+    frontier.assign(1, static_cast<std::int32_t>(seed));
+    while (!frontier.empty()) {
+      const auto u = static_cast<std::size_t>(frontier.back());
+      frontier.pop_back();
+      for (const std::int32_t vi : adjacency[u]) {
+        const auto v = static_cast<std::size_t>(vi);
+        if (cluster_of[v] != kUnassigned) continue;
+        cluster_of[v] = cid;
+        if (core[v]) frontier.push_back(vi);
+      }
+    }
+  }
+
+  // Materialise cluster member lists.
+  std::vector<Cluster> clusters(static_cast<std::size_t>(next_cluster));
+  for (std::int32_t c = 0; c < next_cluster; ++c) {
+    clusters[static_cast<std::size_t>(c)].cluster_id = c;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cluster_of[i] != kUnassigned) {
+      clusters[static_cast<std::size_t>(cluster_of[i])].members.push_back(
+          snapshot.entries[i].id);
+    }
+  }
+  for (Cluster& c : clusters) {
+    std::sort(c.members.begin(), c.members.end());
+  }
+  std::sort(clusters.begin(), clusters.end(),
+            [](const Cluster& a, const Cluster& b) {
+              return a.members.front() < b.members.front();
+            });
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    clusters[c].cluster_id = static_cast<std::int32_t>(c);
+  }
+
+  ClusterSnapshot out;
+  out.time = snapshot.time;
+  out.clusters = std::move(clusters);
+  return out;
+}
+
+}  // namespace comove::cluster

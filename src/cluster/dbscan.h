@@ -1,0 +1,40 @@
+#ifndef COMOVE_CLUSTER_DBSCAN_H_
+#define COMOVE_CLUSTER_DBSCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+/// \file
+/// DBSCAN (§3.2 / §5.3) evaluated on the output of a range join: once the
+/// eps-neighbour pairs of a snapshot are known, cores, density
+/// reachability and clusters follow in a single O(n + |pairs|) pass -
+/// which is why the paper concentrates all indexing effort on the join.
+
+namespace comove::cluster {
+
+/// DBSCAN density parameters. A location is a core point when its
+/// eps-neighbourhood (including itself, as in the reference algorithm)
+/// contains at least min_pts locations.
+struct DbscanOptions {
+  std::int32_t min_pts = 10;
+};
+
+/// Runs DBSCAN over one snapshot given its range-join result.
+///
+/// `pairs` must contain each unordered eps-neighbour pair exactly once
+/// (the contract of RangeJoinRJC/SRJ/Brute). Clusters are connected
+/// components of core points plus their density-reachable border points;
+/// a border point reachable from several clusters is assigned to the one
+/// with the smallest cluster id, matching the deterministic single-
+/// assignment of classic DBSCAN. Noise points appear in no cluster.
+/// Cluster members are sorted ascending; clusters are ordered by their
+/// smallest member and numbered 0, 1, ... within the snapshot.
+ClusterSnapshot DbscanFromNeighbors(const Snapshot& snapshot,
+                                    const std::vector<NeighborPair>& pairs,
+                                    const DbscanOptions& options);
+
+}  // namespace comove::cluster
+
+#endif  // COMOVE_CLUSTER_DBSCAN_H_

@@ -1,0 +1,35 @@
+#ifndef COMOVE_CLUSTER_GDC_H_
+#define COMOVE_CLUSTER_GDC_H_
+
+#include <vector>
+
+#include "cluster/dbscan.h"
+#include "common/types.h"
+
+/// \file
+/// GDC baseline: grid-based DBSCAN (the paper's adaptation of [14] to the
+/// distributed engine). The data space is divided by a grid derived from
+/// eps itself - cells of width eps, each a keyed partition - and every
+/// point is replicated to the 8 neighbouring cells, since eps-neighbours
+/// can live at most one eps-cell away. The paper's observation (Fig.
+/// 10/11) is that tying the partitioning to the small eps creates far
+/// more partitions and replicas than the lg-tuned GR-index, which is
+/// exactly what this implementation exhibits.
+
+namespace comove::cluster {
+
+/// Returns every unordered eps-neighbour pair (a < b, each once) using the
+/// eps-width grid with 8-neighbour replication.
+std::vector<NeighborPair> GdcNeighborPairs(
+    const Snapshot& snapshot, double eps,
+    DistanceMetric metric = DistanceMetric::kL1);
+
+/// Full GDC clustering of one snapshot: eps-grid neighbour search
+/// followed by the shared DBSCAN pass.
+ClusterSnapshot GdcCluster(const Snapshot& snapshot, double eps,
+                           const DbscanOptions& options,
+                           DistanceMetric metric = DistanceMetric::kL1);
+
+}  // namespace comove::cluster
+
+#endif  // COMOVE_CLUSTER_GDC_H_

@@ -1,0 +1,170 @@
+#include "cluster/range_join.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace comove::cluster {
+
+namespace {
+
+NeighborPair Canonical(TrajectoryId a, TrajectoryId b) {
+  return a < b ? NeighborPair{a, b} : NeighborPair{b, a};
+}
+
+/// Lemma 1 half-space predicate: `v` lies in the half of `q`'s range
+/// region that q is responsible for. Strictly above; ties on y broken by
+/// x, ties on both by id, so every cross-cell pair is claimed by exactly
+/// one side even for coincident coordinates.
+bool InUpperHalf(const Point& q, TrajectoryId q_id, const Point& v,
+                 TrajectoryId v_id) {
+  if (v.y != q.y) return v.y > q.y;
+  if (v.x != q.x) return v.x > q.x;
+  return v_id > q_id;
+}
+
+}  // namespace
+
+std::vector<GridObject> GridAllocate(const Snapshot& snapshot,
+                                     const RangeJoinOptions& options,
+                                     bool use_lemma1) {
+  const GridIndex grid(options.grid_cell_width);
+  std::vector<GridObject> out;
+  out.reserve(snapshot.entries.size() * 2);
+  for (const SnapshotEntry& e : snapshot.entries) {
+    const GridKey home = grid.KeyOf(e.location);
+    out.push_back(GridObject{home, /*is_query=*/false, e.id, e.location});
+    const Rect region =
+        use_lemma1 ? Rect::UpperRangeRegion(e.location, options.eps)
+                   : Rect::RangeRegion(e.location, options.eps);
+    for (const GridKey& key : grid.KeysIntersecting(region)) {
+      if (key == home) continue;
+      out.push_back(GridObject{key, /*is_query=*/true, e.id, e.location});
+    }
+  }
+  return out;
+}
+
+std::vector<NeighborPair> GridQuery(
+    const std::vector<GridObject>& cell_objects,
+    const RangeJoinOptions& options, bool use_lemma2) {
+  std::vector<NeighborPair> out;
+  RTree tree(options.rtree);
+
+  if (use_lemma2) {
+    // Pass 1 (Lemma 2): each data object queries the partially built tree
+    // and is inserted afterwards; every within-cell pair is produced once,
+    // and the index is ready when the pass ends.
+    for (const GridObject& o : cell_objects) {
+      if (o.is_query) continue;
+      tree.QueryRect(Rect::RangeRegion(o.location, options.eps),
+                     [&](TrajectoryId id, const Point& p) {
+                       if (Distance(options.metric, o.location, p) <=
+                           options.eps) {
+                         out.push_back(Canonical(o.id, id));
+                       }
+                     });
+      tree.Insert(o.location, o.id);
+    }
+    // Pass 2: query objects see only their Lemma 1 half-space, so the
+    // owning side of each cross-cell pair reports it exactly once.
+    for (const GridObject& o : cell_objects) {
+      if (!o.is_query) continue;
+      tree.QueryRect(Rect::RangeRegion(o.location, options.eps),
+                     [&](TrajectoryId id, const Point& p) {
+                       if (Distance(options.metric, o.location, p) <=
+                               options.eps &&
+                           InUpperHalf(o.location, o.id, p, id)) {
+                         out.push_back(Canonical(o.id, id));
+                       }
+                     });
+    }
+    return out;
+  }
+
+  // Traditional scheme (SRJ): build the full local index first, then run
+  // every object's full-region query. Pairs are produced from both sides
+  // and within-cell pairs twice; GridSync deduplicates.
+  for (const GridObject& o : cell_objects) {
+    if (!o.is_query) tree.Insert(o.location, o.id);
+  }
+  for (const GridObject& o : cell_objects) {
+    tree.QueryRect(Rect::RangeRegion(o.location, options.eps),
+                   [&](TrajectoryId id, const Point& p) {
+                     if (id != o.id &&
+                         Distance(options.metric, o.location, p) <=
+                             options.eps) {
+                       out.push_back(Canonical(o.id, id));
+                     }
+                   });
+  }
+  return out;
+}
+
+std::vector<NeighborPair> GridSync(
+    std::vector<std::vector<NeighborPair>> per_cell) {
+  std::vector<NeighborPair> out;
+  std::size_t total = 0;
+  for (const auto& v : per_cell) total += v.size();
+  out.reserve(total);
+  for (auto& v : per_cell) {
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+namespace {
+
+/// Shared driver: allocate, bucket by cell, per-cell query, sync.
+std::vector<NeighborPair> RunJoin(const Snapshot& snapshot,
+                                  const RangeJoinOptions& options,
+                                  bool use_lemma1, bool use_lemma2) {
+  COMOVE_CHECK(options.eps > 0.0 && options.grid_cell_width > 0.0);
+  const std::vector<GridObject> objects =
+      GridAllocate(snapshot, options, use_lemma1);
+  std::unordered_map<GridKey, std::vector<GridObject>, GridKeyHash> cells;
+  for (const GridObject& o : objects) {
+    cells[o.key].push_back(o);
+  }
+  std::vector<std::vector<NeighborPair>> per_cell;
+  per_cell.reserve(cells.size());
+  for (auto& [key, cell_objects] : cells) {
+    per_cell.push_back(GridQuery(cell_objects, options, use_lemma2));
+  }
+  return GridSync(std::move(per_cell));
+}
+
+}  // namespace
+
+std::vector<NeighborPair> RangeJoinRJC(const Snapshot& snapshot,
+                                       const RangeJoinOptions& options,
+                                       const RangeJoinVariant& variant) {
+  return RunJoin(snapshot, options, variant.use_lemma1, variant.use_lemma2);
+}
+
+std::vector<NeighborPair> RangeJoinSRJ(const Snapshot& snapshot,
+                                       const RangeJoinOptions& options) {
+  return RunJoin(snapshot, options, /*use_lemma1=*/false,
+                 /*use_lemma2=*/false);
+}
+
+std::vector<NeighborPair> RangeJoinBrute(const Snapshot& snapshot,
+                                         double eps,
+                                         DistanceMetric metric) {
+  std::vector<NeighborPair> out;
+  const auto& e = snapshot.entries;
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    for (std::size_t j = i + 1; j < e.size(); ++j) {
+      if (Distance(metric, e[i].location, e[j].location) <= eps) {
+        out.push_back(Canonical(e[i].id, e[j].id));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace comove::cluster

@@ -1,0 +1,88 @@
+#ifndef COMOVE_CLUSTER_RANGE_JOIN_H_
+#define COMOVE_CLUSTER_RANGE_JOIN_H_
+
+#include <vector>
+
+#include "cluster/grid_object.h"
+#include "common/types.h"
+#include "index/grid_index.h"
+#include "index/rtree.h"
+
+/// \file
+/// GR-index based range join (§5.2). The join is decomposed exactly as in
+/// the paper so the distributed pipeline can host each piece as a stage:
+///
+///   GridAllocate  - computes GridObjects (replication plan). With Lemma 1
+///                   a location is only replicated to cells intersecting
+///                   the *upper half* of its range region.
+///   GridQuery     - per-cell processing. With Lemma 2 each data object is
+///                   queried against the R-tree *before* insertion, which
+///                   yields every within-cell pair exactly once without
+///                   building the index up front.
+///   GridSync      - merges per-cell outputs (plus canonicalisation).
+///
+/// All functions report each unordered neighbour pair {a, b} (a < b)
+/// exactly once, excluding self pairs.
+
+namespace comove::cluster {
+
+/// Knobs of the range join.
+struct RangeJoinOptions {
+  double grid_cell_width = 1.0;  ///< lg
+  double eps = 0.1;              ///< distance threshold
+  DistanceMetric metric = DistanceMetric::kL1;  ///< refinement metric
+  RTreeOptions rtree;            ///< local index tuning
+};
+
+/// Ablation switches; production RJC uses both lemmas.
+struct RangeJoinVariant {
+  bool use_lemma1 = true;  ///< upper-half replication
+  bool use_lemma2 = true;  ///< query-before-insert during build
+};
+
+/// GridAllocate (Algorithm 1): emits the GridObjects of `snapshot`. With
+/// `use_lemma1` the query replication covers only the upper half of each
+/// range region; otherwise the full region (the SRJ scheme).
+std::vector<GridObject> GridAllocate(const Snapshot& snapshot,
+                                     const RangeJoinOptions& options,
+                                     bool use_lemma1 = true);
+
+/// GridQuery (Algorithm 2) for the GridObjects of ONE grid cell.
+///
+/// With `use_lemma2`, data objects are processed query-then-insert; query
+/// objects are answered against the finished tree with the Lemma 1
+/// half-space predicate (strictly-above, or same-y right-of tiebreak) so
+/// cross-cell pairs appear exactly once. Without `use_lemma2` the R-tree
+/// is fully built first and every object queried afterwards; the caller
+/// must then deduplicate (GridSync does).
+///
+/// `cell_objects` may interleave data and query objects in any order.
+std::vector<NeighborPair> GridQuery(const std::vector<GridObject>& cell_objects,
+                                    const RangeJoinOptions& options,
+                                    bool use_lemma2 = true);
+
+/// GridSync: merges per-cell results, canonicalises pairs to a < b, sorts,
+/// and removes duplicates (duplicates only exist for non-Lemma variants;
+/// for full RJC this is a pure merge).
+std::vector<NeighborPair> GridSync(
+    std::vector<std::vector<NeighborPair>> per_cell);
+
+/// The complete range join RJ(snapshot, eps) over the GR-index: the
+/// production path with both lemmas, or an ablation variant.
+std::vector<NeighborPair> RangeJoinRJC(const Snapshot& snapshot,
+                                       const RangeJoinOptions& options,
+                                       const RangeJoinVariant& variant = {});
+
+/// SRJ baseline [36]: full range-region replication, index-then-query,
+/// deduplication at sync. No Lemma 1 / Lemma 2 savings.
+std::vector<NeighborPair> RangeJoinSRJ(const Snapshot& snapshot,
+                                       const RangeJoinOptions& options);
+
+/// O(n^2) reference join used by tests and tiny snapshots.
+std::vector<NeighborPair> RangeJoinBrute(
+    const Snapshot& snapshot, double eps,
+    DistanceMetric metric = DistanceMetric::kL1);
+
+}  // namespace comove::cluster
+
+#endif  // COMOVE_CLUSTER_RANGE_JOIN_H_

@@ -1,0 +1,36 @@
+#ifndef COMOVE_COMMON_CHECK_H_
+#define COMOVE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Invariant-checking macros. A failed check indicates a programming error
+/// (broken invariant), never an expected runtime condition, so the process
+/// aborts with a source location. Expected failures are reported through
+/// return values instead.
+
+/// Aborts with a message when `cond` is false. Always enabled (the cost is
+/// negligible next to the data-path work in this library).
+#define COMOVE_CHECK(cond)                                                   \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "COMOVE_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+/// Like COMOVE_CHECK but with a printf-style explanation.
+#define COMOVE_CHECK_MSG(cond, ...)                                          \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "COMOVE_CHECK failed at %s:%d: %s: ", __FILE__,   \
+                   __LINE__, #cond);                                         \
+      std::fprintf(stderr, __VA_ARGS__);                                     \
+      std::fprintf(stderr, "\n");                                            \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#endif  // COMOVE_COMMON_CHECK_H_

@@ -1,0 +1,46 @@
+#ifndef COMOVE_COMMON_CONSTRAINTS_H_
+#define COMOVE_COMMON_CONSTRAINTS_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+
+/// \file
+/// The (M, K, L, G) co-movement pattern constraints of Definition 4 and the
+/// derived verification-window length eta of Lemma 4.
+
+namespace comove {
+
+/// Parameters of a general co-movement pattern CP(M, K, L, G):
+///  - significance M: minimum number of objects,
+///  - duration K: minimum |T|,
+///  - consecutiveness L: minimum length of each segment of T,
+///  - connection G: maximum gap between neighbouring times of T.
+struct PatternConstraints {
+  std::int32_t m = 2;
+  std::int32_t k = 2;
+  std::int32_t l = 1;
+  std::int32_t g = 1;
+
+  /// Validates the parameter ranges that make Definition 4 meaningful.
+  bool IsValid() const {
+    return m >= 2 && l >= 1 && g >= 1 && k >= l;
+  }
+
+  /// Lemma 4: eta = (ceil(K/L) - 1) * (G - 1) + K + L - 1 snapshots always
+  /// suffice to decide every pattern enumerated at a given start time.
+  std::int32_t Eta() const {
+    COMOVE_CHECK(IsValid());
+    const std::int32_t ceil_kl = (k + l - 1) / l;
+    return (ceil_kl - 1) * (g - 1) + k + l - 1;
+  }
+
+  friend bool operator==(const PatternConstraints& a,
+                         const PatternConstraints& b) {
+    return a.m == b.m && a.k == b.k && a.l == b.l && a.g == b.g;
+  }
+};
+
+}  // namespace comove
+
+#endif  // COMOVE_COMMON_CONSTRAINTS_H_

@@ -1,0 +1,51 @@
+#ifndef COMOVE_COMMON_DISCRETIZER_H_
+#define COMOVE_COMMON_DISCRETIZER_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/types.h"
+
+/// \file
+/// Time discretisation (§3.1): maps real clock times to indices of the
+/// fixed-duration interval during which they occurred. E.g. with a 5 s
+/// interval starting at epoch 20, clock times {21, 24, 28, 32, 42} map to
+/// {0, 0, 1, 2, 4}.
+
+namespace comove {
+
+/// Maps clock seconds to discretised Timestamps. The interval duration is
+/// chosen per dataset (the paper uses 1 s or 5 s depending on sampling
+/// rate); too-small intervals create misleading gaps, too-large intervals
+/// collapse distinct reports into one index.
+class TimeDiscretizer {
+ public:
+  /// \param interval_seconds duration of one discrete interval (> 0)
+  /// \param epoch_seconds    clock time mapped to index 0
+  TimeDiscretizer(double interval_seconds, double epoch_seconds)
+      : interval_(interval_seconds), epoch_(epoch_seconds) {
+    COMOVE_CHECK(interval_seconds > 0.0);
+  }
+
+  /// Index of the interval containing `clock_seconds`.
+  Timestamp ToIndex(double clock_seconds) const {
+    return static_cast<Timestamp>((clock_seconds - epoch_) / interval_);
+  }
+
+  /// Start clock time of interval `index` (inverse of ToIndex up to the
+  /// interval resolution).
+  double ToClock(Timestamp index) const {
+    return epoch_ + static_cast<double>(index) * interval_;
+  }
+
+  double interval_seconds() const { return interval_; }
+  double epoch_seconds() const { return epoch_; }
+
+ private:
+  double interval_;
+  double epoch_;
+};
+
+}  // namespace comove
+
+#endif  // COMOVE_COMMON_DISCRETIZER_H_

@@ -1,0 +1,75 @@
+#ifndef COMOVE_COMMON_RNG_H_
+#define COMOVE_COMMON_RNG_H_
+
+#include <cstdint>
+
+/// \file
+/// A small deterministic pseudo-random generator (xoshiro256**) used by the
+/// trajectory generators and property tests. Determinism matters: every
+/// experiment in EXPERIMENTS.md is reproducible from a seed.
+
+namespace comove {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm),
+/// seeded via SplitMix64. Not cryptographic; fast and statistically solid,
+/// which is all workload generation needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the four lanes of state.
+    std::uint64_t x = seed;
+    for (auto& lane : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      lane = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t NextUint64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(NextUint64() % span);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Box-Muller (one value per call; simple over fast).
+  double Gaussian(double mean = 0.0, double stddev = 1.0);
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace comove
+
+#endif  // COMOVE_COMMON_RNG_H_

@@ -1,0 +1,105 @@
+#include "common/time_sequence.h"
+
+#include <numeric>
+
+#include "common/check.h"
+
+namespace comove {
+
+std::vector<Segment> DecomposeIntoSegments(
+    const std::vector<Timestamp>& times) {
+  std::vector<Segment> segments;
+  if (times.empty()) return segments;
+  Segment cur{times[0], times[0]};
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    COMOVE_CHECK_MSG(times[i] > times[i - 1],
+                     "time sequence must be strictly increasing");
+    if (times[i] == cur.end + 1) {
+      cur.end = times[i];
+    } else {
+      segments.push_back(cur);
+      cur = Segment{times[i], times[i]};
+    }
+  }
+  segments.push_back(cur);
+  return segments;
+}
+
+bool IsLConsecutive(const std::vector<Timestamp>& times, std::int32_t l) {
+  for (const Segment& s : DecomposeIntoSegments(times)) {
+    if (s.length() < l) return false;
+  }
+  return true;
+}
+
+bool IsGConnected(const std::vector<Timestamp>& times, std::int32_t g) {
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    if (times[i] - times[i - 1] > g) return false;
+  }
+  return true;
+}
+
+bool SatisfiesKLG(const std::vector<Timestamp>& times,
+                  const PatternConstraints& c) {
+  return static_cast<std::int32_t>(times.size()) >= c.k &&
+         IsLConsecutive(times, c.l) && IsGConnected(times, c.g);
+}
+
+namespace {
+
+// Chains of segments with length >= l whose inter-segment gaps are <= g.
+// Returns, for the best chain (largest total length), its [first, last)
+// bounds into `qualified`, or an empty range when `qualified` is empty.
+struct Chain {
+  std::size_t first = 0;
+  std::size_t last = 0;  // exclusive
+  std::int32_t total = 0;
+};
+
+Chain BestChain(const std::vector<Segment>& qualified, std::int32_t g) {
+  Chain best;
+  if (qualified.empty()) return best;
+  Chain cur{0, 1, qualified[0].length()};
+  for (std::size_t i = 1; i < qualified.size(); ++i) {
+    if (qualified[i].start - qualified[i - 1].end <= g) {
+      cur.last = i + 1;
+      cur.total += qualified[i].length();
+    } else {
+      if (cur.total > best.total) best = cur;
+      cur = Chain{i, i + 1, qualified[i].length()};
+    }
+  }
+  if (cur.total > best.total) best = cur;
+  return best;
+}
+
+}  // namespace
+
+std::vector<Timestamp> BestQualifyingSubsequence(
+    const std::vector<Timestamp>& times, const PatternConstraints& c) {
+  std::vector<Segment> qualified;
+  for (const Segment& s : DecomposeIntoSegments(times)) {
+    if (s.length() >= c.l) qualified.push_back(s);
+  }
+  const Chain best = BestChain(qualified, c.g);
+  if (best.total < c.k) return {};
+  std::vector<Timestamp> result;
+  result.reserve(static_cast<std::size_t>(best.total));
+  for (std::size_t i = best.first; i < best.last; ++i) {
+    for (Timestamp t = qualified[i].start; t <= qualified[i].end; ++t) {
+      result.push_back(t);
+    }
+  }
+  return result;
+}
+
+bool HasQualifyingSubsequence(const std::vector<Timestamp>& times,
+                              const PatternConstraints& c) {
+  std::vector<Segment> qualified;
+  for (const Segment& s : DecomposeIntoSegments(times)) {
+    if (s.length() >= c.l) qualified.push_back(s);
+  }
+  return BestChain(qualified, c.g).total >= c.k;
+}
+
+}  // namespace comove

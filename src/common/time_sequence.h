@@ -1,0 +1,67 @@
+#ifndef COMOVE_COMMON_TIME_SEQUENCE_H_
+#define COMOVE_COMMON_TIME_SEQUENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/constraints.h"
+#include "common/types.h"
+
+/// \file
+/// Operations on discretised time sequences (Definitions 1-3): segment
+/// decomposition, L-consecutive / G-connected tests, and extraction of the
+/// best (K, L, G)-qualifying subsequence from a set of co-clustered times.
+
+namespace comove {
+
+/// A maximal run of consecutive times inside a time sequence.
+struct Segment {
+  Timestamp start = 0;  ///< first time of the run
+  Timestamp end = 0;    ///< last time of the run (inclusive)
+
+  std::int32_t length() const { return end - start + 1; }
+
+  friend bool operator==(const Segment& a, const Segment& b) {
+    return a.start == b.start && a.end == b.end;
+  }
+};
+
+/// Splits a strictly increasing time sequence into its maximal consecutive
+/// segments. An empty input yields no segments.
+std::vector<Segment> DecomposeIntoSegments(
+    const std::vector<Timestamp>& times);
+
+/// Definition 2: every maximal segment of `times` has length >= l.
+/// The empty sequence is vacuously L-consecutive.
+bool IsLConsecutive(const std::vector<Timestamp>& times, std::int32_t l);
+
+/// Definition 3: every gap between neighbouring times is <= g.
+bool IsGConnected(const std::vector<Timestamp>& times, std::int32_t g);
+
+/// True when `times` itself satisfies the duration (|T| >= K),
+/// consecutiveness (L), and connection (G) constraints of Definition 4.
+bool SatisfiesKLG(const std::vector<Timestamp>& times,
+                  const PatternConstraints& c);
+
+/// Finds the longest subsequence T' of `times` that satisfies (K, L, G), or
+/// an empty vector when none exists.
+///
+/// `times` need not satisfy the constraints itself: the caller owns the set
+/// of all times at which some object set was co-clustered, and any
+/// qualifying subsequence certifies a pattern. The optimum is computed by a
+/// greedy chain over the maximal segments: segments shorter than L can
+/// never contribute (any element of T' must lie in a T'-segment of length
+/// >= L, which must be contained in a segment of `times`), and dropping a
+/// qualifying segment only widens gaps, so chaining consecutive qualifying
+/// segments with inter-segment gaps <= G is exact.
+std::vector<Timestamp> BestQualifyingSubsequence(
+    const std::vector<Timestamp>& times, const PatternConstraints& c);
+
+/// True iff some subsequence of `times` satisfies (K, L, G); equivalent to
+/// !BestQualifyingSubsequence(times, c).empty() but cheaper.
+bool HasQualifyingSubsequence(const std::vector<Timestamp>& times,
+                              const PatternConstraints& c);
+
+}  // namespace comove
+
+#endif  // COMOVE_COMMON_TIME_SEQUENCE_H_

@@ -1,0 +1,67 @@
+#ifndef COMOVE_CORE_COMPLETION_TRACKER_H_
+#define COMOVE_CORE_COMPLETION_TRACKER_H_
+
+#include <algorithm>
+#include <limits>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+/// \file
+/// Tracks when every parallel subtask of the final stage has processed a
+/// given snapshot time, which is the moment the paper's per-snapshot
+/// "response time" clock stops.
+
+namespace comove::core {
+
+/// Thread-safe min-progress tracker over `worker_count` workers. Snapshot
+/// times are registered on ingest; Update(worker, through) reports that a
+/// worker finished everything <= `through` and returns the registered
+/// times that just became complete (all workers past them), ascending.
+class CompletionTracker {
+ public:
+  explicit CompletionTracker(std::int32_t worker_count)
+      : progress_(static_cast<std::size_t>(worker_count),
+                  std::numeric_limits<Timestamp>::min()) {
+    COMOVE_CHECK(worker_count > 0);
+  }
+
+  /// Registers a snapshot time awaiting completion (called at ingest).
+  void Register(Timestamp time) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.insert(time);
+  }
+
+  /// Reports worker progress; returns newly completed snapshot times.
+  std::vector<Timestamp> Update(std::int32_t worker, Timestamp through) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& p = progress_.at(static_cast<std::size_t>(worker));
+    p = std::max(p, through);
+    const Timestamp frontier =
+        *std::min_element(progress_.begin(), progress_.end());
+    std::vector<Timestamp> completed;
+    while (!pending_.empty() && *pending_.begin() <= frontier) {
+      completed.push_back(*pending_.begin());
+      pending_.erase(pending_.begin());
+    }
+    return completed;
+  }
+
+  /// Times still awaiting completion (used at shutdown assertions).
+  std::size_t pending() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Timestamp> progress_;
+  std::set<Timestamp> pending_;
+};
+
+}  // namespace comove::core
+
+#endif  // COMOVE_CORE_COMPLETION_TRACKER_H_

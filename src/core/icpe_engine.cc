@@ -1,0 +1,559 @@
+#include "core/icpe_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/completion_tracker.h"
+#include "flow/exchange.h"
+#include "flow/reorder_buffer.h"
+#include "flow/snapshot_assembler.h"
+#include "flow/task_group.h"
+#include "flow/watermark_aligner.h"
+#include "pattern/baseline_enumerator.h"
+#include "pattern/fixed_bit_enumerator.h"
+#include "pattern/variable_bit_enumerator.h"
+
+namespace comove::core {
+
+namespace {
+
+constexpr Timestamp kMaxTime = std::numeric_limits<Timestamp>::max();
+
+std::size_t OwnerPartition(TrajectoryId owner, std::int32_t p) {
+  // Knuth multiplicative mix; trajectory ids are dense so a plain modulo
+  // would correlate with the id-assignment scheme.
+  return (static_cast<std::uint32_t>(owner) * 2654435761u) %
+         static_cast<std::uint32_t>(p);
+}
+
+/// One replicated GridObject tagged with its snapshot time: the payload
+/// of the cell-keyed exchange in the Fig. 5 dataflow mode.
+struct CellMsg {
+  Timestamp time = 0;
+  cluster::GridObject object;
+};
+
+/// Input of the GridSync/DBSCAN stage: either the raw snapshot (shipped
+/// once) or a batch of neighbour pairs from one GridQuery subtask.
+struct SyncMsg {
+  Timestamp time = 0;
+  bool is_snapshot = false;
+  Snapshot snapshot;
+  std::vector<NeighborPair> pairs;
+};
+
+/// Thread-safe accumulation of per-snapshot stage compute times.
+struct TimeAccumulator {
+  std::mutex mu;
+  double total_ms = 0.0;
+  std::int64_t count = 0;
+
+  void Add(double ms) {
+    std::lock_guard<std::mutex> lock(mu);
+    total_ms += ms;
+    ++count;
+  }
+  double Average() const {
+    return count > 0 ? total_ms / static_cast<double>(count) : 0.0;
+  }
+};
+
+std::unique_ptr<pattern::StreamingEnumerator> MakeEnumerator(
+    EnumeratorKind kind, const PatternConstraints& constraints,
+    pattern::PatternSink sink) {
+  switch (kind) {
+    case EnumeratorKind::kBA:
+      return std::make_unique<pattern::BaselineEnumerator>(constraints,
+                                                           std::move(sink));
+    case EnumeratorKind::kFBA:
+      return std::make_unique<pattern::FixedBitEnumerator>(constraints,
+                                                           std::move(sink));
+    case EnumeratorKind::kVBA:
+      return std::make_unique<pattern::VariableBitEnumerator>(
+          constraints, std::move(sink));
+    case EnumeratorKind::kNone:
+      break;
+  }
+  COMOVE_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace
+
+const char* EnumeratorKindName(EnumeratorKind kind) {
+  switch (kind) {
+    case EnumeratorKind::kBA:
+      return "BA";
+    case EnumeratorKind::kFBA:
+      return "FBA";
+    case EnumeratorKind::kVBA:
+      return "VBA";
+    case EnumeratorKind::kNone:
+      return "none";
+  }
+  return "unknown";
+}
+
+IcpeResult RunIcpe(const trajgen::Dataset& dataset,
+                   const IcpeOptions& options) {
+  COMOVE_CHECK(options.parallelism > 0);
+  COMOVE_CHECK(options.constraints.IsValid());
+  const std::int32_t p = options.parallelism;
+
+  // The query set: the primary query (unless kNone) plus extras, all
+  // evaluated over one shared cluster stream.
+  std::vector<PatternQuery> queries;
+  if (options.enumerator != EnumeratorKind::kNone) {
+    queries.push_back(
+        PatternQuery{options.constraints, options.enumerator});
+  }
+  for (const PatternQuery& q : options.extra_queries) {
+    COMOVE_CHECK(q.constraints.IsValid());
+    COMOVE_CHECK(q.enumerator != EnumeratorKind::kNone);
+    queries.push_back(q);
+  }
+  const bool enumerate = !queries.empty();
+  // Partitions are computed once with the loosest significance bound; the
+  // per-query M is enforced during enumeration (Lemma 3 only removes
+  // work, never results).
+  PatternConstraints partition_constraints =
+      enumerate ? queries.front().constraints : options.constraints;
+  for (const PatternQuery& q : queries) {
+    partition_constraints.m = std::min(partition_constraints.m,
+                                       q.constraints.m);
+  }
+
+  flow::Exchange<GpsRecord> source_exchange(1, 1, options.channel_capacity);
+  flow::Exchange<Snapshot> snapshot_exchange(1, p,
+                                             options.channel_capacity);
+  flow::Exchange<pattern::Partition> partition_exchange(
+      p, p, options.channel_capacity);
+  // Extra exchanges of the Fig. 5 cell-parallel mode (lazily created).
+  std::optional<flow::Exchange<CellMsg>> query_exchange;
+  std::optional<flow::Exchange<SyncMsg>> sync_exchange;
+
+  flow::SnapshotMetrics metrics;
+  CompletionTracker tracker(p);
+  TimeAccumulator cluster_time;
+  TimeAccumulator enum_time;
+  std::atomic<std::int64_t> cluster_count{0};
+  std::atomic<std::int64_t> cluster_member_sum{0};
+  std::atomic<std::int64_t> snapshot_count{0};
+
+  std::mutex collector_mu;
+  std::vector<pattern::PatternCollector> collectors(queries.size());
+  // One sink per query, all sharing the mutex and the optional callback.
+  auto make_sink = [&](std::size_t query) {
+    return [&collectors, &collector_mu, &options,
+            query](const CoMovementPattern& pat) {
+      std::lock_guard<std::mutex> lock(collector_mu);
+      collectors[query].Add(pat);
+      if (options.on_pattern) options.on_pattern(pat);
+    };
+  };
+
+  flow::TaskGroup tasks;
+
+  // --- Source: replays records with birth-bound watermarks, either in
+  // time order or deterministically shuffled inside a sliding window (the
+  // §4 synchronisation then has to reassemble the chains downstream).
+  tasks.Spawn([&] {
+    const auto throttle = [&] {
+      if (options.replay_delay_us > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(options.replay_delay_us));
+      }
+    };
+    if (options.replay_shuffle_window <= 0) {
+      Timestamp current = kNoTime;
+      for (const GpsRecord& record : dataset.records) {
+        if (record.time != current) {
+          COMOVE_CHECK(record.time > current);
+          // No trajectory can be born before this batch's time anymore.
+          source_exchange.BroadcastWatermark(0, record.time - 1);
+          current = record.time;
+          throttle();
+        }
+        source_exchange.Send(0, 0, record);
+      }
+      if (current != kNoTime) {
+        source_exchange.BroadcastWatermark(0, current);
+      }
+      source_exchange.CloseProducer(0);
+      return;
+    }
+    // Shuffled replay: flush blocks of `window` consecutive time units in
+    // a random permutation; the watermark trails each complete block.
+    Rng rng(options.shuffle_seed);
+    const Timestamp window = options.replay_shuffle_window;
+    std::vector<GpsRecord> block;
+    Timestamp block_start = kNoTime;
+    auto flush = [&] {
+      for (std::size_t i = block.size(); i > 1; --i) {
+        std::swap(block[i - 1],
+                  block[static_cast<std::size_t>(rng.UniformInt(
+                      0, static_cast<std::int64_t>(i) - 1))]);
+      }
+      Timestamp max_time = kNoTime;
+      for (const GpsRecord& record : block) {
+        max_time = std::max(max_time, record.time);
+        source_exchange.Send(0, 0, record);
+      }
+      if (max_time != kNoTime) {
+        source_exchange.BroadcastWatermark(0, max_time);
+      }
+      block.clear();
+    };
+    for (const GpsRecord& record : dataset.records) {
+      if (block_start == kNoTime) block_start = record.time;
+      if (record.time >= block_start + window) {
+        flush();
+        block_start = record.time;
+        throttle();
+      }
+      block.push_back(record);
+    }
+    flush();
+    source_exchange.CloseProducer(0);
+  });
+
+  // --- Assembler: §4 last-time synchronisation into snapshots.
+  tasks.Spawn([&] {
+    flow::SnapshotAssembler assembler;
+    auto route = [&](std::vector<Snapshot> snapshots) {
+      for (Snapshot& snapshot : snapshots) {
+        const Timestamp t = snapshot.time;
+        metrics.MarkIngest(t);
+        tracker.Register(t);
+        snapshot_count.fetch_add(1, std::memory_order_relaxed);
+        snapshot_exchange.Send(0, static_cast<std::size_t>(t) %
+                                      static_cast<std::size_t>(p),
+                               std::move(snapshot));
+        snapshot_exchange.BroadcastWatermark(0, t);
+      }
+    };
+    auto& input = source_exchange.channel(0);
+    while (auto element = input.Pop()) {
+      if (element->is_data()) {
+        route(assembler.OnRecord(element->data));
+      } else {
+        route(assembler.AdvanceBirthBound(element->watermark));
+      }
+    }
+    route(assembler.Finish());
+    snapshot_exchange.BroadcastWatermark(0, kMaxTime);
+    snapshot_exchange.CloseProducer(0);
+  });
+
+  // Shared post-clustering actions of both clustering execution modes.
+  auto record_cluster_stats = [&](const ClusterSnapshot& clustered) {
+    for (const Cluster& c : clustered.clusters) {
+      cluster_count.fetch_add(1, std::memory_order_relaxed);
+      cluster_member_sum.fetch_add(
+          static_cast<std::int64_t>(c.members.size()),
+          std::memory_order_relaxed);
+    }
+  };
+  auto route_partitions = [&](std::int32_t worker,
+                              const ClusterSnapshot& clustered) {
+    for (pattern::Partition& part :
+         pattern::MakePartitions(clustered, partition_constraints)) {
+      const std::size_t target = OwnerPartition(part.owner, p);
+      partition_exchange.Send(worker, target, std::move(part));
+    }
+  };
+  auto clustering_progress = [&](std::int32_t worker, Timestamp w) {
+    if (enumerate) {
+      partition_exchange.BroadcastWatermark(worker, w);
+    } else {
+      for (const Timestamp done : tracker.Update(worker, w)) {
+        metrics.MarkComplete(done);
+      }
+    }
+  };
+
+  if (!options.join_parallel_cells) {
+    // --- Cluster workers: snapshot-parallel indexed clustering (§5.3).
+    tasks.SpawnIndexed(p, [&, record_cluster_stats, route_partitions,
+                           clustering_progress](std::int32_t worker) {
+      auto& input = snapshot_exchange.channel(worker);
+      while (auto element = input.Pop()) {
+        if (element->is_data()) {
+          Stopwatch watch;
+          const ClusterSnapshot clustered = cluster::ClusterSnapshotWith(
+              options.clustering, element->data, options.cluster_options);
+          cluster_time.Add(watch.ElapsedMillis());
+          record_cluster_stats(clustered);
+          if (enumerate) route_partitions(worker, clustered);
+        } else {
+          // All of this worker's snapshots <= watermark are done (FIFO).
+          clustering_progress(worker, element->watermark);
+        }
+      }
+      if (enumerate) partition_exchange.CloseProducer(worker);
+    });
+  } else {
+    // --- The literal Fig. 5 dataflow: GridAllocate -> cell-keyed
+    // GridQuery -> GridSync + DBSCAN, each a parallel stage.
+    COMOVE_CHECK_MSG(
+        options.clustering != cluster::ClusteringMethod::kGDC,
+        "join_parallel_cells supports the GR-index methods (RJC/SRJ)");
+    const bool use_lemmas =
+        options.clustering == cluster::ClusteringMethod::kRJC;
+    query_exchange.emplace(p, p, options.channel_capacity);
+    sync_exchange.emplace(2 * p, p, options.channel_capacity);
+
+    // GridAllocate subtasks: replicate locations into GridObjects and
+    // forward the raw snapshot to the sync stage for DBSCAN.
+    tasks.SpawnIndexed(p, [&](std::int32_t worker) {
+      const GridKeyHash cell_hash;
+      auto& input = snapshot_exchange.channel(worker);
+      while (auto element = input.Pop()) {
+        if (element->is_data()) {
+          const Timestamp t = element->data.time;
+          Stopwatch watch;
+          std::vector<cluster::GridObject> objects = cluster::GridAllocate(
+              element->data, options.cluster_options.join, use_lemmas);
+          cluster_time.Add(watch.ElapsedMillis());
+          for (cluster::GridObject& object : objects) {
+            const std::size_t target =
+                cell_hash(object.key) % static_cast<std::size_t>(p);
+            query_exchange->Send(worker, target, CellMsg{t, object});
+          }
+          SyncMsg msg;
+          msg.time = t;
+          msg.is_snapshot = true;
+          msg.snapshot = std::move(element->data);
+          sync_exchange->Send(worker,
+                              static_cast<std::size_t>(t) %
+                                  static_cast<std::size_t>(p),
+                              std::move(msg));
+        } else {
+          query_exchange->BroadcastWatermark(worker, element->watermark);
+          sync_exchange->BroadcastWatermark(worker, element->watermark);
+        }
+      }
+      query_exchange->CloseProducer(worker);
+      sync_exchange->CloseProducer(worker);
+    });
+
+    // GridQuery subtasks: per-cell Algorithm 2 once a snapshot's objects
+    // are complete (aligned watermark), then ship the neighbour stream.
+    tasks.SpawnIndexed(p, [&](std::int32_t worker) {
+      flow::WatermarkAligner aligner(p);
+      std::map<Timestamp,
+               std::unordered_map<GridKey, std::vector<cluster::GridObject>,
+                                  GridKeyHash>>
+          cells_by_time;
+      auto process_through = [&](Timestamp w) {
+        while (!cells_by_time.empty() &&
+               cells_by_time.begin()->first <= w) {
+          const Timestamp t = cells_by_time.begin()->first;
+          Stopwatch watch;
+          std::vector<NeighborPair> pairs;
+          for (auto& [key, objects] : cells_by_time.begin()->second) {
+            std::vector<NeighborPair> cell_pairs = cluster::GridQuery(
+                objects, options.cluster_options.join, use_lemmas);
+            pairs.insert(pairs.end(), cell_pairs.begin(),
+                         cell_pairs.end());
+          }
+          cluster_time.Add(watch.ElapsedMillis());
+          SyncMsg msg;
+          msg.time = t;
+          msg.pairs = std::move(pairs);
+          sync_exchange->Send(p + worker,
+                              static_cast<std::size_t>(t) %
+                                  static_cast<std::size_t>(p),
+                              std::move(msg));
+          cells_by_time.erase(cells_by_time.begin());
+        }
+      };
+      auto& input = query_exchange->channel(worker);
+      while (auto element = input.Pop()) {
+        if (element->is_data()) {
+          cells_by_time[element->data.time][element->data.object.key]
+              .push_back(element->data.object);
+        } else if (auto advanced = aligner.Update(element->producer,
+                                                  element->watermark)) {
+          process_through(*advanced);
+          sync_exchange->BroadcastWatermark(p + worker, *advanced);
+        }
+      }
+      process_through(kMaxTime);
+      sync_exchange->CloseProducer(p + worker);
+    });
+
+    // GridSync + DBSCAN subtasks: merge per-cell neighbour streams with
+    // the raw snapshot, cluster, and hand off to enumeration.
+    tasks.SpawnIndexed(p, [&, record_cluster_stats, route_partitions,
+                           clustering_progress](std::int32_t worker) {
+      flow::WatermarkAligner aligner(2 * p);
+      struct PendingTime {
+        bool have_snapshot = false;
+        Snapshot snapshot;
+        std::vector<NeighborPair> pairs;
+      };
+      std::map<Timestamp, PendingTime> buffer;
+      auto process_through = [&](Timestamp w) {
+        while (!buffer.empty() && buffer.begin()->first <= w) {
+          PendingTime pending = std::move(buffer.begin()->second);
+          buffer.erase(buffer.begin());
+          COMOVE_CHECK_MSG(pending.have_snapshot,
+                           "neighbour pairs arrived for a snapshot that "
+                           "never did");
+          Stopwatch watch;
+          // GridSync: canonical order + dedup (required for the SRJ
+          // variant, a no-op for RJC with both lemmas).
+          std::sort(pending.pairs.begin(), pending.pairs.end());
+          pending.pairs.erase(
+              std::unique(pending.pairs.begin(), pending.pairs.end()),
+              pending.pairs.end());
+          const ClusterSnapshot clustered = cluster::DbscanFromNeighbors(
+              pending.snapshot, pending.pairs,
+              options.cluster_options.dbscan);
+          cluster_time.Add(watch.ElapsedMillis());
+          record_cluster_stats(clustered);
+          if (enumerate) route_partitions(worker, clustered);
+        }
+      };
+      auto& input = sync_exchange->channel(worker);
+      while (auto element = input.Pop()) {
+        if (element->is_data()) {
+          PendingTime& pending = buffer[element->data.time];
+          if (element->data.is_snapshot) {
+            pending.have_snapshot = true;
+            pending.snapshot = std::move(element->data.snapshot);
+          } else {
+            pending.pairs.insert(pending.pairs.end(),
+                                 element->data.pairs.begin(),
+                                 element->data.pairs.end());
+          }
+        } else if (auto advanced = aligner.Update(element->producer,
+                                                  element->watermark)) {
+          process_through(*advanced);
+          clustering_progress(worker, *advanced);
+        }
+      }
+      process_through(kMaxTime);
+      if (enumerate) partition_exchange.CloseProducer(worker);
+    });
+  }
+
+  // --- Enumeration workers: id-partitioned BA / FBA / VBA.
+  if (enumerate) {
+    tasks.SpawnIndexed(p, [&](std::int32_t worker) {
+      // One enumerator per query; all consume the shared partition stream.
+      std::vector<std::unique_ptr<pattern::StreamingEnumerator>> enumerators;
+      for (std::size_t q = 0; q < queries.size(); ++q) {
+        enumerators.push_back(MakeEnumerator(
+            queries[q].enumerator, queries[q].constraints, make_sink(q)));
+      }
+      flow::WatermarkAligner aligner(p);
+      flow::TimeReorderBuffer<pattern::Partition> buffer;
+
+      // The worker is done with a time only when EVERY query is.
+      auto finalized_through = [&]() {
+        Timestamp through = kMaxTime;
+        for (const auto& e : enumerators) {
+          const Timestamp f = e->FinalizedThrough();
+          through = std::min(through, f == kNoTime
+                                          ? std::numeric_limits<
+                                                Timestamp>::min()
+                                          : f);
+        }
+        return through;
+      };
+
+      auto feed = [&](std::vector<std::pair<Timestamp, pattern::Partition>>
+                          batch) {
+        std::size_t i = 0;
+        while (i < batch.size()) {
+          const Timestamp t = batch[i].first;
+          std::vector<pattern::Partition> parts;
+          while (i < batch.size() && batch[i].first == t) {
+            parts.push_back(std::move(batch[i].second));
+            ++i;
+          }
+          Stopwatch watch;
+          for (std::size_t q = 0; q < enumerators.size(); ++q) {
+            // The last query consumes the originals; earlier ones copies.
+            enumerators[q]->OnPartitions(
+                t, q + 1 == enumerators.size()
+                       ? std::move(parts)
+                       : std::vector<pattern::Partition>(parts));
+          }
+          enum_time.Add(watch.ElapsedMillis());
+        }
+      };
+
+      auto& input = partition_exchange.channel(worker);
+      while (auto element = input.Pop()) {
+        if (element->is_data()) {
+          buffer.Add(element->data.time, std::move(element->data));
+        } else if (auto advanced = aligner.Update(element->producer,
+                                                  element->watermark)) {
+          const Timestamp w = *advanced;
+          feed(buffer.DrainThrough(w));
+          if (w != kMaxTime) {
+            Stopwatch watch;
+            for (const auto& e : enumerators) e->AdvanceTime(w);
+            enum_time.Add(watch.ElapsedMillis());
+          }
+          // A snapshot counts as answered once its pattern decisions are
+          // final across every query (for VBA this is deferred until
+          // strings close - the §6.3 latency/throughput trade).
+          for (const Timestamp done :
+               tracker.Update(worker, finalized_through())) {
+            metrics.MarkComplete(done);
+          }
+        }
+      }
+      feed(buffer.DrainAll());
+      for (const auto& e : enumerators) e->Finish();
+      for (const Timestamp done : tracker.Update(worker, kMaxTime)) {
+        metrics.MarkComplete(done);
+      }
+    });
+  }
+
+  tasks.JoinAll();
+  COMOVE_CHECK_MSG(tracker.pending() == 0,
+                   "pipeline drained with incomplete snapshots");
+
+  IcpeResult result;
+  if (!collectors.empty() &&
+      options.enumerator != EnumeratorKind::kNone) {
+    result.patterns = collectors[0].Patterns();
+    for (std::size_t q = 1; q < collectors.size(); ++q) {
+      result.extra_patterns.push_back(collectors[q].Patterns());
+    }
+  } else {
+    // Primary was kNone: every collector belongs to an extra query.
+    for (auto& collector : collectors) {
+      result.extra_patterns.push_back(collector.Patterns());
+    }
+  }
+  result.snapshots = metrics.Collect();
+  result.avg_cluster_ms = cluster_time.Average();
+  result.avg_enum_ms = enum_time.Average();
+  result.cluster_count = cluster_count.load();
+  result.snapshot_count = snapshot_count.load();
+  result.avg_cluster_size =
+      result.cluster_count > 0
+          ? static_cast<double>(cluster_member_sum.load()) /
+                static_cast<double>(result.cluster_count)
+          : 0.0;
+  return result;
+}
+
+}  // namespace comove::core

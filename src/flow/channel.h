@@ -1,0 +1,103 @@
+#ifndef COMOVE_FLOW_CHANNEL_H_
+#define COMOVE_FLOW_CHANNEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "common/check.h"
+
+/// \file
+/// A bounded multi-producer multi-consumer channel: the pipelined transfer
+/// primitive of the stream engine. Bounded capacity gives backpressure
+/// exactly as Flink's pipelined network buffers do - a slow consumer stalls
+/// its producers instead of buffering unboundedly.
+
+namespace comove::flow {
+
+/// Blocking bounded MPMC FIFO. Producers must be registered so the channel
+/// knows when the stream is finished: once every registered producer has
+/// called CloseProducer() and the queue drains, Pop() returns nullopt.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(std::size_t capacity) : capacity_(capacity) {
+    COMOVE_CHECK(capacity > 0);
+  }
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Declares one more producer. Must be called before that producer's
+  /// first Push and balanced by CloseProducer.
+  void RegisterProducer() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++producers_;
+  }
+
+  /// Signals that one producer is done. When the last producer closes, all
+  /// blocked consumers wake and drain.
+  void CloseProducer() {
+    std::lock_guard<std::mutex> lock(mu_);
+    COMOVE_CHECK(producers_ > 0);
+    if (--producers_ == 0) not_empty_.notify_all();
+  }
+
+  /// Blocks while the channel is full; FIFO per producer.
+  void Push(T value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return queue_.size() < capacity_; });
+    queue_.push_back(std::move(value));
+    not_empty_.notify_one();
+  }
+
+  /// Blocks until an element is available or the channel is finished.
+  /// Returns nullopt exactly when all producers closed and the queue is
+  /// empty.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return !queue_.empty() || producers_ == 0; });
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Non-blocking pop; nullopt when currently empty (stream may continue).
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+  /// True when all producers have closed (the queue may still hold data).
+  bool finished_producing() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return producers_ == 0;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> queue_;
+  int producers_ = 0;
+};
+
+}  // namespace comove::flow
+
+#endif  // COMOVE_FLOW_CHANNEL_H_

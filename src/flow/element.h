@@ -1,0 +1,49 @@
+#ifndef COMOVE_FLOW_ELEMENT_H_
+#define COMOVE_FLOW_ELEMENT_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+/// \file
+/// Stream elements: either user data or a watermark punctuation. A
+/// watermark W(t) from producer p asserts that p has emitted everything
+/// with event time <= t. Consumers align watermarks across producers
+/// (minimum over inputs) before acting on them, mirroring Flink's
+/// event-time watermark propagation.
+
+namespace comove::flow {
+
+/// A data-or-watermark envelope flowing through channels.
+template <typename T>
+struct Element {
+  enum class Kind : std::uint8_t { kData, kWatermark };
+
+  Kind kind = Kind::kData;
+  T data{};                       ///< valid when kind == kData
+  Timestamp watermark = 0;        ///< valid when kind == kWatermark
+  std::int32_t producer = 0;      ///< producing subtask index
+
+  static Element Data(T value, std::int32_t producer) {
+    Element e;
+    e.kind = Kind::kData;
+    e.data = std::move(value);
+    e.producer = producer;
+    return e;
+  }
+
+  static Element Watermark(Timestamp t, std::int32_t producer) {
+    Element e;
+    e.kind = Kind::kWatermark;
+    e.watermark = t;
+    e.producer = producer;
+    return e;
+  }
+
+  bool is_data() const { return kind == Kind::kData; }
+  bool is_watermark() const { return kind == Kind::kWatermark; }
+};
+
+}  // namespace comove::flow
+
+#endif  // COMOVE_FLOW_ELEMENT_H_

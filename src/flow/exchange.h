@@ -1,0 +1,82 @@
+#ifndef COMOVE_FLOW_EXCHANGE_H_
+#define COMOVE_FLOW_EXCHANGE_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "flow/channel.h"
+#include "flow/element.h"
+
+/// \file
+/// The data exchange between two stages: every producer subtask can reach
+/// every consumer subtask. Data elements are routed to one consumer (by an
+/// explicit partition, normally hash(key) % consumers); watermarks are
+/// broadcast to all consumers so each can align over all producers. This
+/// reproduces Flink's keyBy/hash-partitioned network shuffle.
+
+namespace comove::flow {
+
+/// An all-to-all exchange of Element<T> between `producers` upstream
+/// subtasks and `consumers` downstream subtasks.
+template <typename T>
+class Exchange {
+ public:
+  Exchange(std::int32_t producers, std::int32_t consumers,
+           std::size_t capacity_per_channel = 256)
+      : producers_(producers), consumers_(consumers) {
+    COMOVE_CHECK(producers > 0 && consumers > 0);
+    channels_.reserve(static_cast<std::size_t>(consumers));
+    for (std::int32_t c = 0; c < consumers; ++c) {
+      channels_.push_back(
+          std::make_unique<Channel<Element<T>>>(capacity_per_channel));
+      for (std::int32_t p = 0; p < producers; ++p) {
+        channels_.back()->RegisterProducer();
+      }
+    }
+  }
+
+  std::int32_t producers() const { return producers_; }
+  std::int32_t consumers() const { return consumers_; }
+
+  /// Sends a data element from `producer` to consumer subtask `partition`.
+  void Send(std::int32_t producer, std::size_t partition, T value) {
+    COMOVE_CHECK(partition < channels_.size());
+    channels_[partition]->Push(
+        Element<T>::Data(std::move(value), producer));
+  }
+
+  /// Broadcasts a data element from `producer` to every consumer.
+  void BroadcastData(std::int32_t producer, const T& value) {
+    for (auto& ch : channels_) {
+      ch->Push(Element<T>::Data(value, producer));
+    }
+  }
+
+  /// Broadcasts watermark `t` from `producer` to every consumer.
+  void BroadcastWatermark(std::int32_t producer, Timestamp t) {
+    for (auto& ch : channels_) {
+      ch->Push(Element<T>::Watermark(t, producer));
+    }
+  }
+
+  /// Marks `producer` as finished on every consumer channel.
+  void CloseProducer(std::int32_t /*producer*/) {
+    for (auto& ch : channels_) ch->CloseProducer();
+  }
+
+  /// The input channel of consumer subtask `consumer`.
+  Channel<Element<T>>& channel(std::int32_t consumer) {
+    return *channels_.at(static_cast<std::size_t>(consumer));
+  }
+
+ private:
+  std::int32_t producers_;
+  std::int32_t consumers_;
+  std::vector<std::unique_ptr<Channel<Element<T>>>> channels_;
+};
+
+}  // namespace comove::flow
+
+#endif  // COMOVE_FLOW_EXCHANGE_H_

@@ -1,0 +1,93 @@
+#ifndef COMOVE_FLOW_METRICS_H_
+#define COMOVE_FLOW_METRICS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/types.h"
+
+/// \file
+/// Latency/throughput metrics matching the paper's definitions (§7):
+/// latency is the average response time per snapshot (ingest to final
+/// result emission), throughput is the number of snapshots processed per
+/// second.
+
+namespace comove::flow {
+
+/// Aggregated results of one pipeline run.
+struct RunMetrics {
+  std::int64_t snapshots = 0;
+  double average_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+  double throughput_tps = 0.0;  ///< snapshots per second
+  double wall_seconds = 0.0;
+};
+
+/// Thread-safe per-snapshot latency collector. Stages call
+/// MarkIngest(time) when a snapshot enters the pipeline and
+/// MarkComplete(time) when its last result has been emitted.
+class SnapshotMetrics {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  void MarkIngest(Timestamp snapshot_time) {
+    const Clock::time_point now = Clock::now();
+    std::lock_guard<std::mutex> lock(mu_);
+    ingest_.emplace(snapshot_time, now);
+    if (!started_) {
+      start_ = now;
+      started_ = true;
+    }
+  }
+
+  void MarkComplete(Timestamp snapshot_time) {
+    const Clock::time_point now = Clock::now();
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = ingest_.find(snapshot_time);
+    COMOVE_CHECK_MSG(it != ingest_.end(),
+                     "snapshot %d completed without ingest mark",
+                     snapshot_time);
+    const double latency_ms =
+        std::chrono::duration<double, std::milli>(now - it->second).count();
+    ingest_.erase(it);
+    total_latency_ms_ += latency_ms;
+    if (latency_ms > max_latency_ms_) max_latency_ms_ = latency_ms;
+    ++completed_;
+    end_ = now;
+  }
+
+  /// Final aggregation; call after the pipeline has drained.
+  RunMetrics Collect() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    RunMetrics m;
+    m.snapshots = completed_;
+    if (completed_ > 0) {
+      m.average_latency_ms =
+          total_latency_ms_ / static_cast<double>(completed_);
+      m.max_latency_ms = max_latency_ms_;
+      m.wall_seconds = std::chrono::duration<double>(end_ - start_).count();
+      m.throughput_tps = m.wall_seconds > 0.0
+                             ? static_cast<double>(completed_) /
+                                   m.wall_seconds
+                             : 0.0;
+    }
+    return m;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<Timestamp, Clock::time_point> ingest_;
+  double total_latency_ms_ = 0.0;
+  double max_latency_ms_ = 0.0;
+  std::int64_t completed_ = 0;
+  bool started_ = false;
+  Clock::time_point start_{};
+  Clock::time_point end_{};
+};
+
+}  // namespace comove::flow
+
+#endif  // COMOVE_FLOW_METRICS_H_

@@ -1,0 +1,62 @@
+#ifndef COMOVE_FLOW_REORDER_BUFFER_H_
+#define COMOVE_FLOW_REORDER_BUFFER_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+/// \file
+/// Reorders time-stamped items back into ascending time order using
+/// watermarks: items may arrive out of order from parallel upstream
+/// subtasks; once the aligned watermark passes time t, everything at t has
+/// arrived and may be released.
+
+namespace comove::flow {
+
+/// Buffers items keyed by event time; DrainThrough(w) releases all items
+/// with time <= w in ascending time order.
+template <typename T>
+class TimeReorderBuffer {
+ public:
+  void Add(Timestamp time, T value) {
+    buffer_[time].push_back(std::move(value));
+  }
+
+  /// Releases (time, item) pairs for all buffered times <= `watermark`.
+  std::vector<std::pair<Timestamp, T>> DrainThrough(Timestamp watermark) {
+    std::vector<std::pair<Timestamp, T>> out;
+    while (!buffer_.empty() && buffer_.begin()->first <= watermark) {
+      const Timestamp t = buffer_.begin()->first;
+      for (T& v : buffer_.begin()->second) {
+        out.emplace_back(t, std::move(v));
+      }
+      buffer_.erase(buffer_.begin());
+    }
+    return out;
+  }
+
+  /// Releases everything regardless of watermark (stream end).
+  std::vector<std::pair<Timestamp, T>> DrainAll() {
+    std::vector<std::pair<Timestamp, T>> out;
+    for (auto& [t, items] : buffer_) {
+      for (T& v : items) out.emplace_back(t, std::move(v));
+    }
+    buffer_.clear();
+    return out;
+  }
+
+  std::size_t buffered() const {
+    std::size_t n = 0;
+    for (const auto& [t, items] : buffer_) n += items.size();
+    return n;
+  }
+
+ private:
+  std::map<Timestamp, std::vector<T>> buffer_;
+};
+
+}  // namespace comove::flow
+
+#endif  // COMOVE_FLOW_REORDER_BUFFER_H_

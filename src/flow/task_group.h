@@ -1,0 +1,55 @@
+#ifndef COMOVE_FLOW_TASK_GROUP_H_
+#define COMOVE_FLOW_TASK_GROUP_H_
+
+#include <functional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+/// \file
+/// Thread lifecycle helper for stage subtasks: spawn workers, join all on
+/// destruction (so a job cannot leak running threads past its scope).
+
+namespace comove::flow {
+
+/// Owns a set of worker threads; joins them in the destructor or on
+/// JoinAll(). Tasks must terminate on their own (channels signal
+/// end-of-stream), there is no cancellation.
+class TaskGroup {
+ public:
+  TaskGroup() = default;
+  ~TaskGroup() { JoinAll(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Starts a worker running `fn`.
+  void Spawn(std::function<void()> fn) {
+    threads_.emplace_back(std::move(fn));
+  }
+
+  /// Starts `count` workers, each receiving its index [0, count).
+  void SpawnIndexed(std::int32_t count,
+                    const std::function<void(std::int32_t)>& fn) {
+    for (std::int32_t i = 0; i < count; ++i) {
+      threads_.emplace_back([fn, i] { fn(i); });
+    }
+  }
+
+  /// Blocks until every spawned worker has finished.
+  void JoinAll() {
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    threads_.clear();
+  }
+
+  std::size_t size() const { return threads_.size(); }
+
+ private:
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace comove::flow
+
+#endif  // COMOVE_FLOW_TASK_GROUP_H_

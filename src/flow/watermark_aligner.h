@@ -1,0 +1,52 @@
+#ifndef COMOVE_FLOW_WATERMARK_ALIGNER_H_
+#define COMOVE_FLOW_WATERMARK_ALIGNER_H_
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+/// \file
+/// Watermark alignment across multiple producers feeding one subtask. The
+/// aligned watermark is the minimum of the per-producer watermarks; it only
+/// advances when the slowest producer advances.
+
+namespace comove::flow {
+
+/// Tracks per-producer watermarks and reports advances of their minimum.
+class WatermarkAligner {
+ public:
+  explicit WatermarkAligner(std::int32_t producer_count)
+      : marks_(static_cast<std::size_t>(producer_count),
+               std::numeric_limits<Timestamp>::min()) {
+    COMOVE_CHECK(producer_count > 0);
+  }
+
+  /// Records watermark `t` from `producer`. Returns the new aligned
+  /// watermark when the alignment advanced, nullopt otherwise.
+  std::optional<Timestamp> Update(std::int32_t producer, Timestamp t) {
+    auto& mark = marks_.at(static_cast<std::size_t>(producer));
+    mark = std::max(mark, t);
+    const Timestamp aligned = *std::min_element(marks_.begin(), marks_.end());
+    if (aligned > aligned_) {
+      aligned_ = aligned;
+      return aligned_;
+    }
+    return std::nullopt;
+  }
+
+  /// Current aligned watermark (min over producers); Timestamp::min until
+  /// every producer has reported at least once.
+  Timestamp aligned() const { return aligned_; }
+
+ private:
+  std::vector<Timestamp> marks_;
+  Timestamp aligned_ = std::numeric_limits<Timestamp>::min();
+};
+
+}  // namespace comove::flow
+
+#endif  // COMOVE_FLOW_WATERMARK_ALIGNER_H_

@@ -1,0 +1,98 @@
+#ifndef COMOVE_INDEX_GR_INDEX_H_
+#define COMOVE_INDEX_GR_INDEX_H_
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/geometry.h"
+#include "common/types.h"
+#include "index/grid_index.h"
+#include "index/rtree.h"
+
+/// \file
+/// The two-layered GR-index (§5.1): a grid index as the global layer with
+/// one local R-tree per non-empty grid cell. A GR-index is built per
+/// snapshot and discarded after querying, so no maintenance path exists.
+
+namespace comove {
+
+/// Two-layer grid + R-tree index over the points of one snapshot.
+class GRIndex {
+ public:
+  GRIndex(double cell_width, RTreeOptions rtree_options = {})
+      : grid_(cell_width), rtree_options_(rtree_options) {}
+
+  /// Inserts a point into the R-tree of its grid cell.
+  void Insert(const Point& p, TrajectoryId id) {
+    const GridKey key = grid_.KeyOf(p);
+    auto [it, inserted] = cells_.try_emplace(key, rtree_options_);
+    it->second.Insert(p, id);
+    ++size_;
+  }
+
+  /// Inserts a snapshot point by point.
+  void InsertSnapshot(const Snapshot& snapshot) {
+    for (const SnapshotEntry& e : snapshot.entries) {
+      Insert(e.location, e.id);
+    }
+  }
+
+  /// Builds the index for a snapshot with STR bulk loading: points are
+  /// bucketed per grid cell and each cell's R-tree is packed in one pass.
+  /// Only usable by build-then-query plans (the Lemma 2 interleaved plan
+  /// requires incremental insertion). Note: at typical GR-index cell
+  /// occupancies (tens of points) incremental insertion is actually
+  /// cheaper - STR pays off for large monolithic trees (see
+  /// bench_ablation_engine_modes). Requires an empty index.
+  void BulkLoadSnapshot(const Snapshot& snapshot) {
+    COMOVE_CHECK(size_ == 0);
+    std::unordered_map<GridKey, std::pair<std::vector<Point>,
+                                          std::vector<TrajectoryId>>,
+                       GridKeyHash>
+        buckets;
+    for (const SnapshotEntry& e : snapshot.entries) {
+      auto& [points, ids] = buckets[grid_.KeyOf(e.location)];
+      points.push_back(e.location);
+      ids.push_back(e.id);
+    }
+    for (auto& [key, bucket] : buckets) {
+      cells_.insert_or_assign(
+          key, RTree::BulkLoad(std::move(bucket.first),
+                               std::move(bucket.second), rtree_options_));
+    }
+    size_ = snapshot.entries.size();
+  }
+
+  /// Range query of Definition 10 over all cells intersecting the range
+  /// region: ids of points with L1 distance to `center` at most `eps`.
+  void QueryRange(const Point& center, double eps,
+                  std::vector<TrajectoryId>* out) const {
+    for (const GridKey& key :
+         grid_.KeysIntersecting(Rect::RangeRegion(center, eps))) {
+      auto it = cells_.find(key);
+      if (it != cells_.end()) it->second.QueryRange(center, eps, out);
+    }
+  }
+
+  const GridIndex& grid() const { return grid_; }
+  std::size_t size() const { return size_; }
+  std::size_t cell_count() const { return cells_.size(); }
+
+  /// The local R-tree of `key`, or nullptr when the cell is empty.
+  const RTree* cell(const GridKey& key) const {
+    auto it = cells_.find(key);
+    return it == cells_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  GridIndex grid_;
+  RTreeOptions rtree_options_;
+  std::unordered_map<GridKey, RTree, GridKeyHash> cells_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace comove
+
+#endif  // COMOVE_INDEX_GR_INDEX_H_

@@ -1,0 +1,100 @@
+#ifndef COMOVE_INDEX_GRID_INDEX_H_
+#define COMOVE_INDEX_GRID_INDEX_H_
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/check.h"
+#include "common/geometry.h"
+
+/// \file
+/// The global layer of the GR-index (§5.1): a uniform grid over the plane.
+/// The key of the cell containing o = (x, y) is <floor(x/lg), floor(y/lg)>
+/// where lg is the grid cell width. In the distributed framework each cell
+/// key doubles as the partitioning key that routes GridObjects to subtasks.
+
+namespace comove {
+
+/// Key of one grid cell.
+struct GridKey {
+  std::int32_t cx = 0;
+  std::int32_t cy = 0;
+
+  friend bool operator==(const GridKey& a, const GridKey& b) {
+    return a.cx == b.cx && a.cy == b.cy;
+  }
+  friend bool operator<(const GridKey& a, const GridKey& b) {
+    return a.cx != b.cx ? a.cx < b.cx : a.cy < b.cy;
+  }
+};
+
+/// Hash functor for GridKey (usable with std::unordered_map and as the
+/// stream-engine partitioning function).
+struct GridKeyHash {
+  std::size_t operator()(const GridKey& k) const {
+    // 2-D -> 1-D mix; the multiplier splits the bits of cx away from cy.
+    std::uint64_t h = (static_cast<std::uint64_t>(
+                           static_cast<std::uint32_t>(k.cx))
+                       << 32) |
+                      static_cast<std::uint32_t>(k.cy);
+    h ^= h >> 33;
+    h *= 0xFF51AFD7ED558CCDULL;
+    h ^= h >> 33;
+    h *= 0xC4CEB9FE1A85EC53ULL;
+    h ^= h >> 33;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Stateless grid geometry: key computation and cell-range enumeration.
+class GridIndex {
+ public:
+  /// \param cell_width the grid cell width lg (> 0)
+  explicit GridIndex(double cell_width) : cell_width_(cell_width) {
+    COMOVE_CHECK(cell_width > 0.0);
+  }
+
+  double cell_width() const { return cell_width_; }
+
+  /// Key of the cell containing `p` (§5.1 "Key Computation").
+  GridKey KeyOf(const Point& p) const {
+    return GridKey{Floor(p.x), Floor(p.y)};
+  }
+
+  /// All cell keys whose cells intersect the closed rectangle `region`.
+  std::vector<GridKey> KeysIntersecting(const Rect& region) const {
+    std::vector<GridKey> keys;
+    const std::int32_t x0 = Floor(region.min_x);
+    const std::int32_t x1 = Floor(region.max_x);
+    const std::int32_t y0 = Floor(region.min_y);
+    const std::int32_t y1 = Floor(region.max_y);
+    keys.reserve(static_cast<std::size_t>(x1 - x0 + 1) *
+                 static_cast<std::size_t>(y1 - y0 + 1));
+    for (std::int32_t cx = x0; cx <= x1; ++cx) {
+      for (std::int32_t cy = y0; cy <= y1; ++cy) {
+        keys.push_back(GridKey{cx, cy});
+      }
+    }
+    return keys;
+  }
+
+  /// The spatial extent of cell `key`.
+  Rect CellRect(const GridKey& key) const {
+    const double x = static_cast<double>(key.cx) * cell_width_;
+    const double y = static_cast<double>(key.cy) * cell_width_;
+    return Rect{x, y, x + cell_width_, y + cell_width_};
+  }
+
+ private:
+  std::int32_t Floor(double v) const {
+    return static_cast<std::int32_t>(std::floor(v / cell_width_));
+  }
+
+  double cell_width_;
+};
+
+}  // namespace comove
+
+#endif  // COMOVE_INDEX_GRID_INDEX_H_

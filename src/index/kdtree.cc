@@ -1,0 +1,103 @@
+#include "index/kdtree.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace comove {
+
+KdTree KdTree::Build(std::vector<Point> points,
+                     std::vector<TrajectoryId> ids) {
+  COMOVE_CHECK(points.size() == ids.size());
+  KdTree tree;
+  tree.points_ = std::move(points);
+  tree.ids_ = std::move(ids);
+  if (!tree.points_.empty()) {
+    tree.BuildRange(0, tree.points_.size(), 0);
+  }
+  return tree;
+}
+
+void KdTree::BuildRange(std::size_t begin, std::size_t end, int axis) {
+  if (end - begin <= 1) return;
+  const std::size_t mid = begin + (end - begin) / 2;
+  // Co-sort points_ and ids_ around the median along `axis`.
+  std::vector<std::size_t> order(end - begin);
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = begin + i;
+  std::nth_element(order.begin(),
+                   order.begin() + static_cast<std::ptrdiff_t>(mid - begin),
+                   order.end(), [&](std::size_t a, std::size_t b) {
+                     return axis == 0 ? points_[a].x < points_[b].x
+                                      : points_[a].y < points_[b].y;
+                   });
+  // Apply the permutation to the [begin, end) slice.
+  std::vector<Point> tmp_points(order.size());
+  std::vector<TrajectoryId> tmp_ids(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    tmp_points[i] = points_[order[i]];
+    tmp_ids[i] = ids_[order[i]];
+  }
+  std::copy(tmp_points.begin(), tmp_points.end(),
+            points_.begin() + static_cast<std::ptrdiff_t>(begin));
+  std::copy(tmp_ids.begin(), tmp_ids.end(),
+            ids_.begin() + static_cast<std::ptrdiff_t>(begin));
+  BuildRange(begin, mid, 1 - axis);
+  BuildRange(mid + 1, end, 1 - axis);
+}
+
+void KdTree::QueryRect(
+    const Rect& region,
+    const std::function<void(TrajectoryId, const Point&)>& fn) const {
+  if (!points_.empty()) QueryRange(0, points_.size(), 0, region, fn);
+}
+
+void KdTree::QueryRange(
+    std::size_t begin, std::size_t end, int axis, const Rect& region,
+    const std::function<void(TrajectoryId, const Point&)>& fn) const {
+  if (begin >= end) return;
+  const std::size_t mid = begin + (end - begin) / 2;
+  const Point& p = points_[mid];
+  if (region.Contains(p)) fn(ids_[mid], p);
+  const double coord = axis == 0 ? p.x : p.y;
+  const double lo = axis == 0 ? region.min_x : region.min_y;
+  const double hi = axis == 0 ? region.max_x : region.max_y;
+  if (lo <= coord) QueryRange(begin, mid, 1 - axis, region, fn);
+  if (hi >= coord) QueryRange(mid + 1, end, 1 - axis, region, fn);
+}
+
+void KdTree::QueryRange(const Point& center, double eps,
+                        std::vector<TrajectoryId>* out,
+                        DistanceMetric metric) const {
+  QueryRect(Rect::RangeRegion(center, eps),
+            [&](TrajectoryId id, const Point& p) {
+              if (Distance(metric, center, p) <= eps) out->push_back(id);
+            });
+}
+
+bool KdTree::CheckRange(std::size_t begin, std::size_t end, int axis,
+                        const Rect& bounds) const {
+  if (begin >= end) return true;
+  const std::size_t mid = begin + (end - begin) / 2;
+  const Point& p = points_[mid];
+  if (!bounds.Contains(p)) return false;
+  Rect left = bounds;
+  Rect right = bounds;
+  if (axis == 0) {
+    left.max_x = p.x;
+    right.min_x = p.x;
+  } else {
+    left.max_y = p.y;
+    right.min_y = p.y;
+  }
+  return CheckRange(begin, mid, 1 - axis, left) &&
+         CheckRange(mid + 1, end, 1 - axis, right);
+}
+
+bool KdTree::CheckInvariants() const {
+  if (points_.empty()) return ids_.empty();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  return CheckRange(0, points_.size(), 0, Rect{-kInf, -kInf, kInf, kInf});
+}
+
+}  // namespace comove

@@ -1,0 +1,65 @@
+#ifndef COMOVE_INDEX_KDTREE_H_
+#define COMOVE_INDEX_KDTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/types.h"
+
+/// \file
+/// A static 2-d tree over points: an alternative local index for the
+/// GR-index's build-then-query plans. Built in O(n log n) by median
+/// splitting; immutable afterwards (the Lemma 2 interleaved plan needs
+/// incremental insertion and therefore the R-tree). Exists to make the
+/// "local index" of §5.1 genuinely pluggable and to quantify the choice
+/// (see bench_ablation_engine_modes).
+
+namespace comove {
+
+/// Immutable balanced kd-tree over points with payload ids.
+class KdTree {
+ public:
+  /// Builds from parallel point/id arrays (O(n log n)).
+  static KdTree Build(std::vector<Point> points,
+                      std::vector<TrajectoryId> ids);
+
+  KdTree() = default;
+
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  /// Invokes `fn(id, point)` for every point inside the closed `region`.
+  void QueryRect(const Rect& region,
+                 const std::function<void(TrajectoryId, const Point&)>& fn)
+      const;
+
+  /// Range query of Definition 10 under the given metric.
+  void QueryRange(const Point& center, double eps,
+                  std::vector<TrajectoryId>* out,
+                  DistanceMetric metric = DistanceMetric::kL1) const;
+
+  /// Structural check: each node's point partitions its subtrees along
+  /// the node's axis. For tests.
+  bool CheckInvariants() const;
+
+ private:
+  /// Nodes are stored implicitly: node i spans [begin, end) of the
+  /// reordered arrays, with the median at the midpoint and the splitting
+  /// axis alternating by depth. No child pointers needed.
+  void BuildRange(std::size_t begin, std::size_t end, int axis);
+  void QueryRange(std::size_t begin, std::size_t end, int axis,
+                  const Rect& region,
+                  const std::function<void(TrajectoryId, const Point&)>& fn)
+      const;
+  bool CheckRange(std::size_t begin, std::size_t end, int axis,
+                  const Rect& bounds) const;
+
+  std::vector<Point> points_;
+  std::vector<TrajectoryId> ids_;
+};
+
+}  // namespace comove
+
+#endif  // COMOVE_INDEX_KDTREE_H_

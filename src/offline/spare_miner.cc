@@ -1,0 +1,161 @@
+#include "offline/spare_miner.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+#include "common/time_sequence.h"
+
+namespace comove::offline {
+
+namespace {
+
+/// Sorted-vector intersection of two time lists.
+std::vector<Timestamp> IntersectTimes(const std::vector<Timestamp>& a,
+                                      const std::vector<Timestamp>& b) {
+  std::vector<Timestamp> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+/// Apriori enumeration inside one star: grow neighbour subsets in
+/// increasing id order, intersecting time lists; prune as soon as the
+/// intersection cannot satisfy (K, L, G) (monotone under intersection).
+class StarEnumerator {
+ public:
+  StarEnumerator(const StarPartition& star,
+                 const PatternConstraints& constraints,
+                 std::vector<CoMovementPattern>* out)
+      : star_(star), constraints_(constraints), out_(out) {}
+
+  void Run() {
+    chosen_.clear();
+    Recurse(0, {});
+  }
+
+ private:
+  void Recurse(std::size_t start, const std::vector<Timestamp>& times) {
+    for (std::size_t i = start; i < star_.neighbor_ids.size(); ++i) {
+      std::vector<Timestamp> combined =
+          chosen_.empty() ? star_.co_times[i]
+                          : IntersectTimes(times, star_.co_times[i]);
+      // Apriori prune: intersections only shrink.
+      if (static_cast<std::int32_t>(combined.size()) < constraints_.k) {
+        continue;
+      }
+      chosen_.push_back(i);
+      const auto level = static_cast<std::int32_t>(chosen_.size());
+      if (level >= constraints_.m - 1) {
+        std::vector<Timestamp> witness =
+            BestQualifyingSubsequence(combined, constraints_);
+        if (!witness.empty()) {
+          Emit(std::move(witness));
+          Recurse(i + 1, combined);
+        }
+        // Invalid at this level: all supersets are invalid too (their
+        // time lists are subsets). This is the same monotonicity the
+        // streaming FBA/VBA exploit.
+      } else {
+        Recurse(i + 1, combined);
+      }
+      chosen_.pop_back();
+    }
+  }
+
+  void Emit(std::vector<Timestamp> witness) {
+    CoMovementPattern pattern;
+    pattern.objects.reserve(chosen_.size() + 1);
+    pattern.objects.push_back(star_.center);
+    for (const std::size_t i : chosen_) {
+      pattern.objects.push_back(star_.neighbor_ids[i]);
+    }
+    std::sort(pattern.objects.begin(), pattern.objects.end());
+    pattern.times = std::move(witness);
+    out_->push_back(std::move(pattern));
+  }
+
+  const StarPartition& star_;
+  const PatternConstraints& constraints_;
+  std::vector<CoMovementPattern>* out_;
+  std::vector<std::size_t> chosen_;
+};
+
+}  // namespace
+
+std::vector<StarPartition> BuildStarPartitions(
+    const std::vector<ClusterSnapshot>& history,
+    const PatternConstraints& constraints) {
+  COMOVE_CHECK(constraints.IsValid());
+  // center -> neighbour -> co-clustered times.
+  std::map<TrajectoryId, std::map<TrajectoryId, std::vector<Timestamp>>>
+      stars;
+  for (const ClusterSnapshot& snapshot : history) {
+    for (const Cluster& cluster : snapshot.clusters) {
+      if (static_cast<std::int32_t>(cluster.members.size()) <
+          constraints.m) {
+        continue;  // Lemma 3: too small to host any pattern
+      }
+      for (std::size_t i = 0; i < cluster.members.size(); ++i) {
+        for (std::size_t j = i + 1; j < cluster.members.size(); ++j) {
+          stars[cluster.members[i]][cluster.members[j]].push_back(
+              snapshot.time);
+        }
+      }
+    }
+  }
+  std::vector<StarPartition> out;
+  for (auto& [center, neighbors] : stars) {
+    if (static_cast<std::int32_t>(neighbors.size()) < constraints.m - 1) {
+      continue;
+    }
+    StarPartition star;
+    star.center = center;
+    for (auto& [id, times] : neighbors) {
+      std::sort(times.begin(), times.end());
+      times.erase(std::unique(times.begin(), times.end()), times.end());
+      star.neighbor_ids.push_back(id);
+      star.co_times.push_back(std::move(times));
+    }
+    out.push_back(std::move(star));
+  }
+  return out;
+}
+
+std::vector<CoMovementPattern> MineOffline(
+    const std::vector<ClusterSnapshot>& history,
+    const PatternConstraints& constraints) {
+  std::vector<CoMovementPattern> raw;
+  for (const StarPartition& star :
+       BuildStarPartitions(history, constraints)) {
+    // Candidate filter: a neighbour whose own co-time list cannot qualify
+    // can never appear in a valid pattern of this star.
+    StarPartition filtered;
+    filtered.center = star.center;
+    for (std::size_t i = 0; i < star.neighbor_ids.size(); ++i) {
+      if (HasQualifyingSubsequence(star.co_times[i], constraints)) {
+        filtered.neighbor_ids.push_back(star.neighbor_ids[i]);
+        filtered.co_times.push_back(star.co_times[i]);
+      }
+    }
+    if (static_cast<std::int32_t>(filtered.neighbor_ids.size()) <
+        constraints.m - 1) {
+      continue;
+    }
+    StarEnumerator(filtered, constraints, &raw).Run();
+  }
+  // Dedup by object set, keeping the longest witness.
+  std::map<std::vector<TrajectoryId>, CoMovementPattern> dedup;
+  for (CoMovementPattern& p : raw) {
+    auto [it, inserted] = dedup.try_emplace(p.objects, p);
+    if (!inserted && p.times.size() > it->second.times.size()) {
+      it->second = std::move(p);
+    }
+  }
+  std::vector<CoMovementPattern> out;
+  out.reserve(dedup.size());
+  for (auto& [objects, p] : dedup) out.push_back(std::move(p));
+  return out;
+}
+
+}  // namespace comove::offline

@@ -1,0 +1,56 @@
+#ifndef COMOVE_OFFLINE_SPARE_MINER_H_
+#define COMOVE_OFFLINE_SPARE_MINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/constraints.h"
+#include "common/types.h"
+
+/// \file
+/// Offline (historical) co-movement pattern mining in the style of SPARE
+/// (Fan et al. [10]), the system the paper adapts into its streaming
+/// baseline. SPARE assumes the whole trajectory history is available and
+/// partitions it with *star partitioning*: for every object o, the star
+/// S(o) holds every object o' > o that ever shares a cluster with o,
+/// together with the full list of their co-clustered times. Patterns
+/// anchored at o are then mined inside S(o) with apriori enumeration over
+/// time-list intersections.
+///
+/// The paper's §1 observation is precisely that this partitioning cannot
+/// work online: whether o and o' are related is only known once all data
+/// has been seen. This module exists (a) as the honest offline baseline
+/// for benchmarks, and (b) as an independent oracle for the streaming
+/// enumerators - on any finite stream, offline and online mining must
+/// agree exactly (tests enforce this).
+
+namespace comove::offline {
+
+/// One star partition S(o).
+struct StarPartition {
+  TrajectoryId center = 0;
+  /// Neighbours with id > center that ever co-cluster with the center,
+  /// ascending by id, each with the sorted times of co-clustering.
+  std::vector<TrajectoryId> neighbor_ids;
+  std::vector<std::vector<Timestamp>> co_times;
+};
+
+/// Builds all star partitions of a clustered history. Cluster snapshots
+/// may arrive in any order; member lists must be sorted (the library
+/// contract). Stars whose neighbour count cannot satisfy M-1 are dropped
+/// (Lemma 3 analogue).
+std::vector<StarPartition> BuildStarPartitions(
+    const std::vector<ClusterSnapshot>& history,
+    const PatternConstraints& constraints);
+
+/// Mines all CP(M, K, L, G) patterns from a clustered history: star
+/// partitioning + apriori enumeration with time-list intersection.
+/// Returns deduplicated patterns sorted by object set, each with its
+/// longest qualifying witness.
+std::vector<CoMovementPattern> MineOffline(
+    const std::vector<ClusterSnapshot>& history,
+    const PatternConstraints& constraints);
+
+}  // namespace comove::offline
+
+#endif  // COMOVE_OFFLINE_SPARE_MINER_H_

@@ -1,0 +1,132 @@
+#include "pattern/analysis.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+namespace comove::pattern {
+
+namespace {
+
+/// True when `inner` (sorted) is a subset of `outer` (sorted).
+template <typename T>
+bool IsSubset(const std::vector<T>& inner, const std::vector<T>& outer) {
+  return std::includes(outer.begin(), outer.end(), inner.begin(),
+                       inner.end());
+}
+
+}  // namespace
+
+std::vector<CoMovementPattern> FilterMaximalPatterns(
+    std::vector<CoMovementPattern> patterns) {
+  std::vector<bool> dominated(patterns.size(), false);
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    if (dominated[i]) continue;
+    for (std::size_t j = 0; j < patterns.size(); ++j) {
+      if (dominated[i]) break;
+      if (i == j || dominated[j]) continue;
+      const bool strict_subset =
+          patterns[i].objects.size() < patterns[j].objects.size() &&
+          IsSubset(patterns[i].objects, patterns[j].objects);
+      if (strict_subset && IsSubset(patterns[i].times, patterns[j].times)) {
+        dominated[i] = true;
+      }
+    }
+  }
+  std::vector<CoMovementPattern> out;
+  out.reserve(patterns.size());
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    if (!dominated[i]) out.push_back(std::move(patterns[i]));
+  }
+  return out;
+}
+
+PatternStatistics ComputePatternStatistics(
+    const std::vector<CoMovementPattern>& patterns) {
+  PatternStatistics stats;
+  stats.pattern_count = static_cast<std::int64_t>(patterns.size());
+  std::unordered_set<TrajectoryId> objects;
+  double size_sum = 0;
+  double duration_sum = 0;
+  for (const CoMovementPattern& p : patterns) {
+    const auto size = static_cast<std::int64_t>(p.objects.size());
+    const auto duration = static_cast<std::int64_t>(p.times.size());
+    size_sum += static_cast<double>(size);
+    duration_sum += static_cast<double>(duration);
+    stats.max_size = std::max(stats.max_size, size);
+    stats.max_duration = std::max(stats.max_duration, duration);
+    ++stats.size_histogram[size];
+    objects.insert(p.objects.begin(), p.objects.end());
+  }
+  stats.distinct_objects = static_cast<std::int64_t>(objects.size());
+  if (!patterns.empty()) {
+    stats.mean_size = size_sum / static_cast<double>(patterns.size());
+    stats.mean_duration =
+        duration_sum / static_cast<double>(patterns.size());
+  }
+  return stats;
+}
+
+CoMovementGraph CoMovementGraph::FromPatterns(
+    const std::vector<CoMovementPattern>& patterns) {
+  CoMovementGraph graph;
+  for (const CoMovementPattern& p : patterns) {
+    const auto weight = static_cast<std::int64_t>(p.times.size());
+    for (std::size_t i = 0; i < p.objects.size(); ++i) {
+      for (std::size_t j = i + 1; j < p.objects.size(); ++j) {
+        const TrajectoryId a = p.objects[i];
+        const TrajectoryId b = p.objects[j];
+        auto [it, inserted] = graph.adjacency_[a].try_emplace(b, weight);
+        if (inserted) {
+          graph.adjacency_[b].emplace(a, weight);
+          ++graph.edge_count_;
+        } else if (weight > it->second) {
+          it->second = weight;
+          graph.adjacency_[b][a] = weight;
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+std::int64_t CoMovementGraph::EdgeWeight(TrajectoryId a,
+                                         TrajectoryId b) const {
+  const auto it = adjacency_.find(a);
+  if (it == adjacency_.end()) return 0;
+  const auto edge = it->second.find(b);
+  return edge == it->second.end() ? 0 : edge->second;
+}
+
+std::int64_t CoMovementGraph::Degree(TrajectoryId id) const {
+  const auto it = adjacency_.find(id);
+  return it == adjacency_.end()
+             ? 0
+             : static_cast<std::int64_t>(it->second.size());
+}
+
+std::vector<std::vector<TrajectoryId>> CoMovementGraph::Components() const {
+  std::vector<std::vector<TrajectoryId>> components;
+  std::set<TrajectoryId> visited;
+  for (const auto& [seed, edges] : adjacency_) {
+    if (visited.count(seed)) continue;
+    std::vector<TrajectoryId> component;
+    std::vector<TrajectoryId> stack = {seed};
+    visited.insert(seed);
+    while (!stack.empty()) {
+      const TrajectoryId u = stack.back();
+      stack.pop_back();
+      component.push_back(u);
+      for (const auto& [v, w] : adjacency_.at(u)) {
+        if (visited.insert(v).second) stack.push_back(v);
+      }
+    }
+    std::sort(component.begin(), component.end());
+    components.push_back(std::move(component));
+  }
+  std::sort(components.begin(), components.end(),
+            [](const auto& a, const auto& b) { return a[0] < b[0]; });
+  return components;
+}
+
+}  // namespace comove::pattern

@@ -1,0 +1,72 @@
+#ifndef COMOVE_PATTERN_ANALYSIS_H_
+#define COMOVE_PATTERN_ANALYSIS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+
+/// \file
+/// Post-processing of detected pattern sets. The general CP definition is
+/// closed under object subsets, so raw enumerator output contains every
+/// qualifying subset of each travelling group; downstream applications
+/// usually want the maximal patterns, summary statistics, or the induced
+/// co-movement relation between objects.
+
+namespace comove::pattern {
+
+/// Removes every pattern dominated by another: P is dominated by Q when
+/// P.objects is a strict subset of Q.objects and P's witness times are a
+/// subset of Q's. What remains are the maximal patterns (by object set,
+/// at equal-or-better time support). Input order is preserved.
+std::vector<CoMovementPattern> FilterMaximalPatterns(
+    std::vector<CoMovementPattern> patterns);
+
+/// Summary statistics over a pattern set.
+struct PatternStatistics {
+  std::int64_t pattern_count = 0;
+  std::int64_t distinct_objects = 0;
+  double mean_size = 0.0;           ///< objects per pattern
+  double mean_duration = 0.0;       ///< |T| per pattern
+  std::int64_t max_size = 0;
+  std::int64_t max_duration = 0;
+  /// Histogram: pattern size -> count.
+  std::map<std::int64_t, std::int64_t> size_histogram;
+};
+
+PatternStatistics ComputePatternStatistics(
+    const std::vector<CoMovementPattern>& patterns);
+
+/// The co-movement relation induced by a pattern set: an undirected graph
+/// over objects where an edge's weight is the longest witness duration of
+/// any pattern containing both endpoints.
+class CoMovementGraph {
+ public:
+  /// Builds the graph from patterns (every pair within each pattern).
+  static CoMovementGraph FromPatterns(
+      const std::vector<CoMovementPattern>& patterns);
+
+  /// Longest shared witness duration, or 0 when a and b never co-move.
+  std::int64_t EdgeWeight(TrajectoryId a, TrajectoryId b) const;
+
+  /// Number of distinct co-movers of `id`.
+  std::int64_t Degree(TrajectoryId id) const;
+
+  /// Connected components ("travel communities"), each sorted ascending,
+  /// ordered by smallest member. Objects with no edges are omitted.
+  std::vector<std::vector<TrajectoryId>> Components() const;
+
+  std::int64_t node_count() const {
+    return static_cast<std::int64_t>(adjacency_.size());
+  }
+  std::int64_t edge_count() const { return edge_count_; }
+
+ private:
+  std::map<TrajectoryId, std::map<TrajectoryId, std::int64_t>> adjacency_;
+  std::int64_t edge_count_ = 0;
+};
+
+}  // namespace comove::pattern
+
+#endif  // COMOVE_PATTERN_ANALYSIS_H_

@@ -1,0 +1,189 @@
+#include "pattern/bitstring.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/check.h"
+#include "common/time_sequence.h"
+
+namespace comove::pattern {
+
+namespace {
+constexpr std::int32_t kBitsPerWord = 64;
+
+std::size_t WordCount(std::int32_t bits) {
+  return static_cast<std::size_t>((bits + kBitsPerWord - 1) / kBitsPerWord);
+}
+}  // namespace
+
+BitString::BitString(Timestamp start_time, std::int32_t length)
+    : start_time_(start_time),
+      length_(length),
+      words_(WordCount(length), 0) {
+  COMOVE_CHECK(length >= 0);
+}
+
+BitString BitString::FromTimes(Timestamp start_time, std::int32_t length,
+                               const std::vector<Timestamp>& times) {
+  BitString b(start_time, length);
+  for (const Timestamp t : times) {
+    const std::int32_t j = t - start_time;
+    if (j >= 0 && j < length) b.Set(j, true);
+  }
+  return b;
+}
+
+bool BitString::Get(std::int32_t j) const {
+  COMOVE_CHECK(j >= 0 && j < length_);
+  return (words_[static_cast<std::size_t>(j / kBitsPerWord)] >>
+          (j % kBitsPerWord)) &
+         1ULL;
+}
+
+void BitString::Set(std::int32_t j, bool value) {
+  COMOVE_CHECK(j >= 0 && j < length_);
+  const std::uint64_t mask = 1ULL << (j % kBitsPerWord);
+  auto& word = words_[static_cast<std::size_t>(j / kBitsPerWord)];
+  if (value) {
+    word |= mask;
+  } else {
+    word &= ~mask;
+  }
+}
+
+void BitString::Append(bool value) {
+  ++length_;
+  if (WordCount(length_) > words_.size()) words_.push_back(0);
+  Set(length_ - 1, value);
+}
+
+std::int32_t BitString::CountOnes() const {
+  std::int32_t count = 0;
+  for (const std::uint64_t w : words_) count += std::popcount(w);
+  return count;
+}
+
+std::int32_t BitString::LastOne() const {
+  for (std::int32_t wi = static_cast<std::int32_t>(words_.size()) - 1;
+       wi >= 0; --wi) {
+    if (words_[static_cast<std::size_t>(wi)] != 0) {
+      const int high =
+          63 - std::countl_zero(words_[static_cast<std::size_t>(wi)]);
+      return wi * kBitsPerWord + high;
+    }
+  }
+  return -1;
+}
+
+std::int32_t BitString::FirstOne() const {
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    if (words_[wi] != 0) {
+      return static_cast<std::int32_t>(wi) * kBitsPerWord +
+             std::countr_zero(words_[wi]);
+    }
+  }
+  return -1;
+}
+
+std::int32_t BitString::TrailingZeros() const {
+  const std::int32_t last = LastOne();
+  return last < 0 ? length_ : length_ - 1 - last;
+}
+
+std::vector<Timestamp> BitString::OneTimes() const {
+  std::vector<Timestamp> times;
+  times.reserve(static_cast<std::size_t>(CountOnes()));
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    std::uint64_t w = words_[wi];
+    while (w != 0) {
+      const int bit = std::countr_zero(w);
+      times.push_back(start_time_ +
+                      static_cast<Timestamp>(wi) * kBitsPerWord + bit);
+      w &= w - 1;
+    }
+  }
+  return times;
+}
+
+BitString BitString::AndAligned(const BitString& a, const BitString& b) {
+  const Timestamp start = std::max(a.start_time_, b.start_time_);
+  const Timestamp end = std::min(a.start_time_ + a.length_,
+                                 b.start_time_ + b.length_);
+  if (end <= start) return BitString(start, 0);
+  BitString out(start, end - start);
+  // Word-level AND with per-operand shifts.
+  const std::int32_t off_a = start - a.start_time_;
+  const std::int32_t off_b = start - b.start_time_;
+  for (std::int32_t j = 0; j < out.length_; j += kBitsPerWord) {
+    const std::int32_t chunk = std::min(kBitsPerWord, out.length_ - j);
+    const std::uint64_t wa = a.ExtractWord(off_a + j);
+    const std::uint64_t wb = b.ExtractWord(off_b + j);
+    std::uint64_t w = wa & wb;
+    if (chunk < kBitsPerWord) w &= (1ULL << chunk) - 1;
+    out.words_[static_cast<std::size_t>(j / kBitsPerWord)] = w;
+  }
+  return out;
+}
+
+std::uint64_t BitString::ExtractWord(std::int32_t pos) const {
+  COMOVE_CHECK(pos >= 0);
+  const std::int32_t word = pos / kBitsPerWord;
+  const std::int32_t shift = pos % kBitsPerWord;
+  const auto at = [&](std::int32_t wi) -> std::uint64_t {
+    return wi < static_cast<std::int32_t>(words_.size())
+               ? words_[static_cast<std::size_t>(wi)]
+               : 0;
+  };
+  std::uint64_t w = at(word) >> shift;
+  if (shift != 0) w |= at(word + 1) << (kBitsPerWord - shift);
+  return w;
+}
+
+bool BitString::SatisfiesKLG(const PatternConstraints& c) const {
+  return HasQualifyingSubsequence(OneTimes(), c);
+}
+
+void BitString::TrimTrailingZeros() {
+  length_ = LastOne() + 1;
+  words_.resize(WordCount(length_));
+  if (!words_.empty() && length_ % kBitsPerWord != 0) {
+    words_.back() &= (1ULL << (length_ % kBitsPerWord)) - 1;
+  }
+}
+
+void BitString::Serialize(BinaryWriter* writer) const {
+  writer->WriteI32(start_time_);
+  writer->WriteI32(length_);
+  writer->WriteU64(words_.size());
+  for (const std::uint64_t w : words_) writer->WriteU64(w);
+}
+
+bool BitString::Deserialize(BinaryReader* reader) {
+  *this = BitString();
+  const Timestamp start = reader->ReadI32();
+  const std::int32_t length = reader->ReadI32();
+  const std::uint64_t word_count = reader->ReadU64();
+  if (!reader->ok() || length < 0 ||
+      word_count != WordCount(length)) {
+    return false;
+  }
+  std::vector<std::uint64_t> words;
+  words.reserve(word_count);
+  for (std::uint64_t i = 0; i < word_count; ++i) {
+    words.push_back(reader->ReadU64());
+  }
+  if (!reader->ok()) return false;
+  start_time_ = start;
+  length_ = length;
+  words_ = std::move(words);
+  return true;
+}
+
+std::string BitString::ToString() const {
+  std::string s;
+  s.reserve(static_cast<std::size_t>(length_));
+  for (std::int32_t j = 0; j < length_; ++j) s.push_back(Get(j) ? '1' : '0');
+  return s;
+}
+
+}  // namespace comove::pattern

@@ -1,0 +1,101 @@
+#ifndef COMOVE_PATTERN_BITSTRING_H_
+#define COMOVE_PATTERN_BITSTRING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/constraints.h"
+#include "common/serde.h"
+#include "common/types.h"
+
+/// \file
+/// Bit-compressed cluster-membership strings (§6.2, §6.3). Bit j of a
+/// trajectory's string records whether it shared a cluster with the
+/// partition owner at time start_time + j. Fixed-length strings (FBA) are
+/// always eta bits; variable-length strings (VBA) grow per snapshot.
+/// Storage is packed 64 bits per word - the point of the technique is the
+/// O(eta * |P|) memory bound, so the packing is real, not a vector<bool>
+/// stand-in.
+
+namespace comove::pattern {
+
+/// A packed bit string anchored at a start time.
+class BitString {
+ public:
+  BitString() = default;
+
+  /// A string of `length` zero bits starting at `start_time`.
+  BitString(Timestamp start_time, std::int32_t length);
+
+  /// Fixed-length construction: bits from the set positions in `times`
+  /// (absolute timestamps), window [start_time, start_time + length).
+  /// Times outside the window are ignored.
+  static BitString FromTimes(Timestamp start_time, std::int32_t length,
+                             const std::vector<Timestamp>& times);
+
+  Timestamp start_time() const { return start_time_; }
+  std::int32_t length() const { return length_; }
+  bool empty() const { return length_ == 0; }
+
+  /// Absolute time of bit index j.
+  Timestamp TimeAt(std::int32_t j) const { return start_time_ + j; }
+
+  bool Get(std::int32_t j) const;
+  void Set(std::int32_t j, bool value);
+
+  /// Appends one bit (variable-length growth).
+  void Append(bool value);
+
+  std::int32_t CountOnes() const;
+
+  /// Index of the last set bit, or -1 when all-zero.
+  std::int32_t LastOne() const;
+  /// Index of the first set bit, or -1 when all-zero.
+  std::int32_t FirstOne() const;
+
+  /// Number of trailing zero bits (== length when all-zero).
+  std::int32_t TrailingZeros() const;
+
+  /// Absolute times of all set bits, ascending.
+  std::vector<Timestamp> OneTimes() const;
+
+  /// Bitwise AND aligned by absolute time: the result covers the
+  /// intersection [max(starts), min(ends)); empty intersection yields an
+  /// empty string. This is the pattern-composition operator B[O] = &B[ox].
+  static BitString AndAligned(const BitString& a, const BitString& b);
+
+  /// True when the set bits admit a (K, L, G)-qualifying subsequence: the
+  /// candidate filter of FBA/VBA.
+  bool SatisfiesKLG(const PatternConstraints& c) const;
+
+  /// Drops trailing zero bits (used when closing a variable string).
+  void TrimTrailingZeros();
+
+  /// "101100"-style rendering for logs and tests.
+  std::string ToString() const;
+
+  /// Appends the string's state to a checkpoint.
+  void Serialize(BinaryWriter* writer) const;
+
+  /// Reads a string from a checkpoint; false on corrupt data (the object
+  /// is left empty in that case).
+  [[nodiscard]] bool Deserialize(BinaryReader* reader);
+
+  friend bool operator==(const BitString& a, const BitString& b) {
+    return a.start_time_ == b.start_time_ && a.length_ == b.length_ &&
+           a.words_ == b.words_;
+  }
+
+ private:
+  /// 64 bits starting at bit offset `pos` (bits past length read as 0).
+  std::uint64_t ExtractWord(std::int32_t pos) const;
+
+  Timestamp start_time_ = 0;
+  std::int32_t length_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace comove::pattern
+
+#endif  // COMOVE_PATTERN_BITSTRING_H_

@@ -1,0 +1,248 @@
+#include "pattern/fixed_bit_enumerator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/time_sequence.h"
+
+namespace comove::pattern {
+
+namespace {
+
+/// Recursive apriori enumeration. Indices are chosen in increasing order;
+/// validity is evaluated from cardinality m_minus_one on, and only valid
+/// patterns are extended (monotonicity: AND can only clear bits). Below
+/// the target cardinality partial ANDs are pruned by the generalised
+/// Lemma 8 check (fewer than K ones can never reach duration K).
+class AprioriEnumerator {
+ public:
+  AprioriEnumerator(const std::vector<TrajectoryId>& ids,
+                    const std::vector<BitString>& bits, TrajectoryId owner,
+                    const PatternConstraints& constraints,
+                    bool first_mandatory, const PatternSink& sink)
+      : ids_(ids),
+        bits_(bits),
+        owner_(owner),
+        constraints_(constraints),
+        first_mandatory_(first_mandatory),
+        sink_(sink) {}
+
+  void Run() {
+    chosen_.clear();
+    if (!first_mandatory_) {
+      Recurse(0, BitString());
+      return;
+    }
+    // Element 0 is mandatory (VBA: the newly closed string); every emitted
+    // set contains it, so no previously known pattern is re-enumerated.
+    if (ids_.empty()) return;
+    const BitString& seed = bits_[0];
+    if (seed.CountOnes() < constraints_.k) return;
+    chosen_.push_back(0);
+    if (1 >= constraints_.m - 1) {
+      if (seed.SatisfiesKLG(constraints_)) {
+        Emit(seed);
+        Recurse(1, seed);
+      }
+    } else {
+      Recurse(1, seed);
+    }
+  }
+
+ private:
+  void Recurse(std::size_t start, const BitString& partial) {
+    for (std::size_t i = start; i < ids_.size(); ++i) {
+      BitString combined = chosen_.empty()
+                               ? bits_[i]
+                               : BitString::AndAligned(partial, bits_[i]);
+      // Generalised Lemma 8: not enough ones left for duration K.
+      if (combined.CountOnes() < constraints_.k) continue;
+      chosen_.push_back(i);
+      const auto level = static_cast<std::int32_t>(chosen_.size());
+      if (level >= constraints_.m - 1) {
+        if (combined.SatisfiesKLG(constraints_)) {
+          Emit(combined);
+          Recurse(i + 1, combined);
+        }
+        // Invalid at this level: apriori property prunes all supersets.
+      } else {
+        Recurse(i + 1, combined);
+      }
+      chosen_.pop_back();
+    }
+  }
+
+  void Emit(const BitString& combined) {
+    CoMovementPattern pattern;
+    pattern.objects.reserve(chosen_.size() + 1);
+    for (const std::size_t i : chosen_) pattern.objects.push_back(ids_[i]);
+    pattern.objects.push_back(owner_);
+    std::sort(pattern.objects.begin(), pattern.objects.end());
+    pattern.times =
+        BestQualifyingSubsequence(combined.OneTimes(), constraints_);
+    sink_(pattern);
+  }
+
+  const std::vector<TrajectoryId>& ids_;
+  const std::vector<BitString>& bits_;
+  const TrajectoryId owner_;
+  const PatternConstraints& constraints_;
+  const bool first_mandatory_;
+  const PatternSink& sink_;
+  std::vector<std::size_t> chosen_;
+};
+
+}  // namespace
+
+void EnumerateFromCandidates(const std::vector<TrajectoryId>& candidate_ids,
+                             const std::vector<BitString>& candidate_bits,
+                             TrajectoryId owner,
+                             const PatternConstraints& constraints,
+                             std::int32_t require, const PatternSink& sink) {
+  COMOVE_CHECK(candidate_ids.size() == candidate_bits.size());
+  if (static_cast<std::int32_t>(candidate_ids.size()) < constraints.m - 1) {
+    return;
+  }
+  if (require < 0) {
+    AprioriEnumerator(candidate_ids, candidate_bits, owner, constraints,
+                      /*first_mandatory=*/false, sink)
+        .Run();
+    return;
+  }
+  // Move the required candidate to the front so the recursion can make it
+  // mandatory without exploring combinations that exclude it.
+  const auto r = static_cast<std::size_t>(require);
+  COMOVE_CHECK(r < candidate_ids.size());
+  std::vector<TrajectoryId> ids;
+  std::vector<BitString> bits;
+  ids.reserve(candidate_ids.size());
+  bits.reserve(candidate_bits.size());
+  ids.push_back(candidate_ids[r]);
+  bits.push_back(candidate_bits[r]);
+  for (std::size_t i = 0; i < candidate_ids.size(); ++i) {
+    if (i == r) continue;
+    ids.push_back(candidate_ids[i]);
+    bits.push_back(candidate_bits[i]);
+  }
+  AprioriEnumerator(ids, bits, owner, constraints, /*first_mandatory=*/true,
+                    sink)
+      .Run();
+}
+
+FixedBitEnumerator::FixedBitEnumerator(const PatternConstraints& constraints,
+                                       PatternSink sink)
+    : StreamingEnumerator(constraints, std::move(sink)),
+      eta_(constraints.Eta()) {}
+
+void FixedBitEnumerator::ProcessTime(Timestamp t,
+                                     PartitionsByOwner&& by_owner) {
+  // Extend histories of known owners; create states for new owners.
+  for (auto& [owner, partition] : by_owner) {
+    auto it = owners_.find(owner);
+    if (it == owners_.end()) {
+      OwnerState state;
+      state.history_start = t;
+      owners_.emplace(owner, std::move(state));
+    }
+  }
+  for (auto& [owner, state] : owners_) {
+    auto it = by_owner.find(owner);
+    if (it != by_owner.end()) {
+      state.history.push_back(std::move(it->second.members));
+    } else {
+      state.history.emplace_back();
+    }
+  }
+  // Complete windows: when a history reaches eta entries its front time is
+  // fully covered and the Algorithm 4 batch can run.
+  for (auto it = owners_.begin(); it != owners_.end();) {
+    OwnerState& state = it->second;
+    if (static_cast<std::int32_t>(state.history.size()) == eta_) {
+      if (!state.history.front().empty()) {
+        RunWindow(it->first, state);
+      }
+      state.history.pop_front();
+      ++state.history_start;
+    }
+    const bool all_empty =
+        std::all_of(state.history.begin(), state.history.end(),
+                    [](const auto& v) { return v.empty(); });
+    if (all_empty) {
+      it = owners_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FixedBitEnumerator::RunWindow(TrajectoryId owner,
+                                   const OwnerState& state) {
+  const Timestamp start = state.history_start;
+  const std::vector<TrajectoryId>& anchor = state.history.front();
+
+  // Lines 2-8 of Algorithm 4: build B[oi] for the anchor partition's
+  // trajectories and keep those satisfying (K, L, G) as candidates.
+  std::vector<TrajectoryId> candidate_ids;
+  std::vector<BitString> candidate_bits;
+  for (const TrajectoryId oi : anchor) {
+    BitString b(start, eta_);
+    std::int32_t j = 0;
+    for (const auto& members : state.history) {
+      if (std::binary_search(members.begin(), members.end(), oi)) {
+        b.Set(j, true);
+      }
+      ++j;
+    }
+    if (b.SatisfiesKLG(constraints())) {
+      candidate_ids.push_back(oi);
+      candidate_bits.push_back(std::move(b));
+    }
+  }
+
+  // Lines 9-17: candidate-based apriori enumeration from level M-1.
+  EnumerateFromCandidates(candidate_ids, candidate_bits, owner,
+                          constraints(), /*require=*/-1, sink());
+}
+
+void FixedBitEnumerator::FlushAtEnd(Timestamp next_time) {
+  for (std::int32_t i = 0; i < eta_ && !owners_.empty(); ++i) {
+    ProcessTime(next_time + i, {});
+  }
+  COMOVE_CHECK(owners_.empty());
+}
+
+}  // namespace comove::pattern
+
+namespace comove::pattern {
+
+void FixedBitEnumerator::SaveDerived(BinaryWriter* writer) const {
+  writer->WriteU64(owners_.size());
+  for (const auto& [owner, state] : owners_) {
+    writer->WriteI32(owner);
+    writer->WriteI32(state.history_start);
+    writer->WriteU64(state.history.size());
+    for (const auto& members : state.history) {
+      writer->WriteIntVector(members);
+    }
+  }
+}
+
+bool FixedBitEnumerator::RestoreDerived(BinaryReader* reader) {
+  owners_.clear();
+  const std::uint64_t owner_count = reader->ReadU64();
+  for (std::uint64_t i = 0; i < owner_count && reader->ok(); ++i) {
+    const TrajectoryId owner = reader->ReadI32();
+    OwnerState state;
+    state.history_start = reader->ReadI32();
+    const std::uint64_t history = reader->ReadU64();
+    // A history longer than eta would be inconsistent state.
+    if (history > static_cast<std::uint64_t>(eta_)) return false;
+    for (std::uint64_t h = 0; h < history && reader->ok(); ++h) {
+      state.history.push_back(reader->ReadIntVector<TrajectoryId>());
+    }
+    owners_.emplace(owner, std::move(state));
+  }
+  return reader->ok();
+}
+
+}  // namespace comove::pattern

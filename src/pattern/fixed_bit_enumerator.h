@@ -1,0 +1,75 @@
+#ifndef COMOVE_PATTERN_FIXED_BIT_ENUMERATOR_H_
+#define COMOVE_PATTERN_FIXED_BIT_ENUMERATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "pattern/bitstring.h"
+#include "pattern/streaming_enumerator.h"
+
+/// \file
+/// FBA - Fixed Length Bit Compression based Algorithm (Algorithm 4).
+/// Every trajectory of a partition P_t(o) is compressed to an eta-bit
+/// string (storage O(eta x |P|) instead of O(2^|P|)); a candidate set C
+/// keeps only trajectories whose individual strings can still satisfy
+/// (K, L, G); and patterns are enumerated apriori-style starting directly
+/// at cardinality M-1, extending only valid patterns (cost
+/// O(|R| x |C| + C(|C|, M-1)) instead of O(2^|P|)).
+///
+/// Streaming-wise FBA buffers eta snapshots: the verification of patterns
+/// anchored at time t runs once the snapshot t + eta - 1 has arrived.
+
+namespace comove::pattern {
+
+/// Streaming FBA enumerator covering all owners routed to this instance.
+class FixedBitEnumerator : public StreamingEnumerator {
+ public:
+  FixedBitEnumerator(const PatternConstraints& constraints,
+                     PatternSink sink);
+
+  /// Time t is decided once the window anchored at t has run, which
+  /// happens when tick t + eta - 1 is fed.
+  Timestamp FinalizedThrough() const override {
+    return last_fed() == kNoTime ? kNoTime : last_fed() - (eta_ - 1);
+  }
+
+ protected:
+  void ProcessTime(Timestamp time, PartitionsByOwner&& by_owner) override;
+  void FlushAtEnd(Timestamp next_time) override;
+  void SaveDerived(BinaryWriter* writer) const override;
+  bool RestoreDerived(BinaryReader* reader) override;
+
+ private:
+  struct OwnerState {
+    /// Member lists of the owner's partitions for the last eta times;
+    /// history.front() corresponds to `history_start`.
+    std::deque<std::vector<TrajectoryId>> history;
+    Timestamp history_start = 0;
+  };
+
+  /// Runs the Algorithm 4 batch for the window anchored at the front of
+  /// `state`'s history (which must be eta entries deep).
+  void RunWindow(TrajectoryId owner, const OwnerState& state);
+
+  std::int32_t eta_;
+  std::unordered_map<TrajectoryId, OwnerState> owners_;
+};
+
+/// The candidate-based apriori enumeration shared by FBA and VBA: given
+/// per-candidate bit strings (aligned or alignable by absolute time),
+/// emits every object set O (|O| >= M-1, drawn from `candidates`) whose
+/// combined string satisfies (K, L, G). `require` (optional, -1 = none)
+/// restricts output to sets containing the candidate at that index - VBA
+/// uses it to enumerate only patterns involving the newly closed string.
+/// The owner id is appended to every emitted set.
+void EnumerateFromCandidates(
+    const std::vector<TrajectoryId>& candidate_ids,
+    const std::vector<BitString>& candidate_bits, TrajectoryId owner,
+    const PatternConstraints& constraints, std::int32_t require,
+    const PatternSink& sink);
+
+}  // namespace comove::pattern
+
+#endif  // COMOVE_PATTERN_FIXED_BIT_ENUMERATOR_H_

@@ -1,0 +1,79 @@
+#include "pattern/live_index.h"
+
+#include <algorithm>
+
+namespace comove::pattern {
+
+void LivePatternIndex::Add(const CoMovementPattern& pattern) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = patterns_.try_emplace(pattern.objects, pattern);
+  if (!inserted) {
+    if (pattern.times.size() > it->second.times.size()) {
+      it->second = pattern;
+    }
+    return;  // postings already exist
+  }
+  for (const TrajectoryId id : pattern.objects) {
+    by_object_[id].insert(pattern.objects);
+  }
+}
+
+std::size_t LivePatternIndex::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return patterns_.size();
+}
+
+std::vector<CoMovementPattern> LivePatternIndex::PatternsContaining(
+    TrajectoryId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CoMovementPattern> out;
+  const auto it = by_object_.find(id);
+  if (it == by_object_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& objects : it->second) {
+    out.push_back(patterns_.at(objects));
+  }
+  return out;
+}
+
+std::vector<CoMovementPattern> LivePatternIndex::ActiveAt(
+    Timestamp t) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CoMovementPattern> out;
+  for (const auto& [objects, pattern] : patterns_) {
+    if (std::binary_search(pattern.times.begin(), pattern.times.end(), t)) {
+      out.push_back(pattern);
+    }
+  }
+  return out;
+}
+
+std::vector<TrajectoryId> LivePatternIndex::CompanionsOf(
+    TrajectoryId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::set<TrajectoryId> companions;
+  const auto it = by_object_.find(id);
+  if (it != by_object_.end()) {
+    for (const auto& objects : it->second) {
+      for (const TrajectoryId other : objects) {
+        if (other != id) companions.insert(other);
+      }
+    }
+  }
+  return {companions.begin(), companions.end()};
+}
+
+CoMovementPattern LivePatternIndex::StrongestPatternOf(
+    TrajectoryId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CoMovementPattern best;
+  const auto it = by_object_.find(id);
+  if (it == by_object_.end()) return best;
+  for (const auto& objects : it->second) {
+    const CoMovementPattern& p = patterns_.at(objects);
+    if (p.times.size() > best.times.size()) best = p;
+  }
+  return best;
+}
+
+}  // namespace comove::pattern

@@ -1,0 +1,59 @@
+#ifndef COMOVE_PATTERN_LIVE_INDEX_H_
+#define COMOVE_PATTERN_LIVE_INDEX_H_
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "pattern/enumerator.h"
+
+/// \file
+/// A queryable, thread-safe index over the patterns detected so far -
+/// the structure an application (Fig. 1's movement predictor, a fleet
+/// dashboard) keeps while the pipeline runs. Plug AsSink() into
+/// IcpeOptions::on_pattern (or any enumerator) and query concurrently.
+
+namespace comove::pattern {
+
+/// Deduplicating live index with by-object and by-time lookups.
+class LivePatternIndex {
+ public:
+  LivePatternIndex() = default;
+  LivePatternIndex(const LivePatternIndex&) = delete;
+  LivePatternIndex& operator=(const LivePatternIndex&) = delete;
+
+  /// Sink to feed emissions into the index; safe from multiple threads.
+  PatternSink AsSink() {
+    return [this](const CoMovementPattern& p) { Add(p); };
+  }
+
+  void Add(const CoMovementPattern& pattern);
+
+  /// Number of distinct object sets indexed.
+  std::size_t size() const;
+
+  /// Patterns whose object set contains `id`, ordered by object set.
+  std::vector<CoMovementPattern> PatternsContaining(TrajectoryId id) const;
+
+  /// Patterns whose witness sequence includes time `t`.
+  std::vector<CoMovementPattern> ActiveAt(Timestamp t) const;
+
+  /// All distinct co-movers of `id` across indexed patterns, ascending.
+  std::vector<TrajectoryId> CompanionsOf(TrajectoryId id) const;
+
+  /// The pattern containing `id` with the longest witness, or nullopt-ish
+  /// empty pattern when none exists.
+  CoMovementPattern StrongestPatternOf(TrajectoryId id) const;
+
+ private:
+  mutable std::mutex mu_;
+  /// object set -> pattern (longest witness wins).
+  std::map<std::vector<TrajectoryId>, CoMovementPattern> patterns_;
+  /// object -> object sets containing it.
+  std::map<TrajectoryId, std::set<std::vector<TrajectoryId>>> by_object_;
+};
+
+}  // namespace comove::pattern
+
+#endif  // COMOVE_PATTERN_LIVE_INDEX_H_

@@ -1,0 +1,32 @@
+#include "pattern/partition.h"
+
+#include "common/check.h"
+
+namespace comove::pattern {
+
+std::vector<Partition> MakePartitions(const ClusterSnapshot& snapshot,
+                                      const PatternConstraints& constraints) {
+  std::vector<Partition> out;
+  for (const Cluster& cluster : snapshot.clusters) {
+    // Lemma 3: a cluster below the significance threshold is discarded.
+    if (static_cast<std::int32_t>(cluster.members.size()) < constraints.m) {
+      continue;
+    }
+    for (std::size_t i = 0; i < cluster.members.size(); ++i) {
+      // Owners whose id-tail is shorter than M-1 other members cannot
+      // anchor any pattern of size >= M; skip their partitions entirely.
+      const std::size_t tail = cluster.members.size() - i - 1;
+      if (tail + 1 < static_cast<std::size_t>(constraints.m)) break;
+      Partition p;
+      p.owner = cluster.members[i];
+      p.time = snapshot.time;
+      p.members.assign(cluster.members.begin() +
+                           static_cast<std::ptrdiff_t>(i) + 1,
+                       cluster.members.end());
+      out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+}  // namespace comove::pattern

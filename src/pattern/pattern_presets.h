@@ -1,0 +1,71 @@
+#ifndef COMOVE_PATTERN_PATTERN_PRESETS_H_
+#define COMOVE_PATTERN_PATTERN_PRESETS_H_
+
+#include "common/check.h"
+#include "common/constraints.h"
+
+/// \file
+/// Classic co-movement pattern types expressed in the unified
+/// CP(M, K, L, G) definition (§2.1, after Fan et al. [10]). The paper's
+/// §8 names support for additional pattern types as future work; because
+/// ICPE implements the general definition, each classic type is just a
+/// parameterisation:
+///
+///   type          closeness        constraints
+///   ------------  ---------------  --------------------------------
+///   convoy [17]   density (ours)   L = K, G = 1 (strictly consecutive)
+///   flock [13]    disc diameter    L = K, G = 1 (see note below)
+///   group [29]    density          L = 1, G unbounded
+///   swarm [20]    density          L = 1, G unbounded
+///   platoon [19]  density          L free, G unbounded
+///
+/// "Unbounded G" cannot be supported verbatim on an infinite stream (the
+/// Lemma 4 verification window eta would be infinite), so the presets take
+/// an explicit `max_gap` horizon: a pattern interrupted for longer than
+/// max_gap snapshots is reported as two patterns. Flock differs from
+/// convoy only in its clustering predicate (fixed-diameter discs instead
+/// of density reachability); with DBSCAN closeness the temporal shape is
+/// identical, which is the usual streaming adaptation.
+
+namespace comove::pattern {
+
+/// Convoy [17]: at least m objects density-clustered for k *consecutive*
+/// snapshots.
+inline PatternConstraints ConvoyConstraints(std::int32_t m,
+                                            std::int32_t k) {
+  COMOVE_CHECK(m >= 2 && k >= 1);
+  return PatternConstraints{m, k, k, 1};
+}
+
+/// Flock [13] temporal shape (see file comment re closeness).
+inline PatternConstraints FlockConstraints(std::int32_t m, std::int32_t k) {
+  return ConvoyConstraints(m, k);
+}
+
+/// Swarm [20]: at least m objects clustered at k snapshots that need not
+/// be consecutive at all, bounded by the streaming gap horizon.
+inline PatternConstraints SwarmConstraints(std::int32_t m, std::int32_t k,
+                                           std::int32_t max_gap) {
+  COMOVE_CHECK(m >= 2 && k >= 1 && max_gap >= 1);
+  return PatternConstraints{m, k, 1, max_gap};
+}
+
+/// Group [29]: same temporal relaxation as swarm under the unified
+/// definition (the original differs in its clustering predicate).
+inline PatternConstraints GroupConstraints(std::int32_t m, std::int32_t k,
+                                           std::int32_t max_gap) {
+  return SwarmConstraints(m, k, max_gap);
+}
+
+/// Platoon [19]: local consecutiveness l within a relaxed duration k.
+inline PatternConstraints PlatoonConstraints(std::int32_t m,
+                                             std::int32_t k,
+                                             std::int32_t l,
+                                             std::int32_t max_gap) {
+  COMOVE_CHECK(m >= 2 && l >= 1 && k >= l && max_gap >= 1);
+  return PatternConstraints{m, k, l, max_gap};
+}
+
+}  // namespace comove::pattern
+
+#endif  // COMOVE_PATTERN_PATTERN_PRESETS_H_

@@ -1,0 +1,82 @@
+#include "pattern/reference_enumerator.h"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <set>
+
+#include "common/check.h"
+#include "common/time_sequence.h"
+
+namespace comove::pattern {
+
+namespace {
+
+void SubsetsOfAtLeast(const std::vector<TrajectoryId>& members,
+                      std::int32_t min_size,
+                      std::set<std::vector<TrajectoryId>>* out) {
+  const auto n = static_cast<std::int32_t>(members.size());
+  COMOVE_CHECK_MSG(n <= 20,
+                   "reference enumeration is exponential; cluster of %d is "
+                   "too large for a test workload",
+                   n);
+  const std::uint32_t total = 1u << n;
+  std::vector<TrajectoryId> subset;
+  for (std::uint32_t mask = 1; mask < total; ++mask) {
+    if (std::popcount(mask) < min_size) continue;
+    subset.clear();
+    for (std::int32_t b = 0; b < n; ++b) {
+      if (mask & (1u << b)) {
+        subset.push_back(members[static_cast<std::size_t>(b)]);
+      }
+    }
+    out->insert(subset);
+  }
+}
+
+}  // namespace
+
+std::vector<CoMovementPattern> ReferenceEnumerate(
+    const std::vector<ClusterSnapshot>& snapshots,
+    const PatternConstraints& constraints) {
+  COMOVE_CHECK(constraints.IsValid());
+  // Merge snapshots by time (member lists already sorted by contract).
+  std::map<Timestamp, std::vector<std::vector<TrajectoryId>>> by_time;
+  for (const ClusterSnapshot& s : snapshots) {
+    for (const Cluster& c : s.clusters) {
+      by_time[s.time].push_back(c.members);
+    }
+  }
+
+  // Candidate object sets: subsets of any cluster with >= M members.
+  std::set<std::vector<TrajectoryId>> candidates;
+  for (const auto& [t, clusters] : by_time) {
+    for (const auto& members : clusters) {
+      if (static_cast<std::int32_t>(members.size()) >= constraints.m) {
+        SubsetsOfAtLeast(members, constraints.m, &candidates);
+      }
+    }
+  }
+
+  std::vector<CoMovementPattern> out;
+  for (const auto& objects : candidates) {
+    std::vector<Timestamp> times;
+    for (const auto& [t, clusters] : by_time) {
+      for (const auto& members : clusters) {
+        if (std::includes(members.begin(), members.end(), objects.begin(),
+                          objects.end())) {
+          times.push_back(t);
+          break;
+        }
+      }
+    }
+    std::vector<Timestamp> witness =
+        BestQualifyingSubsequence(times, constraints);
+    if (!witness.empty()) {
+      out.push_back(CoMovementPattern{objects, std::move(witness)});
+    }
+  }
+  return out;  // std::set iteration already sorts by object set
+}
+
+}  // namespace comove::pattern

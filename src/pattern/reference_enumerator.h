@@ -1,0 +1,28 @@
+#ifndef COMOVE_PATTERN_REFERENCE_ENUMERATOR_H_
+#define COMOVE_PATTERN_REFERENCE_ENUMERATOR_H_
+
+#include <vector>
+
+#include "common/constraints.h"
+#include "common/types.h"
+
+/// \file
+/// Ground-truth pattern enumeration by exhaustive search: for every object
+/// set that ever shares a cluster, collect all co-clustered times and test
+/// Definition 4 directly. Exponential; only usable on test-sized inputs,
+/// where it validates BA, FBA and VBA against each other and against the
+/// definition.
+
+namespace comove::pattern {
+
+/// Exhaustively finds all co-movement patterns CP(M, K, L, G) over the
+/// given cluster snapshots (any time order; times may repeat snapshots of
+/// the same instant, which are merged). Returns deduplicated patterns
+/// sorted by object set, each with its longest qualifying time sequence.
+std::vector<CoMovementPattern> ReferenceEnumerate(
+    const std::vector<ClusterSnapshot>& snapshots,
+    const PatternConstraints& constraints);
+
+}  // namespace comove::pattern
+
+#endif  // COMOVE_PATTERN_REFERENCE_ENUMERATOR_H_

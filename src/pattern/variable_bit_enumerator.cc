@@ -1,0 +1,172 @@
+#include "pattern/variable_bit_enumerator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "pattern/fixed_bit_enumerator.h"
+
+namespace comove::pattern {
+
+VariableBitEnumerator::VariableBitEnumerator(
+    const PatternConstraints& constraints, PatternSink sink)
+    : StreamingEnumerator(constraints, std::move(sink)) {}
+
+void VariableBitEnumerator::ProcessTime(Timestamp t,
+                                        PartitionsByOwner&& by_owner) {
+  // Ensure owner states exist for owners first seen at t.
+  for (const auto& [owner, partition] : by_owner) {
+    owners_.try_emplace(owner);
+  }
+
+  for (auto owner_it = owners_.begin(); owner_it != owners_.end();) {
+    const TrajectoryId owner = owner_it->first;
+    OwnerState& state = owner_it->second;
+    const auto part_it = by_owner.find(owner);
+    static const std::vector<TrajectoryId> kNoMembers;
+    const std::vector<TrajectoryId>& members =
+        part_it != by_owner.end() ? part_it->second.members : kNoMembers;
+
+    // Lines 2-12 of Algorithm 5: extend every open string with this tick's
+    // membership bit; strings whose gap exceeds G close (Lemma 7).
+    std::vector<TrajectoryId> to_close;
+    for (auto& [id, bits] : state.open) {
+      const bool present =
+          std::binary_search(members.begin(), members.end(), id);
+      bits.Append(present);
+      if (!present && bits.TrailingZeros() > constraints().g) {
+        to_close.push_back(id);
+      }
+    }
+    std::sort(to_close.begin(), to_close.end());
+    for (const TrajectoryId id : to_close) {
+      auto open_it = state.open.find(id);
+      BitString bits = std::move(open_it->second);
+      state.open.erase(open_it);
+      open_starts_.erase(open_starts_.find(bits.start_time()));
+      CloseString(owner, &state, id, std::move(bits));
+    }
+
+    // Lines 13-14: open a fresh string for members seen anew.
+    for (const TrajectoryId id : members) {
+      if (state.open.find(id) == state.open.end()) {
+        BitString bits(t, 0);
+        bits.Append(true);
+        state.open.emplace(id, std::move(bits));
+        open_starts_.insert(t);
+      }
+    }
+
+    if (state.open.empty() && state.candidates.empty()) {
+      owner_it = owners_.erase(owner_it);
+    } else {
+      ++owner_it;
+    }
+  }
+}
+
+void VariableBitEnumerator::CloseString(TrajectoryId owner,
+                                        OwnerState* state, TrajectoryId id,
+                                        BitString bits) {
+  bits.TrimTrailingZeros();
+  if (bits.length() == 0 || !bits.SatisfiesKLG(constraints())) {
+    // tag = -1 in Algorithm 5: the episode can never qualify; discard.
+    return;
+  }
+  Candidate closed{id, std::move(bits)};
+
+  // Lines 15-20: filter the candidate list with Lemma 8 (windows must be
+  // able to overlap by at least K), then enumerate patterns containing the
+  // newly closed string.
+  std::vector<TrajectoryId> ids;
+  std::vector<BitString> bit_list;
+  for (const Candidate& c : state->candidates) {
+    const Timestamp overlap_start =
+        std::max(c.bits.start_time(), closed.bits.start_time());
+    const Timestamp overlap_end =
+        std::min(c.end_time(), closed.end_time());
+    if (overlap_end - overlap_start + 1 >= constraints().k) {
+      ids.push_back(c.id);
+      bit_list.push_back(c.bits);
+    }
+  }
+  const auto require = static_cast<std::int32_t>(ids.size());
+  ids.push_back(closed.id);
+  bit_list.push_back(closed.bits);
+  EnumerateFromCandidates(ids, bit_list, owner, constraints(), require,
+                          sink());
+
+  state->candidates.push_back(std::move(closed));
+  ++candidate_count_;
+}
+
+void VariableBitEnumerator::FlushAtEnd(Timestamp /*next_time*/) {
+  // Close every open string as if followed by G+1 empty snapshots.
+  for (auto& [owner, state] : owners_) {
+    std::vector<TrajectoryId> ids;
+    ids.reserve(state.open.size());
+    for (const auto& [id, bits] : state.open) ids.push_back(id);
+    // Deterministic order keeps pattern emission reproducible.
+    std::sort(ids.begin(), ids.end());
+    for (const TrajectoryId id : ids) {
+      auto it = state.open.find(id);
+      BitString bits = std::move(it->second);
+      state.open.erase(it);
+      CloseString(owner, &state, id, std::move(bits));
+    }
+  }
+  owners_.clear();
+  open_starts_.clear();
+  candidate_count_ = 0;
+}
+
+}  // namespace comove::pattern
+
+namespace comove::pattern {
+
+void VariableBitEnumerator::SaveDerived(BinaryWriter* writer) const {
+  writer->WriteU64(owners_.size());
+  for (const auto& [owner, state] : owners_) {
+    writer->WriteI32(owner);
+    writer->WriteU64(state.open.size());
+    for (const auto& [id, bits] : state.open) {
+      writer->WriteI32(id);
+      bits.Serialize(writer);
+    }
+    writer->WriteU64(state.candidates.size());
+    for (const Candidate& cand : state.candidates) {
+      writer->WriteI32(cand.id);
+      cand.bits.Serialize(writer);
+    }
+  }
+}
+
+bool VariableBitEnumerator::RestoreDerived(BinaryReader* reader) {
+  owners_.clear();
+  open_starts_.clear();
+  candidate_count_ = 0;
+  const std::uint64_t owner_count = reader->ReadU64();
+  for (std::uint64_t i = 0; i < owner_count && reader->ok(); ++i) {
+    const TrajectoryId owner = reader->ReadI32();
+    OwnerState state;
+    const std::uint64_t open_count = reader->ReadU64();
+    for (std::uint64_t o = 0; o < open_count && reader->ok(); ++o) {
+      const TrajectoryId id = reader->ReadI32();
+      BitString bits;
+      if (!bits.Deserialize(reader)) return false;
+      open_starts_.insert(bits.start_time());
+      state.open.emplace(id, std::move(bits));
+    }
+    const std::uint64_t cand_count = reader->ReadU64();
+    for (std::uint64_t c = 0; c < cand_count && reader->ok(); ++c) {
+      Candidate cand;
+      cand.id = reader->ReadI32();
+      if (!cand.bits.Deserialize(reader)) return false;
+      ++candidate_count_;
+      state.candidates.push_back(std::move(cand));
+    }
+    owners_.emplace(owner, std::move(state));
+  }
+  return reader->ok();
+}
+
+}  // namespace comove::pattern

@@ -1,0 +1,219 @@
+#include "trajgen/brinkhoff_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+
+namespace comove::trajgen {
+
+namespace {
+
+/// Kinematic state of one object moving along a routed path.
+struct Mover {
+  std::vector<NodeId> path;     ///< node sequence of the current trip
+  std::size_t segment = 0;      ///< index into path (edge = seg -> seg+1)
+  double offset = 0.0;          ///< distance travelled along the segment
+  double speed_factor = 1.0;    ///< per-object multiplicative speed noise
+  bool active = true;           ///< false once retired (no more trips)
+
+  bool HasTrip() const { return segment + 1 < path.size(); }
+};
+
+/// Position of a mover: linear interpolation along its current segment.
+Point PositionOf(const RoadNetwork& net, const Mover& m) {
+  if (!m.HasTrip()) {
+    return net.node(m.path.empty() ? 0 : m.path.back());
+  }
+  const Point a = net.node(m.path[m.segment]);
+  const Point b = net.node(m.path[m.segment + 1]);
+  const double len = L2Distance(a, b);
+  const double f = len > 0.0 ? std::min(1.0, m.offset / len) : 1.0;
+  return Point{a.x + (b.x - a.x) * f, a.y + (b.y - a.y) * f};
+}
+
+/// Speed along the mover's current segment: class free-flow speed scaled
+/// by the object's factor. Looks up the edge's class via adjacency.
+double SegmentSpeed(const RoadNetwork& net, const Mover& m) {
+  if (!m.HasTrip()) return 0.0;
+  const NodeId u = m.path[m.segment];
+  const NodeId v = m.path[m.segment + 1];
+  for (const std::int32_t ei : net.adjacent(u)) {
+    const RoadEdge& e = net.edge(ei);
+    if ((e.from == u && e.to == v) || (e.from == v && e.to == u)) {
+      return RoadClassSpeed(e.road_class) * m.speed_factor;
+    }
+  }
+  // Path edges always exist in the network by construction.
+  COMOVE_CHECK_MSG(false, "path uses a non-existent edge");
+  return 0.0;
+}
+
+/// Advances a mover by one tick of travel; returns false once the trip is
+/// finished and no distance remains.
+void Advance(const RoadNetwork& net, Mover* m) {
+  double budget = SegmentSpeed(net, *m);
+  while (m->HasTrip() && budget > 0.0) {
+    const Point a = net.node(m->path[m->segment]);
+    const Point b = net.node(m->path[m->segment + 1]);
+    const double len = L2Distance(a, b);
+    const double remain = len - m->offset;
+    if (budget < remain) {
+      m->offset += budget;
+      budget = 0.0;
+    } else {
+      budget -= remain;
+      ++m->segment;
+      m->offset = 0.0;
+    }
+  }
+}
+
+/// Starts a fresh trip from `from` to a random distinct destination.
+void StartTrip(const RoadNetwork& net, NodeId from, Rng* rng, Mover* m) {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const NodeId to = net.RandomNode(rng);
+    if (to == from) continue;
+    std::vector<NodeId> path = net.ShortestPath(from, to);
+    if (path.size() >= 2) {
+      m->path = std::move(path);
+      m->segment = 0;
+      m->offset = 0.0;
+      return;
+    }
+  }
+  m->active = false;  // isolated node: retire the object
+}
+
+}  // namespace
+
+Dataset GenerateBrinkhoff(const BrinkhoffOptions& options,
+                          std::uint64_t seed) {
+  COMOVE_CHECK(options.object_count > 0 && options.duration > 0);
+  COMOVE_CHECK(options.group_size >= 0 && options.group_count >= 0);
+  const std::int32_t grouped =
+      std::min(options.object_count,
+               options.group_count * options.group_size);
+  const std::int32_t group_count =
+      options.group_size > 0 ? grouped / options.group_size : 0;
+
+  Rng rng(seed);
+  const RoadNetwork net = RoadNetwork::Synthesize(options.network, seed);
+
+  // Shuffled dense id assignment so that Or-prefix subsampling keeps a
+  // representative mix of grouped and independent objects.
+  std::vector<TrajectoryId> ids(
+      static_cast<std::size_t>(options.object_count));
+  std::iota(ids.begin(), ids.end(), 0);
+  for (std::size_t i = ids.size(); i > 1; --i) {
+    std::swap(ids[i - 1], ids[static_cast<std::size_t>(rng.UniformInt(
+                              0, static_cast<std::int64_t>(i) - 1))]);
+  }
+
+  DatasetBuilder builder(options.name);
+
+  // --- Grouped objects: one leader mover per group, members follow with
+  // a fixed offset plus noise, occasionally straggling away. -------------
+  std::int32_t next_object = 0;
+  for (std::int32_t g = 0; g < group_count; ++g) {
+    Mover leader;
+    leader.speed_factor = 1.0 + rng.Uniform(-options.speed_jitter,
+                                            options.speed_jitter);
+    StartTrip(net, net.RandomNode(&rng), &rng, &leader);
+
+    struct Member {
+      TrajectoryId id;
+      Point offset;
+      std::int32_t straggle_left = 0;
+      Point straggle_dir;
+    };
+    std::vector<Member> members;
+    for (std::int32_t k = 0; k < options.group_size; ++k) {
+      Member m;
+      m.id = ids[static_cast<std::size_t>(next_object++)];
+      m.offset = Point{rng.Uniform(-options.group_jitter,
+                                   options.group_jitter),
+                       rng.Uniform(-options.group_jitter,
+                                   options.group_jitter)};
+      members.push_back(m);
+    }
+
+    for (Timestamp t = 0; t < options.duration && leader.active; ++t) {
+      const Point base = PositionOf(net, leader);
+      for (Member& m : members) {
+        Point p{base.x + m.offset.x, base.y + m.offset.y};
+        if (m.straggle_left > 0) {
+          p.x += m.straggle_dir.x;
+          p.y += m.straggle_dir.y;
+          --m.straggle_left;
+        } else if (rng.Bernoulli(options.straggle_prob)) {
+          m.straggle_left = options.straggle_ticks;
+          const double angle = rng.Uniform(0, 2 * 3.14159265358979);
+          m.straggle_dir = Point{options.straggle_dist * std::cos(angle),
+                                 options.straggle_dist * std::sin(angle)};
+        }
+        if (rng.Bernoulli(options.report_prob)) {
+          builder.Add(m.id, t, p);
+        }
+      }
+      Advance(net, &leader);
+      if (!leader.HasTrip()) {
+        if (rng.Bernoulli(options.reroute_prob)) {
+          StartTrip(net, leader.path.back(), &rng, &leader);
+        } else {
+          leader.active = false;
+        }
+      }
+    }
+  }
+
+  // --- Independent objects. ---------------------------------------------
+  for (; next_object < options.object_count; ++next_object) {
+    const TrajectoryId id = ids[static_cast<std::size_t>(next_object)];
+    Mover m;
+    m.speed_factor =
+        1.0 + rng.Uniform(-options.speed_jitter, options.speed_jitter);
+    // Stagger entry times so the population ramps up like a real stream.
+    const Timestamp entry =
+        options.stagger_entry
+            ? static_cast<Timestamp>(rng.UniformInt(0, options.duration / 4))
+            : 0;
+    StartTrip(net, net.RandomNode(&rng), &rng, &m);
+    for (Timestamp t = entry; t < options.duration && m.active; ++t) {
+      if (rng.Bernoulli(options.report_prob)) {
+        builder.Add(id, t, PositionOf(net, m));
+      }
+      Advance(net, &m);
+      if (!m.HasTrip()) {
+        if (rng.Bernoulli(options.reroute_prob)) {
+          StartTrip(net, m.path.back(), &rng, &m);
+        } else {
+          m.active = false;
+        }
+      }
+    }
+  }
+
+  return builder.Finalize(options.interval_seconds);
+}
+
+Dataset GenerateTaxiLike(std::int32_t object_count, Timestamp duration,
+                         std::uint64_t seed) {
+  BrinkhoffOptions options;
+  options.name = "taxi-like";
+  options.object_count = object_count;
+  options.duration = duration;
+  options.report_prob = 0.98;  // taxis report almost every interval
+  options.reroute_prob = 1.0;  // a fleet never leaves service
+  options.stagger_entry = false;
+  options.interval_seconds = 5.0;
+  options.group_count = std::max(1, object_count / 40);
+  options.group_size = 6;
+  options.network.grid_nx = 20;
+  options.network.grid_ny = 20;
+  return GenerateBrinkhoff(options, seed);
+}
+
+}  // namespace comove::trajgen

@@ -1,0 +1,64 @@
+#include "trajgen/crossing_flows.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace comove::trajgen {
+
+Dataset GenerateCrossingFlows(const CrossingFlowsOptions& options,
+                              std::uint64_t seed) {
+  COMOVE_CHECK(options.platoons_per_flow > 0 && options.platoon_size > 0);
+  COMOVE_CHECK(options.duration > 1 && options.speed > 0.0);
+  Rng rng(seed);
+  DatasetBuilder builder(options.name);
+
+  // Both flows are centred so the LEAD platoon of each flow reaches the
+  // origin at duration/2; later platoons trail by platoon_spacing.
+  const double mid = static_cast<double>(options.duration) / 2.0;
+  const std::int32_t per_flow =
+      options.platoons_per_flow * options.platoon_size;
+
+  for (int flow = 0; flow < 2; ++flow) {
+    for (std::int32_t platoon = 0; platoon < options.platoons_per_flow;
+         ++platoon) {
+      // Per-member fixed offsets keep the platoon rigid (pure co-movement).
+      for (std::int32_t member = 0; member < options.platoon_size;
+           ++member) {
+        const TrajectoryId id = static_cast<TrajectoryId>(
+            flow * per_flow + platoon * options.platoon_size + member);
+        const double lane =
+            rng.Uniform(-options.lane_jitter, options.lane_jitter);
+        const double along_offset =
+            rng.Uniform(-options.lane_jitter, options.lane_jitter) -
+            static_cast<double>(platoon) * options.platoon_spacing;
+        for (Timestamp t = 0; t < options.duration; ++t) {
+          if (!rng.Bernoulli(options.report_prob)) continue;
+          const double along =
+              (static_cast<double>(t) - mid) * options.speed + along_offset;
+          const Point p = flow == 0 ? Point{along, lane}
+                                    : Point{lane, along};
+          builder.Add(id, t, p);
+        }
+      }
+    }
+  }
+  return builder.Finalize();
+}
+
+Timestamp CrossingWindowTicks(const CrossingFlowsOptions& options,
+                              double eps) {
+  // A flow-A object sits at (s(t - mid) + a, lane); a flow-B object at
+  // (lane', s(t - mid) + a'). Their L1 distance is at least
+  // |s(t - mid) + a - lane'|, which exceeds eps once the along-coordinate
+  // leaves [-(eps + slack), eps + slack]; slack covers lane jitter and
+  // platoon offsets of the LEAD platoons (trailing platoons cross later
+  // but for an equally long window). Window length in ticks:
+  const double slack = 2.0 * options.lane_jitter;
+  return static_cast<Timestamp>(
+             std::ceil(2.0 * (eps + slack) / options.speed)) +
+         1;
+}
+
+}  // namespace comove::trajgen

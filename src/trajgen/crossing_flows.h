@@ -1,0 +1,47 @@
+#ifndef COMOVE_TRAJGEN_CROSSING_FLOWS_H_
+#define COMOVE_TRAJGEN_CROSSING_FLOWS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "trajgen/dataset.h"
+
+/// \file
+/// Adversarial "crossing flows" generator: two perpendicular streams of
+/// platoons pass through a junction. Within a platoon, objects co-move
+/// for the whole run (long, genuine patterns); across the two flows,
+/// objects are close only during the brief crossing window. This is the
+/// canonical false-positive trap for co-movement detection - a correct
+/// CP(M, K, L, G) detector with K larger than the crossing window must
+/// never report a mixed-flow pattern, no matter how dense the junction
+/// gets. Tests use it to pin exactly that.
+
+namespace comove::trajgen {
+
+/// Parameters of the crossing-flows scenario.
+struct CrossingFlowsOptions {
+  std::string name = "crossing-flows";
+  std::int32_t platoons_per_flow = 4;
+  std::int32_t platoon_size = 5;
+  Timestamp duration = 60;
+  double speed = 10.0;          ///< distance per tick along the flow axis
+  double lane_jitter = 1.5;     ///< within-platoon spread
+  double platoon_spacing = 80.0;  ///< distance between successive platoons
+  double report_prob = 1.0;
+};
+
+/// Generates the scenario. Flow A objects (ids 0 .. n/2-1) move east
+/// along y ~ 0; flow B objects (ids n/2 .. n-1) move north along x ~ 0;
+/// both cross the origin mid-run.
+Dataset GenerateCrossingFlows(const CrossingFlowsOptions& options,
+                              std::uint64_t seed);
+
+/// Number of ticks two objects from different flows can stay within
+/// `eps` of each other (the crossing window): the interval where both
+/// coordinates are small. Useful for choosing K in tests.
+Timestamp CrossingWindowTicks(const CrossingFlowsOptions& options,
+                              double eps);
+
+}  // namespace comove::trajgen
+
+#endif  // COMOVE_TRAJGEN_CROSSING_FLOWS_H_

@@ -1,0 +1,38 @@
+#ifndef COMOVE_TRAJGEN_CSV_LOADER_H_
+#define COMOVE_TRAJGEN_CSV_LOADER_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "trajgen/dataset.h"
+
+/// \file
+/// CSV import/export for trajectory datasets, so the library runs on real
+/// GPS data (GeoLife exports, fleet logs, ...) and not only on the bundled
+/// generators. Format: one record per line, `id,time,x,y`, where id and
+/// time are integers (time already discretised - see common/discretizer.h)
+/// and x, y are doubles. A header line and `#` comments are tolerated.
+/// Records may appear in any order; last_time links are derived on load.
+
+namespace comove::trajgen {
+
+/// Result of a CSV load.
+struct CsvLoadResult {
+  bool ok = false;
+  std::string error;        ///< first parse error (with line number)
+  std::size_t skipped = 0;  ///< blank/comment/header lines ignored
+};
+
+/// Parses records from `in` into `*dataset` (named `name`).
+CsvLoadResult LoadCsvDataset(std::istream& in, const std::string& name,
+                             Dataset* dataset);
+
+/// Opens and parses `path`. Fails if the file cannot be opened.
+CsvLoadResult LoadCsvDatasetFile(const std::string& path, Dataset* dataset);
+
+/// Writes `dataset` as `id,time,x,y` lines (with a header).
+void WriteCsvDataset(const Dataset& dataset, std::ostream& out);
+
+}  // namespace comove::trajgen
+
+#endif  // COMOVE_TRAJGEN_CSV_LOADER_H_

@@ -1,0 +1,92 @@
+#include "trajgen/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace comove::trajgen {
+
+DatasetStats Dataset::ComputeStats() const {
+  DatasetStats stats;
+  std::unordered_set<TrajectoryId> ids;
+  std::unordered_set<Timestamp> times;
+  for (const GpsRecord& r : records) {
+    ids.insert(r.id);
+    times.insert(r.time);
+    stats.extent.ExpandToInclude(r.location);
+  }
+  stats.trajectories = static_cast<std::int64_t>(ids.size());
+  stats.locations = static_cast<std::int64_t>(records.size());
+  stats.snapshots = static_cast<std::int64_t>(times.size());
+  stats.storage_mb = static_cast<double>(records.size() * sizeof(GpsRecord)) /
+                     (1024.0 * 1024.0);
+  return stats;
+}
+
+std::vector<Snapshot> Dataset::ToSnapshots() const {
+  std::vector<Snapshot> snapshots;
+  for (const GpsRecord& r : records) {
+    if (snapshots.empty() || snapshots.back().time != r.time) {
+      COMOVE_CHECK_MSG(snapshots.empty() || snapshots.back().time < r.time,
+                       "dataset records are not sorted by time");
+      snapshots.push_back(Snapshot{r.time, {}});
+    }
+    snapshots.back().entries.push_back(SnapshotEntry{r.id, r.location});
+  }
+  return snapshots;
+}
+
+Dataset Dataset::SampleObjects(double ratio) const {
+  COMOVE_CHECK(ratio > 0.0 && ratio <= 1.0);
+  TrajectoryId max_id = -1;
+  for (const GpsRecord& r : records) max_id = std::max(max_id, r.id);
+  const auto cutoff = static_cast<TrajectoryId>(
+      std::ceil(ratio * static_cast<double>(max_id + 1)));
+  Dataset out;
+  out.name = name;
+  out.interval_seconds = interval_seconds;
+  for (const GpsRecord& r : records) {
+    if (r.id < cutoff) out.records.push_back(r);
+  }
+  return out;
+}
+
+Dataset Dataset::TruncateTime(Timestamp max_time) const {
+  Dataset out;
+  out.name = name;
+  out.interval_seconds = interval_seconds;
+  for (const GpsRecord& r : records) {
+    if (r.time < max_time) out.records.push_back(r);
+  }
+  return out;
+}
+
+Dataset DatasetBuilder::Finalize(double interval_seconds) {
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const GpsRecord& a, const GpsRecord& b) {
+                     return a.time != b.time ? a.time < b.time
+                                             : a.id < b.id;
+                   });
+  // Drop duplicate (id, time) reports and link last_time per trajectory.
+  std::unordered_map<TrajectoryId, Timestamp> last_seen;
+  std::vector<GpsRecord> cleaned;
+  cleaned.reserve(records_.size());
+  for (GpsRecord& r : records_) {
+    auto [it, inserted] = last_seen.try_emplace(r.id, kNoTime);
+    if (!inserted && it->second == r.time) continue;  // duplicate report
+    r.last_time = it->second;
+    it->second = r.time;
+    cleaned.push_back(r);
+  }
+  Dataset dataset;
+  dataset.name = std::move(name_);
+  dataset.records = std::move(cleaned);
+  dataset.interval_seconds = interval_seconds;
+  records_.clear();
+  return dataset;
+}
+
+}  // namespace comove::trajgen

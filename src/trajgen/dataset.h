@@ -1,0 +1,82 @@
+#ifndef COMOVE_TRAJGEN_DATASET_H_
+#define COMOVE_TRAJGEN_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/types.h"
+
+/// \file
+/// In-memory trajectory datasets: the unit the generators produce and the
+/// streaming pipeline replays. Records are sorted by (time, id) and carry
+/// correct last_time links, so a dataset can be replayed as a faithful
+/// stream source for the §4 synchronisation protocol.
+
+namespace comove::trajgen {
+
+/// Summary statistics in the shape of the paper's Table 2.
+struct DatasetStats {
+  std::int64_t trajectories = 0;
+  std::int64_t locations = 0;   ///< total GPS records
+  std::int64_t snapshots = 0;   ///< distinct times with at least one record
+  double storage_mb = 0.0;      ///< in-memory record storage
+  Rect extent = Rect::Empty();
+
+  /// Maximal L1 distance across the extent; the paper expresses eps and lg
+  /// as percentages of this value.
+  double MaxDistance() const { return extent.Width() + extent.Height(); }
+};
+
+/// A finite trajectory dataset that models a stream.
+struct Dataset {
+  std::string name;
+  /// Records sorted by (time, id) with last_time chains per trajectory.
+  std::vector<GpsRecord> records;
+  /// Nominal interval duration of the discretisation, for documentation.
+  double interval_seconds = 1.0;
+
+  DatasetStats ComputeStats() const;
+
+  /// Groups the records into per-time snapshots (sorted by time). This is
+  /// the "oracle" snapshot view used by non-streaming components and by
+  /// tests that validate the streaming assembler.
+  std::vector<Snapshot> ToSnapshots() const;
+
+  /// Keeps only trajectories with id < ceil(ratio * #trajectories): the
+  /// paper's "ratio of objects" Or knob (Fig. 12). Ids are assumed dense
+  /// from 0. Returns a new dataset; last_time links remain valid because
+  /// whole trajectories are kept or dropped.
+  Dataset SampleObjects(double ratio) const;
+
+  /// Keeps only records with time < max_time (trajectory prefixes),
+  /// re-deriving nothing: prefixes preserve last_time chains.
+  Dataset TruncateTime(Timestamp max_time) const;
+};
+
+/// Incremental builder: append positions in any order, then Finalize() to
+/// sort and derive last_time links.
+class DatasetBuilder {
+ public:
+  explicit DatasetBuilder(std::string name) : name_(std::move(name)) {}
+
+  /// Appends a report of trajectory `id` at discrete time `t`.
+  void Add(TrajectoryId id, Timestamp t, const Point& location) {
+    records_.push_back(GpsRecord{id, location, t, kNoTime});
+  }
+
+  std::size_t size() const { return records_.size(); }
+
+  /// Sorts records, drops duplicate (id, time) reports (keeping the first),
+  /// links last_time chains, and returns the finished dataset.
+  Dataset Finalize(double interval_seconds = 1.0);
+
+ private:
+  std::string name_;
+  std::vector<GpsRecord> records_;
+};
+
+}  // namespace comove::trajgen
+
+#endif  // COMOVE_TRAJGEN_DATASET_H_

@@ -1,0 +1,161 @@
+#include "trajgen/road_network.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "common/check.h"
+
+namespace comove::trajgen {
+
+double RoadClassSpeed(RoadClass cls) {
+  switch (cls) {
+    case RoadClass::kStreet:
+      return 8.0;
+    case RoadClass::kArterial:
+      return 14.0;
+    case RoadClass::kHighway:
+      return 25.0;
+  }
+  return 8.0;
+}
+
+void RoadNetwork::AddEdge(NodeId a, NodeId b, RoadClass cls) {
+  RoadEdge e;
+  e.from = a;
+  e.to = b;
+  e.length = L2Distance(node(a), node(b));
+  e.road_class = cls;
+  const auto index = static_cast<std::int32_t>(edges_.size());
+  edges_.push_back(e);
+  adjacency_[static_cast<std::size_t>(a)].push_back(index);
+  adjacency_[static_cast<std::size_t>(b)].push_back(index);
+}
+
+RoadNetwork RoadNetwork::Synthesize(const RoadNetworkOptions& options,
+                                    std::uint64_t seed) {
+  COMOVE_CHECK(options.grid_nx >= 2 && options.grid_ny >= 2);
+  // Retry with derived seeds until the random deletions leave the graph
+  // connected (almost always the first attempt).
+  for (std::uint64_t attempt = 0; attempt < 32; ++attempt) {
+    Rng rng(seed + attempt * 0x9E3779B9ULL);
+    RoadNetwork net;
+    const std::int32_t nx = options.grid_nx;
+    const std::int32_t ny = options.grid_ny;
+    net.nodes_.reserve(static_cast<std::size_t>(nx * ny));
+    for (std::int32_t y = 0; y < ny; ++y) {
+      for (std::int32_t x = 0; x < nx; ++x) {
+        const double jx =
+            rng.Uniform(-options.jitter, options.jitter) * options.spacing;
+        const double jy =
+            rng.Uniform(-options.jitter, options.jitter) * options.spacing;
+        net.nodes_.push_back(
+            Point{x * options.spacing + jx, y * options.spacing + jy});
+      }
+    }
+    net.adjacency_.assign(net.nodes_.size(), {});
+
+    const auto id_of = [nx](std::int32_t x, std::int32_t y) {
+      return static_cast<NodeId>(y * nx + x);
+    };
+    const auto class_of = [&](bool along_x, std::int32_t row) {
+      const auto stride =
+          static_cast<std::int32_t>(options.highway_row_stride);
+      if (stride > 0 && row % stride == 0) {
+        return along_x ? RoadClass::kHighway : RoadClass::kArterial;
+      }
+      return RoadClass::kStreet;
+    };
+    for (std::int32_t y = 0; y < ny; ++y) {
+      for (std::int32_t x = 0; x < nx; ++x) {
+        if (x + 1 < nx && !rng.Bernoulli(options.edge_drop_prob)) {
+          net.AddEdge(id_of(x, y), id_of(x + 1, y), class_of(true, y));
+        }
+        if (y + 1 < ny && !rng.Bernoulli(options.edge_drop_prob)) {
+          net.AddEdge(id_of(x, y), id_of(x, y + 1), class_of(false, x));
+        }
+        if (x + 1 < nx && y + 1 < ny &&
+            rng.Bernoulli(options.diagonal_prob)) {
+          net.AddEdge(id_of(x, y), id_of(x + 1, y + 1), RoadClass::kStreet);
+        }
+      }
+    }
+    if (net.IsConnected()) return net;
+  }
+  COMOVE_CHECK_MSG(false, "failed to synthesize a connected road network");
+  return RoadNetwork();  // unreachable
+}
+
+Rect RoadNetwork::Extent() const {
+  Rect r = Rect::Empty();
+  for (const Point& p : nodes_) r.ExpandToInclude(p);
+  return r;
+}
+
+std::vector<NodeId> RoadNetwork::ShortestPath(NodeId from, NodeId to) const {
+  const std::size_t n = nodes_.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n, kInf);
+  std::vector<NodeId> prev(n, -1);
+  using QueueEntry = std::pair<double, NodeId>;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  dist[static_cast<std::size_t>(from)] = 0.0;
+  queue.emplace(0.0, from);
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    if (u == to) break;
+    for (const std::int32_t ei : adjacency_[static_cast<std::size_t>(u)]) {
+      const RoadEdge& e = edges_[static_cast<std::size_t>(ei)];
+      const NodeId v = e.from == u ? e.to : e.from;
+      const double nd = d + e.TravelTime();
+      if (nd < dist[static_cast<std::size_t>(v)]) {
+        dist[static_cast<std::size_t>(v)] = nd;
+        prev[static_cast<std::size_t>(v)] = u;
+        queue.emplace(nd, v);
+      }
+    }
+  }
+  if (dist[static_cast<std::size_t>(to)] == kInf) return {};
+  std::vector<NodeId> path;
+  for (NodeId v = to; v != -1; v = prev[static_cast<std::size_t>(v)]) {
+    path.push_back(v);
+    if (v == from) break;
+  }
+  std::reverse(path.begin(), path.end());
+  COMOVE_CHECK(path.front() == from && path.back() == to);
+  return path;
+}
+
+NodeId RoadNetwork::RandomNode(Rng* rng) const {
+  return static_cast<NodeId>(
+      rng->UniformInt(0, static_cast<std::int64_t>(nodes_.size()) - 1));
+}
+
+bool RoadNetwork::IsConnected() const {
+  if (nodes_.empty()) return false;
+  std::vector<bool> visited(nodes_.size(), false);
+  std::vector<NodeId> stack = {0};
+  visited[0] = true;
+  std::size_t seen = 1;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (const std::int32_t ei : adjacency_[static_cast<std::size_t>(u)]) {
+      const RoadEdge& e = edges_[static_cast<std::size_t>(ei)];
+      const NodeId v = e.from == u ? e.to : e.from;
+      if (!visited[static_cast<std::size_t>(v)]) {
+        visited[static_cast<std::size_t>(v)] = true;
+        ++seen;
+        stack.push_back(v);
+      }
+    }
+  }
+  return seen == nodes_.size();
+}
+
+}  // namespace comove::trajgen

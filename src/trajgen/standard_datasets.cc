@@ -1,0 +1,69 @@
+#include "trajgen/standard_datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "trajgen/brinkhoff_generator.h"
+#include "trajgen/waypoint_generator.h"
+
+namespace comove::trajgen {
+
+namespace {
+
+std::int32_t Scaled(std::int32_t base, double scale, std::int32_t floor) {
+  return std::max(floor,
+                  static_cast<std::int32_t>(std::lround(base * scale)));
+}
+
+}  // namespace
+
+const char* StandardDatasetName(StandardDataset which) {
+  switch (which) {
+    case StandardDataset::kGeoLife:
+      return "GeoLife";
+    case StandardDataset::kTaxi:
+      return "Taxi";
+    case StandardDataset::kBrinkhoff:
+      return "Brinkhoff";
+  }
+  return "unknown";
+}
+
+Dataset MakeStandardDataset(StandardDataset which, double scale,
+                            std::uint64_t seed) {
+  COMOVE_CHECK(scale > 0.0 && scale <= 1.0);
+  switch (which) {
+    case StandardDataset::kGeoLife: {
+      WaypointOptions options;
+      options.name = "GeoLife";
+      options.object_count = Scaled(1800, scale, 40);
+      options.duration = Scaled(400, scale, 40);
+      options.poi_count = Scaled(60, scale, 8);
+      options.group_count = Scaled(40, scale, 4);
+      options.group_size = 6;
+      options.report_prob = 0.9;
+      options.interval_seconds = 1.0;
+      return GenerateGeoLifeLike(options, seed);
+    }
+    case StandardDataset::kTaxi: {
+      // The densest dataset of the three (Table 2: ~9x the locations of
+      // GeoLife for a similar trajectory count).
+      return GenerateTaxiLike(Scaled(2000, scale, 40),
+                              Scaled(500, scale, 40), seed);
+    }
+    case StandardDataset::kBrinkhoff: {
+      BrinkhoffOptions options;
+      options.name = "Brinkhoff";
+      options.object_count = Scaled(1000, scale, 40);
+      options.duration = Scaled(400, scale, 40);
+      options.group_count = Scaled(30, scale, 4);
+      options.group_size = 8;
+      return GenerateBrinkhoff(options, seed);
+    }
+  }
+  COMOVE_CHECK(false);
+  return Dataset{};
+}
+
+}  // namespace comove::trajgen

@@ -1,0 +1,36 @@
+#ifndef COMOVE_TRAJGEN_STANDARD_DATASETS_H_
+#define COMOVE_TRAJGEN_STANDARD_DATASETS_H_
+
+#include <cstdint>
+
+#include "trajgen/dataset.h"
+
+/// \file
+/// The three evaluation datasets of the paper (Table 2), reproduced as
+/// synthetic stand-ins at laptop scale (see DESIGN.md for the substitution
+/// rationale). `scale` in (0, 1] shrinks object counts and durations
+/// proportionally; benches use small scales, examples and tests smaller
+/// still. Seeds are fixed so every consumer sees identical data.
+
+namespace comove::trajgen {
+
+/// Which standard dataset to synthesize.
+enum class StandardDataset {
+  kGeoLife,    ///< GeoLife-like: mixed-mode people around a city centre
+  kTaxi,       ///< Taxi-like: dense fleet on a road network, 5 s sampling
+  kBrinkhoff,  ///< Brinkhoff: network-based moving objects, 1 s sampling
+};
+
+/// Human-readable dataset name ("GeoLife", "Taxi", "Brinkhoff").
+const char* StandardDatasetName(StandardDataset which);
+
+/// Builds the dataset at the given scale. At scale = 1 the defaults are
+/// roughly 2000 objects x 400 ticks (laptop budget); the paper's full
+/// datasets are larger but the algorithms only see per-snapshot state, so
+/// the parameter sweeps preserve the evaluation's shape.
+Dataset MakeStandardDataset(StandardDataset which, double scale = 1.0,
+                            std::uint64_t seed = 42);
+
+}  // namespace comove::trajgen
+
+#endif  // COMOVE_TRAJGEN_STANDARD_DATASETS_H_

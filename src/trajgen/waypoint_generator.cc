@@ -1,0 +1,154 @@
+#include "trajgen/waypoint_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace comove::trajgen {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Travel speeds per transport mode (distance units per tick).
+constexpr double kModeSpeeds[] = {1.5, 5.0, 15.0};  // walk, bike, drive
+
+/// A person's journey state: moving towards a POI or dwelling there.
+struct Person {
+  Point position;
+  Point target;
+  double speed = 1.5;
+  Timestamp dwell_left = 0;
+};
+
+Point SamplePoi(const std::vector<Point>& pois, Rng* rng) {
+  return pois[static_cast<std::size_t>(
+      rng->UniformInt(0, static_cast<std::int64_t>(pois.size()) - 1))];
+}
+
+void StepTowardsTarget(Person* p) {
+  const double dx = p->target.x - p->position.x;
+  const double dy = p->target.y - p->position.y;
+  const double dist = std::sqrt(dx * dx + dy * dy);
+  if (dist <= p->speed) {
+    p->position = p->target;
+  } else {
+    p->position.x += dx / dist * p->speed;
+    p->position.y += dy / dist * p->speed;
+  }
+}
+
+bool AtTarget(const Person& p) {
+  return p.position.x == p.target.x && p.position.y == p.target.y;
+}
+
+void BeginTrip(const std::vector<Point>& pois, Rng* rng, Person* p) {
+  p->target = SamplePoi(pois, rng);
+  p->speed = kModeSpeeds[rng->UniformInt(0, 2)];
+}
+
+}  // namespace
+
+Dataset GenerateGeoLifeLike(const WaypointOptions& options,
+                            std::uint64_t seed) {
+  COMOVE_CHECK(options.object_count > 0 && options.duration > 0);
+  COMOVE_CHECK(options.poi_count >= 2);
+  Rng rng(seed);
+
+  // POIs cluster around the city centre: radius drawn from a folded
+  // Gaussian so density decays outward (GeoLife's dense urban core).
+  std::vector<Point> pois;
+  pois.reserve(static_cast<std::size_t>(options.poi_count));
+  for (std::int32_t i = 0; i < options.poi_count; ++i) {
+    const double radius = std::abs(rng.Gaussian(
+        0.0, options.center_concentration * options.city_radius));
+    const double angle = rng.Uniform(0, 2 * kPi);
+    pois.push_back(Point{radius * std::cos(angle),
+                         radius * std::sin(angle)});
+  }
+
+  // Shuffled id assignment (see brinkhoff_generator.cc for rationale).
+  std::vector<TrajectoryId> ids(
+      static_cast<std::size_t>(options.object_count));
+  std::iota(ids.begin(), ids.end(), 0);
+  for (std::size_t i = ids.size(); i > 1; --i) {
+    std::swap(ids[i - 1], ids[static_cast<std::size_t>(rng.UniformInt(
+                              0, static_cast<std::int64_t>(i) - 1))]);
+  }
+
+  DatasetBuilder builder(options.name);
+  const std::int32_t grouped =
+      std::min(options.object_count,
+               options.group_count * options.group_size);
+  const std::int32_t group_count =
+      options.group_size > 0 ? grouped / options.group_size : 0;
+
+  std::int32_t next_object = 0;
+
+  // --- Grouped people share one leader itinerary. ------------------------
+  for (std::int32_t g = 0; g < group_count; ++g) {
+    Person leader;
+    leader.position = SamplePoi(pois, &rng);
+    BeginTrip(pois, &rng, &leader);
+    std::vector<TrajectoryId> member_ids;
+    std::vector<Point> offsets;
+    for (std::int32_t k = 0; k < options.group_size; ++k) {
+      member_ids.push_back(ids[static_cast<std::size_t>(next_object++)]);
+      offsets.push_back(Point{
+          rng.Uniform(-options.group_jitter, options.group_jitter),
+          rng.Uniform(-options.group_jitter, options.group_jitter)});
+    }
+    for (Timestamp t = 0; t < options.duration; ++t) {
+      for (std::size_t k = 0; k < member_ids.size(); ++k) {
+        if (rng.Bernoulli(options.report_prob)) {
+          builder.Add(member_ids[k], t,
+                      Point{leader.position.x + offsets[k].x,
+                            leader.position.y + offsets[k].y});
+        }
+      }
+      if (leader.dwell_left > 0) {
+        --leader.dwell_left;
+        if (leader.dwell_left == 0) BeginTrip(pois, &rng, &leader);
+      } else {
+        StepTowardsTarget(&leader);
+        if (AtTarget(leader)) {
+          leader.dwell_left = static_cast<Timestamp>(
+              rng.UniformInt(1, options.max_dwell));
+        }
+      }
+    }
+  }
+
+  // --- Independent people. ------------------------------------------------
+  for (; next_object < options.object_count; ++next_object) {
+    const TrajectoryId id = ids[static_cast<std::size_t>(next_object)];
+    Person p;
+    p.position = SamplePoi(pois, &rng);
+    BeginTrip(pois, &rng, &p);
+    const Timestamp entry =
+        static_cast<Timestamp>(rng.UniformInt(0, options.duration / 4));
+    for (Timestamp t = entry; t < options.duration; ++t) {
+      if (rng.Bernoulli(options.report_prob)) {
+        builder.Add(id, t, p.position);
+      }
+      if (p.dwell_left > 0) {
+        --p.dwell_left;
+        if (p.dwell_left == 0) BeginTrip(pois, &rng, &p);
+      } else {
+        StepTowardsTarget(&p);
+        if (AtTarget(p)) {
+          p.dwell_left =
+              static_cast<Timestamp>(rng.UniformInt(1, options.max_dwell));
+        }
+      }
+    }
+  }
+
+  return builder.Finalize(options.interval_seconds);
+}
+
+}  // namespace comove::trajgen

@@ -1,0 +1,42 @@
+#ifndef COMOVE_TRAJGEN_WAYPOINT_GENERATOR_H_
+#define COMOVE_TRAJGEN_WAYPOINT_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "trajgen/dataset.h"
+
+/// \file
+/// GeoLife-like waypoint generator: people travel between points of
+/// interest clustered around a city centre, dwell at each POI, and move
+/// with mode-dependent speeds (walk / bike / drive). Trips are sampled at
+/// 1 s intervals with dropout, matching the character of the GeoLife data
+/// the paper uses (dense centre, mixed modes, 1-5 s sampling). Co-moving
+/// groups travel the same POI itinerary together.
+
+namespace comove::trajgen {
+
+/// Parameters of the GeoLife-like generator.
+struct WaypointOptions {
+  std::string name = "geolife-like";
+  std::int32_t object_count = 800;
+  Timestamp duration = 200;
+  std::int32_t poi_count = 40;
+  double city_radius = 1000.0;     ///< spatial scale of the city
+  double center_concentration = 0.35;  ///< POIs cluster near the centre
+  double report_prob = 0.9;
+  Timestamp max_dwell = 10;        ///< ticks spent at a POI
+  double interval_seconds = 1.0;
+
+  std::int32_t group_count = 25;
+  std::int32_t group_size = 6;
+  double group_jitter = 4.0;
+};
+
+/// Generates a GeoLife-like dataset (deterministic per seed).
+Dataset GenerateGeoLifeLike(const WaypointOptions& options,
+                            std::uint64_t seed);
+
+}  // namespace comove::trajgen
+
+#endif  // COMOVE_TRAJGEN_WAYPOINT_GENERATOR_H_

@@ -1,0 +1,110 @@
+#include "pattern/analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace comove::pattern {
+namespace {
+
+CoMovementPattern P(std::vector<TrajectoryId> objects,
+                    std::vector<Timestamp> times) {
+  return CoMovementPattern{std::move(objects), std::move(times)};
+}
+
+TEST(FilterMaximal, DropsDominatedSubsets) {
+  const auto out = FilterMaximalPatterns({
+      P({1, 2}, {0, 1, 2, 3}),
+      P({1, 2, 3}, {0, 1, 2, 3}),
+      P({2, 3}, {0, 1, 2, 3}),
+  });
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].objects, (std::vector<TrajectoryId>{1, 2, 3}));
+}
+
+TEST(FilterMaximal, KeepsSubsetWithLongerSupport) {
+  // {1,2} co-move longer than the superset {1,2,3}; both are maximal.
+  const auto out = FilterMaximalPatterns({
+      P({1, 2}, {0, 1, 2, 3, 4, 5}),
+      P({1, 2, 3}, {0, 1, 2, 3}),
+  });
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(FilterMaximal, UnrelatedPatternsSurvive) {
+  const auto out = FilterMaximalPatterns({
+      P({1, 2}, {0, 1}),
+      P({3, 4}, {5, 6}),
+  });
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(FilterMaximal, ChainOfDominationLeavesOnlyTop) {
+  const auto out = FilterMaximalPatterns({
+      P({1, 2}, {1, 2}),
+      P({1, 2, 3}, {1, 2}),
+      P({1, 2, 3, 4}, {1, 2}),
+  });
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].objects.size(), 4u);
+}
+
+TEST(FilterMaximal, EmptyInput) {
+  EXPECT_TRUE(FilterMaximalPatterns({}).empty());
+}
+
+TEST(Statistics, AggregatesBasics) {
+  const auto stats = ComputePatternStatistics({
+      P({1, 2}, {0, 1, 2}),
+      P({3, 4, 5}, {1, 2, 3, 4}),
+  });
+  EXPECT_EQ(stats.pattern_count, 2);
+  EXPECT_EQ(stats.distinct_objects, 5);
+  EXPECT_DOUBLE_EQ(stats.mean_size, 2.5);
+  EXPECT_DOUBLE_EQ(stats.mean_duration, 3.5);
+  EXPECT_EQ(stats.max_size, 3);
+  EXPECT_EQ(stats.max_duration, 4);
+  EXPECT_EQ(stats.size_histogram.at(2), 1);
+  EXPECT_EQ(stats.size_histogram.at(3), 1);
+}
+
+TEST(Statistics, EmptySet) {
+  const auto stats = ComputePatternStatistics({});
+  EXPECT_EQ(stats.pattern_count, 0);
+  EXPECT_DOUBLE_EQ(stats.mean_size, 0.0);
+}
+
+TEST(CoMovementGraph, EdgesWeightedByLongestSharedPattern) {
+  const auto graph = CoMovementGraph::FromPatterns({
+      P({1, 2}, {0, 1, 2, 3, 4}),   // weight 5
+      P({1, 2, 3}, {0, 1, 2}),      // weight 3 for (1,3), (2,3)
+  });
+  EXPECT_EQ(graph.EdgeWeight(1, 2), 5);  // max of 5 and 3
+  EXPECT_EQ(graph.EdgeWeight(2, 1), 5);  // symmetric
+  EXPECT_EQ(graph.EdgeWeight(1, 3), 3);
+  EXPECT_EQ(graph.EdgeWeight(1, 9), 0);
+  EXPECT_EQ(graph.edge_count(), 3);
+  EXPECT_EQ(graph.Degree(1), 2);
+  EXPECT_EQ(graph.Degree(3), 2);
+  EXPECT_EQ(graph.Degree(42), 0);
+}
+
+TEST(CoMovementGraph, ComponentsAreTravelCommunities) {
+  const auto graph = CoMovementGraph::FromPatterns({
+      P({1, 2, 3}, {0, 1}),
+      P({2, 4}, {5, 6}),
+      P({10, 11}, {0, 1}),
+  });
+  const auto components = graph.Components();
+  ASSERT_EQ(components.size(), 2u);
+  EXPECT_EQ(components[0], (std::vector<TrajectoryId>{1, 2, 3, 4}));
+  EXPECT_EQ(components[1], (std::vector<TrajectoryId>{10, 11}));
+}
+
+TEST(CoMovementGraph, EmptyPatternsYieldEmptyGraph) {
+  const auto graph = CoMovementGraph::FromPatterns({});
+  EXPECT_EQ(graph.node_count(), 0);
+  EXPECT_EQ(graph.edge_count(), 0);
+  EXPECT_TRUE(graph.Components().empty());
+}
+
+}  // namespace
+}  // namespace comove::pattern

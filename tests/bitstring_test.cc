@@ -1,0 +1,145 @@
+#include "pattern/bitstring.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace comove::pattern {
+namespace {
+
+TEST(BitString, EmptyAndBasicSetGet) {
+  BitString b(5, 10);
+  EXPECT_EQ(b.length(), 10);
+  EXPECT_EQ(b.start_time(), 5);
+  EXPECT_EQ(b.CountOnes(), 0);
+  b.Set(3, true);
+  EXPECT_TRUE(b.Get(3));
+  EXPECT_FALSE(b.Get(2));
+  b.Set(3, false);
+  EXPECT_EQ(b.CountOnes(), 0);
+}
+
+TEST(BitString, FromTimesIgnoresOutOfWindow) {
+  const BitString b = BitString::FromTimes(10, 4, {8, 10, 12, 13, 14, 99});
+  EXPECT_EQ(b.ToString(), "1011");
+}
+
+TEST(BitString, AppendGrowsAcrossWordBoundary) {
+  BitString b(0, 0);
+  for (int i = 0; i < 130; ++i) b.Append(i % 3 == 0);
+  EXPECT_EQ(b.length(), 130);
+  EXPECT_EQ(b.CountOnes(), 44);  // ceil(130/3)
+  EXPECT_TRUE(b.Get(129) == (129 % 3 == 0));
+  EXPECT_TRUE(b.Get(126));
+}
+
+TEST(BitString, OneTimesAreAbsolute) {
+  const BitString b = BitString::FromTimes(100, 8, {100, 103, 107});
+  EXPECT_EQ(b.OneTimes(), (std::vector<Timestamp>{100, 103, 107}));
+}
+
+TEST(BitString, FirstLastOneAndTrailingZeros) {
+  BitString b(0, 12);
+  EXPECT_EQ(b.FirstOne(), -1);
+  EXPECT_EQ(b.LastOne(), -1);
+  EXPECT_EQ(b.TrailingZeros(), 12);
+  b.Set(2, true);
+  b.Set(7, true);
+  EXPECT_EQ(b.FirstOne(), 2);
+  EXPECT_EQ(b.LastOne(), 7);
+  EXPECT_EQ(b.TrailingZeros(), 4);
+}
+
+TEST(BitString, TrimTrailingZeros) {
+  BitString b = BitString::FromTimes(0, 10, {1, 4});
+  b.TrimTrailingZeros();
+  EXPECT_EQ(b.length(), 5);
+  EXPECT_EQ(b.ToString(), "01001");
+  BitString all_zero(0, 6);
+  all_zero.TrimTrailingZeros();
+  EXPECT_EQ(all_zero.length(), 0);
+}
+
+TEST(BitString, PaperFigure8AndComposition) {
+  // B[o5] = 111111, B[o6] = 110111, B[o7] = 110011 (window starts at 3).
+  const BitString o5 = BitString::FromTimes(3, 6, {3, 4, 5, 6, 7, 8});
+  const BitString o6 = BitString::FromTimes(3, 6, {3, 4, 6, 7, 8});
+  const BitString o7 = BitString::FromTimes(3, 6, {3, 4, 7, 8});
+  EXPECT_EQ(BitString::AndAligned(o5, o6).ToString(), "110111");
+  const BitString o567 =
+      BitString::AndAligned(BitString::AndAligned(o5, o6), o7);
+  EXPECT_EQ(o567.ToString(), "110011");
+}
+
+TEST(BitString, PaperFigure8Validity) {
+  // K=4, L=2, G=2: B[o5] = 111111 and B[o6] = 110111 qualify; B[o8] =
+  // 100000 does not.
+  const PatternConstraints c{3, 4, 2, 2};
+  EXPECT_TRUE(BitString::FromTimes(3, 6, {3, 4, 5, 6, 7, 8})
+                  .SatisfiesKLG(c));
+  EXPECT_TRUE(BitString::FromTimes(3, 6, {3, 4, 6, 7, 8}).SatisfiesKLG(c));
+  EXPECT_FALSE(BitString::FromTimes(3, 6, {3}).SatisfiesKLG(c));
+  // Paper-internal inconsistency: Fig. 8 ticks B[o7] = 110011 as valid,
+  // but Definition 3 requires T[i+1] - T[i] <= G and here 7 - 4 = 3 > 2.
+  // Lemma 4's eta formula is tight exactly under the Definition 3
+  // semantics (see time_sequence_test's EtaIsLargeEnoughForWorstCaseWitness
+  // sweep), so we follow the definition: 110011 is NOT 2-connected.
+  EXPECT_FALSE(BitString::FromTimes(3, 6, {3, 4, 7, 8}).SatisfiesKLG(c));
+}
+
+TEST(BitString, AndAlignedWithDifferentStarts) {
+  // Variable-length strings with different anchors (Fig. 9(b)).
+  const BitString o5 = BitString::FromTimes(2, 7, {2, 3, 4, 5, 6, 7, 8});
+  const BitString o6 = BitString::FromTimes(3, 6, {3, 4, 6, 7, 8});
+  const BitString both = BitString::AndAligned(o5, o6);
+  EXPECT_EQ(both.start_time(), 3);
+  EXPECT_EQ(both.length(), 6);
+  EXPECT_EQ(both.OneTimes(), (std::vector<Timestamp>{3, 4, 6, 7, 8}));
+}
+
+TEST(BitString, AndAlignedDisjointWindowsIsEmpty) {
+  const BitString a = BitString::FromTimes(0, 4, {0, 1});
+  const BitString b = BitString::FromTimes(10, 4, {10});
+  EXPECT_TRUE(BitString::AndAligned(a, b).empty());
+}
+
+TEST(BitString, AndAlignedMatchesNaiveOnRandomInputs) {
+  Rng rng(31);
+  for (int round = 0; round < 50; ++round) {
+    const Timestamp sa = static_cast<Timestamp>(rng.UniformInt(0, 40));
+    const Timestamp sb = static_cast<Timestamp>(rng.UniformInt(0, 40));
+    const std::int32_t la = static_cast<std::int32_t>(rng.UniformInt(0, 200));
+    const std::int32_t lb = static_cast<std::int32_t>(rng.UniformInt(0, 200));
+    BitString a(sa, la), b(sb, lb);
+    for (std::int32_t i = 0; i < la; ++i) a.Set(i, rng.Bernoulli(0.4));
+    for (std::int32_t i = 0; i < lb; ++i) b.Set(i, rng.Bernoulli(0.4));
+    const BitString got = BitString::AndAligned(a, b);
+    // Naive: intersect one-time sets.
+    std::vector<Timestamp> expect;
+    for (const Timestamp t : a.OneTimes()) {
+      const auto bt = b.OneTimes();
+      if (std::find(bt.begin(), bt.end(), t) != bt.end()) {
+        expect.push_back(t);
+      }
+    }
+    EXPECT_EQ(got.OneTimes(), expect) << "round " << round;
+    // Result window is the intersection of the operand windows.
+    if (!got.empty()) {
+      EXPECT_GE(got.start_time(), std::max(sa, sb));
+      EXPECT_LE(got.start_time() + got.length(),
+                std::min(sa + la, sb + lb));
+    }
+  }
+}
+
+TEST(BitString, StorageIsPackedNotByteExpanded) {
+  // eta bits must cost ~eta/8 bytes, the point of §6.2's storage bound.
+  BitString b(0, 0);
+  for (int i = 0; i < 64 * 100; ++i) b.Append(true);
+  // 6400 bits = 100 words = 800 bytes; allow slack for the vector header.
+  EXPECT_EQ(b.CountOnes(), 6400);
+  EXPECT_EQ(b.length(), 6400);
+}
+
+}  // namespace
+}  // namespace comove::pattern

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "index/gr_index.h"
+#include "index/rtree.h"
+
+namespace comove {
+namespace {
+
+std::pair<std::vector<Point>, std::vector<TrajectoryId>> RandomPoints(
+    Rng* rng, int n, double extent) {
+  std::vector<Point> points;
+  std::vector<TrajectoryId> ids;
+  for (TrajectoryId id = 0; id < n; ++id) {
+    points.push_back(Point{rng->Uniform(0, extent),
+                           rng->Uniform(0, extent)});
+    ids.push_back(id);
+  }
+  return {points, ids};
+}
+
+TEST(RTreeBulkLoad, EmptyInput) {
+  const RTree tree = RTree::BulkLoad({}, {});
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RTreeBulkLoad, SinglePoint) {
+  const RTree tree = RTree::BulkLoad({Point{1, 2}}, {7});
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.Height(), 1);
+  EXPECT_TRUE(tree.CheckInvariants());
+  std::vector<TrajectoryId> out;
+  tree.QueryRange(Point{1, 2}, 0.1, &out);
+  EXPECT_EQ(out, (std::vector<TrajectoryId>{7}));
+}
+
+TEST(RTreeBulkLoad, InvariantsHoldAcrossSizes) {
+  Rng rng(55);
+  // Sizes chosen around capacity boundaries where underfull nodes lurk.
+  for (const int n : {2, 15, 16, 17, 33, 100, 256, 257, 1000, 4096, 5000}) {
+    auto [points, ids] = RandomPoints(&rng, n, 500.0);
+    const RTree tree = RTree::BulkLoad(points, ids);
+    EXPECT_EQ(tree.size(), static_cast<std::size_t>(n));
+    EXPECT_TRUE(tree.CheckInvariants()) << "n=" << n;
+  }
+}
+
+TEST(RTreeBulkLoad, QueriesMatchIncrementalTree) {
+  Rng rng(56);
+  auto [points, ids] = RandomPoints(&rng, 3000, 200.0);
+  const RTree bulk = RTree::BulkLoad(points, ids);
+  RTree incremental;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    incremental.Insert(points[i], ids[i]);
+  }
+  for (int q = 0; q < 40; ++q) {
+    const Point c{rng.Uniform(0, 200), rng.Uniform(0, 200)};
+    const double eps = rng.Uniform(0.5, 25.0);
+    std::vector<TrajectoryId> a, b;
+    bulk.QueryRange(c, eps, &a);
+    incremental.QueryRange(c, eps, &b);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << "query " << q;
+  }
+}
+
+TEST(RTreeBulkLoad, PackedTreeIsShallow) {
+  Rng rng(57);
+  auto [points, ids] = RandomPoints(&rng, 4000, 1000.0);
+  const RTreeOptions options{.max_entries = 16, .min_entries = 6};
+  const RTree bulk = RTree::BulkLoad(points, ids, options);
+  RTree incremental(options);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    incremental.Insert(points[i], ids[i]);
+  }
+  // STR packs nodes to capacity: ceil(log16(4000)) = 3 levels.
+  EXPECT_LE(bulk.Height(), 3);
+  EXPECT_LE(bulk.Height(), incremental.Height());
+}
+
+TEST(GRIndexBulkLoad, MatchesIncrementalSnapshotBuild) {
+  Rng rng(58);
+  Snapshot snap;
+  snap.time = 0;
+  for (TrajectoryId id = 0; id < 2000; ++id) {
+    snap.entries.push_back(
+        {id, Point{rng.Uniform(0, 300), rng.Uniform(0, 300)}});
+  }
+  GRIndex bulk(20.0);
+  bulk.BulkLoadSnapshot(snap);
+  GRIndex incremental(20.0);
+  incremental.InsertSnapshot(snap);
+  EXPECT_EQ(bulk.size(), incremental.size());
+  EXPECT_EQ(bulk.cell_count(), incremental.cell_count());
+  for (int q = 0; q < 30; ++q) {
+    const Point c{rng.Uniform(0, 300), rng.Uniform(0, 300)};
+    const double eps = rng.Uniform(1.0, 30.0);
+    std::vector<TrajectoryId> a, b;
+    bulk.QueryRange(c, eps, &a);
+    incremental.QueryRange(c, eps, &b);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(GRIndexBulkLoad, RequiresEmptyIndex) {
+  GRIndex index(10.0);
+  index.Insert(Point{1, 1}, 1);
+  Snapshot snap;
+  snap.entries.push_back({2, Point{2, 2}});
+  EXPECT_DEATH(index.BulkLoadSnapshot(snap), "size_ == 0");
+}
+
+}  // namespace
+}  // namespace comove

@@ -1,0 +1,127 @@
+#include "apps/trajectory_compression.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/icpe_engine.h"
+#include "trajgen/brinkhoff_generator.h"
+
+namespace comove::apps {
+namespace {
+
+/// Group-heavy workload plus the patterns detected on it.
+struct Workload {
+  trajgen::Dataset dataset;
+  std::vector<CoMovementPattern> patterns;
+};
+
+Workload MakeWorkload() {
+  trajgen::BrinkhoffOptions gen;
+  gen.object_count = 60;
+  gen.duration = 60;
+  gen.group_count = 8;
+  gen.group_size = 6;
+  gen.group_jitter = 2.0;
+  gen.report_prob = 1.0;
+  Workload w;
+  w.dataset = GenerateBrinkhoff(gen, 1001);
+  core::IcpeOptions options;
+  options.cluster_options.join =
+      cluster::RangeJoinOptions{.grid_cell_width = 80.0, .eps = 12.0};
+  options.cluster_options.dbscan = cluster::DbscanOptions{3};
+  options.constraints = PatternConstraints{3, 8, 3, 2};
+  w.patterns = RunIcpe(w.dataset, options).patterns;
+  return w;
+}
+
+double MaxError(const trajgen::Dataset& a, const trajgen::Dataset& b) {
+  std::map<std::pair<TrajectoryId, Timestamp>, Point> at;
+  for (const GpsRecord& r : b.records) at[{r.id, r.time}] = r.location;
+  double max_err = 0;
+  for (const GpsRecord& r : a.records) {
+    const auto it = at.find({r.id, r.time});
+    if (it == at.end()) return 1e18;  // lost record: fail loudly
+    max_err = std::max(max_err,
+                       std::max(std::abs(r.location.x - it->second.x),
+                                std::abs(r.location.y - it->second.y)));
+  }
+  return max_err;
+}
+
+std::size_t AbsoluteBaselineBytes(const trajgen::Dataset& dataset) {
+  // Same wire format with every record absolute.
+  CompressedTrajectories plain =
+      CompressWithPatterns(dataset, {}, CompressionOptions{0.0, 1.0});
+  return plain.EstimateBytes();
+}
+
+TEST(Compression, RoundTripWithinTolerance) {
+  const Workload w = MakeWorkload();
+  for (const double tolerance : {0.5, 0.1, 0.01}) {
+    CompressionOptions options;
+    options.tolerance = tolerance;
+    const auto compressed =
+        CompressWithPatterns(w.dataset, w.patterns, options);
+    const trajgen::Dataset restored = compressed.Decompress();
+    EXPECT_EQ(restored.records.size(), w.dataset.records.size());
+    EXPECT_LE(MaxError(w.dataset, restored), tolerance / 2 + 1e-9)
+        << "tolerance " << tolerance;
+  }
+}
+
+TEST(Compression, LosslessModeIsExact) {
+  const Workload w = MakeWorkload();
+  CompressionOptions options;
+  options.tolerance = 0.0;
+  const auto compressed =
+      CompressWithPatterns(w.dataset, w.patterns, options);
+  EXPECT_EQ(compressed.delta_records(), 0u);
+  EXPECT_DOUBLE_EQ(MaxError(w.dataset, compressed.Decompress()), 0.0);
+}
+
+TEST(Compression, PatternsShrinkGroupHeavyData) {
+  const Workload w = MakeWorkload();
+  ASSERT_FALSE(w.patterns.empty());
+  const auto compressed = CompressWithPatterns(w.dataset, w.patterns,
+                                               CompressionOptions{0.5, 64.0});
+  const std::size_t baseline = AbsoluteBaselineBytes(w.dataset);
+  const std::size_t with_patterns = compressed.EstimateBytes();
+  EXPECT_LT(with_patterns, baseline);
+  // Most grouped objects' records should ride as deltas.
+  EXPECT_GT(compressed.delta_records(), compressed.total_records() / 4);
+  const double ratio = static_cast<double>(baseline) /
+                       static_cast<double>(with_patterns);
+  EXPECT_GT(ratio, 1.2);
+}
+
+TEST(Compression, NoPatternsMeansNoDeltas) {
+  const Workload w = MakeWorkload();
+  const auto compressed = CompressWithPatterns(w.dataset, {});
+  EXPECT_EQ(compressed.delta_records(), 0u);
+  EXPECT_EQ(compressed.total_records(), w.dataset.records.size());
+}
+
+TEST(Compression, ReferencesAlwaysPointToSmallerIds) {
+  const Workload w = MakeWorkload();
+  const auto compressed = CompressWithPatterns(w.dataset, w.patterns);
+  for (const auto& [id, ref] : compressed.references) {
+    EXPECT_LT(ref, id);
+  }
+}
+
+TEST(Compression, LastTimeLinksSurviveRoundTrip) {
+  const Workload w = MakeWorkload();
+  const auto compressed = CompressWithPatterns(w.dataset, w.patterns);
+  const trajgen::Dataset restored = compressed.Decompress();
+  ASSERT_EQ(restored.records.size(), w.dataset.records.size());
+  for (std::size_t i = 0; i < restored.records.size(); ++i) {
+    EXPECT_EQ(restored.records[i].id, w.dataset.records[i].id);
+    EXPECT_EQ(restored.records[i].time, w.dataset.records[i].time);
+    EXPECT_EQ(restored.records[i].last_time,
+              w.dataset.records[i].last_time);
+  }
+}
+
+}  // namespace
+}  // namespace comove::apps

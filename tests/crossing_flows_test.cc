@@ -1,0 +1,104 @@
+#include "trajgen/crossing_flows.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/icpe_engine.h"
+
+namespace comove::trajgen {
+namespace {
+
+CrossingFlowsOptions Options() {
+  CrossingFlowsOptions options;
+  options.platoons_per_flow = 3;
+  options.platoon_size = 4;
+  options.duration = 60;
+  options.speed = 10.0;
+  options.lane_jitter = 1.5;
+  return options;
+}
+
+TEST(CrossingFlows, StreamContractHolds) {
+  const Dataset d = GenerateCrossingFlows(Options(), 7);
+  Timestamp prev = kNoTime;
+  std::map<TrajectoryId, Timestamp> last;
+  for (const GpsRecord& r : d.records) {
+    ASSERT_GE(r.time, prev);
+    prev = r.time;
+    auto [it, inserted] = last.try_emplace(r.id, kNoTime);
+    ASSERT_EQ(r.last_time, it->second);
+    it->second = r.time;
+  }
+  EXPECT_EQ(d.ComputeStats().trajectories, 2 * 3 * 4);
+}
+
+TEST(CrossingFlows, FlowsActuallyCross) {
+  // At mid-run, lead platoons of both flows are near the origin.
+  const CrossingFlowsOptions options = Options();
+  const Dataset d = GenerateCrossingFlows(options, 7);
+  const Timestamp mid = options.duration / 2;
+  bool near_origin_a = false;
+  bool near_origin_b = false;
+  for (const GpsRecord& r : d.records) {
+    if (r.time != mid) continue;
+    if (L1Distance(r.location, Point{0, 0}) < 20.0) {
+      (r.id < 12 ? near_origin_a : near_origin_b) = true;
+    }
+  }
+  EXPECT_TRUE(near_origin_a);
+  EXPECT_TRUE(near_origin_b);
+}
+
+TEST(CrossingFlows, NoMixedFlowPatternsWhenKExceedsCrossingWindow) {
+  const CrossingFlowsOptions options = Options();
+  const Dataset dataset = GenerateCrossingFlows(options, 13);
+  const double eps = 8.0;
+  const Timestamp window = CrossingWindowTicks(options, eps);
+  ASSERT_LT(window, options.duration / 2);
+
+  core::IcpeOptions icpe;
+  icpe.cluster_options.join.eps = eps;
+  icpe.cluster_options.join.grid_cell_width = 60.0;
+  icpe.cluster_options.dbscan.min_pts = 3;
+  // K strictly above the crossing window: mixed patterns cannot qualify.
+  icpe.constraints =
+      PatternConstraints{3, window + 2, 2, 2};
+  const core::IcpeResult result = RunIcpe(dataset, icpe);
+
+  const std::int32_t per_flow = 3 * 4;
+  bool found_within_flow = false;
+  for (const CoMovementPattern& p : result.patterns) {
+    const bool has_a = p.objects.front() < per_flow;
+    const bool has_b = p.objects.back() >= per_flow;
+    EXPECT_FALSE(has_a && has_b)
+        << "mixed-flow pattern detected: a junction false positive";
+    found_within_flow = true;
+  }
+  // The platoons themselves must still be found.
+  EXPECT_TRUE(found_within_flow);
+}
+
+TEST(CrossingFlows, MixedPatternsAppearWithTinyK) {
+  // Sanity that the trap is real: with K inside the crossing window the
+  // junction DOES produce mixed-flow patterns.
+  const CrossingFlowsOptions options = Options();
+  const Dataset dataset = GenerateCrossingFlows(options, 13);
+  core::IcpeOptions icpe;
+  icpe.cluster_options.join.eps = 8.0;
+  icpe.cluster_options.join.grid_cell_width = 60.0;
+  icpe.cluster_options.dbscan.min_pts = 3;
+  icpe.constraints = PatternConstraints{2, 1, 1, 1};  // a single shared tick
+  const core::IcpeResult result = RunIcpe(dataset, icpe);
+  const std::int32_t per_flow = 3 * 4;
+  bool mixed = false;
+  for (const CoMovementPattern& p : result.patterns) {
+    if (p.objects.front() < per_flow && p.objects.back() >= per_flow) {
+      mixed = true;
+    }
+  }
+  EXPECT_TRUE(mixed);
+}
+
+}  // namespace
+}  // namespace comove::trajgen

@@ -1,0 +1,116 @@
+#include "trajgen/csv_loader.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace comove::trajgen {
+namespace {
+
+TEST(CsvLoader, ParsesBasicRecords) {
+  std::istringstream in("1,0,1.5,2.5\n2,0,3.0,4.0\n1,1,1.6,2.6\n");
+  Dataset d;
+  const CsvLoadResult r = LoadCsvDataset(in, "test", &d);
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(d.records.size(), 3u);
+  EXPECT_EQ(d.records[0].id, 1);
+  EXPECT_EQ(d.records[0].location, (Point{1.5, 2.5}));
+  // last_time chains derived on load.
+  EXPECT_EQ(d.records[2].id, 1);
+  EXPECT_EQ(d.records[2].last_time, 0);
+}
+
+TEST(CsvLoader, ToleratesHeaderCommentsAndBlanks) {
+  std::istringstream in(
+      "# exported by fleet tool\n"
+      "\n"
+      "id,time,x,y\n"
+      "7,3,0.0,0.0\n");
+  Dataset d;
+  const CsvLoadResult r = LoadCsvDataset(in, "test", &d);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(d.records.size(), 1u);
+  EXPECT_EQ(r.skipped, 3u);
+}
+
+TEST(CsvLoader, SortsOutOfOrderInput) {
+  std::istringstream in("1,5,0,0\n1,2,0,0\n2,3,0,0\n");
+  Dataset d;
+  ASSERT_TRUE(LoadCsvDataset(in, "test", &d).ok);
+  EXPECT_EQ(d.records[0].time, 2);
+  EXPECT_EQ(d.records[1].time, 3);
+  EXPECT_EQ(d.records[2].time, 5);
+  EXPECT_EQ(d.records[2].last_time, 2);
+}
+
+TEST(CsvLoader, RejectsWrongFieldCount) {
+  std::istringstream in("1,2,3\n");
+  Dataset d;
+  const CsvLoadResult r = LoadCsvDataset(in, "test", &d);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("line 1"), std::string::npos);
+}
+
+TEST(CsvLoader, RejectsNonNumericCoordinates) {
+  std::istringstream in("1,0,1.0,2.0\n2,0,east,north\n");
+  Dataset d;
+  const CsvLoadResult r = LoadCsvDataset(in, "test", &d);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("line 2"), std::string::npos);
+}
+
+TEST(CsvLoader, RejectsNegativeTime) {
+  std::istringstream in("1,-4,1.0,2.0\n");
+  Dataset d;
+  EXPECT_FALSE(LoadCsvDataset(in, "test", &d).ok);
+}
+
+TEST(CsvLoader, RejectsMidFileGarbage) {
+  // A non-numeric line later in the file is an error, not a header.
+  std::istringstream in("1,0,1.0,2.0\nid,time,x,y\n");
+  Dataset d;
+  EXPECT_FALSE(LoadCsvDataset(in, "test", &d).ok);
+}
+
+TEST(CsvLoader, MissingFileReportsError) {
+  Dataset d;
+  const CsvLoadResult r =
+      LoadCsvDatasetFile("/nonexistent/path.csv", &d);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("cannot open"), std::string::npos);
+}
+
+TEST(CsvLoader, RoundTripPreservesRecords) {
+  DatasetBuilder b("orig");
+  b.Add(3, 0, Point{1.25, -2.5});
+  b.Add(3, 2, Point{1.5, -2.25});
+  b.Add(9, 1, Point{100.0, 200.0});
+  const Dataset original = b.Finalize();
+
+  std::ostringstream out;
+  WriteCsvDataset(original, out);
+  std::istringstream in(out.str());
+  Dataset loaded;
+  ASSERT_TRUE(LoadCsvDataset(in, "copy", &loaded).ok);
+  ASSERT_EQ(loaded.records.size(), original.records.size());
+  for (std::size_t i = 0; i < loaded.records.size(); ++i) {
+    EXPECT_EQ(loaded.records[i].id, original.records[i].id);
+    EXPECT_EQ(loaded.records[i].time, original.records[i].time);
+    EXPECT_EQ(loaded.records[i].last_time, original.records[i].last_time);
+    EXPECT_DOUBLE_EQ(loaded.records[i].location.x,
+                     original.records[i].location.x);
+    EXPECT_DOUBLE_EQ(loaded.records[i].location.y,
+                     original.records[i].location.y);
+  }
+}
+
+TEST(CsvLoader, WhitespaceAroundFieldsTolerated) {
+  std::istringstream in(" 1 , 0 , 1.5 , 2.5 \n");
+  Dataset d;
+  ASSERT_TRUE(LoadCsvDataset(in, "test", &d).ok);
+  ASSERT_EQ(d.records.size(), 1u);
+  EXPECT_EQ(d.records[0].location, (Point{1.5, 2.5}));
+}
+
+}  // namespace
+}  // namespace comove::trajgen

@@ -1,0 +1,109 @@
+#include "trajgen/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+namespace comove::trajgen {
+namespace {
+
+TEST(DatasetBuilder, SortsByTimeThenId) {
+  DatasetBuilder b("t");
+  b.Add(2, 5, Point{1, 1});
+  b.Add(1, 3, Point{2, 2});
+  b.Add(1, 5, Point{3, 3});
+  const Dataset d = b.Finalize();
+  ASSERT_EQ(d.records.size(), 3u);
+  EXPECT_EQ(d.records[0].time, 3);
+  EXPECT_EQ(d.records[1].time, 5);
+  EXPECT_EQ(d.records[1].id, 1);
+  EXPECT_EQ(d.records[2].id, 2);
+}
+
+TEST(DatasetBuilder, LinksLastTimeChains) {
+  DatasetBuilder b("t");
+  b.Add(1, 0, Point{});
+  b.Add(1, 2, Point{});
+  b.Add(1, 5, Point{});
+  b.Add(2, 2, Point{});
+  const Dataset d = b.Finalize();
+  std::unordered_map<TrajectoryId, std::vector<Timestamp>> lasts;
+  for (const GpsRecord& r : d.records) {
+    lasts[r.id].push_back(r.last_time);
+  }
+  EXPECT_EQ(lasts[1], (std::vector<Timestamp>{kNoTime, 0, 2}));
+  EXPECT_EQ(lasts[2], (std::vector<Timestamp>{kNoTime}));
+}
+
+TEST(DatasetBuilder, DropsDuplicateReports) {
+  DatasetBuilder b("t");
+  b.Add(1, 3, Point{1, 1});
+  b.Add(1, 3, Point{9, 9});
+  const Dataset d = b.Finalize();
+  ASSERT_EQ(d.records.size(), 1u);
+  EXPECT_EQ(d.records[0].location, (Point{1, 1}));
+}
+
+TEST(Dataset, ComputeStatsCountsDistinct) {
+  DatasetBuilder b("t");
+  b.Add(1, 0, Point{0, 0});
+  b.Add(2, 0, Point{10, 5});
+  b.Add(1, 7, Point{4, 4});
+  const Dataset d = b.Finalize();
+  const DatasetStats s = d.ComputeStats();
+  EXPECT_EQ(s.trajectories, 2);
+  EXPECT_EQ(s.locations, 3);
+  EXPECT_EQ(s.snapshots, 2);
+  EXPECT_EQ(s.extent, (Rect{0, 0, 10, 5}));
+  EXPECT_DOUBLE_EQ(s.MaxDistance(), 15.0);
+}
+
+TEST(Dataset, ToSnapshotsGroupsByTime) {
+  DatasetBuilder b("t");
+  b.Add(1, 0, Point{});
+  b.Add(2, 0, Point{});
+  b.Add(1, 3, Point{});
+  const Dataset d = b.Finalize();
+  const auto snaps = d.ToSnapshots();
+  ASSERT_EQ(snaps.size(), 2u);
+  EXPECT_EQ(snaps[0].time, 0);
+  EXPECT_EQ(snaps[0].entries.size(), 2u);
+  EXPECT_EQ(snaps[1].time, 3);
+  EXPECT_EQ(snaps[1].entries.size(), 1u);
+}
+
+TEST(Dataset, SampleObjectsKeepsWholeTrajectories) {
+  DatasetBuilder b("t");
+  for (TrajectoryId id = 0; id < 10; ++id) {
+    b.Add(id, 0, Point{});
+    b.Add(id, 1, Point{});
+  }
+  const Dataset d = b.Finalize();
+  const Dataset half = d.SampleObjects(0.5);
+  EXPECT_EQ(half.ComputeStats().trajectories, 5);
+  EXPECT_EQ(half.records.size(), 10u);
+  for (const GpsRecord& r : half.records) EXPECT_LT(r.id, 5);
+}
+
+TEST(Dataset, SampleObjectsFullRatioIsIdentity) {
+  DatasetBuilder b("t");
+  for (TrajectoryId id = 0; id < 7; ++id) b.Add(id, 0, Point{});
+  const Dataset d = b.Finalize();
+  EXPECT_EQ(d.SampleObjects(1.0).records.size(), d.records.size());
+}
+
+TEST(Dataset, TruncateTimeKeepsPrefixes) {
+  DatasetBuilder b("t");
+  b.Add(1, 0, Point{});
+  b.Add(1, 5, Point{});
+  b.Add(1, 9, Point{});
+  const Dataset d = b.Finalize();
+  const Dataset cut = d.TruncateTime(6);
+  ASSERT_EQ(cut.records.size(), 2u);
+  EXPECT_EQ(cut.records.back().time, 5);
+  // Chains stay valid: prefix truncation never breaks a last_time link.
+  EXPECT_EQ(cut.records[1].last_time, 0);
+}
+
+}  // namespace
+}  // namespace comove::trajgen

@@ -1,0 +1,53 @@
+#include "common/discretizer.h"
+
+#include <gtest/gtest.h>
+
+namespace comove {
+namespace {
+
+TEST(TimeDiscretizer, PaperExampleFiveSecondIntervals) {
+  // §3.1: intervals of 5 s starting at 13:00:20 map clock times
+  // {13:00:21, 13:00:24, 13:00:28, 13:00:32, 13:00:42} to {0, 0, 1, 2, 4}.
+  const double epoch = 13 * 3600 + 0 * 60 + 20;
+  const TimeDiscretizer d(5.0, epoch);
+  EXPECT_EQ(d.ToIndex(epoch + 1), 0);
+  EXPECT_EQ(d.ToIndex(epoch + 4), 0);
+  EXPECT_EQ(d.ToIndex(epoch + 8), 1);
+  EXPECT_EQ(d.ToIndex(epoch + 12), 2);
+  EXPECT_EQ(d.ToIndex(epoch + 22), 4);
+}
+
+TEST(TimeDiscretizer, IntervalBoundaryBelongsToNextIndex) {
+  const TimeDiscretizer d(5.0, 100.0);
+  EXPECT_EQ(d.ToIndex(104.999), 0);
+  EXPECT_EQ(d.ToIndex(105.0), 1);
+}
+
+TEST(TimeDiscretizer, OneSecondIntervalsAreIdentityShift) {
+  const TimeDiscretizer d(1.0, 50.0);
+  for (int t = 0; t < 100; ++t) {
+    EXPECT_EQ(d.ToIndex(50.0 + t), t);
+  }
+}
+
+TEST(TimeDiscretizer, ToClockInvertsToIndex) {
+  const TimeDiscretizer d(2.5, 10.0);
+  for (Timestamp i = 0; i < 50; ++i) {
+    const double clock = d.ToClock(i);
+    EXPECT_EQ(d.ToIndex(clock), i);
+    EXPECT_EQ(d.ToIndex(clock + 2.499), i);
+  }
+}
+
+TEST(TimeDiscretizer, AccessorsRoundTrip) {
+  const TimeDiscretizer d(5.0, 42.0);
+  EXPECT_DOUBLE_EQ(d.interval_seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(d.epoch_seconds(), 42.0);
+}
+
+TEST(TimeDiscretizer, RejectsNonPositiveInterval) {
+  EXPECT_DEATH(TimeDiscretizer(0.0, 0.0), "interval_seconds");
+}
+
+}  // namespace
+}  // namespace comove

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "cluster/clustering.h"
+#include "cluster/gdc.h"
+#include "cluster/range_join.h"
+#include "common/geometry.h"
+#include "common/rng.h"
+
+namespace comove::cluster {
+namespace {
+
+Snapshot RandomSnapshot(Rng* rng, int n, double extent) {
+  Snapshot s;
+  for (TrajectoryId id = 0; id < n; ++id) {
+    s.entries.push_back(
+        {id, Point{rng->Uniform(0, extent), rng->Uniform(0, extent)}});
+  }
+  return s;
+}
+
+TEST(DistanceMetric, DispatchAndNames) {
+  const Point a{0, 0};
+  const Point b{3, 4};
+  EXPECT_DOUBLE_EQ(Distance(comove::DistanceMetric::kL1, a, b), 7.0);
+  EXPECT_DOUBLE_EQ(Distance(comove::DistanceMetric::kL2, a, b), 5.0);
+  EXPECT_STREQ(DistanceMetricName(comove::DistanceMetric::kL1), "L1");
+  EXPECT_STREQ(DistanceMetricName(comove::DistanceMetric::kL2), "L2");
+}
+
+TEST(DistanceMetric, L2BallInsideRangeRegion) {
+  // The square region remains a correct filter for L2.
+  const Point c{0, 0};
+  const Rect region = Rect::RangeRegion(c, 1.0);
+  for (double angle = 0; angle < 6.28; angle += 0.1) {
+    EXPECT_TRUE(region.Contains(
+        Point{std::cos(angle) * 0.999, std::sin(angle) * 0.999}));
+  }
+}
+
+TEST(DistanceMetric, JoinsDiffer) {
+  // (0.8, 0.8): L1 = 1.6 > 1 but L2 ~ 1.13 > 1; (0.6, 0.6): L1 = 1.2 > 1,
+  // L2 ~ 0.85 <= 1 - the metrics genuinely disagree on this pair.
+  Snapshot s;
+  s.entries = {{0, Point{0, 0}}, {1, Point{0.6, 0.6}}};
+  RangeJoinOptions l1{.grid_cell_width = 2.0, .eps = 1.0};
+  RangeJoinOptions l2 = l1;
+  l2.metric = comove::DistanceMetric::kL2;
+  EXPECT_TRUE(RangeJoinRJC(s, l1).empty());
+  EXPECT_EQ(RangeJoinRJC(s, l2).size(), 1u);
+}
+
+TEST(DistanceMetric, AllJoinVariantsMatchBruteUnderL2) {
+  Rng rng(61);
+  for (int round = 0; round < 4; ++round) {
+    const Snapshot s = RandomSnapshot(&rng, 400, 60.0);
+    RangeJoinOptions options{.grid_cell_width = 5.0, .eps = 3.0};
+    options.metric = comove::DistanceMetric::kL2;
+    const auto brute =
+        RangeJoinBrute(s, options.eps, comove::DistanceMetric::kL2);
+    EXPECT_EQ(RangeJoinRJC(s, options), brute);
+    EXPECT_EQ(RangeJoinSRJ(s, options), brute);
+    EXPECT_EQ(GdcNeighborPairs(s, options.eps,
+                               comove::DistanceMetric::kL2),
+              brute);
+  }
+}
+
+TEST(DistanceMetric, ClusteringConsistentAcrossMethodsUnderL2) {
+  Rng rng(62);
+  const Snapshot s = RandomSnapshot(&rng, 500, 80.0);
+  ClusteringOptions options;
+  options.join = RangeJoinOptions{.grid_cell_width = 6.0, .eps = 2.5};
+  options.join.metric = comove::DistanceMetric::kL2;
+  options.dbscan = DbscanOptions{4};
+  const auto rjc = ClusterSnapshotWith(ClusteringMethod::kRJC, s, options);
+  const auto srj = ClusterSnapshotWith(ClusteringMethod::kSRJ, s, options);
+  const auto gdc = ClusterSnapshotWith(ClusteringMethod::kGDC, s, options);
+  ASSERT_EQ(rjc.clusters.size(), srj.clusters.size());
+  ASSERT_EQ(rjc.clusters.size(), gdc.clusters.size());
+  for (std::size_t i = 0; i < rjc.clusters.size(); ++i) {
+    EXPECT_EQ(rjc.clusters[i].members, srj.clusters[i].members);
+    EXPECT_EQ(rjc.clusters[i].members, gdc.clusters[i].members);
+  }
+}
+
+}  // namespace
+}  // namespace comove::cluster

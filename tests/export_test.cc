@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "apps/json_export.h"
+#include "apps/svg_export.h"
+#include "pattern/live_index.h"
+#include "trajgen/brinkhoff_generator.h"
+
+namespace comove {
+namespace {
+
+CoMovementPattern P(std::vector<TrajectoryId> objects,
+                    std::vector<Timestamp> times) {
+  return CoMovementPattern{std::move(objects), std::move(times)};
+}
+
+TEST(JsonExport, PatternsArrayWellFormed) {
+  std::ostringstream out;
+  apps::WritePatternsJson({P({1, 2}, {0, 1, 2}), P({3, 4, 5}, {7})}, out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("{\"objects\":[1,2],\"times\":[0,1,2]}"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"objects\":[3,4,5],\"times\":[7]}"),
+            std::string::npos);
+  // Brace/bracket balance.
+  int depth = 0;
+  for (const char c : json) {
+    if (c == '[' || c == '{') ++depth;
+    if (c == ']' || c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(JsonExport, EmptyPatternsIsEmptyArray) {
+  std::ostringstream out;
+  apps::WritePatternsJson({}, out);
+  EXPECT_EQ(out.str(), "[\n]\n");
+}
+
+TEST(JsonExport, ResultIncludesMetrics) {
+  core::IcpeResult result;
+  result.snapshots.snapshots = 10;
+  result.snapshots.average_latency_ms = 1.5;
+  result.snapshots.throughput_tps = 123.0;
+  result.patterns.push_back(P({1, 2}, {3, 4}));
+  std::ostringstream out;
+  apps::WriteResultJson(result, out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"snapshots\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"throughput_tps\": 123"), std::string::npos);
+  EXPECT_NE(json.find("\"objects\":[1,2]"), std::string::npos);
+}
+
+TEST(SvgExport, ProducesBalancedDocument) {
+  trajgen::BrinkhoffOptions gen;
+  gen.object_count = 30;
+  gen.duration = 20;
+  gen.group_count = 3;
+  gen.group_size = 4;
+  const trajgen::Dataset dataset = GenerateBrinkhoff(gen, 8);
+  std::ostringstream out;
+  apps::WriteSvg(dataset, {P({0, 1, 2}, {0, 1, 2, 3})}, out);
+  const std::string svg = out.str();
+  EXPECT_EQ(svg.find("<svg"), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+  // Pattern members get a palette colour, others grey.
+  EXPECT_NE(svg.find("#cccccc"), std::string::npos);
+  EXPECT_NE(svg.find("#e6194b"), std::string::npos);
+}
+
+TEST(SvgExport, EmptyDatasetStillValid) {
+  trajgen::Dataset dataset;
+  dataset.name = "empty";
+  std::ostringstream out;
+  apps::WriteSvg(dataset, {}, out);
+  EXPECT_EQ(out.str().find("<svg"), 0u);
+  EXPECT_NE(out.str().find("</svg>"), std::string::npos);
+}
+
+TEST(LivePatternIndex, BasicQueries) {
+  pattern::LivePatternIndex index;
+  auto sink = index.AsSink();
+  sink(P({1, 2}, {0, 1, 2, 3}));
+  sink(P({1, 2, 3}, {1, 2}));
+  sink(P({4, 5}, {10, 11}));
+  EXPECT_EQ(index.size(), 3u);
+
+  EXPECT_EQ(index.PatternsContaining(1).size(), 2u);
+  EXPECT_EQ(index.PatternsContaining(4).size(), 1u);
+  EXPECT_TRUE(index.PatternsContaining(99).empty());
+
+  EXPECT_EQ(index.ActiveAt(1).size(), 2u);
+  EXPECT_EQ(index.ActiveAt(10).size(), 1u);
+  EXPECT_TRUE(index.ActiveAt(77).empty());
+
+  EXPECT_EQ(index.CompanionsOf(1), (std::vector<TrajectoryId>{2, 3}));
+  EXPECT_EQ(index.CompanionsOf(5), (std::vector<TrajectoryId>{4}));
+
+  EXPECT_EQ(index.StrongestPatternOf(1).times.size(), 4u);
+  EXPECT_TRUE(index.StrongestPatternOf(42).objects.empty());
+}
+
+TEST(LivePatternIndex, DuplicateEmissionsKeepLongestWitness) {
+  pattern::LivePatternIndex index;
+  index.Add(P({1, 2}, {0, 1}));
+  index.Add(P({1, 2}, {0, 1, 2, 3, 4}));
+  index.Add(P({1, 2}, {5, 6}));
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_EQ(index.StrongestPatternOf(1).times.size(), 5u);
+}
+
+TEST(LivePatternIndex, ConcurrentAddsAreSafe) {
+  pattern::LivePatternIndex index;
+  auto sink = index.AsSink();
+  std::thread a([&] {
+    for (TrajectoryId i = 0; i < 500; ++i) sink(P({i, i + 1000}, {0, 1}));
+  });
+  std::thread b([&] {
+    for (TrajectoryId i = 0; i < 500; ++i) sink(P({i, i + 2000}, {0, 1}));
+  });
+  a.join();
+  b.join();
+  EXPECT_EQ(index.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace comove

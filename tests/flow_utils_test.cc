@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "common/stopwatch.h"
+#include "flow/element.h"
+#include "flow/task_group.h"
+
+namespace comove::flow {
+namespace {
+
+TEST(Element, DataFactoryCarriesPayloadAndProducer) {
+  const auto e = Element<int>::Data(42, 3);
+  EXPECT_TRUE(e.is_data());
+  EXPECT_FALSE(e.is_watermark());
+  EXPECT_EQ(e.data, 42);
+  EXPECT_EQ(e.producer, 3);
+}
+
+TEST(Element, WatermarkFactory) {
+  const auto e = Element<int>::Watermark(17, 1);
+  EXPECT_TRUE(e.is_watermark());
+  EXPECT_FALSE(e.is_data());
+  EXPECT_EQ(e.watermark, 17);
+  EXPECT_EQ(e.producer, 1);
+}
+
+TEST(TaskGroup, RunsAllSpawnedTasks) {
+  std::atomic<int> counter{0};
+  {
+    TaskGroup group;
+    for (int i = 0; i < 8; ++i) {
+      group.Spawn([&counter] { ++counter; });
+    }
+    group.JoinAll();
+    EXPECT_EQ(counter.load(), 8);
+    EXPECT_EQ(group.size(), 0u);
+  }
+}
+
+TEST(TaskGroup, SpawnIndexedPassesDistinctIndices) {
+  std::atomic<int> sum{0};
+  TaskGroup group;
+  group.SpawnIndexed(5, [&sum](std::int32_t i) { sum += i; });
+  group.JoinAll();
+  EXPECT_EQ(sum.load(), 0 + 1 + 2 + 3 + 4);
+}
+
+TEST(TaskGroup, DestructorJoinsOutstandingTasks) {
+  std::atomic<bool> finished{false};
+  {
+    TaskGroup group;
+    group.Spawn([&finished] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      finished = true;
+    });
+    // No explicit JoinAll: the destructor must wait.
+  }
+  EXPECT_TRUE(finished.load());
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  EXPECT_GE(watch.ElapsedMillis(), 20.0);
+  EXPECT_GE(watch.ElapsedMicros(), 20000);
+  EXPECT_GE(watch.ElapsedSeconds(), 0.02);
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedMillis(), 20.0);
+}
+
+}  // namespace
+}  // namespace comove::flow

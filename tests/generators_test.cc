@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "trajgen/brinkhoff_generator.h"
+#include "trajgen/standard_datasets.h"
+#include "trajgen/waypoint_generator.h"
+
+namespace comove::trajgen {
+namespace {
+
+/// Validates the streaming contract every generator must satisfy: sorted
+/// records, dense ids, valid last_time chains.
+void CheckStreamContract(const Dataset& d) {
+  std::unordered_map<TrajectoryId, Timestamp> last;
+  Timestamp prev_time = kNoTime;
+  for (const GpsRecord& r : d.records) {
+    ASSERT_GE(r.time, prev_time) << "records must be time-sorted";
+    prev_time = r.time;
+    auto [it, inserted] = last.try_emplace(r.id, kNoTime);
+    ASSERT_EQ(r.last_time, it->second)
+        << "broken last_time chain for trajectory " << r.id;
+    ASSERT_GT(r.time, r.last_time);
+    it->second = r.time;
+  }
+}
+
+TEST(BrinkhoffGenerator, ProducesContractCompliantStream) {
+  BrinkhoffOptions options;
+  options.object_count = 120;
+  options.duration = 60;
+  options.group_count = 5;
+  options.group_size = 6;
+  const Dataset d = GenerateBrinkhoff(options, 11);
+  EXPECT_GT(d.records.size(), 1000u);
+  CheckStreamContract(d);
+}
+
+TEST(BrinkhoffGenerator, DeterministicPerSeed) {
+  BrinkhoffOptions options;
+  options.object_count = 50;
+  options.duration = 30;
+  const Dataset a = GenerateBrinkhoff(options, 5);
+  const Dataset b = GenerateBrinkhoff(options, 5);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].id, b.records[i].id);
+    EXPECT_EQ(a.records[i].time, b.records[i].time);
+    EXPECT_EQ(a.records[i].location, b.records[i].location);
+  }
+}
+
+TEST(BrinkhoffGenerator, DifferentSeedsDiffer) {
+  BrinkhoffOptions options;
+  options.object_count = 50;
+  options.duration = 30;
+  const Dataset a = GenerateBrinkhoff(options, 5);
+  const Dataset b = GenerateBrinkhoff(options, 6);
+  EXPECT_NE(a.records.size(), b.records.size());
+}
+
+TEST(BrinkhoffGenerator, GroupMembersStayClose) {
+  // With groups seeded, some pairs of objects must track each other over
+  // many snapshots within a small L1 radius.
+  BrinkhoffOptions options;
+  options.object_count = 60;
+  options.duration = 80;
+  options.group_count = 6;
+  options.group_size = 5;
+  options.group_jitter = 2.0;
+  options.straggle_prob = 0.0;
+  options.report_prob = 1.0;
+  const Dataset d = GenerateBrinkhoff(options, 21);
+
+  // Position lookup per (time, id).
+  std::map<std::pair<Timestamp, TrajectoryId>, Point> at;
+  std::map<TrajectoryId, std::int64_t> counts;
+  for (const GpsRecord& r : d.records) {
+    at[{r.time, r.id}] = r.location;
+    ++counts[r.id];
+  }
+  // Count ticks each pair is within 10 units; a seeded group pair should
+  // co-move for essentially its whole lifetime (> 50 ticks here).
+  std::int64_t best_pair_ticks = 0;
+  for (TrajectoryId a = 0; a < 60; ++a) {
+    for (TrajectoryId b = a + 1; b < 60; ++b) {
+      std::int64_t ticks = 0;
+      for (Timestamp t = 0; t < 80; ++t) {
+        auto ia = at.find({t, a});
+        auto ib = at.find({t, b});
+        if (ia != at.end() && ib != at.end() &&
+            L1Distance(ia->second, ib->second) <= 10.0) {
+          ++ticks;
+        }
+      }
+      best_pair_ticks = std::max(best_pair_ticks, ticks);
+    }
+  }
+  EXPECT_GT(best_pair_ticks, 50);
+}
+
+TEST(WaypointGenerator, ProducesContractCompliantStream) {
+  WaypointOptions options;
+  options.object_count = 100;
+  options.duration = 60;
+  const Dataset d = GenerateGeoLifeLike(options, 3);
+  EXPECT_GT(d.records.size(), 1000u);
+  CheckStreamContract(d);
+}
+
+TEST(WaypointGenerator, PositionsWithinPlausibleCityBounds) {
+  WaypointOptions options;
+  options.object_count = 80;
+  options.duration = 50;
+  options.city_radius = 1000.0;
+  const Dataset d = GenerateGeoLifeLike(options, 9);
+  const DatasetStats s = d.ComputeStats();
+  // POIs are Gaussian around the centre; essentially everything stays
+  // within a few radii.
+  EXPECT_LT(s.extent.Width(), 8 * options.city_radius);
+  EXPECT_LT(s.extent.Height(), 8 * options.city_radius);
+}
+
+TEST(TaxiLike, FleetsReportDensely) {
+  const Dataset d = GenerateTaxiLike(100, 50, 13);
+  CheckStreamContract(d);
+  const DatasetStats s = d.ComputeStats();
+  // reroute_prob = 1 keeps every taxi in service for the whole duration;
+  // report_prob = 0.98 keeps sampling dense.
+  EXPECT_GT(static_cast<double>(s.locations),
+            0.9 * 100 * 50);
+  EXPECT_DOUBLE_EQ(d.interval_seconds, 5.0);
+}
+
+TEST(StandardDatasets, AllThreeMaterializeAtSmallScale) {
+  for (const auto which :
+       {StandardDataset::kGeoLife, StandardDataset::kTaxi,
+        StandardDataset::kBrinkhoff}) {
+    const Dataset d = MakeStandardDataset(which, 0.05);
+    const DatasetStats s = d.ComputeStats();
+    EXPECT_GT(s.trajectories, 10) << StandardDatasetName(which);
+    EXPECT_GT(s.snapshots, 10) << StandardDatasetName(which);
+    CheckStreamContract(d);
+  }
+}
+
+TEST(StandardDatasets, TaxiIsDensest) {
+  // Table 2 shape: Taxi has by far the most locations relative to its
+  // trajectory count.
+  const auto geolife =
+      MakeStandardDataset(StandardDataset::kGeoLife, 0.1).ComputeStats();
+  const auto taxi =
+      MakeStandardDataset(StandardDataset::kTaxi, 0.1).ComputeStats();
+  const double geolife_density =
+      static_cast<double>(geolife.locations) /
+      static_cast<double>(geolife.trajectories);
+  const double taxi_density = static_cast<double>(taxi.locations) /
+                              static_cast<double>(taxi.trajectories);
+  EXPECT_GT(taxi_density, geolife_density);
+}
+
+}  // namespace
+}  // namespace comove::trajgen

@@ -1,0 +1,101 @@
+#include "index/gr_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace comove {
+namespace {
+
+TEST(GRIndex, EmptyIndexReturnsNothing) {
+  GRIndex index(3.0);
+  std::vector<TrajectoryId> out;
+  index.QueryRange(Point{0, 0}, 10.0, &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(index.cell_count(), 0u);
+}
+
+TEST(GRIndex, CrossCellRangeQuery) {
+  // Points in different grid cells must still be found when the range
+  // region spans cells (the o9/o7 example of §5.2).
+  GRIndex index(3.0);
+  index.Insert(Point{2.9, 2.9}, 1);  // cell <0,0>
+  index.Insert(Point{3.1, 3.1}, 2);  // cell <1,1>
+  std::vector<TrajectoryId> out;
+  index.QueryRange(Point{2.9, 2.9}, 0.5, &out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<TrajectoryId>{1, 2}));
+  EXPECT_EQ(index.cell_count(), 2u);
+}
+
+TEST(GRIndex, InsertSnapshotIndexesEverything) {
+  Snapshot snap;
+  snap.time = 3;
+  for (TrajectoryId id = 0; id < 20; ++id) {
+    snap.entries.push_back(
+        {id, Point{static_cast<double>(id), static_cast<double>(id)}});
+  }
+  GRIndex index(5.0);
+  index.InsertSnapshot(snap);
+  EXPECT_EQ(index.size(), 20u);
+  std::vector<TrajectoryId> out;
+  index.QueryRange(Point{10, 10}, 2.0, &out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<TrajectoryId>{9, 10, 11}));
+}
+
+TEST(GRIndex, MatchesBruteForceRandomly) {
+  Rng rng(77);
+  GRIndex index(7.0);
+  std::vector<Point> points;
+  for (TrajectoryId id = 0; id < 3000; ++id) {
+    const Point p{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    points.push_back(p);
+    index.Insert(p, id);
+  }
+  for (int q = 0; q < 40; ++q) {
+    const Point c{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    const double eps = rng.Uniform(0.5, 15.0);
+    std::vector<TrajectoryId> got;
+    index.QueryRange(c, eps, &got);
+    std::sort(got.begin(), got.end());
+    std::vector<TrajectoryId> expect;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (L1Distance(points[i], c) <= eps) {
+        expect.push_back(static_cast<TrajectoryId>(i));
+      }
+    }
+    EXPECT_EQ(got, expect) << "query " << q;
+  }
+}
+
+TEST(GRIndex, CellAccessorExposesLocalTrees) {
+  GRIndex index(10.0);
+  index.Insert(Point{5, 5}, 1);
+  index.Insert(Point{15, 5}, 2);
+  const RTree* cell = index.cell(GridKey{0, 0});
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->size(), 1u);
+  EXPECT_EQ(index.cell(GridKey{9, 9}), nullptr);
+}
+
+TEST(GRIndex, QueryWithEpsLargerThanCellWidth) {
+  GRIndex index(1.0);
+  for (int x = 0; x < 10; ++x) {
+    for (int y = 0; y < 10; ++y) {
+      index.Insert(Point{x + 0.5, y + 0.5},
+                   static_cast<TrajectoryId>(x * 10 + y));
+    }
+  }
+  std::vector<TrajectoryId> out;
+  index.QueryRange(Point{4.5, 4.5}, 3.0, &out);
+  // L1 ball of radius 3 around (4.5, 4.5) over the unit lattice + 0.5:
+  // |dx| + |dy| <= 3 -> 1 + 4*1 + 4*2 + 4*3 = 25 points.
+  EXPECT_EQ(out.size(), 25u);
+}
+
+}  // namespace
+}  // namespace comove

@@ -1,0 +1,82 @@
+#include "index/grid_index.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+namespace comove {
+namespace {
+
+TEST(GridIndex, KeyComputationMatchesPaperExample) {
+  // §5.1: location o5 = (4, 8) with lg = 3 lies in cell <1, 2>.
+  GridIndex grid(3.0);
+  EXPECT_EQ(grid.KeyOf(Point{4, 8}), (GridKey{1, 2}));
+}
+
+TEST(GridIndex, NegativeCoordinatesFloorCorrectly) {
+  GridIndex grid(2.0);
+  EXPECT_EQ(grid.KeyOf(Point{-0.5, -3.5}), (GridKey{-1, -2}));
+  EXPECT_EQ(grid.KeyOf(Point{-2.0, -4.0}), (GridKey{-1, -2}));
+}
+
+TEST(GridIndex, CellBoundaryBelongsToUpperCell) {
+  GridIndex grid(1.0);
+  EXPECT_EQ(grid.KeyOf(Point{3.0, 5.0}), (GridKey{3, 5}));
+}
+
+TEST(GridIndex, CellRectRoundTrips) {
+  GridIndex grid(2.5);
+  const GridKey key{2, -1};
+  const Rect cell = grid.CellRect(key);
+  EXPECT_EQ(cell, (Rect{5.0, -2.5, 7.5, 0.0}));
+  EXPECT_EQ(grid.KeyOf(cell.Center()), key);
+}
+
+TEST(GridIndex, KeysIntersectingSingleCell) {
+  GridIndex grid(10.0);
+  const auto keys = grid.KeysIntersecting(Rect{1, 1, 2, 2});
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], (GridKey{0, 0}));
+}
+
+TEST(GridIndex, KeysIntersectingPaperExample) {
+  // §5.2: o9's range region intersects grid cells g5, g6, g9, g10 -> with
+  // lg = 3 those are the four cells around the point.
+  GridIndex grid(3.0);
+  // Choose a point just below a cell border so eps reaches 4 cells.
+  const Rect region = Rect::RangeRegion(Point{2.5, 5.5}, 1.0);
+  const auto keys = grid.KeysIntersecting(region);
+  const std::set<GridKey> got(keys.begin(), keys.end());
+  const std::set<GridKey> expect{{0, 1}, {0, 2}, {1, 1}, {1, 2}};
+  EXPECT_EQ(got, expect);
+}
+
+TEST(GridIndex, KeysIntersectingCountsMatchSpan) {
+  GridIndex grid(1.0);
+  const auto keys = grid.KeysIntersecting(Rect{0.5, 0.5, 3.5, 2.5});
+  EXPECT_EQ(keys.size(), 4u * 3u);
+}
+
+TEST(GridIndex, EveryIntersectingCellActuallyIntersects) {
+  GridIndex grid(2.0);
+  const Rect region{-3.2, 1.7, 4.9, 6.1};
+  for (const GridKey& key : grid.KeysIntersecting(region)) {
+    EXPECT_TRUE(grid.CellRect(key).Intersects(region));
+  }
+}
+
+TEST(GridKeyHash, ReasonableSpread) {
+  GridKeyHash hash;
+  std::unordered_set<std::size_t> values;
+  for (std::int32_t x = -20; x <= 20; ++x) {
+    for (std::int32_t y = -20; y <= 20; ++y) {
+      values.insert(hash(GridKey{x, y}));
+    }
+  }
+  // 41*41 = 1681 keys should hash with no (or nearly no) collisions.
+  EXPECT_GE(values.size(), 1675u);
+}
+
+}  // namespace
+}  // namespace comove

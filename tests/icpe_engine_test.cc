@@ -1,0 +1,204 @@
+#include "core/icpe_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "cluster/clustering.h"
+#include "core/completion_tracker.h"
+#include "pattern/reference_enumerator.h"
+#include "trajgen/brinkhoff_generator.h"
+#include "trajgen/dataset.h"
+
+namespace comove::core {
+namespace {
+
+using trajgen::Dataset;
+using trajgen::DatasetBuilder;
+
+std::set<std::vector<TrajectoryId>> ObjectSets(
+    const std::vector<CoMovementPattern>& patterns) {
+  std::set<std::vector<TrajectoryId>> out;
+  for (const auto& p : patterns) out.insert(p.objects);
+  return out;
+}
+
+/// Offline oracle: cluster every snapshot with the brute-force join, then
+/// exhaustively enumerate patterns.
+std::set<std::vector<TrajectoryId>> OfflineOracle(
+    const Dataset& dataset, const IcpeOptions& options) {
+  std::vector<ClusterSnapshot> clustered;
+  for (const Snapshot& s : dataset.ToSnapshots()) {
+    clustered.push_back(cluster::DbscanFromNeighbors(
+        s, cluster::RangeJoinBrute(s, options.cluster_options.join.eps),
+        options.cluster_options.dbscan));
+  }
+  return ObjectSets(
+      pattern::ReferenceEnumerate(clustered, options.constraints));
+}
+
+/// A deterministic hand-built dataset with two groups that move together,
+/// split briefly, and rejoin - plus noise objects.
+Dataset TwoGroupDataset() {
+  DatasetBuilder b("two-groups");
+  const Timestamp duration = 14;
+  for (Timestamp t = 0; t < duration; ++t) {
+    // Group A: ids 0..2 around (t, 0); breaks apart at t in [6, 7].
+    for (TrajectoryId id = 0; id < 3; ++id) {
+      double dy = 0.1 * id;
+      if ((t == 6 || t == 7) && id == 2) dy += 50.0;  // straggler
+      b.Add(id, t, Point{static_cast<double>(t), dy});
+    }
+    // Group B: ids 3..5 around (0, t).
+    for (TrajectoryId id = 3; id < 6; ++id) {
+      b.Add(id, t, Point{100.0 + 0.1 * id, static_cast<double>(t)});
+    }
+    // Noise: ids 6..7 far away, moving apart.
+    b.Add(6, t, Point{500.0 + 30.0 * t, 500.0});
+    b.Add(7, t, Point{500.0, 900.0 - 30.0 * t});
+  }
+  return b.Finalize();
+}
+
+IcpeOptions BaseOptions() {
+  IcpeOptions options;
+  options.cluster_options.join =
+      cluster::RangeJoinOptions{.grid_cell_width = 5.0, .eps = 1.0};
+  options.cluster_options.dbscan = cluster::DbscanOptions{2};
+  options.constraints = PatternConstraints{2, 4, 2, 2};
+  options.parallelism = 3;
+  return options;
+}
+
+TEST(IcpeEngine, FindsGroupPatternsEndToEnd) {
+  const Dataset dataset = TwoGroupDataset();
+  IcpeOptions options = BaseOptions();
+  options.constraints = PatternConstraints{3, 4, 2, 2};
+  const IcpeResult result = RunIcpe(dataset, options);
+  const auto sets = ObjectSets(result.patterns);
+  EXPECT_TRUE(sets.count({0, 1, 2}));
+  EXPECT_TRUE(sets.count({3, 4, 5}));
+  // Noise objects never pattern.
+  for (const auto& objects : sets) {
+    EXPECT_FALSE(std::binary_search(objects.begin(), objects.end(), 6));
+    EXPECT_FALSE(std::binary_search(objects.begin(), objects.end(), 7));
+  }
+  EXPECT_EQ(result.snapshot_count, 14);
+  EXPECT_EQ(result.snapshots.snapshots, 14);
+  EXPECT_GT(result.snapshots.throughput_tps, 0.0);
+}
+
+struct EngineConfig {
+  EnumeratorKind enumerator;
+  cluster::ClusteringMethod clustering;
+  std::int32_t parallelism;
+};
+
+class IcpeEngineMatrix : public ::testing::TestWithParam<EngineConfig> {};
+
+TEST_P(IcpeEngineMatrix, MatchesOfflineOracle) {
+  const EngineConfig config = GetParam();
+  const Dataset dataset = TwoGroupDataset();
+  IcpeOptions options = BaseOptions();
+  options.enumerator = config.enumerator;
+  options.clustering = config.clustering;
+  options.parallelism = config.parallelism;
+  const IcpeResult result = RunIcpe(dataset, options);
+  EXPECT_EQ(ObjectSets(result.patterns), OfflineOracle(dataset, options));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, IcpeEngineMatrix,
+    ::testing::Values(
+        EngineConfig{EnumeratorKind::kBA, cluster::ClusteringMethod::kRJC,
+                     1},
+        EngineConfig{EnumeratorKind::kFBA, cluster::ClusteringMethod::kRJC,
+                     1},
+        EngineConfig{EnumeratorKind::kVBA, cluster::ClusteringMethod::kRJC,
+                     1},
+        EngineConfig{EnumeratorKind::kFBA, cluster::ClusteringMethod::kSRJ,
+                     2},
+        EngineConfig{EnumeratorKind::kFBA, cluster::ClusteringMethod::kGDC,
+                     3},
+        EngineConfig{EnumeratorKind::kVBA, cluster::ClusteringMethod::kRJC,
+                     4},
+        EngineConfig{EnumeratorKind::kBA, cluster::ClusteringMethod::kRJC,
+                     4}));
+
+TEST(IcpeEngine, GeneratedWorkloadConsistentAcrossParallelism) {
+  trajgen::BrinkhoffOptions gen;
+  gen.object_count = 60;
+  gen.duration = 40;
+  gen.group_count = 5;
+  gen.group_size = 5;
+  gen.group_jitter = 2.0;
+  const Dataset dataset = GenerateBrinkhoff(gen, 99);
+
+  IcpeOptions options;
+  options.cluster_options.join =
+      cluster::RangeJoinOptions{.grid_cell_width = 60.0, .eps = 12.0};
+  options.cluster_options.dbscan = cluster::DbscanOptions{3};
+  options.constraints = PatternConstraints{3, 6, 3, 2};
+  options.enumerator = EnumeratorKind::kFBA;
+
+  options.parallelism = 1;
+  const auto p1 = ObjectSets(RunIcpe(dataset, options).patterns);
+  options.parallelism = 4;
+  const auto p4 = ObjectSets(RunIcpe(dataset, options).patterns);
+  options.enumerator = EnumeratorKind::kVBA;
+  const auto v4 = ObjectSets(RunIcpe(dataset, options).patterns);
+
+  EXPECT_EQ(p1, p4);
+  EXPECT_EQ(p1, v4);
+  EXPECT_FALSE(p1.empty());  // seeded groups must surface as patterns
+}
+
+TEST(IcpeEngine, ClusteringOnlyModeReportsMetrics) {
+  const Dataset dataset = TwoGroupDataset();
+  IcpeOptions options = BaseOptions();
+  options.enumerator = EnumeratorKind::kNone;
+  const IcpeResult result = RunIcpe(dataset, options);
+  EXPECT_TRUE(result.patterns.empty());
+  EXPECT_EQ(result.snapshots.snapshots, 14);
+  EXPECT_GT(result.avg_cluster_ms, 0.0);
+  EXPECT_GT(result.cluster_count, 0);
+  EXPECT_GE(result.avg_cluster_size, 2.0);
+}
+
+TEST(IcpeEngine, EmptyDatasetRunsClean) {
+  Dataset dataset;
+  dataset.name = "empty";
+  const IcpeResult result = RunIcpe(dataset, BaseOptions());
+  EXPECT_TRUE(result.patterns.empty());
+  EXPECT_EQ(result.snapshot_count, 0);
+}
+
+TEST(CompletionTracker, CompletesAtMinWorkerProgress) {
+  CompletionTracker tracker(3);
+  tracker.Register(1);
+  tracker.Register(2);
+  tracker.Register(5);
+  EXPECT_TRUE(tracker.Update(0, 10).empty());
+  EXPECT_TRUE(tracker.Update(1, 2).empty());
+  const auto done = tracker.Update(2, 3);
+  EXPECT_EQ(done, (std::vector<Timestamp>{1, 2}));
+  EXPECT_EQ(tracker.pending(), 1u);
+  EXPECT_TRUE(tracker.Update(1, 99).empty());  // worker 2 still at 3
+  EXPECT_EQ(tracker.Update(2, 99), (std::vector<Timestamp>{5}));
+  EXPECT_EQ(tracker.pending(), 0u);
+}
+
+TEST(CompletionTracker, ProgressNeverRegresses) {
+  CompletionTracker tracker(2);
+  tracker.Register(4);
+  tracker.Update(0, 10);
+  tracker.Update(1, 10);  // completes 4
+  tracker.Register(7);
+  // A stale report must not regress progress: the frontier is still 10,
+  // so 7 completes immediately despite the lower through-value.
+  EXPECT_EQ(tracker.Update(0, 3), (std::vector<Timestamp>{7}));
+}
+
+}  // namespace
+}  // namespace comove::core

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/icpe_engine.h"
+#include "trajgen/brinkhoff_generator.h"
+#include "trajgen/waypoint_generator.h"
+
+namespace comove::core {
+namespace {
+
+std::set<std::vector<TrajectoryId>> ObjectSets(
+    const std::vector<CoMovementPattern>& patterns) {
+  std::set<std::vector<TrajectoryId>> out;
+  for (const auto& p : patterns) out.insert(p.objects);
+  return out;
+}
+
+IcpeOptions MakeOptions() {
+  IcpeOptions options;
+  options.cluster_options.join =
+      cluster::RangeJoinOptions{.grid_cell_width = 70.0, .eps = 14.0};
+  options.cluster_options.dbscan = cluster::DbscanOptions{3};
+  options.constraints = PatternConstraints{3, 6, 2, 2};
+  options.parallelism = 3;
+  return options;
+}
+
+trajgen::Dataset MakeWorkload(std::uint64_t seed) {
+  trajgen::BrinkhoffOptions gen;
+  gen.object_count = 70;
+  gen.duration = 45;
+  gen.group_count = 6;
+  gen.group_size = 5;
+  return GenerateBrinkhoff(gen, seed);
+}
+
+TEST(IcpeParallelJoin, MatchesSnapshotParallelMode) {
+  const trajgen::Dataset dataset = MakeWorkload(17);
+  IcpeOptions options = MakeOptions();
+  const IcpeResult snapshot_mode = RunIcpe(dataset, options);
+
+  options.join_parallel_cells = true;
+  const IcpeResult cell_mode = RunIcpe(dataset, options);
+
+  EXPECT_EQ(ObjectSets(cell_mode.patterns),
+            ObjectSets(snapshot_mode.patterns));
+  EXPECT_EQ(cell_mode.snapshot_count, snapshot_mode.snapshot_count);
+  EXPECT_EQ(cell_mode.cluster_count, snapshot_mode.cluster_count);
+  EXPECT_FALSE(snapshot_mode.patterns.empty());
+}
+
+TEST(IcpeParallelJoin, WorksWithSrjVariantAndVba) {
+  const trajgen::Dataset dataset = MakeWorkload(23);
+  IcpeOptions options = MakeOptions();
+  options.enumerator = EnumeratorKind::kVBA;
+  const IcpeResult reference = RunIcpe(dataset, options);
+
+  options.join_parallel_cells = true;
+  options.clustering = cluster::ClusteringMethod::kSRJ;
+  const IcpeResult srj_cells = RunIcpe(dataset, options);
+  EXPECT_EQ(ObjectSets(srj_cells.patterns), ObjectSets(reference.patterns));
+}
+
+TEST(IcpeParallelJoin, ClusteringOnlyModeCompletes) {
+  const trajgen::Dataset dataset = MakeWorkload(29);
+  IcpeOptions options = MakeOptions();
+  options.enumerator = EnumeratorKind::kNone;
+  options.join_parallel_cells = true;
+  const IcpeResult result = RunIcpe(dataset, options);
+  EXPECT_TRUE(result.patterns.empty());
+  EXPECT_GT(result.cluster_count, 0);
+  EXPECT_EQ(result.snapshots.snapshots, result.snapshot_count);
+}
+
+TEST(IcpeParallelJoin, VariousParallelismDegrees) {
+  const trajgen::Dataset dataset = MakeWorkload(31);
+  IcpeOptions options = MakeOptions();
+  options.join_parallel_cells = true;
+  std::set<std::vector<TrajectoryId>> reference;
+  for (const std::int32_t n : {1, 2, 5}) {
+    options.parallelism = n;
+    const auto sets = ObjectSets(RunIcpe(dataset, options).patterns);
+    if (n == 1) {
+      reference = sets;
+    } else {
+      EXPECT_EQ(sets, reference) << "N=" << n;
+    }
+  }
+}
+
+TEST(IcpeParallelJoin, GdcIsRejected) {
+  const trajgen::Dataset dataset = MakeWorkload(37);
+  IcpeOptions options = MakeOptions();
+  options.join_parallel_cells = true;
+  options.clustering = cluster::ClusteringMethod::kGDC;
+  EXPECT_DEATH((void)RunIcpe(dataset, options), "GR-index");
+}
+
+TEST(IcpeParallelJoin, CombinesWithShuffledReplay) {
+  // The full gauntlet: out-of-order delivery + cell-parallel join must
+  // still produce the reference patterns.
+  trajgen::WaypointOptions gen;
+  gen.object_count = 60;
+  gen.duration = 40;
+  gen.group_count = 5;
+  gen.group_size = 5;
+  const trajgen::Dataset dataset = GenerateGeoLifeLike(gen, 41);
+  IcpeOptions options = MakeOptions();
+  options.cluster_options.join.eps = 20.0;
+  options.cluster_options.join.grid_cell_width = 150.0;
+  const IcpeResult reference = RunIcpe(dataset, options);
+
+  options.join_parallel_cells = true;
+  options.replay_shuffle_window = 4;
+  const IcpeResult gauntlet = RunIcpe(dataset, options);
+  EXPECT_EQ(ObjectSets(gauntlet.patterns), ObjectSets(reference.patterns));
+}
+
+}  // namespace
+}  // namespace comove::core

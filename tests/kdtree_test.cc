@@ -1,0 +1,108 @@
+#include "index/kdtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace comove {
+namespace {
+
+std::pair<std::vector<Point>, std::vector<TrajectoryId>> RandomPoints(
+    Rng* rng, int n, double extent, bool clustered = false) {
+  std::vector<Point> points;
+  std::vector<TrajectoryId> ids;
+  for (TrajectoryId id = 0; id < n; ++id) {
+    Point p{rng->Uniform(0, extent), rng->Uniform(0, extent)};
+    if (clustered && rng->Bernoulli(0.6)) {
+      p = Point{extent / 2 + rng->Gaussian(0, extent / 30),
+                extent / 2 + rng->Gaussian(0, extent / 30)};
+    }
+    points.push_back(p);
+    ids.push_back(id);
+  }
+  return {points, ids};
+}
+
+TEST(KdTree, EmptyTree) {
+  const KdTree tree = KdTree::Build({}, {});
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+  std::vector<TrajectoryId> out;
+  tree.QueryRange(Point{0, 0}, 100.0, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(KdTree, SinglePoint) {
+  const KdTree tree = KdTree::Build({Point{3, 4}}, {9});
+  EXPECT_TRUE(tree.CheckInvariants());
+  std::vector<TrajectoryId> out;
+  tree.QueryRange(Point{3, 4}, 0.0, &out);
+  EXPECT_EQ(out, (std::vector<TrajectoryId>{9}));
+}
+
+TEST(KdTree, DuplicateCoordinatesAllFound) {
+  std::vector<Point> points(20, Point{5, 5});
+  std::vector<TrajectoryId> ids;
+  for (TrajectoryId id = 0; id < 20; ++id) ids.push_back(id);
+  const KdTree tree = KdTree::Build(points, ids);
+  EXPECT_TRUE(tree.CheckInvariants());
+  std::vector<TrajectoryId> out;
+  tree.QueryRange(Point{5, 5}, 0.5, &out);
+  EXPECT_EQ(out.size(), 20u);
+}
+
+TEST(KdTree, InvariantsAcrossSizes) {
+  Rng rng(64);
+  for (const int n : {2, 3, 7, 64, 255, 1000}) {
+    auto [points, ids] = RandomPoints(&rng, n, 100.0);
+    const KdTree tree = KdTree::Build(points, ids);
+    EXPECT_EQ(tree.size(), static_cast<std::size_t>(n));
+    EXPECT_TRUE(tree.CheckInvariants()) << "n=" << n;
+  }
+}
+
+TEST(KdTree, MatchesBruteForceQueries) {
+  Rng rng(65);
+  for (const bool clustered : {false, true}) {
+    auto [points, ids] = RandomPoints(&rng, 2000, 100.0, clustered);
+    const KdTree tree = KdTree::Build(points, ids);
+    for (int q = 0; q < 40; ++q) {
+      const Point c{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+      const double eps = rng.Uniform(0.5, 20.0);
+      const auto metric = rng.Bernoulli(0.5) ? DistanceMetric::kL1
+                                             : DistanceMetric::kL2;
+      std::vector<TrajectoryId> got;
+      tree.QueryRange(c, eps, &got, metric);
+      std::sort(got.begin(), got.end());
+      std::vector<TrajectoryId> expect;
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        if (Distance(metric, points[i], c) <= eps) {
+          expect.push_back(ids[i]);
+        }
+      }
+      std::sort(expect.begin(), expect.end());
+      EXPECT_EQ(got, expect) << "clustered=" << clustered << " q=" << q;
+    }
+  }
+}
+
+TEST(KdTree, BoundaryPointsOnSplitPlanesFound) {
+  // Points sharing the exact splitting coordinate must not be lost on
+  // either side of the plane.
+  std::vector<Point> points;
+  std::vector<TrajectoryId> ids;
+  for (TrajectoryId id = 0; id < 30; ++id) {
+    points.push_back(Point{static_cast<double>(id % 3), 1.0 * id});
+    ids.push_back(id);
+  }
+  const KdTree tree = KdTree::Build(points, ids);
+  std::vector<TrajectoryId> out;
+  tree.QueryRect(Rect{1.0, -1.0, 1.0, 100.0},
+                 [&](TrajectoryId id, const Point&) { out.push_back(id); });
+  EXPECT_EQ(out.size(), 10u);  // every id with id % 3 == 1
+}
+
+}  // namespace
+}  // namespace comove

@@ -1,0 +1,69 @@
+#include "flow/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace comove::flow {
+namespace {
+
+TEST(SnapshotMetrics, EmptyRunCollectsZeros) {
+  SnapshotMetrics metrics;
+  const RunMetrics m = metrics.Collect();
+  EXPECT_EQ(m.snapshots, 0);
+  EXPECT_DOUBLE_EQ(m.average_latency_ms, 0.0);
+  EXPECT_DOUBLE_EQ(m.throughput_tps, 0.0);
+}
+
+TEST(SnapshotMetrics, CountsCompletedSnapshots) {
+  SnapshotMetrics metrics;
+  for (Timestamp t = 0; t < 5; ++t) metrics.MarkIngest(t);
+  for (Timestamp t = 0; t < 5; ++t) metrics.MarkComplete(t);
+  const RunMetrics m = metrics.Collect();
+  EXPECT_EQ(m.snapshots, 5);
+  EXPECT_GE(m.average_latency_ms, 0.0);
+  EXPECT_GE(m.max_latency_ms, m.average_latency_ms);
+}
+
+TEST(SnapshotMetrics, LatencyReflectsElapsedTime) {
+  SnapshotMetrics metrics;
+  metrics.MarkIngest(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  metrics.MarkComplete(1);
+  const RunMetrics m = metrics.Collect();
+  EXPECT_GE(m.average_latency_ms, 15.0);
+  EXPECT_LT(m.average_latency_ms, 500.0);
+}
+
+TEST(SnapshotMetrics, ThroughputUsesWallSpan) {
+  SnapshotMetrics metrics;
+  for (Timestamp t = 0; t < 10; ++t) metrics.MarkIngest(t);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  for (Timestamp t = 0; t < 10; ++t) metrics.MarkComplete(t);
+  const RunMetrics m = metrics.Collect();
+  EXPECT_GT(m.wall_seconds, 0.0);
+  EXPECT_NEAR(m.throughput_tps, 10.0 / m.wall_seconds, 1e-6);
+}
+
+TEST(SnapshotMetrics, CompleteWithoutIngestAborts) {
+  SnapshotMetrics metrics;
+  EXPECT_DEATH(metrics.MarkComplete(7), "without ingest");
+}
+
+TEST(SnapshotMetrics, ConcurrentMarksAreSafe) {
+  SnapshotMetrics metrics;
+  constexpr int kCount = 2000;
+  for (Timestamp t = 0; t < kCount; ++t) metrics.MarkIngest(t);
+  std::thread a([&] {
+    for (Timestamp t = 0; t < kCount; t += 2) metrics.MarkComplete(t);
+  });
+  std::thread b([&] {
+    for (Timestamp t = 1; t < kCount; t += 2) metrics.MarkComplete(t);
+  });
+  a.join();
+  b.join();
+  EXPECT_EQ(metrics.Collect().snapshots, kCount);
+}
+
+}  // namespace
+}  // namespace comove::flow

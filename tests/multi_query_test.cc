@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/icpe_engine.h"
+#include "pattern/pattern_presets.h"
+#include "trajgen/brinkhoff_generator.h"
+
+namespace comove::core {
+namespace {
+
+std::set<std::vector<TrajectoryId>> ObjectSets(
+    const std::vector<CoMovementPattern>& patterns) {
+  std::set<std::vector<TrajectoryId>> out;
+  for (const auto& p : patterns) out.insert(p.objects);
+  return out;
+}
+
+trajgen::Dataset MakeWorkload() {
+  trajgen::BrinkhoffOptions gen;
+  gen.object_count = 70;
+  gen.duration = 50;
+  gen.group_count = 6;
+  gen.group_size = 5;
+  return GenerateBrinkhoff(gen, 2024);
+}
+
+IcpeOptions BaseOptions() {
+  IcpeOptions options;
+  options.cluster_options.join =
+      cluster::RangeJoinOptions{.grid_cell_width = 80.0, .eps = 14.0};
+  options.cluster_options.dbscan = cluster::DbscanOptions{3};
+  options.constraints = PatternConstraints{3, 6, 2, 2};
+  options.parallelism = 3;
+  return options;
+}
+
+TEST(MultiQuery, EachQueryMatchesItsStandaloneRun) {
+  const trajgen::Dataset dataset = MakeWorkload();
+
+  // Standalone runs for three different queries.
+  IcpeOptions base = BaseOptions();
+  const auto standalone_primary = ObjectSets(RunIcpe(dataset, base).patterns);
+
+  IcpeOptions convoy_options = BaseOptions();
+  convoy_options.constraints = pattern::ConvoyConstraints(3, 8);
+  convoy_options.enumerator = EnumeratorKind::kVBA;
+  const auto standalone_convoy =
+      ObjectSets(RunIcpe(dataset, convoy_options).patterns);
+
+  IcpeOptions loose_options = BaseOptions();
+  loose_options.constraints = PatternConstraints{2, 5, 2, 3};
+  const auto standalone_loose =
+      ObjectSets(RunIcpe(dataset, loose_options).patterns);
+
+  // One shared run with all three queries.
+  IcpeOptions multi = BaseOptions();
+  multi.extra_queries.push_back(
+      PatternQuery{pattern::ConvoyConstraints(3, 8),
+                   EnumeratorKind::kVBA});
+  multi.extra_queries.push_back(
+      PatternQuery{PatternConstraints{2, 5, 2, 3}, EnumeratorKind::kFBA});
+  const IcpeResult result = RunIcpe(dataset, multi);
+
+  EXPECT_EQ(ObjectSets(result.patterns), standalone_primary);
+  ASSERT_EQ(result.extra_patterns.size(), 2u);
+  EXPECT_EQ(ObjectSets(result.extra_patterns[0]), standalone_convoy);
+  EXPECT_EQ(ObjectSets(result.extra_patterns[1]), standalone_loose);
+  EXPECT_FALSE(standalone_loose.empty());
+}
+
+TEST(MultiQuery, ExtrasWithPrimaryNoneStillRun) {
+  const trajgen::Dataset dataset = MakeWorkload();
+  IcpeOptions options = BaseOptions();
+  const auto standalone = ObjectSets(RunIcpe(dataset, options).patterns);
+
+  options.enumerator = EnumeratorKind::kNone;
+  options.extra_queries.push_back(
+      PatternQuery{BaseOptions().constraints, EnumeratorKind::kFBA});
+  const IcpeResult result = RunIcpe(dataset, options);
+  EXPECT_TRUE(result.patterns.empty());
+  ASSERT_EQ(result.extra_patterns.size(), 1u);
+  EXPECT_EQ(ObjectSets(result.extra_patterns[0]), standalone);
+}
+
+TEST(MultiQuery, MixedEnumeratorsAndParallelism) {
+  const trajgen::Dataset dataset = MakeWorkload();
+  IcpeOptions options = BaseOptions();
+  options.parallelism = 5;
+  options.enumerator = EnumeratorKind::kVBA;
+  options.extra_queries.push_back(
+      PatternQuery{options.constraints, EnumeratorKind::kFBA});
+  options.extra_queries.push_back(
+      PatternQuery{options.constraints, EnumeratorKind::kBA});
+  const IcpeResult result = RunIcpe(dataset, options);
+  // Same constraints, three different algorithms: identical output.
+  ASSERT_EQ(result.extra_patterns.size(), 2u);
+  EXPECT_EQ(ObjectSets(result.patterns),
+            ObjectSets(result.extra_patterns[0]));
+  EXPECT_EQ(ObjectSets(result.patterns),
+            ObjectSets(result.extra_patterns[1]));
+  EXPECT_FALSE(result.patterns.empty());
+}
+
+}  // namespace
+}  // namespace comove::core

@@ -1,0 +1,66 @@
+#include "pattern/partition.h"
+
+#include <gtest/gtest.h>
+
+namespace comove::pattern {
+namespace {
+
+ClusterSnapshot Snap(Timestamp t,
+                     std::vector<std::vector<TrajectoryId>> clusters) {
+  ClusterSnapshot s;
+  s.time = t;
+  std::int32_t id = 0;
+  for (auto& members : clusters) {
+    s.clusters.push_back(Cluster{id++, std::move(members)});
+  }
+  return s;
+}
+
+TEST(Partition, PaperFigure7Time1) {
+  // Cluster snapshot at time 1: {o1,o2}, {o3,o4}, {o5,o6,o7}. With M = 2:
+  // P1(o1) = {o2}, P1(o3) = {o4}, P1(o5) = {o6,o7}, P1(o6) = {o7}; owners
+  // whose tails are empty (o2, o4, o7) anchor nothing.
+  const auto parts = MakePartitions(
+      Snap(1, {{1, 2}, {3, 4}, {5, 6, 7}}), PatternConstraints{2, 4, 2, 2});
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0].owner, 1);
+  EXPECT_EQ(parts[0].members, (std::vector<TrajectoryId>{2}));
+  EXPECT_EQ(parts[1].owner, 3);
+  EXPECT_EQ(parts[1].members, (std::vector<TrajectoryId>{4}));
+  EXPECT_EQ(parts[2].owner, 5);
+  EXPECT_EQ(parts[2].members, (std::vector<TrajectoryId>{6, 7}));
+  EXPECT_EQ(parts[3].owner, 6);
+  EXPECT_EQ(parts[3].members, (std::vector<TrajectoryId>{7}));
+}
+
+TEST(Partition, Lemma3DiscardsSmallClusters) {
+  // M = 3 discards both two-member clusters of the Fig. 2 example.
+  const auto parts = MakePartitions(
+      Snap(1, {{1, 2}, {3, 4}, {5, 6, 7}}), PatternConstraints{3, 4, 2, 2});
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].owner, 5);
+  EXPECT_EQ(parts[0].members, (std::vector<TrajectoryId>{6, 7}));
+}
+
+TEST(Partition, ShortTailOwnersSkipped) {
+  // With M = 3 an owner needs >= 2 larger ids; o6 and o7 anchor nothing.
+  const auto parts = MakePartitions(Snap(0, {{5, 6, 7, 8}}),
+                                    PatternConstraints{3, 2, 1, 1});
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].owner, 5);
+  EXPECT_EQ(parts[1].owner, 6);
+}
+
+TEST(Partition, EmptySnapshot) {
+  EXPECT_TRUE(
+      MakePartitions(Snap(0, {}), PatternConstraints{2, 2, 1, 1}).empty());
+}
+
+TEST(Partition, TimeStampPropagates) {
+  const auto parts =
+      MakePartitions(Snap(17, {{1, 2, 3}}), PatternConstraints{2, 2, 1, 1});
+  for (const auto& p : parts) EXPECT_EQ(p.time, 17);
+}
+
+}  // namespace
+}  // namespace comove::pattern

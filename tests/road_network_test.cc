@@ -1,0 +1,118 @@
+#include "trajgen/road_network.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace comove::trajgen {
+namespace {
+
+RoadNetwork SmallNet(std::uint64_t seed = 7) {
+  RoadNetworkOptions options;
+  options.grid_nx = 6;
+  options.grid_ny = 5;
+  return RoadNetwork::Synthesize(options, seed);
+}
+
+TEST(RoadNetwork, SynthesizesExpectedNodeCount) {
+  const RoadNetwork net = SmallNet();
+  EXPECT_EQ(net.node_count(), 30);
+  EXPECT_GT(net.edge_count(), 30);  // grid edges minus drops plus diagonals
+}
+
+TEST(RoadNetwork, IsConnectedBySynthesis) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 99ull}) {
+    EXPECT_TRUE(SmallNet(seed).IsConnected()) << "seed " << seed;
+  }
+}
+
+TEST(RoadNetwork, DeterministicPerSeed) {
+  const RoadNetwork a = SmallNet(5);
+  const RoadNetwork b = SmallNet(5);
+  ASSERT_EQ(a.node_count(), b.node_count());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (NodeId n = 0; n < a.node_count(); ++n) {
+    EXPECT_EQ(a.node(n), b.node(n));
+  }
+}
+
+TEST(RoadNetwork, ShortestPathEndpointsAndAdjacency) {
+  const RoadNetwork net = SmallNet();
+  const auto path = net.ShortestPath(0, net.node_count() - 1);
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path.front(), 0);
+  EXPECT_EQ(path.back(), net.node_count() - 1);
+  // Every consecutive pair must be joined by an edge.
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    bool adjacent = false;
+    for (const std::int32_t ei : net.adjacent(path[i])) {
+      const RoadEdge& e = net.edge(ei);
+      if ((e.from == path[i] && e.to == path[i + 1]) ||
+          (e.to == path[i] && e.from == path[i + 1])) {
+        adjacent = true;
+      }
+    }
+    EXPECT_TRUE(adjacent) << "hop " << i;
+  }
+}
+
+TEST(RoadNetwork, ShortestPathToSelfIsSingleton) {
+  const RoadNetwork net = SmallNet();
+  const auto path = net.ShortestPath(3, 3);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 3);
+}
+
+TEST(RoadNetwork, ShortestPathIsOptimalOnTriangleInequality) {
+  // The travel time along the returned path must never exceed the travel
+  // time of any single direct edge between the endpoints.
+  const RoadNetwork net = SmallNet();
+  for (const std::int32_t ei : net.adjacent(0)) {
+    const RoadEdge& direct = net.edge(ei);
+    const NodeId other = direct.from == 0 ? direct.to : direct.from;
+    const auto path = net.ShortestPath(0, other);
+    double total = 0;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      // Find the cheapest edge for the hop.
+      double best = 1e18;
+      for (const std::int32_t ej : net.adjacent(path[i])) {
+        const RoadEdge& e = net.edge(ej);
+        const NodeId v = e.from == path[i] ? e.to : e.from;
+        if (v == path[i + 1]) best = std::min(best, e.TravelTime());
+      }
+      total += best;
+    }
+    EXPECT_LE(total, direct.TravelTime() + 1e-9);
+  }
+}
+
+TEST(RoadNetwork, SpeedsOrderedByClass) {
+  EXPECT_LT(RoadClassSpeed(RoadClass::kStreet),
+            RoadClassSpeed(RoadClass::kArterial));
+  EXPECT_LT(RoadClassSpeed(RoadClass::kArterial),
+            RoadClassSpeed(RoadClass::kHighway));
+}
+
+TEST(RoadNetwork, RandomNodeInRange) {
+  const RoadNetwork net = SmallNet();
+  Rng rng(1);
+  std::set<NodeId> seen;
+  for (int i = 0; i < 300; ++i) {
+    const NodeId n = net.RandomNode(&rng);
+    ASSERT_GE(n, 0);
+    ASSERT_LT(n, net.node_count());
+    seen.insert(n);
+  }
+  EXPECT_GT(seen.size(), 20u);  // covers most of the 30 nodes
+}
+
+TEST(RoadNetwork, ExtentCoversAllNodes) {
+  const RoadNetwork net = SmallNet();
+  const Rect extent = net.Extent();
+  for (NodeId n = 0; n < net.node_count(); ++n) {
+    EXPECT_TRUE(extent.Contains(net.node(n)));
+  }
+}
+
+}  // namespace
+}  // namespace comove::trajgen

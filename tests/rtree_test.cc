@@ -1,0 +1,165 @@
+#include "index/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace comove {
+namespace {
+
+std::vector<TrajectoryId> SortedRangeQuery(const RTree& tree, const Point& c,
+                                           double eps) {
+  std::vector<TrajectoryId> out;
+  tree.QueryRange(c, eps, &out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Brute-force reference for range queries.
+std::vector<TrajectoryId> BruteRange(const std::vector<Point>& pts,
+                                     const Point& c, double eps) {
+  std::vector<TrajectoryId> out;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (L1Distance(pts[i], c) <= eps) {
+      out.push_back(static_cast<TrajectoryId>(i));
+    }
+  }
+  return out;
+}
+
+TEST(RTree, EmptyTree) {
+  RTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.Height(), 0);
+  EXPECT_TRUE(tree.CheckInvariants());
+  std::vector<TrajectoryId> out;
+  tree.QueryRect(Rect{0, 0, 100, 100}, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RTree, SingleInsertAndQuery) {
+  RTree tree;
+  tree.Insert(Point{5, 5}, 1);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.Height(), 1);
+  EXPECT_EQ(SortedRangeQuery(tree, Point{5, 5}, 0.0),
+            (std::vector<TrajectoryId>{1}));
+  EXPECT_TRUE(SortedRangeQuery(tree, Point{7, 7}, 1.0).empty());
+}
+
+TEST(RTree, DuplicatePointsAllRetained) {
+  RTree tree;
+  for (TrajectoryId id = 0; id < 50; ++id) tree.Insert(Point{1, 1}, id);
+  EXPECT_EQ(tree.size(), 50u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(SortedRangeQuery(tree, Point{1, 1}, 0.1).size(), 50u);
+}
+
+TEST(RTree, RangeQueryUsesL1NotRectangle) {
+  RTree tree;
+  tree.Insert(Point{0, 0}, 0);
+  tree.Insert(Point{0.9, 0.9}, 1);  // in square of eps=1 but L1 = 1.8 > 1
+  tree.Insert(Point{0.5, 0.4}, 2);  // L1 = 0.9 <= 1
+  EXPECT_EQ(SortedRangeQuery(tree, Point{0, 0}, 1.0),
+            (std::vector<TrajectoryId>{0, 2}));
+}
+
+TEST(RTree, QueryRectIsClosed) {
+  RTree tree;
+  tree.Insert(Point{0, 0}, 0);
+  tree.Insert(Point{2, 2}, 1);
+  std::vector<TrajectoryId> out;
+  tree.QueryRect(Rect{0, 0, 2, 2}, &out);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(RTree, GrowsHeightAndKeepsInvariants) {
+  RTree tree(RTreeOptions{.max_entries = 8, .min_entries = 3});
+  Rng rng(123);
+  for (TrajectoryId id = 0; id < 2000; ++id) {
+    tree.Insert(Point{rng.Uniform(0, 1000), rng.Uniform(0, 1000)}, id);
+  }
+  EXPECT_EQ(tree.size(), 2000u);
+  EXPECT_GE(tree.Height(), 3);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RTree, BoundingBoxCoversAll) {
+  RTree tree;
+  tree.Insert(Point{-5, 2}, 0);
+  tree.Insert(Point{9, -3}, 1);
+  tree.Insert(Point{0, 0}, 2);
+  EXPECT_EQ(tree.BoundingBox(), (Rect{-5, -3, 9, 2}));
+}
+
+TEST(RTree, MoveConstructionPreservesContents) {
+  RTree tree;
+  for (TrajectoryId id = 0; id < 100; ++id) {
+    tree.Insert(Point{static_cast<double>(id), 0}, id);
+  }
+  RTree moved = std::move(tree);
+  EXPECT_EQ(moved.size(), 100u);
+  EXPECT_EQ(SortedRangeQuery(moved, Point{50, 0}, 1.5),
+            (std::vector<TrajectoryId>{49, 50, 51}));
+}
+
+struct RandomQueryParam {
+  std::uint64_t seed;
+  int point_count;
+  bool reinsert;
+};
+
+class RTreeRandomized : public ::testing::TestWithParam<RandomQueryParam> {};
+
+TEST_P(RTreeRandomized, MatchesBruteForceOnRandomWorkload) {
+  const RandomQueryParam p = GetParam();
+  Rng rng(p.seed);
+  RTree tree(RTreeOptions{
+      .max_entries = 10, .min_entries = 4, .enable_reinsert = p.reinsert});
+  std::vector<Point> points;
+  points.reserve(p.point_count);
+  for (int i = 0; i < p.point_count; ++i) {
+    // Clustered distribution stresses overlapping nodes.
+    const double cx = rng.Bernoulli(0.5) ? 25.0 : 75.0;
+    const double cy = rng.Bernoulli(0.5) ? 25.0 : 75.0;
+    const Point pt{cx + rng.Gaussian(0, 10), cy + rng.Gaussian(0, 10)};
+    points.push_back(pt);
+    tree.Insert(pt, static_cast<TrajectoryId>(i));
+  }
+  ASSERT_TRUE(tree.CheckInvariants());
+  for (int q = 0; q < 50; ++q) {
+    const Point c{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    const double eps = rng.Uniform(0.1, 20.0);
+    EXPECT_EQ(SortedRangeQuery(tree, c, eps), BruteRange(points, c, eps))
+        << "query " << q << " at " << c << " eps " << eps;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, RTreeRandomized,
+    ::testing::Values(RandomQueryParam{1, 10, true},
+                      RandomQueryParam{2, 100, true},
+                      RandomQueryParam{3, 1000, true},
+                      RandomQueryParam{4, 1000, false},
+                      RandomQueryParam{5, 5000, true},
+                      RandomQueryParam{6, 137, false}));
+
+TEST(RTree, InvariantsUnderManyConfigurations) {
+  for (int max_entries : {4, 8, 16, 32}) {
+    RTree tree(
+        RTreeOptions{.max_entries = max_entries,
+                     .min_entries = std::max(2, max_entries * 2 / 5)});
+    Rng rng(static_cast<std::uint64_t>(max_entries));
+    for (TrajectoryId id = 0; id < 500; ++id) {
+      tree.Insert(Point{rng.Uniform(0, 10), rng.Uniform(0, 10)}, id);
+    }
+    EXPECT_TRUE(tree.CheckInvariants()) << "max_entries=" << max_entries;
+    EXPECT_EQ(tree.size(), 500u);
+  }
+}
+
+}  // namespace
+}  // namespace comove

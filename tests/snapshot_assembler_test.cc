@@ -1,0 +1,259 @@
+#include "flow/snapshot_assembler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace comove::flow {
+namespace {
+
+GpsRecord R(TrajectoryId id, Timestamp t, Timestamp last, double x = 0,
+            double y = 0) {
+  return GpsRecord{id, Point{x, y}, t, last};
+}
+
+std::vector<Snapshot> Collect(std::vector<Snapshot> a,
+                              std::vector<Snapshot> b) {
+  a.insert(a.end(), b.begin(), b.end());
+  return a;
+}
+
+TEST(SnapshotAssembler, SingleTrajectoryInOrder) {
+  SnapshotAssembler asm_;
+  auto out = asm_.OnRecord(R(1, 0, kNoTime));
+  EXPECT_TRUE(out.empty());  // birth bound still unknown
+  out = asm_.AdvanceBirthBound(0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].time, 0);
+  ASSERT_EQ(out[0].entries.size(), 1u);
+  EXPECT_EQ(out[0].entries[0].id, 1);
+}
+
+TEST(SnapshotAssembler, WaitsForMissingIntermediateReport) {
+  // Paper example: received r1 and r3 where r3.last = 2 -> snapshot 2 (and
+  // 3) must wait for r2.
+  SnapshotAssembler asm_;
+  asm_.OnRecord(R(1, 1, kNoTime));
+  // After the only birth, the bound passes; snapshot 1 is complete.
+  auto out = asm_.AdvanceBirthBound(100);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].time, 1);
+  out = asm_.OnRecord(R(1, 3, 2));  // out of chain: buffered, must wait
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(asm_.pending_records(), 1u);
+  // r2 arrives: chain closes, knowledge frontier jumps to 3, and the held
+  // snapshots 2 and 3 drain together.
+  out = asm_.OnRecord(R(1, 2, 1));
+  EXPECT_EQ(asm_.pending_records(), 0u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].time, 2);
+  EXPECT_EQ(out[1].time, 3);
+  EXPECT_EQ(asm_.emitted_through(), 3);
+}
+
+TEST(SnapshotAssembler, DoesNotWaitWhenLastTimeProvesAbsence) {
+  // Paper example: received r1, r2, r3 and r5 with r5.last = 3 -> snapshot
+  // 4 need not wait (no report at time 4 exists).
+  SnapshotAssembler asm_;
+  asm_.OnRecord(R(1, 1, kNoTime));
+  asm_.AdvanceBirthBound(100);
+  asm_.OnRecord(R(1, 2, 1));
+  asm_.OnRecord(R(1, 3, 2));
+  auto out = asm_.OnRecord(R(1, 5, 3));
+  // Snapshot 5 becomes emittable immediately; snapshot 4 is skipped (it has
+  // no entries and is provably complete).
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].time, 5);
+  EXPECT_EQ(asm_.emitted_through(), 5);
+}
+
+TEST(SnapshotAssembler, SlowTrajectoryHoldsBackSnapshots) {
+  SnapshotAssembler asm_;
+  asm_.OnRecord(R(1, 0, kNoTime));
+  asm_.OnRecord(R(2, 0, kNoTime));
+  // Both trajectories born; the bound may now pass every later time.
+  auto out = asm_.AdvanceBirthBound(100);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].time, 0);
+  EXPECT_EQ(out[0].entries.size(), 2u);
+  // Trajectory 2 still has frontier 0 -> snapshot 1 must wait.
+  out = asm_.OnRecord(R(1, 1, 0));
+  EXPECT_TRUE(out.empty());
+  out = asm_.OnRecord(R(2, 1, 0));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].time, 1);
+  EXPECT_EQ(out[0].entries.size(), 2u);
+}
+
+TEST(SnapshotAssembler, TrajectoryEndReleasesHold) {
+  SnapshotAssembler asm_;
+  asm_.OnRecord(R(1, 0, kNoTime));
+  asm_.OnRecord(R(2, 0, kNoTime));
+  asm_.AdvanceBirthBound(100);
+  asm_.OnRecord(R(1, 1, 0));
+  asm_.OnRecord(R(1, 2, 1));
+  auto out = asm_.OnTrajectoryEnd(2);
+  // With trajectory 2 gone, snapshots 1 and 2 drain.
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].time, 1);
+  EXPECT_EQ(out[1].time, 2);
+  EXPECT_EQ(out[0].entries.size(), 1u);
+}
+
+TEST(SnapshotAssembler, BirthBoundGatesEmission) {
+  SnapshotAssembler asm_;
+  asm_.OnRecord(R(1, 0, kNoTime));
+  asm_.OnRecord(R(1, 1, 0));
+  EXPECT_EQ(asm_.emitted_through(), kNoTime);
+  auto out = asm_.AdvanceBirthBound(0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].time, 0);
+  // A new trajectory may still be born at time 1, so snapshot 1 waits.
+  auto first = asm_.OnRecord(R(2, 1, kNoTime));
+  out = Collect(std::move(first), asm_.AdvanceBirthBound(1));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].time, 1);
+  EXPECT_EQ(out[0].entries.size(), 2u);
+}
+
+TEST(SnapshotAssembler, EntriesSortedById) {
+  SnapshotAssembler asm_;
+  asm_.OnRecord(R(5, 0, kNoTime));
+  asm_.OnRecord(R(1, 0, kNoTime));
+  asm_.OnRecord(R(3, 0, kNoTime));
+  auto out = asm_.AdvanceBirthBound(0);
+  ASSERT_EQ(out.size(), 1u);
+  ASSERT_EQ(out[0].entries.size(), 3u);
+  EXPECT_EQ(out[0].entries[0].id, 1);
+  EXPECT_EQ(out[0].entries[1].id, 3);
+  EXPECT_EQ(out[0].entries[2].id, 5);
+}
+
+TEST(SnapshotAssembler, FinishFlushesEverything) {
+  SnapshotAssembler asm_;
+  asm_.OnRecord(R(1, 0, kNoTime));
+  asm_.OnRecord(R(1, 4, 0));
+  asm_.OnRecord(R(2, 2, kNoTime));
+  auto out = asm_.Finish();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].time, 0);
+  EXPECT_EQ(out[1].time, 2);
+  EXPECT_EQ(out[2].time, 4);
+}
+
+TEST(SnapshotAssembler, FinishRecoversBrokenChains) {
+  SnapshotAssembler asm_;
+  asm_.OnRecord(R(1, 0, kNoTime));
+  // Chain broken: record at time 5 references a lost record at time 3.
+  asm_.OnRecord(R(1, 5, 3));
+  EXPECT_EQ(asm_.pending_records(), 1u);
+  auto out = asm_.Finish();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].time, 0);
+  EXPECT_EQ(out[1].time, 5);  // recovered despite the broken chain
+}
+
+TEST(SnapshotAssembler, RandomShuffleMatchesInOrderDelivery) {
+  // Property: for a complete record set, any per-trajectory-consistent
+  // arrival order yields the same snapshots.
+  Rng rng(2024);
+  constexpr int kTrajectories = 30;
+  constexpr int kTimes = 40;
+  std::vector<GpsRecord> records;
+  for (TrajectoryId id = 0; id < kTrajectories; ++id) {
+    Timestamp last = kNoTime;
+    for (Timestamp t = 0; t < kTimes; ++t) {
+      if (rng.Bernoulli(0.7)) {  // 30% of reports are missing
+        records.push_back(R(id, t, last, rng.Uniform(0, 100),
+                            rng.Uniform(0, 100)));
+        last = t;
+      }
+    }
+  }
+
+  // Reference run: deliver in global time order, advancing the birth bound
+  // along the way (valid: every birth at time < t has been delivered before
+  // the bound passes t-1).
+  std::vector<GpsRecord> by_time = records;
+  std::stable_sort(by_time.begin(), by_time.end(),
+                   [](const GpsRecord& a, const GpsRecord& b) {
+                     return a.time < b.time;
+                   });
+  std::vector<Snapshot> reference;
+  {
+    SnapshotAssembler a;
+    for (const GpsRecord& r : by_time) {
+      auto got = a.AdvanceBirthBound(r.time - 1);
+      reference.insert(reference.end(), got.begin(), got.end());
+      got = a.OnRecord(r);
+      reference.insert(reference.end(), got.begin(), got.end());
+    }
+    auto got = a.Finish();
+    reference.insert(reference.end(), got.begin(), got.end());
+  }
+
+  auto run = [&](const std::vector<GpsRecord>& ordered) {
+    SnapshotAssembler a;
+    std::vector<Snapshot> out;
+    for (const GpsRecord& r : ordered) {
+      auto got = a.OnRecord(r);
+      out.insert(out.end(), got.begin(), got.end());
+    }
+    auto got = a.Finish();
+    out.insert(out.end(), got.begin(), got.end());
+    return out;
+  };
+
+  // Shuffle globally (this may reorder within a trajectory too; the
+  // assembler must reconstruct chains via last_time).
+  std::vector<GpsRecord> shuffled = records;
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1],
+              shuffled[static_cast<std::size_t>(
+                  rng.UniformInt(0, static_cast<std::int64_t>(i) - 1))]);
+  }
+  const auto permuted = run(shuffled);
+
+  ASSERT_EQ(reference.size(), permuted.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(reference[i].time, permuted[i].time);
+    ASSERT_EQ(reference[i].entries.size(), permuted[i].entries.size());
+    for (std::size_t j = 0; j < reference[i].entries.size(); ++j) {
+      EXPECT_EQ(reference[i].entries[j].id, permuted[i].entries[j].id);
+    }
+  }
+}
+
+TEST(SnapshotAssembler, SnapshotsAlwaysEmittedInAscendingTimeOrder) {
+  Rng rng(9);
+  SnapshotAssembler asm_;
+  Timestamp last_emitted = kNoTime;
+  std::vector<Timestamp> lasts(10, kNoTime);
+  // All trajectories are born at time 0; afterwards no births remain.
+  for (TrajectoryId id = 0; id < 10; ++id) {
+    asm_.OnRecord(R(id, 0, kNoTime));
+    lasts[static_cast<std::size_t>(id)] = 0;
+  }
+  for (const Snapshot& s : asm_.AdvanceBirthBound(1000)) {
+    EXPECT_GT(s.time, last_emitted);
+    last_emitted = s.time;
+  }
+  for (int step = 0; step < 500; ++step) {
+    const auto id =
+        static_cast<TrajectoryId>(rng.UniformInt(0, 9));
+    const Timestamp t = lasts[static_cast<std::size_t>(id)] +
+                        static_cast<Timestamp>(rng.UniformInt(1, 3));
+    auto out = asm_.OnRecord(R(id, t, lasts[static_cast<std::size_t>(id)]));
+    lasts[static_cast<std::size_t>(id)] = t;
+    for (const Snapshot& s : out) {
+      EXPECT_GT(s.time, last_emitted);
+      last_emitted = s.time;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace comove::flow

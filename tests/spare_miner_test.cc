@@ -1,0 +1,138 @@
+#include "offline/spare_miner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "common/time_sequence.h"
+#include "pattern/fixed_bit_enumerator.h"
+#include "pattern/reference_enumerator.h"
+
+namespace comove::offline {
+namespace {
+
+ClusterSnapshot Snap(Timestamp t,
+                     std::vector<std::vector<TrajectoryId>> clusters) {
+  ClusterSnapshot s;
+  s.time = t;
+  std::int32_t id = 0;
+  for (auto& members : clusters) {
+    std::sort(members.begin(), members.end());
+    s.clusters.push_back(Cluster{id++, std::move(members)});
+  }
+  return s;
+}
+
+std::set<std::vector<TrajectoryId>> ObjectSets(
+    const std::vector<CoMovementPattern>& patterns) {
+  std::set<std::vector<TrajectoryId>> out;
+  for (const auto& p : patterns) out.insert(p.objects);
+  return out;
+}
+
+TEST(StarPartitions, BuildsPaperStyleStars) {
+  // Two snapshots: {1,2,3} then {1,2}. Star of 1 has neighbours 2 (times
+  // 0,1) and 3 (time 0); star of 2 has neighbour 3 (time 0).
+  const std::vector<ClusterSnapshot> history = {
+      Snap(0, {{1, 2, 3}}),
+      Snap(1, {{1, 2}}),
+  };
+  const auto stars =
+      BuildStarPartitions(history, PatternConstraints{2, 2, 1, 1});
+  ASSERT_EQ(stars.size(), 2u);
+  EXPECT_EQ(stars[0].center, 1);
+  EXPECT_EQ(stars[0].neighbor_ids, (std::vector<TrajectoryId>{2, 3}));
+  EXPECT_EQ(stars[0].co_times[0], (std::vector<Timestamp>{0, 1}));
+  EXPECT_EQ(stars[0].co_times[1], (std::vector<Timestamp>{0}));
+  EXPECT_EQ(stars[1].center, 2);
+}
+
+TEST(StarPartitions, Lemma3DropsSmallClusters) {
+  const std::vector<ClusterSnapshot> history = {
+      Snap(0, {{1, 2}, {3, 4, 5}}),
+  };
+  const auto stars =
+      BuildStarPartitions(history, PatternConstraints{3, 1, 1, 1});
+  // Only the 3-member cluster contributes; only object 3 has >= 2 larger
+  // co-movers.
+  ASSERT_EQ(stars.size(), 1u);
+  EXPECT_EQ(stars[0].center, 3);
+}
+
+TEST(MineOffline, MatchesReferenceOnPaperExample) {
+  const std::vector<ClusterSnapshot> history = {
+      Snap(1, {{4, 5}, {6, 7}}), Snap(2, {{4, 5}, {6, 7}}),
+      Snap(3, {{4, 5, 6, 7}}),   Snap(4, {{4, 5, 6, 7}}),
+      Snap(5, {{4, 5}, {6, 7}}), Snap(6, {{4, 5, 6, 7}}),
+      Snap(7, {{4, 5, 6, 7}}),
+  };
+  for (const auto& c :
+       {PatternConstraints{2, 4, 2, 2}, PatternConstraints{3, 4, 2, 2}}) {
+    EXPECT_EQ(ObjectSets(MineOffline(history, c)),
+              ObjectSets(pattern::ReferenceEnumerate(history, c)));
+  }
+}
+
+TEST(MineOffline, EmptyHistory) {
+  EXPECT_TRUE(MineOffline({}, PatternConstraints{2, 2, 1, 1}).empty());
+}
+
+TEST(MineOffline, AgreesWithStreamingOnRandomHistories) {
+  // Offline star partitioning and the streaming enumerators are
+  // independent implementations of the same definition; on any finite
+  // history they must coincide.
+  Rng rng(321);
+  for (int round = 0; round < 6; ++round) {
+    const PatternConstraints c{
+        static_cast<std::int32_t>(rng.UniformInt(2, 4)),
+        static_cast<std::int32_t>(rng.UniformInt(3, 6)),
+        static_cast<std::int32_t>(rng.UniformInt(1, 3)),
+        static_cast<std::int32_t>(rng.UniformInt(1, 3))};
+    if (!c.IsValid()) continue;
+    std::vector<ClusterSnapshot> history;
+    for (Timestamp t = 0; t < 25; ++t) {
+      std::vector<std::vector<TrajectoryId>> groups(3);
+      for (TrajectoryId id = 0; id < 12; ++id) {
+        if (rng.Bernoulli(0.85)) {
+          groups[static_cast<std::size_t>(id) % 3].push_back(id);
+        }
+      }
+      std::vector<std::vector<TrajectoryId>> nonempty;
+      for (auto& g : groups) {
+        if (!g.empty()) nonempty.push_back(std::move(g));
+      }
+      history.push_back(Snap(t, std::move(nonempty)));
+    }
+
+    pattern::PatternCollector collector;
+    pattern::FixedBitEnumerator streaming(c, collector.AsSink());
+    for (const auto& s : history) streaming.OnClusterSnapshot(s);
+    streaming.Finish();
+
+    EXPECT_EQ(ObjectSets(MineOffline(history, c)),
+              ObjectSets(collector.Patterns()))
+        << "round " << round << " CP(" << c.m << "," << c.k << "," << c.l
+        << "," << c.g << ")";
+  }
+}
+
+TEST(MineOffline, WitnessesAreValid) {
+  Rng rng(5);
+  std::vector<ClusterSnapshot> history;
+  for (Timestamp t = 0; t < 30; ++t) {
+    std::vector<TrajectoryId> members;
+    for (TrajectoryId id = 0; id < 6; ++id) {
+      if (rng.Bernoulli(0.8)) members.push_back(id);
+    }
+    if (members.size() >= 2) history.push_back(Snap(t, {members}));
+  }
+  const PatternConstraints c{2, 5, 2, 2};
+  for (const CoMovementPattern& p : MineOffline(history, c)) {
+    EXPECT_TRUE(comove::SatisfiesKLG(p.times, c));
+    EXPECT_GE(p.objects.size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace comove::offline

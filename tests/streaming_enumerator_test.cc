@@ -1,0 +1,166 @@
+#include "pattern/streaming_enumerator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pattern/baseline_enumerator.h"
+#include "pattern/fixed_bit_enumerator.h"
+#include "pattern/variable_bit_enumerator.h"
+
+namespace comove::pattern {
+namespace {
+
+ClusterSnapshot Snap(Timestamp t,
+                     std::vector<std::vector<TrajectoryId>> clusters) {
+  ClusterSnapshot s;
+  s.time = t;
+  std::int32_t id = 0;
+  for (auto& members : clusters) {
+    std::sort(members.begin(), members.end());
+    s.clusters.push_back(Cluster{id++, std::move(members)});
+  }
+  return s;
+}
+
+Partition Part(TrajectoryId owner, Timestamp t,
+               std::vector<TrajectoryId> members) {
+  return Partition{owner, t, std::move(members)};
+}
+
+TEST(StreamingEnumerator, OnPartitionsEquivalentToOnClusterSnapshot) {
+  // Feeding partition-level input (what the distributed engine does) must
+  // match snapshot-level input.
+  const PatternConstraints c{2, 3, 2, 2};
+  PatternCollector via_snapshot, via_partitions;
+  {
+    FixedBitEnumerator e(c, via_snapshot.AsSink());
+    for (Timestamp t = 0; t < 5; ++t) {
+      e.OnClusterSnapshot(Snap(t, {{1, 2, 3}}));
+    }
+    e.Finish();
+  }
+  {
+    FixedBitEnumerator e(c, via_partitions.AsSink());
+    for (Timestamp t = 0; t < 5; ++t) {
+      std::vector<Partition> parts;
+      parts.push_back(Part(1, t, {2, 3}));
+      parts.push_back(Part(2, t, {3}));
+      e.OnPartitions(t, std::move(parts));
+    }
+    e.Finish();
+  }
+  ASSERT_EQ(via_snapshot.size(), via_partitions.size());
+  const auto a = via_snapshot.Patterns();
+  const auto b = via_partitions.Patterns();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].objects, b[i].objects);
+  }
+}
+
+TEST(StreamingEnumerator, AdvanceTimeClosesVbaStrings) {
+  // Without AdvanceTime, VBA only closes strings when a later partition
+  // arrives; AdvanceTime lets watermark-only progress close them.
+  const PatternConstraints c{2, 2, 1, 1};
+  PatternCollector collector;
+  VariableBitEnumerator e(c, collector.AsSink());
+  e.OnClusterSnapshot(Snap(0, {{1, 2}}));
+  e.OnClusterSnapshot(Snap(1, {{1, 2}}));
+  EXPECT_EQ(collector.size(), 0u);  // string still open
+  e.AdvanceTime(2);
+  e.AdvanceTime(3);  // two zero-ticks: gap > G = 1 -> closure + emission
+  EXPECT_EQ(collector.size(), 1u);
+  e.Finish();
+}
+
+TEST(StreamingEnumerator, AdvanceTimeBeforeAnyDataIsNoop) {
+  const PatternConstraints c{2, 2, 1, 1};
+  PatternCollector collector;
+  FixedBitEnumerator e(c, collector.AsSink());
+  e.AdvanceTime(100);
+  // First data may still arrive at an earlier time than the ignored
+  // advance (the engine never does this, but the contract allows it).
+  e.OnClusterSnapshot(Snap(3, {{1, 2}}));
+  e.OnClusterSnapshot(Snap(4, {{1, 2}}));
+  e.Finish();
+  EXPECT_EQ(collector.size(), 1u);
+}
+
+TEST(StreamingEnumerator, FinalizedThroughFixedWindowSemantics) {
+  // BA and FBA finalise t after feeding t + eta - 1.
+  const PatternConstraints c{2, 4, 2, 2};  // eta = 6
+  PatternCollector collector;
+  FixedBitEnumerator fba(c, collector.AsSink());
+  BaselineEnumerator ba(c, collector.AsSink());
+  EXPECT_EQ(fba.FinalizedThrough(), kNoTime);
+  EXPECT_EQ(ba.FinalizedThrough(), kNoTime);
+  for (Timestamp t = 0; t < 8; ++t) {
+    fba.OnClusterSnapshot(Snap(t, {{1, 2}}));
+    ba.OnClusterSnapshot(Snap(t, {{1, 2}}));
+    EXPECT_EQ(fba.FinalizedThrough(), t - 5);
+    EXPECT_EQ(ba.FinalizedThrough(), t - 5);
+  }
+  fba.Finish();
+  ba.Finish();
+}
+
+TEST(StreamingEnumerator, FinalizedThroughVbaTracksOpenStrings) {
+  const PatternConstraints c{2, 3, 1, 2};
+  PatternCollector collector;
+  VariableBitEnumerator vba(c, collector.AsSink());
+  EXPECT_EQ(vba.FinalizedThrough(), kNoTime);
+  // An episode opens at t=0 and stays open: the frontier is pinned.
+  for (Timestamp t = 0; t < 6; ++t) {
+    vba.OnClusterSnapshot(Snap(t, {{1, 2}}));
+    EXPECT_EQ(vba.FinalizedThrough(), -1) << "t=" << t;
+  }
+  // Three empty ticks close the episode (G+1 zeros): frontier jumps.
+  vba.OnClusterSnapshot(Snap(6, {}));
+  vba.OnClusterSnapshot(Snap(7, {}));
+  EXPECT_EQ(vba.FinalizedThrough(), -1);  // trailing zeros = 2 <= G
+  vba.OnClusterSnapshot(Snap(8, {}));
+  EXPECT_EQ(vba.FinalizedThrough(), 8);  // closed: everything decided
+  EXPECT_EQ(collector.size(), 1u);
+  vba.Finish();
+}
+
+TEST(StreamingEnumerator, RejectsOutOfOrderTicks) {
+  const PatternConstraints c{2, 2, 1, 1};
+  PatternCollector collector;
+  FixedBitEnumerator e(c, collector.AsSink());
+  e.OnClusterSnapshot(Snap(5, {{1, 2}}));
+  EXPECT_DEATH(e.OnClusterSnapshot(Snap(5, {{1, 2}})), "ascending");
+}
+
+TEST(StreamingEnumerator, PartitionTimeMustMatchTick) {
+  const PatternConstraints c{2, 2, 1, 1};
+  PatternCollector collector;
+  FixedBitEnumerator e(c, collector.AsSink());
+  std::vector<Partition> parts;
+  parts.push_back(Part(1, 9, {2}));
+  EXPECT_DEATH(e.OnPartitions(3, std::move(parts)), "mismatch");
+}
+
+TEST(PatternCollector, KeepsLongestWitness) {
+  PatternCollector collector;
+  collector.Add(CoMovementPattern{{1, 2}, {0, 1}});
+  collector.Add(CoMovementPattern{{1, 2}, {0, 1, 2, 3}});
+  collector.Add(CoMovementPattern{{1, 2}, {5, 6}});
+  ASSERT_EQ(collector.size(), 1u);
+  EXPECT_EQ(collector.Patterns()[0].times.size(), 4u);
+}
+
+TEST(PatternCollector, OrdersByObjectSet) {
+  PatternCollector collector;
+  collector.Add(CoMovementPattern{{3, 4}, {0}});
+  collector.Add(CoMovementPattern{{1, 2}, {0}});
+  collector.Add(CoMovementPattern{{1, 2, 3}, {0}});
+  const auto patterns = collector.Patterns();
+  ASSERT_EQ(patterns.size(), 3u);
+  EXPECT_EQ(patterns[0].objects, (std::vector<TrajectoryId>{1, 2}));
+  EXPECT_EQ(patterns[1].objects, (std::vector<TrajectoryId>{1, 2, 3}));
+  EXPECT_EQ(patterns[2].objects, (std::vector<TrajectoryId>{3, 4}));
+}
+
+}  // namespace
+}  // namespace comove::pattern

@@ -1,0 +1,177 @@
+#include "common/time_sequence.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/constraints.h"
+
+namespace comove {
+namespace {
+
+TEST(SegmentDecomposition, EmptySequenceHasNoSegments) {
+  EXPECT_TRUE(DecomposeIntoSegments({}).empty());
+}
+
+TEST(SegmentDecomposition, SingleTimeIsOneSegment) {
+  const auto segs = DecomposeIntoSegments({7});
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0], (Segment{7, 7}));
+}
+
+TEST(SegmentDecomposition, FullyConsecutiveIsOneSegment) {
+  const auto segs = DecomposeIntoSegments({1, 2, 3, 4});
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0], (Segment{1, 4}));
+}
+
+TEST(SegmentDecomposition, PaperExampleTwoSegments) {
+  // T = <1, 2, 4, 5, 6> from §3.1: segments <1,2> and <4,5,6>.
+  const auto segs = DecomposeIntoSegments({1, 2, 4, 5, 6});
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0], (Segment{1, 2}));
+  EXPECT_EQ(segs[1], (Segment{4, 6}));
+}
+
+TEST(SegmentDecomposition, AllGapsYieldSingletonSegments) {
+  const auto segs = DecomposeIntoSegments({1, 3, 5, 9});
+  ASSERT_EQ(segs.size(), 4u);
+  for (const Segment& s : segs) EXPECT_EQ(s.length(), 1);
+}
+
+TEST(LConsecutive, PaperExample) {
+  // T = <1,2,4,5,6> is 2-consecutive (both segments have length >= 2).
+  EXPECT_TRUE(IsLConsecutive({1, 2, 4, 5, 6}, 2));
+  EXPECT_FALSE(IsLConsecutive({1, 2, 4, 5, 6}, 3));
+}
+
+TEST(LConsecutive, EmptyIsVacuouslyTrue) {
+  EXPECT_TRUE(IsLConsecutive({}, 5));
+}
+
+TEST(LConsecutive, SingletonSegmentFailsLTwo) {
+  EXPECT_FALSE(IsLConsecutive({1, 2, 3, 5}, 2));
+}
+
+TEST(GConnected, PaperExample) {
+  // T = <1,2,4,5,6> is 2-connected.
+  EXPECT_TRUE(IsGConnected({1, 2, 4, 5, 6}, 2));
+  EXPECT_FALSE(IsGConnected({1, 2, 5, 6}, 2));
+}
+
+TEST(GConnected, SingleElementAlwaysConnected) {
+  EXPECT_TRUE(IsGConnected({42}, 1));
+}
+
+TEST(SatisfiesKLG, PaperFigure2Pattern) {
+  // O = {o4, o5, o6} qualifies with T = <3,4,6,7> for CP(3, 4, 2, 2).
+  const PatternConstraints c{3, 4, 2, 2};
+  EXPECT_TRUE(SatisfiesKLG({3, 4, 6, 7}, c));
+}
+
+TEST(SatisfiesKLG, TooShortDurationFails) {
+  const PatternConstraints c{2, 5, 2, 2};
+  EXPECT_FALSE(SatisfiesKLG({3, 4, 6, 7}, c));
+}
+
+TEST(Eta, PaperExampleKFourLGTwo) {
+  // K = 4, L = G = 2 -> eta = (ceil(4/2)-1)*(2-1) + 4 + 2 - 1 = 6 (§6.1).
+  const PatternConstraints c{3, 4, 2, 2};
+  EXPECT_EQ(c.Eta(), 6);
+}
+
+TEST(Eta, StrictConsecutiveCase) {
+  // L = K (one unbroken segment needed): eta = K + L - 1 when ceil(K/L)=1.
+  const PatternConstraints c{2, 10, 10, 3};
+  EXPECT_EQ(c.Eta(), 10 + 10 - 1);
+}
+
+TEST(BestQualifyingSubsequence, ExactSequenceReturnedWhenValid) {
+  const PatternConstraints c{2, 4, 2, 2};
+  const std::vector<Timestamp> t{3, 4, 6, 7};
+  EXPECT_EQ(BestQualifyingSubsequence(t, c), t);
+}
+
+TEST(BestQualifyingSubsequence, ShortSegmentDropped) {
+  // Runs: [1,2], [4], [6,7]; L=2 disqualifies [4]; gap 1->... chain of
+  // [1,2] and [6,7] has gap 6-2=4 > G=2, so chains are separate, each of
+  // length 2 < K=4 -> no qualifying subsequence.
+  const PatternConstraints c{2, 4, 2, 2};
+  EXPECT_TRUE(BestQualifyingSubsequence({1, 2, 4, 6, 7}, c).empty());
+}
+
+TEST(BestQualifyingSubsequence, LargerGAllowsBridging) {
+  const PatternConstraints c{2, 4, 2, 4};
+  const std::vector<Timestamp> expect{1, 2, 6, 7};
+  EXPECT_EQ(BestQualifyingSubsequence({1, 2, 4, 6, 7}, c), expect);
+}
+
+TEST(BestQualifyingSubsequence, PicksLongestChain) {
+  // Two chains: {1,2} (len 2) and {10..14} (len 5). K=3 -> second wins.
+  const PatternConstraints c{2, 3, 2, 2};
+  const std::vector<Timestamp> expect{10, 11, 12, 13, 14};
+  EXPECT_EQ(BestQualifyingSubsequence({1, 2, 10, 11, 12, 13, 14}, c),
+            expect);
+}
+
+TEST(BestQualifyingSubsequence, EmptyInput) {
+  const PatternConstraints c{2, 2, 1, 1};
+  EXPECT_TRUE(BestQualifyingSubsequence({}, c).empty());
+}
+
+TEST(HasQualifyingSubsequence, AgreesWithBestOnExamples) {
+  const PatternConstraints c{2, 4, 2, 2};
+  const std::vector<std::vector<Timestamp>> cases = {
+      {},
+      {1},
+      {1, 2, 3, 4},
+      {1, 2, 4, 6, 7},
+      {3, 4, 6, 7},
+      {1, 3, 5, 7, 9},
+      {1, 2, 3, 7, 8, 9},
+  };
+  for (const auto& t : cases) {
+    EXPECT_EQ(HasQualifyingSubsequence(t, c),
+              !BestQualifyingSubsequence(t, c).empty())
+        << "sequence size " << t.size();
+  }
+}
+
+// Property sweep: for every (K, L, G) combination, a single consecutive run
+// of exactly K times qualifies, and one of K-1 does not.
+class KlgSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+};
+
+TEST_P(KlgSweep, SingleRunBoundary) {
+  const auto [k, l, g] = GetParam();
+  if (l > k) GTEST_SKIP() << "invalid combination";
+  const PatternConstraints c{2, k, l, g};
+  std::vector<Timestamp> run;
+  for (int t = 0; t < k; ++t) run.push_back(t);
+  EXPECT_TRUE(SatisfiesKLG(run, c));
+  run.pop_back();
+  EXPECT_FALSE(SatisfiesKLG(run, c));
+}
+
+TEST_P(KlgSweep, EtaIsLargeEnoughForWorstCaseWitness) {
+  // Construct the worst-case qualifying sequence: ceil(K/L) segments of
+  // length L separated by gaps of exactly G; its span must fit within eta
+  // (Lemma 4's guarantee is that eta snapshots decide every pattern).
+  const auto [k, l, g] = GetParam();
+  if (l > k) GTEST_SKIP() << "invalid combination";
+  const PatternConstraints c{2, k, l, g};
+  const int segments = (k + l - 1) / l;
+  // Span: segments*L ones, (segments-1) gaps of (G-1) zeros between them.
+  const int span = segments * l + (segments - 1) * (g - 1);
+  EXPECT_LE(span, c.Eta())
+      << "eta must cover the worst-case qualifying witness";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combinations, KlgSweep,
+    ::testing::Combine(::testing::Values(2, 3, 5, 8),   // K
+                       ::testing::Values(1, 2, 3, 5),   // L
+                       ::testing::Values(1, 2, 4)));    // G
+
+}  // namespace
+}  // namespace comove

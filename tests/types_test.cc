@@ -1,0 +1,68 @@
+#include "common/types.h"
+
+#include <gtest/gtest.h>
+
+#include "common/constraints.h"
+#include "index/grid_index.h"
+
+namespace comove {
+namespace {
+
+TEST(PatternConstraints, ValidityRules) {
+  EXPECT_TRUE((PatternConstraints{2, 2, 1, 1}.IsValid()));
+  EXPECT_TRUE((PatternConstraints{2, 5, 5, 1}.IsValid()));  // L == K
+  EXPECT_FALSE((PatternConstraints{1, 2, 1, 1}.IsValid()));  // M < 2
+  EXPECT_FALSE((PatternConstraints{2, 2, 0, 1}.IsValid()));  // L < 1
+  EXPECT_FALSE((PatternConstraints{2, 2, 1, 0}.IsValid()));  // G < 1
+  EXPECT_FALSE((PatternConstraints{2, 2, 3, 1}.IsValid()));  // K < L
+}
+
+TEST(PatternConstraints, EqualityComparesAllFields) {
+  const PatternConstraints a{3, 4, 2, 2};
+  EXPECT_EQ(a, (PatternConstraints{3, 4, 2, 2}));
+  EXPECT_FALSE(a == (PatternConstraints{3, 4, 2, 3}));
+  EXPECT_FALSE(a == (PatternConstraints{4, 4, 2, 2}));
+}
+
+TEST(PatternConstraints, EtaDegenerateCases) {
+  // K = L = G = 1: eta = 1 (one snapshot decides everything).
+  EXPECT_EQ((PatternConstraints{2, 1, 1, 1}.Eta()), 1);
+  // G = 1 (strictly consecutive): eta = K + L - 1 regardless of K/L.
+  EXPECT_EQ((PatternConstraints{2, 9, 3, 1}.Eta()), 11);
+}
+
+TEST(NeighborPair, OrderingAndEquality) {
+  EXPECT_LT((NeighborPair{1, 5}), (NeighborPair{2, 0}));
+  EXPECT_LT((NeighborPair{1, 5}), (NeighborPair{1, 6}));
+  EXPECT_EQ((NeighborPair{3, 4}), (NeighborPair{3, 4}));
+  EXPECT_FALSE((NeighborPair{3, 4}) == (NeighborPair{4, 3}));
+}
+
+TEST(GridKey, OrderingIsLexicographic) {
+  EXPECT_LT((GridKey{0, 5}), (GridKey{1, 0}));
+  EXPECT_LT((GridKey{1, 0}), (GridKey{1, 1}));
+  EXPECT_EQ((GridKey{2, 3}), (GridKey{2, 3}));
+}
+
+TEST(Snapshot, SizeReflectsEntries) {
+  Snapshot s;
+  EXPECT_EQ(s.size(), 0u);
+  s.entries.push_back({1, Point{}});
+  s.entries.push_back({2, Point{}});
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(CoMovementPattern, EqualityComparesObjectsAndTimes) {
+  const CoMovementPattern a{{1, 2}, {3, 4}};
+  EXPECT_EQ(a, (CoMovementPattern{{1, 2}, {3, 4}}));
+  EXPECT_FALSE(a == (CoMovementPattern{{1, 2}, {3, 5}}));
+  EXPECT_FALSE(a == (CoMovementPattern{{1, 3}, {3, 4}}));
+}
+
+TEST(GpsRecord, SentinelIsNegative) {
+  // kNoTime must sort before every valid discretised time.
+  EXPECT_LT(kNoTime, 0);
+}
+
+}  // namespace
+}  // namespace comove
