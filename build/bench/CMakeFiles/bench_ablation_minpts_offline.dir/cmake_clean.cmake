@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_minpts_offline.dir/bench_ablation_minpts_offline.cc.o"
+  "CMakeFiles/bench_ablation_minpts_offline.dir/bench_ablation_minpts_offline.cc.o.d"
+  "bench_ablation_minpts_offline"
+  "bench_ablation_minpts_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_minpts_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_cluster_grid.dir/bench_fig11_cluster_grid.cc.o"
+  "CMakeFiles/bench_fig11_cluster_grid.dir/bench_fig11_cluster_grid.cc.o.d"
+  "bench_fig11_cluster_grid"
+  "bench_fig11_cluster_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_cluster_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_scale_or.dir/bench_fig12_scale_or.cc.o"
+  "CMakeFiles/bench_fig12_scale_or.dir/bench_fig12_scale_or.cc.o.d"
+  "bench_fig12_scale_or"
+  "bench_fig12_scale_or.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_scale_or.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_enum_mklg.dir/bench_fig15_enum_mklg.cc.o"
+  "CMakeFiles/bench_fig15_enum_mklg.dir/bench_fig15_enum_mklg.cc.o.d"
+  "bench_fig15_enum_mklg"
+  "bench_fig15_enum_mklg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_enum_mklg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

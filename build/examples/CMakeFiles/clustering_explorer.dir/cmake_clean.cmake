@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustering_explorer.dir/clustering_explorer.cpp.o"
+  "CMakeFiles/clustering_explorer.dir/clustering_explorer.cpp.o.d"
+  "clustering_explorer"
+  "clustering_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustering_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comove_tool.dir/comove_tool.cpp.o"
+  "CMakeFiles/comove_tool.dir/comove_tool.cpp.o.d"
+  "comove_tool"
+  "comove_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comove_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_detect.dir/csv_detect.cpp.o"
+  "CMakeFiles/csv_detect.dir/csv_detect.cpp.o.d"
+  "csv_detect"
+  "csv_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

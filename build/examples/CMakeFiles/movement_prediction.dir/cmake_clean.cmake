@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movement_prediction.dir/movement_prediction.cpp.o"
+  "CMakeFiles/movement_prediction.dir/movement_prediction.cpp.o.d"
+  "movement_prediction"
+  "movement_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movement_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajectory_compression_example.dir/trajectory_compression.cpp.o"
+  "CMakeFiles/trajectory_compression_example.dir/trajectory_compression.cpp.o.d"
+  "trajectory_compression_example"
+  "trajectory_compression_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajectory_compression_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/travel_communities.dir/travel_communities.cpp.o"
+  "CMakeFiles/travel_communities.dir/travel_communities.cpp.o.d"
+  "travel_communities"
+  "travel_communities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/travel_communities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comove_apps.dir/json_export.cc.o"
+  "CMakeFiles/comove_apps.dir/json_export.cc.o.d"
+  "CMakeFiles/comove_apps.dir/svg_export.cc.o"
+  "CMakeFiles/comove_apps.dir/svg_export.cc.o.d"
+  "CMakeFiles/comove_apps.dir/trajectory_compression.cc.o"
+  "CMakeFiles/comove_apps.dir/trajectory_compression.cc.o.d"
+  "libcomove_apps.a"
+  "libcomove_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comove_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

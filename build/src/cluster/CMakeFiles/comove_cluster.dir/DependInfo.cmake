@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/clustering.cc" "src/cluster/CMakeFiles/comove_cluster.dir/clustering.cc.o" "gcc" "src/cluster/CMakeFiles/comove_cluster.dir/clustering.cc.o.d"
+  "/root/repo/src/cluster/dbscan.cc" "src/cluster/CMakeFiles/comove_cluster.dir/dbscan.cc.o" "gcc" "src/cluster/CMakeFiles/comove_cluster.dir/dbscan.cc.o.d"
+  "/root/repo/src/cluster/gdc.cc" "src/cluster/CMakeFiles/comove_cluster.dir/gdc.cc.o" "gcc" "src/cluster/CMakeFiles/comove_cluster.dir/gdc.cc.o.d"
+  "/root/repo/src/cluster/range_join.cc" "src/cluster/CMakeFiles/comove_cluster.dir/range_join.cc.o" "gcc" "src/cluster/CMakeFiles/comove_cluster.dir/range_join.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/comove_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/comove_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comove_cluster.dir/clustering.cc.o"
+  "CMakeFiles/comove_cluster.dir/clustering.cc.o.d"
+  "CMakeFiles/comove_cluster.dir/dbscan.cc.o"
+  "CMakeFiles/comove_cluster.dir/dbscan.cc.o.d"
+  "CMakeFiles/comove_cluster.dir/gdc.cc.o"
+  "CMakeFiles/comove_cluster.dir/gdc.cc.o.d"
+  "CMakeFiles/comove_cluster.dir/range_join.cc.o"
+  "CMakeFiles/comove_cluster.dir/range_join.cc.o.d"
+  "libcomove_cluster.a"
+  "libcomove_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comove_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comove_common.dir/rng.cc.o"
+  "CMakeFiles/comove_common.dir/rng.cc.o.d"
+  "CMakeFiles/comove_common.dir/time_sequence.cc.o"
+  "CMakeFiles/comove_common.dir/time_sequence.cc.o.d"
+  "libcomove_common.a"
+  "libcomove_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comove_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

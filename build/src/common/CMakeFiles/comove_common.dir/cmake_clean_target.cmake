@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcomove_common.a"
+)

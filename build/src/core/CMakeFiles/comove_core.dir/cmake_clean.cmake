@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comove_core.dir/icpe_engine.cc.o"
+  "CMakeFiles/comove_core.dir/icpe_engine.cc.o.d"
+  "libcomove_core.a"
+  "libcomove_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comove_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

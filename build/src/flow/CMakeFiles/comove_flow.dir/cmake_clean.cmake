@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comove_flow.dir/snapshot_assembler.cc.o"
+  "CMakeFiles/comove_flow.dir/snapshot_assembler.cc.o.d"
+  "libcomove_flow.a"
+  "libcomove_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comove_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for comove_flow.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comove_index.dir/kdtree.cc.o"
+  "CMakeFiles/comove_index.dir/kdtree.cc.o.d"
+  "CMakeFiles/comove_index.dir/rtree.cc.o"
+  "CMakeFiles/comove_index.dir/rtree.cc.o.d"
+  "libcomove_index.a"
+  "libcomove_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comove_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comove_offline.dir/spare_miner.cc.o"
+  "CMakeFiles/comove_offline.dir/spare_miner.cc.o.d"
+  "libcomove_offline.a"
+  "libcomove_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comove_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

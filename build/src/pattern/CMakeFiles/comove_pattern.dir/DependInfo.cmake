@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pattern/analysis.cc" "src/pattern/CMakeFiles/comove_pattern.dir/analysis.cc.o" "gcc" "src/pattern/CMakeFiles/comove_pattern.dir/analysis.cc.o.d"
+  "/root/repo/src/pattern/baseline_enumerator.cc" "src/pattern/CMakeFiles/comove_pattern.dir/baseline_enumerator.cc.o" "gcc" "src/pattern/CMakeFiles/comove_pattern.dir/baseline_enumerator.cc.o.d"
+  "/root/repo/src/pattern/bitstring.cc" "src/pattern/CMakeFiles/comove_pattern.dir/bitstring.cc.o" "gcc" "src/pattern/CMakeFiles/comove_pattern.dir/bitstring.cc.o.d"
+  "/root/repo/src/pattern/fixed_bit_enumerator.cc" "src/pattern/CMakeFiles/comove_pattern.dir/fixed_bit_enumerator.cc.o" "gcc" "src/pattern/CMakeFiles/comove_pattern.dir/fixed_bit_enumerator.cc.o.d"
+  "/root/repo/src/pattern/live_index.cc" "src/pattern/CMakeFiles/comove_pattern.dir/live_index.cc.o" "gcc" "src/pattern/CMakeFiles/comove_pattern.dir/live_index.cc.o.d"
+  "/root/repo/src/pattern/partition.cc" "src/pattern/CMakeFiles/comove_pattern.dir/partition.cc.o" "gcc" "src/pattern/CMakeFiles/comove_pattern.dir/partition.cc.o.d"
+  "/root/repo/src/pattern/reference_enumerator.cc" "src/pattern/CMakeFiles/comove_pattern.dir/reference_enumerator.cc.o" "gcc" "src/pattern/CMakeFiles/comove_pattern.dir/reference_enumerator.cc.o.d"
+  "/root/repo/src/pattern/streaming_enumerator.cc" "src/pattern/CMakeFiles/comove_pattern.dir/streaming_enumerator.cc.o" "gcc" "src/pattern/CMakeFiles/comove_pattern.dir/streaming_enumerator.cc.o.d"
+  "/root/repo/src/pattern/variable_bit_enumerator.cc" "src/pattern/CMakeFiles/comove_pattern.dir/variable_bit_enumerator.cc.o" "gcc" "src/pattern/CMakeFiles/comove_pattern.dir/variable_bit_enumerator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/comove_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comove_pattern.dir/analysis.cc.o"
+  "CMakeFiles/comove_pattern.dir/analysis.cc.o.d"
+  "CMakeFiles/comove_pattern.dir/baseline_enumerator.cc.o"
+  "CMakeFiles/comove_pattern.dir/baseline_enumerator.cc.o.d"
+  "CMakeFiles/comove_pattern.dir/bitstring.cc.o"
+  "CMakeFiles/comove_pattern.dir/bitstring.cc.o.d"
+  "CMakeFiles/comove_pattern.dir/fixed_bit_enumerator.cc.o"
+  "CMakeFiles/comove_pattern.dir/fixed_bit_enumerator.cc.o.d"
+  "CMakeFiles/comove_pattern.dir/live_index.cc.o"
+  "CMakeFiles/comove_pattern.dir/live_index.cc.o.d"
+  "CMakeFiles/comove_pattern.dir/partition.cc.o"
+  "CMakeFiles/comove_pattern.dir/partition.cc.o.d"
+  "CMakeFiles/comove_pattern.dir/reference_enumerator.cc.o"
+  "CMakeFiles/comove_pattern.dir/reference_enumerator.cc.o.d"
+  "CMakeFiles/comove_pattern.dir/streaming_enumerator.cc.o"
+  "CMakeFiles/comove_pattern.dir/streaming_enumerator.cc.o.d"
+  "CMakeFiles/comove_pattern.dir/variable_bit_enumerator.cc.o"
+  "CMakeFiles/comove_pattern.dir/variable_bit_enumerator.cc.o.d"
+  "libcomove_pattern.a"
+  "libcomove_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comove_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trajgen/brinkhoff_generator.cc" "src/trajgen/CMakeFiles/comove_trajgen.dir/brinkhoff_generator.cc.o" "gcc" "src/trajgen/CMakeFiles/comove_trajgen.dir/brinkhoff_generator.cc.o.d"
+  "/root/repo/src/trajgen/crossing_flows.cc" "src/trajgen/CMakeFiles/comove_trajgen.dir/crossing_flows.cc.o" "gcc" "src/trajgen/CMakeFiles/comove_trajgen.dir/crossing_flows.cc.o.d"
+  "/root/repo/src/trajgen/csv_loader.cc" "src/trajgen/CMakeFiles/comove_trajgen.dir/csv_loader.cc.o" "gcc" "src/trajgen/CMakeFiles/comove_trajgen.dir/csv_loader.cc.o.d"
+  "/root/repo/src/trajgen/dataset.cc" "src/trajgen/CMakeFiles/comove_trajgen.dir/dataset.cc.o" "gcc" "src/trajgen/CMakeFiles/comove_trajgen.dir/dataset.cc.o.d"
+  "/root/repo/src/trajgen/road_network.cc" "src/trajgen/CMakeFiles/comove_trajgen.dir/road_network.cc.o" "gcc" "src/trajgen/CMakeFiles/comove_trajgen.dir/road_network.cc.o.d"
+  "/root/repo/src/trajgen/standard_datasets.cc" "src/trajgen/CMakeFiles/comove_trajgen.dir/standard_datasets.cc.o" "gcc" "src/trajgen/CMakeFiles/comove_trajgen.dir/standard_datasets.cc.o.d"
+  "/root/repo/src/trajgen/waypoint_generator.cc" "src/trajgen/CMakeFiles/comove_trajgen.dir/waypoint_generator.cc.o" "gcc" "src/trajgen/CMakeFiles/comove_trajgen.dir/waypoint_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/comove_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comove_trajgen.dir/brinkhoff_generator.cc.o"
+  "CMakeFiles/comove_trajgen.dir/brinkhoff_generator.cc.o.d"
+  "CMakeFiles/comove_trajgen.dir/crossing_flows.cc.o"
+  "CMakeFiles/comove_trajgen.dir/crossing_flows.cc.o.d"
+  "CMakeFiles/comove_trajgen.dir/csv_loader.cc.o"
+  "CMakeFiles/comove_trajgen.dir/csv_loader.cc.o.d"
+  "CMakeFiles/comove_trajgen.dir/dataset.cc.o"
+  "CMakeFiles/comove_trajgen.dir/dataset.cc.o.d"
+  "CMakeFiles/comove_trajgen.dir/road_network.cc.o"
+  "CMakeFiles/comove_trajgen.dir/road_network.cc.o.d"
+  "CMakeFiles/comove_trajgen.dir/standard_datasets.cc.o"
+  "CMakeFiles/comove_trajgen.dir/standard_datasets.cc.o.d"
+  "CMakeFiles/comove_trajgen.dir/waypoint_generator.cc.o"
+  "CMakeFiles/comove_trajgen.dir/waypoint_generator.cc.o.d"
+  "libcomove_trajgen.a"
+  "libcomove_trajgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comove_trajgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

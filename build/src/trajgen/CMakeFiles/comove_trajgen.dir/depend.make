@@ -1,0 +1,2 @@
+# Empty dependencies file for comove_trajgen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitstring_test.dir/bitstring_test.cc.o"
+  "CMakeFiles/bitstring_test.dir/bitstring_test.cc.o.d"
+  "bitstring_test"
+  "bitstring_test.pdb"
+  "bitstring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitstring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossing_flows_test.dir/crossing_flows_test.cc.o"
+  "CMakeFiles/crossing_flows_test.dir/crossing_flows_test.cc.o.d"
+  "crossing_flows_test"
+  "crossing_flows_test.pdb"
+  "crossing_flows_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossing_flows_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

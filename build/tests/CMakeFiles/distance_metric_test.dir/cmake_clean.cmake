@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distance_metric_test.dir/distance_metric_test.cc.o"
+  "CMakeFiles/distance_metric_test.dir/distance_metric_test.cc.o.d"
+  "distance_metric_test"
+  "distance_metric_test.pdb"
+  "distance_metric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distance_metric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enumerators_test.dir/enumerators_test.cc.o"
+  "CMakeFiles/enumerators_test.dir/enumerators_test.cc.o.d"
+  "enumerators_test"
+  "enumerators_test.pdb"
+  "enumerators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enumerators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

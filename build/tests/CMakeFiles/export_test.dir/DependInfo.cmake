@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/export_test.cc" "tests/CMakeFiles/export_test.dir/export_test.cc.o" "gcc" "tests/CMakeFiles/export_test.dir/export_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/comove_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/comove_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/comove_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/comove_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/comove_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/comove_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/trajgen/CMakeFiles/comove_trajgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/comove_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

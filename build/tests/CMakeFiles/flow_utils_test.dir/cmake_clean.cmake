@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_utils_test.dir/flow_utils_test.cc.o"
+  "CMakeFiles/flow_utils_test.dir/flow_utils_test.cc.o.d"
+  "flow_utils_test"
+  "flow_utils_test.pdb"
+  "flow_utils_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_utils_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

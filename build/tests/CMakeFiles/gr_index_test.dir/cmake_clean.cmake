@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gr_index_test.dir/gr_index_test.cc.o"
+  "CMakeFiles/gr_index_test.dir/gr_index_test.cc.o.d"
+  "gr_index_test"
+  "gr_index_test.pdb"
+  "gr_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gr_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icpe_engine_test.dir/icpe_engine_test.cc.o"
+  "CMakeFiles/icpe_engine_test.dir/icpe_engine_test.cc.o.d"
+  "icpe_engine_test"
+  "icpe_engine_test.pdb"
+  "icpe_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icpe_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

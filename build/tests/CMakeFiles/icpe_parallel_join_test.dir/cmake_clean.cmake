@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icpe_parallel_join_test.dir/icpe_parallel_join_test.cc.o"
+  "CMakeFiles/icpe_parallel_join_test.dir/icpe_parallel_join_test.cc.o.d"
+  "icpe_parallel_join_test"
+  "icpe_parallel_join_test.pdb"
+  "icpe_parallel_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icpe_parallel_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icpe_replay_test.dir/icpe_replay_test.cc.o"
+  "CMakeFiles/icpe_replay_test.dir/icpe_replay_test.cc.o.d"
+  "icpe_replay_test"
+  "icpe_replay_test.pdb"
+  "icpe_replay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icpe_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

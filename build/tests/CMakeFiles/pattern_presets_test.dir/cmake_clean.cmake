@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_presets_test.dir/pattern_presets_test.cc.o"
+  "CMakeFiles/pattern_presets_test.dir/pattern_presets_test.cc.o.d"
+  "pattern_presets_test"
+  "pattern_presets_test.pdb"
+  "pattern_presets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_presets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_join_test.dir/range_join_test.cc.o"
+  "CMakeFiles/range_join_test.dir/range_join_test.cc.o.d"
+  "range_join_test"
+  "range_join_test.pdb"
+  "range_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_assembler_test.dir/snapshot_assembler_test.cc.o"
+  "CMakeFiles/snapshot_assembler_test.dir/snapshot_assembler_test.cc.o.d"
+  "snapshot_assembler_test"
+  "snapshot_assembler_test.pdb"
+  "snapshot_assembler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_assembler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spare_miner_test.dir/spare_miner_test.cc.o"
+  "CMakeFiles/spare_miner_test.dir/spare_miner_test.cc.o.d"
+  "spare_miner_test"
+  "spare_miner_test.pdb"
+  "spare_miner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spare_miner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_sequence_test.dir/time_sequence_test.cc.o"
+  "CMakeFiles/time_sequence_test.dir/time_sequence_test.cc.o.d"
+  "time_sequence_test"
+  "time_sequence_test.pdb"
+  "time_sequence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_sequence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
