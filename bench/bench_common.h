@@ -3,10 +3,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <iostream>
 #include <map>
 #include <mutex>
+#include <string_view>
 
 #include "core/icpe_engine.h"
+#include "flow/stage_stats.h"
 #include "trajgen/standard_datasets.h"
 
 /// \file
@@ -68,6 +71,29 @@ inline double PctOfExtent(const trajgen::Dataset& dataset, double pct) {
   return dataset.ComputeStats().MaxDistance() * pct / 100.0;
 }
 
+/// Process-wide observability switch, set by the `--stats` flag. When on,
+/// every DefaultOptions-based run collects per-stage counters and ReportRun
+/// prints the stage table after each benchmark.
+inline bool& StatsEnabled() {
+  static bool enabled = false;
+  return enabled;
+}
+
+/// Bench entry point: consumes our own flags (currently `--stats`) before
+/// handing argv to Google Benchmark, which rejects flags it doesn't know.
+inline void InitBench(int& argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--stats") {
+      StatsEnabled() = true;
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+}
+
 /// Baseline configuration with all Table 3 defaults applied.
 inline core::IcpeOptions DefaultOptions(const trajgen::Dataset& dataset) {
   core::IcpeOptions options;
@@ -77,6 +103,7 @@ inline core::IcpeOptions DefaultOptions(const trajgen::Dataset& dataset) {
   options.cluster_options.dbscan.min_pts = kDefaultMinPts;
   options.constraints = kDefaultConstraints;
   options.parallelism = kDefaultParallelism;
+  options.collect_stats = StatsEnabled();
   return options;
 }
 
@@ -94,16 +121,24 @@ inline void WarmUp() {
   }
 }
 
-/// Publishes the paper's two metrics (§7) plus context counters.
+/// Publishes the paper's two metrics (§7) plus context counters, and -
+/// under `--stats` - dumps the per-stage backpressure table to stderr.
 inline void ReportRun(benchmark::State& state,
                       const core::IcpeResult& result) {
   state.counters["latency_ms"] = result.snapshots.average_latency_ms;
+  state.counters["p50_ms"] = result.snapshots.p50_latency_ms;
+  state.counters["p95_ms"] = result.snapshots.p95_latency_ms;
+  state.counters["p99_ms"] = result.snapshots.p99_latency_ms;
   state.counters["tps"] = result.snapshots.throughput_tps;
   state.counters["cluster_ms"] = result.avg_cluster_ms;
   state.counters["enum_ms"] = result.avg_enum_ms;
   state.counters["avg_cluster_size"] = result.avg_cluster_size;
   state.counters["patterns"] =
       static_cast<double>(result.patterns.size());
+  if (StatsEnabled() && !result.stage_stats.empty()) {
+    std::cerr << "\n[stage stats]\n";
+    flow::PrintStageStats(result.stage_stats, std::cerr);
+  }
 }
 
 }  // namespace comove::bench

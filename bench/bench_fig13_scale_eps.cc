@@ -57,7 +57,7 @@ void RegisterAll() {
 int main(int argc, char** argv) {
   comove::bench::WarmUp();
   comove::bench::RegisterAll();
-  benchmark::Initialize(&argc, argv);
+  comove::bench::InitBench(argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

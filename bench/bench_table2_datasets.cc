@@ -37,4 +37,9 @@ BENCHMARK(BM_DatasetStats)
 }  // namespace
 }  // namespace comove::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  comove::bench::InitBench(argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

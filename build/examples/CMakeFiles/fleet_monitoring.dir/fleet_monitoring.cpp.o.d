@@ -246,6 +246,16 @@ examples/CMakeFiles/fleet_monitoring.dir/fleet_monitoring.cpp.o: \
  /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/trajgen/dataset.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/flow/stage_stats.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/iomanip \
+ /usr/include/c++/12/locale \
+ /usr/include/c++/12/bits/locale_facets_nonio.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \
+ /usr/include/libintl.h /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/c++/12/bits/locale_facets_nonio.tcc \
+ /usr/include/c++/12/bits/locale_conv.h \
+ /usr/include/c++/12/bits/quoted_string.h \
+ /root/repo/src/trajgen/dataset.h \
  /root/repo/src/trajgen/brinkhoff_generator.h \
  /root/repo/src/trajgen/road_network.h /root/repo/src/common/rng.h

@@ -325,6 +325,6 @@ tests/CMakeFiles/compression_test.dir/compression_test.cc.o: \
  /root/repo/src/common/constraints.h /root/repo/src/flow/metrics.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/flow/stage_stats.h \
  /root/repo/src/trajgen/brinkhoff_generator.h \
  /root/repo/src/trajgen/road_network.h /root/repo/src/common/rng.h

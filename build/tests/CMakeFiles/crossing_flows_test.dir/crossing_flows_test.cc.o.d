@@ -326,4 +326,4 @@ tests/CMakeFiles/crossing_flows_test.dir/crossing_flows_test.cc.o: \
  /root/repo/src/common/constraints.h /root/repo/src/flow/metrics.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/flow/stage_stats.h

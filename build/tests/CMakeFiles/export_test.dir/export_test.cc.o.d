@@ -333,8 +333,8 @@ tests/CMakeFiles/export_test.dir/export_test.cc.o: \
  /root/repo/src/common/check.h /root/repo/src/index/rtree.h \
  /root/repo/src/common/constraints.h /root/repo/src/flow/metrics.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/trajgen/dataset.h \
- /root/repo/src/apps/svg_export.h /root/repo/src/pattern/live_index.h \
- /root/repo/src/pattern/enumerator.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/flow/stage_stats.h \
+ /root/repo/src/trajgen/dataset.h /root/repo/src/apps/svg_export.h \
+ /root/repo/src/pattern/live_index.h /root/repo/src/pattern/enumerator.h \
  /root/repo/src/trajgen/brinkhoff_generator.h \
  /root/repo/src/trajgen/road_network.h /root/repo/src/common/rng.h

@@ -326,6 +326,6 @@ tests/CMakeFiles/icpe_replay_test.dir/icpe_replay_test.cc.o: \
  /root/repo/src/flow/metrics.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/trajgen/dataset.h \
+ /root/repo/src/flow/stage_stats.h /root/repo/src/trajgen/dataset.h \
  /root/repo/src/trajgen/brinkhoff_generator.h \
  /root/repo/src/trajgen/road_network.h /root/repo/src/common/rng.h

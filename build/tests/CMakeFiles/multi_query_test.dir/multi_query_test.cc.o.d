@@ -326,7 +326,7 @@ tests/CMakeFiles/multi_query_test.dir/multi_query_test.cc.o: \
  /root/repo/src/flow/metrics.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/trajgen/dataset.h \
+ /root/repo/src/flow/stage_stats.h /root/repo/src/trajgen/dataset.h \
  /root/repo/src/pattern/pattern_presets.h \
  /root/repo/src/trajgen/brinkhoff_generator.h \
  /root/repo/src/trajgen/road_network.h /root/repo/src/common/rng.h

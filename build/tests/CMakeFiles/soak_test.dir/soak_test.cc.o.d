@@ -325,6 +325,7 @@ tests/CMakeFiles/soak_test.dir/soak_test.cc.o: \
  /root/repo/src/common/constraints.h /root/repo/src/flow/metrics.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/trajgen/dataset.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/flow/stage_stats.h \
+ /root/repo/src/trajgen/dataset.h \
  /root/repo/src/pattern/reference_enumerator.h \
  /root/repo/src/trajgen/standard_datasets.h

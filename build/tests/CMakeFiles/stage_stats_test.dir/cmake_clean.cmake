@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stage_stats_test.dir/stage_stats_test.cc.o"
+  "CMakeFiles/stage_stats_test.dir/stage_stats_test.cc.o.d"
+  "stage_stats_test"
+  "stage_stats_test.pdb"
+  "stage_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stage_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

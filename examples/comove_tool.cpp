@@ -5,7 +5,7 @@
 ///
 ///   comove_tool detect <in.csv> [--eps X] [--minpts N] [--mklg M,K,L,G]
 ///                      [--enumerator fba|vba|ba] [--parallelism N]
-///                      [--json out.json] [--svg out.svg] [--maximal]
+///                      [--json out.json] [--svg out.svg] [--maximal] [--stats]
 ///       Run the ICPE pipeline over a CSV stream; print a summary and
 ///       optionally export JSON results and an SVG rendering.
 ///
@@ -40,7 +40,7 @@ int Usage() {
       "  comove_tool detect <in.csv> [--eps X] [--minpts N] "
       "[--mklg M,K,L,G]\n"
       "               [--enumerator fba|vba|ba] [--parallelism N]\n"
-      "               [--json out.json] [--svg out.svg] [--maximal]\n"
+      "               [--json out.json] [--svg out.svg] [--maximal] [--stats]\n"
       "  comove_tool compress <in.csv> <tolerance> <out.csv>\n");
   return 2;
 }
@@ -138,6 +138,8 @@ int RunDetect(int argc, char** argv) {
       if (const char* v = next()) svg_path = v;
     } else if (!std::strcmp(argv[i], "--maximal")) {
       maximal_only = true;
+    } else if (!std::strcmp(argv[i], "--stats")) {
+      options.collect_stats = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;

@@ -44,15 +44,46 @@ void WriteResultJson(const core::IcpeResult& result, std::ostream& out) {
       << ",\n";
   out << "  \"max_latency_ms\": " << result.snapshots.max_latency_ms
       << ",\n";
+  out << "  \"p50_latency_ms\": " << result.snapshots.p50_latency_ms
+      << ",\n";
+  out << "  \"p95_latency_ms\": " << result.snapshots.p95_latency_ms
+      << ",\n";
+  out << "  \"p99_latency_ms\": " << result.snapshots.p99_latency_ms
+      << ",\n";
   out << "  \"throughput_tps\": " << result.snapshots.throughput_tps
       << ",\n";
   out << "  \"avg_cluster_ms\": " << result.avg_cluster_ms << ",\n";
   out << "  \"avg_enum_ms\": " << result.avg_enum_ms << ",\n";
   out << "  \"avg_cluster_size\": " << result.avg_cluster_size << ",\n";
   out << "  \"cluster_count\": " << result.cluster_count << ",\n";
+  if (!result.stage_stats.empty()) {
+    out << "  \"stages\": ";
+    WriteStageStatsJson(result.stage_stats, out);
+    out << ",\n";
+  }
   out << "  \"patterns\": ";
   WritePatternsJson(result.patterns, out);
   out << "}\n";
+}
+
+void WriteStageStatsJson(
+    const std::vector<flow::StageStatsSnapshot>& stages,
+    std::ostream& out) {
+  out << "[";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const flow::StageStatsSnapshot& s = stages[i];
+    if (i) out << ",";
+    out << "\n    {\"stage\": \"" << s.stage << "\""
+        << ", \"records_pushed\": " << s.records_pushed
+        << ", \"records_popped\": " << s.records_popped
+        << ", \"watermarks_pushed\": " << s.watermarks_pushed
+        << ", \"watermarks_popped\": " << s.watermarks_popped
+        << ", \"queue_depth\": " << s.queue_depth
+        << ", \"max_queue_depth\": " << s.max_queue_depth
+        << ", \"push_blocked_ms\": " << s.push_blocked_ms
+        << ", \"pop_blocked_ms\": " << s.pop_blocked_ms << "}";
+  }
+  out << "\n  ]";
 }
 
 }  // namespace comove::apps

@@ -20,11 +20,20 @@ void WritePatternsJson(const std::vector<CoMovementPattern>& patterns,
 
 /// Writes a full run result: metrics plus patterns.
 /// {
-///   "snapshots": N, "avg_latency_ms": ..., "throughput_tps": ...,
+///   "snapshots": N, "avg_latency_ms": ..., "p50_latency_ms": ...,
+///   "p95_latency_ms": ..., "p99_latency_ms": ..., "throughput_tps": ...,
 ///   "avg_cluster_ms": ..., "avg_enum_ms": ..., "avg_cluster_size": ...,
+///   "stages": [...],     // present only when collect_stats was set
 ///   "patterns": [...]
 /// }
 void WriteResultJson(const core::IcpeResult& result, std::ostream& out);
+
+/// Writes per-stage observability counters as a JSON array of objects,
+/// one per exchange in pipeline order:
+/// [{"stage": "...", "records_pushed": N, ..., "pop_blocked_ms": X}, ...]
+void WriteStageStatsJson(
+    const std::vector<flow::StageStatsSnapshot>& stages,
+    std::ostream& out);
 
 }  // namespace comove::apps
 

@@ -54,7 +54,7 @@ struct SyncMsg {
 
 /// Thread-safe accumulation of per-snapshot stage compute times.
 struct TimeAccumulator {
-  std::mutex mu;
+  mutable std::mutex mu;
   double total_ms = 0.0;
   std::int64_t count = 0;
 
@@ -64,6 +64,7 @@ struct TimeAccumulator {
     ++count;
   }
   double Average() const {
+    std::lock_guard<std::mutex> lock(mu);
     return count > 0 ? total_ms / static_cast<double>(count) : 0.0;
   }
 };
@@ -133,11 +134,32 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
                                        q.constraints.m);
   }
 
-  flow::Exchange<GpsRecord> source_exchange(1, 1, options.channel_capacity);
-  flow::Exchange<Snapshot> snapshot_exchange(1, p,
-                                             options.channel_capacity);
+  // Declared before the exchanges so the stats outlive every channel
+  // holding a pointer into the registry.
+  flow::StageStatsRegistry stats_registry;
+  auto stats_for = [&](const char* stage) -> flow::StageStats* {
+    return options.collect_stats ? &stats_registry.Get(stage) : nullptr;
+  };
+  if (options.collect_stats && options.join_parallel_cells) {
+    // The grid exchanges are constructed after the partition exchange;
+    // pre-register every stage so the stats table reads in pipeline order.
+    stats_registry.Get("source->assembler");
+    stats_registry.Get("assembler->grid_allocate");
+    stats_registry.Get("grid_allocate->grid_query");
+    stats_registry.Get("allocate/query->grid_sync");
+    stats_registry.Get("grid_sync->enumerate");
+  }
+
+  flow::Exchange<GpsRecord> source_exchange(
+      1, 1, options.channel_capacity, stats_for("source->assembler"));
+  flow::Exchange<Snapshot> snapshot_exchange(
+      1, p, options.channel_capacity,
+      stats_for(options.join_parallel_cells ? "assembler->grid_allocate"
+                                            : "assembler->cluster"));
   flow::Exchange<pattern::Partition> partition_exchange(
-      p, p, options.channel_capacity);
+      p, p, options.channel_capacity,
+      stats_for(options.join_parallel_cells ? "grid_sync->enumerate"
+                                            : "cluster->enumerate"));
   // Extra exchanges of the Fig. 5 cell-parallel mode (lazily created).
   std::optional<flow::Exchange<CellMsg>> query_exchange;
   std::optional<flow::Exchange<SyncMsg>> sync_exchange;
@@ -310,8 +332,10 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
         "join_parallel_cells supports the GR-index methods (RJC/SRJ)");
     const bool use_lemmas =
         options.clustering == cluster::ClusteringMethod::kRJC;
-    query_exchange.emplace(p, p, options.channel_capacity);
-    sync_exchange.emplace(2 * p, p, options.channel_capacity);
+    query_exchange.emplace(p, p, options.channel_capacity,
+                           stats_for("grid_allocate->grid_query"));
+    sync_exchange.emplace(2 * p, p, options.channel_capacity,
+                          stats_for("allocate/query->grid_sync"));
 
     // GridAllocate subtasks: replicate locations into GridObjects and
     // forward the raw snapshot to the sync stage for DBSCAN.
@@ -544,6 +568,7 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
     }
   }
   result.snapshots = metrics.Collect();
+  if (options.collect_stats) result.stage_stats = stats_registry.Snapshot();
   result.avg_cluster_ms = cluster_time.Average();
   result.avg_enum_ms = enum_time.Average();
   result.cluster_count = cluster_count.load();

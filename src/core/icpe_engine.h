@@ -9,6 +9,7 @@
 #include "common/constraints.h"
 #include "common/types.h"
 #include "flow/metrics.h"
+#include "flow/stage_stats.h"
 #include "trajgen/dataset.h"
 
 /// \file
@@ -90,6 +91,13 @@ struct IcpeOptions {
   /// mode the callback receives patterns of ALL queries.
   std::function<void(const CoMovementPattern&)> on_pattern;
 
+  /// When true, every inter-stage exchange reports per-stage counters
+  /// (records/watermarks moved, queue depths, blocked-time split into
+  /// backpressure and starvation) into IcpeResult::stage_stats. Off by
+  /// default: the instrumented path adds a few atomic ops per element, the
+  /// disabled path only untaken branches.
+  bool collect_stats = false;
+
   /// Additional pattern queries sharing the clustering stage (the join
   /// and DBSCAN cost is paid once for all queries; each enumeration
   /// subtask runs one enumerator per query). Id-based partitions are
@@ -105,7 +113,12 @@ struct IcpeResult {
   /// Per-extra-query deduplicated patterns, index-aligned with
   /// IcpeOptions::extra_queries.
   std::vector<std::vector<CoMovementPattern>> extra_patterns;
-  flow::RunMetrics snapshots;      ///< per-snapshot latency + throughput
+  flow::RunMetrics snapshots;      ///< latency (avg/max/p50/p95/p99) + tps
+  /// Per-exchange counters in pipeline order (source -> assembler ->
+  /// cluster or grid stages -> enumerate); empty unless
+  /// IcpeOptions::collect_stats was set. See flow::StageStatsSnapshot for
+  /// how to read a backpressure report.
+  std::vector<flow::StageStatsSnapshot> stage_stats;
   double avg_cluster_ms = 0.0;     ///< mean per-snapshot clustering compute
   double avg_enum_ms = 0.0;        ///< mean per-tick enumeration compute
   double avg_cluster_size = 0.0;   ///< mean members per emitted cluster

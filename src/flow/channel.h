@@ -1,13 +1,16 @@
 #ifndef COMOVE_FLOW_CHANNEL_H_
 #define COMOVE_FLOW_CHANNEL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
 
 #include "common/check.h"
+#include "flow/stage_stats.h"
 
 /// \file
 /// A bounded multi-producer multi-consumer channel: the pipelined transfer
@@ -17,13 +20,29 @@
 
 namespace comove::flow {
 
+/// Outcome of a non-blocking poll, distinguishing a momentarily empty
+/// queue (the stream may continue) from a finished stream. The two states
+/// must be reported under one lock: a separate empty-then-finished probe
+/// races with a producer pushing in between, making a poller spin or quit
+/// early.
+enum class PollResult : std::uint8_t {
+  kItem,      ///< an element was dequeued
+  kEmpty,     ///< queue empty but producers remain - poll again later
+  kFinished,  ///< all producers closed and the queue is drained
+};
+
 /// Blocking bounded MPMC FIFO. Producers must be registered so the channel
 /// knows when the stream is finished: once every registered producer has
 /// called CloseProducer() and the queue drains, Pop() returns nullopt.
+///
+/// An optional StageStats receives per-element counters plus blocked-time
+/// accounting; with a null stats pointer (the default) the hot path pays
+/// only untaken branches and never reads a clock.
 template <typename T>
 class Channel {
  public:
-  explicit Channel(std::size_t capacity) : capacity_(capacity) {
+  explicit Channel(std::size_t capacity, StageStats* stats = nullptr)
+      : capacity_(capacity), stats_(stats) {
     COMOVE_CHECK(capacity > 0);
   }
 
@@ -48,7 +67,20 @@ class Channel {
   /// Blocks while the channel is full; FIFO per producer.
   void Push(T value) {
     std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [&] { return queue_.size() < capacity_; });
+    std::uint64_t blocked_ns = 0;
+    if (queue_.size() >= capacity_) {
+      if (stats_ == nullptr) {
+        not_full_.wait(lock, [&] { return queue_.size() < capacity_; });
+      } else {
+        const auto start = std::chrono::steady_clock::now();
+        not_full_.wait(lock, [&] { return queue_.size() < capacity_; });
+        blocked_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count());
+      }
+    }
+    if (stats_ != nullptr) stats_->OnPush(IsWatermark(value), blocked_ns);
     queue_.push_back(std::move(value));
     not_empty_.notify_one();
   }
@@ -58,22 +90,43 @@ class Channel {
   /// empty.
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return !queue_.empty() || producers_ == 0; });
+    std::uint64_t blocked_ns = 0;
+    if (queue_.empty() && producers_ > 0) {
+      if (stats_ == nullptr) {
+        not_empty_.wait(lock,
+                        [&] { return !queue_.empty() || producers_ == 0; });
+      } else {
+        const auto start = std::chrono::steady_clock::now();
+        not_empty_.wait(lock,
+                        [&] { return !queue_.empty() || producers_ == 0; });
+        blocked_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count());
+      }
+    }
     if (queue_.empty()) return std::nullopt;
     T value = std::move(queue_.front());
     queue_.pop_front();
+    if (stats_ != nullptr) stats_->OnPop(IsWatermark(value), blocked_ns);
     not_full_.notify_one();
     return value;
   }
 
-  /// Non-blocking pop; nullopt when currently empty (stream may continue).
-  std::optional<T> TryPop() {
+  /// Non-blocking poll. On kItem the element is moved into `out`; kEmpty
+  /// and kFinished leave `out` untouched. The finished check shares the
+  /// queue lock with the dequeue, so a kFinished result is authoritative:
+  /// nothing can arrive afterwards.
+  PollResult TryPop(T& out) {
     std::lock_guard<std::mutex> lock(mu_);
-    if (queue_.empty()) return std::nullopt;
-    T value = std::move(queue_.front());
+    if (queue_.empty()) {
+      return producers_ == 0 ? PollResult::kFinished : PollResult::kEmpty;
+    }
+    out = std::move(queue_.front());
     queue_.pop_front();
+    if (stats_ != nullptr) stats_->OnPop(IsWatermark(out), 0);
     not_full_.notify_one();
-    return value;
+    return PollResult::kItem;
   }
 
   std::size_t capacity() const { return capacity_; }
@@ -90,7 +143,19 @@ class Channel {
   }
 
  private:
+  /// Watermark/data split for stats: payloads exposing is_watermark()
+  /// (Element<T>) are classified, anything else counts as a record.
+  static bool IsWatermark(const T& value) {
+    if constexpr (requires { value.is_watermark(); }) {
+      return value.is_watermark();
+    } else {
+      (void)value;
+      return false;
+    }
+  }
+
   const std::size_t capacity_;
+  StageStats* const stats_;
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;

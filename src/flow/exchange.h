@@ -20,17 +20,23 @@ namespace comove::flow {
 
 /// An all-to-all exchange of Element<T> between `producers` upstream
 /// subtasks and `consumers` downstream subtasks.
+///
+/// When a StageStats is supplied, every consumer channel reports into it,
+/// so the stats aggregate the whole exchange: pushed/popped record and
+/// watermark counts, current/max total queue depth, and cumulative
+/// blocked-time split into backpressure (Push) and starvation (Pop).
 template <typename T>
 class Exchange {
  public:
   Exchange(std::int32_t producers, std::int32_t consumers,
-           std::size_t capacity_per_channel = 256)
+           std::size_t capacity_per_channel = 256,
+           StageStats* stats = nullptr)
       : producers_(producers), consumers_(consumers) {
     COMOVE_CHECK(producers > 0 && consumers > 0);
     channels_.reserve(static_cast<std::size_t>(consumers));
     for (std::int32_t c = 0; c < consumers; ++c) {
-      channels_.push_back(
-          std::make_unique<Channel<Element<T>>>(capacity_per_channel));
+      channels_.push_back(std::make_unique<Channel<Element<T>>>(
+          capacity_per_channel, stats));
       for (std::int32_t p = 0; p < producers; ++p) {
         channels_.back()->RegisterProducer();
       }

@@ -8,12 +8,15 @@
 
 #include "common/check.h"
 #include "common/types.h"
+#include "flow/stage_stats.h"
 
 /// \file
 /// Latency/throughput metrics matching the paper's definitions (§7):
-/// latency is the average response time per snapshot (ingest to final
-/// result emission), throughput is the number of snapshots processed per
-/// second.
+/// latency is the response time per snapshot (ingest to final result
+/// emission), throughput is the number of snapshots processed per second.
+/// Beyond the paper's average we keep a log-scale histogram of the
+/// per-snapshot latencies, so a run also reports p50/p95/p99 - the tail
+/// is where backpressure and watermark lag show up first.
 
 namespace comove::flow {
 
@@ -22,6 +25,9 @@ struct RunMetrics {
   std::int64_t snapshots = 0;
   double average_latency_ms = 0.0;
   double max_latency_ms = 0.0;
+  double p50_latency_ms = 0.0;  ///< histogram estimate (~12% rel. error)
+  double p95_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
   double throughput_tps = 0.0;  ///< snapshots per second
   double wall_seconds = 0.0;
 };
@@ -33,10 +39,16 @@ class SnapshotMetrics {
  public:
   using Clock = std::chrono::steady_clock;
 
+  /// Starts the latency clock for `snapshot_time`. Each snapshot time may
+  /// be ingested at most once per completion: a duplicate mark would
+  /// silently measure from the first ingest and break the
+  /// MarkComplete/MarkIngest pairing, so it aborts instead.
   void MarkIngest(Timestamp snapshot_time) {
     const Clock::time_point now = Clock::now();
     std::lock_guard<std::mutex> lock(mu_);
-    ingest_.emplace(snapshot_time, now);
+    const bool inserted = ingest_.emplace(snapshot_time, now).second;
+    COMOVE_CHECK_MSG(inserted, "duplicate ingest mark for snapshot %d",
+                     snapshot_time);
     if (!started_) {
       start_ = now;
       started_ = true;
@@ -55,6 +67,7 @@ class SnapshotMetrics {
     ingest_.erase(it);
     total_latency_ms_ += latency_ms;
     if (latency_ms > max_latency_ms_) max_latency_ms_ = latency_ms;
+    histogram_.RecordMs(latency_ms);
     ++completed_;
     end_ = now;
   }
@@ -68,6 +81,9 @@ class SnapshotMetrics {
       m.average_latency_ms =
           total_latency_ms_ / static_cast<double>(completed_);
       m.max_latency_ms = max_latency_ms_;
+      m.p50_latency_ms = histogram_.PercentileMs(0.50);
+      m.p95_latency_ms = histogram_.PercentileMs(0.95);
+      m.p99_latency_ms = histogram_.PercentileMs(0.99);
       m.wall_seconds = std::chrono::duration<double>(end_ - start_).count();
       m.throughput_tps = m.wall_seconds > 0.0
                              ? static_cast<double>(completed_) /
@@ -80,6 +96,7 @@ class SnapshotMetrics {
  private:
   mutable std::mutex mu_;
   std::unordered_map<Timestamp, Clock::time_point> ingest_;
+  LatencyHistogram histogram_;
   double total_latency_ms_ = 0.0;
   double max_latency_ms_ = 0.0;
   std::int64_t completed_ = 0;

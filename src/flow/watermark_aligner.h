@@ -28,7 +28,12 @@ class WatermarkAligner {
   /// Records watermark `t` from `producer`. Returns the new aligned
   /// watermark when the alignment advanced, nullopt otherwise.
   std::optional<Timestamp> Update(std::int32_t producer, Timestamp t) {
-    auto& mark = marks_.at(static_cast<std::size_t>(producer));
+    COMOVE_CHECK_MSG(
+        producer >= 0 &&
+            static_cast<std::size_t>(producer) < marks_.size(),
+        "watermark from producer %d but aligner tracks only [0, %d)",
+        producer, static_cast<int>(marks_.size()));
+    auto& mark = marks_[static_cast<std::size_t>(producer)];
     mark = std::max(mark, t);
     const Timestamp aligned = *std::min_element(marks_.begin(), marks_.end());
     if (aligned > aligned_) {

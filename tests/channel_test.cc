@@ -36,10 +36,54 @@ TEST(Channel, PopReturnsNulloptOnlyAfterDrain) {
 TEST(Channel, TryPopDoesNotBlock) {
   Channel<int> ch(4);
   ch.RegisterProducer();
-  EXPECT_EQ(ch.TryPop(), std::nullopt);
+  int out = -1;
+  EXPECT_EQ(ch.TryPop(out), PollResult::kEmpty);
+  EXPECT_EQ(out, -1);  // kEmpty leaves the output untouched
   ch.Push(7);
-  EXPECT_EQ(ch.TryPop(), 7);
+  EXPECT_EQ(ch.TryPop(out), PollResult::kItem);
+  EXPECT_EQ(out, 7);
   ch.CloseProducer();
+}
+
+TEST(Channel, TryPopDistinguishesEmptyFromFinished) {
+  Channel<int> ch(4);
+  ch.RegisterProducer();
+  int out = 0;
+  // Producers remain: an empty queue means "poll again", not "done".
+  EXPECT_EQ(ch.TryPop(out), PollResult::kEmpty);
+  ch.Push(1);
+  ch.CloseProducer();
+  // Closed but not drained: the buffered element still comes out.
+  EXPECT_EQ(ch.TryPop(out), PollResult::kItem);
+  EXPECT_EQ(out, 1);
+  // Closed and drained: finished, and stays finished.
+  EXPECT_EQ(ch.TryPop(out), PollResult::kFinished);
+  EXPECT_EQ(ch.TryPop(out), PollResult::kFinished);
+}
+
+TEST(Channel, PollingConsumerTerminatesWithoutSeparateFinishedCheck) {
+  // A poller driven only by TryPop's tri-state must consume everything
+  // and stop - no racy finished_producing() probe needed.
+  Channel<int> ch(8);
+  ch.RegisterProducer();
+  std::thread producer([&] {
+    for (int i = 0; i < 1000; ++i) ch.Push(i);
+    ch.CloseProducer();
+  });
+  int received = 0;
+  for (;;) {
+    int out = 0;
+    const PollResult r = ch.TryPop(out);
+    if (r == PollResult::kFinished) break;
+    if (r == PollResult::kItem) {
+      EXPECT_EQ(out, received);
+      ++received;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_EQ(received, 1000);
 }
 
 TEST(Channel, BackpressureBlocksProducerUntilConsumed) {

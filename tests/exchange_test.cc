@@ -36,6 +36,14 @@ TEST(WatermarkAligner, RegressingWatermarkIsIgnored) {
   EXPECT_EQ(aligner.aligned(), 10);
 }
 
+TEST(WatermarkAligner, OutOfRangeProducerAbortsWithDiagnostic) {
+  WatermarkAligner aligner(2);
+  // A diagnosable invariant failure naming the producer and the bound,
+  // not a raw std::out_of_range from the vector.
+  EXPECT_DEATH(aligner.Update(2, 1), "producer 2 .* \\[0, 2\\)");
+  EXPECT_DEATH(aligner.Update(-1, 1), "producer -1");
+}
+
 TEST(Exchange, RoutesDataByPartition) {
   Exchange<int> ex(/*producers=*/1, /*consumers=*/3);
   ex.Send(0, 0, 100);

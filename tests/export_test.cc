@@ -44,6 +44,7 @@ TEST(JsonExport, ResultIncludesMetrics) {
   core::IcpeResult result;
   result.snapshots.snapshots = 10;
   result.snapshots.average_latency_ms = 1.5;
+  result.snapshots.p99_latency_ms = 4.25;
   result.snapshots.throughput_tps = 123.0;
   result.patterns.push_back(P({1, 2}, {3, 4}));
   std::ostringstream out;
@@ -51,7 +52,36 @@ TEST(JsonExport, ResultIncludesMetrics) {
   const std::string json = out.str();
   EXPECT_NE(json.find("\"snapshots\": 10"), std::string::npos);
   EXPECT_NE(json.find("\"throughput_tps\": 123"), std::string::npos);
+  EXPECT_NE(json.find("\"p99_latency_ms\": 4.25"), std::string::npos);
   EXPECT_NE(json.find("\"objects\":[1,2]"), std::string::npos);
+  // No stage stats collected: the stages key is omitted entirely.
+  EXPECT_EQ(json.find("\"stages\""), std::string::npos);
+}
+
+TEST(JsonExport, ResultIncludesStageStatsWhenCollected) {
+  core::IcpeResult result;
+  flow::StageStatsSnapshot stage;
+  stage.stage = "assembler->cluster";
+  stage.records_pushed = 14;
+  stage.records_popped = 14;
+  stage.max_queue_depth = 3;
+  stage.push_blocked_ms = 1.5;
+  result.stage_stats.push_back(stage);
+  std::ostringstream out;
+  apps::WriteResultJson(result, out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"stages\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"stage\": \"assembler->cluster\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"max_queue_depth\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"push_blocked_ms\": 1.5"), std::string::npos);
+  int depth = 0;
+  for (const char c : json) {
+    if (c == '[' || c == '{') ++depth;
+    if (c == ']' || c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
 }
 
 TEST(SvgExport, ProducesBalancedDocument) {

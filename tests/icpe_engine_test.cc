@@ -154,6 +154,39 @@ TEST(IcpeEngine, GeneratedWorkloadConsistentAcrossParallelism) {
   EXPECT_FALSE(p1.empty());  // seeded groups must surface as patterns
 }
 
+TEST(IcpeEngine, CollectStatsExposesPerStageCounters) {
+  const Dataset dataset = TwoGroupDataset();
+  IcpeOptions options = BaseOptions();
+  options.collect_stats = true;
+  const IcpeResult result = RunIcpe(dataset, options);
+
+  ASSERT_EQ(result.stage_stats.size(), 3u);
+  EXPECT_EQ(result.stage_stats[0].stage, "source->assembler");
+  EXPECT_EQ(result.stage_stats[1].stage, "assembler->cluster");
+  EXPECT_EQ(result.stage_stats[2].stage, "cluster->enumerate");
+  // Every record the source replayed crossed the first exchange.
+  EXPECT_EQ(result.stage_stats[0].records_pushed,
+            static_cast<std::int64_t>(dataset.records.size()));
+  // All 14 snapshots crossed the assembler->cluster exchange.
+  EXPECT_EQ(result.stage_stats[1].records_pushed, 14);
+  for (const flow::StageStatsSnapshot& s : result.stage_stats) {
+    EXPECT_EQ(s.records_pushed, s.records_popped) << s.stage;
+    EXPECT_EQ(s.watermarks_pushed, s.watermarks_popped) << s.stage;
+    EXPECT_EQ(s.queue_depth, 0) << s.stage;
+    EXPECT_GT(s.max_queue_depth, 0) << s.stage;
+  }
+  // Percentile latencies accompany the paper's average/max.
+  EXPECT_GT(result.snapshots.p50_latency_ms, 0.0);
+  EXPECT_LE(result.snapshots.p50_latency_ms,
+            result.snapshots.p99_latency_ms);
+}
+
+TEST(IcpeEngine, StatsOffByDefaultLeavesTableEmpty) {
+  const Dataset dataset = TwoGroupDataset();
+  const IcpeResult result = RunIcpe(dataset, BaseOptions());
+  EXPECT_TRUE(result.stage_stats.empty());
+}
+
 TEST(IcpeEngine, ClusteringOnlyModeReportsMetrics) {
   const Dataset dataset = TwoGroupDataset();
   IcpeOptions options = BaseOptions();

@@ -50,6 +50,40 @@ TEST(SnapshotMetrics, CompleteWithoutIngestAborts) {
   EXPECT_DEATH(metrics.MarkComplete(7), "without ingest");
 }
 
+TEST(SnapshotMetrics, DuplicateIngestAborts) {
+  // A silent duplicate would measure latency from the FIRST ingest and
+  // leave a second MarkComplete to trip the pairing check; fail fast at
+  // the actual bug instead.
+  SnapshotMetrics metrics;
+  metrics.MarkIngest(3);
+  EXPECT_DEATH(metrics.MarkIngest(3), "duplicate ingest");
+}
+
+TEST(SnapshotMetrics, ReingestAfterCompleteIsAllowed) {
+  SnapshotMetrics metrics;
+  metrics.MarkIngest(3);
+  metrics.MarkComplete(3);
+  metrics.MarkIngest(3);  // a fresh ingest/complete cycle is fine
+  metrics.MarkComplete(3);
+  EXPECT_EQ(metrics.Collect().snapshots, 2);
+}
+
+TEST(SnapshotMetrics, PercentilesAreOrderedAndBracketTheSamples) {
+  SnapshotMetrics metrics;
+  for (Timestamp t = 0; t < 20; ++t) {
+    metrics.MarkIngest(t);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    metrics.MarkComplete(t);
+  }
+  const RunMetrics m = metrics.Collect();
+  EXPECT_GT(m.p50_latency_ms, 0.0);
+  EXPECT_LE(m.p50_latency_ms, m.p95_latency_ms);
+  EXPECT_LE(m.p95_latency_ms, m.p99_latency_ms);
+  // The histogram's bucket error is ~12.5%; allow that over the true max.
+  EXPECT_LE(m.p99_latency_ms, m.max_latency_ms * 1.13);
+  EXPECT_GE(m.max_latency_ms, m.average_latency_ms);
+}
+
 TEST(SnapshotMetrics, ConcurrentMarksAreSafe) {
   SnapshotMetrics metrics;
   constexpr int kCount = 2000;

@@ -9,6 +9,7 @@
 
 #include "cluster/clustering.h"
 #include "core/icpe_engine.h"
+#include "flow/stage_stats.h"
 #include "pattern/reference_enumerator.h"
 #include "trajgen/standard_datasets.h"
 
@@ -55,12 +56,23 @@ TEST_P(SoakAllDatasets, PipelineMatchesOracleInAllModes) {
         options.enumerator = kind;
         options.join_parallel_cells = cell_parallel;
         options.replay_shuffle_window = shuffle;
+        options.collect_stats = true;
         const IcpeResult result = RunIcpe(dataset, options);
         EXPECT_EQ(ObjectSets(result.patterns), oracle)
             << trajgen::StandardDatasetName(GetParam()) << " "
             << EnumeratorKindName(kind)
             << (cell_parallel ? " cell-parallel" : " snapshot-parallel")
             << " shuffle=" << shuffle;
+        // A drained pipeline leaves nothing queued: every depth gauge is
+        // zero and every pushed element was popped, on every stage.
+        EXPECT_EQ(result.stage_stats.size(),
+                  cell_parallel ? 5u : 3u);
+        for (const flow::StageStatsSnapshot& s : result.stage_stats) {
+          EXPECT_EQ(s.queue_depth, 0) << s.stage;
+          EXPECT_EQ(s.records_pushed, s.records_popped) << s.stage;
+          EXPECT_EQ(s.watermarks_pushed, s.watermarks_popped) << s.stage;
+          EXPECT_GE(s.max_queue_depth, 0) << s.stage;
+        }
       }
     }
   }
