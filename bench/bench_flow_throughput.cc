@@ -1,0 +1,194 @@
+// Flow-layer transfer throughput: how many records per second the bounded
+// channels move between stages, swept over producer-side batch size and
+// stage parallelism. This isolates the cost the ICPE pipeline pays per
+// record for locks and condvars, independent of join/DBSCAN compute - the
+// quantity the batched transfer work (Channel::PushBatch, BatchingSender)
+// is meant to improve.
+//
+// Workloads:
+//   source_pipe         - 1 producer -> 1 consumer (the source->assembler
+//                         edge: one channel, no routing).
+//   join_parallel_cells - p producers -> p consumers, hash-routed with
+//                         periodic watermark broadcasts (the Fig. 5
+//                         allocate->query CellMsg shuffle, the pipeline's
+//                         highest-volume exchange).
+//
+// Output: a human-readable table on stdout and machine-readable JSON (one
+// row object per line) for scripts/bench_smoke.sh, default
+// BENCH_flow_throughput.json, overridable with --out <path>.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cluster/grid_object.h"
+#include "common/stopwatch.h"
+#include "flow/exchange.h"
+#include "flow/task_group.h"
+
+namespace comove::bench {
+namespace {
+
+/// Payload mirroring the engine's CellMsg (timestamp + replicated grid
+/// object), so the measured per-element cost matches the real shuffle.
+struct CellPayload {
+  Timestamp time = 0;
+  cluster::GridObject object;
+};
+
+constexpr std::size_t kChannelCapacity = 128;  // engine default
+constexpr std::int64_t kWatermarkEvery = 1024;  // records per producer
+
+struct Row {
+  std::string workload;
+  int parallelism = 0;
+  std::size_t batch = 0;
+  double records_per_sec = 0.0;
+};
+
+/// Moves `total` records through a p-producer p-consumer hash-routed
+/// exchange and returns the wall-clock seconds. batch <= 1 uses the plain
+/// per-element Send/Pop path; otherwise BatchingSender and PopBatch.
+double RunShuffle(int parallelism, std::size_t batch, std::int64_t total) {
+  const auto p = static_cast<std::int32_t>(parallelism);
+  const std::int64_t per_producer = total / parallelism;
+  flow::Exchange<CellPayload> exchange(p, p, kChannelCapacity);
+  flow::TaskGroup tasks;
+  Stopwatch watch;
+  for (std::int32_t producer = 0; producer < p; ++producer) {
+    tasks.Spawn([&exchange, producer, per_producer, batch, parallelism] {
+      flow::BatchingSender<CellPayload> sender(exchange, producer, batch);
+      CellPayload payload;
+      payload.object.id = producer;
+      for (std::int64_t i = 0; i < per_producer; ++i) {
+        payload.time = i / kWatermarkEvery;
+        payload.object.key =
+            GridKey{static_cast<std::int32_t>(i & 63), producer};
+        sender.Send(static_cast<std::size_t>(i) %
+                        static_cast<std::size_t>(parallelism),
+                    payload);
+        if ((i + 1) % kWatermarkEvery == 0) {
+          sender.BroadcastWatermark(payload.time);
+        }
+      }
+      sender.Close();
+    });
+  }
+  std::vector<std::int64_t> received(static_cast<std::size_t>(p), 0);
+  for (std::int32_t consumer = 0; consumer < p; ++consumer) {
+    tasks.Spawn([&exchange, &received, consumer, batch] {
+      auto& channel = exchange.channel(consumer);
+      std::int64_t count = 0;
+      if (batch <= 1) {
+        while (auto element = channel.Pop()) {
+          if (element->is_data()) ++count;
+        }
+      } else {
+        std::vector<flow::Element<CellPayload>> popped;
+        while (channel.PopBatch(popped, batch) > 0) {
+          for (const auto& element : popped) {
+            if (element.is_data()) ++count;
+          }
+        }
+      }
+      received[static_cast<std::size_t>(consumer)] = count;
+    });
+  }
+  tasks.JoinAll();
+  const double seconds = watch.ElapsedMillis() / 1e3;
+  std::int64_t delivered = 0;
+  for (const std::int64_t c : received) delivered += c;
+  if (delivered != per_producer * parallelism) {
+    std::cerr << "record loss: " << delivered << " != "
+              << per_producer * parallelism << "\n";
+    std::abort();
+  }
+  return seconds;
+}
+
+/// Best-of-`reps` throughput, so one descheduled run cannot fake a
+/// regression in the smoke gate.
+Row Measure(const std::string& workload, int parallelism, std::size_t batch,
+            std::int64_t total, int reps) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const double seconds = RunShuffle(parallelism, batch, total);
+    best = std::max(best, static_cast<double>(total) / seconds);
+  }
+  return Row{workload, parallelism, batch, best};
+}
+
+}  // namespace
+}  // namespace comove::bench
+
+int main(int argc, char** argv) {
+  using comove::bench::Measure;
+  using comove::bench::Row;
+
+  std::string out_path = "BENCH_flow_throughput.json";
+  std::int64_t total = 1 << 21;  // records per configuration
+  int reps = 5;  // best-of: enough that the peak estimate is stable
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--records" && i + 1 < argc) {
+      total = std::stoll(argv[++i]);
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::stoi(argv[++i]);
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--out path] [--records n] [--reps n]\n";
+      return 2;
+    }
+  }
+
+  const std::size_t batches[] = {1, 16, 64, 256};
+  std::vector<Row> rows;
+  for (const std::size_t batch : batches) {
+    rows.push_back(Measure("source_pipe", 1, batch, total, reps));
+  }
+  for (const int parallelism : {1, 4, 8}) {
+    for (const std::size_t batch : batches) {
+      rows.push_back(
+          Measure("join_parallel_cells", parallelism, batch, total, reps));
+    }
+  }
+
+  std::printf("%-22s %4s %6s %16s\n", "workload", "p", "batch",
+              "records_per_sec");
+  for (const Row& row : rows) {
+    std::printf("%-22s %4d %6zu %16.0f\n", row.workload.c_str(),
+                row.parallelism, row.batch, row.records_per_sec);
+  }
+  // The headline amortisation ratio the change is judged by.
+  double base = 0.0, batched = 0.0;
+  for (const Row& row : rows) {
+    if (row.workload == "join_parallel_cells" && row.parallelism == 4) {
+      if (row.batch == 1) base = row.records_per_sec;
+      if (row.batch == 64) batched = row.records_per_sec;
+    }
+  }
+  if (base > 0.0) {
+    std::printf("join_parallel_cells p=4: batch64/batch1 = %.2fx\n",
+                batched / base);
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  for (const Row& row : rows) {
+    out << "{\"workload\": \"" << row.workload
+        << "\", \"parallelism\": " << row.parallelism
+        << ", \"batch\": " << row.batch << ", \"records_per_sec\": "
+        << static_cast<std::int64_t>(row.records_per_sec) << "}\n";
+  }
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

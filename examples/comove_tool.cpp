@@ -18,6 +18,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <string>
 
 #include "apps/json_export.h"
@@ -161,6 +162,12 @@ int RunDetect(int argc, char** argv) {
               result.snapshots.throughput_tps,
               static_cast<long long>(result.cluster_count),
               result.avg_cluster_size);
+  if (options.collect_stats && !result.stage_stats.empty()) {
+    std::printf("\n[stage stats]\n");
+    flow::PrintStageStats(result.stage_stats, std::cout);
+    std::printf("\n[batch size histogram]  (elements per transfer: count)\n");
+    flow::PrintBatchHistogram(result.stage_stats, std::cout);
+  }
   if (!json_path.empty()) {
     std::ofstream out(json_path);
     if (!out) {

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Performance smoke gate for the flow transfer layer: builds Release, runs
+# bench_flow_throughput, and fails when throughput regresses more than 20%
+# against the checked-in baseline (BENCH_flow_throughput.json) - measured
+# as the geometric mean of the per-row current/baseline ratios, so one
+# noisy row on a loaded machine cannot flip the verdict while a real
+# regression (which drags every row) still does. Also fails when batching
+# stops paying for itself (batch 64 must beat batch 1 by >= 1.5x on the
+# join_parallel_cells p=4 shuffle).
+#
+# The baseline is machine-specific; regenerate it on your hardware with
+#   build-release/bench/bench_flow_throughput --out BENCH_flow_throughput.json
+# before relying on the regression gate.
+#
+# Usage: scripts/bench_smoke.sh [build-dir]   (default: build-release)
+set -euo pipefail
+
+BUILD_DIR="${1:-build-release}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+BASELINE="BENCH_flow_throughput.json"
+CURRENT="BENCH_flow_throughput.tmp.json"
+
+if [ ! -f "$BASELINE" ]; then
+  echo "missing baseline $BASELINE" >&2
+  exit 1
+fi
+
+cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_flow_throughput
+
+"$BUILD_DIR/bench/bench_flow_throughput" --out "$CURRENT"
+
+# Each JSON file holds one row object per line:
+#   {"workload": "...", "parallelism": P, "batch": B, "records_per_sec": R}
+# Join current against baseline on (workload, parallelism, batch), then
+# gate on the geometric mean of the ratios plus the amortisation floor.
+status=0
+awk '
+  function field(line, name,    rest) {
+    rest = line
+    sub(".*\"" name "\": *", "", rest)
+    sub("[,}].*", "", rest)
+    gsub("\"", "", rest)
+    return rest
+  }
+  {
+    key = field($0, "workload") "/p" field($0, "parallelism") \
+          "/b" field($0, "batch")
+    rate = field($0, "records_per_sec") + 0
+    if (NR == FNR) { baseline[key] = rate; next }
+    if (!(key in baseline)) {
+      printf "NEW  %-40s %12.0f rec/s (no baseline)\n", key, rate
+      next
+    }
+    ratio = rate / baseline[key]
+    verdict = (ratio >= 0.8) ? "ok  " : "low "
+    log_sum += log(ratio)
+    rows += 1
+    printf "%s %-40s %12.0f rec/s  baseline %12.0f  (%.2fx)\n", \
+           verdict, key, rate, baseline[key], ratio
+    if (key == "join_parallel_cells/p4/b1") base_p4 = rate
+    if (key == "join_parallel_cells/p4/b64") batched_p4 = rate
+  }
+  END {
+    if (rows == 0) { print "FAIL: no comparable rows"; exit 1 }
+    geomean = exp(log_sum / rows)
+    printf "geometric-mean throughput ratio over %d rows = %.2fx\n", \
+           rows, geomean
+    if (geomean < 0.8) {
+      print "FAIL: throughput regressed more than 20% overall"
+      failed = 1
+    }
+    if (base_p4 > 0) {
+      speedup = batched_p4 / base_p4
+      printf "join_parallel_cells p=4 batch64/batch1 = %.2fx\n", speedup
+      if (speedup < 1.5) {
+        print "FAIL: batching speedup below 1.5x"
+        failed = 1
+      }
+    }
+    exit failed
+  }
+' "$BASELINE" "$CURRENT" || status=1
+
+rm -f "$CURRENT"
+if [ "$status" -ne 0 ]; then
+  echo "bench smoke FAILED (>20% regression or lost batching win)" >&2
+else
+  echo "bench smoke clean"
+fi
+exit "$status"

@@ -81,7 +81,15 @@ void WriteStageStatsJson(
         << ", \"queue_depth\": " << s.queue_depth
         << ", \"max_queue_depth\": " << s.max_queue_depth
         << ", \"push_blocked_ms\": " << s.push_blocked_ms
-        << ", \"pop_blocked_ms\": " << s.pop_blocked_ms << "}";
+        << ", \"pop_blocked_ms\": " << s.pop_blocked_ms
+        << ", \"batches_pushed\": " << s.batches_pushed
+        << ", \"avg_batch_size\": " << s.avg_batch_size
+        << ", \"batch_size_histogram\": [";
+    for (std::size_t b = 0; b < s.batch_size_histogram.size(); ++b) {
+      if (b) out << ", ";
+      out << s.batch_size_histogram[b];
+    }
+    out << "]}";
   }
   out << "\n  ]";
 }

@@ -20,13 +20,23 @@ const char* ClusteringMethodName(ClusteringMethod method) {
 ClusterSnapshot ClusterSnapshotWith(ClusteringMethod method,
                                     const Snapshot& snapshot,
                                     const ClusteringOptions& options) {
+  JoinScratch scratch;
+  return ClusterSnapshotWith(method, snapshot, options, scratch);
+}
+
+ClusterSnapshot ClusterSnapshotWith(ClusteringMethod method,
+                                    const Snapshot& snapshot,
+                                    const ClusteringOptions& options,
+                                    JoinScratch& scratch) {
   switch (method) {
     case ClusteringMethod::kRJC:
       return DbscanFromNeighbors(
-          snapshot, RangeJoinRJC(snapshot, options.join), options.dbscan);
+          snapshot, RangeJoinRJC(snapshot, options.join, {}, scratch),
+          options.dbscan);
     case ClusteringMethod::kSRJ:
       return DbscanFromNeighbors(
-          snapshot, RangeJoinSRJ(snapshot, options.join), options.dbscan);
+          snapshot, RangeJoinSRJ(snapshot, options.join, scratch),
+          options.dbscan);
     case ClusteringMethod::kGDC:
       return GdcCluster(snapshot, options.join.eps, options.dbscan,
                         options.join.metric);

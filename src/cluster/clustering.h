@@ -33,6 +33,14 @@ ClusterSnapshot ClusterSnapshotWith(ClusteringMethod method,
                                     const Snapshot& snapshot,
                                     const ClusteringOptions& options);
 
+/// ClusterSnapshotWith reusing `scratch` for the range join's working
+/// memory across snapshots (the streaming hot path; see JoinScratch).
+/// GDC has no join stage and ignores the scratch.
+ClusterSnapshot ClusterSnapshotWith(ClusteringMethod method,
+                                    const Snapshot& snapshot,
+                                    const ClusteringOptions& options,
+                                    JoinScratch& scratch);
+
 }  // namespace comove::cluster
 
 #endif  // COMOVE_CLUSTER_CLUSTERING_H_

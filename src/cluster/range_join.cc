@@ -29,8 +29,15 @@ bool InUpperHalf(const Point& q, TrajectoryId q_id, const Point& v,
 std::vector<GridObject> GridAllocate(const Snapshot& snapshot,
                                      const RangeJoinOptions& options,
                                      bool use_lemma1) {
-  const GridIndex grid(options.grid_cell_width);
   std::vector<GridObject> out;
+  GridAllocate(snapshot, options, use_lemma1, out);
+  return out;
+}
+
+void GridAllocate(const Snapshot& snapshot, const RangeJoinOptions& options,
+                  bool use_lemma1, std::vector<GridObject>& out) {
+  const GridIndex grid(options.grid_cell_width);
+  out.clear();
   out.reserve(snapshot.entries.size() * 2);
   for (const SnapshotEntry& e : snapshot.entries) {
     const GridKey home = grid.KeyOf(e.location);
@@ -43,7 +50,6 @@ std::vector<GridObject> GridAllocate(const Snapshot& snapshot,
       out.push_back(GridObject{key, /*is_query=*/true, e.id, e.location});
     }
   }
-  return out;
 }
 
 std::vector<NeighborPair> GridQuery(
@@ -51,6 +57,14 @@ std::vector<NeighborPair> GridQuery(
     const RangeJoinOptions& options, bool use_lemma2) {
   std::vector<NeighborPair> out;
   RTree tree(options.rtree);
+  GridQuery(cell_objects, options, use_lemma2, tree, out);
+  return out;
+}
+
+void GridQuery(const std::vector<GridObject>& cell_objects,
+               const RangeJoinOptions& options, bool use_lemma2, RTree& tree,
+               std::vector<NeighborPair>& out) {
+  tree.Clear();
 
   if (use_lemma2) {
     // Pass 1 (Lemma 2): each data object queries the partially built tree
@@ -80,7 +94,7 @@ std::vector<NeighborPair> GridQuery(
                        }
                      });
     }
-    return out;
+    return;
   }
 
   // Traditional scheme (SRJ): build the full local index first, then run
@@ -99,7 +113,6 @@ std::vector<NeighborPair> GridQuery(
                      }
                    });
   }
-  return out;
 }
 
 std::vector<NeighborPair> GridSync(
@@ -118,23 +131,37 @@ std::vector<NeighborPair> GridSync(
 
 namespace {
 
-/// Shared driver: allocate, bucket by cell, per-cell query, sync.
-std::vector<NeighborPair> RunJoin(const Snapshot& snapshot,
-                                  const RangeJoinOptions& options,
-                                  bool use_lemma1, bool use_lemma2) {
+/// Shared driver: allocate, bucket by cell, per-cell query, sync - all in
+/// `scratch`, whose buffers (object vector, cell buckets, R-tree pages,
+/// result vector) carry their capacity from snapshot to snapshot. The
+/// result lands in scratch.pairs.
+void RunJoin(const Snapshot& snapshot, const RangeJoinOptions& options,
+             bool use_lemma1, bool use_lemma2, JoinScratch& scratch) {
   COMOVE_CHECK(options.eps > 0.0 && options.grid_cell_width > 0.0);
-  const std::vector<GridObject> objects =
-      GridAllocate(snapshot, options, use_lemma1);
-  std::unordered_map<GridKey, std::vector<GridObject>, GridKeyHash> cells;
-  for (const GridObject& o : objects) {
-    cells[o.key].push_back(o);
+  GridAllocate(snapshot, options, use_lemma1, scratch.objects);
+  // Bucket into the persistent cell map. Buckets left over from earlier
+  // snapshots are empty (cleared below), so first-touch marks a cell
+  // active; iteration then follows the deterministic active list instead
+  // of unordered_map order.
+  scratch.active_cells.clear();
+  for (GridObject& o : scratch.objects) {
+    std::vector<GridObject>& cell = scratch.cells[o.key];
+    if (cell.empty()) scratch.active_cells.push_back(o.key);
+    cell.push_back(std::move(o));
   }
-  std::vector<std::vector<NeighborPair>> per_cell;
-  per_cell.reserve(cells.size());
-  for (auto& [key, cell_objects] : cells) {
-    per_cell.push_back(GridQuery(cell_objects, options, use_lemma2));
+  if (!scratch.tree.has_value()) scratch.tree.emplace(options.rtree);
+  scratch.pairs.clear();
+  for (const GridKey& key : scratch.active_cells) {
+    std::vector<GridObject>& cell_objects = scratch.cells.find(key)->second;
+    GridQuery(cell_objects, options, use_lemma2, *scratch.tree,
+              scratch.pairs);
+    cell_objects.clear();  // keep the bucket's capacity for the next snapshot
   }
-  return GridSync(std::move(per_cell));
+  // GridSync on the merged stream: canonical order + dedup.
+  std::sort(scratch.pairs.begin(), scratch.pairs.end());
+  scratch.pairs.erase(
+      std::unique(scratch.pairs.begin(), scratch.pairs.end()),
+      scratch.pairs.end());
 }
 
 }  // namespace
@@ -142,13 +169,34 @@ std::vector<NeighborPair> RunJoin(const Snapshot& snapshot,
 std::vector<NeighborPair> RangeJoinRJC(const Snapshot& snapshot,
                                        const RangeJoinOptions& options,
                                        const RangeJoinVariant& variant) {
-  return RunJoin(snapshot, options, variant.use_lemma1, variant.use_lemma2);
+  JoinScratch scratch;
+  RunJoin(snapshot, options, variant.use_lemma1, variant.use_lemma2,
+          scratch);
+  return std::move(scratch.pairs);
+}
+
+const std::vector<NeighborPair>& RangeJoinRJC(
+    const Snapshot& snapshot, const RangeJoinOptions& options,
+    const RangeJoinVariant& variant, JoinScratch& scratch) {
+  RunJoin(snapshot, options, variant.use_lemma1, variant.use_lemma2,
+          scratch);
+  return scratch.pairs;
 }
 
 std::vector<NeighborPair> RangeJoinSRJ(const Snapshot& snapshot,
                                        const RangeJoinOptions& options) {
-  return RunJoin(snapshot, options, /*use_lemma1=*/false,
-                 /*use_lemma2=*/false);
+  JoinScratch scratch;
+  RunJoin(snapshot, options, /*use_lemma1=*/false, /*use_lemma2=*/false,
+          scratch);
+  return std::move(scratch.pairs);
+}
+
+const std::vector<NeighborPair>& RangeJoinSRJ(const Snapshot& snapshot,
+                                              const RangeJoinOptions& options,
+                                              JoinScratch& scratch) {
+  RunJoin(snapshot, options, /*use_lemma1=*/false, /*use_lemma2=*/false,
+          scratch);
+  return scratch.pairs;
 }
 
 std::vector<NeighborPair> RangeJoinBrute(const Snapshot& snapshot,

@@ -1,6 +1,8 @@
 #ifndef COMOVE_CLUSTER_RANGE_JOIN_H_
 #define COMOVE_CLUSTER_RANGE_JOIN_H_
 
+#include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/grid_object.h"
@@ -40,12 +42,37 @@ struct RangeJoinVariant {
   bool use_lemma2 = true;  ///< query-before-insert during build
 };
 
+/// Reusable working memory for the per-snapshot range join. A streaming
+/// pipeline joins one snapshot after another with the same options; a
+/// fresh join allocates a GridObject vector, one bucket vector per touched
+/// cell, an R-tree per cell, and the result vector - every snapshot. A
+/// worker that keeps a JoinScratch across snapshots instead reuses all of
+/// that capacity: vectors are cleared but not freed, the cell map keeps
+/// its buckets (trajectories revisit the same cells), and the R-tree
+/// recycles its pages (RTree::Clear). Owned by one worker thread; not
+/// thread-safe. Assumes stable RangeJoinOptions across calls (the R-tree
+/// keeps the tuning it was first built with).
+struct JoinScratch {
+  std::vector<GridObject> objects;  ///< GridAllocate output
+  /// Cell buckets. Entries persist across snapshots with cleared vectors;
+  /// `active_cells` lists the keys actually occupied by the current call.
+  std::unordered_map<GridKey, std::vector<GridObject>, GridKeyHash> cells;
+  std::vector<GridKey> active_cells;
+  std::vector<NeighborPair> pairs;  ///< join result of the last call
+  std::optional<RTree> tree;        ///< per-cell index, pages recycled
+};
+
 /// GridAllocate (Algorithm 1): emits the GridObjects of `snapshot`. With
 /// `use_lemma1` the query replication covers only the upper half of each
 /// range region; otherwise the full region (the SRJ scheme).
 std::vector<GridObject> GridAllocate(const Snapshot& snapshot,
                                      const RangeJoinOptions& options,
                                      bool use_lemma1 = true);
+
+/// GridAllocate into a caller-owned buffer: `out` is cleared and refilled,
+/// retaining its capacity across snapshots (the hot-path form).
+void GridAllocate(const Snapshot& snapshot, const RangeJoinOptions& options,
+                  bool use_lemma1, std::vector<GridObject>& out);
 
 /// GridQuery (Algorithm 2) for the GridObjects of ONE grid cell.
 ///
@@ -61,6 +88,14 @@ std::vector<NeighborPair> GridQuery(const std::vector<GridObject>& cell_objects,
                                     const RangeJoinOptions& options,
                                     bool use_lemma2 = true);
 
+/// GridQuery with caller-owned working memory: `tree` is cleared (its
+/// pages are recycled) and rebuilt for this cell, and pairs are APPENDED
+/// to `out` - callers chain all cells of a snapshot into one result
+/// vector without a per-cell allocation.
+void GridQuery(const std::vector<GridObject>& cell_objects,
+               const RangeJoinOptions& options, bool use_lemma2, RTree& tree,
+               std::vector<NeighborPair>& out);
+
 /// GridSync: merges per-cell results, canonicalises pairs to a < b, sorts,
 /// and removes duplicates (duplicates only exist for non-Lemma variants;
 /// for full RJC this is a pure merge).
@@ -73,10 +108,22 @@ std::vector<NeighborPair> RangeJoinRJC(const Snapshot& snapshot,
                                        const RangeJoinOptions& options,
                                        const RangeJoinVariant& variant = {});
 
+/// RangeJoinRJC reusing `scratch` across snapshots. Returns the result in
+/// scratch.pairs (valid until the next call on the same scratch).
+const std::vector<NeighborPair>& RangeJoinRJC(const Snapshot& snapshot,
+                                              const RangeJoinOptions& options,
+                                              const RangeJoinVariant& variant,
+                                              JoinScratch& scratch);
+
 /// SRJ baseline [36]: full range-region replication, index-then-query,
 /// deduplication at sync. No Lemma 1 / Lemma 2 savings.
 std::vector<NeighborPair> RangeJoinSRJ(const Snapshot& snapshot,
                                        const RangeJoinOptions& options);
+
+/// RangeJoinSRJ reusing `scratch`; same contract as the RJC overload.
+const std::vector<NeighborPair>& RangeJoinSRJ(const Snapshot& snapshot,
+                                              const RangeJoinOptions& options,
+                                              JoinScratch& scratch);
 
 /// O(n^2) reference join used by tests and tiny snapshots.
 std::vector<NeighborPair> RangeJoinBrute(

@@ -110,6 +110,11 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
   COMOVE_CHECK(options.parallelism > 0);
   COMOVE_CHECK(options.constraints.IsValid());
   const std::int32_t p = options.parallelism;
+  // Consumers drain up to this many already-queued elements per lock
+  // acquisition; PopBatch never waits to fill a batch, so a larger value
+  // costs no latency.
+  const std::size_t pop_batch_max =
+      std::max<std::size_t>(std::size_t{1}, options.exchange_batch_size);
 
   // The query set: the primary query (unless kNone) plus extras, all
   // evaluated over one shared cluster stream.
@@ -190,6 +195,8 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
   // time order or deterministically shuffled inside a sliding window (the
   // §4 synchronisation then has to reassemble the chains downstream).
   tasks.Spawn([&] {
+    flow::BatchingSender<GpsRecord> sender(source_exchange, 0,
+                                           options.exchange_batch_size);
     const auto throttle = [&] {
       if (options.replay_delay_us > 0) {
         std::this_thread::sleep_for(
@@ -202,16 +209,16 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
         if (record.time != current) {
           COMOVE_CHECK(record.time > current);
           // No trajectory can be born before this batch's time anymore.
-          source_exchange.BroadcastWatermark(0, record.time - 1);
+          sender.BroadcastWatermark(record.time - 1);
           current = record.time;
           throttle();
         }
-        source_exchange.Send(0, 0, record);
+        sender.Send(0, record);
       }
       if (current != kNoTime) {
-        source_exchange.BroadcastWatermark(0, current);
+        sender.BroadcastWatermark(current);
       }
-      source_exchange.CloseProducer(0);
+      sender.Close();
       return;
     }
     // Shuffled replay: flush blocks of `window` consecutive time units in
@@ -229,10 +236,10 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
       Timestamp max_time = kNoTime;
       for (const GpsRecord& record : block) {
         max_time = std::max(max_time, record.time);
-        source_exchange.Send(0, 0, record);
+        sender.Send(0, record);
       }
       if (max_time != kNoTime) {
-        source_exchange.BroadcastWatermark(0, max_time);
+        sender.BroadcastWatermark(max_time);
       }
       block.clear();
     };
@@ -246,7 +253,7 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
       block.push_back(record);
     }
     flush();
-    source_exchange.CloseProducer(0);
+    sender.Close();
   });
 
   // --- Assembler: §4 last-time synchronisation into snapshots.
@@ -265,11 +272,14 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
       }
     };
     auto& input = source_exchange.channel(0);
-    while (auto element = input.Pop()) {
-      if (element->is_data()) {
-        route(assembler.OnRecord(element->data));
-      } else {
-        route(assembler.AdvanceBirthBound(element->watermark));
+    std::vector<flow::Element<GpsRecord>> batch;
+    while (input.PopBatch(batch, pop_batch_max) > 0) {
+      for (flow::Element<GpsRecord>& element : batch) {
+        if (element.is_data()) {
+          route(assembler.OnRecord(element.data));
+        } else {
+          route(assembler.AdvanceBirthBound(element.watermark));
+        }
       }
     }
     route(assembler.Finish());
@@ -286,17 +296,21 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
           std::memory_order_relaxed);
     }
   };
-  auto route_partitions = [&](std::int32_t worker,
+  // Each clustering worker owns a BatchingSender over the partition
+  // exchange (partitions are the highest-fanout payload: one per cluster
+  // member set per snapshot), so the shared lambdas take the sender.
+  auto route_partitions = [&](flow::BatchingSender<pattern::Partition>& out,
                               const ClusterSnapshot& clustered) {
     for (pattern::Partition& part :
          pattern::MakePartitions(clustered, partition_constraints)) {
       const std::size_t target = OwnerPartition(part.owner, p);
-      partition_exchange.Send(worker, target, std::move(part));
+      out.Send(target, std::move(part));
     }
   };
-  auto clustering_progress = [&](std::int32_t worker, Timestamp w) {
+  auto clustering_progress = [&](flow::BatchingSender<pattern::Partition>& out,
+                                 std::int32_t worker, Timestamp w) {
     if (enumerate) {
-      partition_exchange.BroadcastWatermark(worker, w);
+      out.BroadcastWatermark(w);
     } else {
       for (const Timestamp done : tracker.Update(worker, w)) {
         metrics.MarkComplete(done);
@@ -308,21 +322,25 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
     // --- Cluster workers: snapshot-parallel indexed clustering (§5.3).
     tasks.SpawnIndexed(p, [&, record_cluster_stats, route_partitions,
                            clustering_progress](std::int32_t worker) {
+      flow::BatchingSender<pattern::Partition> partition_sender(
+          partition_exchange, worker, options.exchange_batch_size);
+      cluster::JoinScratch scratch;  // join working memory, reused per worker
       auto& input = snapshot_exchange.channel(worker);
       while (auto element = input.Pop()) {
         if (element->is_data()) {
           Stopwatch watch;
           const ClusterSnapshot clustered = cluster::ClusterSnapshotWith(
-              options.clustering, element->data, options.cluster_options);
+              options.clustering, element->data, options.cluster_options,
+              scratch);
           cluster_time.Add(watch.ElapsedMillis());
           record_cluster_stats(clustered);
-          if (enumerate) route_partitions(worker, clustered);
+          if (enumerate) route_partitions(partition_sender, clustered);
         } else {
           // All of this worker's snapshots <= watermark are done (FIFO).
-          clustering_progress(worker, element->watermark);
+          clustering_progress(partition_sender, worker, element->watermark);
         }
       }
-      if (enumerate) partition_exchange.CloseProducer(worker);
+      if (enumerate) partition_sender.Close();
     });
   } else {
     // --- The literal Fig. 5 dataflow: GridAllocate -> cell-keyed
@@ -341,18 +359,24 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
     // forward the raw snapshot to the sync stage for DBSCAN.
     tasks.SpawnIndexed(p, [&](std::int32_t worker) {
       const GridKeyHash cell_hash;
+      // CellMsg is the highest-volume payload in this mode (every object
+      // replicated per overlapped cell), so its sends are batched; the
+      // objects vector is reused across snapshots.
+      flow::BatchingSender<CellMsg> cell_sender(*query_exchange, worker,
+                                                options.exchange_batch_size);
+      std::vector<cluster::GridObject> objects;
       auto& input = snapshot_exchange.channel(worker);
       while (auto element = input.Pop()) {
         if (element->is_data()) {
           const Timestamp t = element->data.time;
           Stopwatch watch;
-          std::vector<cluster::GridObject> objects = cluster::GridAllocate(
-              element->data, options.cluster_options.join, use_lemmas);
+          cluster::GridAllocate(element->data, options.cluster_options.join,
+                                use_lemmas, objects);
           cluster_time.Add(watch.ElapsedMillis());
           for (cluster::GridObject& object : objects) {
             const std::size_t target =
                 cell_hash(object.key) % static_cast<std::size_t>(p);
-            query_exchange->Send(worker, target, CellMsg{t, object});
+            cell_sender.Send(target, CellMsg{t, std::move(object)});
           }
           SyncMsg msg;
           msg.time = t;
@@ -363,11 +387,11 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
                                   static_cast<std::size_t>(p),
                               std::move(msg));
         } else {
-          query_exchange->BroadcastWatermark(worker, element->watermark);
+          cell_sender.BroadcastWatermark(element->watermark);
           sync_exchange->BroadcastWatermark(worker, element->watermark);
         }
       }
-      query_exchange->CloseProducer(worker);
+      cell_sender.Close();
       sync_exchange->CloseProducer(worker);
     });
 
@@ -379,6 +403,10 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
                std::unordered_map<GridKey, std::vector<cluster::GridObject>,
                                   GridKeyHash>>
           cells_by_time;
+      // One R-tree per worker, Clear()ed per cell: its page pool reaches
+      // steady state after the first few cells and insertion then
+      // allocates nothing (see RTree::Clear).
+      RTree tree(options.cluster_options.join.rtree);
       auto process_through = [&](Timestamp w) {
         while (!cells_by_time.empty() &&
                cells_by_time.begin()->first <= w) {
@@ -386,10 +414,8 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
           Stopwatch watch;
           std::vector<NeighborPair> pairs;
           for (auto& [key, objects] : cells_by_time.begin()->second) {
-            std::vector<NeighborPair> cell_pairs = cluster::GridQuery(
-                objects, options.cluster_options.join, use_lemmas);
-            pairs.insert(pairs.end(), cell_pairs.begin(),
-                         cell_pairs.end());
+            cluster::GridQuery(objects, options.cluster_options.join,
+                               use_lemmas, tree, pairs);
           }
           cluster_time.Add(watch.ElapsedMillis());
           SyncMsg msg;
@@ -403,14 +429,17 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
         }
       };
       auto& input = query_exchange->channel(worker);
-      while (auto element = input.Pop()) {
-        if (element->is_data()) {
-          cells_by_time[element->data.time][element->data.object.key]
-              .push_back(element->data.object);
-        } else if (auto advanced = aligner.Update(element->producer,
-                                                  element->watermark)) {
-          process_through(*advanced);
-          sync_exchange->BroadcastWatermark(p + worker, *advanced);
+      std::vector<flow::Element<CellMsg>> batch;
+      while (input.PopBatch(batch, pop_batch_max) > 0) {
+        for (flow::Element<CellMsg>& element : batch) {
+          if (element.is_data()) {
+            cells_by_time[element.data.time][element.data.object.key]
+                .push_back(std::move(element.data.object));
+          } else if (auto advanced = aligner.Update(element.producer,
+                                                    element.watermark)) {
+            process_through(*advanced);
+            sync_exchange->BroadcastWatermark(p + worker, *advanced);
+          }
         }
       }
       process_through(kMaxTime);
@@ -421,6 +450,8 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
     // the raw snapshot, cluster, and hand off to enumeration.
     tasks.SpawnIndexed(p, [&, record_cluster_stats, route_partitions,
                            clustering_progress](std::int32_t worker) {
+      flow::BatchingSender<pattern::Partition> partition_sender(
+          partition_exchange, worker, options.exchange_batch_size);
       flow::WatermarkAligner aligner(2 * p);
       struct PendingTime {
         bool have_snapshot = false;
@@ -447,7 +478,7 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
               options.cluster_options.dbscan);
           cluster_time.Add(watch.ElapsedMillis());
           record_cluster_stats(clustered);
-          if (enumerate) route_partitions(worker, clustered);
+          if (enumerate) route_partitions(partition_sender, clustered);
         }
       };
       auto& input = sync_exchange->channel(worker);
@@ -465,11 +496,11 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
         } else if (auto advanced = aligner.Update(element->producer,
                                                   element->watermark)) {
           process_through(*advanced);
-          clustering_progress(worker, *advanced);
+          clustering_progress(partition_sender, worker, *advanced);
         }
       }
       process_through(kMaxTime);
-      if (enumerate) partition_exchange.CloseProducer(worker);
+      if (enumerate) partition_sender.Close();
     });
   }
 
@@ -521,24 +552,27 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
       };
 
       auto& input = partition_exchange.channel(worker);
-      while (auto element = input.Pop()) {
-        if (element->is_data()) {
-          buffer.Add(element->data.time, std::move(element->data));
-        } else if (auto advanced = aligner.Update(element->producer,
-                                                  element->watermark)) {
-          const Timestamp w = *advanced;
-          feed(buffer.DrainThrough(w));
-          if (w != kMaxTime) {
-            Stopwatch watch;
-            for (const auto& e : enumerators) e->AdvanceTime(w);
-            enum_time.Add(watch.ElapsedMillis());
-          }
-          // A snapshot counts as answered once its pattern decisions are
-          // final across every query (for VBA this is deferred until
-          // strings close - the §6.3 latency/throughput trade).
-          for (const Timestamp done :
-               tracker.Update(worker, finalized_through())) {
-            metrics.MarkComplete(done);
+      std::vector<flow::Element<pattern::Partition>> batch;
+      while (input.PopBatch(batch, pop_batch_max) > 0) {
+        for (flow::Element<pattern::Partition>& element : batch) {
+          if (element.is_data()) {
+            buffer.Add(element.data.time, std::move(element.data));
+          } else if (auto advanced = aligner.Update(element.producer,
+                                                    element.watermark)) {
+            const Timestamp w = *advanced;
+            feed(buffer.DrainThrough(w));
+            if (w != kMaxTime) {
+              Stopwatch watch;
+              for (const auto& e : enumerators) e->AdvanceTime(w);
+              enum_time.Add(watch.ElapsedMillis());
+            }
+            // A snapshot counts as answered once its pattern decisions
+            // are final across every query (for VBA this is deferred
+            // until strings close - the §6.3 latency/throughput trade).
+            for (const Timestamp done :
+                 tracker.Update(worker, finalized_through())) {
+              metrics.MarkComplete(done);
+            }
           }
         }
       }

@@ -1,6 +1,7 @@
 #ifndef COMOVE_FLOW_CHANNEL_H_
 #define COMOVE_FLOW_CHANNEL_H_
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -8,6 +9,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "common/check.h"
 #include "flow/stage_stats.h"
@@ -17,6 +19,13 @@
 /// primitive of the stream engine. Bounded capacity gives backpressure
 /// exactly as Flink's pipelined network buffers do - a slow consumer stalls
 /// its producers instead of buffering unboundedly.
+///
+/// Transfer comes in two granularities. Push/Pop move one element per lock
+/// round-trip; PushBatch/PopBatch move a whole buffer under a single lock
+/// acquisition, amortising the mutex and condvar cost across the batch the
+/// way Flink ships records in network buffers rather than one at a time.
+/// Both granularities interoperate freely on one channel and preserve
+/// per-producer FIFO order.
 
 namespace comove::flow {
 
@@ -38,6 +47,11 @@ enum class PollResult : std::uint8_t {
 /// An optional StageStats receives per-element counters plus blocked-time
 /// accounting; with a null stats pointer (the default) the hot path pays
 /// only untaken branches and never reads a clock.
+///
+/// Wakeups are edge-triggered and cheap: waiters are counted, so a push
+/// or pop that nobody waits for performs no condvar call at all, and
+/// notifications happen after the mutex is released - a woken thread
+/// never immediately blocks on the lock its waker still holds.
 template <typename T>
 class Channel {
  public:
@@ -59,58 +73,144 @@ class Channel {
   /// Signals that one producer is done. When the last producer closes, all
   /// blocked consumers wake and drain.
   void CloseProducer() {
-    std::lock_guard<std::mutex> lock(mu_);
-    COMOVE_CHECK(producers_ > 0);
-    if (--producers_ == 0) not_empty_.notify_all();
+    bool wake = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      COMOVE_CHECK(producers_ > 0);
+      wake = --producers_ == 0 && waiting_consumers_ > 0;
+    }
+    if (wake) not_empty_.notify_all();
   }
 
   /// Blocks while the channel is full; FIFO per producer.
   void Push(T value) {
-    std::unique_lock<std::mutex> lock(mu_);
-    std::uint64_t blocked_ns = 0;
-    if (queue_.size() >= capacity_) {
-      if (stats_ == nullptr) {
-        not_full_.wait(lock, [&] { return queue_.size() < capacity_; });
+    bool wake = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      std::uint64_t blocked_ns = 0;
+      if (queue_.size() >= capacity_) {
+        blocked_ns = WaitNotFull(lock);
+      }
+      if (stats_ != nullptr) {
+        stats_->OnPush(IsWatermark(value), blocked_ns);
+        stats_->OnBatchPushed(1);
+      }
+      queue_.push_back(std::move(value));
+      wake = waiting_consumers_ > 0;
+    }
+    if (wake) not_empty_.notify_one();
+  }
+
+  /// Pushes every element of `batch` in order under (normally) one lock
+  /// acquisition, clearing `batch`. Keeps the Push contract: FIFO per
+  /// producer, and backpressure - when the batch exceeds the free
+  /// capacity the call blocks and transfers in chunks as consumers drain,
+  /// so a batch larger than the whole channel still goes through.
+  void PushBatch(std::vector<T>&& batch) {
+    if (batch.empty()) return;
+    bool wake = false;
+    bool wake_all = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      std::size_t i = 0;
+      while (i < batch.size()) {
+        if (queue_.size() >= capacity_) {
+          // Chunked hand-off: consumers must see what is already queued
+          // before this producer sleeps, or both sides would wait forever.
+          if (waiting_consumers_ > 0) not_empty_.notify_all();
+          const std::uint64_t blocked_ns = WaitNotFull(lock);
+          if (stats_ != nullptr && blocked_ns > 0) {
+            stats_->OnPushBlocked(blocked_ns);
+          }
+        }
+        const std::size_t n =
+            std::min(capacity_ - queue_.size(), batch.size() - i);
+        std::int64_t watermarks = 0;
+        for (std::size_t k = 0; k < n; ++k, ++i) {
+          if (stats_ != nullptr && IsWatermark(batch[i])) ++watermarks;
+          queue_.push_back(std::move(batch[i]));
+        }
+        if (stats_ != nullptr) {
+          stats_->OnPushN(static_cast<std::int64_t>(n) - watermarks,
+                          watermarks);
+        }
+      }
+      if (stats_ != nullptr) stats_->OnBatchPushed(batch.size());
+      wake = waiting_consumers_ > 0;
+      wake_all = batch.size() > 1;
+    }
+    if (wake) {
+      if (wake_all) {
+        not_empty_.notify_all();
       } else {
-        const auto start = std::chrono::steady_clock::now();
-        not_full_.wait(lock, [&] { return queue_.size() < capacity_; });
-        blocked_ns = static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                std::chrono::steady_clock::now() - start)
-                .count());
+        not_empty_.notify_one();
       }
     }
-    if (stats_ != nullptr) stats_->OnPush(IsWatermark(value), blocked_ns);
-    queue_.push_back(std::move(value));
-    not_empty_.notify_one();
+    batch.clear();
   }
 
   /// Blocks until an element is available or the channel is finished.
   /// Returns nullopt exactly when all producers closed and the queue is
   /// empty.
   std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    std::uint64_t blocked_ns = 0;
-    if (queue_.empty() && producers_ > 0) {
-      if (stats_ == nullptr) {
-        not_empty_.wait(lock,
-                        [&] { return !queue_.empty() || producers_ == 0; });
+    std::optional<T> value;
+    bool wake = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      std::uint64_t blocked_ns = 0;
+      if (queue_.empty() && producers_ > 0) {
+        blocked_ns = WaitNotEmpty(lock);
+      }
+      if (queue_.empty()) return std::nullopt;
+      value = std::move(queue_.front());
+      queue_.pop_front();
+      if (stats_ != nullptr) stats_->OnPop(IsWatermark(*value), blocked_ns);
+      wake = waiting_producers_ > 0;
+    }
+    if (wake) not_full_.notify_one();
+    return value;
+  }
+
+  /// Blocking batched dequeue: clears `out`, then moves up to `max`
+  /// immediately available elements into it under one lock acquisition.
+  /// Blocks only while the channel is empty with producers remaining;
+  /// never waits for a full batch to accumulate, so batching adds no
+  /// latency. Returns the number of elements delivered; 0 means the
+  /// channel is finished (all producers closed and drained).
+  std::size_t PopBatch(std::vector<T>& out, std::size_t max) {
+    out.clear();
+    if (max == 0) return 0;
+    bool wake = false;
+    bool wake_all = false;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      std::uint64_t blocked_ns = 0;
+      if (queue_.empty() && producers_ > 0) {
+        blocked_ns = WaitNotEmpty(lock);
+      }
+      n = std::min(max, queue_.size());
+      std::int64_t watermarks = 0;
+      for (std::size_t k = 0; k < n; ++k) {
+        if (stats_ != nullptr && IsWatermark(queue_.front())) ++watermarks;
+        out.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      if (stats_ != nullptr && (n > 0 || blocked_ns > 0)) {
+        stats_->OnPopN(static_cast<std::int64_t>(n) - watermarks,
+                       watermarks, blocked_ns);
+      }
+      wake = n > 0 && waiting_producers_ > 0;
+      wake_all = n > 1;
+    }
+    if (wake) {
+      if (wake_all) {
+        not_full_.notify_all();
       } else {
-        const auto start = std::chrono::steady_clock::now();
-        not_empty_.wait(lock,
-                        [&] { return !queue_.empty() || producers_ == 0; });
-        blocked_ns = static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                std::chrono::steady_clock::now() - start)
-                .count());
+        not_full_.notify_one();
       }
     }
-    if (queue_.empty()) return std::nullopt;
-    T value = std::move(queue_.front());
-    queue_.pop_front();
-    if (stats_ != nullptr) stats_->OnPop(IsWatermark(value), blocked_ns);
-    not_full_.notify_one();
-    return value;
+    return n;
   }
 
   /// Non-blocking poll. On kItem the element is moved into `out`; kEmpty
@@ -118,14 +218,18 @@ class Channel {
   /// queue lock with the dequeue, so a kFinished result is authoritative:
   /// nothing can arrive afterwards.
   PollResult TryPop(T& out) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (queue_.empty()) {
-      return producers_ == 0 ? PollResult::kFinished : PollResult::kEmpty;
+    bool wake = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty()) {
+        return producers_ == 0 ? PollResult::kFinished : PollResult::kEmpty;
+      }
+      out = std::move(queue_.front());
+      queue_.pop_front();
+      if (stats_ != nullptr) stats_->OnPop(IsWatermark(out), 0);
+      wake = waiting_producers_ > 0;
     }
-    out = std::move(queue_.front());
-    queue_.pop_front();
-    if (stats_ != nullptr) stats_->OnPop(IsWatermark(out), 0);
-    not_full_.notify_one();
+    if (wake) not_full_.notify_one();
     return PollResult::kItem;
   }
 
@@ -154,6 +258,46 @@ class Channel {
     }
   }
 
+  /// Waits for free capacity; returns the blocked time in ns (0 when
+  /// stats are off - the clock is never read then). Caller holds `lock`
+  /// and has verified the queue is full.
+  std::uint64_t WaitNotFull(std::unique_lock<std::mutex>& lock) {
+    ++waiting_producers_;
+    std::uint64_t blocked_ns = 0;
+    if (stats_ == nullptr) {
+      not_full_.wait(lock, [&] { return queue_.size() < capacity_; });
+    } else {
+      const auto start = std::chrono::steady_clock::now();
+      not_full_.wait(lock, [&] { return queue_.size() < capacity_; });
+      blocked_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+    }
+    --waiting_producers_;
+    return blocked_ns;
+  }
+
+  /// Waits for input or a finished stream; same contract as WaitNotFull.
+  std::uint64_t WaitNotEmpty(std::unique_lock<std::mutex>& lock) {
+    ++waiting_consumers_;
+    std::uint64_t blocked_ns = 0;
+    if (stats_ == nullptr) {
+      not_empty_.wait(lock,
+                      [&] { return !queue_.empty() || producers_ == 0; });
+    } else {
+      const auto start = std::chrono::steady_clock::now();
+      not_empty_.wait(lock,
+                      [&] { return !queue_.empty() || producers_ == 0; });
+      blocked_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+    }
+    --waiting_consumers_;
+    return blocked_ns;
+  }
+
   const std::size_t capacity_;
   StageStats* const stats_;
   mutable std::mutex mu_;
@@ -161,6 +305,8 @@ class Channel {
   std::condition_variable not_full_;
   std::deque<T> queue_;
   int producers_ = 0;
+  int waiting_producers_ = 0;
+  int waiting_consumers_ = 0;
 };
 
 }  // namespace comove::flow

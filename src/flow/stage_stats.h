@@ -157,6 +157,10 @@ class LatencyHistogram {
   std::atomic<std::uint64_t> max_ns_{0};
 };
 
+/// Number of power-of-two batch-size buckets tracked per stage: bucket i
+/// counts batches of size [2^i, 2^(i+1)), the last bucket is open-ended.
+inline constexpr std::size_t kBatchSizeBuckets = 16;
+
 /// One stage's counters, frozen at collection time. Depth gauges aggregate
 /// over every channel of the stage's exchange (an Exchange has one channel
 /// per consumer subtask).
@@ -170,6 +174,12 @@ struct StageStatsSnapshot {
   std::int64_t max_queue_depth = 0;
   double push_blocked_ms = 0.0;        ///< backpressure: slow consumer
   double pop_blocked_ms = 0.0;         ///< starvation: slow producer
+  /// Batch amortisation: every producer-side transfer counts as one batch
+  /// (a plain Push is a batch of 1), so avg_batch_size is the number of
+  /// elements moved per lock round-trip on this stage.
+  std::int64_t batches_pushed = 0;
+  double avg_batch_size = 0.0;
+  std::array<std::int64_t, kBatchSizeBuckets> batch_size_histogram{};
 };
 
 /// Live counters of one pipeline stage (one Exchange). All updates are
@@ -209,6 +219,64 @@ class StageStats {
     }
   }
 
+  /// Records `records` + `watermarks` elements entering a queue in one
+  /// batched push chunk (no blocked time - see OnPushBlocked).
+  void OnPushN(std::int64_t records, std::int64_t watermarks) {
+    if (records > 0) {
+      records_pushed_.fetch_add(records, std::memory_order_relaxed);
+    }
+    if (watermarks > 0) {
+      watermarks_pushed_.fetch_add(watermarks, std::memory_order_relaxed);
+    }
+    const std::int64_t depth =
+        depth_.fetch_add(records + watermarks, std::memory_order_relaxed) +
+        records + watermarks;
+    internal::AtomicMaxI64(max_depth_, depth);
+  }
+
+  /// Backpressure time spent inside a batched push (PushBatch may block
+  /// several times while chunking through a full channel).
+  void OnPushBlocked(std::uint64_t blocked_ns) {
+    push_blocked_ns_.fetch_add(blocked_ns, std::memory_order_relaxed);
+  }
+
+  /// Records `records` + `watermarks` elements leaving a queue in one
+  /// batched pop. `blocked_ns` is starvation time, as in OnPop.
+  void OnPopN(std::int64_t records, std::int64_t watermarks,
+              std::uint64_t blocked_ns) {
+    if (records > 0) {
+      records_popped_.fetch_add(records, std::memory_order_relaxed);
+    }
+    if (watermarks > 0) {
+      watermarks_popped_.fetch_add(watermarks, std::memory_order_relaxed);
+    }
+    if (records + watermarks > 0) {
+      depth_.fetch_sub(records + watermarks, std::memory_order_relaxed);
+    }
+    if (blocked_ns > 0) {
+      pop_blocked_ns_.fetch_add(blocked_ns, std::memory_order_relaxed);
+    }
+  }
+
+  /// Records one completed producer-side transfer of `size` elements into
+  /// the batch-size histogram (a plain Push reports size 1). The histogram
+  /// is the amortisation evidence: lock round-trips = batches_pushed while
+  /// elements moved = records + watermarks pushed.
+  void OnBatchPushed(std::size_t size) {
+    batches_pushed_.fetch_add(1, std::memory_order_relaxed);
+    batch_hist_[BatchSizeBucket(size)].fetch_add(1,
+                                                 std::memory_order_relaxed);
+  }
+
+  /// Bucket of batch size `n`: floor(log2(n)) clamped to the last bucket;
+  /// sizes 0 and 1 share bucket 0.
+  static std::size_t BatchSizeBucket(std::size_t n) {
+    if (n < 2) return 0;
+    const auto b = static_cast<std::size_t>(
+        std::bit_width(static_cast<std::uint64_t>(n)) - 1);
+    return b < kBatchSizeBuckets ? b : kBatchSizeBuckets - 1;
+  }
+
   StageStatsSnapshot Snapshot() const {
     StageStatsSnapshot s;
     s.stage = name_;
@@ -228,6 +296,17 @@ class StageStats {
         static_cast<double>(
             pop_blocked_ns_.load(std::memory_order_relaxed)) /
         1e6;
+    s.batches_pushed = batches_pushed_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kBatchSizeBuckets; ++i) {
+      s.batch_size_histogram[i] =
+          static_cast<std::int64_t>(
+              batch_hist_[i].load(std::memory_order_relaxed));
+    }
+    s.avg_batch_size =
+        s.batches_pushed > 0
+            ? static_cast<double>(s.records_pushed + s.watermarks_pushed) /
+                  static_cast<double>(s.batches_pushed)
+            : 0.0;
     return s;
   }
 
@@ -241,6 +320,8 @@ class StageStats {
   std::atomic<std::int64_t> max_depth_{0};
   std::atomic<std::uint64_t> push_blocked_ns_{0};
   std::atomic<std::uint64_t> pop_blocked_ns_{0};
+  std::atomic<std::int64_t> batches_pushed_{0};
+  std::array<std::atomic<std::uint64_t>, kBatchSizeBuckets> batch_hist_{};
 };
 
 /// Owns the StageStats of one pipeline run, keyed by stage name. Get()
@@ -274,6 +355,8 @@ class StageStatsRegistry {
 /// Human-readable per-stage table. A stage with high push_blocked_ms is
 /// throttled by a slow consumer downstream (backpressure); high
 /// pop_blocked_ms means its consumers starve waiting for the producer.
+/// `batches` counts producer-side lock round-trips and `avg_batch` the
+/// elements each one moved - the batching amortisation at a glance.
 inline void PrintStageStats(const std::vector<StageStatsSnapshot>& stages,
                             std::ostream& out) {
   out << std::left << std::setw(24) << "stage" << std::right
@@ -281,6 +364,7 @@ inline void PrintStageStats(const std::vector<StageStatsSnapshot>& stages,
       << std::setw(8) << "wm_in" << std::setw(8) << "wm_out"
       << std::setw(7) << "depth" << std::setw(10) << "max_depth"
       << std::setw(14) << "push_blk_ms" << std::setw(14) << "pop_blk_ms"
+      << std::setw(10) << "batches" << std::setw(10) << "avg_batch"
       << '\n';
   for (const StageStatsSnapshot& s : stages) {
     out << std::left << std::setw(24) << s.stage << std::right
@@ -289,8 +373,28 @@ inline void PrintStageStats(const std::vector<StageStatsSnapshot>& stages,
         << std::setw(8) << s.watermarks_popped << std::setw(7)
         << s.queue_depth << std::setw(10) << s.max_queue_depth
         << std::setw(14) << std::fixed << std::setprecision(2)
-        << s.push_blocked_ms << std::setw(14) << s.pop_blocked_ms << '\n';
+        << s.push_blocked_ms << std::setw(14) << s.pop_blocked_ms
+        << std::setw(10) << s.batches_pushed << std::setw(10)
+        << std::setprecision(1) << s.avg_batch_size << '\n';
     out.unsetf(std::ios_base::floatfield);
+  }
+}
+
+/// One line per stage with non-empty buckets, e.g.
+/// `grid_allocate->grid_query  1:12  32:5  64:118` - 12 transfers moved a
+/// single element, 118 moved 64..127. Complements the avg_batch column of
+/// PrintStageStats when the distribution matters.
+inline void PrintBatchHistogram(
+    const std::vector<StageStatsSnapshot>& stages, std::ostream& out) {
+  for (const StageStatsSnapshot& s : stages) {
+    if (s.batches_pushed == 0) continue;
+    out << std::left << std::setw(24) << s.stage << std::right;
+    for (std::size_t i = 0; i < kBatchSizeBuckets; ++i) {
+      if (s.batch_size_histogram[i] == 0) continue;
+      out << "  " << (std::size_t{1} << i) << ':'
+          << s.batch_size_histogram[i];
+    }
+    out << '\n';
   }
 }
 

@@ -50,6 +50,41 @@ RTree::~RTree() = default;
 RTree::RTree(RTree&&) noexcept = default;
 RTree& RTree::operator=(RTree&&) noexcept = default;
 
+std::unique_ptr<RTree::Node> RTree::AcquireNode(std::int32_t level) {
+  std::unique_ptr<Node> node;
+  if (!page_pool_.empty()) {
+    node = std::move(page_pool_.back());
+    page_pool_.pop_back();
+    // Recycled pages keep the capacity of their entry arrays - that is
+    // the point of the pool - but start logically empty.
+    node->mbr = Rect::Empty();
+    node->parent = nullptr;
+    node->points.clear();
+    node->ids.clear();
+  } else {
+    node = std::make_unique<Node>();
+  }
+  node->level = level;
+  return node;
+}
+
+void RTree::ReleaseSubtree(std::unique_ptr<Node> node) {
+  std::vector<std::unique_ptr<Node>> stack;
+  stack.push_back(std::move(node));
+  while (!stack.empty()) {
+    std::unique_ptr<Node> page = std::move(stack.back());
+    stack.pop_back();
+    for (auto& child : page->children) stack.push_back(std::move(child));
+    page->children.clear();
+    page_pool_.push_back(std::move(page));
+  }
+}
+
+void RTree::Clear() {
+  if (root_ != nullptr) ReleaseSubtree(std::move(root_));
+  size_ = 0;
+}
+
 RTree::Node* RTree::ChooseSubtree(const Rect& mbr, std::int32_t target_level) {
   Node* node = root_.get();
   while (node->level > target_level) {
@@ -97,8 +132,7 @@ RTree::Node* RTree::ChooseSubtree(const Rect& mbr, std::int32_t target_level) {
 
 void RTree::Insert(const Point& p, TrajectoryId id) {
   if (root_ == nullptr) {
-    root_ = std::make_unique<Node>();
-    root_->level = 0;
+    root_ = AcquireNode(/*level=*/0);
   }
   Node* leaf = ChooseSubtree(Rect::FromPoint(p), /*target_level=*/0);
   leaf->points.push_back(p);
@@ -272,8 +306,7 @@ void RTree::SplitNode(Node* node) {
   }
 
   // Build the sibling and refill both nodes.
-  auto sibling = std::make_unique<Node>();
-  sibling->level = node->level;
+  std::unique_ptr<Node> sibling = AcquireNode(node->level);
   auto refill = [](Node* dst, std::vector<SplitEntry>& src, std::size_t begin,
                    std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
@@ -292,8 +325,7 @@ void RTree::SplitNode(Node* node) {
 
   if (node->parent == nullptr) {
     // Split of the root: grow the tree by one level.
-    auto new_root = std::make_unique<Node>();
-    new_root->level = node->level + 1;
+    std::unique_ptr<Node> new_root = AcquireNode(node->level + 1);
     std::unique_ptr<Node> old_root = std::move(root_);
     old_root->parent = new_root.get();
     sibling->parent = new_root.get();

@@ -49,6 +49,13 @@ class RTree {
   /// Inserts a point with its payload id.
   void Insert(const Point& p, TrajectoryId id);
 
+  /// Removes every point but RETAINS the allocated pages (and their entry
+  /// arrays) in an internal pool that subsequent Inserts draw from. The
+  /// GR-index hot path builds one tree per cell per snapshot; a worker
+  /// that Clear()s and refills a single RTree instead of constructing a
+  /// fresh one reaches steady state with zero page allocations.
+  void Clear();
+
   /// Builds a tree from a full point set with Sort-Tile-Recursive (STR)
   /// bulk loading: O(n log n), produces near-fully-packed leaves with far
   /// better build time than repeated insertion. The natural choice for
@@ -94,10 +101,13 @@ class RTree {
   void SplitNode(Node* node);
   void ReinsertEntries(Node* node);
   void AdjustUpward(Node* node);
+  std::unique_ptr<Node> AcquireNode(std::int32_t level);
+  void ReleaseSubtree(std::unique_ptr<Node> node);
 
   RTreeOptions options_;
   std::unique_ptr<Node> root_;
   std::size_t size_ = 0;
+  std::vector<std::unique_ptr<Node>> page_pool_;  ///< recycled by Clear()
 };
 
 }  // namespace comove

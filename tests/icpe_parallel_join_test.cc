@@ -89,6 +89,56 @@ TEST(IcpeParallelJoin, VariousParallelismDegrees) {
   }
 }
 
+TEST(IcpeParallelJoin, BatchSizeIsSemanticallyInvisible) {
+  // Batched transfer must be a pure performance knob: identical pattern
+  // sets, snapshot counts, and cluster counts for every batch size, in
+  // both clustering execution modes. batch 1 is the true per-element
+  // path (BatchingSender forwards straight to Exchange::Send).
+  const trajgen::Dataset dataset = MakeWorkload(43);
+  for (const bool cell_mode : {false, true}) {
+    IcpeOptions options = MakeOptions();
+    options.join_parallel_cells = cell_mode;
+    options.exchange_batch_size = 1;
+    const IcpeResult reference = RunIcpe(dataset, options);
+    EXPECT_FALSE(reference.patterns.empty());
+    for (const std::size_t batch : {std::size_t{2}, std::size_t{64},
+                                    std::size_t{1024}}) {
+      options.exchange_batch_size = batch;
+      const IcpeResult batched = RunIcpe(dataset, options);
+      EXPECT_EQ(ObjectSets(batched.patterns), ObjectSets(reference.patterns))
+          << "cell_mode=" << cell_mode << " batch=" << batch;
+      EXPECT_EQ(batched.snapshot_count, reference.snapshot_count);
+      EXPECT_EQ(batched.cluster_count, reference.cluster_count);
+    }
+  }
+}
+
+TEST(IcpeParallelJoin, BatchHistogramShowsAmortisedTransfers) {
+  // With stats on and a real batch size, the hot exchanges must report
+  // fewer lock round-trips than elements - and the histogram must account
+  // for every batch.
+  const trajgen::Dataset dataset = MakeWorkload(47);
+  IcpeOptions options = MakeOptions();
+  options.collect_stats = true;
+  options.exchange_batch_size = 64;
+  const IcpeResult result = RunIcpe(dataset, options);
+  ASSERT_FALSE(result.stage_stats.empty());
+  bool saw_amortised = false;
+  for (const flow::StageStatsSnapshot& s : result.stage_stats) {
+    std::int64_t histogram_total = 0;
+    for (const std::int64_t count : s.batch_size_histogram) {
+      histogram_total += count;
+    }
+    EXPECT_EQ(histogram_total, s.batches_pushed) << s.stage;
+    if (s.avg_batch_size > 1.5) saw_amortised = true;
+  }
+  EXPECT_TRUE(saw_amortised);
+  // The source replays records in bulk: its exchange must see real
+  // batches, not degenerate singletons.
+  EXPECT_EQ(result.stage_stats[0].stage, "source->assembler");
+  EXPECT_GT(result.stage_stats[0].avg_batch_size, 1.5);
+}
+
 TEST(IcpeParallelJoin, GdcIsRejected) {
   const trajgen::Dataset dataset = MakeWorkload(37);
   IcpeOptions options = MakeOptions();

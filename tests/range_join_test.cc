@@ -196,5 +196,55 @@ TEST(GridSync, DeduplicatesAndSorts) {
   EXPECT_EQ(merged, expect);
 }
 
+TEST(JoinScratch, ReusedScratchMatchesFreshJoinsAcrossSnapshots) {
+  // One scratch shared across many different snapshots (the streaming
+  // pattern) must produce exactly the result a fresh join does - cleared
+  // buckets, the recycled R-tree, and stale capacities must never leak
+  // pairs between snapshots. SRJ exercises the dedup path too.
+  Rng rng(11);
+  JoinScratch rjc_scratch;
+  JoinScratch srj_scratch;
+  RangeJoinOptions options{.grid_cell_width = 1.0, .eps = 0.6};
+  for (int i = 0; i < 12; ++i) {
+    const Snapshot s =
+        RandomSnapshot(&rng, 40 + i * 25, /*extent=*/8.0, i % 2 == 1);
+    EXPECT_EQ(RangeJoinRJC(s, options, {}, rjc_scratch),
+              RangeJoinRJC(s, options))
+        << "snapshot " << i;
+    EXPECT_EQ(RangeJoinSRJ(s, options, srj_scratch), RangeJoinSRJ(s, options))
+        << "snapshot " << i;
+  }
+}
+
+TEST(JoinScratch, ResultReferenceStaysValidUntilNextCall) {
+  JoinScratch scratch;
+  RangeJoinOptions options{.grid_cell_width = 1.0, .eps = 0.5};
+  const Snapshot a = MakeSnapshot({{0, 0}, {0.3, 0}, {5, 5}});
+  const std::vector<NeighborPair>& pairs =
+      RangeJoinRJC(a, options, {}, scratch);
+  EXPECT_EQ(pairs, (std::vector<NeighborPair>{{0, 1}}));
+  // A second call on the same scratch replaces the referenced result.
+  const Snapshot b = MakeSnapshot({{0, 0}, {9, 9}});
+  EXPECT_TRUE(RangeJoinRJC(b, options, {}, scratch).empty());
+}
+
+TEST(GridQuery, OutParamFormAppendsAcrossCells) {
+  // The out-param GridQuery appends so one vector can accumulate a whole
+  // snapshot; the same tree is cleared and reused per cell.
+  RangeJoinOptions options{.grid_cell_width = 1.0, .eps = 0.4};
+  const Snapshot s =
+      MakeSnapshot({{0.1, 0.1}, {0.2, 0.2}, {3.1, 3.1}, {3.3, 3.3}});
+  RTree tree(options.rtree);
+  std::vector<NeighborPair> out;
+  std::vector<GridObject> objects = GridAllocate(s, options, true);
+  std::unordered_map<GridKey, std::vector<GridObject>, GridKeyHash> cells;
+  for (GridObject& o : objects) cells[o.key].push_back(o);
+  for (auto& [key, cell_objects] : cells) {
+    GridQuery(cell_objects, options, true, tree, out);
+  }
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<NeighborPair>{{0, 1}, {2, 3}}));
+}
+
 }  // namespace
 }  // namespace comove::cluster

@@ -147,6 +147,51 @@ INSTANTIATE_TEST_SUITE_P(
                       RandomQueryParam{5, 5000, true},
                       RandomQueryParam{6, 137, false}));
 
+TEST(RTree, ClearEmptiesTheTree) {
+  RTree tree;
+  for (TrajectoryId id = 0; id < 200; ++id) {
+    tree.Insert(Point{static_cast<double>(id % 20),
+                      static_cast<double>(id / 20)},
+                id);
+  }
+  tree.Clear();
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.Height(), 0);
+  EXPECT_TRUE(tree.CheckInvariants());
+  std::vector<TrajectoryId> out;
+  tree.QueryRect(Rect{-100, -100, 100, 100}, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RTree, ClearAndRefillMatchesFreshTree) {
+  // A Clear()ed tree runs on recycled pages; queries must be identical to
+  // a tree built from scratch over many refill cycles and point sets.
+  RTree reused;
+  Rng rng(7);
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    const std::size_t n = 50 + static_cast<std::size_t>(cycle) * 40;
+    std::vector<Point> pts;
+    pts.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pts.push_back(Point{rng.Uniform(0, 10), rng.Uniform(0, 10)});
+    }
+    reused.Clear();
+    RTree fresh;
+    for (std::size_t i = 0; i < n; ++i) {
+      reused.Insert(pts[i], static_cast<TrajectoryId>(i));
+      fresh.Insert(pts[i], static_cast<TrajectoryId>(i));
+    }
+    ASSERT_EQ(reused.size(), fresh.size());
+    ASSERT_TRUE(reused.CheckInvariants()) << "cycle " << cycle;
+    for (int q = 0; q < 20; ++q) {
+      const Point c{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+      const double eps = rng.Uniform(0.1, 2.0);
+      EXPECT_EQ(SortedRangeQuery(reused, c, eps), BruteRange(pts, c, eps))
+          << "cycle " << cycle;
+    }
+  }
+}
+
 TEST(RTree, InvariantsUnderManyConfigurations) {
   for (int max_entries : {4, 8, 16, 32}) {
     RTree tree(

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -193,6 +194,74 @@ TEST(StageStatsRegistry, GetReturnsStableInstancePerName) {
   EXPECT_EQ(snapshots[0].stage, "a");
   EXPECT_EQ(snapshots[0].records_pushed, 1);
   EXPECT_EQ(snapshots[1].stage, "b");
+}
+
+TEST(StageStats, BatchSizeBucketIsFloorLog2Clamped) {
+  EXPECT_EQ(StageStats::BatchSizeBucket(0), 0u);
+  EXPECT_EQ(StageStats::BatchSizeBucket(1), 0u);
+  EXPECT_EQ(StageStats::BatchSizeBucket(2), 1u);
+  EXPECT_EQ(StageStats::BatchSizeBucket(3), 1u);
+  EXPECT_EQ(StageStats::BatchSizeBucket(4), 2u);
+  EXPECT_EQ(StageStats::BatchSizeBucket(63), 5u);
+  EXPECT_EQ(StageStats::BatchSizeBucket(64), 6u);
+  // Sizes past the last power-of-two bucket clamp into it.
+  EXPECT_EQ(StageStats::BatchSizeBucket(std::size_t{1} << 40),
+            kBatchSizeBuckets - 1);
+}
+
+TEST(StageStats, BatchHistogramCountsTransfersNotElements) {
+  StageStats stats("s");
+  Channel<int> ch(64, &stats);
+  ch.RegisterProducer();
+  ch.Push(1);  // a plain push is a batch of 1
+  std::vector<int> batch = {1, 2, 3, 4, 5};
+  ch.PushBatch(std::move(batch));  // one batch of 5 -> bucket 2 (4..7)
+  const StageStatsSnapshot s = stats.Snapshot();
+  EXPECT_EQ(s.batches_pushed, 2);
+  EXPECT_EQ(s.records_pushed, 6);
+  EXPECT_DOUBLE_EQ(s.avg_batch_size, 3.0);
+  EXPECT_EQ(s.batch_size_histogram[0], 1);
+  EXPECT_EQ(s.batch_size_histogram[2], 1);
+  std::int64_t total = 0;
+  for (const std::int64_t count : s.batch_size_histogram) total += count;
+  EXPECT_EQ(total, s.batches_pushed);
+  ch.CloseProducer();
+}
+
+TEST(StageStats, BatchedPopsAggregateLikeSinglePops) {
+  StageStats stats("s");
+  Channel<Element<int>> ch(64, &stats);
+  ch.RegisterProducer();
+  std::vector<Element<int>> batch;
+  for (int i = 0; i < 4; ++i) batch.push_back(Element<int>::Data(i, 0));
+  batch.push_back(Element<int>::Watermark(10, 0));
+  ch.PushBatch(std::move(batch));
+  StageStatsSnapshot s = stats.Snapshot();
+  EXPECT_EQ(s.records_pushed, 4);
+  EXPECT_EQ(s.watermarks_pushed, 1);
+  EXPECT_EQ(s.queue_depth, 5);
+  std::vector<Element<int>> out;
+  EXPECT_EQ(ch.PopBatch(out, 16), 5u);
+  s = stats.Snapshot();
+  EXPECT_EQ(s.records_popped, 4);
+  EXPECT_EQ(s.watermarks_popped, 1);
+  EXPECT_EQ(s.queue_depth, 0);
+  ch.CloseProducer();
+}
+
+TEST(StageStats, PrintBatchHistogramListsNonEmptyBucketsOnly) {
+  StageStats stats("a->b");
+  Channel<int> ch(256, &stats);
+  ch.RegisterProducer();
+  std::vector<int> batch(64, 7);
+  ch.PushBatch(std::move(batch));
+  ch.Push(1);
+  std::ostringstream out;
+  PrintBatchHistogram({stats.Snapshot()}, out);
+  EXPECT_NE(out.str().find("a->b"), std::string::npos);
+  EXPECT_NE(out.str().find("1:1"), std::string::npos);
+  EXPECT_NE(out.str().find("64:1"), std::string::npos);
+  ch.CloseProducer();
 }
 
 TEST(StageStats, UninstrumentedChannelTakesNoStats) {
