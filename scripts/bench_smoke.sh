@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
-# Performance smoke gate for the flow transfer layer: builds Release, runs
-# bench_flow_throughput, and fails when throughput regresses more than 20%
-# against the checked-in baseline (BENCH_flow_throughput.json) - measured
-# as the geometric mean of the per-row current/baseline ratios, so one
-# noisy row on a loaded machine cannot flip the verdict while a real
-# regression (which drags every row) still does. Also fails when batching
-# stops paying for itself (batch 64 must beat batch 1 by >= 1.5x on the
-# join_parallel_cells p=4 shuffle).
+# Performance smoke gate for the compute and transfer hot paths: builds
+# Release, runs bench_flow_throughput and bench_join_kernel, and fails
+# when either regresses more than 20% against its checked-in baseline
+# (BENCH_flow_throughput.json / BENCH_join_kernel.json) - measured as the
+# geometric mean of the per-row current/baseline ratios, so one noisy row
+# on a loaded machine cannot flip the verdict while a real regression
+# (which drags every row) still does. Two headline floors on top:
+#   - batching must pay for itself (batch 64 >= 1.5x batch 1 on the
+#     join_parallel_cells p=4 shuffle);
+#   - the sweep kernel must beat the R-tree kernel by >= 1.5x at the
+#     paper-default geometry (eps_rel=0.375, opc=64).
 #
-# The baseline is machine-specific; regenerate it on your hardware with
+# The baselines are machine-specific; regenerate them on your hardware with
 #   build-release/bench/bench_flow_throughput --out BENCH_flow_throughput.json
+#   build-release/bench/bench_join_kernel --out BENCH_join_kernel.json
 # before relying on the regression gate.
 #
 # Usage: scripts/bench_smoke.sh [build-dir]   (default: build-release)
@@ -21,16 +25,24 @@ cd "$ROOT"
 
 BASELINE="BENCH_flow_throughput.json"
 CURRENT="BENCH_flow_throughput.tmp.json"
+KERNEL_BASELINE="BENCH_join_kernel.json"
+KERNEL_CURRENT="BENCH_join_kernel.tmp.json"
 
 if [ ! -f "$BASELINE" ]; then
   echo "missing baseline $BASELINE" >&2
   exit 1
 fi
+if [ ! -f "$KERNEL_BASELINE" ]; then
+  echo "missing baseline $KERNEL_BASELINE" >&2
+  exit 1
+fi
 
 cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_flow_throughput
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target bench_flow_throughput bench_join_kernel
 
 "$BUILD_DIR/bench/bench_flow_throughput" --out "$CURRENT"
+"$BUILD_DIR/bench/bench_join_kernel" --out "$KERNEL_CURRENT"
 
 # Each JSON file holds one row object per line:
 #   {"workload": "...", "parallelism": P, "batch": B, "records_per_sec": R}
@@ -84,9 +96,61 @@ awk '
   }
 ' "$BASELINE" "$CURRENT" || status=1
 
-rm -f "$CURRENT"
+# Same shape for the join kernel rows:
+#   {"workload": "join_kernel", "kernel": K, "eps_rel": E, "opc": O,
+#    "pairs": P, "pairs_per_sec": R}
+# keyed on (kernel, eps_rel, opc), with the sweep-vs-rtree headline floor
+# at the paper-default geometry.
+awk '
+  function field(line, name,    rest) {
+    rest = line
+    sub(".*\"" name "\": *", "", rest)
+    sub("[,}].*", "", rest)
+    gsub("\"", "", rest)
+    return rest
+  }
+  {
+    key = field($0, "kernel") "/eps" field($0, "eps_rel") \
+          "/opc" field($0, "opc")
+    rate = field($0, "pairs_per_sec") + 0
+    if (NR == FNR) { baseline[key] = rate; next }
+    if (!(key in baseline)) {
+      printf "NEW  %-40s %12.0f pairs/s (no baseline)\n", key, rate
+      next
+    }
+    ratio = rate / baseline[key]
+    verdict = (ratio >= 0.8) ? "ok  " : "low "
+    log_sum += log(ratio)
+    rows += 1
+    printf "%s %-40s %12.0f pairs/s  baseline %12.0f  (%.2fx)\n", \
+           verdict, key, rate, baseline[key], ratio
+    if (key == "rtree/eps0.375/opc64") rtree_default = rate
+    if (key == "sweep/eps0.375/opc64") sweep_default = rate
+  }
+  END {
+    if (rows == 0) { print "FAIL: no comparable join_kernel rows"; exit 1 }
+    geomean = exp(log_sum / rows)
+    printf "geometric-mean join-kernel ratio over %d rows = %.2fx\n", \
+           rows, geomean
+    if (geomean < 0.8) {
+      print "FAIL: join kernel regressed more than 20% overall"
+      failed = 1
+    }
+    if (rtree_default > 0) {
+      speedup = sweep_default / rtree_default
+      printf "default row sweep/rtree = %.2fx\n", speedup
+      if (speedup < 1.5) {
+        print "FAIL: sweep kernel speedup below 1.5x at default geometry"
+        failed = 1
+      }
+    }
+    exit failed
+  }
+' "$KERNEL_BASELINE" "$KERNEL_CURRENT" || status=1
+
+rm -f "$CURRENT" "$KERNEL_CURRENT"
 if [ "$status" -ne 0 ]; then
-  echo "bench smoke FAILED (>20% regression or lost batching win)" >&2
+  echo "bench smoke FAILED (>20% regression or lost headline win)" >&2
 else
   echo "bench smoke clean"
 fi

@@ -20,26 +20,28 @@ const char* ClusteringMethodName(ClusteringMethod method) {
 ClusterSnapshot ClusterSnapshotWith(ClusteringMethod method,
                                     const Snapshot& snapshot,
                                     const ClusteringOptions& options) {
-  JoinScratch scratch;
+  ClusterScratch scratch;
   return ClusterSnapshotWith(method, snapshot, options, scratch);
 }
 
 ClusterSnapshot ClusterSnapshotWith(ClusteringMethod method,
                                     const Snapshot& snapshot,
                                     const ClusteringOptions& options,
-                                    JoinScratch& scratch) {
+                                    ClusterScratch& scratch) {
   switch (method) {
     case ClusteringMethod::kRJC:
       return DbscanFromNeighbors(
-          snapshot, RangeJoinRJC(snapshot, options.join, {}, scratch),
-          options.dbscan);
+          snapshot, RangeJoinRJC(snapshot, options.join, {}, scratch.join),
+          options.dbscan, scratch.dbscan);
     case ClusteringMethod::kSRJ:
       return DbscanFromNeighbors(
-          snapshot, RangeJoinSRJ(snapshot, options.join, scratch),
-          options.dbscan);
+          snapshot, RangeJoinSRJ(snapshot, options.join, scratch.join),
+          options.dbscan, scratch.dbscan);
     case ClusteringMethod::kGDC:
-      return GdcCluster(snapshot, options.join.eps, options.dbscan,
-                        options.join.metric);
+      return DbscanFromNeighbors(
+          snapshot,
+          GdcNeighborPairs(snapshot, options.join.eps, options.join.metric),
+          options.dbscan, scratch.dbscan);
   }
   COMOVE_CHECK(false);
   return ClusterSnapshot{};

@@ -23,8 +23,17 @@ const char* ClusteringMethodName(ClusteringMethod method);
 
 /// Combined knobs for snapshot clustering.
 struct ClusteringOptions {
-  RangeJoinOptions join;    ///< lg, eps, R-tree tuning (GDC uses eps only)
+  RangeJoinOptions join;    ///< lg, eps, kernel, R-tree tuning (GDC: eps)
   DbscanOptions dbscan;     ///< minPts
+};
+
+/// Working memory of the whole per-snapshot clustering path: the range
+/// join's buffers plus DBSCAN's interning/CSR buffers, kept side by side
+/// so one worker reuses every allocation of the snapshot pipeline. Owned
+/// by one worker thread; not thread-safe.
+struct ClusterScratch {
+  JoinScratch join;
+  DbscanScratch dbscan;
 };
 
 /// Clusters one snapshot with the chosen method. All methods produce
@@ -33,13 +42,13 @@ ClusterSnapshot ClusterSnapshotWith(ClusteringMethod method,
                                     const Snapshot& snapshot,
                                     const ClusteringOptions& options);
 
-/// ClusterSnapshotWith reusing `scratch` for the range join's working
-/// memory across snapshots (the streaming hot path; see JoinScratch).
-/// GDC has no join stage and ignores the scratch.
+/// ClusterSnapshotWith reusing `scratch` for the join's and DBSCAN's
+/// working memory across snapshots (the streaming hot path; see
+/// ClusterScratch). GDC has no join stage and uses only the DBSCAN part.
 ClusterSnapshot ClusterSnapshotWith(ClusteringMethod method,
                                     const Snapshot& snapshot,
                                     const ClusteringOptions& options,
-                                    JoinScratch& scratch);
+                                    ClusterScratch& scratch);
 
 }  // namespace comove::cluster
 

@@ -1,7 +1,6 @@
 #include "cluster/dbscan.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "common/check.h"
 
@@ -10,43 +9,86 @@ namespace comove::cluster {
 ClusterSnapshot DbscanFromNeighbors(const Snapshot& snapshot,
                                     const std::vector<NeighborPair>& pairs,
                                     const DbscanOptions& options) {
+  DbscanScratch scratch;
+  return DbscanFromNeighbors(snapshot, pairs, options, scratch);
+}
+
+ClusterSnapshot DbscanFromNeighbors(const Snapshot& snapshot,
+                                    const std::vector<NeighborPair>& pairs,
+                                    const DbscanOptions& options,
+                                    DbscanScratch& scratch) {
   COMOVE_CHECK(options.min_pts >= 1);
   const std::size_t n = snapshot.entries.size();
 
-  // Dense indexing of the snapshot's trajectory ids.
-  std::unordered_map<TrajectoryId, std::int32_t> index_of;
-  index_of.reserve(n);
+  // Dense indexing of the snapshot's trajectory ids: a sorted flat table
+  // instead of a hash map, so lookups are cache-friendly binary searches
+  // and the table's capacity survives across snapshots.
+  auto& interner = scratch.interner;
+  interner.clear();
+  interner.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    const bool inserted =
-        index_of.emplace(snapshot.entries[i].id, static_cast<std::int32_t>(i))
-            .second;
-    COMOVE_CHECK_MSG(inserted, "duplicate trajectory in snapshot");
+    interner.emplace_back(snapshot.entries[i].id,
+                          static_cast<std::int32_t>(i));
+  }
+  std::sort(interner.begin(), interner.end());
+  for (std::size_t i = 1; i < n; ++i) {
+    COMOVE_CHECK_MSG(interner[i].first != interner[i - 1].first,
+                     "duplicate trajectory in snapshot");
+  }
+  const auto index_of = [&interner](TrajectoryId id) {
+    const auto it = std::lower_bound(
+        interner.begin(), interner.end(), id,
+        [](const std::pair<TrajectoryId, std::int32_t>& e, TrajectoryId v) {
+          return e.first < v;
+        });
+    COMOVE_CHECK_MSG(it != interner.end() && it->first == id,
+                     "join pair references id outside the snapshot");
+    return it->second;
+  };
+
+  // Intern the pair endpoints once; both CSR passes below reuse them.
+  auto& edges = scratch.edges;
+  edges.clear();
+  edges.reserve(pairs.size());
+  for (const NeighborPair& p : pairs) {
+    edges.emplace_back(index_of(p.a), index_of(p.b));
   }
 
-  // Adjacency from the join output.
-  std::vector<std::vector<std::int32_t>> adjacency(n);
-  for (const NeighborPair& p : pairs) {
-    const auto ia = index_of.find(p.a);
-    const auto ib = index_of.find(p.b);
-    COMOVE_CHECK_MSG(ia != index_of.end() && ib != index_of.end(),
-                     "join pair references id outside the snapshot");
-    adjacency[static_cast<std::size_t>(ia->second)].push_back(ib->second);
-    adjacency[static_cast<std::size_t>(ib->second)].push_back(ia->second);
+  // CSR adjacency via two-pass counting sort: degree count, prefix sum,
+  // fill. Each node's neighbours land in pair-list order - the order the
+  // vector-of-vectors build produced - so traversal is unchanged.
+  auto& offsets = scratch.offsets;
+  offsets.assign(n + 1, 0);
+  for (const auto& [a, b] : edges) {
+    ++offsets[static_cast<std::size_t>(a) + 1];
+    ++offsets[static_cast<std::size_t>(b) + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) offsets[i + 1] += offsets[i];
+  auto& cursor = scratch.cursor;
+  cursor.assign(offsets.begin(), offsets.end() - 1);
+  auto& adjacency = scratch.adjacency;
+  adjacency.resize(2 * edges.size());
+  for (const auto& [a, b] : edges) {
+    adjacency[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(a)]++)] = b;
+    adjacency[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(b)]++)] = a;
   }
 
   // Core test: |neighbourhood| = degree + 1 (the point itself counts).
-  std::vector<bool> core(n, false);
+  auto& core = scratch.core;
+  core.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    core[i] = static_cast<std::int32_t>(adjacency[i].size()) + 1 >=
-              options.min_pts;
+    core[i] = offsets[i + 1] - offsets[i] + 1 >= options.min_pts ? 1 : 0;
   }
 
   // Expand clusters: BFS over core-core edges; border points (non-core
   // within eps of a core) join the first cluster that reaches them.
   constexpr std::int32_t kUnassigned = -1;
-  std::vector<std::int32_t> cluster_of(n, kUnassigned);
+  auto& cluster_of = scratch.cluster_of;
+  cluster_of.assign(n, kUnassigned);
   std::int32_t next_cluster = 0;
-  std::vector<std::int32_t> frontier;
+  auto& frontier = scratch.frontier;
   for (std::size_t seed = 0; seed < n; ++seed) {
     if (!core[seed] || cluster_of[seed] != kUnassigned) continue;
     const std::int32_t cid = next_cluster++;
@@ -55,7 +97,9 @@ ClusterSnapshot DbscanFromNeighbors(const Snapshot& snapshot,
     while (!frontier.empty()) {
       const auto u = static_cast<std::size_t>(frontier.back());
       frontier.pop_back();
-      for (const std::int32_t vi : adjacency[u]) {
+      const std::int32_t end = offsets[u + 1];
+      for (std::int32_t e = offsets[u]; e < end; ++e) {
+        const std::int32_t vi = adjacency[static_cast<std::size_t>(e)];
         const auto v = static_cast<std::size_t>(vi);
         if (cluster_of[v] != kUnassigned) continue;
         cluster_of[v] = cid;

@@ -2,6 +2,7 @@
 #define COMOVE_CLUSTER_DBSCAN_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -11,6 +12,14 @@
 /// eps-neighbour pairs of a snapshot are known, cores, density
 /// reachability and clusters follow in a single O(n + |pairs|) pass -
 /// which is why the paper concentrates all indexing effort on the join.
+///
+/// The evaluation runs over flat arrays end to end: trajectory ids are
+/// interned into dense indices with a sorted table (no per-snapshot hash
+/// map), the adjacency is CSR (degree count -> prefix sum -> fill, a
+/// two-pass counting sort over the pair list - no per-node vectors), and
+/// the BFS walks the CSR arrays. All working memory lives in a reusable
+/// DbscanScratch so the streaming hot path allocates nothing per snapshot
+/// beyond the returned ClusterSnapshot.
 
 namespace comove::cluster {
 
@@ -19,6 +28,26 @@ namespace comove::cluster {
 /// contains at least min_pts locations.
 struct DbscanOptions {
   std::int32_t min_pts = 10;
+};
+
+/// Reusable working memory for DbscanFromNeighbors. A worker that keeps
+/// one scratch across snapshots re-runs the interning, CSR build, and BFS
+/// in buffers that retain their capacity (vectors are refilled, never
+/// freed). Owned by one worker thread; not thread-safe.
+struct DbscanScratch {
+  /// Dense id interning: (trajectory id, snapshot index), sorted by id.
+  /// Computed once per snapshot; lookups are binary searches over a flat
+  /// array instead of hash probes.
+  std::vector<std::pair<TrajectoryId, std::int32_t>> interner;
+  /// The join pairs re-expressed in dense indices (interned once, used by
+  /// both CSR passes).
+  std::vector<std::pair<std::int32_t, std::int32_t>> edges;
+  std::vector<std::int32_t> offsets;    ///< CSR row offsets (n + 1)
+  std::vector<std::int32_t> cursor;     ///< CSR fill cursors
+  std::vector<std::int32_t> adjacency;  ///< CSR column indices (2 |pairs|)
+  std::vector<std::int32_t> cluster_of;
+  std::vector<std::int32_t> frontier;
+  std::vector<std::uint8_t> core;
 };
 
 /// Runs DBSCAN over one snapshot given its range-join result.
@@ -34,6 +63,13 @@ struct DbscanOptions {
 ClusterSnapshot DbscanFromNeighbors(const Snapshot& snapshot,
                                     const std::vector<NeighborPair>& pairs,
                                     const DbscanOptions& options);
+
+/// DbscanFromNeighbors reusing `scratch` across snapshots (the streaming
+/// hot-path form); identical output to the allocating overload.
+ClusterSnapshot DbscanFromNeighbors(const Snapshot& snapshot,
+                                    const std::vector<NeighborPair>& pairs,
+                                    const DbscanOptions& options,
+                                    DbscanScratch& scratch);
 
 }  // namespace comove::cluster
 

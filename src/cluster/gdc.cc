@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "cluster/join_kernel.h"
 #include "common/check.h"
 #include "index/grid_index.h"
 
@@ -57,15 +58,15 @@ std::vector<NeighborPair> GdcNeighborPairs(const Snapshot& snapshot,
         const GdcObject& b = objects[j];
         if (!b.is_query && j < i) continue;  // data-data pair once
         if (a.id == b.id) continue;
-        if (Distance(metric, a.location, b.location) <= eps) {
+        if (WithinDistance(metric, a.location, b.location, eps)) {
           out.push_back(a.id < b.id ? NeighborPair{a.id, b.id}
                                     : NeighborPair{b.id, a.id});
         }
       }
     }
   }
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
+  std::vector<NeighborPair> tmp;
+  SortUniquePairs(out, tmp);
   return out;
 }
 

@@ -1,0 +1,191 @@
+#include "cluster/join_kernel.h"
+
+#include <algorithm>
+
+namespace comove::cluster {
+
+const char* JoinKernelName(JoinKernel kernel) {
+  switch (kernel) {
+    case JoinKernel::kRTree:
+      return "rtree";
+    case JoinKernel::kSweep:
+      return "sweep";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Gathers the objects of one role into sorted SoA columns: indices are
+/// collected, sorted by (y, x, id), then scattered into the flat arrays -
+/// the only indirection the kernel pays; both sweeps below run over
+/// contiguous memory.
+void BuildSortedColumns(const std::vector<GridObject>& objects,
+                        bool want_query, std::vector<std::uint32_t>& order,
+                        std::vector<double>& x, std::vector<double>& y,
+                        std::vector<TrajectoryId>& id) {
+  order.clear();
+  for (std::uint32_t i = 0; i < objects.size(); ++i) {
+    if (objects[i].is_query == want_query) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(),
+            [&objects](std::uint32_t a, std::uint32_t b) {
+              const GridObject& oa = objects[a];
+              const GridObject& ob = objects[b];
+              if (oa.location.y != ob.location.y) {
+                return oa.location.y < ob.location.y;
+              }
+              if (oa.location.x != ob.location.x) {
+                return oa.location.x < ob.location.x;
+              }
+              return oa.id < ob.id;
+            });
+  x.clear();
+  y.clear();
+  id.clear();
+  x.reserve(order.size());
+  y.reserve(order.size());
+  id.reserve(order.size());
+  for (const std::uint32_t i : order) {
+    x.push_back(objects[i].location.x);
+    y.push_back(objects[i].location.y);
+    id.push_back(objects[i].id);
+  }
+}
+
+}  // namespace
+
+void SweepCellJoin(const std::vector<GridObject>& cell_objects, double eps,
+                   DistanceMetric metric, bool use_lemma2,
+                   SweepCell& scratch, std::vector<NeighborPair>& out) {
+  BuildSortedColumns(cell_objects, /*want_query=*/false, scratch.order,
+                     scratch.data_x, scratch.data_y, scratch.data_id);
+  BuildSortedColumns(cell_objects, /*want_query=*/true, scratch.order,
+                     scratch.query_x, scratch.query_y, scratch.query_id);
+  const std::vector<double>& dx = scratch.data_x;
+  const std::vector<double>& dy = scratch.data_y;
+  const std::vector<TrajectoryId>& did = scratch.data_id;
+  const std::size_t nd = did.size();
+  const std::size_t nq = scratch.query_id.size();
+
+  // Data-data sweep. Pairing each object only with sorted predecessors is
+  // the sweep analogue of Lemma 2's query-before-insert: every pair shows
+  // up exactly once. The window bound (y >= o.y - eps) and the x band use
+  // the arithmetic of Rect::RangeRegion/Contains, followed by the same
+  // WithinDistance refinement, so the candidate filter chain matches the
+  // R-tree path's.
+  for (std::size_t j = 1; j < nd; ++j) {
+    const Point pj{dx[j], dy[j]};
+    const double min_y = pj.y - eps;
+    const double min_x = pj.x - eps;
+    const double max_x = pj.x + eps;
+    for (std::size_t i = j; i-- > 0;) {
+      if (dy[i] < min_y) break;  // sorted: everything below is out too
+      if (dx[i] < min_x || dx[i] > max_x) continue;
+      if (!WithinDistance(metric, pj, Point{dx[i], dy[i]}, eps)) continue;
+      out.push_back(CanonicalPair(did[i], did[j]));
+    }
+  }
+
+  if (nd == 0) return;
+
+  // Query-data sweep. Queries ascend in y, so the window start `lo` only
+  // ever advances - a classic merge between the two sorted columns.
+  std::size_t lo = 0;
+  for (std::size_t q = 0; q < nq; ++q) {
+    const Point pq{scratch.query_x[q], scratch.query_y[q]};
+    const TrajectoryId qid = scratch.query_id[q];
+    const double max_y = pq.y + eps;
+    const double min_x = pq.x - eps;
+    const double max_x = pq.x + eps;
+    if (use_lemma2) {
+      // Lemma 1: only data at y >= q.y can be in q's upper half-space.
+      while (lo < nd && dy[lo] < pq.y) ++lo;
+      for (std::size_t k = lo; k < nd && dy[k] <= max_y; ++k) {
+        if (dx[k] < min_x || dx[k] > max_x) continue;
+        const Point pd{dx[k], dy[k]};
+        if (!InUpperHalf(pq, qid, pd, did[k])) continue;
+        if (!WithinDistance(metric, pq, pd, eps)) continue;
+        out.push_back(CanonicalPair(qid, did[k]));
+      }
+    } else {
+      // SRJ scheme: the full range region, duplicates removed at sync.
+      const double min_y = pq.y - eps;
+      while (lo < nd && dy[lo] < min_y) ++lo;
+      for (std::size_t k = lo; k < nd && dy[k] <= max_y; ++k) {
+        if (dx[k] < min_x || dx[k] > max_x) continue;
+        const Point pd{dx[k], dy[k]};
+        if (!WithinDistance(metric, pq, pd, eps)) continue;
+        out.push_back(CanonicalPair(qid, did[k]));
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Below this, comparison sort wins over the radix passes' fixed cost
+/// (histogram memory touches dominate tiny inputs).
+constexpr std::size_t kRadixMinPairs = 4096;
+constexpr std::size_t kRadixBuckets = 1u << 16;
+
+/// Lexicographic (a, b) order as one unsigned 64-bit key; order-preserving
+/// only when both ids are non-negative (callers check).
+inline std::uint64_t PackedKey(const NeighborPair& p) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.a)) << 32) |
+         static_cast<std::uint32_t>(p.b);
+}
+
+}  // namespace
+
+void SortUniquePairs(std::vector<NeighborPair>& pairs,
+                     std::vector<NeighborPair>& tmp) {
+  const std::size_t n = pairs.size();
+  bool radixable = n >= kRadixMinPairs;
+  if (radixable) {
+    TrajectoryId any = 0;
+    for (const NeighborPair& p : pairs) any |= p.a | p.b;
+    radixable = any >= 0;
+  }
+  if (!radixable) {
+    std::sort(pairs.begin(), pairs.end());
+  } else {
+    // LSD radix over four 16-bit digits: each pass is a stable counting
+    // sort, so the final order is exactly the lexicographic order the
+    // comparison sort produces. All four histograms come from one data
+    // pass; a pass whose digit is constant (common - ids rarely exceed
+    // 16 bits) is the identity and is skipped.
+    tmp.resize(n);
+    std::vector<std::uint32_t> counts(4 * kRadixBuckets, 0);
+    for (const NeighborPair& p : pairs) {
+      const std::uint64_t key = PackedKey(p);
+      ++counts[key & 0xFFFF];
+      ++counts[kRadixBuckets + ((key >> 16) & 0xFFFF)];
+      ++counts[2 * kRadixBuckets + ((key >> 32) & 0xFFFF)];
+      ++counts[3 * kRadixBuckets + (key >> 48)];
+    }
+    NeighborPair* src = pairs.data();
+    NeighborPair* dst = tmp.data();
+    for (int pass = 0; pass < 4; ++pass) {
+      std::uint32_t* cursor = counts.data() + pass * kRadixBuckets;
+      const int shift = 16 * pass;
+      // Digits are permutation-invariant, so the histogram stays valid no
+      // matter which buffer currently holds the data.
+      if (cursor[(PackedKey(src[0]) >> shift) & 0xFFFF] == n) continue;
+      std::uint32_t sum = 0;
+      for (std::size_t b = 0; b < kRadixBuckets; ++b) {
+        const std::uint32_t count = cursor[b];
+        cursor[b] = sum;
+        sum += count;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        dst[cursor[(PackedKey(src[i]) >> shift) & 0xFFFF]++] = src[i];
+      }
+      std::swap(src, dst);
+    }
+    if (src != pairs.data()) std::copy(src, src + n, pairs.data());
+  }
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+}
+
+}  // namespace comove::cluster

@@ -1,0 +1,101 @@
+#ifndef COMOVE_CLUSTER_JOIN_KERNEL_H_
+#define COMOVE_CLUSTER_JOIN_KERNEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/grid_object.h"
+#include "common/geometry.h"
+#include "common/types.h"
+
+/// \file
+/// Flat plane-sweep join kernel: the cache-friendly per-cell execution
+/// path of GridQuery (Algorithm 2). Instead of probing an R-tree once per
+/// object, the cell's objects are laid out in structure-of-arrays form
+/// (separate x[] / y[] / id[] columns, data and query roles split so the
+/// hot loops carry no role branch), sorted by (y, x, id), and joined with
+/// a plane sweep: advance a window while y_j - y_i <= eps, refine
+/// candidates on the x band and the exact metric (WithinDistance). Every
+/// filter applies the same arithmetic as the R-tree path's closed-rect
+/// test followed by the same refinement predicate, so the emitted pair
+/// SET is identical and GridSync produces bit-identical output.
+///
+/// Lemma semantics are reproduced exactly:
+///  - Lemma 2 (query-before-insert): the data-data sweep pairs each data
+///    object only with data objects earlier in the sorted order - the
+///    sweep analogue of querying the partially built tree - yielding
+///    every within-cell pair exactly once.
+///  - Lemma 1 (half-space claim): query objects scan only data at
+///    y >= their own y and keep the InUpperHalf tie-breaks, so each
+///    cross-cell pair is claimed by exactly one side.
+/// Without Lemma 2 the kernel mirrors the SRJ scheme: full-window scans
+/// whose duplicates GridSync removes.
+
+namespace comove::cluster {
+
+/// Selects the per-cell join kernel of GridQuery.
+enum class JoinKernel : std::uint8_t {
+  kRTree,  ///< per-object R-tree probes (the literal Algorithm 2)
+  kSweep,  ///< SoA sort + plane sweep (default; same output, faster)
+};
+
+/// Printable kernel name ("rtree" / "sweep").
+const char* JoinKernelName(JoinKernel kernel);
+
+/// Canonicalises an unordered neighbour pair to a < b.
+inline NeighborPair CanonicalPair(TrajectoryId a, TrajectoryId b) {
+  return a < b ? NeighborPair{a, b} : NeighborPair{b, a};
+}
+
+/// Lemma 1 half-space predicate: `v` lies in the half of `q`'s range
+/// region that q is responsible for. Strictly above; ties on y broken by
+/// x, ties on both by id, so every cross-cell pair is claimed by exactly
+/// one side even for coincident coordinates.
+inline bool InUpperHalf(const Point& q, TrajectoryId q_id, const Point& v,
+                        TrajectoryId v_id) {
+  if (v.y != q.y) return v.y > q.y;
+  if (v.x != q.x) return v.x > q.x;
+  return v_id > q_id;
+}
+
+/// Reusable SoA buffers of the sweep kernel. One instance serves every
+/// cell of every snapshot: vectors are cleared per cell but keep their
+/// capacity, so steady state allocates nothing. Owned by one worker
+/// thread; not thread-safe.
+struct SweepCell {
+  // Data objects of the cell, sorted by (y, x, id).
+  std::vector<double> data_x;
+  std::vector<double> data_y;
+  std::vector<TrajectoryId> data_id;
+  // Query objects of the cell, sorted by (y, x, id).
+  std::vector<double> query_x;
+  std::vector<double> query_y;
+  std::vector<TrajectoryId> query_id;
+  // Permutation scratch for the sort (indices into the cell's objects).
+  std::vector<std::uint32_t> order;
+};
+
+/// Joins ONE grid cell's objects with the plane sweep, appending pairs to
+/// `out`. Drop-in replacement for the R-tree form of GridQuery: with
+/// `use_lemma2` emits every within-cell data pair exactly once plus each
+/// query object's Lemma 1 half-space matches; without it emits
+/// full-region matches from both sides (the SRJ scheme - GridSync
+/// deduplicates). `cell_objects` may interleave data and query objects in
+/// any order.
+void SweepCellJoin(const std::vector<GridObject>& cell_objects, double eps,
+                   DistanceMetric metric, bool use_lemma2,
+                   SweepCell& scratch, std::vector<NeighborPair>& out);
+
+/// Canonical GridSync finalisation: sorts `pairs` lexicographically and
+/// removes duplicates, exactly like `std::sort` + `std::unique` but fast
+/// on large pair streams. Each pair packs into one 64-bit key (ids are
+/// 32-bit), sorted by LSD radix over 16-bit digits with trivial passes
+/// skipped; comparison sort remains the fallback for small inputs and for
+/// negative ids (where the packed key would not preserve order). `tmp` is
+/// ping-pong scratch and holds garbage afterwards.
+void SortUniquePairs(std::vector<NeighborPair>& pairs,
+                     std::vector<NeighborPair>& tmp);
+
+}  // namespace comove::cluster
+
+#endif  // COMOVE_CLUSTER_JOIN_KERNEL_H_

@@ -7,44 +7,25 @@
 
 namespace comove::cluster {
 
-namespace {
-
-NeighborPair Canonical(TrajectoryId a, TrajectoryId b) {
-  return a < b ? NeighborPair{a, b} : NeighborPair{b, a};
-}
-
-/// Lemma 1 half-space predicate: `v` lies in the half of `q`'s range
-/// region that q is responsible for. Strictly above; ties on y broken by
-/// x, ties on both by id, so every cross-cell pair is claimed by exactly
-/// one side even for coincident coordinates.
-bool InUpperHalf(const Point& q, TrajectoryId q_id, const Point& v,
-                 TrajectoryId v_id) {
-  if (v.y != q.y) return v.y > q.y;
-  if (v.x != q.x) return v.x > q.x;
-  return v_id > q_id;
-}
-
-}  // namespace
-
 std::vector<GridObject> GridAllocate(const Snapshot& snapshot,
                                      const RangeJoinOptions& options,
                                      bool use_lemma1) {
   std::vector<GridObject> out;
-  GridAllocate(snapshot, options, use_lemma1, out);
+  const GridIndex grid(options.grid_cell_width);
+  GridAllocate(snapshot, grid, options.eps, use_lemma1, out);
   return out;
 }
 
-void GridAllocate(const Snapshot& snapshot, const RangeJoinOptions& options,
-                  bool use_lemma1, std::vector<GridObject>& out) {
-  const GridIndex grid(options.grid_cell_width);
+void GridAllocate(const Snapshot& snapshot, const GridIndex& grid,
+                  double eps, bool use_lemma1,
+                  std::vector<GridObject>& out) {
   out.clear();
   out.reserve(snapshot.entries.size() * 2);
   for (const SnapshotEntry& e : snapshot.entries) {
     const GridKey home = grid.KeyOf(e.location);
     out.push_back(GridObject{home, /*is_query=*/false, e.id, e.location});
-    const Rect region =
-        use_lemma1 ? Rect::UpperRangeRegion(e.location, options.eps)
-                   : Rect::RangeRegion(e.location, options.eps);
+    const Rect region = use_lemma1 ? Rect::UpperRangeRegion(e.location, eps)
+                                   : Rect::RangeRegion(e.location, eps);
     for (const GridKey& key : grid.KeysIntersecting(region)) {
       if (key == home) continue;
       out.push_back(GridObject{key, /*is_query=*/true, e.id, e.location});
@@ -52,18 +33,12 @@ void GridAllocate(const Snapshot& snapshot, const RangeJoinOptions& options,
   }
 }
 
-std::vector<NeighborPair> GridQuery(
-    const std::vector<GridObject>& cell_objects,
-    const RangeJoinOptions& options, bool use_lemma2) {
-  std::vector<NeighborPair> out;
-  RTree tree(options.rtree);
-  GridQuery(cell_objects, options, use_lemma2, tree, out);
-  return out;
-}
+namespace {
 
-void GridQuery(const std::vector<GridObject>& cell_objects,
-               const RangeJoinOptions& options, bool use_lemma2, RTree& tree,
-               std::vector<NeighborPair>& out) {
+/// The literal Algorithm 2: per-object probes of a per-cell R-tree.
+void RTreeCellJoin(const std::vector<GridObject>& cell_objects,
+                   const RangeJoinOptions& options, bool use_lemma2,
+                   RTree& tree, std::vector<NeighborPair>& out) {
   tree.Clear();
 
   if (use_lemma2) {
@@ -74,9 +49,9 @@ void GridQuery(const std::vector<GridObject>& cell_objects,
       if (o.is_query) continue;
       tree.QueryRect(Rect::RangeRegion(o.location, options.eps),
                      [&](TrajectoryId id, const Point& p) {
-                       if (Distance(options.metric, o.location, p) <=
-                           options.eps) {
-                         out.push_back(Canonical(o.id, id));
+                       if (WithinDistance(options.metric, o.location, p,
+                                          options.eps)) {
+                         out.push_back(CanonicalPair(o.id, id));
                        }
                      });
       tree.Insert(o.location, o.id);
@@ -87,10 +62,10 @@ void GridQuery(const std::vector<GridObject>& cell_objects,
       if (!o.is_query) continue;
       tree.QueryRect(Rect::RangeRegion(o.location, options.eps),
                      [&](TrajectoryId id, const Point& p) {
-                       if (Distance(options.metric, o.location, p) <=
-                               options.eps &&
+                       if (WithinDistance(options.metric, o.location, p,
+                                          options.eps) &&
                            InUpperHalf(o.location, o.id, p, id)) {
-                         out.push_back(Canonical(o.id, id));
+                         out.push_back(CanonicalPair(o.id, id));
                        }
                      });
     }
@@ -107,16 +82,39 @@ void GridQuery(const std::vector<GridObject>& cell_objects,
     tree.QueryRect(Rect::RangeRegion(o.location, options.eps),
                    [&](TrajectoryId id, const Point& p) {
                      if (id != o.id &&
-                         Distance(options.metric, o.location, p) <=
-                             options.eps) {
-                       out.push_back(Canonical(o.id, id));
+                         WithinDistance(options.metric, o.location, p,
+                                        options.eps)) {
+                       out.push_back(CanonicalPair(o.id, id));
                      }
                    });
   }
 }
 
+}  // namespace
+
+std::vector<NeighborPair> GridQuery(
+    const std::vector<GridObject>& cell_objects,
+    const RangeJoinOptions& options, bool use_lemma2) {
+  std::vector<NeighborPair> out;
+  CellQueryScratch scratch;
+  GridQuery(cell_objects, options, use_lemma2, scratch, out);
+  return out;
+}
+
+void GridQuery(const std::vector<GridObject>& cell_objects,
+               const RangeJoinOptions& options, bool use_lemma2,
+               CellQueryScratch& scratch, std::vector<NeighborPair>& out) {
+  if (options.kernel == JoinKernel::kSweep) {
+    SweepCellJoin(cell_objects, options.eps, options.metric, use_lemma2,
+                  scratch.sweep, out);
+    return;
+  }
+  if (!scratch.tree.has_value()) scratch.tree.emplace(options.rtree);
+  RTreeCellJoin(cell_objects, options, use_lemma2, *scratch.tree, out);
+}
+
 std::vector<NeighborPair> GridSync(
-    std::vector<std::vector<NeighborPair>> per_cell) {
+    std::vector<std::vector<NeighborPair>>&& per_cell) {
   std::vector<NeighborPair> out;
   std::size_t total = 0;
   for (const auto& v : per_cell) total += v.size();
@@ -124,21 +122,27 @@ std::vector<NeighborPair> GridSync(
   for (auto& v : per_cell) {
     out.insert(out.end(), v.begin(), v.end());
   }
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
+  std::vector<NeighborPair> tmp;
+  SortUniquePairs(out, tmp);
   return out;
 }
 
 namespace {
 
 /// Shared driver: allocate, bucket by cell, per-cell query, sync - all in
-/// `scratch`, whose buffers (object vector, cell buckets, R-tree pages,
+/// `scratch`, whose buffers (object vector, cell buckets, kernel state,
 /// result vector) carry their capacity from snapshot to snapshot. The
 /// result lands in scratch.pairs.
 void RunJoin(const Snapshot& snapshot, const RangeJoinOptions& options,
              bool use_lemma1, bool use_lemma2, JoinScratch& scratch) {
-  COMOVE_CHECK(options.eps > 0.0 && options.grid_cell_width > 0.0);
-  GridAllocate(snapshot, options, use_lemma1, scratch.objects);
+  if (!scratch.grid.has_value()) {
+    // First call on this scratch: validate the options and derive the
+    // grid geometry once for the whole run.
+    COMOVE_CHECK(options.eps > 0.0);
+    scratch.grid.emplace(options.grid_cell_width);
+  }
+  GridAllocate(snapshot, *scratch.grid, options.eps, use_lemma1,
+               scratch.objects);
   // Bucket into the persistent cell map. Buckets left over from earlier
   // snapshots are empty (cleared below), so first-touch marks a cell
   // active; iteration then follows the deterministic active list instead
@@ -149,19 +153,15 @@ void RunJoin(const Snapshot& snapshot, const RangeJoinOptions& options,
     if (cell.empty()) scratch.active_cells.push_back(o.key);
     cell.push_back(std::move(o));
   }
-  if (!scratch.tree.has_value()) scratch.tree.emplace(options.rtree);
   scratch.pairs.clear();
   for (const GridKey& key : scratch.active_cells) {
     std::vector<GridObject>& cell_objects = scratch.cells.find(key)->second;
-    GridQuery(cell_objects, options, use_lemma2, *scratch.tree,
+    GridQuery(cell_objects, options, use_lemma2, scratch.cell,
               scratch.pairs);
     cell_objects.clear();  // keep the bucket's capacity for the next snapshot
   }
   // GridSync on the merged stream: canonical order + dedup.
-  std::sort(scratch.pairs.begin(), scratch.pairs.end());
-  scratch.pairs.erase(
-      std::unique(scratch.pairs.begin(), scratch.pairs.end()),
-      scratch.pairs.end());
+  SortUniquePairs(scratch.pairs, scratch.pairs_tmp);
 }
 
 }  // namespace
@@ -206,8 +206,8 @@ std::vector<NeighborPair> RangeJoinBrute(const Snapshot& snapshot,
   const auto& e = snapshot.entries;
   for (std::size_t i = 0; i < e.size(); ++i) {
     for (std::size_t j = i + 1; j < e.size(); ++j) {
-      if (Distance(metric, e[i].location, e[j].location) <= eps) {
-        out.push_back(Canonical(e[i].id, e[j].id));
+      if (WithinDistance(metric, e[i].location, e[j].location, eps)) {
+        out.push_back(CanonicalPair(e[i].id, e[j].id));
       }
     }
   }

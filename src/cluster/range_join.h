@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "cluster/grid_object.h"
+#include "cluster/join_kernel.h"
 #include "common/types.h"
 #include "index/grid_index.h"
 #include "index/rtree.h"
@@ -18,10 +19,15 @@
 ///                   a location is only replicated to cells intersecting
 ///                   the *upper half* of its range region.
 ///   GridQuery     - per-cell processing. With Lemma 2 each data object is
-///                   queried against the R-tree *before* insertion, which
+///                   queried against the index *before* insertion, which
 ///                   yields every within-cell pair exactly once without
 ///                   building the index up front.
 ///   GridSync      - merges per-cell outputs (plus canonicalisation).
+///
+/// GridQuery runs one of two kernels (RangeJoinOptions::kernel): the
+/// default flat plane sweep over sorted SoA columns (join_kernel.h), or
+/// the literal per-object R-tree probes. Both produce the same pair set;
+/// the R-tree path stays selectable for the lemma ablation benches.
 ///
 /// All functions report each unordered neighbour pair {a, b} (a < b)
 /// exactly once, excluding self pairs.
@@ -33,7 +39,8 @@ struct RangeJoinOptions {
   double grid_cell_width = 1.0;  ///< lg
   double eps = 0.1;              ///< distance threshold
   DistanceMetric metric = DistanceMetric::kL1;  ///< refinement metric
-  RTreeOptions rtree;            ///< local index tuning
+  JoinKernel kernel = JoinKernel::kSweep;  ///< per-cell execution kernel
+  RTreeOptions rtree;            ///< local index tuning (kRTree kernel)
 };
 
 /// Ablation switches; production RJC uses both lemmas.
@@ -42,24 +49,35 @@ struct RangeJoinVariant {
   bool use_lemma2 = true;  ///< query-before-insert during build
 };
 
+/// Per-cell working memory of GridQuery, covering both kernels: the
+/// R-tree (constructed lazily, pages recycled via RTree::Clear) and the
+/// sweep kernel's SoA buffers. One instance serves every cell a worker
+/// processes; not thread-safe.
+struct CellQueryScratch {
+  std::optional<RTree> tree;  ///< kRTree kernel; lazily built from options
+  SweepCell sweep;            ///< kSweep kernel SoA columns
+};
+
 /// Reusable working memory for the per-snapshot range join. A streaming
 /// pipeline joins one snapshot after another with the same options; a
 /// fresh join allocates a GridObject vector, one bucket vector per touched
-/// cell, an R-tree per cell, and the result vector - every snapshot. A
+/// cell, per-cell kernel state, and the result vector - every snapshot. A
 /// worker that keeps a JoinScratch across snapshots instead reuses all of
 /// that capacity: vectors are cleared but not freed, the cell map keeps
-/// its buckets (trajectories revisit the same cells), and the R-tree
-/// recycles its pages (RTree::Clear). Owned by one worker thread; not
-/// thread-safe. Assumes stable RangeJoinOptions across calls (the R-tree
-/// keeps the tuning it was first built with).
+/// its buckets (trajectories revisit the same cells), the R-tree recycles
+/// its pages (RTree::Clear), and the grid geometry is validated and
+/// derived once. Owned by one worker thread; not thread-safe. Assumes
+/// stable RangeJoinOptions across calls.
 struct JoinScratch {
+  std::optional<GridIndex> grid;    ///< derived once from the options
   std::vector<GridObject> objects;  ///< GridAllocate output
   /// Cell buckets. Entries persist across snapshots with cleared vectors;
   /// `active_cells` lists the keys actually occupied by the current call.
   std::unordered_map<GridKey, std::vector<GridObject>, GridKeyHash> cells;
   std::vector<GridKey> active_cells;
-  std::vector<NeighborPair> pairs;  ///< join result of the last call
-  std::optional<RTree> tree;        ///< per-cell index, pages recycled
+  std::vector<NeighborPair> pairs;      ///< join result of the last call
+  std::vector<NeighborPair> pairs_tmp;  ///< SortUniquePairs ping-pong buffer
+  CellQueryScratch cell;                ///< per-cell kernel working memory
 };
 
 /// GridAllocate (Algorithm 1): emits the GridObjects of `snapshot`. With
@@ -69,38 +87,42 @@ std::vector<GridObject> GridAllocate(const Snapshot& snapshot,
                                      const RangeJoinOptions& options,
                                      bool use_lemma1 = true);
 
-/// GridAllocate into a caller-owned buffer: `out` is cleared and refilled,
-/// retaining its capacity across snapshots (the hot-path form).
-void GridAllocate(const Snapshot& snapshot, const RangeJoinOptions& options,
-                  bool use_lemma1, std::vector<GridObject>& out);
+/// GridAllocate into a caller-owned buffer with a caller-owned grid:
+/// `out` is cleared and refilled, retaining its capacity across
+/// snapshots, and `grid` carries the cell geometry derived once per run
+/// instead of once per snapshot (the hot-path form).
+void GridAllocate(const Snapshot& snapshot, const GridIndex& grid,
+                  double eps, bool use_lemma1, std::vector<GridObject>& out);
 
-/// GridQuery (Algorithm 2) for the GridObjects of ONE grid cell.
+/// GridQuery (Algorithm 2) for the GridObjects of ONE grid cell, run with
+/// the kernel selected by `options.kernel`.
 ///
 /// With `use_lemma2`, data objects are processed query-then-insert; query
-/// objects are answered against the finished tree with the Lemma 1
+/// objects are answered against the finished data set with the Lemma 1
 /// half-space predicate (strictly-above, or same-y right-of tiebreak) so
-/// cross-cell pairs appear exactly once. Without `use_lemma2` the R-tree
-/// is fully built first and every object queried afterwards; the caller
-/// must then deduplicate (GridSync does).
+/// cross-cell pairs appear exactly once. Without `use_lemma2` every
+/// object runs its full-region query against all data; the caller must
+/// then deduplicate (GridSync does).
 ///
 /// `cell_objects` may interleave data and query objects in any order.
 std::vector<NeighborPair> GridQuery(const std::vector<GridObject>& cell_objects,
                                     const RangeJoinOptions& options,
                                     bool use_lemma2 = true);
 
-/// GridQuery with caller-owned working memory: `tree` is cleared (its
-/// pages are recycled) and rebuilt for this cell, and pairs are APPENDED
-/// to `out` - callers chain all cells of a snapshot into one result
-/// vector without a per-cell allocation.
+/// GridQuery with caller-owned working memory: `scratch` holds the
+/// selected kernel's state across cells (recycled R-tree pages or SoA
+/// buffers), and pairs are APPENDED to `out` - callers chain all cells of
+/// a snapshot into one result vector without a per-cell allocation.
 void GridQuery(const std::vector<GridObject>& cell_objects,
-               const RangeJoinOptions& options, bool use_lemma2, RTree& tree,
-               std::vector<NeighborPair>& out);
+               const RangeJoinOptions& options, bool use_lemma2,
+               CellQueryScratch& scratch, std::vector<NeighborPair>& out);
 
 /// GridSync: merges per-cell results, canonicalises pairs to a < b, sorts,
 /// and removes duplicates (duplicates only exist for non-Lemma variants;
-/// for full RJC this is a pure merge).
+/// for full RJC this is a pure merge). Consumes the per-cell buffers - an
+/// rvalue so call sites hand the buffers over instead of copying them.
 std::vector<NeighborPair> GridSync(
-    std::vector<std::vector<NeighborPair>> per_cell);
+    std::vector<std::vector<NeighborPair>>&& per_cell);
 
 /// The complete range join RJ(snapshot, eps) over the GR-index: the
 /// production path with both lemmas, or an ablation variant.

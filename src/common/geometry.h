@@ -56,6 +56,20 @@ inline const char* DistanceMetricName(DistanceMetric metric) {
   return metric == DistanceMetric::kL1 ? "L1" : "L2";
 }
 
+/// The range predicate dist(a, b) <= eps (closed ball, Definition 10) —
+/// the refinement test of every join kernel. For L2 it compares squared
+/// distances, which avoids a sqrt per candidate pair and is exact for the
+/// boundary: dist == eps stays inside under both metrics because sqrt and
+/// squaring are monotone (x*x <= e*e iff x <= e for non-negative x, and
+/// IEEE sqrt is correctly rounded, so equal squares compare equal).
+inline bool WithinDistance(DistanceMetric metric, const Point& a,
+                           const Point& b, double eps) {
+  if (metric == DistanceMetric::kL1) return L1Distance(a, b) <= eps;
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy <= eps * eps;
+}
+
 /// A closed axis-aligned rectangle [min_x, max_x] x [min_y, max_y].
 struct Rect {
   double min_x = 0.0;

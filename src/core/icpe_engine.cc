@@ -324,7 +324,8 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
                            clustering_progress](std::int32_t worker) {
       flow::BatchingSender<pattern::Partition> partition_sender(
           partition_exchange, worker, options.exchange_batch_size);
-      cluster::JoinScratch scratch;  // join working memory, reused per worker
+      // Join + DBSCAN working memory, reused across this worker's snapshots.
+      cluster::ClusterScratch scratch;
       auto& input = snapshot_exchange.channel(worker);
       while (auto element = input.Pop()) {
         if (element->is_data()) {
@@ -365,12 +366,16 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
       flow::BatchingSender<CellMsg> cell_sender(*query_exchange, worker,
                                                 options.exchange_batch_size);
       std::vector<cluster::GridObject> objects;
+      // Grid geometry derived (and the cell width validated) once per
+      // worker, not once per snapshot.
+      const GridIndex grid(options.cluster_options.join.grid_cell_width);
       auto& input = snapshot_exchange.channel(worker);
       while (auto element = input.Pop()) {
         if (element->is_data()) {
           const Timestamp t = element->data.time;
           Stopwatch watch;
-          cluster::GridAllocate(element->data, options.cluster_options.join,
+          cluster::GridAllocate(element->data, grid,
+                                options.cluster_options.join.eps,
                                 use_lemmas, objects);
           cluster_time.Add(watch.ElapsedMillis());
           for (cluster::GridObject& object : objects) {
@@ -403,10 +408,10 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
                std::unordered_map<GridKey, std::vector<cluster::GridObject>,
                                   GridKeyHash>>
           cells_by_time;
-      // One R-tree per worker, Clear()ed per cell: its page pool reaches
-      // steady state after the first few cells and insertion then
-      // allocates nothing (see RTree::Clear).
-      RTree tree(options.cluster_options.join.rtree);
+      // One kernel scratch per worker, reused across cells: the R-tree
+      // path recycles its pages (RTree::Clear), the sweep path its SoA
+      // columns - steady state allocates nothing either way.
+      cluster::CellQueryScratch cell_scratch;
       auto process_through = [&](Timestamp w) {
         while (!cells_by_time.empty() &&
                cells_by_time.begin()->first <= w) {
@@ -415,7 +420,7 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
           std::vector<NeighborPair> pairs;
           for (auto& [key, objects] : cells_by_time.begin()->second) {
             cluster::GridQuery(objects, options.cluster_options.join,
-                               use_lemmas, tree, pairs);
+                               use_lemmas, cell_scratch, pairs);
           }
           cluster_time.Add(watch.ElapsedMillis());
           SyncMsg msg;
@@ -459,6 +464,9 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
         std::vector<NeighborPair> pairs;
       };
       std::map<Timestamp, PendingTime> buffer;
+      // DBSCAN interning/CSR buffers, reused across this worker's
+      // snapshots.
+      cluster::DbscanScratch dbscan_scratch;
       auto process_through = [&](Timestamp w) {
         while (!buffer.empty() && buffer.begin()->first <= w) {
           PendingTime pending = std::move(buffer.begin()->second);
@@ -475,7 +483,7 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
               pending.pairs.end());
           const ClusterSnapshot clustered = cluster::DbscanFromNeighbors(
               pending.snapshot, pending.pairs,
-              options.cluster_options.dbscan);
+              options.cluster_options.dbscan, dbscan_scratch);
           cluster_time.Add(watch.ElapsedMillis());
           record_cluster_stats(clustered);
           if (enumerate) route_partitions(partition_sender, clustered);

@@ -21,6 +21,34 @@ TEST(Distance, L1IsSymmetric) {
   EXPECT_DOUBLE_EQ(L1Distance(a, b), L1Distance(b, a));
 }
 
+TEST(Distance, WithinDistanceBoundaryIsInclusive) {
+  // The shared join predicate: distance == eps stays inside, for both
+  // metrics (Definition 5's RJ is a closed ball). Exact cases so no
+  // rounding can blur the boundary.
+  const Point o{0, 0};
+  EXPECT_TRUE(WithinDistance(DistanceMetric::kL2, o, {3, 4}, 5.0));
+  EXPECT_FALSE(WithinDistance(DistanceMetric::kL2, o, {3, 4}, 4.999));
+  EXPECT_TRUE(WithinDistance(DistanceMetric::kL1, o, {3, 4}, 7.0));
+  EXPECT_FALSE(WithinDistance(DistanceMetric::kL1, o, {3, 4}, 6.999));
+  EXPECT_TRUE(WithinDistance(DistanceMetric::kL1, o, {0.6, 0.4}, 1.0));
+  // L1 is not Chebyshev: inside the square but outside the diamond.
+  EXPECT_FALSE(WithinDistance(DistanceMetric::kL1, o, {0.9, 0.9}, 1.0));
+}
+
+TEST(Distance, WithinDistanceAgreesWithDistanceFunctions) {
+  // The squared-L2 form must agree with the sqrt form on representative
+  // points (it is the same comparison up to monotone squaring).
+  const Point a{1.25, -3.5};
+  for (const Point b : {Point{1.25, -3.5}, Point{2.0, 0.0}, Point{-7, 4}}) {
+    for (const double eps : {0.1, 3.0, 8.25, 12.0}) {
+      EXPECT_EQ(WithinDistance(DistanceMetric::kL2, a, b, eps),
+                L2Distance(a, b) <= eps);
+      EXPECT_EQ(WithinDistance(DistanceMetric::kL1, a, b, eps),
+                L1Distance(a, b) <= eps);
+    }
+  }
+}
+
 TEST(Rect, EmptyRect) {
   const Rect e = Rect::Empty();
   EXPECT_TRUE(e.IsEmpty());

@@ -230,20 +230,25 @@ TEST(JoinScratch, ResultReferenceStaysValidUntilNextCall) {
 
 TEST(GridQuery, OutParamFormAppendsAcrossCells) {
   // The out-param GridQuery appends so one vector can accumulate a whole
-  // snapshot; the same tree is cleared and reused per cell.
-  RangeJoinOptions options{.grid_cell_width = 1.0, .eps = 0.4};
-  const Snapshot s =
-      MakeSnapshot({{0.1, 0.1}, {0.2, 0.2}, {3.1, 3.1}, {3.3, 3.3}});
-  RTree tree(options.rtree);
-  std::vector<NeighborPair> out;
-  std::vector<GridObject> objects = GridAllocate(s, options, true);
-  std::unordered_map<GridKey, std::vector<GridObject>, GridKeyHash> cells;
-  for (GridObject& o : objects) cells[o.key].push_back(o);
-  for (auto& [key, cell_objects] : cells) {
-    GridQuery(cell_objects, options, true, tree, out);
+  // snapshot; the same kernel scratch is reused per cell - under either
+  // kernel.
+  for (const JoinKernel kernel : {JoinKernel::kRTree, JoinKernel::kSweep}) {
+    RangeJoinOptions options{.grid_cell_width = 1.0, .eps = 0.4};
+    options.kernel = kernel;
+    const Snapshot s =
+        MakeSnapshot({{0.1, 0.1}, {0.2, 0.2}, {3.1, 3.1}, {3.3, 3.3}});
+    CellQueryScratch scratch;
+    std::vector<NeighborPair> out;
+    std::vector<GridObject> objects = GridAllocate(s, options, true);
+    std::unordered_map<GridKey, std::vector<GridObject>, GridKeyHash> cells;
+    for (GridObject& o : objects) cells[o.key].push_back(o);
+    for (auto& [key, cell_objects] : cells) {
+      GridQuery(cell_objects, options, true, scratch, out);
+    }
+    std::sort(out.begin(), out.end());
+    EXPECT_EQ(out, (std::vector<NeighborPair>{{0, 1}, {2, 3}}))
+        << JoinKernelName(kernel);
   }
-  std::sort(out.begin(), out.end());
-  EXPECT_EQ(out, (std::vector<NeighborPair>{{0, 1}, {2, 3}}));
 }
 
 }  // namespace
