@@ -9,11 +9,15 @@
 #   - batching must pay for itself (batch 64 >= 1.5x batch 1 on the
 #     join_parallel_cells p=4 shuffle);
 #   - the sweep kernel must beat the R-tree kernel by >= 1.5x at the
-#     paper-default geometry (eps_rel=0.375, opc=64).
+#     paper-default geometry (eps_rel=0.375, opc=64);
+#   - checkpointing at interval=100 must cost <= 5% end-to-end throughput
+#     vs checkpointing off, at both p=1 and p=4 (bench_checkpoint,
+#     compared WITHIN the current run, so the floor is machine-neutral).
 #
 # The baselines are machine-specific; regenerate them on your hardware with
 #   build-release/bench/bench_flow_throughput --out BENCH_flow_throughput.json
 #   build-release/bench/bench_join_kernel --out BENCH_join_kernel.json
+#   build-release/bench/bench_checkpoint --out BENCH_checkpoint.json
 # before relying on the regression gate.
 #
 # Usage: scripts/bench_smoke.sh [build-dir]   (default: build-release)
@@ -27,6 +31,8 @@ BASELINE="BENCH_flow_throughput.json"
 CURRENT="BENCH_flow_throughput.tmp.json"
 KERNEL_BASELINE="BENCH_join_kernel.json"
 KERNEL_CURRENT="BENCH_join_kernel.tmp.json"
+CKPT_BASELINE="BENCH_checkpoint.json"
+CKPT_CURRENT="BENCH_checkpoint.tmp.json"
 
 if [ ! -f "$BASELINE" ]; then
   echo "missing baseline $BASELINE" >&2
@@ -36,13 +42,18 @@ if [ ! -f "$KERNEL_BASELINE" ]; then
   echo "missing baseline $KERNEL_BASELINE" >&2
   exit 1
 fi
+if [ ! -f "$CKPT_BASELINE" ]; then
+  echo "missing baseline $CKPT_BASELINE" >&2
+  exit 1
+fi
 
 cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target bench_flow_throughput bench_join_kernel
+  --target bench_flow_throughput bench_join_kernel bench_checkpoint
 
 "$BUILD_DIR/bench/bench_flow_throughput" --out "$CURRENT"
 "$BUILD_DIR/bench/bench_join_kernel" --out "$KERNEL_CURRENT"
+"$BUILD_DIR/bench/bench_checkpoint" --out "$CKPT_CURRENT"
 
 # Each JSON file holds one row object per line:
 #   {"workload": "...", "parallelism": P, "batch": B, "records_per_sec": R}
@@ -148,7 +159,58 @@ awk '
   }
 ' "$KERNEL_BASELINE" "$KERNEL_CURRENT" || status=1
 
-rm -f "$CURRENT" "$KERNEL_CURRENT"
+# Checkpoint rows:
+#   {"workload": "checkpoint", "parallelism": P, "interval": I,
+#    "snapshots_per_sec": R, ...}
+# keyed on (parallelism, interval), interval 0 = checkpointing off. The
+# overhead floor compares interval=100 against off WITHIN the current run
+# (machine-neutral); the baseline join only reports drift.
+awk '
+  function field(line, name,    rest) {
+    rest = line
+    sub(".*\"" name "\": *", "", rest)
+    sub("[,}].*", "", rest)
+    gsub("\"", "", rest)
+    return rest
+  }
+  {
+    key = "p" field($0, "parallelism") "/i" field($0, "interval")
+    rate = field($0, "snapshots_per_sec") + 0
+    if (NR == FNR) { baseline[key] = rate; next }
+    if (key in baseline) {
+      ratio = rate / baseline[key]
+      verdict = (ratio >= 0.8) ? "ok  " : "low "
+      printf "%s checkpoint/%-12s %10.0f snap/s  baseline %10.0f  (%.2fx)\n", \
+             verdict, key, rate, baseline[key], ratio
+    } else {
+      printf "NEW  checkpoint/%-12s %10.0f snap/s (no baseline)\n", key, rate
+    }
+    current[key] = rate
+    rows += 1
+  }
+  END {
+    if (rows == 0) { print "FAIL: no checkpoint rows"; exit 1 }
+    for (p = 1; p <= 4; p += 3) {
+      off = current["p" p "/i0"]
+      sparse = current["p" p "/i100"]
+      if (off <= 0 || sparse <= 0) {
+        printf "FAIL: missing checkpoint rows for p=%d\n", p
+        failed = 1
+        continue
+      }
+      overhead = 1 - sparse / off
+      printf "checkpoint p=%d interval=100 overhead = %.1f%%\n", \
+             p, overhead * 100
+      if (overhead > 0.05) {
+        printf "FAIL: checkpoint overhead above 5%% at p=%d\n", p
+        failed = 1
+      }
+    }
+    exit failed
+  }
+' "$CKPT_BASELINE" "$CKPT_CURRENT" || status=1
+
+rm -f "$CURRENT" "$KERNEL_CURRENT" "$CKPT_CURRENT"
 if [ "$status" -ne 0 ]; then
   echo "bench smoke FAILED (>20% regression or lost headline win)" >&2
 else

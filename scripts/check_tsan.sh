@@ -11,7 +11,9 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
 # The concurrency-relevant suites: everything under src/flow plus the
-# engine-level pipelines that exercise them end to end.
+# engine-level pipelines that exercise them end to end, and the
+# fault-tolerance layer (barrier alignment, coordinator acks from every
+# worker thread, crash-and-recover engine runs).
 TESTS=(
   channel_test
   exchange_test
@@ -25,6 +27,9 @@ TESTS=(
   icpe_parallel_join_test
   multi_query_test
   soak_test
+  barrier_alignment_test
+  checkpoint_test
+  recovery_test
 )
 
 cmake -B "$BUILD_DIR" -S "$ROOT" \

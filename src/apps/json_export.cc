@@ -39,6 +39,7 @@ void WritePatternsJson(const std::vector<CoMovementPattern>& patterns,
 
 void WriteResultJson(const core::IcpeResult& result, std::ostream& out) {
   out << "{\n";
+  out << "  \"schema_version\": " << kResultJsonSchemaVersion << ",\n";
   out << "  \"snapshots\": " << result.snapshots.snapshots << ",\n";
   out << "  \"avg_latency_ms\": " << result.snapshots.average_latency_ms
       << ",\n";
@@ -56,6 +57,13 @@ void WriteResultJson(const core::IcpeResult& result, std::ostream& out) {
   out << "  \"avg_enum_ms\": " << result.avg_enum_ms << ",\n";
   out << "  \"avg_cluster_size\": " << result.avg_cluster_size << ",\n";
   out << "  \"cluster_count\": " << result.cluster_count << ",\n";
+  out << "  \"crashed\": " << (result.crashed ? "true" : "false") << ",\n";
+  out << "  \"last_checkpoint_id\": " << result.last_checkpoint_id
+      << ",\n";
+  out << "  \"checkpoints_completed\": " << result.checkpoints_completed
+      << ",\n";
+  out << "  \"checkpoints_failed\": " << result.checkpoints_failed
+      << ",\n";
   if (!result.stage_stats.empty()) {
     out << "  \"stages\": ";
     WriteStageStatsJson(result.stage_stats, out);
@@ -82,6 +90,11 @@ void WriteStageStatsJson(
         << ", \"max_queue_depth\": " << s.max_queue_depth
         << ", \"push_blocked_ms\": " << s.push_blocked_ms
         << ", \"pop_blocked_ms\": " << s.pop_blocked_ms
+        << ", \"barriers_pushed\": " << s.barriers_pushed
+        << ", \"barriers_popped\": " << s.barriers_popped
+        << ", \"align_blocked_ms\": " << s.align_blocked_ms
+        << ", \"snapshot_bytes\": " << s.snapshot_bytes
+        << ", \"last_checkpoint_id\": " << s.last_checkpoint_id
         << ", \"batches_pushed\": " << s.batches_pushed
         << ", \"avg_batch_size\": " << s.avg_batch_size
         << ", \"batch_size_histogram\": [";

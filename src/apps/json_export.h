@@ -14,6 +14,12 @@
 
 namespace comove::apps {
 
+/// Version stamped into WriteResultJson output as "schema_version".
+/// History: 1 - metrics + patterns + per-stage backpressure counters;
+/// 2 - checkpoint health (per-stage barrier/alignment/snapshot counters,
+/// run-level crashed/last_checkpoint_id/checkpoints_{completed,failed}).
+inline constexpr int kResultJsonSchemaVersion = 2;
+
 /// Writes `patterns` as a JSON array of {"objects": [...], "times": [...]}.
 void WritePatternsJson(const std::vector<CoMovementPattern>& patterns,
                        std::ostream& out);

@@ -58,6 +58,13 @@ class BinaryReader {
   bool ok() const { return ok_; }
   bool AtEnd() const { return position_ == data_.size(); }
 
+  /// Bytes not yet consumed (0 once the reader has failed). Lets callers
+  /// sanity-check untrusted element counts before reserving memory for
+  /// them: a count can never exceed remaining() / bytes-per-element.
+  std::size_t remaining() const {
+    return ok_ ? data_.size() - position_ : 0;
+  }
+
   bool ReadBool() {
     char c = 0;
     ReadRaw(&c, 1);

@@ -7,13 +7,18 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <unordered_map>
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/serde.h"
 #include "common/stopwatch.h"
 #include "core/completion_tracker.h"
+#include "core/state_serde.h"
+#include "flow/checkpoint/barrier_aligner.h"
+#include "flow/checkpoint/coordinator.h"
 #include "flow/exchange.h"
 #include "flow/reorder_buffer.h"
 #include "flow/snapshot_assembler.h"
@@ -105,6 +110,34 @@ const char* EnumeratorKindName(EnumeratorKind kind) {
   return "unknown";
 }
 
+std::string BuildFingerprint(const trajgen::Dataset& dataset,
+                             const IcpeOptions& options) {
+  // Everything that shapes the pipeline's state or routing is included;
+  // pure performance knobs (batch size, channel capacity, stats) are not.
+  std::string fp = "records=" + std::to_string(dataset.records.size());
+  fp += ";p=" + std::to_string(options.parallelism);
+  fp += ";cells=" + std::to_string(options.join_parallel_cells ? 1 : 0);
+  fp += ";clustering=" +
+        std::to_string(static_cast<int>(options.clustering));
+  fp += ";eps=" + std::to_string(options.cluster_options.join.eps);
+  fp += ";lg=" +
+        std::to_string(options.cluster_options.join.grid_cell_width);
+  fp += ";minpts=" +
+        std::to_string(options.cluster_options.dbscan.min_pts);
+  const auto add_query = [&fp](const PatternQuery& q) {
+    fp += ";q=" + std::to_string(q.constraints.m) + "," +
+          std::to_string(q.constraints.k) + "," +
+          std::to_string(q.constraints.l) + "," +
+          std::to_string(q.constraints.g) + "," +
+          EnumeratorKindName(q.enumerator);
+  };
+  if (options.enumerator != EnumeratorKind::kNone) {
+    add_query(PatternQuery{options.constraints, options.enumerator});
+  }
+  for (const PatternQuery& q : options.extra_queries) add_query(q);
+  return fp;
+}
+
 IcpeResult RunIcpe(const trajgen::Dataset& dataset,
                    const IcpeOptions& options) {
   COMOVE_CHECK(options.parallelism > 0);
@@ -169,6 +202,74 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
   std::optional<flow::Exchange<CellMsg>> query_exchange;
   std::optional<flow::Exchange<SyncMsg>> sync_exchange;
 
+  // --- Checkpointing and recovery plumbing (the fault-tolerance layer).
+  const bool checkpointing = options.checkpoint_interval > 0;
+  if (checkpointing) {
+    COMOVE_CHECK_MSG(options.snapshot_store != nullptr,
+                     "checkpoint_interval requires a snapshot_store");
+    COMOVE_CHECK_MSG(options.replay_shuffle_window <= 0,
+                     "checkpointing requires ordered replay");
+  }
+  if (options.recover) {
+    COMOVE_CHECK_MSG(options.snapshot_store != nullptr,
+                     "recover requires a snapshot_store");
+  }
+  const std::string fingerprint =
+      (checkpointing || options.recover)
+          ? BuildFingerprint(dataset, options)
+          : std::string();
+  std::optional<flow::CheckpointBundle> restored;
+  if (options.recover) {
+    restored = options.snapshot_store->ReadLatest();
+    if (restored) {
+      COMOVE_CHECK_MSG(restored->fingerprint == fingerprint,
+                       "checkpoint fingerprint mismatch: the store was "
+                       "written by a different dataset or pipeline shape");
+    }
+  }
+  const std::int64_t restored_id = restored ? restored->id : 0;
+  auto restored_state = [&](const char* op,
+                            std::int32_t subtask) -> const std::string* {
+    return restored ? restored->Find(op, subtask) : nullptr;
+  };
+  std::optional<flow::CheckpointCoordinator> coordinator;
+  if (checkpointing) {
+    const std::int32_t expected_acks =
+        2 + (options.join_parallel_cells ? 3 * p : p) +
+        (enumerate ? p : 0);
+    coordinator.emplace(expected_acks, options.snapshot_store, fingerprint,
+                        stats_for("checkpoint"), restored_id);
+  }
+  FaultInjector injector(options.fault);
+  std::atomic<bool> crashed{false};
+  // Simulates a process kill: every channel is cancelled so blocked
+  // producers and consumers unwind instead of deadlocking on
+  // backpressure, and all in-flight data is dropped.
+  auto crash_all = [&] {
+    crashed.store(true);
+    source_exchange.Cancel();
+    snapshot_exchange.Cancel();
+    partition_exchange.Cancel();
+    if (query_exchange) query_exchange->Cancel();
+    if (sync_exchange) sync_exchange->Cancel();
+  };
+  // Snapshot-bytes accounting goes on the acking operator's input-exchange
+  // row; the coordinator separately totals persisted bytes under
+  // "checkpoint".
+  auto ack = [&](std::int64_t id, const char* op, std::int32_t subtask,
+                 std::string state, flow::StageStats* stats) {
+    if (stats != nullptr) {
+      stats->OnSnapshot(static_cast<std::int64_t>(state.size()), id);
+    }
+    coordinator->Ack(id, op, subtask, std::move(state));
+  };
+  flow::StageStats* const assembler_stats = stats_for("source->assembler");
+  flow::StageStats* const enumerate_stats =
+      enumerate ? stats_for(options.join_parallel_cells
+                                ? "grid_sync->enumerate"
+                                : "cluster->enumerate")
+                : nullptr;
+
   flow::SnapshotMetrics metrics;
   CompletionTracker tracker(p);
   TimeAccumulator cluster_time;
@@ -205,17 +306,47 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
     };
     if (options.replay_shuffle_window <= 0) {
       Timestamp current = kNoTime;
-      for (const GpsRecord& record : dataset.records) {
+      std::size_t start_index = 0;
+      if (const std::string* bytes = restored_state("source", 0)) {
+        BinaryReader reader(*bytes);
+        start_index = static_cast<std::size_t>(reader.ReadU64());
+        current = static_cast<Timestamp>(reader.ReadI64());
+        COMOVE_CHECK_MSG(reader.ok() && reader.AtEnd() &&
+                             start_index <= dataset.records.size(),
+                         "corrupt source checkpoint");
+        // The cut fell on a time boundary: the saved `current` equals the
+        // resume record's time, so the boundary branch below does not
+        // re-fire and no watermark is replayed.
+      }
+      std::int64_t next_checkpoint = restored_id + 1;
+      std::int64_t snaps_since_barrier = 0;
+      for (std::size_t i = start_index; i < dataset.records.size(); ++i) {
+        const GpsRecord& record = dataset.records[i];
         if (record.time != current) {
           COMOVE_CHECK(record.time > current);
+          if (crashed.load(std::memory_order_relaxed)) break;
           // No trajectory can be born before this batch's time anymore.
           sender.BroadcastWatermark(record.time - 1);
           current = record.time;
           throttle();
+          if (checkpointing &&
+              ++snaps_since_barrier >= options.checkpoint_interval) {
+            snaps_since_barrier = 0;
+            // Snapshot the replay offset at the boundary - before any
+            // record of `current` - then emit the barrier: everything
+            // before index i is the checkpoint's pre-image.
+            std::string state;
+            BinaryWriter writer(&state);
+            writer.WriteU64(i);
+            writer.WriteI64(current);
+            ack(next_checkpoint, "source", 0, std::move(state), nullptr);
+            sender.BroadcastBarrier(next_checkpoint);
+            ++next_checkpoint;
+          }
         }
         sender.Send(0, record);
       }
-      if (current != kNoTime) {
+      if (current != kNoTime && !crashed.load()) {
         sender.BroadcastWatermark(current);
       }
       sender.Close();
@@ -259,6 +390,11 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
   // --- Assembler: §4 last-time synchronisation into snapshots.
   tasks.Spawn([&] {
     flow::SnapshotAssembler assembler;
+    if (const std::string* bytes = restored_state("assembler", 0)) {
+      BinaryReader reader(*bytes);
+      COMOVE_CHECK_MSG(assembler.RestoreState(&reader),
+                       "corrupt assembler checkpoint");
+    }
     auto route = [&](std::vector<Snapshot> snapshots) {
       for (Snapshot& snapshot : snapshots) {
         const Timestamp t = snapshot.time;
@@ -277,13 +413,24 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
       for (flow::Element<GpsRecord>& element : batch) {
         if (element.is_data()) {
           route(assembler.OnRecord(element.data));
+        } else if (element.is_barrier()) {
+          // Single producer: the barrier needs no alignment; snapshot,
+          // ack, and forward.
+          std::string state;
+          BinaryWriter writer(&state);
+          assembler.SaveState(&writer);
+          ack(element.checkpoint, "assembler", 0, std::move(state),
+              assembler_stats);
+          snapshot_exchange.BroadcastBarrier(0, element.checkpoint);
         } else {
           route(assembler.AdvanceBirthBound(element.watermark));
         }
       }
     }
-    route(assembler.Finish());
-    snapshot_exchange.BroadcastWatermark(0, kMaxTime);
+    if (!crashed.load()) {
+      route(assembler.Finish());
+      snapshot_exchange.BroadcastWatermark(0, kMaxTime);
+    }
     snapshot_exchange.CloseProducer(0);
   });
 
@@ -320,8 +467,10 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
 
   if (!options.join_parallel_cells) {
     // --- Cluster workers: snapshot-parallel indexed clustering (§5.3).
+    flow::StageStats* const cluster_stats = stats_for("assembler->cluster");
     tasks.SpawnIndexed(p, [&, record_cluster_stats, route_partitions,
-                           clustering_progress](std::int32_t worker) {
+                           clustering_progress,
+                           cluster_stats](std::int32_t worker) {
       flow::BatchingSender<pattern::Partition> partition_sender(
           partition_exchange, worker, options.exchange_batch_size);
       // Join + DBSCAN working memory, reused across this worker's snapshots.
@@ -336,6 +485,17 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
           cluster_time.Add(watch.ElapsedMillis());
           record_cluster_stats(clustered);
           if (enumerate) route_partitions(partition_sender, clustered);
+        } else if (element->is_barrier()) {
+          // Single producer (the assembler): no alignment needed. The
+          // worker is stateless - its scratch is derivable - so it acks
+          // with an empty payload and forwards.
+          const std::int64_t id = element->checkpoint;
+          if (injector.ShouldCrash("cluster", worker, id)) {
+            crash_all();
+            return;
+          }
+          ack(id, "cluster", worker, std::string(), cluster_stats);
+          if (enumerate) partition_sender.BroadcastBarrier(id);
         } else {
           // All of this worker's snapshots <= watermark are done (FIFO).
           clustering_progress(partition_sender, worker, element->watermark);
@@ -356,9 +516,16 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
     sync_exchange.emplace(2 * p, p, options.channel_capacity,
                           stats_for("allocate/query->grid_sync"));
 
+    flow::StageStats* const allocate_stats =
+        stats_for("assembler->grid_allocate");
+    flow::StageStats* const grid_query_stats =
+        stats_for("grid_allocate->grid_query");
+    flow::StageStats* const grid_sync_stats =
+        stats_for("allocate/query->grid_sync");
+
     // GridAllocate subtasks: replicate locations into GridObjects and
     // forward the raw snapshot to the sync stage for DBSCAN.
-    tasks.SpawnIndexed(p, [&](std::int32_t worker) {
+    tasks.SpawnIndexed(p, [&, allocate_stats](std::int32_t worker) {
       const GridKeyHash cell_hash;
       // CellMsg is the highest-volume payload in this mode (every object
       // replicated per overlapped cell), so its sends are batched; the
@@ -391,6 +558,13 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
                               static_cast<std::size_t>(t) %
                                   static_cast<std::size_t>(p),
                               std::move(msg));
+        } else if (element->is_barrier()) {
+          // Single producer, stateless stage: ack empty and fan the
+          // barrier out on both output exchanges.
+          const std::int64_t id = element->checkpoint;
+          ack(id, "grid_allocate", worker, std::string(), allocate_stats);
+          cell_sender.BroadcastBarrier(id);
+          sync_exchange->BroadcastBarrier(worker, id);
         } else {
           cell_sender.BroadcastWatermark(element->watermark);
           sync_exchange->BroadcastWatermark(worker, element->watermark);
@@ -402,7 +576,7 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
 
     // GridQuery subtasks: per-cell Algorithm 2 once a snapshot's objects
     // are complete (aligned watermark), then ship the neighbour stream.
-    tasks.SpawnIndexed(p, [&](std::int32_t worker) {
+    tasks.SpawnIndexed(p, [&, grid_query_stats](std::int32_t worker) {
       flow::WatermarkAligner aligner(p);
       std::map<Timestamp,
                std::unordered_map<GridKey, std::vector<cluster::GridObject>,
@@ -412,6 +586,22 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
       // path recycles its pages (RTree::Clear), the sweep path its SoA
       // columns - steady state allocates nothing either way.
       cluster::CellQueryScratch cell_scratch;
+      if (const std::string* bytes = restored_state("grid_query", worker)) {
+        BinaryReader reader(*bytes);
+        COMOVE_CHECK_MSG(aligner.RestoreState(&reader),
+                         "corrupt grid_query checkpoint");
+        const std::uint64_t times = reader.ReadU64();
+        for (std::uint64_t i = 0; i < times && reader.ok(); ++i) {
+          const auto t = static_cast<Timestamp>(reader.ReadI64());
+          const std::uint64_t objects = reader.ReadU64();
+          for (std::uint64_t j = 0; j < objects && reader.ok(); ++j) {
+            cluster::GridObject object = ReadGridObject(&reader);
+            cells_by_time[t][object.key].push_back(std::move(object));
+          }
+        }
+        COMOVE_CHECK_MSG(reader.ok() && reader.AtEnd(),
+                         "corrupt grid_query checkpoint");
+      }
       auto process_through = [&](Timestamp w) {
         while (!cells_by_time.empty() &&
                cells_by_time.begin()->first <= w) {
@@ -433,28 +623,62 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
           cells_by_time.erase(cells_by_time.begin());
         }
       };
+      auto handle = [&](flow::Element<CellMsg>&& element) {
+        if (element.is_data()) {
+          cells_by_time[element.data.time][element.data.object.key]
+              .push_back(std::move(element.data.object));
+        } else if (auto advanced = aligner.Update(element.producer,
+                                                  element.watermark)) {
+          process_through(*advanced);
+          sync_exchange->BroadcastWatermark(p + worker, *advanced);
+        }
+      };
+      // The aligned cut: every pre-barrier object or watermark of every
+      // producer has been absorbed above; what is not yet queried sits in
+      // cells_by_time and is saved verbatim.
+      auto on_checkpoint = [&](std::int64_t id) {
+        std::string state;
+        BinaryWriter writer(&state);
+        aligner.SaveState(&writer);
+        std::uint64_t total = 0;
+        writer.WriteU64(cells_by_time.size());
+        for (const auto& [t, cells] : cells_by_time) {
+          writer.WriteI64(t);
+          total = 0;
+          for (const auto& [key, objects] : cells) total += objects.size();
+          writer.WriteU64(total);
+          for (const auto& [key, objects] : cells) {
+            for (const cluster::GridObject& object : objects) {
+              WriteGridObject(&writer, object);
+            }
+          }
+        }
+        ack(id, "grid_query", worker, std::move(state), grid_query_stats);
+        sync_exchange->BroadcastBarrier(p + worker, id);
+        return true;
+      };
+      flow::BarrierAligner<CellMsg> barriers(p, restored_id,
+                                             grid_query_stats);
       auto& input = query_exchange->channel(worker);
       std::vector<flow::Element<CellMsg>> batch;
       while (input.PopBatch(batch, pop_batch_max) > 0) {
         for (flow::Element<CellMsg>& element : batch) {
-          if (element.is_data()) {
-            cells_by_time[element.data.time][element.data.object.key]
-                .push_back(std::move(element.data.object));
-          } else if (auto advanced = aligner.Update(element.producer,
-                                                    element.watermark)) {
-            process_through(*advanced);
-            sync_exchange->BroadcastWatermark(p + worker, *advanced);
+          if (checkpointing) {
+            barriers.OnElement(std::move(element), handle, on_checkpoint);
+          } else {
+            handle(std::move(element));
           }
         }
       }
-      process_through(kMaxTime);
+      if (!crashed.load()) process_through(kMaxTime);
       sync_exchange->CloseProducer(p + worker);
     });
 
     // GridSync + DBSCAN subtasks: merge per-cell neighbour streams with
     // the raw snapshot, cluster, and hand off to enumeration.
     tasks.SpawnIndexed(p, [&, record_cluster_stats, route_partitions,
-                           clustering_progress](std::int32_t worker) {
+                           clustering_progress,
+                           grid_sync_stats](std::int32_t worker) {
       flow::BatchingSender<pattern::Partition> partition_sender(
           partition_exchange, worker, options.exchange_batch_size);
       flow::WatermarkAligner aligner(2 * p);
@@ -467,6 +691,24 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
       // DBSCAN interning/CSR buffers, reused across this worker's
       // snapshots.
       cluster::DbscanScratch dbscan_scratch;
+      if (const std::string* bytes = restored_state("grid_sync", worker)) {
+        BinaryReader reader(*bytes);
+        COMOVE_CHECK_MSG(aligner.RestoreState(&reader),
+                         "corrupt grid_sync checkpoint");
+        const std::uint64_t times = reader.ReadU64();
+        for (std::uint64_t i = 0; i < times && reader.ok(); ++i) {
+          const auto t = static_cast<Timestamp>(reader.ReadI64());
+          PendingTime& pending = buffer[t];
+          pending.have_snapshot = reader.ReadBool();
+          pending.snapshot = ReadSnapshot(&reader);
+          const std::uint64_t pairs = reader.ReadU64();
+          for (std::uint64_t j = 0; j < pairs && reader.ok(); ++j) {
+            pending.pairs.push_back(ReadNeighborPair(&reader));
+          }
+        }
+        COMOVE_CHECK_MSG(reader.ok() && reader.AtEnd(),
+                         "corrupt grid_sync checkpoint");
+      }
       auto process_through = [&](Timestamp w) {
         while (!buffer.empty() && buffer.begin()->first <= w) {
           PendingTime pending = std::move(buffer.begin()->second);
@@ -489,25 +731,63 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
           if (enumerate) route_partitions(partition_sender, clustered);
         }
       };
-      auto& input = sync_exchange->channel(worker);
-      while (auto element = input.Pop()) {
-        if (element->is_data()) {
-          PendingTime& pending = buffer[element->data.time];
-          if (element->data.is_snapshot) {
+      auto handle = [&](flow::Element<SyncMsg>&& element) {
+        if (element.is_data()) {
+          PendingTime& pending = buffer[element.data.time];
+          if (element.data.is_snapshot) {
             pending.have_snapshot = true;
-            pending.snapshot = std::move(element->data.snapshot);
+            pending.snapshot = std::move(element.data.snapshot);
           } else {
             pending.pairs.insert(pending.pairs.end(),
-                                 element->data.pairs.begin(),
-                                 element->data.pairs.end());
+                                 element.data.pairs.begin(),
+                                 element.data.pairs.end());
           }
-        } else if (auto advanced = aligner.Update(element->producer,
-                                                  element->watermark)) {
+        } else if (auto advanced = aligner.Update(element.producer,
+                                                  element.watermark)) {
           process_through(*advanced);
           clustering_progress(partition_sender, worker, *advanced);
         }
+      };
+      bool alive = true;
+      auto on_checkpoint = [&](std::int64_t id) {
+        // This stage is the crash site for "cluster" faults in cells
+        // mode: the snapshot below is never taken, so checkpoint `id`
+        // cannot complete.
+        if (injector.ShouldCrash("cluster", worker, id)) {
+          crash_all();
+          alive = false;
+          return false;
+        }
+        std::string state;
+        BinaryWriter writer(&state);
+        aligner.SaveState(&writer);
+        writer.WriteU64(buffer.size());
+        for (const auto& [t, pending] : buffer) {
+          writer.WriteI64(t);
+          writer.WriteBool(pending.have_snapshot);
+          WriteSnapshot(&writer, pending.snapshot);
+          writer.WriteU64(pending.pairs.size());
+          for (const NeighborPair& pair : pending.pairs) {
+            WriteNeighborPair(&writer, pair);
+          }
+        }
+        ack(id, "grid_sync", worker, std::move(state), grid_sync_stats);
+        if (enumerate) partition_sender.BroadcastBarrier(id);
+        return true;
+      };
+      flow::BarrierAligner<SyncMsg> barriers(2 * p, restored_id,
+                                             grid_sync_stats);
+      auto& input = sync_exchange->channel(worker);
+      while (alive) {
+        auto element = input.Pop();
+        if (!element) break;
+        if (checkpointing) {
+          barriers.OnElement(std::move(*element), handle, on_checkpoint);
+        } else {
+          handle(std::move(*element));
+        }
       }
-      process_through(kMaxTime);
+      if (!crashed.load()) process_through(kMaxTime);
       if (enumerate) partition_sender.Close();
     });
   }
@@ -515,14 +795,58 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
   // --- Enumeration workers: id-partitioned BA / FBA / VBA.
   if (enumerate) {
     tasks.SpawnIndexed(p, [&](std::int32_t worker) {
+      // Exactly-once sinks: while checkpointing (or resuming), patterns
+      // are folded into per-query worker-local collectors that are part of
+      // the checkpointed state, and merged into the shared collectors only
+      // at a NORMAL exit. A crash discards the uncommitted tail; recovery
+      // restores the fold as of the cut and regenerates the rest - so the
+      // merged output is bit-identical to a failure-free run. Folding
+      // (instead of logging raw emissions) is safe because the shared
+      // merge applies the same keep-longest-per-object-set rule, and keeps
+      // checkpoint state proportional to distinct patterns rather than
+      // total emissions.
+      const bool transactional = checkpointing || restored.has_value();
+      std::vector<pattern::PatternCollector> logs(queries.size());
+      auto sink_for = [&](std::size_t q) -> pattern::PatternSink {
+        if (!transactional) return make_sink(q);
+        return [&logs, &options, &collector_mu,
+                q](const CoMovementPattern& pat) {
+          logs[q].Add(pat);
+          if (options.on_pattern) {
+            std::lock_guard<std::mutex> lock(collector_mu);
+            options.on_pattern(pat);
+          }
+        };
+      };
       // One enumerator per query; all consume the shared partition stream.
       std::vector<std::unique_ptr<pattern::StreamingEnumerator>> enumerators;
       for (std::size_t q = 0; q < queries.size(); ++q) {
         enumerators.push_back(MakeEnumerator(
-            queries[q].enumerator, queries[q].constraints, make_sink(q)));
+            queries[q].enumerator, queries[q].constraints, sink_for(q)));
       }
       flow::WatermarkAligner aligner(p);
       flow::TimeReorderBuffer<pattern::Partition> buffer;
+      if (const std::string* bytes = restored_state("enumerate", worker)) {
+        BinaryReader reader(*bytes);
+        COMOVE_CHECK_MSG(aligner.RestoreState(&reader),
+                         "corrupt enumerate checkpoint");
+        COMOVE_CHECK_MSG(buffer.RestoreState(&reader, ReadPartition),
+                         "corrupt enumerate checkpoint");
+        const std::uint64_t query_count = reader.ReadU64();
+        COMOVE_CHECK_MSG(reader.ok() && query_count == queries.size(),
+                         "corrupt enumerate checkpoint");
+        for (std::size_t q = 0; q < queries.size(); ++q) {
+          COMOVE_CHECK_MSG(enumerators[q]->RestoreState(&reader),
+                           "corrupt enumerate checkpoint");
+          const std::uint64_t emitted = reader.ReadU64();
+          if (!reader.ok()) break;
+          for (std::uint64_t i = 0; i < emitted && reader.ok(); ++i) {
+            logs[q].Add(ReadPattern(&reader));
+          }
+        }
+        COMOVE_CHECK_MSG(reader.ok() && reader.AtEnd(),
+                         "corrupt enumerate checkpoint");
+      }
 
       // The worker is done with a time only when EVERY query is.
       auto finalized_through = [&]() {
@@ -559,33 +883,80 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
         }
       };
 
+      auto handle = [&](flow::Element<pattern::Partition>&& element) {
+        if (element.is_data()) {
+          buffer.Add(element.data.time, std::move(element.data));
+        } else if (auto advanced = aligner.Update(element.producer,
+                                                  element.watermark)) {
+          const Timestamp w = *advanced;
+          feed(buffer.DrainThrough(w));
+          if (w != kMaxTime) {
+            Stopwatch watch;
+            for (const auto& e : enumerators) e->AdvanceTime(w);
+            enum_time.Add(watch.ElapsedMillis());
+          }
+          // A snapshot counts as answered once its pattern decisions
+          // are final across every query (for VBA this is deferred
+          // until strings close - the §6.3 latency/throughput trade).
+          for (const Timestamp done :
+               tracker.Update(worker, finalized_through())) {
+            metrics.MarkComplete(done);
+          }
+        }
+      };
+      bool alive = true;
+      // Sized like the previous snapshot (plus 25% growth headroom) so the
+      // serialisation pass does not redo the string's doubling reallocs on
+      // every checkpoint.
+      std::size_t last_state_bytes = 0;
+      auto on_checkpoint = [&](std::int64_t id) {
+        if (injector.ShouldCrash("enumerate", worker, id)) {
+          crash_all();
+          alive = false;
+          return false;
+        }
+        std::string state;
+        state.reserve(last_state_bytes + (last_state_bytes >> 2) + 1024);
+        BinaryWriter writer(&state);
+        aligner.SaveState(&writer);
+        buffer.SaveState(&writer, WritePartition);
+        writer.WriteU64(enumerators.size());
+        for (std::size_t q = 0; q < enumerators.size(); ++q) {
+          enumerators[q]->SaveState(&writer);
+          writer.WriteU64(logs[q].size());
+          for (const auto& [objects, pat] : logs[q].entries()) {
+            WritePattern(&writer, pat);
+          }
+        }
+        last_state_bytes = state.size();
+        ack(id, "enumerate", worker, std::move(state), enumerate_stats);
+        return true;
+      };
+      flow::BarrierAligner<pattern::Partition> barriers(p, restored_id,
+                                                        enumerate_stats);
       auto& input = partition_exchange.channel(worker);
       std::vector<flow::Element<pattern::Partition>> batch;
-      while (input.PopBatch(batch, pop_batch_max) > 0) {
+      while (alive && input.PopBatch(batch, pop_batch_max) > 0) {
         for (flow::Element<pattern::Partition>& element : batch) {
-          if (element.is_data()) {
-            buffer.Add(element.data.time, std::move(element.data));
-          } else if (auto advanced = aligner.Update(element.producer,
-                                                    element.watermark)) {
-            const Timestamp w = *advanced;
-            feed(buffer.DrainThrough(w));
-            if (w != kMaxTime) {
-              Stopwatch watch;
-              for (const auto& e : enumerators) e->AdvanceTime(w);
-              enum_time.Add(watch.ElapsedMillis());
-            }
-            // A snapshot counts as answered once its pattern decisions
-            // are final across every query (for VBA this is deferred
-            // until strings close - the §6.3 latency/throughput trade).
-            for (const Timestamp done :
-                 tracker.Update(worker, finalized_through())) {
-              metrics.MarkComplete(done);
-            }
+          if (!alive) break;
+          if (checkpointing) {
+            barriers.OnElement(std::move(element), handle, on_checkpoint);
+          } else {
+            handle(std::move(element));
           }
         }
       }
+      if (crashed.load()) return;  // uncommitted logs die with the crash
       feed(buffer.DrainAll());
       for (const auto& e : enumerators) e->Finish();
+      if (transactional) {
+        std::lock_guard<std::mutex> lock(collector_mu);
+        for (std::size_t q = 0; q < queries.size(); ++q) {
+          for (const CoMovementPattern& pat : logs[q].Patterns()) {
+            collectors[q].Add(pat);
+          }
+        }
+      }
       for (const Timestamp done : tracker.Update(worker, kMaxTime)) {
         metrics.MarkComplete(done);
       }
@@ -593,10 +964,20 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
   }
 
   tasks.JoinAll();
-  COMOVE_CHECK_MSG(tracker.pending() == 0,
-                   "pipeline drained with incomplete snapshots");
+  const bool was_crashed = crashed.load();
+  if (!was_crashed) {
+    COMOVE_CHECK_MSG(tracker.pending() == 0,
+                     "pipeline drained with incomplete snapshots");
+  }
 
   IcpeResult result;
+  result.crashed = was_crashed;
+  result.last_checkpoint_id =
+      coordinator ? coordinator->last_completed() : restored_id;
+  if (coordinator) {
+    result.checkpoints_completed = coordinator->completed_count();
+    result.checkpoints_failed = coordinator->failed_count();
+  }
   if (!collectors.empty() &&
       options.enumerator != EnumeratorKind::kNone) {
     result.patterns = collectors[0].Patterns();

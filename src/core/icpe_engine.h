@@ -3,11 +3,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "cluster/clustering.h"
 #include "common/constraints.h"
 #include "common/types.h"
+#include "core/recovery.h"
+#include "flow/checkpoint/snapshot_store.h"
 #include "flow/metrics.h"
 #include "flow/stage_stats.h"
 #include "trajgen/dataset.h"
@@ -115,6 +118,28 @@ struct IcpeOptions {
   /// query's own partitions, which is harmless: enumeration enforces the
   /// per-query M (Lemma 3 only ever removes work, never results).
   std::vector<PatternQuery> extra_queries;
+
+  /// When > 0, the source injects a checkpoint barrier every this many
+  /// snapshot times; every operator snapshots its state at the aligned
+  /// barrier (a consistent cut) and the completed checkpoint is persisted
+  /// to `snapshot_store`. Requires ordered replay (replay_shuffle_window
+  /// == 0) and a non-null store. 0 disables checkpointing.
+  std::int64_t checkpoint_interval = 0;
+
+  /// Where completed checkpoints go (not owned; must outlive the run).
+  flow::SnapshotStore* snapshot_store = nullptr;
+
+  /// When true, the run restores the store's latest completed checkpoint
+  /// before processing: the source rewinds to the saved offset, every
+  /// stateful operator reloads its snapshot, and patterns already emitted
+  /// before the cut are re-seeded - the run's output is bit-identical to
+  /// a failure-free run over the same dataset. A cold store falls back to
+  /// a normal run.
+  bool recover = false;
+
+  /// Fault injection (tests/benches): crash a named stage while it
+  /// snapshots a given checkpoint. Empty stage = no fault.
+  FaultSpec fault;
 };
 
 /// Everything a pipeline run reports.
@@ -134,7 +159,22 @@ struct IcpeResult {
   double avg_cluster_size = 0.0;   ///< mean members per emitted cluster
   std::int64_t cluster_count = 0;  ///< clusters across all snapshots
   std::int64_t snapshot_count = 0;
+
+  /// True when an injected fault killed the pipeline mid-run; patterns
+  /// then cover only what was emitted before the crash, and a recovery
+  /// run (IcpeOptions::recover) is expected to follow.
+  bool crashed = false;
+  std::int64_t last_checkpoint_id = 0;    ///< newest persisted checkpoint
+  std::int64_t checkpoints_completed = 0; ///< persisted this run
+  std::int64_t checkpoints_failed = 0;    ///< aborted by store failures
 };
+
+/// Fingerprint of (dataset, pipeline shape) stamped into every checkpoint
+/// bundle; a recovery whose fingerprint differs refuses to restore.
+/// Batch size, channel capacity, and stats collection are deliberately
+/// excluded - they do not affect results.
+std::string BuildFingerprint(const trajgen::Dataset& dataset,
+                             const IcpeOptions& options);
 
 /// Runs the full ICPE pipeline over a dataset replayed as a stream.
 /// Thread usage: 2 + 2 * parallelism workers for the run's duration.

@@ -1,0 +1,115 @@
+#ifndef COMOVE_CORE_STATE_SERDE_H_
+#define COMOVE_CORE_STATE_SERDE_H_
+
+#include <cstdint>
+
+#include "common/serde.h"
+#include "common/types.h"
+#include "cluster/grid_object.h"
+#include "pattern/partition.h"
+
+/// \file
+/// Binary encodings of the pipeline value types that live inside operator
+/// state at a checkpoint cut: snapshots buffered before clustering, grid
+/// objects and neighbor pairs buffered between the Fig.5 cell stages, and
+/// partitions held in the enumerate stage's reorder buffer. Readers
+/// report corruption through the BinaryReader ok() flag - a failed read
+/// yields a zero-valued object, never undefined behaviour.
+
+namespace comove::core {
+
+inline void WritePoint(BinaryWriter* w, const Point& p) {
+  w->WriteDouble(p.x);
+  w->WriteDouble(p.y);
+}
+
+inline Point ReadPoint(BinaryReader* r) {
+  Point p;
+  p.x = r->ReadDouble();
+  p.y = r->ReadDouble();
+  return p;
+}
+
+inline void WriteSnapshot(BinaryWriter* w, const Snapshot& s) {
+  w->WriteI32(s.time);
+  w->WriteU64(s.entries.size());
+  for (const SnapshotEntry& e : s.entries) {
+    w->WriteI32(e.id);
+    WritePoint(w, e.location);
+  }
+}
+
+inline Snapshot ReadSnapshot(BinaryReader* r) {
+  Snapshot s;
+  s.time = r->ReadI32();
+  const std::uint64_t count = r->ReadU64();
+  if (!r->ok() || count > r->remaining()) return {};
+  s.entries.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count && r->ok(); ++i) {
+    SnapshotEntry e;
+    e.id = r->ReadI32();
+    e.location = ReadPoint(r);
+    s.entries.push_back(e);
+  }
+  return r->ok() ? s : Snapshot{};
+}
+
+inline void WriteGridObject(BinaryWriter* w, const cluster::GridObject& o) {
+  w->WriteI32(o.key.cx);
+  w->WriteI32(o.key.cy);
+  w->WriteBool(o.is_query);
+  w->WriteI32(o.id);
+  WritePoint(w, o.location);
+}
+
+inline cluster::GridObject ReadGridObject(BinaryReader* r) {
+  cluster::GridObject o;
+  o.key.cx = r->ReadI32();
+  o.key.cy = r->ReadI32();
+  o.is_query = r->ReadBool();
+  o.id = r->ReadI32();
+  o.location = ReadPoint(r);
+  return o;
+}
+
+inline void WriteNeighborPair(BinaryWriter* w, const NeighborPair& p) {
+  w->WriteI32(p.a);
+  w->WriteI32(p.b);
+}
+
+inline NeighborPair ReadNeighborPair(BinaryReader* r) {
+  NeighborPair p;
+  p.a = r->ReadI32();
+  p.b = r->ReadI32();
+  return p;
+}
+
+inline void WritePartition(BinaryWriter* w, const pattern::Partition& p) {
+  w->WriteI32(p.owner);
+  w->WriteI32(p.time);
+  w->WriteIntVector(p.members);
+}
+
+inline pattern::Partition ReadPartition(BinaryReader* r) {
+  pattern::Partition p;
+  p.owner = r->ReadI32();
+  p.time = r->ReadI32();
+  p.members = r->ReadIntVector<TrajectoryId>();
+  return p;
+}
+
+inline void WritePattern(BinaryWriter* w, const CoMovementPattern& p) {
+  w->WriteIntVector(p.objects);
+  w->WriteIntVector(p.times);
+}
+
+inline CoMovementPattern ReadPattern(BinaryReader* r) {
+  CoMovementPattern p;
+  p.objects = r->ReadIntVector<TrajectoryId>();
+  p.times = r->ReadIntVector<Timestamp>();
+  return p;
+}
+
+}  // namespace comove::core
+
+#endif  // COMOVE_CORE_STATE_SERDE_H_

@@ -82,17 +82,45 @@ class Channel {
     if (wake) not_empty_.notify_all();
   }
 
+  /// Kills the channel: wakes every blocked producer and consumer, drops
+  /// the queued elements, and makes all further traffic a no-op (pushes
+  /// are discarded, pops report a finished stream). Used to simulate a
+  /// crash - a cancelled pipeline unwinds without deadlocking on
+  /// backpressure, exactly like a failed TaskManager tearing down its
+  /// network stack. Irreversible.
+  void Cancel() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cancelled_ = true;
+      queue_.clear();
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  /// True once Cancel() has been called.
+  bool cancelled() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cancelled_;
+  }
+
   /// Blocks while the channel is full; FIFO per producer.
   void Push(T value) {
     bool wake = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
       std::uint64_t blocked_ns = 0;
-      if (queue_.size() >= capacity_) {
+      if (queue_.size() >= capacity_ && !cancelled_) {
         blocked_ns = WaitNotFull(lock);
       }
+      if (cancelled_) return;
       if (stats_ != nullptr) {
-        stats_->OnPush(IsWatermark(value), blocked_ns);
+        if (IsBarrier(value)) {
+          stats_->OnBarriersPushed(1);
+          if (blocked_ns > 0) stats_->OnPushBlocked(blocked_ns);
+        } else {
+          stats_->OnPush(IsWatermark(value), blocked_ns);
+        }
         stats_->OnBatchPushed(1);
       }
       queue_.push_back(std::move(value));
@@ -113,7 +141,7 @@ class Channel {
     {
       std::unique_lock<std::mutex> lock(mu_);
       std::size_t i = 0;
-      while (i < batch.size()) {
+      while (i < batch.size() && !cancelled_) {
         if (queue_.size() >= capacity_) {
           // Chunked hand-off: consumers must see what is already queued
           // before this producer sleeps, or both sides would wait forever.
@@ -122,18 +150,32 @@ class Channel {
           if (stats_ != nullptr && blocked_ns > 0) {
             stats_->OnPushBlocked(blocked_ns);
           }
+          if (cancelled_) break;
         }
         const std::size_t n =
             std::min(capacity_ - queue_.size(), batch.size() - i);
         std::int64_t watermarks = 0;
+        std::int64_t barriers = 0;
         for (std::size_t k = 0; k < n; ++k, ++i) {
-          if (stats_ != nullptr && IsWatermark(batch[i])) ++watermarks;
+          if (stats_ != nullptr) {
+            if (IsBarrier(batch[i])) {
+              ++barriers;
+            } else if (IsWatermark(batch[i])) {
+              ++watermarks;
+            }
+          }
           queue_.push_back(std::move(batch[i]));
         }
         if (stats_ != nullptr) {
-          stats_->OnPushN(static_cast<std::int64_t>(n) - watermarks,
+          stats_->OnPushN(static_cast<std::int64_t>(n) - watermarks -
+                              barriers,
                           watermarks);
+          stats_->OnBarriersPushed(barriers);
         }
+      }
+      if (cancelled_) {
+        batch.clear();
+        return;
       }
       if (stats_ != nullptr) stats_->OnBatchPushed(batch.size());
       wake = waiting_consumers_ > 0;
@@ -158,13 +200,22 @@ class Channel {
     {
       std::unique_lock<std::mutex> lock(mu_);
       std::uint64_t blocked_ns = 0;
-      if (queue_.empty() && producers_ > 0) {
+      if (queue_.empty() && producers_ > 0 && !cancelled_) {
         blocked_ns = WaitNotEmpty(lock);
       }
       if (queue_.empty()) return std::nullopt;
       value = std::move(queue_.front());
       queue_.pop_front();
-      if (stats_ != nullptr) stats_->OnPop(IsWatermark(*value), blocked_ns);
+      if (stats_ != nullptr) {
+        if (IsBarrier(*value)) {
+          stats_->OnBarriersPopped(1);
+          if (blocked_ns > 0) {
+            stats_->OnPopN(0, 0, blocked_ns);
+          }
+        } else {
+          stats_->OnPop(IsWatermark(*value), blocked_ns);
+        }
+      }
       wake = waiting_producers_ > 0;
     }
     if (wake) not_full_.notify_one();
@@ -186,19 +237,27 @@ class Channel {
     {
       std::unique_lock<std::mutex> lock(mu_);
       std::uint64_t blocked_ns = 0;
-      if (queue_.empty() && producers_ > 0) {
+      if (queue_.empty() && producers_ > 0 && !cancelled_) {
         blocked_ns = WaitNotEmpty(lock);
       }
       n = std::min(max, queue_.size());
       std::int64_t watermarks = 0;
+      std::int64_t barriers = 0;
       for (std::size_t k = 0; k < n; ++k) {
-        if (stats_ != nullptr && IsWatermark(queue_.front())) ++watermarks;
+        if (stats_ != nullptr) {
+          if (IsBarrier(queue_.front())) {
+            ++barriers;
+          } else if (IsWatermark(queue_.front())) {
+            ++watermarks;
+          }
+        }
         out.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
       if (stats_ != nullptr && (n > 0 || blocked_ns > 0)) {
-        stats_->OnPopN(static_cast<std::int64_t>(n) - watermarks,
+        stats_->OnPopN(static_cast<std::int64_t>(n) - watermarks - barriers,
                        watermarks, blocked_ns);
+        stats_->OnBarriersPopped(barriers);
       }
       wake = n > 0 && waiting_producers_ > 0;
       wake_all = n > 1;
@@ -222,11 +281,18 @@ class Channel {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (queue_.empty()) {
-        return producers_ == 0 ? PollResult::kFinished : PollResult::kEmpty;
+        return producers_ == 0 || cancelled_ ? PollResult::kFinished
+                                             : PollResult::kEmpty;
       }
       out = std::move(queue_.front());
       queue_.pop_front();
-      if (stats_ != nullptr) stats_->OnPop(IsWatermark(out), 0);
+      if (stats_ != nullptr) {
+        if (IsBarrier(out)) {
+          stats_->OnBarriersPopped(1);
+        } else {
+          stats_->OnPop(IsWatermark(out), 0);
+        }
+      }
       wake = waiting_producers_ > 0;
     }
     if (wake) not_full_.notify_one();
@@ -258,17 +324,30 @@ class Channel {
     }
   }
 
+  /// Checkpoint-barrier split for stats, same pattern as IsWatermark.
+  static bool IsBarrier(const T& value) {
+    if constexpr (requires { value.is_barrier(); }) {
+      return value.is_barrier();
+    } else {
+      (void)value;
+      return false;
+    }
+  }
+
   /// Waits for free capacity; returns the blocked time in ns (0 when
   /// stats are off - the clock is never read then). Caller holds `lock`
   /// and has verified the queue is full.
   std::uint64_t WaitNotFull(std::unique_lock<std::mutex>& lock) {
     ++waiting_producers_;
     std::uint64_t blocked_ns = 0;
+    const auto ready = [&] {
+      return queue_.size() < capacity_ || cancelled_;
+    };
     if (stats_ == nullptr) {
-      not_full_.wait(lock, [&] { return queue_.size() < capacity_; });
+      not_full_.wait(lock, ready);
     } else {
       const auto start = std::chrono::steady_clock::now();
-      not_full_.wait(lock, [&] { return queue_.size() < capacity_; });
+      not_full_.wait(lock, ready);
       blocked_ns = static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - start)
@@ -282,13 +361,14 @@ class Channel {
   std::uint64_t WaitNotEmpty(std::unique_lock<std::mutex>& lock) {
     ++waiting_consumers_;
     std::uint64_t blocked_ns = 0;
+    const auto ready = [&] {
+      return !queue_.empty() || producers_ == 0 || cancelled_;
+    };
     if (stats_ == nullptr) {
-      not_empty_.wait(lock,
-                      [&] { return !queue_.empty() || producers_ == 0; });
+      not_empty_.wait(lock, ready);
     } else {
       const auto start = std::chrono::steady_clock::now();
-      not_empty_.wait(lock,
-                      [&] { return !queue_.empty() || producers_ == 0; });
+      not_empty_.wait(lock, ready);
       blocked_ns = static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - start)
@@ -307,6 +387,7 @@ class Channel {
   int producers_ = 0;
   int waiting_producers_ = 0;
   int waiting_consumers_ = 0;
+  bool cancelled_ = false;
 };
 
 }  // namespace comove::flow

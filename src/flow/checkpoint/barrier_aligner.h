@@ -1,0 +1,154 @@
+#ifndef COMOVE_FLOW_CHECKPOINT_BARRIER_ALIGNER_H_
+#define COMOVE_FLOW_CHECKPOINT_BARRIER_ALIGNER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "flow/element.h"
+#include "flow/stage_stats.h"
+
+/// \file
+/// Consumer-side checkpoint-barrier alignment (the "aligned" in Flink's
+/// aligned asynchronous barrier snapshotting). A subtask fed by several
+/// producers through one physical queue sees their barriers for
+/// checkpoint n arrive at different moments. To snapshot a consistent
+/// cut, every element from a producer that has ALREADY delivered barrier
+/// n must be held back until the slowest producer's barrier n arrives:
+/// at that instant nothing of checkpoint n+1's world has been applied,
+/// the operator state is exactly the image of all pre-barrier input, and
+/// the snapshot may be taken. The held elements are then replayed in
+/// their original order, so alignment is semantically invisible - it only
+/// costs latency, which OnAlignBlocked accounts per stage.
+
+namespace comove::flow {
+
+/// Aligns barriers over `producer_count` producers feeding one subtask.
+/// Elements are fed in queue order via OnElement; the aligner forwards
+/// them to `sink` immediately while no round is open, holds back elements
+/// from already-delivered producers while one is, and fires
+/// `on_checkpoint(id)` exactly when a round completes - BEFORE replaying
+/// the held elements, so the callback observes the consistent cut.
+///
+/// Barrier ids must arrive consecutively per producer (the source numbers
+/// them 1, 2, ... and every stage forwards in order); a gap is a broken
+/// pipeline invariant and aborts. `on_checkpoint` returns whether to keep
+/// draining: returning false (a simulated crash) stops processing
+/// immediately, leaving held elements unreplayed.
+template <typename T>
+class BarrierAligner {
+ public:
+  /// `last_completed` seeds the id sequence (non-zero after recovery:
+  /// the next barrier must be last_completed + 1). `stats`, when set,
+  /// receives the per-round alignment blocked-time.
+  explicit BarrierAligner(std::int32_t producer_count,
+                          std::int64_t last_completed = 0,
+                          StageStats* stats = nullptr)
+      : delivered_(static_cast<std::size_t>(producer_count), false),
+        last_completed_(last_completed),
+        stats_(stats) {
+    COMOVE_CHECK(producer_count > 0);
+  }
+
+  /// Number of elements currently held back by an open round.
+  std::size_t held() const { return held_.size(); }
+
+  /// True while a barrier round is waiting on slower producers.
+  bool aligning() const { return open_; }
+
+  std::int64_t last_completed() const { return last_completed_; }
+
+  /// Feeds one element; see the class comment for the contract.
+  /// `sink(Element<T>&&)` receives pass-through and replayed elements;
+  /// `on_checkpoint(std::int64_t) -> bool` observes completed cuts.
+  template <typename Sink, typename OnCheckpoint>
+  void OnElement(Element<T> element, Sink&& sink,
+                 OnCheckpoint&& on_checkpoint) {
+    pending_.push_back(std::move(element));
+    while (!pending_.empty()) {
+      Element<T> e = std::move(pending_.front());
+      pending_.pop_front();
+      if (open_) {
+        const auto producer = static_cast<std::size_t>(e.producer);
+        COMOVE_CHECK(producer < delivered_.size());
+        if (delivered_[producer]) {
+          // This producer is ahead of the cut; everything it sends -
+          // data, watermarks, even its next barrier - waits.
+          held_.push_back(std::move(e));
+          continue;
+        }
+        if (e.is_barrier()) {
+          COMOVE_CHECK_MSG(e.checkpoint == open_id_,
+                           "barrier %lld while aligning %lld",
+                           static_cast<long long>(e.checkpoint),
+                           static_cast<long long>(open_id_));
+          delivered_[producer] = true;
+          if (++delivered_count_ ==
+              static_cast<std::int32_t>(delivered_.size())) {
+            if (!CompleteRound(on_checkpoint)) return;
+          }
+          continue;
+        }
+        sink(std::move(e));
+      } else if (e.is_barrier()) {
+        COMOVE_CHECK_MSG(e.checkpoint == last_completed_ + 1,
+                         "barrier %lld after completing %lld",
+                         static_cast<long long>(e.checkpoint),
+                         static_cast<long long>(last_completed_));
+        open_ = true;
+        open_id_ = e.checkpoint;
+        delivered_[static_cast<std::size_t>(e.producer)] = true;
+        delivered_count_ = 1;
+        if (stats_ != nullptr) {
+          open_start_ = std::chrono::steady_clock::now();
+        }
+        if (delivered_count_ ==
+            static_cast<std::int32_t>(delivered_.size())) {
+          if (!CompleteRound(on_checkpoint)) return;
+        }
+      } else {
+        sink(std::move(e));
+      }
+    }
+  }
+
+ private:
+  template <typename OnCheckpoint>
+  bool CompleteRound(OnCheckpoint&& on_checkpoint) {
+    open_ = false;
+    delivered_.assign(delivered_.size(), false);
+    delivered_count_ = 0;
+    last_completed_ = open_id_;
+    if (stats_ != nullptr) {
+      stats_->OnAlignBlocked(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - open_start_)
+              .count()));
+    }
+    if (!on_checkpoint(last_completed_)) return false;
+    // Replay the held elements ahead of any not-yet-processed input, in
+    // their original arrival order; they may open the next round.
+    while (!held_.empty()) {
+      pending_.push_front(std::move(held_.back()));
+      held_.pop_back();
+    }
+    return true;
+  }
+
+  std::vector<bool> delivered_;  ///< producer delivered the open barrier
+  std::int32_t delivered_count_ = 0;
+  bool open_ = false;
+  std::int64_t open_id_ = 0;
+  std::int64_t last_completed_;
+  std::deque<Element<T>> held_;     ///< blocked inputs of the open round
+  std::deque<Element<T>> pending_;  ///< worklist (input + replays)
+  StageStats* stats_;
+  std::chrono::steady_clock::time_point open_start_{};
+};
+
+}  // namespace comove::flow
+
+#endif  // COMOVE_FLOW_CHECKPOINT_BARRIER_ALIGNER_H_

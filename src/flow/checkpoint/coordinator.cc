@@ -1,0 +1,75 @@
+#include "flow/checkpoint/coordinator.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace comove::flow {
+
+CheckpointCoordinator::CheckpointCoordinator(std::int32_t expected_acks,
+                                             SnapshotStore* store,
+                                             std::string fingerprint,
+                                             StageStats* stats,
+                                             std::int64_t last_completed)
+    : expected_acks_(expected_acks),
+      store_(store),
+      fingerprint_(std::move(fingerprint)),
+      stats_(stats),
+      last_completed_(last_completed) {
+  COMOVE_CHECK(expected_acks > 0);
+  COMOVE_CHECK(store != nullptr);
+}
+
+void CheckpointCoordinator::Ack(std::int64_t checkpoint_id, std::string op,
+                                std::int32_t subtask, std::string state) {
+  CheckpointBundle complete;
+  bool is_complete = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CheckpointBundle& bundle = pending_[checkpoint_id];
+    bundle.id = checkpoint_id;
+    bundle.fingerprint = fingerprint_;
+    bundle.states.push_back(
+        OperatorState{std::move(op), subtask, std::move(state)});
+    COMOVE_CHECK_MSG(
+        bundle.states.size() <= static_cast<std::size_t>(expected_acks_),
+        "checkpoint %lld over-acked", static_cast<long long>(checkpoint_id));
+    if (bundle.states.size() == static_cast<std::size_t>(expected_acks_)) {
+      complete = std::move(bundle);
+      pending_.erase(checkpoint_id);
+      is_complete = true;
+    }
+  }
+  if (!is_complete) return;
+  // Persist outside the ack lock; the store serialises its own writes.
+  std::int64_t bytes = 0;
+  for (const OperatorState& s : complete.states) {
+    bytes += static_cast<std::int64_t>(s.bytes.size());
+  }
+  const bool written = store_->Write(complete);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!written) {
+    ++failed_count_;
+    return;
+  }
+  ++completed_count_;
+  if (complete.id > last_completed_) last_completed_ = complete.id;
+  if (stats_ != nullptr) stats_->OnSnapshot(bytes, complete.id);
+}
+
+std::int64_t CheckpointCoordinator::last_completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_completed_;
+}
+
+std::int64_t CheckpointCoordinator::completed_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_count_;
+}
+
+std::int64_t CheckpointCoordinator::failed_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failed_count_;
+}
+
+}  // namespace comove::flow

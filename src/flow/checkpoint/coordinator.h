@@ -1,0 +1,65 @@
+#ifndef COMOVE_FLOW_CHECKPOINT_COORDINATOR_H_
+#define COMOVE_FLOW_CHECKPOINT_COORDINATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "flow/checkpoint/snapshot_store.h"
+#include "flow/stage_stats.h"
+
+/// \file
+/// Checkpoint completion tracking. Every operator subtask, upon absorbing
+/// (and aligning) barrier n, snapshots its state and acks it here; when
+/// the configured number of acks for n has arrived - i.e. every subtask
+/// in the pipeline snapshotted at the same consistent cut - the bundle is
+/// persisted to the SnapshotStore and checkpoint n becomes the recovery
+/// point. A crash before the final ack simply leaves n incomplete;
+/// recovery falls back to the newest persisted checkpoint.
+
+namespace comove::flow {
+
+/// Collects per-operator state acks and persists completed checkpoints.
+/// Thread-safe: subtasks ack concurrently from their worker threads.
+class CheckpointCoordinator {
+ public:
+  /// `expected_acks` is the total subtask count across all stages (every
+  /// subtask acks every checkpoint, stateless ones with empty bytes).
+  /// `fingerprint` stamps each bundle with the pipeline shape so restores
+  /// into a different topology are rejected. `stats`, when set, receives
+  /// persisted bytes and the last completed id (the "checkpoint" row of
+  /// the stage table). `last_completed` seeds the id sequence after
+  /// recovery.
+  CheckpointCoordinator(std::int32_t expected_acks, SnapshotStore* store,
+                        std::string fingerprint,
+                        StageStats* stats = nullptr,
+                        std::int64_t last_completed = 0);
+
+  /// Records (`op`, `subtask`)'s state for checkpoint `checkpoint_id`;
+  /// the final ack triggers the store write.
+  void Ack(std::int64_t checkpoint_id, std::string op,
+           std::int32_t subtask, std::string state);
+
+  /// Newest checkpoint whose bundle was successfully persisted.
+  std::int64_t last_completed() const;
+  std::int64_t completed_count() const;
+  /// Checkpoints whose store write failed (aborted, never recoverable).
+  std::int64_t failed_count() const;
+
+ private:
+  const std::int32_t expected_acks_;
+  SnapshotStore* const store_;
+  const std::string fingerprint_;
+  StageStats* const stats_;
+
+  mutable std::mutex mu_;
+  std::map<std::int64_t, CheckpointBundle> pending_;
+  std::int64_t last_completed_;
+  std::int64_t completed_count_ = 0;
+  std::int64_t failed_count_ = 0;
+};
+
+}  // namespace comove::flow
+
+#endif  // COMOVE_FLOW_CHECKPOINT_COORDINATOR_H_

@@ -1,0 +1,208 @@
+#include "flow/checkpoint/snapshot_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "common/crc32.h"
+#include "common/serde.h"
+
+namespace comove::flow {
+
+namespace {
+
+constexpr std::uint32_t kBundleMagic = 0x434B5054u;  // 'CKPT'
+constexpr std::uint32_t kBundleVersion = 1u;
+constexpr const char* kManifestName = "MANIFEST";
+
+namespace fs = std::filesystem;
+
+}  // namespace
+
+const std::string* CheckpointBundle::Find(std::string_view op,
+                                          std::int32_t subtask) const {
+  for (const OperatorState& state : states) {
+    if (state.op == op && state.subtask == subtask) return &state.bytes;
+  }
+  return nullptr;
+}
+
+std::string EncodeBundle(const CheckpointBundle& bundle) {
+  std::string encoded;
+  BinaryWriter writer(&encoded);
+  writer.WriteU32(kBundleMagic);
+  writer.WriteU32(kBundleVersion);
+  writer.WriteI64(bundle.id);
+  writer.WriteString(bundle.fingerprint);
+  writer.WriteU64(bundle.states.size());
+  for (const OperatorState& state : bundle.states) {
+    writer.WriteString(state.op);
+    writer.WriteI32(state.subtask);
+    writer.WriteString(state.bytes);
+    writer.WriteU32(Crc32(state.bytes));
+  }
+  const std::uint32_t envelope_crc = Crc32(encoded);
+  writer.WriteU32(envelope_crc);
+  return encoded;
+}
+
+bool DecodeBundle(std::string_view data, CheckpointBundle* out) {
+  if (data.size() < sizeof(std::uint32_t)) return false;
+  // The footer CRC covers everything before it; verify first so that a
+  // torn write fails fast without parsing garbage.
+  const std::string_view body = data.substr(0, data.size() - 4);
+  BinaryReader footer(data.substr(data.size() - 4));
+  if (footer.ReadU32() != Crc32(body) || !footer.ok()) return false;
+  BinaryReader reader(body);
+  if (reader.ReadU32() != kBundleMagic || !reader.ok()) return false;
+  if (reader.ReadU32() != kBundleVersion || !reader.ok()) return false;
+  CheckpointBundle bundle;
+  bundle.id = reader.ReadI64();
+  bundle.fingerprint = reader.ReadString();
+  const std::uint64_t count = reader.ReadU64();
+  if (!reader.ok() || count > reader.remaining()) return false;
+  bundle.states.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    OperatorState state;
+    state.op = reader.ReadString();
+    state.subtask = reader.ReadI32();
+    state.bytes = reader.ReadString();
+    const std::uint32_t crc = reader.ReadU32();
+    if (!reader.ok() || crc != Crc32(state.bytes)) return false;
+    bundle.states.push_back(std::move(state));
+  }
+  if (!reader.AtEnd()) return false;
+  *out = std::move(bundle);
+  return true;
+}
+
+bool MemorySnapshotStore::Write(const CheckpointBundle& bundle) {
+  std::string encoded = EncodeBundle(bundle);
+  std::lock_guard<std::mutex> lock(mu_);
+  bundles_[bundle.id] = std::move(encoded);
+  return true;
+}
+
+std::optional<CheckpointBundle> MemorySnapshotStore::ReadLatest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = bundles_.rbegin(); it != bundles_.rend(); ++it) {
+    CheckpointBundle bundle;
+    if (DecodeBundle(it->second, &bundle)) return bundle;
+  }
+  return std::nullopt;
+}
+
+std::size_t MemorySnapshotStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bundles_.size();
+}
+
+FileSnapshotStore::FileSnapshotStore(std::string directory)
+    : directory_(std::move(directory)) {
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+}
+
+std::string FileSnapshotStore::CheckpointPath(std::int64_t id) const {
+  return (fs::path(directory_) /
+          ("checkpoint-" + std::to_string(id) + ".ckpt"))
+      .string();
+}
+
+namespace {
+
+/// Writes `data` to `path` atomically: a `.tmp` sibling is written,
+/// flushed, and renamed over the target, so readers see either the old
+/// file or the complete new one, never a torn write.
+bool AtomicWriteFile(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool FileSnapshotStore::Write(const CheckpointBundle& bundle) {
+  const std::string encoded = EncodeBundle(bundle);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!AtomicWriteFile(CheckpointPath(bundle.id), encoded)) return false;
+  // Rewrite the manifest with the new id included (ascending, one per
+  // line). The manifest is advisory - ReadLatest falls back to a
+  // directory scan - so a failed rewrite does not fail the checkpoint.
+  std::vector<std::int64_t> ids = CompletedIds();
+  if (std::find(ids.begin(), ids.end(), bundle.id) == ids.end()) {
+    ids.push_back(bundle.id);
+    std::sort(ids.begin(), ids.end());
+  }
+  std::ostringstream manifest;
+  for (const std::int64_t id : ids) manifest << id << '\n';
+  AtomicWriteFile((fs::path(directory_) / kManifestName).string(),
+                  manifest.str());
+  return true;
+}
+
+std::vector<std::int64_t> FileSnapshotStore::CompletedIds() const {
+  std::vector<std::int64_t> ids;
+  std::ifstream manifest(fs::path(directory_) / kManifestName);
+  if (manifest) {
+    std::int64_t id = 0;
+    while (manifest >> id) ids.push_back(id);
+  }
+  if (ids.empty()) {
+    // No (or empty/corrupt) manifest: scan for checkpoint-<id>.ckpt.
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+      const std::string name = entry.path().filename().string();
+      constexpr std::string_view kPrefix = "checkpoint-";
+      constexpr std::string_view kSuffix = ".ckpt";
+      if (name.size() <= kPrefix.size() + kSuffix.size()) continue;
+      if (name.compare(0, kPrefix.size(), kPrefix) != 0) continue;
+      if (name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                       kSuffix) != 0) {
+        continue;
+      }
+      const std::string digits = name.substr(
+          kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size());
+      if (digits.empty() ||
+          digits.find_first_not_of("0123456789") != std::string::npos) {
+        continue;
+      }
+      ids.push_back(std::stoll(digits));
+    }
+    std::sort(ids.begin(), ids.end());
+  }
+  return ids;
+}
+
+std::optional<CheckpointBundle> FileSnapshotStore::ReadLatest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::int64_t> ids = CompletedIds();
+  for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
+    std::ifstream in(CheckpointPath(*it), std::ios::binary);
+    if (!in) continue;
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    CheckpointBundle bundle;
+    if (DecodeBundle(contents.str(), &bundle)) return bundle;
+    // Corrupt or torn checkpoint: fall through to the next-newest id.
+  }
+  return std::nullopt;
+}
+
+}  // namespace comove::flow

@@ -6,22 +6,28 @@
 #include "common/types.h"
 
 /// \file
-/// Stream elements: either user data or a watermark punctuation. A
-/// watermark W(t) from producer p asserts that p has emitted everything
-/// with event time <= t. Consumers align watermarks across producers
-/// (minimum over inputs) before acting on them, mirroring Flink's
-/// event-time watermark propagation.
+/// Stream elements: user data, a watermark punctuation, or a checkpoint
+/// barrier. A watermark W(t) from producer p asserts that p has emitted
+/// everything with event time <= t. Consumers align watermarks across
+/// producers (minimum over inputs) before acting on them, mirroring
+/// Flink's event-time watermark propagation. A checkpoint barrier B(n)
+/// asserts that everything p emitted before it belongs to checkpoint n's
+/// pre-image; consumers align barriers across producers (BarrierAligner)
+/// before snapshotting their state - Flink's aligned asynchronous barrier
+/// snapshotting.
 
 namespace comove::flow {
 
-/// A data-or-watermark envelope flowing through channels.
+/// A data / watermark / checkpoint-barrier envelope flowing through
+/// channels.
 template <typename T>
 struct Element {
-  enum class Kind : std::uint8_t { kData, kWatermark };
+  enum class Kind : std::uint8_t { kData, kWatermark, kBarrier };
 
   Kind kind = Kind::kData;
   T data{};                       ///< valid when kind == kData
   Timestamp watermark = 0;        ///< valid when kind == kWatermark
+  std::int64_t checkpoint = 0;    ///< valid when kind == kBarrier
   std::int32_t producer = 0;      ///< producing subtask index
 
   static Element Data(T value, std::int32_t producer) {
@@ -40,8 +46,17 @@ struct Element {
     return e;
   }
 
+  static Element Barrier(std::int64_t checkpoint, std::int32_t producer) {
+    Element e;
+    e.kind = Kind::kBarrier;
+    e.checkpoint = checkpoint;
+    e.producer = producer;
+    return e;
+  }
+
   bool is_data() const { return kind == Kind::kData; }
   bool is_watermark() const { return kind == Kind::kWatermark; }
+  bool is_barrier() const { return kind == Kind::kBarrier; }
 };
 
 }  // namespace comove::flow

@@ -74,9 +74,23 @@ class Exchange {
     }
   }
 
+  /// Broadcasts checkpoint barrier `checkpoint` from `producer` to every
+  /// consumer. Everything this producer sent before the barrier belongs
+  /// to the checkpoint's pre-image on every channel (FIFO per producer).
+  void BroadcastBarrier(std::int32_t producer, std::int64_t checkpoint) {
+    for (auto& ch : channels_) {
+      ch->Push(Element<T>::Barrier(checkpoint, producer));
+    }
+  }
+
   /// Marks `producer` as finished on every consumer channel.
   void CloseProducer(std::int32_t /*producer*/) {
     for (auto& ch : channels_) ch->CloseProducer();
+  }
+
+  /// Cancels every consumer channel (crash teardown; see Channel::Cancel).
+  void Cancel() {
+    for (auto& ch : channels_) ch->Cancel();
   }
 
   /// The input channel of consumer subtask `consumer`.
@@ -138,6 +152,14 @@ class BatchingSender {
   void BroadcastWatermark(Timestamp t) {
     FlushAll();
     exchange_->BroadcastWatermark(producer_, t);
+  }
+
+  /// Flushes all pending data, then broadcasts checkpoint barrier
+  /// `checkpoint` - pending records precede the barrier on every channel,
+  /// so they stay inside the checkpoint's pre-image.
+  void BroadcastBarrier(std::int64_t checkpoint) {
+    FlushAll();
+    exchange_->BroadcastBarrier(producer_, checkpoint);
   }
 
   /// Ships every non-empty partition buffer now.

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/serde.h"
 #include "common/types.h"
 
 /// \file
@@ -51,6 +52,43 @@ class TimeReorderBuffer {
     std::size_t n = 0;
     for (const auto& [t, items] : buffer_) n += items.size();
     return n;
+  }
+
+  /// Serialises the buffered items; `write_item(writer, item)` encodes
+  /// each T (the buffer itself is item-type agnostic).
+  template <typename WriteItem>
+  void SaveState(BinaryWriter* writer, WriteItem&& write_item) const {
+    writer->WriteU64(buffer_.size());
+    for (const auto& [t, items] : buffer_) {
+      writer->WriteI64(t);
+      writer->WriteU64(items.size());
+      for (const T& item : items) write_item(writer, item);
+    }
+  }
+
+  /// Restores a SaveState image via `read_item(reader) -> T`; the reader's
+  /// ok() flag reports item-level corruption. Returns false - leaving the
+  /// buffer unchanged - on corrupt input; requires an empty buffer.
+  template <typename ReadItem>
+  [[nodiscard]] bool RestoreState(BinaryReader* reader,
+                                  ReadItem&& read_item) {
+    if (!buffer_.empty()) return false;
+    std::map<Timestamp, std::vector<T>> restored;
+    const std::uint64_t times = reader->ReadU64();
+    if (!reader->ok() || times > reader->remaining()) return false;
+    for (std::uint64_t i = 0; i < times; ++i) {
+      const auto t = static_cast<Timestamp>(reader->ReadI64());
+      const std::uint64_t count = reader->ReadU64();
+      if (!reader->ok() || count > reader->remaining()) return false;
+      std::vector<T>& items = restored[t];
+      items.reserve(static_cast<std::size_t>(count));
+      for (std::uint64_t j = 0; j < count; ++j) {
+        items.push_back(read_item(reader));
+        if (!reader->ok()) return false;
+      }
+    }
+    buffer_ = std::move(restored);
+    return true;
   }
 
  private:

@@ -174,6 +174,16 @@ struct StageStatsSnapshot {
   std::int64_t max_queue_depth = 0;
   double push_blocked_ms = 0.0;        ///< backpressure: slow consumer
   double pop_blocked_ms = 0.0;         ///< starvation: slow producer
+  /// Checkpoint health: barriers moved through this stage's queues, time
+  /// consumers spent holding back already-delivered inputs while waiting
+  /// for the slowest producer's barrier (alignment cost), state bytes the
+  /// stage contributed to completed checkpoints, and the id of the last
+  /// checkpoint this stage took part in (0 when checkpointing is off).
+  std::int64_t barriers_pushed = 0;
+  std::int64_t barriers_popped = 0;
+  double align_blocked_ms = 0.0;
+  std::int64_t snapshot_bytes = 0;
+  std::int64_t last_checkpoint_id = 0;
   /// Batch amortisation: every producer-side transfer counts as one batch
   /// (a plain Push is a batch of 1), so avg_batch_size is the number of
   /// elements moved per lock round-trip on this stage.
@@ -258,6 +268,40 @@ class StageStats {
     }
   }
 
+  /// Records `n` checkpoint barriers entering a queue (barriers occupy
+  /// queue slots like any element but are counted apart from data and
+  /// watermarks - they are control flow, not payload).
+  void OnBarriersPushed(std::int64_t n) {
+    if (n <= 0) return;
+    barriers_pushed_.fetch_add(n, std::memory_order_relaxed);
+    const std::int64_t depth =
+        depth_.fetch_add(n, std::memory_order_relaxed) + n;
+    internal::AtomicMaxI64(max_depth_, depth);
+  }
+
+  /// Records `n` checkpoint barriers leaving a queue.
+  void OnBarriersPopped(std::int64_t n) {
+    if (n <= 0) return;
+    barriers_popped_.fetch_add(n, std::memory_order_relaxed);
+    depth_.fetch_sub(n, std::memory_order_relaxed);
+  }
+
+  /// Time a consumer spent buffering inputs from already-aligned producers
+  /// while waiting for the slowest producer's barrier (the alignment cost
+  /// of the Chandy-Lamport cut).
+  void OnAlignBlocked(std::uint64_t blocked_ns) {
+    align_blocked_ns_.fetch_add(blocked_ns, std::memory_order_relaxed);
+  }
+
+  /// Records `bytes` of operator state contributed to checkpoint
+  /// `checkpoint_id` (which becomes last_checkpoint_id if newer).
+  void OnSnapshot(std::int64_t bytes, std::int64_t checkpoint_id) {
+    if (bytes > 0) {
+      snapshot_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    }
+    internal::AtomicMaxI64(last_checkpoint_id_, checkpoint_id);
+  }
+
   /// Records one completed producer-side transfer of `size` elements into
   /// the batch-size histogram (a plain Push reports size 1). The histogram
   /// is the amortisation evidence: lock round-trips = batches_pushed while
@@ -296,6 +340,15 @@ class StageStats {
         static_cast<double>(
             pop_blocked_ns_.load(std::memory_order_relaxed)) /
         1e6;
+    s.barriers_pushed = barriers_pushed_.load(std::memory_order_relaxed);
+    s.barriers_popped = barriers_popped_.load(std::memory_order_relaxed);
+    s.align_blocked_ms =
+        static_cast<double>(
+            align_blocked_ns_.load(std::memory_order_relaxed)) /
+        1e6;
+    s.snapshot_bytes = snapshot_bytes_.load(std::memory_order_relaxed);
+    s.last_checkpoint_id =
+        last_checkpoint_id_.load(std::memory_order_relaxed);
     s.batches_pushed = batches_pushed_.load(std::memory_order_relaxed);
     for (std::size_t i = 0; i < kBatchSizeBuckets; ++i) {
       s.batch_size_histogram[i] =
@@ -320,6 +373,11 @@ class StageStats {
   std::atomic<std::int64_t> max_depth_{0};
   std::atomic<std::uint64_t> push_blocked_ns_{0};
   std::atomic<std::uint64_t> pop_blocked_ns_{0};
+  std::atomic<std::int64_t> barriers_pushed_{0};
+  std::atomic<std::int64_t> barriers_popped_{0};
+  std::atomic<std::uint64_t> align_blocked_ns_{0};
+  std::atomic<std::int64_t> snapshot_bytes_{0};
+  std::atomic<std::int64_t> last_checkpoint_id_{0};
   std::atomic<std::int64_t> batches_pushed_{0};
   std::array<std::atomic<std::uint64_t>, kBatchSizeBuckets> batch_hist_{};
 };
@@ -356,7 +414,11 @@ class StageStatsRegistry {
 /// throttled by a slow consumer downstream (backpressure); high
 /// pop_blocked_ms means its consumers starve waiting for the producer.
 /// `batches` counts producer-side lock round-trips and `avg_batch` the
-/// elements each one moved - the batching amortisation at a glance.
+/// elements each one moved - the batching amortisation at a glance. The
+/// checkpoint columns (`barriers`, `align_blk_ms`, `snap_bytes`,
+/// `last_ckpt`) show the barrier traffic, the alignment cost of the
+/// consistent cut, and the state volume each stage contributes; all zero
+/// when checkpointing is off.
 inline void PrintStageStats(const std::vector<StageStatsSnapshot>& stages,
                             std::ostream& out) {
   out << std::left << std::setw(24) << "stage" << std::right
@@ -365,6 +427,8 @@ inline void PrintStageStats(const std::vector<StageStatsSnapshot>& stages,
       << std::setw(7) << "depth" << std::setw(10) << "max_depth"
       << std::setw(14) << "push_blk_ms" << std::setw(14) << "pop_blk_ms"
       << std::setw(10) << "batches" << std::setw(10) << "avg_batch"
+      << std::setw(10) << "barriers" << std::setw(13) << "align_blk_ms"
+      << std::setw(11) << "snap_bytes" << std::setw(10) << "last_ckpt"
       << '\n';
   for (const StageStatsSnapshot& s : stages) {
     out << std::left << std::setw(24) << s.stage << std::right
@@ -375,7 +439,11 @@ inline void PrintStageStats(const std::vector<StageStatsSnapshot>& stages,
         << std::setw(14) << std::fixed << std::setprecision(2)
         << s.push_blocked_ms << std::setw(14) << s.pop_blocked_ms
         << std::setw(10) << s.batches_pushed << std::setw(10)
-        << std::setprecision(1) << s.avg_batch_size << '\n';
+        << std::setprecision(1) << s.avg_batch_size
+        << std::setw(10) << s.barriers_popped
+        << std::setw(13) << std::setprecision(2) << s.align_blocked_ms
+        << std::setw(11) << s.snapshot_bytes
+        << std::setw(10) << s.last_checkpoint_id << '\n';
     out.unsetf(std::ios_base::floatfield);
   }
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/serde.h"
 #include "common/types.h"
 
 /// \file
@@ -46,6 +47,23 @@ class WatermarkAligner {
   /// Current aligned watermark (min over producers); Timestamp::min until
   /// every producer has reported at least once.
   Timestamp aligned() const { return aligned_; }
+
+  /// Serialises the per-producer marks and the aligned watermark.
+  void SaveState(BinaryWriter* writer) const {
+    writer->WriteIntVector(marks_);
+    writer->WriteI64(aligned_);
+  }
+
+  /// Restores a SaveState image. Returns false - leaving this aligner
+  /// unchanged - on corrupt input or a producer-count mismatch.
+  [[nodiscard]] bool RestoreState(BinaryReader* reader) {
+    auto marks = reader->ReadIntVector<Timestamp>();
+    const auto aligned = static_cast<Timestamp>(reader->ReadI64());
+    if (!reader->ok() || marks.size() != marks_.size()) return false;
+    marks_ = std::move(marks);
+    aligned_ = aligned;
+    return true;
+  }
 
  private:
   std::vector<Timestamp> marks_;

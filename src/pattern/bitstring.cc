@@ -167,6 +167,10 @@ bool BitString::Deserialize(BinaryReader* reader) {
       word_count != WordCount(length)) {
     return false;
   }
+  // A corrupt but self-consistent (length, word_count) pair could demand
+  // gigabytes; each word is 8 wire bytes, so the count is bounded by the
+  // bytes actually present.
+  if (word_count > reader->remaining() / 8) return false;
   std::vector<std::uint64_t> words;
   words.reserve(word_count);
   for (std::uint64_t i = 0; i < word_count; ++i) {

@@ -60,6 +60,14 @@ class PatternCollector {
     return out;
   }
 
+  /// In-place view of the deduplicated patterns, ordered by object set —
+  /// for callers (checkpoint serialisation) that must not pay Patterns()'s
+  /// deep copy.
+  const std::map<std::vector<TrajectoryId>, CoMovementPattern>& entries()
+      const {
+    return patterns_;
+  }
+
   std::size_t size() const { return patterns_.size(); }
 
  private:

@@ -64,6 +64,10 @@ void StreamingEnumerator::SaveState(BinaryWriter* writer) const {
 }
 
 bool StreamingEnumerator::RestoreState(BinaryReader* reader) {
+  // Restoring over already-processed ticks would silently merge two
+  // incompatible histories; only a freshly-constructed enumerator may
+  // load a checkpoint.
+  if (next_time_ != kNoTime || finished_) return false;
   if (reader->ReadU32() != kCheckpointMagic) return false;
   const PatternConstraints saved{reader->ReadI32(), reader->ReadI32(),
                                  reader->ReadI32(), reader->ReadI32()};

@@ -1,0 +1,339 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/crc32.h"
+#include "core/recovery.h"
+#include "flow/checkpoint/barrier_aligner.h"
+#include "flow/checkpoint/coordinator.h"
+#include "flow/checkpoint/snapshot_store.h"
+#include "flow/element.h"
+
+namespace comove {
+namespace {
+
+using flow::BarrierAligner;
+using flow::CheckpointBundle;
+using flow::CheckpointCoordinator;
+using flow::DecodeBundle;
+using flow::Element;
+using flow::EncodeBundle;
+using flow::FileSnapshotStore;
+using flow::MemorySnapshotStore;
+using flow::OperatorState;
+
+// ---------------------------------------------------------------------------
+// BarrierAligner
+
+struct Seen {
+  std::vector<int> data;
+  std::vector<std::int64_t> checkpoints;
+};
+
+void Feed(BarrierAligner<int>& aligner, Seen& seen, Element<int> element) {
+  aligner.OnElement(
+      std::move(element),
+      [&](Element<int>&& e) {
+        if (e.is_data()) seen.data.push_back(e.data);
+      },
+      [&](std::int64_t id) {
+        seen.checkpoints.push_back(id);
+        return true;
+      });
+}
+
+TEST(BarrierAligner, PassThroughWithoutBarriers) {
+  BarrierAligner<int> aligner(2);
+  Seen seen;
+  Feed(aligner, seen, Element<int>::Data(1, 0));
+  Feed(aligner, seen, Element<int>::Data(2, 1));
+  EXPECT_EQ(seen.data, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(seen.checkpoints.empty());
+  EXPECT_FALSE(aligner.aligning());
+}
+
+TEST(BarrierAligner, HoldsFastProducerUntilSlowBarrier) {
+  BarrierAligner<int> aligner(2);
+  Seen seen;
+  Feed(aligner, seen, Element<int>::Barrier(1, 0));  // producer 0 at cut
+  EXPECT_TRUE(aligner.aligning());
+  // Producer 0 races ahead: its data must be held.
+  Feed(aligner, seen, Element<int>::Data(10, 0));
+  Feed(aligner, seen, Element<int>::Data(11, 0));
+  EXPECT_EQ(aligner.held(), 2u);
+  EXPECT_TRUE(seen.data.empty());
+  // Producer 1's pre-barrier data still flows.
+  Feed(aligner, seen, Element<int>::Data(5, 1));
+  EXPECT_EQ(seen.data, (std::vector<int>{5}));
+  // Producer 1's barrier completes the round; the checkpoint fires
+  // before the held elements replay.
+  Feed(aligner, seen, Element<int>::Barrier(1, 1));
+  EXPECT_FALSE(aligner.aligning());
+  EXPECT_EQ(seen.checkpoints, (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(seen.data, (std::vector<int>{5, 10, 11}));
+  EXPECT_EQ(aligner.last_completed(), 1);
+}
+
+TEST(BarrierAligner, ConsecutiveRoundsAndHeldNextBarrier) {
+  BarrierAligner<int> aligner(2);
+  Seen seen;
+  Feed(aligner, seen, Element<int>::Barrier(1, 0));
+  // Producer 0 delivers its NEXT barrier while round 1 is still open;
+  // it must be held and then open round 2 after the replay.
+  Feed(aligner, seen, Element<int>::Data(10, 0));
+  Feed(aligner, seen, Element<int>::Barrier(2, 0));
+  Feed(aligner, seen, Element<int>::Barrier(1, 1));
+  EXPECT_EQ(seen.checkpoints, (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(seen.data, (std::vector<int>{10}));
+  EXPECT_TRUE(aligner.aligning());  // round 2 opened by the replay
+  Feed(aligner, seen, Element<int>::Data(20, 1));
+  Feed(aligner, seen, Element<int>::Barrier(2, 1));
+  EXPECT_EQ(seen.checkpoints, (std::vector<std::int64_t>{1, 2}));
+  EXPECT_EQ(seen.data, (std::vector<int>{10, 20}));
+  EXPECT_EQ(aligner.last_completed(), 2);
+}
+
+TEST(BarrierAligner, SingleProducerCompletesImmediately) {
+  BarrierAligner<int> aligner(1);
+  Seen seen;
+  Feed(aligner, seen, Element<int>::Data(1, 0));
+  Feed(aligner, seen, Element<int>::Barrier(1, 0));
+  Feed(aligner, seen, Element<int>::Data(2, 0));
+  EXPECT_EQ(seen.checkpoints, (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(seen.data, (std::vector<int>{1, 2}));
+}
+
+TEST(BarrierAligner, CrashCallbackStopsDraining) {
+  BarrierAligner<int> aligner(2);
+  std::vector<int> data;
+  auto sink = [&](Element<int>&& e) {
+    if (e.is_data()) data.push_back(e.data);
+  };
+  auto crash = [&](std::int64_t) { return false; };
+  aligner.OnElement(Element<int>::Barrier(1, 0), sink, crash);
+  aligner.OnElement(Element<int>::Data(10, 0), sink, crash);
+  // Round completes -> callback returns false -> held data NOT replayed.
+  aligner.OnElement(Element<int>::Barrier(1, 1), sink, crash);
+  EXPECT_TRUE(data.empty());
+  EXPECT_EQ(aligner.held(), 1u);
+}
+
+TEST(BarrierAligner, RecoverySeedContinuesIdSequence) {
+  BarrierAligner<int> aligner(1, /*last_completed=*/7);
+  Seen seen;
+  Feed(aligner, seen, Element<int>::Barrier(8, 0));
+  EXPECT_EQ(seen.checkpoints, (std::vector<std::int64_t>{8}));
+}
+
+// ---------------------------------------------------------------------------
+// Bundle wire format
+
+CheckpointBundle SampleBundle() {
+  CheckpointBundle bundle;
+  bundle.id = 42;
+  bundle.fingerprint = "records=10;p=2";
+  bundle.states.push_back(OperatorState{"source", 0, "offset"});
+  bundle.states.push_back(OperatorState{"enumerate", 1, std::string("\0\x7F", 2)});
+  bundle.states.push_back(OperatorState{"cluster", 0, ""});
+  return bundle;
+}
+
+TEST(CheckpointBundle, EncodeDecodeRoundTrip) {
+  const CheckpointBundle bundle = SampleBundle();
+  CheckpointBundle decoded;
+  ASSERT_TRUE(DecodeBundle(EncodeBundle(bundle), &decoded));
+  EXPECT_EQ(decoded.id, 42);
+  EXPECT_EQ(decoded.fingerprint, "records=10;p=2");
+  ASSERT_EQ(decoded.states.size(), 3u);
+  ASSERT_NE(decoded.Find("enumerate", 1), nullptr);
+  EXPECT_EQ(*decoded.Find("enumerate", 1), std::string("\0\x7F", 2));
+  EXPECT_EQ(decoded.Find("enumerate", 2), nullptr);
+  EXPECT_EQ(decoded.Find("nope", 0), nullptr);
+}
+
+TEST(CheckpointBundle, EveryTruncationRejected) {
+  const std::string encoded = EncodeBundle(SampleBundle());
+  for (std::size_t len = 0; len < encoded.size(); ++len) {
+    CheckpointBundle decoded;
+    EXPECT_FALSE(
+        DecodeBundle(std::string_view(encoded).substr(0, len), &decoded))
+        << "truncation to " << len << " bytes decoded";
+  }
+}
+
+TEST(CheckpointBundle, EveryBitFlipRejected) {
+  const std::string encoded = EncodeBundle(SampleBundle());
+  // The envelope CRC makes ANY single-bit corruption detectable.
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string garbled = encoded;
+      garbled[i] = static_cast<char>(garbled[i] ^ (1 << bit));
+      CheckpointBundle decoded;
+      EXPECT_FALSE(DecodeBundle(garbled, &decoded))
+          << "bit " << bit << " of byte " << i << " flipped undetected";
+    }
+  }
+}
+
+TEST(Crc32, KnownVector) {
+  // The standard zlib test vector.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Stores
+
+TEST(MemorySnapshotStore, WriteAndReadLatest) {
+  MemorySnapshotStore store;
+  EXPECT_FALSE(store.ReadLatest().has_value());
+  CheckpointBundle bundle = SampleBundle();
+  bundle.id = 1;
+  ASSERT_TRUE(store.Write(bundle));
+  bundle.id = 3;
+  ASSERT_TRUE(store.Write(bundle));
+  bundle.id = 2;
+  ASSERT_TRUE(store.Write(bundle));
+  const auto latest = store.ReadLatest();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->id, 3);
+  EXPECT_EQ(store.size(), 3u);
+}
+
+class FileStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("comove_ckpt_test_" +
+             std::to_string(::testing::UnitTest::GetInstance()
+                                ->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name()))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(FileStoreTest, WriteAndReadLatest) {
+  FileSnapshotStore store(dir_);
+  CheckpointBundle bundle = SampleBundle();
+  bundle.id = 1;
+  ASSERT_TRUE(store.Write(bundle));
+  bundle.id = 2;
+  ASSERT_TRUE(store.Write(bundle));
+  // A fresh store instance over the same directory sees the data.
+  FileSnapshotStore reopened(dir_);
+  const auto latest = reopened.ReadLatest();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->id, 2);
+  // No stray .tmp files remain after publication.
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    EXPECT_NE(entry.path().extension(), ".tmp");
+  }
+}
+
+TEST_F(FileStoreTest, CorruptNewestFallsBackToOlder) {
+  FileSnapshotStore store(dir_);
+  CheckpointBundle bundle = SampleBundle();
+  bundle.id = 1;
+  ASSERT_TRUE(store.Write(bundle));
+  bundle.id = 2;
+  ASSERT_TRUE(store.Write(bundle));
+  {
+    // Simulate a torn write of checkpoint 2 (rot after publication).
+    std::fstream f(std::filesystem::path(dir_) / "checkpoint-2.ckpt",
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(4);
+    f.put('\xFF');
+  }
+  const auto latest = store.ReadLatest();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->id, 1);
+}
+
+TEST_F(FileStoreTest, MissingManifestScansDirectory) {
+  FileSnapshotStore store(dir_);
+  CheckpointBundle bundle = SampleBundle();
+  bundle.id = 5;
+  ASSERT_TRUE(store.Write(bundle));
+  std::filesystem::remove(std::filesystem::path(dir_) / "MANIFEST");
+  FileSnapshotStore reopened(dir_);
+  const auto latest = reopened.ReadLatest();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->id, 5);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator
+
+TEST(CheckpointCoordinator, PersistsWhenAllAcksArrive) {
+  MemorySnapshotStore store;
+  CheckpointCoordinator coordinator(3, &store, "fp");
+  coordinator.Ack(1, "a", 0, "x");
+  coordinator.Ack(1, "b", 0, "y");
+  EXPECT_EQ(coordinator.last_completed(), 0);
+  EXPECT_FALSE(store.ReadLatest().has_value());
+  coordinator.Ack(1, "c", 0, "z");
+  EXPECT_EQ(coordinator.last_completed(), 1);
+  EXPECT_EQ(coordinator.completed_count(), 1);
+  const auto latest = store.ReadLatest();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->fingerprint, "fp");
+  ASSERT_NE(latest->Find("b", 0), nullptr);
+  EXPECT_EQ(*latest->Find("b", 0), "y");
+}
+
+TEST(CheckpointCoordinator, InterleavedCheckpointsComplete) {
+  MemorySnapshotStore store;
+  CheckpointCoordinator coordinator(2, &store, "fp");
+  coordinator.Ack(1, "a", 0, "");
+  coordinator.Ack(2, "a", 0, "");  // a races ahead to checkpoint 2
+  coordinator.Ack(1, "b", 0, "");
+  EXPECT_EQ(coordinator.last_completed(), 1);
+  coordinator.Ack(2, "b", 0, "");
+  EXPECT_EQ(coordinator.last_completed(), 2);
+  EXPECT_EQ(coordinator.completed_count(), 2);
+}
+
+TEST(CheckpointCoordinator, FailedWriteCountsAsAborted) {
+  MemorySnapshotStore inner;
+  core::FailingSnapshotStore failing(&inner, /*fail_write_number=*/1);
+  CheckpointCoordinator coordinator(1, &failing, "fp");
+  coordinator.Ack(1, "a", 0, "");
+  EXPECT_EQ(coordinator.last_completed(), 0);
+  EXPECT_EQ(coordinator.failed_count(), 1);
+  // The next checkpoint goes through; the pipeline survived the failure.
+  coordinator.Ack(2, "a", 0, "");
+  EXPECT_EQ(coordinator.last_completed(), 2);
+  EXPECT_EQ(coordinator.completed_count(), 1);
+  ASSERT_TRUE(inner.ReadLatest().has_value());
+  EXPECT_EQ(inner.ReadLatest()->id, 2);
+}
+
+TEST(FaultInjector, FiresExactlyOnce) {
+  core::FaultInjector injector(
+      core::FaultSpec{"cluster", 1, /*at_checkpoint=*/3});
+  EXPECT_FALSE(injector.ShouldCrash("cluster", 1, 2));
+  EXPECT_FALSE(injector.ShouldCrash("cluster", 0, 3));
+  EXPECT_FALSE(injector.ShouldCrash("enumerate", 1, 3));
+  EXPECT_TRUE(injector.ShouldCrash("cluster", 1, 3));
+  EXPECT_FALSE(injector.ShouldCrash("cluster", 1, 3));
+  EXPECT_TRUE(injector.fired());
+}
+
+TEST(FaultInjector, EmptySpecNeverFires) {
+  core::FaultInjector injector(core::FaultSpec{});
+  EXPECT_FALSE(injector.ShouldCrash("cluster", 0, 0));
+  EXPECT_FALSE(injector.fired());
+}
+
+}  // namespace
+}  // namespace comove

@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "common/serde.h"
 #include "flow/snapshot_assembler.h"
+#include "flow/watermark_aligner.h"
 #include "pattern/baseline_enumerator.h"
 #include "pattern/fixed_bit_enumerator.h"
 #include "pattern/variable_bit_enumerator.h"
@@ -258,6 +259,187 @@ TEST(Checkpoint, AssemblerFailoverEquivalence) {
   const auto fin_a = original.Finish();
   const auto fin_b = restored.Finish();
   ASSERT_EQ(fin_a.size(), fin_b.size());
+}
+
+// ---------------------------------------------------------------------------
+// Save/restore parity: a checkpoint image is a FULL state replacement, so
+// restoring into an instance that has already processed input must be
+// rejected - silently merging checkpoint state over live state would
+// corrupt both.
+
+template <typename Enumerator>
+void CheckNonFreshRestoreRejected() {
+  const PatternConstraints c{2, 4, 2, 2};
+  PatternCollector collector;
+  Enumerator source(c, collector.AsSink());
+  std::string checkpoint;
+  BinaryWriter writer(&checkpoint);
+  source.SaveState(&writer);
+
+  Enumerator dirty(c, collector.AsSink());
+  ClusterSnapshot snap;
+  snap.time = 0;
+  snap.clusters.push_back(Cluster{0, {1, 2}});
+  dirty.OnClusterSnapshot(snap);
+  BinaryReader reader(checkpoint);
+  EXPECT_FALSE(dirty.RestoreState(&reader))
+      << "restore into a non-fresh enumerator must be rejected";
+
+  // A fresh instance accepts the same image.
+  Enumerator fresh(c, collector.AsSink());
+  BinaryReader fresh_reader(checkpoint);
+  EXPECT_TRUE(fresh.RestoreState(&fresh_reader));
+}
+
+TEST(Checkpoint, BaselineNonFreshRestoreRejected) {
+  CheckNonFreshRestoreRejected<BaselineEnumerator>();
+}
+
+TEST(Checkpoint, FixedBitNonFreshRestoreRejected) {
+  CheckNonFreshRestoreRejected<FixedBitEnumerator>();
+}
+
+TEST(Checkpoint, VariableBitNonFreshRestoreRejected) {
+  CheckNonFreshRestoreRejected<VariableBitEnumerator>();
+}
+
+TEST(Checkpoint, FinishedEnumeratorRestoreRejected) {
+  const PatternConstraints c{2, 4, 2, 2};
+  PatternCollector collector;
+  FixedBitEnumerator source(c, collector.AsSink());
+  std::string checkpoint;
+  BinaryWriter writer(&checkpoint);
+  source.SaveState(&writer);
+  FixedBitEnumerator finished(c, collector.AsSink());
+  finished.Finish();
+  BinaryReader reader(checkpoint);
+  EXPECT_FALSE(finished.RestoreState(&reader));
+}
+
+// ---------------------------------------------------------------------------
+// Corruption hardening: for EVERY stateful operator, a truncated
+// checkpoint image (any strict prefix) must be rejected, and a bit-flipped
+// image must never crash the restore path - it either fails cleanly or
+// yields a structurally valid state. `restore(view)` builds a fresh
+// instance and attempts the restore.
+
+template <typename Restore>
+void CheckEveryTruncationRejected(const std::string& buffer,
+                                  Restore&& restore) {
+  for (std::size_t len = 0; len < buffer.size(); ++len) {
+    EXPECT_FALSE(restore(std::string_view(buffer).substr(0, len)))
+        << "truncation to " << len << " of " << buffer.size()
+        << " bytes restored";
+  }
+}
+
+template <typename Restore>
+void CheckBitFlipsSurvived(const std::string& buffer, Restore&& restore,
+                           std::size_t guarded_prefix) {
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string garbled = buffer;
+      garbled[i] = static_cast<char>(garbled[i] ^ (1 << bit));
+      const bool restored = restore(garbled);  // must not crash
+      if (i < guarded_prefix) {
+        // Flips inside the magic/header bytes are always detected.
+        EXPECT_FALSE(restored)
+            << "bit " << bit << " of header byte " << i << " undetected";
+      }
+    }
+  }
+}
+
+template <typename Enumerator>
+void CheckEnumeratorCorruptionHardened(std::uint64_t seed) {
+  const PatternConstraints c{3, 5, 2, 2};
+  Rng rng(seed);
+  PatternCollector collector;
+  Enumerator source(c, collector.AsSink());
+  for (Timestamp t = 0; t < 23; ++t) {
+    source.OnClusterSnapshot(RandomSnap(&rng, t, 12));
+  }
+  std::string checkpoint;
+  BinaryWriter writer(&checkpoint);
+  source.SaveState(&writer);
+
+  auto restore = [&c](std::string_view data) {
+    PatternCollector sink;
+    Enumerator fresh(c, sink.AsSink());
+    BinaryReader reader(data);
+    return fresh.RestoreState(&reader);
+  };
+  CheckEveryTruncationRejected(checkpoint, restore);
+  CheckBitFlipsSurvived(checkpoint, restore, /*guarded_prefix=*/4);
+}
+
+TEST(Checkpoint, BaselineCorruptionHardened) {
+  CheckEnumeratorCorruptionHardened<BaselineEnumerator>(81);
+}
+
+TEST(Checkpoint, FixedBitCorruptionHardened) {
+  CheckEnumeratorCorruptionHardened<FixedBitEnumerator>(82);
+}
+
+TEST(Checkpoint, VariableBitCorruptionHardened) {
+  CheckEnumeratorCorruptionHardened<VariableBitEnumerator>(83);
+}
+
+TEST(Checkpoint, AssemblerCorruptionHardened) {
+  Rng rng(94);
+  flow::SnapshotAssembler source;
+  std::vector<Timestamp> lasts(5, kNoTime);
+  for (int step = 0; step < 40; ++step) {
+    const auto id = static_cast<TrajectoryId>(rng.UniformInt(0, 4));
+    const Timestamp t = lasts[static_cast<std::size_t>(id)] +
+                        static_cast<Timestamp>(rng.UniformInt(1, 3));
+    source.OnRecord(GpsRecord{id, Point{rng.Uniform(0, 10), 0}, t,
+                              lasts[static_cast<std::size_t>(id)]});
+    lasts[static_cast<std::size_t>(id)] = t;
+  }
+  std::string checkpoint;
+  BinaryWriter writer(&checkpoint);
+  source.SaveState(&writer);
+
+  auto restore = [](std::string_view data) {
+    flow::SnapshotAssembler fresh;
+    BinaryReader reader(data);
+    return fresh.RestoreState(&reader);
+  };
+  CheckEveryTruncationRejected(checkpoint, restore);
+  CheckBitFlipsSurvived(checkpoint, restore, /*guarded_prefix=*/0);
+}
+
+TEST(Checkpoint, WatermarkAlignerRoundTripAndCorruption) {
+  flow::WatermarkAligner source(3);
+  source.Update(0, 5);
+  source.Update(1, 9);
+  source.Update(2, 4);
+  std::string state;
+  BinaryWriter writer(&state);
+  source.SaveState(&writer);
+
+  flow::WatermarkAligner restored(3);
+  BinaryReader reader(state);
+  ASSERT_TRUE(restored.RestoreState(&reader));
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(restored.aligned(), source.aligned());
+  // The restored aligner keeps advancing identically.
+  EXPECT_EQ(restored.Update(2, 6), source.Update(2, 6));
+
+  // A producer-count mismatch is a topology change: rejected, unchanged.
+  flow::WatermarkAligner narrow(2);
+  BinaryReader narrow_reader(state);
+  EXPECT_FALSE(narrow.RestoreState(&narrow_reader));
+  EXPECT_EQ(narrow.aligned(), std::numeric_limits<Timestamp>::min());
+
+  auto restore = [](std::string_view data) {
+    flow::WatermarkAligner fresh(3);
+    BinaryReader r(data);
+    return fresh.RestoreState(&r);
+  };
+  CheckEveryTruncationRejected(state, restore);
+  CheckBitFlipsSurvived(state, restore, /*guarded_prefix=*/0);
 }
 
 }  // namespace

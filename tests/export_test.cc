@@ -47,10 +47,17 @@ TEST(JsonExport, ResultIncludesMetrics) {
   result.snapshots.p99_latency_ms = 4.25;
   result.snapshots.throughput_tps = 123.0;
   result.patterns.push_back(P({1, 2}, {3, 4}));
+  result.last_checkpoint_id = 7;
+  result.checkpoints_completed = 7;
   std::ostringstream out;
   apps::WriteResultJson(result, out);
   const std::string json = out.str();
+  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"snapshots\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"crashed\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"last_checkpoint_id\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"checkpoints_completed\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"checkpoints_failed\": 0"), std::string::npos);
   EXPECT_NE(json.find("\"throughput_tps\": 123"), std::string::npos);
   EXPECT_NE(json.find("\"p99_latency_ms\": 4.25"), std::string::npos);
   EXPECT_NE(json.find("\"objects\":[1,2]"), std::string::npos);
@@ -66,6 +73,11 @@ TEST(JsonExport, ResultIncludesStageStatsWhenCollected) {
   stage.records_popped = 14;
   stage.max_queue_depth = 3;
   stage.push_blocked_ms = 1.5;
+  stage.barriers_pushed = 13;
+  stage.barriers_popped = 13;
+  stage.align_blocked_ms = 0.25;
+  stage.snapshot_bytes = 4096;
+  stage.last_checkpoint_id = 13;
   result.stage_stats.push_back(stage);
   std::ostringstream out;
   apps::WriteResultJson(result, out);
@@ -75,6 +87,10 @@ TEST(JsonExport, ResultIncludesStageStatsWhenCollected) {
             std::string::npos);
   EXPECT_NE(json.find("\"max_queue_depth\": 3"), std::string::npos);
   EXPECT_NE(json.find("\"push_blocked_ms\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"barriers_pushed\": 13"), std::string::npos);
+  EXPECT_NE(json.find("\"align_blocked_ms\": 0.25"), std::string::npos);
+  EXPECT_NE(json.find("\"snapshot_bytes\": 4096"), std::string::npos);
+  EXPECT_NE(json.find("\"last_checkpoint_id\": 13"), std::string::npos);
   int depth = 0;
   for (const char c : json) {
     if (c == '[' || c == '{') ++depth;
