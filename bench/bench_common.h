@@ -79,13 +79,28 @@ inline bool& StatsEnabled() {
   return enabled;
 }
 
-/// Bench entry point: consumes our own flags (currently `--stats`) before
-/// handing argv to Google Benchmark, which rejects flags it doesn't know.
+/// Process-wide trace switch, set by the `--trace` flag. When non-empty,
+/// every DefaultOptions-based run records per-stage spans and the LAST run
+/// to finish wins the file (benchmarks iterate; each run overwrites it).
+inline std::string& TracePath() {
+  static std::string path;
+  return path;
+}
+
+/// Bench entry point: consumes our own flags (`--stats`, `--trace [PATH]`)
+/// before handing argv to Google Benchmark, which rejects flags it doesn't
+/// know. `--trace` without a PATH (or followed by another flag) defaults to
+/// bench_trace.json in the working directory.
 inline void InitBench(int& argc, char** argv) {
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--stats") {
       StatsEnabled() = true;
+      continue;
+    }
+    if (std::string_view(argv[i]) == "--trace") {
+      TracePath() = "bench_trace.json";
+      if (i + 1 < argc && argv[i + 1][0] != '-') TracePath() = argv[++i];
       continue;
     }
     argv[kept++] = argv[i];
@@ -104,6 +119,7 @@ inline core::IcpeOptions DefaultOptions(const trajgen::Dataset& dataset) {
   options.constraints = kDefaultConstraints;
   options.parallelism = kDefaultParallelism;
   options.collect_stats = StatsEnabled();
+  options.trace_path = TracePath();
   return options;
 }
 

@@ -7,13 +7,19 @@
 ///                      [--enumerator fba|vba|ba] [--parallelism N]
 ///                      [--json out.json] [--svg out.svg] [--maximal] [--stats]
 ///                      [--checkpoint-dir DIR] [--checkpoint-interval N]
-///                      [--recover]
+///                      [--recover] [--trace out.json]
+///                      [--sample-interval MS] [--timeseries out.csv]
 ///       Run the ICPE pipeline over a CSV stream; print a summary and
 ///       optionally export JSON results and an SVG rendering. With
 ///       --checkpoint-dir the run snapshots its state to DIR every N
 ///       snapshot-times (aligned barriers, default 100); --recover resumes
 ///       from the newest intact checkpoint in DIR after a crash and
-///       produces output identical to an uninterrupted run.
+///       produces output identical to an uninterrupted run. --trace writes
+///       per-stage spans as Chrome trace_event JSON (load in
+///       chrome://tracing or https://ui.perfetto.dev) and prints the
+///       worst-snapshot stage breakdown; --sample-interval runs a
+///       background metrics sampler at the given cadence,
+///       --timeseries writes its samples as tidy CSV.
 ///
 ///   comove_tool compress <in.csv> <tolerance> <out.csv>
 ///       Pattern-based compression round trip: detect patterns, compress,
@@ -53,6 +59,8 @@ int Usage() {
       "               [--json out.json] [--svg out.svg] [--maximal] [--stats]\n"
       "               [--checkpoint-dir DIR] [--checkpoint-interval N] "
       "[--recover]\n"
+      "               [--trace out.json] [--sample-interval MS] "
+      "[--timeseries out.csv]\n"
       "  comove_tool compress <in.csv> <tolerance> <out.csv>\n");
   return 2;
 }
@@ -113,6 +121,7 @@ int RunDetect(int argc, char** argv) {
   std::string json_path;
   std::string svg_path;
   std::string checkpoint_dir;
+  std::string timeseries_path;
   std::int64_t checkpoint_interval = 100;
   bool recover = false;
   bool maximal_only = false;
@@ -161,6 +170,12 @@ int RunDetect(int argc, char** argv) {
       maximal_only = true;
     } else if (!std::strcmp(argv[i], "--stats")) {
       options.collect_stats = true;
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      if (const char* v = next()) options.trace_path = v;
+    } else if (!std::strcmp(argv[i], "--sample-interval")) {
+      if (const char* v = next()) options.sample_interval_ms = std::atoll(v);
+    } else if (!std::strcmp(argv[i], "--timeseries")) {
+      if (const char* v = next()) timeseries_path = v;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
@@ -173,6 +188,14 @@ int RunDetect(int argc, char** argv) {
   if (checkpoint_interval <= 0) {
     std::fprintf(stderr, "--checkpoint-interval must be positive\n");
     return 2;
+  }
+  if (options.sample_interval_ms < 0) {
+    std::fprintf(stderr, "--sample-interval must be non-negative\n");
+    return 2;
+  }
+  // A time-series file needs a sampler; pick a sane default cadence.
+  if (!timeseries_path.empty() && options.sample_interval_ms == 0) {
+    options.sample_interval_ms = 100;
   }
   std::unique_ptr<flow::FileSnapshotStore> store;
   if (!checkpoint_dir.empty()) {
@@ -210,6 +233,33 @@ int RunDetect(int argc, char** argv) {
     flow::PrintStageStats(result.stage_stats, std::cout);
     std::printf("\n[batch size histogram]  (elements per transfer: count)\n");
     flow::PrintBatchHistogram(result.stage_stats, std::cout);
+  }
+  if (!result.worst_snapshots.empty()) {
+    std::printf("\n[worst snapshots]  (per-stage span time, ms)\n");
+    flow::PrintSnapshotBreakdown(result.worst_snapshots, std::cout);
+  }
+  if (result.trace_events > 0) {
+    std::printf("trace: %lld events recorded, %lld dropped",
+                static_cast<long long>(result.trace_events),
+                static_cast<long long>(result.trace_dropped));
+    if (!options.trace_path.empty()) {
+      std::printf(" -> %s", options.trace_path.c_str());
+    }
+    std::printf("\n");
+  }
+  if (!result.time_series.empty()) {
+    std::printf("time series: %zu samples at %lld ms cadence\n",
+                result.time_series.size(),
+                static_cast<long long>(options.sample_interval_ms));
+  }
+  if (!timeseries_path.empty()) {
+    std::ofstream out(timeseries_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", timeseries_path.c_str());
+      return 1;
+    }
+    flow::WriteTimeSeriesCsv(result.time_series, out);
+    std::printf("time series -> %s\n", timeseries_path.c_str());
   }
   if (!json_path.empty()) {
     std::ofstream out(json_path);

@@ -12,7 +12,12 @@
 #     paper-default geometry (eps_rel=0.375, opc=64);
 #   - checkpointing at interval=100 must cost <= 5% end-to-end throughput
 #     vs checkpointing off, at both p=1 and p=4 (bench_checkpoint,
-#     compared WITHIN the current run, so the floor is machine-neutral).
+#     compared WITHIN the current run, so the floor is machine-neutral);
+#   - tracing must stay cheap on the hottest exchange (trace_overhead
+#     rows, also compared WITHIN the current run): the production sender
+#     with tracing disabled within 1% of the frozen hook-free reference
+#     (off/ref >= 0.99), and with the recorder on within 5% of disabled
+#     (on/off >= 0.95).
 #
 # The baselines are machine-specific; regenerate them on your hardware with
 #   build-release/bench/bench_flow_throughput --out BENCH_flow_throughput.json
@@ -71,8 +76,10 @@ awk '
   {
     key = field($0, "workload") "/p" field($0, "parallelism") \
           "/b" field($0, "batch")
+    if ($0 ~ /"mode"/) key = key "/" field($0, "mode")
     rate = field($0, "records_per_sec") + 0
     if (NR == FNR) { baseline[key] = rate; next }
+    current[key] = rate
     if (!(key in baseline)) {
       printf "NEW  %-40s %12.0f rec/s (no baseline)\n", key, rate
       next
@@ -100,6 +107,25 @@ awk '
       printf "join_parallel_cells p=4 batch64/batch1 = %.2fx\n", speedup
       if (speedup < 1.5) {
         print "FAIL: batching speedup below 1.5x"
+        failed = 1
+      }
+    }
+    # Tracing overhead, paired WITHIN the current run (see bench header).
+    ref = current["trace_overhead/p4/b64/ref"]
+    off = current["trace_overhead/p4/b64/off"]
+    on = current["trace_overhead/p4/b64/on"]
+    if (ref <= 0 || off <= 0 || on <= 0) {
+      print "FAIL: missing trace_overhead rows"
+      failed = 1
+    } else {
+      printf "trace_overhead off/ref = %.3f, on/off = %.3f\n", \
+             off / ref, on / off
+      if (off / ref < 0.99) {
+        print "FAIL: disabled tracing costs more than 1% on the shuffle"
+        failed = 1
+      }
+      if (on / off < 0.95) {
+        print "FAIL: enabled tracing costs more than 5% on the shuffle"
         failed = 1
       }
     }

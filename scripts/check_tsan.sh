@@ -19,7 +19,9 @@ TESTS=(
   exchange_test
   flow_utils_test
   metrics_test
+  metrics_sampler_test
   stage_stats_test
+  trace_test
   snapshot_assembler_test
   reorder_buffer_test
   icpe_engine_test

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace_event JSON file produced by `comove_tool detect
+--trace` (or the bench --trace flag).
+
+Checks that the file parses, that the traceEvents envelope is present, and
+that every instrumented pipeline stage contributed at least one complete
+("X") span - a stage whose instrumentation silently stops recording shows
+up here as a hard failure, not as a mysteriously empty lane in Perfetto.
+
+Usage: scripts/validate_trace.py trace.json [--require-stage STAGE ...]
+
+By default all seven pipeline stages are required (matching
+flow::kTraceStageOrder); pass --require-stage one or more times to check a
+subset instead (e.g. a run without checkpointing has no checkpoint spans).
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+PIPELINE_STAGES = [
+    "source",
+    "assembler",
+    "join",
+    "dbscan",
+    "enumerate",
+    "flush",
+    "checkpoint",
+]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace_event JSON file")
+    parser.add_argument(
+        "--require-stage",
+        action="append",
+        default=None,
+        metavar="STAGE",
+        help="stage that must have >= 1 span (repeatable; "
+        "default: all seven pipeline stages)",
+    )
+    args = parser.parse_args()
+    required = args.require_stage or PIPELINE_STAGES
+
+    with open(args.trace, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    if "traceEvents" not in doc:
+        print(f"FAIL: {args.trace} has no traceEvents envelope")
+        return 1
+    events = doc["traceEvents"]
+
+    spans_per_stage: collections.Counter = collections.Counter()
+    instants = 0
+    for event in events:
+        stage = event.get("args", {}).get("stage", "")
+        phase = event.get("ph", "")
+        if phase == "X":
+            if event.get("dur", 0) <= 0:
+                print(f"FAIL: span with non-positive dur: {event}")
+                return 1
+            spans_per_stage[stage] += 1
+        elif phase == "i":
+            instants += 1
+
+    total_spans = sum(spans_per_stage.values())
+    print(
+        f"{args.trace}: {len(events)} events, {total_spans} spans, "
+        f"{instants} instants"
+    )
+    for stage in PIPELINE_STAGES:
+        print(f"  {stage:>10}: {spans_per_stage.get(stage, 0)} spans")
+
+    missing = [s for s in required if spans_per_stage.get(s, 0) == 0]
+    if missing:
+        print(f"FAIL: no spans for stage(s): {', '.join(missing)}")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,10 +64,33 @@ void WriteResultJson(const core::IcpeResult& result, std::ostream& out) {
       << ",\n";
   out << "  \"checkpoints_failed\": " << result.checkpoints_failed
       << ",\n";
+  out << "  \"trace_events\": " << result.trace_events << ",\n";
+  out << "  \"trace_dropped\": " << result.trace_dropped << ",\n";
   if (!result.stage_stats.empty()) {
     out << "  \"stages\": ";
     WriteStageStatsJson(result.stage_stats, out);
     out << ",\n";
+  }
+  if (!result.time_series.empty()) {
+    out << "  \"time_series\": ";
+    flow::WriteTimeSeriesJson(result.time_series, out);
+    out << ",\n";
+  }
+  if (!result.worst_snapshots.empty()) {
+    out << "  \"worst_snapshots\": [";
+    for (std::size_t i = 0; i < result.worst_snapshots.size(); ++i) {
+      const flow::SnapshotStageBreakdown& row = result.worst_snapshots[i];
+      if (i) out << ',';
+      out << "\n    {\"snapshot_time\": " << row.snapshot_time
+          << ", \"latency_ms\": " << row.latency_ms << ", \"stages\": {";
+      for (std::size_t j = 0; j < row.stage_ms.size(); ++j) {
+        if (j) out << ", ";
+        out << '"' << row.stage_ms[j].first
+            << "\": " << row.stage_ms[j].second;
+      }
+      out << "}}";
+    }
+    out << "\n  ],\n";
   }
   out << "  \"patterns\": ";
   WritePatternsJson(result.patterns, out);
@@ -77,27 +100,25 @@ void WriteResultJson(const core::IcpeResult& result, std::ostream& out) {
 void WriteStageStatsJson(
     const std::vector<flow::StageStatsSnapshot>& stages,
     std::ostream& out) {
+  // Driven by the shared field table, so the JSON keys and the text
+  // table of PrintStageStats cannot diverge (export_test pins this).
+  const std::vector<flow::StageStatsField>& fields =
+      flow::StageStatsFields();
   out << "[";
   for (std::size_t i = 0; i < stages.size(); ++i) {
     const flow::StageStatsSnapshot& s = stages[i];
     if (i) out << ",";
-    out << "\n    {\"stage\": \"" << s.stage << "\""
-        << ", \"records_pushed\": " << s.records_pushed
-        << ", \"records_popped\": " << s.records_popped
-        << ", \"watermarks_pushed\": " << s.watermarks_pushed
-        << ", \"watermarks_popped\": " << s.watermarks_popped
-        << ", \"queue_depth\": " << s.queue_depth
-        << ", \"max_queue_depth\": " << s.max_queue_depth
-        << ", \"push_blocked_ms\": " << s.push_blocked_ms
-        << ", \"pop_blocked_ms\": " << s.pop_blocked_ms
-        << ", \"barriers_pushed\": " << s.barriers_pushed
-        << ", \"barriers_popped\": " << s.barriers_popped
-        << ", \"align_blocked_ms\": " << s.align_blocked_ms
-        << ", \"snapshot_bytes\": " << s.snapshot_bytes
-        << ", \"last_checkpoint_id\": " << s.last_checkpoint_id
-        << ", \"batches_pushed\": " << s.batches_pushed
-        << ", \"avg_batch_size\": " << s.avg_batch_size
-        << ", \"batch_size_histogram\": [";
+    out << "\n    {\"stage\": \"" << s.stage << "\"";
+    for (const flow::StageStatsField& f : fields) {
+      out << ", \"" << f.json_name << "\": ";
+      const double v = f.value(s);
+      if (f.integral) {
+        out << static_cast<std::int64_t>(v);
+      } else {
+        out << v;
+      }
+    }
+    out << ", \"batch_size_histogram\": [";
     for (std::size_t b = 0; b < s.batch_size_histogram.size(); ++b) {
       if (b) out << ", ";
       out << s.batch_size_histogram[b];

@@ -17,8 +17,12 @@ namespace comove::apps {
 /// Version stamped into WriteResultJson output as "schema_version".
 /// History: 1 - metrics + patterns + per-stage backpressure counters;
 /// 2 - checkpoint health (per-stage barrier/alignment/snapshot counters,
-/// run-level crashed/last_checkpoint_id/checkpoints_{completed,failed}).
-inline constexpr int kResultJsonSchemaVersion = 2;
+/// run-level crashed/last_checkpoint_id/checkpoints_{completed,failed});
+/// 3 - tracing/time-series observability: run-level trace_events and
+/// trace_dropped, per-stage last_watermark (stages now mirror
+/// flow::StageStatsFields exactly), optional "time_series" (sampler
+/// ticks) and "worst_snapshots" (per-stage latency breakdown) arrays.
+inline constexpr int kResultJsonSchemaVersion = 3;
 
 /// Writes `patterns` as a JSON array of {"objects": [...], "times": [...]}.
 void WritePatternsJson(const std::vector<CoMovementPattern>& patterns,

@@ -1,6 +1,8 @@
 #ifndef COMOVE_CLUSTER_CLUSTERING_H_
 #define COMOVE_CLUSTER_CLUSTERING_H_
 
+#include <cstdint>
+
 #include "cluster/dbscan.h"
 #include "cluster/range_join.h"
 #include "common/types.h"
@@ -49,6 +51,23 @@ ClusterSnapshot ClusterSnapshotWith(ClusteringMethod method,
                                     const Snapshot& snapshot,
                                     const ClusteringOptions& options,
                                     ClusterScratch& scratch);
+
+/// Wall time of the two phases of one ClusterSnapshotWith call, so a
+/// tracer can attribute a snapshot's clustering cost to the neighbour
+/// search (range join / grid query) vs the DBSCAN pass separately.
+struct ClusterPhaseNs {
+  std::uint64_t join_ns = 0;    ///< neighbour-pair production
+  std::uint64_t dbscan_ns = 0;  ///< DBSCAN over the pairs
+};
+
+/// ClusterSnapshotWith that additionally reports per-phase wall time into
+/// `phases` when non-null (null is exactly the untimed overload: the
+/// clock is never read).
+ClusterSnapshot ClusterSnapshotWith(ClusteringMethod method,
+                                    const Snapshot& snapshot,
+                                    const ClusteringOptions& options,
+                                    ClusterScratch& scratch,
+                                    ClusterPhaseNs* phases);
 
 }  // namespace comove::cluster
 

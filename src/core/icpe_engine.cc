@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <fstream>
 #include <limits>
 #include <map>
 #include <memory>
@@ -172,13 +173,29 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
                                        q.constraints.m);
   }
 
+  // --- Tracing (zero-cost when off: `tr` stays null and every record
+  // site is one untaken branch). An explicit recorder wins; a bare
+  // trace_path gets a run-owned recorder whose events are written on exit.
+  std::optional<flow::TraceRecorder> owned_trace;
+  flow::TraceRecorder* const tr =
+      options.trace != nullptr
+          ? options.trace
+          : (!options.trace_path.empty() ? &owned_trace.emplace()
+                                         : nullptr);
+  /// How many of the slowest snapshots get a per-stage breakdown.
+  constexpr std::size_t kWorstSnapshots = 5;
+
+  // The sampler reads the same counters, so sampling implies stats.
+  const bool collect_stats =
+      options.collect_stats || options.sample_interval_ms > 0;
+
   // Declared before the exchanges so the stats outlive every channel
   // holding a pointer into the registry.
   flow::StageStatsRegistry stats_registry;
   auto stats_for = [&](const char* stage) -> flow::StageStats* {
-    return options.collect_stats ? &stats_registry.Get(stage) : nullptr;
+    return collect_stats ? &stats_registry.Get(stage) : nullptr;
   };
-  if (options.collect_stats && options.join_parallel_cells) {
+  if (collect_stats && options.join_parallel_cells) {
     // The grid exchanges are constructed after the partition exchange;
     // pre-register every stage so the stats table reads in pipeline order.
     stats_registry.Get("source->assembler");
@@ -261,7 +278,13 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
     if (stats != nullptr) {
       stats->OnSnapshot(static_cast<std::int64_t>(state.size()), id);
     }
+    const std::uint64_t t0 = tr != nullptr ? tr->NowNs() : 0;
     coordinator->Ack(id, op, subtask, std::move(state));
+    if (tr != nullptr) {
+      // One span per operator ack, named after the operator; aux carries
+      // the checkpoint id so a timeline groups one cut's acks together.
+      tr->RecordSpanSince("checkpoint", op, subtask, kNoTime, t0, id);
+    }
   };
   flow::StageStats* const assembler_stats = stats_for("source->assembler");
   flow::StageStats* const enumerate_stats =
@@ -271,6 +294,9 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
                 : nullptr;
 
   flow::SnapshotMetrics metrics;
+  // Tracing ranks the worst snapshots by measured latency, which needs
+  // the individual values, not just the histogram.
+  if (tr != nullptr) metrics.KeepPerSnapshot(true);
   CompletionTracker tracker(p);
   TimeAccumulator cluster_time;
   TimeAccumulator enum_time;
@@ -290,6 +316,14 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
     };
   };
 
+  // Live time-series sampling runs for the whole pipeline lifetime,
+  // including the drain; stopped (and joined) right after JoinAll.
+  std::optional<flow::MetricsSampler> sampler;
+  if (options.sample_interval_ms > 0) {
+    sampler.emplace(stats_registry, options.sample_interval_ms);
+    sampler->Start();
+  }
+
   flow::TaskGroup tasks;
 
   // --- Source: replays records with birth-bound watermarks, either in
@@ -297,7 +331,8 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
   // §4 synchronisation then has to reassemble the chains downstream).
   tasks.Spawn([&] {
     flow::BatchingSender<GpsRecord> sender(source_exchange, 0,
-                                           options.exchange_batch_size);
+                                           options.exchange_batch_size, tr,
+                                           "records");
     const auto throttle = [&] {
       if (options.replay_delay_us > 0) {
         std::this_thread::sleep_for(
@@ -320,11 +355,18 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
       }
       std::int64_t next_checkpoint = restored_id + 1;
       std::int64_t snaps_since_barrier = 0;
+      // One "emit" span per snapshot time: first record sent to last (the
+      // span a backpressured source shows as stretched).
+      std::uint64_t emit_start_ns = tr != nullptr ? tr->NowNs() : 0;
       for (std::size_t i = start_index; i < dataset.records.size(); ++i) {
         const GpsRecord& record = dataset.records[i];
         if (record.time != current) {
           COMOVE_CHECK(record.time > current);
           if (crashed.load(std::memory_order_relaxed)) break;
+          if (tr != nullptr && current != kNoTime) {
+            tr->RecordSpanSince("source", "emit", 0, current,
+                                emit_start_ns);
+          }
           // No trajectory can be born before this batch's time anymore.
           sender.BroadcastWatermark(record.time - 1);
           current = record.time;
@@ -343,10 +385,14 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
             sender.BroadcastBarrier(next_checkpoint);
             ++next_checkpoint;
           }
+          if (tr != nullptr) emit_start_ns = tr->NowNs();
         }
         sender.Send(0, record);
       }
       if (current != kNoTime && !crashed.load()) {
+        if (tr != nullptr) {
+          tr->RecordSpanSince("source", "emit", 0, current, emit_start_ns);
+        }
         sender.BroadcastWatermark(current);
       }
       sender.Close();
@@ -359,6 +405,7 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
     std::vector<GpsRecord> block;
     Timestamp block_start = kNoTime;
     auto flush = [&] {
+      const std::uint64_t t0 = tr != nullptr ? tr->NowNs() : 0;
       for (std::size_t i = block.size(); i > 1; --i) {
         std::swap(block[i - 1],
                   block[static_cast<std::size_t>(rng.UniformInt(
@@ -371,6 +418,11 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
       }
       if (max_time != kNoTime) {
         sender.BroadcastWatermark(max_time);
+        // Shuffled replay has no per-time boundary; one span per flushed
+        // window block, tagged with the block's newest time.
+        if (tr != nullptr) {
+          tr->RecordSpanSince("source", "emit_block", 0, max_time, t0);
+        }
       }
       block.clear();
     };
@@ -398,6 +450,9 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
     auto route = [&](std::vector<Snapshot> snapshots) {
       for (Snapshot& snapshot : snapshots) {
         const Timestamp t = snapshot.time;
+        // The span covers ingest-mark to watermark broadcast - i.e. it
+        // absorbs downstream backpressure on the snapshot exchange.
+        const std::uint64_t t0 = tr != nullptr ? tr->NowNs() : 0;
         metrics.MarkIngest(t);
         tracker.Register(t);
         snapshot_count.fetch_add(1, std::memory_order_relaxed);
@@ -405,6 +460,9 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
                                       static_cast<std::size_t>(p),
                                std::move(snapshot));
         snapshot_exchange.BroadcastWatermark(0, t);
+        if (tr != nullptr) {
+          tr->RecordSpanSince("assembler", "route", 0, t, t0);
+        }
       }
     };
     auto& input = source_exchange.channel(0);
@@ -472,17 +530,29 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
                            clustering_progress,
                            cluster_stats](std::int32_t worker) {
       flow::BatchingSender<pattern::Partition> partition_sender(
-          partition_exchange, worker, options.exchange_batch_size);
+          partition_exchange, worker, options.exchange_batch_size, tr,
+          "partitions");
       // Join + DBSCAN working memory, reused across this worker's snapshots.
       cluster::ClusterScratch scratch;
       auto& input = snapshot_exchange.channel(worker);
       while (auto element = input.Pop()) {
         if (element->is_data()) {
+          const Timestamp t = element->data.time;
           Stopwatch watch;
+          cluster::ClusterPhaseNs phases;
+          const std::uint64_t t0 = tr != nullptr ? tr->NowNs() : 0;
           const ClusterSnapshot clustered = cluster::ClusterSnapshotWith(
               options.clustering, element->data, options.cluster_options,
-              scratch);
+              scratch, tr != nullptr ? &phases : nullptr);
           cluster_time.Add(watch.ElapsedMillis());
+          if (tr != nullptr) {
+            // The two phases tile the clustering call: join first, then
+            // DBSCAN back-dated to start where the join ended.
+            tr->RecordSpan("join", "neighbor_pairs", worker, t, t0,
+                           phases.join_ns);
+            tr->RecordSpan("dbscan", "dbscan", worker, t,
+                           t0 + phases.join_ns, phases.dbscan_ns);
+          }
           record_cluster_stats(clustered);
           if (enumerate) route_partitions(partition_sender, clustered);
         } else if (element->is_barrier()) {
@@ -531,7 +601,8 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
       // replicated per overlapped cell), so its sends are batched; the
       // objects vector is reused across snapshots.
       flow::BatchingSender<CellMsg> cell_sender(*query_exchange, worker,
-                                                options.exchange_batch_size);
+                                                options.exchange_batch_size,
+                                                tr, "cells");
       std::vector<cluster::GridObject> objects;
       // Grid geometry derived (and the cell width validated) once per
       // worker, not once per snapshot.
@@ -541,10 +612,14 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
         if (element->is_data()) {
           const Timestamp t = element->data.time;
           Stopwatch watch;
+          const std::uint64_t t0 = tr != nullptr ? tr->NowNs() : 0;
           cluster::GridAllocate(element->data, grid,
                                 options.cluster_options.join.eps,
                                 use_lemmas, objects);
           cluster_time.Add(watch.ElapsedMillis());
+          if (tr != nullptr) {
+            tr->RecordSpanSince("join", "allocate", worker, t, t0);
+          }
           for (cluster::GridObject& object : objects) {
             const std::size_t target =
                 cell_hash(object.key) % static_cast<std::size_t>(p);
@@ -607,12 +682,16 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
                cells_by_time.begin()->first <= w) {
           const Timestamp t = cells_by_time.begin()->first;
           Stopwatch watch;
+          const std::uint64_t t0 = tr != nullptr ? tr->NowNs() : 0;
           std::vector<NeighborPair> pairs;
           for (auto& [key, objects] : cells_by_time.begin()->second) {
             cluster::GridQuery(objects, options.cluster_options.join,
                                use_lemmas, cell_scratch, pairs);
           }
           cluster_time.Add(watch.ElapsedMillis());
+          if (tr != nullptr) {
+            tr->RecordSpanSince("join", "cell_query", worker, t, t0);
+          }
           SyncMsg msg;
           msg.time = t;
           msg.pairs = std::move(pairs);
@@ -658,7 +737,7 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
         return true;
       };
       flow::BarrierAligner<CellMsg> barriers(p, restored_id,
-                                             grid_query_stats);
+                                             grid_query_stats, tr, worker);
       auto& input = query_exchange->channel(worker);
       std::vector<flow::Element<CellMsg>> batch;
       while (input.PopBatch(batch, pop_batch_max) > 0) {
@@ -680,7 +759,8 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
                            clustering_progress,
                            grid_sync_stats](std::int32_t worker) {
       flow::BatchingSender<pattern::Partition> partition_sender(
-          partition_exchange, worker, options.exchange_batch_size);
+          partition_exchange, worker, options.exchange_batch_size, tr,
+          "partitions");
       flow::WatermarkAligner aligner(2 * p);
       struct PendingTime {
         bool have_snapshot = false;
@@ -711,12 +791,14 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
       }
       auto process_through = [&](Timestamp w) {
         while (!buffer.empty() && buffer.begin()->first <= w) {
+          const Timestamp t = buffer.begin()->first;
           PendingTime pending = std::move(buffer.begin()->second);
           buffer.erase(buffer.begin());
           COMOVE_CHECK_MSG(pending.have_snapshot,
                            "neighbour pairs arrived for a snapshot that "
                            "never did");
           Stopwatch watch;
+          const std::uint64_t t0 = tr != nullptr ? tr->NowNs() : 0;
           // GridSync: canonical order + dedup (required for the SRJ
           // variant, a no-op for RJC with both lemmas).
           std::sort(pending.pairs.begin(), pending.pairs.end());
@@ -727,6 +809,11 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
               pending.snapshot, pending.pairs,
               options.cluster_options.dbscan, dbscan_scratch);
           cluster_time.Add(watch.ElapsedMillis());
+          if (tr != nullptr) {
+            // Covers the GridSync merge (sort + dedup) and the DBSCAN
+            // pass - the whole per-snapshot cost of this stage.
+            tr->RecordSpanSince("dbscan", "sync_dbscan", worker, t, t0);
+          }
           record_cluster_stats(clustered);
           if (enumerate) route_partitions(partition_sender, clustered);
         }
@@ -776,7 +863,7 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
         return true;
       };
       flow::BarrierAligner<SyncMsg> barriers(2 * p, restored_id,
-                                             grid_sync_stats);
+                                             grid_sync_stats, tr, worker);
       auto& input = sync_exchange->channel(worker);
       while (alive) {
         auto element = input.Pop();
@@ -872,6 +959,7 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
             ++i;
           }
           Stopwatch watch;
+          const std::uint64_t t0 = tr != nullptr ? tr->NowNs() : 0;
           for (std::size_t q = 0; q < enumerators.size(); ++q) {
             // The last query consumes the originals; earlier ones copies.
             enumerators[q]->OnPartitions(
@@ -880,6 +968,9 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
                        : std::vector<pattern::Partition>(parts));
           }
           enum_time.Add(watch.ElapsedMillis());
+          if (tr != nullptr) {
+            tr->RecordSpanSince("enumerate", "tick", worker, t, t0);
+          }
         }
       };
 
@@ -932,8 +1023,8 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
         ack(id, "enumerate", worker, std::move(state), enumerate_stats);
         return true;
       };
-      flow::BarrierAligner<pattern::Partition> barriers(p, restored_id,
-                                                        enumerate_stats);
+      flow::BarrierAligner<pattern::Partition> barriers(
+          p, restored_id, enumerate_stats, tr, worker);
       auto& input = partition_exchange.channel(worker);
       std::vector<flow::Element<pattern::Partition>> batch;
       while (alive && input.PopBatch(batch, pop_batch_max) > 0) {
@@ -964,6 +1055,7 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
   }
 
   tasks.JoinAll();
+  if (sampler) sampler->Stop();
   const bool was_crashed = crashed.load();
   if (!was_crashed) {
     COMOVE_CHECK_MSG(tracker.pending() == 0,
@@ -991,7 +1083,21 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
     }
   }
   result.snapshots = metrics.Collect();
-  if (options.collect_stats) result.stage_stats = stats_registry.Snapshot();
+  if (collect_stats) result.stage_stats = stats_registry.Snapshot();
+  if (sampler) result.time_series = sampler->samples();
+  if (tr != nullptr) {
+    // Workers are joined: the recorder is quiesced and safe to read.
+    result.trace_events = tr->recorded();
+    result.trace_dropped = tr->dropped();
+    result.worst_snapshots = flow::BuildWorstSnapshotBreakdown(
+        tr->Events(), metrics.PerSnapshot(), kWorstSnapshots);
+    if (!options.trace_path.empty()) {
+      std::ofstream out(options.trace_path);
+      COMOVE_CHECK_MSG(out.good(), "cannot open trace_path %s",
+                       options.trace_path.c_str());
+      tr->WriteChromeTrace(out);
+    }
+  }
   result.avg_cluster_ms = cluster_time.Average();
   result.avg_enum_ms = enum_time.Average();
   result.cluster_count = cluster_count.load();

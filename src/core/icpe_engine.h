@@ -12,7 +12,9 @@
 #include "core/recovery.h"
 #include "flow/checkpoint/snapshot_store.h"
 #include "flow/metrics.h"
+#include "flow/metrics_sampler.h"
 #include "flow/stage_stats.h"
+#include "flow/trace.h"
 #include "trajgen/dataset.h"
 
 /// \file
@@ -140,6 +142,24 @@ struct IcpeOptions {
   /// Fault injection (tests/benches): crash a named stage while it
   /// snapshots a given checkpoint. Empty stage = no fault.
   FaultSpec fault;
+
+  /// When non-empty, the run records per-stage spans (see flow/trace.h)
+  /// and writes them as Chrome trace_event JSON to this path - loadable
+  /// in chrome://tracing or Perfetto. Tracing also retains per-snapshot
+  /// latencies to build IcpeResult::worst_snapshots.
+  std::string trace_path;
+
+  /// External span recorder (not owned; must outlive the run). When set,
+  /// the engine records into it instead of (or in addition to - see
+  /// trace_path) its own recorder; useful for tests and for aggregating
+  /// several runs into one timeline. Null + empty trace_path = tracing
+  /// fully off (the hot paths pay one untaken branch).
+  flow::TraceRecorder* trace = nullptr;
+
+  /// When > 0, a MetricsSampler thread snapshots every stage's counters
+  /// at this cadence into IcpeResult::time_series (implies stats
+  /// collection for the run). 0 disables sampling.
+  std::int64_t sample_interval_ms = 0;
 };
 
 /// Everything a pipeline run reports.
@@ -167,6 +187,15 @@ struct IcpeResult {
   std::int64_t last_checkpoint_id = 0;    ///< newest persisted checkpoint
   std::int64_t checkpoints_completed = 0; ///< persisted this run
   std::int64_t checkpoints_failed = 0;    ///< aborted by store failures
+
+  /// Sampled time series (one entry per tick); empty unless
+  /// IcpeOptions::sample_interval_ms > 0.
+  std::vector<flow::MetricsSample> time_series;
+  /// Worst-k snapshots by measured latency with their per-stage span-time
+  /// breakdown; empty unless tracing was on.
+  std::vector<flow::SnapshotStageBreakdown> worst_snapshots;
+  std::int64_t trace_events = 0;   ///< spans/instants recorded (0 = off)
+  std::int64_t trace_dropped = 0;  ///< lost to ring wraparound
 };
 
 /// Fingerprint of (dataset, pipeline shape) stamped into every checkpoint

@@ -119,7 +119,9 @@ class Channel {
           stats_->OnBarriersPushed(1);
           if (blocked_ns > 0) stats_->OnPushBlocked(blocked_ns);
         } else {
-          stats_->OnPush(IsWatermark(value), blocked_ns);
+          const bool is_watermark = IsWatermark(value);
+          stats_->OnPush(is_watermark, blocked_ns);
+          if (is_watermark) stats_->OnWatermarkValue(WatermarkOf(value));
         }
         stats_->OnBatchPushed(1);
       }
@@ -162,6 +164,7 @@ class Channel {
               ++barriers;
             } else if (IsWatermark(batch[i])) {
               ++watermarks;
+              stats_->OnWatermarkValue(WatermarkOf(batch[i]));
             }
           }
           queue_.push_back(std::move(batch[i]));
@@ -321,6 +324,17 @@ class Channel {
     } else {
       (void)value;
       return false;
+    }
+  }
+
+  /// Event-time value of a watermark element, for the last_watermark
+  /// gauge; only called when IsWatermark(value) is true.
+  static Timestamp WatermarkOf(const T& value) {
+    if constexpr (requires { value.watermark; }) {
+      return value.watermark;
+    } else {
+      (void)value;
+      return kNoTime;
     }
   }
 

@@ -10,6 +10,7 @@
 #include "common/check.h"
 #include "flow/element.h"
 #include "flow/stage_stats.h"
+#include "flow/trace.h"
 
 /// \file
 /// Consumer-side checkpoint-barrier alignment (the "aligned" in Flink's
@@ -43,13 +44,19 @@ class BarrierAligner {
  public:
   /// `last_completed` seeds the id sequence (non-zero after recovery:
   /// the next barrier must be last_completed + 1). `stats`, when set,
-  /// receives the per-round alignment blocked-time.
+  /// receives the per-round alignment blocked-time. `trace`, when set,
+  /// records each round as a "checkpoint"/"align" span on lane `subtask`
+  /// (aux = checkpoint id), from first barrier seen to round completion.
   explicit BarrierAligner(std::int32_t producer_count,
                           std::int64_t last_completed = 0,
-                          StageStats* stats = nullptr)
+                          StageStats* stats = nullptr,
+                          TraceRecorder* trace = nullptr,
+                          std::int32_t subtask = 0)
       : delivered_(static_cast<std::size_t>(producer_count), false),
         last_completed_(last_completed),
-        stats_(stats) {
+        stats_(stats),
+        trace_(trace),
+        subtask_(subtask) {
     COMOVE_CHECK(producer_count > 0);
   }
 
@@ -105,6 +112,7 @@ class BarrierAligner {
         if (stats_ != nullptr) {
           open_start_ = std::chrono::steady_clock::now();
         }
+        if (trace_ != nullptr) open_start_ns_ = trace_->NowNs();
         if (delivered_count_ ==
             static_cast<std::int32_t>(delivered_.size())) {
           if (!CompleteRound(on_checkpoint)) return;
@@ -128,6 +136,10 @@ class BarrierAligner {
               std::chrono::steady_clock::now() - open_start_)
               .count()));
     }
+    if (trace_ != nullptr) {
+      trace_->RecordSpanSince("checkpoint", "align", subtask_, kNoTime,
+                              open_start_ns_, last_completed_);
+    }
     if (!on_checkpoint(last_completed_)) return false;
     // Replay the held elements ahead of any not-yet-processed input, in
     // their original arrival order; they may open the next round.
@@ -146,7 +158,10 @@ class BarrierAligner {
   std::deque<Element<T>> held_;     ///< blocked inputs of the open round
   std::deque<Element<T>> pending_;  ///< worklist (input + replays)
   StageStats* stats_;
+  TraceRecorder* trace_;
+  std::int32_t subtask_;
   std::chrono::steady_clock::time_point open_start_{};
+  std::uint64_t open_start_ns_ = 0;
 };
 
 }  // namespace comove::flow

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "flow/channel.h"
 #include "flow/element.h"
+#include "flow/trace.h"
 
 /// \file
 /// The data exchange between two stages: every producer subtask can reach
@@ -120,11 +121,17 @@ class Exchange {
 template <typename T>
 class BatchingSender {
  public:
+  /// `trace`, when non-null, records one "flush" span per shipped batch
+  /// (subtask = producer, aux = batch size) under `trace_name` - by
+  /// convention the destination the batches feed, e.g. "partitions".
   BatchingSender(Exchange<T>& exchange, std::int32_t producer,
-                 std::size_t batch_size)
+                 std::size_t batch_size, TraceRecorder* trace = nullptr,
+                 const char* trace_name = "flush")
       : exchange_(&exchange),
         producer_(producer),
         batch_size_(batch_size),
+        trace_(trace),
+        trace_name_(trace_name),
         pending_(static_cast<std::size_t>(exchange.consumers())) {}
 
   BatchingSender(const BatchingSender&) = delete;
@@ -143,8 +150,7 @@ class BatchingSender {
     if (buffer.size() >= batch_size_) {
       // PushBatch drains the buffer in place, so its capacity is reused
       // for the next batch - steady state allocates nothing.
-      exchange_->channel(static_cast<std::int32_t>(partition))
-          .PushBatch(std::move(buffer));
+      Ship(partition, buffer);
     }
   }
 
@@ -165,10 +171,7 @@ class BatchingSender {
   /// Ships every non-empty partition buffer now.
   void FlushAll() {
     for (std::size_t c = 0; c < pending_.size(); ++c) {
-      if (!pending_[c].empty()) {
-        exchange_->channel(static_cast<std::int32_t>(c))
-            .PushBatch(std::move(pending_[c]));
-      }
+      if (!pending_[c].empty()) Ship(c, pending_[c]);
     }
   }
 
@@ -181,9 +184,24 @@ class BatchingSender {
   std::size_t batch_size() const { return batch_size_; }
 
  private:
+  /// Single flush path: push the buffer, tracing the span (including any
+  /// backpressure blocking inside PushBatch) when tracing is on.
+  void Ship(std::size_t partition, std::vector<Element<T>>& buffer) {
+    const std::int64_t n = static_cast<std::int64_t>(buffer.size());
+    const std::uint64_t start_ns = trace_ != nullptr ? trace_->NowNs() : 0;
+    exchange_->channel(static_cast<std::int32_t>(partition))
+        .PushBatch(std::move(buffer));
+    if (trace_ != nullptr) {
+      trace_->RecordSpanSince("flush", trace_name_, producer_, kNoTime,
+                              start_ns, n);
+    }
+  }
+
   Exchange<T>* exchange_;
   std::int32_t producer_;
   std::size_t batch_size_;
+  TraceRecorder* trace_;
+  const char* trace_name_;
   std::vector<std::vector<Element<T>>> pending_;  ///< one per partition
 };
 

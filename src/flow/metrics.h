@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "common/types.h"
@@ -25,7 +27,10 @@ struct RunMetrics {
   std::int64_t snapshots = 0;
   double average_latency_ms = 0.0;
   double max_latency_ms = 0.0;
-  double p50_latency_ms = 0.0;  ///< histogram estimate (~12% rel. error)
+  /// Histogram estimates with within-bucket rank interpolation; see the
+  /// error-bound test in metrics_test - a few percent relative error on
+  /// smooth distributions, ~12.5% (one sub-bucket) worst case.
+  double p50_latency_ms = 0.0;
   double p95_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
   double throughput_tps = 0.0;  ///< snapshots per second
@@ -68,8 +73,26 @@ class SnapshotMetrics {
     total_latency_ms_ += latency_ms;
     if (latency_ms > max_latency_ms_) max_latency_ms_ = latency_ms;
     histogram_.RecordMs(latency_ms);
+    if (keep_per_snapshot_) per_snapshot_.emplace_back(snapshot_time,
+                                                      latency_ms);
     ++completed_;
     end_ = now;
+  }
+
+  /// Opt into retaining every (snapshot_time, latency_ms) pair. Off by
+  /// default - the aggregate histogram is O(1) per snapshot while this is
+  /// O(n) memory; the trace exporter turns it on to rank the worst-k
+  /// snapshots for the stage-latency breakdown.
+  void KeepPerSnapshot(bool keep) {
+    std::lock_guard<std::mutex> lock(mu_);
+    keep_per_snapshot_ = keep;
+  }
+
+  /// The retained per-snapshot latencies, in completion order (empty
+  /// unless KeepPerSnapshot(true) was set before the run).
+  std::vector<std::pair<Timestamp, double>> PerSnapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return per_snapshot_;
   }
 
   /// Final aggregation; call after the pipeline has drained.
@@ -99,6 +122,8 @@ class SnapshotMetrics {
   LatencyHistogram histogram_;
   double total_latency_ms_ = 0.0;
   double max_latency_ms_ = 0.0;
+  bool keep_per_snapshot_ = false;
+  std::vector<std::pair<Timestamp, double>> per_snapshot_;
   std::int64_t completed_ = 0;
   bool started_ = false;
   Clock::time_point start_{};

@@ -1,0 +1,167 @@
+#include "flow/metrics_sampler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace comove::flow {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+MetricsSampler::MetricsSampler(const StageStatsRegistry& registry,
+                               std::int64_t interval_ms)
+    : registry_(registry), interval_ms_(interval_ms) {
+  COMOVE_CHECK(interval_ms > 0);
+}
+
+MetricsSampler::~MetricsSampler() { Stop(); }
+
+void MetricsSampler::Start() {
+  COMOVE_CHECK(!running_);
+  running_ = true;
+  stop_ = false;
+  // Baseline for the first interval's deltas, taken before the thread
+  // spawns: if the thread snapshotted it itself, any pipeline activity
+  // racing its (scheduler-dependent) startup would be absorbed into the
+  // baseline and vanish from the series.
+  previous_ = registry_.Snapshot();
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void MetricsSampler::Stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  running_ = false;
+}
+
+void MetricsSampler::Loop() {
+  const Clock::time_point start = Clock::now();
+  Clock::time_point last = start;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    const bool stopping = cv_.wait_for(
+        lock, std::chrono::milliseconds(interval_ms_), [&] { return stop_; });
+    // Sample without the sampler lock held: registry snapshots take the
+    // registry's own mutex and may briefly contend with the pipeline.
+    lock.unlock();
+    const Clock::time_point now = Clock::now();
+    SampleOnce(
+        std::chrono::duration<double, std::milli>(now - start).count(),
+        std::chrono::duration<double, std::milli>(now - last).count());
+    last = now;
+    if (stopping) return;
+    lock.lock();
+  }
+}
+
+void MetricsSampler::SampleOnce(double t_ms, double interval_ms) {
+  const std::vector<StageStatsSnapshot> current = registry_.Snapshot();
+  MetricsSample sample;
+  sample.t_ms = t_ms;
+  sample.interval_ms = interval_ms;
+  Timestamp wm_min = kNoTime;
+  Timestamp wm_max = kNoTime;
+  for (const StageStatsSnapshot& s : current) {
+    // The registry only appends, so the previous snapshot is a prefix of
+    // the current one; match by position with a name check for safety.
+    const StageStatsSnapshot* prev = nullptr;
+    const std::size_t i = sample.stages.size();
+    if (i < previous_.size() && previous_[i].stage == s.stage) {
+      prev = &previous_[i];
+    }
+    StageSample row;
+    row.stage = s.stage;
+    row.records_pushed =
+        s.records_pushed - (prev != nullptr ? prev->records_pushed : 0);
+    row.records_popped =
+        s.records_popped - (prev != nullptr ? prev->records_popped : 0);
+    row.queue_depth = s.queue_depth;
+    row.push_blocked_ms =
+        s.push_blocked_ms - (prev != nullptr ? prev->push_blocked_ms : 0.0);
+    row.pop_blocked_ms =
+        s.pop_blocked_ms - (prev != nullptr ? prev->pop_blocked_ms : 0.0);
+    row.align_blocked_ms =
+        s.align_blocked_ms -
+        (prev != nullptr ? prev->align_blocked_ms : 0.0);
+    row.barriers_popped =
+        s.barriers_popped - (prev != nullptr ? prev->barriers_popped : 0);
+    row.last_watermark = s.last_watermark;
+    if (s.last_watermark != kNoTime) {
+      if (wm_min == kNoTime || s.last_watermark < wm_min) {
+        wm_min = s.last_watermark;
+      }
+      if (wm_max == kNoTime || s.last_watermark > wm_max) {
+        wm_max = s.last_watermark;
+      }
+    }
+    sample.stages.push_back(std::move(row));
+  }
+  if (wm_min != kNoTime) sample.watermark_lag = wm_max - wm_min;
+  samples_.push_back(std::move(sample));
+  previous_ = current;
+}
+
+void WriteTimeSeriesCsv(const std::vector<MetricsSample>& series,
+                        std::ostream& out) {
+  out << "t_ms,interval_ms,watermark_lag,stage,records_pushed,"
+         "records_popped,records_per_sec,queue_depth,push_blocked_ms,"
+         "pop_blocked_ms,align_blocked_ms,barriers_popped,last_watermark\n";
+  for (const MetricsSample& sample : series) {
+    for (const StageSample& s : sample.stages) {
+      const double rps =
+          sample.interval_ms > 0.0
+              ? static_cast<double>(s.records_popped) /
+                    (sample.interval_ms / 1e3)
+              : 0.0;
+      out << sample.t_ms << ',' << sample.interval_ms << ','
+          << sample.watermark_lag << ',' << s.stage << ','
+          << s.records_pushed << ',' << s.records_popped << ',' << rps
+          << ',' << s.queue_depth << ',' << s.push_blocked_ms << ','
+          << s.pop_blocked_ms << ',' << s.align_blocked_ms << ','
+          << s.barriers_popped << ',' << s.last_watermark << '\n';
+    }
+  }
+}
+
+void WriteTimeSeriesJson(const std::vector<MetricsSample>& series,
+                         std::ostream& out) {
+  out << '[';
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const MetricsSample& sample = series[i];
+    if (i > 0) out << ',';
+    out << "\n    {\"t_ms\": " << sample.t_ms
+        << ", \"interval_ms\": " << sample.interval_ms
+        << ", \"watermark_lag\": " << sample.watermark_lag
+        << ", \"stages\": [";
+    for (std::size_t j = 0; j < sample.stages.size(); ++j) {
+      const StageSample& s = sample.stages[j];
+      if (j > 0) out << ',';
+      out << "\n      {\"stage\": \"" << s.stage
+          << "\", \"records_pushed\": " << s.records_pushed
+          << ", \"records_popped\": " << s.records_popped
+          << ", \"queue_depth\": " << s.queue_depth
+          << ", \"push_blocked_ms\": " << s.push_blocked_ms
+          << ", \"pop_blocked_ms\": " << s.pop_blocked_ms
+          << ", \"align_blocked_ms\": " << s.align_blocked_ms
+          << ", \"barriers_popped\": " << s.barriers_popped
+          << ", \"last_watermark\": " << s.last_watermark << '}';
+    }
+    if (!sample.stages.empty()) out << "\n    ";
+    out << "]}";
+  }
+  if (!series.empty()) out << "\n  ";
+  out << ']';
+}
+
+}  // namespace comove::flow

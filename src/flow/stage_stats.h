@@ -5,13 +5,17 @@
 #include <atomic>
 #include <bit>
 #include <cstdint>
+#include <cstring>
 #include <iomanip>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/types.h"
 
 /// \file
 /// Pipeline observability: lock-cheap per-stage counters and a fixed-bucket
@@ -49,12 +53,14 @@ inline void AtomicMaxI64(std::atomic<std::int64_t>& target,
 
 /// Thread-safe fixed-bucket latency histogram over nanosecond samples.
 /// Buckets are log-scale with 4 sub-buckets per power of two (values
-/// 0..15 ns get exact buckets), so quantile estimates carry at most
-/// ~12.5% relative error while Record costs four relaxed atomic ops and
-/// the footprint stays a fixed 2 KiB. Percentile reads interpolate within
-/// the target bucket; they are exact snapshots once writers have quiesced
-/// (the normal case: Collect after the pipeline drains) and a close
-/// approximation while they run.
+/// 0..15 ns get exact buckets); Record costs four relaxed atomic ops and
+/// the footprint stays a fixed 2 KiB. Percentile reads interpolate
+/// linearly by rank within the target bucket, which cuts the raw
+/// one-sub-bucket quantisation (~12.5% relative worst case) to a few
+/// percent on smooth distributions - metrics_test pins <= 3% on uniform
+/// and exponential samples. Reads are exact snapshots once writers have
+/// quiesced (the normal case: Collect after the pipeline drains) and a
+/// close approximation while they run.
 class LatencyHistogram {
  public:
   static constexpr std::size_t kBucketCount = 256;
@@ -190,7 +196,88 @@ struct StageStatsSnapshot {
   std::int64_t batches_pushed = 0;
   double avg_batch_size = 0.0;
   std::array<std::int64_t, kBatchSizeBuckets> batch_size_histogram{};
+  /// Highest event-time watermark pushed through this stage's queues
+  /// (kNoTime until the first watermark; the end-of-stream sentinel is
+  /// excluded). The spread of this gauge across stages is the pipeline's
+  /// watermark lag: how far event time at the back trails the front.
+  Timestamp last_watermark = kNoTime;
 };
+
+/// One numeric column of the per-stage observability report, shared by the
+/// text table (PrintStageStats) and the JSON export (WriteStageStatsJson)
+/// so the two surfaces cannot drift apart: every counter either appears in
+/// both or in neither. `export_test` diffs the surfaces against this list.
+struct StageStatsField {
+  const char* json_name;  ///< key in the JSON stages array
+  const char* column;     ///< header in the text table
+  bool integral;          ///< print as integer (else fixed 2 decimals)
+  double (*value)(const StageStatsSnapshot&);
+};
+
+/// The canonical field list, in display order. The stage name and the
+/// batch-size histogram are carried separately on both surfaces (the
+/// histogram's text twin is PrintBatchHistogram).
+inline const std::vector<StageStatsField>& StageStatsFields() {
+  static const std::vector<StageStatsField> kFields = {
+      {"records_pushed", "rec_in", true,
+       [](const StageStatsSnapshot& s) {
+         return static_cast<double>(s.records_pushed);
+       }},
+      {"records_popped", "rec_out", true,
+       [](const StageStatsSnapshot& s) {
+         return static_cast<double>(s.records_popped);
+       }},
+      {"watermarks_pushed", "wm_in", true,
+       [](const StageStatsSnapshot& s) {
+         return static_cast<double>(s.watermarks_pushed);
+       }},
+      {"watermarks_popped", "wm_out", true,
+       [](const StageStatsSnapshot& s) {
+         return static_cast<double>(s.watermarks_popped);
+       }},
+      {"queue_depth", "depth", true,
+       [](const StageStatsSnapshot& s) {
+         return static_cast<double>(s.queue_depth);
+       }},
+      {"max_queue_depth", "max_depth", true,
+       [](const StageStatsSnapshot& s) {
+         return static_cast<double>(s.max_queue_depth);
+       }},
+      {"push_blocked_ms", "push_blk_ms", false,
+       [](const StageStatsSnapshot& s) { return s.push_blocked_ms; }},
+      {"pop_blocked_ms", "pop_blk_ms", false,
+       [](const StageStatsSnapshot& s) { return s.pop_blocked_ms; }},
+      {"batches_pushed", "batches", true,
+       [](const StageStatsSnapshot& s) {
+         return static_cast<double>(s.batches_pushed);
+       }},
+      {"avg_batch_size", "avg_batch", false,
+       [](const StageStatsSnapshot& s) { return s.avg_batch_size; }},
+      {"barriers_pushed", "barr_in", true,
+       [](const StageStatsSnapshot& s) {
+         return static_cast<double>(s.barriers_pushed);
+       }},
+      {"barriers_popped", "barr_out", true,
+       [](const StageStatsSnapshot& s) {
+         return static_cast<double>(s.barriers_popped);
+       }},
+      {"align_blocked_ms", "align_blk_ms", false,
+       [](const StageStatsSnapshot& s) { return s.align_blocked_ms; }},
+      {"snapshot_bytes", "snap_bytes", true,
+       [](const StageStatsSnapshot& s) {
+         return static_cast<double>(s.snapshot_bytes);
+       }},
+      {"last_checkpoint_id", "last_ckpt", true,
+       [](const StageStatsSnapshot& s) {
+         return static_cast<double>(s.last_checkpoint_id);
+       }},
+      {"last_watermark", "last_wm", true,
+       [](const StageStatsSnapshot& s) {
+         return static_cast<double>(s.last_watermark);
+       }},
+  };
+  return kFields;
+}
 
 /// Live counters of one pipeline stage (one Exchange). All updates are
 /// relaxed atomics; Channel calls OnPush/OnPop under its own queue lock,
@@ -302,6 +389,16 @@ class StageStats {
     internal::AtomicMaxI64(last_checkpoint_id_, checkpoint_id);
   }
 
+  /// Records the event-time value of a watermark entering a queue. The
+  /// end-of-stream sentinel (Timestamp max) is excluded so the gauge keeps
+  /// reporting real event time; feeding it is push-side so the gauge tracks
+  /// how far each stage's *input* frontier has advanced.
+  void OnWatermarkValue(Timestamp watermark) {
+    if (watermark == std::numeric_limits<Timestamp>::max()) return;
+    internal::AtomicMaxI64(last_watermark_,
+                           static_cast<std::int64_t>(watermark));
+  }
+
   /// Records one completed producer-side transfer of `size` elements into
   /// the batch-size histogram (a plain Push reports size 1). The histogram
   /// is the amortisation evidence: lock round-trips = batches_pushed while
@@ -360,6 +457,10 @@ class StageStats {
             ? static_cast<double>(s.records_pushed + s.watermarks_pushed) /
                   static_cast<double>(s.batches_pushed)
             : 0.0;
+    const std::int64_t wm = last_watermark_.load(std::memory_order_relaxed);
+    s.last_watermark = wm == std::numeric_limits<std::int64_t>::min()
+                           ? kNoTime
+                           : static_cast<Timestamp>(wm);
     return s;
   }
 
@@ -380,6 +481,8 @@ class StageStats {
   std::atomic<std::int64_t> last_checkpoint_id_{0};
   std::atomic<std::int64_t> batches_pushed_{0};
   std::array<std::atomic<std::uint64_t>, kBatchSizeBuckets> batch_hist_{};
+  std::atomic<std::int64_t> last_watermark_{
+      std::numeric_limits<std::int64_t>::min()};
 };
 
 /// Owns the StageStats of one pipeline run, keyed by stage name. Get()
@@ -421,30 +524,26 @@ class StageStatsRegistry {
 /// when checkpointing is off.
 inline void PrintStageStats(const std::vector<StageStatsSnapshot>& stages,
                             std::ostream& out) {
-  out << std::left << std::setw(24) << "stage" << std::right
-      << std::setw(10) << "rec_in" << std::setw(10) << "rec_out"
-      << std::setw(8) << "wm_in" << std::setw(8) << "wm_out"
-      << std::setw(7) << "depth" << std::setw(10) << "max_depth"
-      << std::setw(14) << "push_blk_ms" << std::setw(14) << "pop_blk_ms"
-      << std::setw(10) << "batches" << std::setw(10) << "avg_batch"
-      << std::setw(10) << "barriers" << std::setw(13) << "align_blk_ms"
-      << std::setw(11) << "snap_bytes" << std::setw(10) << "last_ckpt"
-      << '\n';
+  const std::vector<StageStatsField>& fields = StageStatsFields();
+  const auto width = [](const StageStatsField& f) {
+    return static_cast<int>(std::strlen(f.column)) + 2;
+  };
+  out << std::left << std::setw(24) << "stage" << std::right;
+  for (const StageStatsField& f : fields) out << std::setw(width(f)) << f.column;
+  out << '\n';
   for (const StageStatsSnapshot& s : stages) {
-    out << std::left << std::setw(24) << s.stage << std::right
-        << std::setw(10) << s.records_pushed << std::setw(10)
-        << s.records_popped << std::setw(8) << s.watermarks_pushed
-        << std::setw(8) << s.watermarks_popped << std::setw(7)
-        << s.queue_depth << std::setw(10) << s.max_queue_depth
-        << std::setw(14) << std::fixed << std::setprecision(2)
-        << s.push_blocked_ms << std::setw(14) << s.pop_blocked_ms
-        << std::setw(10) << s.batches_pushed << std::setw(10)
-        << std::setprecision(1) << s.avg_batch_size
-        << std::setw(10) << s.barriers_popped
-        << std::setw(13) << std::setprecision(2) << s.align_blocked_ms
-        << std::setw(11) << s.snapshot_bytes
-        << std::setw(10) << s.last_checkpoint_id << '\n';
-    out.unsetf(std::ios_base::floatfield);
+    out << std::left << std::setw(24) << s.stage << std::right;
+    for (const StageStatsField& f : fields) {
+      const double v = f.value(s);
+      if (f.integral) {
+        out << std::setw(width(f)) << static_cast<std::int64_t>(v);
+      } else {
+        out << std::setw(width(f)) << std::fixed << std::setprecision(2)
+            << v;
+        out.unsetf(std::ios_base::floatfield);
+      }
+    }
+    out << '\n';
   }
 }
 

@@ -1,0 +1,301 @@
+#include "flow/trace.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <ostream>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace comove::flow {
+
+namespace {
+
+/// Process-unique recorder ids so a thread's cached buffer pointer can
+/// never be mistaken for another recorder's (even one reallocated at the
+/// same address).
+std::atomic<std::uint64_t> g_next_recorder_id{1};
+
+/// Pipeline rank of a stage name (see kTraceStageOrder); unknown stages
+/// sort after every known one, alphabetically via the caller.
+std::size_t StageRank(std::string_view stage) {
+  for (std::size_t i = 0; i < std::size(kTraceStageOrder); ++i) {
+    if (stage == kTraceStageOrder[i]) return i;
+  }
+  return std::size(kTraceStageOrder);
+}
+
+/// Minimal JSON string escaping; stage/name values are code-controlled
+/// literals, so this only has to be correct, not fast.
+void WriteJsonString(std::string_view s, std::ostream& out) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        out << c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+/// Smallest power of two >= n (n > 0).
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+#ifdef COMOVE_TRACE_TSC
+namespace trace_internal {
+
+double NsPerTscTick() {
+  static const double ns_per_tick = [] {
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t c0 = __rdtsc();
+    // Spin ~1 ms: at GHz tick rates the two anchor reads' own jitter
+    // (tens of ns) contributes well under 0.01% to the measured rate.
+    while (std::chrono::steady_clock::now() - t0 <
+           std::chrono::milliseconds(1)) {
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const std::uint64_t c1 = __rdtsc();
+    return static_cast<double>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                   .count()) /
+           static_cast<double>(c1 - c0);
+  }();
+  return ns_per_tick;
+}
+
+}  // namespace trace_internal
+#endif
+
+TraceRecorder::TraceRecorder(std::size_t capacity_per_thread)
+    : capacity_(RoundUpPow2(capacity_per_thread)),
+#ifdef COMOVE_TRACE_TSC
+      epoch_ticks_(__rdtsc()),
+      ns_per_tick_(trace_internal::NsPerTscTick()),
+#else
+      epoch_(std::chrono::steady_clock::now()),
+#endif
+      id_(g_next_recorder_id.fetch_add(1, std::memory_order_relaxed)) {
+  COMOVE_CHECK(capacity_per_thread > 0);
+}
+
+TraceRecorder::~TraceRecorder() = default;
+
+TraceRecorder::ThreadBuffer& TraceRecorder::RegisterThread(
+    ThreadCache& cache) {
+  // Re-registering after a recorder switch re-finds the thread's existing
+  // buffer, so alternation between recorders never duplicates rings.
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::thread::id self = std::this_thread::get_id();
+  for (auto& [tid, buffer] : buffers_) {
+    if (tid == self) {
+      cache = ThreadCache{id_, buffer.get()};
+      return *buffer;
+    }
+  }
+  buffers_.emplace_back(self, std::make_unique<ThreadBuffer>(capacity_));
+  cache = ThreadCache{id_, buffers_.back().second.get()};
+  return *cache.buffer;
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::vector<TraceEvent> events;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [tid, buffer] : buffers_) {
+    const std::uint64_t cursor =
+        buffer->cursor.load(std::memory_order_relaxed);
+    const std::uint64_t n = std::min<std::uint64_t>(
+        cursor, static_cast<std::uint64_t>(buffer->ring.size()));
+    // Oldest surviving event first: when wrapped, the slot at cursor %
+    // size is the next overwrite target, i.e. the oldest survivor.
+    const std::uint64_t first = cursor - n;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      events.push_back(
+          buffer->ring[static_cast<std::size_t>((first + i) %
+                                                buffer->ring.size())]);
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return events;
+}
+
+std::int64_t TraceRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t total = 0;
+  for (const auto& [tid, buffer] : buffers_) {
+    total += static_cast<std::int64_t>(
+        buffer->cursor.load(std::memory_order_relaxed));
+  }
+  return total;
+}
+
+std::int64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t total = 0;
+  for (const auto& [tid, buffer] : buffers_) {
+    const std::uint64_t cursor =
+        buffer->cursor.load(std::memory_order_relaxed);
+    if (cursor > buffer->ring.size()) {
+      total += static_cast<std::int64_t>(cursor - buffer->ring.size());
+    }
+  }
+  return total;
+}
+
+std::size_t TraceRecorder::thread_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buffers_.size();
+}
+
+void TraceRecorder::WriteChromeTrace(std::ostream& out) const {
+  const std::vector<TraceEvent> events = Events();
+
+  // Stable lane numbering: one tid per (stage, subtask), ordered along
+  // the pipeline so the loaded trace reads source at the top, enumerate
+  // and checkpoint at the bottom.
+  std::map<std::pair<std::pair<std::size_t, std::string>, std::int32_t>,
+           int>
+      lanes;
+  for (const TraceEvent& e : events) {
+    lanes.emplace(std::make_pair(std::make_pair(StageRank(e.stage),
+                                                std::string(e.stage)),
+                                 e.subtask),
+                  0);
+  }
+  int next_tid = 1;
+  for (auto& [key, tid] : lanes) tid = next_tid++;
+
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  out << "  {\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": "
+         "\"process_name\", \"args\": {\"name\": \"comove\"}}";
+  for (const auto& [key, tid] : lanes) {
+    out << ",\n  {\"ph\": \"M\", \"pid\": 1, \"tid\": " << tid
+        << ", \"name\": \"thread_name\", \"args\": {\"name\": ";
+    WriteJsonString(key.first.second + "[" + std::to_string(key.second) +
+                        "]",
+                    out);
+    out << "}}";
+    out << ",\n  {\"ph\": \"M\", \"pid\": 1, \"tid\": " << tid
+        << ", \"name\": \"thread_sort_index\", \"args\": {\"sort_index\": "
+        << tid << "}}";
+  }
+  for (const TraceEvent& e : events) {
+    const int tid = lanes.at(std::make_pair(
+        std::make_pair(StageRank(e.stage), std::string(e.stage)),
+        e.subtask));
+    // Chrome's ts/dur are microseconds (fractions allowed).
+    const double ts_us = static_cast<double>(e.start_ns) / 1e3;
+    out << ",\n  {\"ph\": ";
+    if (e.dur_ns == 0) {
+      out << "\"i\", \"s\": \"t\"";
+    } else {
+      out << "\"X\", \"dur\": " << static_cast<double>(e.dur_ns) / 1e3;
+    }
+    out << ", \"pid\": 1, \"tid\": " << tid << ", \"ts\": " << ts_us
+        << ", \"cat\": ";
+    WriteJsonString(e.stage, out);
+    out << ", \"name\": ";
+    WriteJsonString(e.name, out);
+    out << ", \"args\": {\"stage\": ";
+    WriteJsonString(e.stage, out);
+    out << ", \"subtask\": " << e.subtask
+        << ", \"snapshot_time\": " << e.snapshot_time;
+    if (e.aux != 0) out << ", \"aux\": " << e.aux;
+    out << "}}";
+  }
+  out << "\n], \"otherData\": {\"recorded\": " << recorded()
+      << ", \"dropped\": " << dropped() << "}}\n";
+}
+
+std::vector<SnapshotStageBreakdown> BuildWorstSnapshotBreakdown(
+    const std::vector<TraceEvent>& events,
+    const std::vector<std::pair<Timestamp, double>>& latencies,
+    std::size_t k) {
+  // Worst-k snapshot times by measured end-to-end latency.
+  std::vector<std::pair<Timestamp, double>> worst = latencies;
+  std::stable_sort(worst.begin(), worst.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  if (worst.size() > k) worst.resize(k);
+
+  // Per-(snapshot, stage) span-time sums over the selected snapshots.
+  std::unordered_map<Timestamp, std::map<std::size_t, std::pair<std::string,
+                                                                double>>>
+      stage_sums;
+  for (const auto& [t, latency] : worst) stage_sums[t];
+  for (const TraceEvent& e : events) {
+    if (e.snapshot_time == kNoTime || e.dur_ns == 0) continue;
+    auto it = stage_sums.find(e.snapshot_time);
+    if (it == stage_sums.end()) continue;
+    auto& slot = it->second[StageRank(e.stage)];
+    if (slot.first.empty()) slot.first = e.stage;
+    slot.second += static_cast<double>(e.dur_ns) / 1e6;
+  }
+
+  std::vector<SnapshotStageBreakdown> breakdown;
+  breakdown.reserve(worst.size());
+  for (const auto& [t, latency] : worst) {
+    SnapshotStageBreakdown row;
+    row.snapshot_time = t;
+    row.latency_ms = latency;
+    for (const auto& [rank, stage] : stage_sums[t]) {
+      row.stage_ms.emplace_back(stage.first, stage.second);
+    }
+    breakdown.push_back(std::move(row));
+  }
+  return breakdown;
+}
+
+void PrintSnapshotBreakdown(
+    const std::vector<SnapshotStageBreakdown>& breakdown,
+    std::ostream& out) {
+  for (const SnapshotStageBreakdown& row : breakdown) {
+    out << "snapshot " << row.snapshot_time << ": latency ";
+    const auto flags = out.flags();
+    out.setf(std::ios_base::fixed);
+    const auto precision = out.precision(2);
+    out << row.latency_ms << " ms";
+    // Dominant stage first in the annotation, all stages in pipeline
+    // order in the row - the reader sees both "who" and "where".
+    const std::pair<std::string, double>* dominant = nullptr;
+    for (const auto& stage : row.stage_ms) {
+      if (dominant == nullptr || stage.second > dominant->second) {
+        dominant = &stage;
+      }
+    }
+    if (dominant != nullptr) {
+      out << "  (dominated by " << dominant->first << ")";
+    }
+    for (const auto& [stage, ms] : row.stage_ms) {
+      out << "  " << stage << "=" << ms;
+    }
+    out.flags(flags);
+    out.precision(precision);
+    out << '\n';
+  }
+}
+
+}  // namespace comove::flow

@@ -52,7 +52,7 @@ TEST(JsonExport, ResultIncludesMetrics) {
   std::ostringstream out;
   apps::WriteResultJson(result, out);
   const std::string json = out.str();
-  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
   EXPECT_NE(json.find("\"snapshots\": 10"), std::string::npos);
   EXPECT_NE(json.find("\"crashed\": false"), std::string::npos);
   EXPECT_NE(json.find("\"last_checkpoint_id\": 7"), std::string::npos);
@@ -61,8 +61,13 @@ TEST(JsonExport, ResultIncludesMetrics) {
   EXPECT_NE(json.find("\"throughput_tps\": 123"), std::string::npos);
   EXPECT_NE(json.find("\"p99_latency_ms\": 4.25"), std::string::npos);
   EXPECT_NE(json.find("\"objects\":[1,2]"), std::string::npos);
-  // No stage stats collected: the stages key is omitted entirely.
+  EXPECT_NE(json.find("\"trace_events\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_dropped\": 0"), std::string::npos);
+  // No stage stats collected: the stages key is omitted entirely, as are
+  // the sampler's and tracer's optional arrays.
   EXPECT_EQ(json.find("\"stages\""), std::string::npos);
+  EXPECT_EQ(json.find("\"time_series\""), std::string::npos);
+  EXPECT_EQ(json.find("\"worst_snapshots\""), std::string::npos);
 }
 
 TEST(JsonExport, ResultIncludesStageStatsWhenCollected) {
@@ -91,6 +96,91 @@ TEST(JsonExport, ResultIncludesStageStatsWhenCollected) {
   EXPECT_NE(json.find("\"align_blocked_ms\": 0.25"), std::string::npos);
   EXPECT_NE(json.find("\"snapshot_bytes\": 4096"), std::string::npos);
   EXPECT_NE(json.find("\"last_checkpoint_id\": 13"), std::string::npos);
+  int depth = 0;
+  for (const char c : json) {
+    if (c == '[' || c == '{') ++depth;
+    if (c == ']' || c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+/// All `"key":` occurrences in `json`, in order - the literal key set of
+/// the emitted objects.
+std::vector<std::string> JsonKeys(const std::string& json) {
+  std::vector<std::string> keys;
+  for (std::size_t pos = json.find('"'); pos != std::string::npos;
+       pos = json.find('"', pos + 1)) {
+    const std::size_t end = json.find('"', pos + 1);
+    if (end == std::string::npos) break;
+    if (json.compare(end + 1, 1, ":") == 0) {
+      keys.push_back(json.substr(pos + 1, end - pos - 1));
+    }
+    pos = end;
+  }
+  return keys;
+}
+
+TEST(JsonExport, StageStatsTextAndJsonSurfacesMatch) {
+  // The parity satellite: every counter in the --stats text table must
+  // appear in the JSON export and vice versa. Both surfaces iterate
+  // flow::StageStatsFields(), so this test diffs each surface's actual
+  // output against the shared table - a field added to only one of the
+  // three places fails here by construction.
+  flow::StageStatsSnapshot stage;
+  stage.stage = "source->assembler";
+
+  std::ostringstream json_out;
+  apps::WriteStageStatsJson({stage}, json_out);
+  std::vector<std::string> json_keys = JsonKeys(json_out.str());
+
+  std::ostringstream text_out;
+  flow::PrintStageStats({stage}, text_out);
+  std::istringstream header_line(text_out.str().substr(
+      0, text_out.str().find('\n')));
+  std::vector<std::string> columns;
+  for (std::string column; header_line >> column;) {
+    columns.push_back(column);
+  }
+
+  const std::vector<flow::StageStatsField>& fields =
+      flow::StageStatsFields();
+  ASSERT_EQ(json_keys.size(), fields.size() + 2);  // stage + histogram
+  ASSERT_EQ(columns.size(), fields.size() + 1);    // stage
+  EXPECT_EQ(json_keys.front(), "stage");
+  EXPECT_EQ(json_keys.back(), "batch_size_histogram");
+  EXPECT_EQ(columns.front(), "stage");
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    EXPECT_EQ(json_keys[i + 1], fields[i].json_name) << i;
+    EXPECT_EQ(columns[i + 1], fields[i].column) << i;
+  }
+}
+
+TEST(JsonExport, ResultIncludesTimeSeriesAndWorstSnapshots) {
+  core::IcpeResult result;
+  result.trace_events = 42;
+  result.trace_dropped = 3;
+  result.time_series.resize(1);
+  result.time_series[0].t_ms = 10.0;
+  result.time_series[0].interval_ms = 10.0;
+  result.time_series[0].stages.resize(1);
+  result.time_series[0].stages[0].stage = "source->assembler";
+  result.time_series[0].stages[0].records_popped = 50;
+  result.worst_snapshots.resize(1);
+  result.worst_snapshots[0].snapshot_time = 9;
+  result.worst_snapshots[0].latency_ms = 12.5;
+  result.worst_snapshots[0].stage_ms = {{"join", 1.25}};
+
+  std::ostringstream out;
+  apps::WriteResultJson(result, out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"trace_events\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_dropped\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"time_series\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"records_popped\": 50"), std::string::npos);
+  EXPECT_NE(json.find("\"worst_snapshots\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"snapshot_time\": 9"), std::string::npos);
+  EXPECT_NE(json.find("\"join\": 1.25"), std::string::npos);
   int depth = 0;
   for (const char c : json) {
     if (c == '[' || c == '{') ++depth;

@@ -1,0 +1,175 @@
+#include "flow/metrics_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flow/stage_stats.h"
+
+namespace comove::flow {
+namespace {
+
+TEST(MetricsSamplerTest, CollectsSamplesAndFinalTail) {
+  StageStatsRegistry registry;
+  StageStats& stage = registry.Get("source->assembler");
+
+  MetricsSampler sampler(registry, /*interval_ms=*/5);
+  sampler.Start();
+  for (int i = 0; i < 100; ++i) {
+    stage.OnPush(/*is_watermark=*/false, /*blocked_ns=*/0);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  for (int i = 0; i < 50; ++i) {
+    stage.OnPush(/*is_watermark=*/false, /*blocked_ns=*/0);
+  }
+  sampler.Stop();
+
+  const std::vector<MetricsSample>& samples = sampler.samples();
+  ASSERT_FALSE(samples.empty());
+
+  // Per-interval deltas sum to the counter totals: the final tail sample
+  // taken by Stop() means nothing after the last tick is lost.
+  std::int64_t pushed = 0;
+  double last_t = 0.0;
+  for (const MetricsSample& sample : samples) {
+    EXPECT_GT(sample.t_ms, last_t);
+    last_t = sample.t_ms;
+    EXPECT_GT(sample.interval_ms, 0.0);
+    ASSERT_EQ(sample.stages.size(), 1u);
+    EXPECT_EQ(sample.stages[0].stage, "source->assembler");
+    EXPECT_GE(sample.stages[0].records_pushed, 0);
+    pushed += sample.stages[0].records_pushed;
+  }
+  EXPECT_EQ(pushed, 150);
+}
+
+TEST(MetricsSamplerTest, StopIsIdempotentAndStartAfterStopIsSafe) {
+  StageStatsRegistry registry;
+  registry.Get("a->b");
+  MetricsSampler sampler(registry, 1000);
+  sampler.Stop();  // never started: no-op
+  sampler.Start();
+  sampler.Stop();
+  sampler.Stop();
+  // Stopped before the first tick fired, but Stop() takes a tail sample.
+  EXPECT_EQ(sampler.samples().size(), 1u);
+  EXPECT_EQ(sampler.interval_ms(), 1000);
+}
+
+TEST(MetricsSamplerTest, WatermarkLagSpansStages) {
+  StageStatsRegistry registry;
+  StageStats& fast = registry.Get("source->assembler");
+  StageStats& slow = registry.Get("cluster->enumerate");
+  registry.Get("no-watermarks");  // must not drag the lag to kNoTime
+
+  MetricsSampler sampler(registry, 1000);
+  sampler.Start();
+  fast.OnWatermarkValue(10);
+  slow.OnWatermarkValue(4);
+  sampler.Stop();
+
+  const std::vector<MetricsSample>& samples = sampler.samples();
+  ASSERT_FALSE(samples.empty());
+  const MetricsSample& last = samples.back();
+  EXPECT_EQ(last.watermark_lag, 6);
+  ASSERT_EQ(last.stages.size(), 3u);
+  EXPECT_EQ(last.stages[0].last_watermark, 10);
+  EXPECT_EQ(last.stages[1].last_watermark, 4);
+  EXPECT_EQ(last.stages[2].last_watermark, kNoTime);
+}
+
+TEST(MetricsSamplerTest, NoWatermarksMeansNoLag) {
+  StageStatsRegistry registry;
+  registry.Get("a->b");
+  MetricsSampler sampler(registry, 1000);
+  sampler.Start();
+  sampler.Stop();
+  ASSERT_FALSE(sampler.samples().empty());
+  EXPECT_EQ(sampler.samples().back().watermark_lag, kNoTime);
+}
+
+TEST(MetricsSamplerTest, GaugesAreValuesNotDeltas) {
+  StageStatsRegistry registry;
+  StageStats& stage = registry.Get("a->b");
+  MetricsSampler sampler(registry, 1000);
+  sampler.Start();
+  // Two pushes, one pop: queue depth gauge 1 at the final sample.
+  stage.OnPush(false, 0);
+  stage.OnPush(false, 0);
+  stage.OnPop(false, 0);
+  sampler.Stop();
+  const MetricsSample& last = sampler.samples().back();
+  ASSERT_EQ(last.stages.size(), 1u);
+  EXPECT_EQ(last.stages[0].queue_depth, 1);
+  EXPECT_EQ(last.stages[0].records_pushed, 2);
+  EXPECT_EQ(last.stages[0].records_popped, 1);
+}
+
+std::vector<MetricsSample> MakeSeries() {
+  std::vector<MetricsSample> series(2);
+  series[0].t_ms = 10.0;
+  series[0].interval_ms = 10.0;
+  series[0].watermark_lag = 3;
+  series[0].stages.resize(2);
+  series[0].stages[0].stage = "source->assembler";
+  series[0].stages[0].records_pushed = 100;
+  series[0].stages[0].records_popped = 80;
+  series[0].stages[0].queue_depth = 20;
+  series[0].stages[0].last_watermark = 7;
+  series[0].stages[1].stage = "cluster->enumerate";
+  series[1].t_ms = 20.0;
+  series[1].interval_ms = 10.0;
+  series[1].stages.resize(2);
+  series[1].stages[0].stage = "source->assembler";
+  series[1].stages[1].stage = "cluster->enumerate";
+  return series;
+}
+
+TEST(TimeSeriesExportTest, CsvIsTidyWithDerivedRate) {
+  std::ostringstream out;
+  WriteTimeSeriesCsv(MakeSeries(), out);
+  const std::string csv = out.str();
+
+  std::istringstream lines(csv);
+  std::string header;
+  ASSERT_TRUE(std::getline(lines, header));
+  EXPECT_EQ(header,
+            "t_ms,interval_ms,watermark_lag,stage,records_pushed,"
+            "records_popped,records_per_sec,queue_depth,push_blocked_ms,"
+            "pop_blocked_ms,align_blocked_ms,barriers_popped,"
+            "last_watermark");
+  // One row per (sample, stage).
+  int rows = 0;
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, 4);
+  // 80 popped over a 10 ms interval = 8000 records/s.
+  EXPECT_NE(csv.find("8000"), std::string::npos);
+}
+
+TEST(TimeSeriesExportTest, JsonHasOneObjectPerSample) {
+  std::ostringstream out;
+  WriteTimeSeriesJson(MakeSeries(), out);
+  const std::string json = out.str();
+  EXPECT_EQ(json.find('['), 0u);
+  EXPECT_EQ(json.rfind(']'), json.size() - 1);
+  std::size_t count = 0;
+  for (std::size_t pos = json.find("\"t_ms\""); pos != std::string::npos;
+       pos = json.find("\"t_ms\"", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+  EXPECT_NE(json.find("\"watermark_lag\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"stage\": \"source->assembler\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace comove::flow

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <thread>
+#include <utility>
+#include <vector>
+
+#include "flow/stage_stats.h"
 
 namespace comove::flow {
 namespace {
@@ -82,6 +87,58 @@ TEST(SnapshotMetrics, PercentilesAreOrderedAndBracketTheSamples) {
   // The histogram's bucket error is ~12.5%; allow that over the true max.
   EXPECT_LE(m.p99_latency_ms, m.max_latency_ms * 1.13);
   EXPECT_GE(m.max_latency_ms, m.average_latency_ms);
+}
+
+TEST(SnapshotMetrics, PerSnapshotRetentionIsOptIn) {
+  SnapshotMetrics metrics;
+  metrics.MarkIngest(1);
+  metrics.MarkComplete(1);
+  EXPECT_TRUE(metrics.PerSnapshot().empty());  // off by default
+
+  metrics.KeepPerSnapshot(true);
+  metrics.MarkIngest(4);
+  metrics.MarkIngest(2);
+  metrics.MarkComplete(4);
+  metrics.MarkComplete(2);
+  const std::vector<std::pair<Timestamp, double>> kept =
+      metrics.PerSnapshot();
+  ASSERT_EQ(kept.size(), 2u);  // completion order, opt-in onwards only
+  EXPECT_EQ(kept[0].first, 4);
+  EXPECT_EQ(kept[1].first, 2);
+  EXPECT_GE(kept[0].second, 0.0);
+}
+
+/// Deterministic inverse-CDF sampling: feeding the histogram the exact
+/// (i + 0.5)/N quantiles of a known distribution makes the true quantile
+/// function available in closed form, so the test pins an error BOUND
+/// rather than eyeballing monotonicity.
+template <typename InverseCdf>
+void CheckQuantileError(const InverseCdf& inverse_cdf,
+                        double max_relative_error) {
+  constexpr int kSamples = 20000;
+  LatencyHistogram histogram;
+  for (int i = 0; i < kSamples; ++i) {
+    histogram.RecordMs(inverse_cdf((i + 0.5) / kSamples));
+  }
+  for (const double q : {0.50, 0.90, 0.95, 0.99}) {
+    const double truth = inverse_cdf(q);
+    const double estimate = histogram.PercentileMs(q);
+    EXPECT_NEAR(estimate, truth, truth * max_relative_error)
+        << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, InterpolationBoundsQuantileErrorUniform) {
+  // Uniform on [1 ms, 100 ms]: inverse CDF is affine. Without
+  // within-bucket interpolation the log-scale buckets would be ~12.5%
+  // off; interpolation brings smooth distributions under 3%.
+  CheckQuantileError([](double u) { return 1.0 + 99.0 * u; }, 0.03);
+}
+
+TEST(LatencyHistogram, InterpolationBoundsQuantileErrorExponential) {
+  // Exponential with 10 ms mean - the shape real queueing latencies take.
+  CheckQuantileError(
+      [](double u) { return -10.0 * std::log(1.0 - u); }, 0.03);
 }
 
 TEST(SnapshotMetrics, ConcurrentMarksAreSafe) {

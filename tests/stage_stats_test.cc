@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <limits>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -52,10 +53,11 @@ TEST(LatencyHistogram, PercentilesOfUniformSamplesAreAccurate) {
   EXPECT_EQ(h.count(), 1000);
   EXPECT_NEAR(h.AverageMs(), 500.5, 1.0);
   EXPECT_NEAR(h.MaxMs(), 1000.0, 1e-6);
-  // The log-scale buckets guarantee ~12.5% relative error.
-  EXPECT_NEAR(h.PercentileMs(0.50), 500.0, 500.0 * 0.13);
-  EXPECT_NEAR(h.PercentileMs(0.95), 950.0, 950.0 * 0.13);
-  EXPECT_NEAR(h.PercentileMs(0.99), 990.0, 990.0 * 0.13);
+  // Within-bucket interpolation holds smooth distributions to a few
+  // percent (metrics_test pins the bound; raw buckets would be ~12.5%).
+  EXPECT_NEAR(h.PercentileMs(0.50), 500.0, 500.0 * 0.03);
+  EXPECT_NEAR(h.PercentileMs(0.95), 950.0, 950.0 * 0.03);
+  EXPECT_NEAR(h.PercentileMs(0.99), 990.0, 990.0 * 0.03);
   // Quantiles are monotone in q.
   EXPECT_LE(h.PercentileMs(0.50), h.PercentileMs(0.95));
   EXPECT_LE(h.PercentileMs(0.95), h.PercentileMs(0.99));
@@ -262,6 +264,27 @@ TEST(StageStats, PrintBatchHistogramListsNonEmptyBucketsOnly) {
   EXPECT_NE(out.str().find("1:1"), std::string::npos);
   EXPECT_NE(out.str().find("64:1"), std::string::npos);
   ch.CloseProducer();
+}
+
+TEST(StageStats, LastWatermarkIsMaxOfObservedValues) {
+  StageStats stats("a->b");
+  EXPECT_EQ(stats.Snapshot().last_watermark, kNoTime);  // none seen yet
+
+  stats.OnWatermarkValue(5);
+  stats.OnWatermarkValue(9);
+  stats.OnWatermarkValue(7);  // out-of-order arrival must not regress
+  EXPECT_EQ(stats.Snapshot().last_watermark, 9);
+
+  // The end-of-stream sentinel is excluded so the gauge keeps reporting
+  // real event time.
+  stats.OnWatermarkValue(std::numeric_limits<Timestamp>::max());
+  EXPECT_EQ(stats.Snapshot().last_watermark, 9);
+}
+
+TEST(StageStats, SentinelOnlyWatermarksLeaveGaugeUnset) {
+  StageStats stats("a->b");
+  stats.OnWatermarkValue(std::numeric_limits<Timestamp>::max());
+  EXPECT_EQ(stats.Snapshot().last_watermark, kNoTime);
 }
 
 TEST(StageStats, UninstrumentedChannelTakesNoStats) {

@@ -1,0 +1,271 @@
+#include "flow/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace comove::flow {
+namespace {
+
+TEST(TraceRecorderTest, RecordsSpansAndInstants) {
+  TraceRecorder recorder(64);
+  const std::uint64_t t0 = recorder.NowNs();
+  recorder.RecordSpanSince("join", "neighbor_pairs", 2, 17, t0, 5);
+  recorder.RecordInstant("checkpoint", "ack", 0, kNoTime, 3);
+
+  const std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(recorder.recorded(), 2);
+  EXPECT_EQ(recorder.dropped(), 0);
+
+  const TraceEvent& span = events[0];
+  EXPECT_STREQ(span.stage, "join");
+  EXPECT_STREQ(span.name, "neighbor_pairs");
+  EXPECT_EQ(span.subtask, 2);
+  EXPECT_EQ(span.snapshot_time, 17);
+  EXPECT_EQ(span.aux, 5);
+  EXPECT_GT(span.dur_ns, 0u);  // spans never collapse to instants
+
+  const TraceEvent& instant = events[1];
+  EXPECT_STREQ(instant.stage, "checkpoint");
+  EXPECT_EQ(instant.dur_ns, 0u);
+  EXPECT_GE(instant.start_ns, span.start_ns);  // sorted by start time
+}
+
+TEST(TraceRecorderTest, ExplicitDurationSpanIsBackDatable) {
+  TraceRecorder recorder(64);
+  recorder.RecordSpan("dbscan", "dbscan", 1, 9, /*start_ns=*/1000,
+                      /*dur_ns=*/500);
+  recorder.RecordSpan("join", "neighbor_pairs", 1, 9, /*start_ns=*/500,
+                      /*dur_ns=*/500);
+  const std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted by start_ns regardless of record order: the phases tile.
+  EXPECT_STREQ(events[0].stage, "join");
+  EXPECT_EQ(events[0].start_ns + events[0].dur_ns, events[1].start_ns);
+}
+
+TEST(TraceRecorderTest, WraparoundDropsOldestAndCountsDrops) {
+  TraceRecorder recorder(8);
+  ASSERT_EQ(recorder.capacity_per_thread(), 8u);
+  for (std::int64_t i = 0; i < 20; ++i) {
+    recorder.RecordSpan("source", "emit", 0, static_cast<Timestamp>(i),
+                        static_cast<std::uint64_t>(100 * i + 1), 10, i);
+  }
+  EXPECT_EQ(recorder.recorded(), 20);
+  EXPECT_EQ(recorder.dropped(), 12);
+
+  const std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 8u);
+  // The newest 8 events survive, oldest-first.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].aux, static_cast<std::int64_t>(12 + i));
+  }
+}
+
+TEST(TraceRecorderTest, CapacityRoundsUpToPowerOfTwo) {
+  TraceRecorder recorder(10);
+  EXPECT_EQ(recorder.capacity_per_thread(), 16u);
+}
+
+TEST(TraceRecorderTest, MultiProducerKeepsPerThreadOrder) {
+  TraceRecorder recorder(1u << 12);
+  constexpr int kThreads = 4;
+  constexpr std::int64_t kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (std::int64_t i = 0; i < kPerThread; ++i) {
+        // aux encodes (thread, sequence) so the merged stream can be
+        // checked for per-thread monotonicity.
+        const std::uint64_t start = recorder.NowNs();
+        recorder.RecordSpanSince("flush", "records", t, kNoTime, start,
+                                 t * kPerThread + i);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(recorder.recorded(), kThreads * kPerThread);
+  EXPECT_EQ(recorder.dropped(), 0);
+  EXPECT_EQ(recorder.thread_count(), static_cast<std::size_t>(kThreads));
+
+  const std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  // Every event present exactly once, and each thread's sequence numbers
+  // appear in increasing start_ns order (the merge is a stable sort).
+  std::map<int, std::int64_t> last_seq;
+  std::set<std::int64_t> seen;
+  for (const TraceEvent& e : events) {
+    ASSERT_TRUE(seen.insert(e.aux).second);
+    const int thread = static_cast<int>(e.aux / kPerThread);
+    const std::int64_t seq = e.aux % kPerThread;
+    auto it = last_seq.find(thread);
+    if (it != last_seq.end()) EXPECT_GT(seq, it->second);
+    last_seq[thread] = seq;
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+TEST(TraceRecorderTest, ThreadBufferIsReusedAcrossRecorderSwitches) {
+  // Alternating between two recorders on one thread must not grow either
+  // recorder's registry beyond one buffer for this thread.
+  TraceRecorder a(16);
+  TraceRecorder b(16);
+  for (int i = 0; i < 10; ++i) {
+    a.RecordInstant("source", "emit", 0, kNoTime);
+    b.RecordInstant("source", "emit", 0, kNoTime);
+  }
+  EXPECT_EQ(a.thread_count(), 1u);
+  EXPECT_EQ(b.thread_count(), 1u);
+  EXPECT_EQ(a.recorded(), 10);
+  EXPECT_EQ(b.recorded(), 10);
+}
+
+TEST(TraceSpanTest, NullRecorderIsFree) {
+  // The disabled path must not crash or record anything; this is the
+  // exact calling pattern every instrumented stage uses when tracing is
+  // off.
+  TraceSpan span(nullptr, "join", "neighbor_pairs", 0, 3);
+}
+
+TEST(TraceSpanTest, RecordsOnDestruction) {
+  TraceRecorder recorder(16);
+  {
+    TraceSpan span(&recorder, "enumerate", "tick", 1, 7, 42);
+  }
+  const std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].stage, "enumerate");
+  EXPECT_STREQ(events[0].name, "tick");
+  EXPECT_EQ(events[0].subtask, 1);
+  EXPECT_EQ(events[0].snapshot_time, 7);
+  EXPECT_EQ(events[0].aux, 42);
+  EXPECT_GT(events[0].dur_ns, 0u);
+}
+
+/// Chrome trace JSON sanity without a JSON library: balanced braces and
+/// brackets outside strings, plus the structural markers the viewers need.
+void CheckBalancedJson(const std::string& json) {
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++braces; break;
+      case '}': --braces; break;
+      case '[': ++brackets; break;
+      case ']': --brackets; break;
+      default: break;
+    }
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(TraceRecorderTest, WritesWellFormedChromeTrace) {
+  TraceRecorder recorder(64);
+  for (const char* stage : kTraceStageOrder) {
+    const std::uint64_t t0 = recorder.NowNs();
+    recorder.RecordSpanSince(stage, "work", 0, 1, t0);
+  }
+  recorder.RecordInstant("checkpoint", "ack", 1, kNoTime, 2);
+
+  std::ostringstream out;
+  recorder.WriteChromeTrace(out);
+  const std::string json = out.str();
+
+  CheckBalancedJson(json);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"recorded\": 8"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\": 0"), std::string::npos);
+  for (const char* stage : kTraceStageOrder) {
+    EXPECT_NE(json.find("\"stage\": \"" + std::string(stage) + "\""),
+              std::string::npos)
+        << stage;
+  }
+}
+
+TEST(BuildWorstSnapshotBreakdownTest, SelectsWorstKAndSumsStages) {
+  std::vector<TraceEvent> events;
+  const auto add = [&events](const char* stage, Timestamp t,
+                             std::uint64_t dur_ns) {
+    TraceEvent e;
+    e.stage = stage;
+    e.name = "work";
+    e.snapshot_time = t;
+    e.start_ns = 1;
+    e.dur_ns = dur_ns;
+    events.push_back(e);
+  };
+  // Snapshot 5: 2 ms join + 1 ms dbscan (two join spans of 1 ms).
+  add("join", 5, 1'000'000);
+  add("join", 5, 1'000'000);
+  add("dbscan", 5, 1'000'000);
+  // Snapshot 6: 4 ms enumerate. Snapshot 7: 1 ms source.
+  add("enumerate", 6, 4'000'000);
+  add("source", 7, 1'000'000);
+  // Untagged and instant events must be ignored.
+  add("flush", kNoTime, 1'000'000);
+  add("assembler", 6, 0);
+
+  const std::vector<std::pair<Timestamp, double>> latencies = {
+      {5, 30.0}, {6, 50.0}, {7, 1.0}};
+  const std::vector<SnapshotStageBreakdown> worst =
+      BuildWorstSnapshotBreakdown(events, latencies, 2);
+
+  ASSERT_EQ(worst.size(), 2u);
+  EXPECT_EQ(worst[0].snapshot_time, 6);
+  EXPECT_DOUBLE_EQ(worst[0].latency_ms, 50.0);
+  ASSERT_EQ(worst[0].stage_ms.size(), 1u);
+  EXPECT_EQ(worst[0].stage_ms[0].first, "enumerate");
+  EXPECT_DOUBLE_EQ(worst[0].stage_ms[0].second, 4.0);
+
+  EXPECT_EQ(worst[1].snapshot_time, 5);
+  ASSERT_EQ(worst[1].stage_ms.size(), 2u);
+  // Pipeline order: join before dbscan.
+  EXPECT_EQ(worst[1].stage_ms[0].first, "join");
+  EXPECT_DOUBLE_EQ(worst[1].stage_ms[0].second, 2.0);
+  EXPECT_EQ(worst[1].stage_ms[1].first, "dbscan");
+  EXPECT_DOUBLE_EQ(worst[1].stage_ms[1].second, 1.0);
+}
+
+TEST(BuildWorstSnapshotBreakdownTest, PrintsDominantStage) {
+  std::vector<SnapshotStageBreakdown> breakdown(1);
+  breakdown[0].snapshot_time = 9;
+  breakdown[0].latency_ms = 12.5;
+  breakdown[0].stage_ms = {{"join", 1.0}, {"enumerate", 8.0}};
+  std::ostringstream out;
+  PrintSnapshotBreakdown(breakdown, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("snapshot 9"), std::string::npos);
+  EXPECT_NE(text.find("dominated by enumerate"), std::string::npos);
+  EXPECT_NE(text.find("join=1.00"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace comove::flow
