@@ -100,7 +100,8 @@ int main(int argc, char** argv) {
     }
     std::printf("  {");
     for (std::size_t i = 0; i < p.objects.size(); ++i) {
-      std::printf("%s%d", i ? "," : "", p.objects[i]);
+      std::printf("%s%lld", i ? "," : "",
+                  static_cast<long long>(p.objects[i]));
     }
     std::printf("} x%zu snapshots [%d..%d]\n", p.times.size(),
                 p.times.front(), p.times.back());

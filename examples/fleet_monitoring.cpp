@@ -74,7 +74,8 @@ int main() {
   if (largest != nullptr) {
     std::printf("largest convoy: %zu taxis {", largest->objects.size());
     for (std::size_t i = 0; i < largest->objects.size(); ++i) {
-      std::printf("%s%d", i ? ", " : "", largest->objects[i]);
+      std::printf("%s%lld", i ? ", " : "",
+                  static_cast<long long>(largest->objects[i]));
     }
     std::printf("} co-travelling across %zu intervals\n",
                 largest->times.size());

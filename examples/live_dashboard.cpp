@@ -52,7 +52,8 @@ int main(int argc, char** argv) {
             .count();
     std::printf("[t+%6.3fs] pattern {", secs);
     for (std::size_t i = 0; i < p.objects.size(); ++i) {
-      std::printf("%s%d", i ? "," : "", p.objects[i]);
+      std::printf("%s%lld", i ? "," : "",
+                  static_cast<long long>(p.objects[i]));
     }
     std::printf("} over snapshots [%d..%d]\n", p.times.front(),
                 p.times.back());

@@ -120,7 +120,8 @@ int main() {
     pattern_total += pattern_err;
     naive_total += naive_err;
     ++scored;
-    std::printf("%-8d %16.1f %16.1f %10zu\n", target, pattern_err,
+    std::printf("%-8lld %16.1f %16.1f %10zu\n",
+                static_cast<long long>(target), pattern_err,
                 naive_err, pattern->objects.size() - 1);
   }
 

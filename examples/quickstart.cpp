@@ -55,7 +55,8 @@ int main() {
     }
     std::printf("  objects {");
     for (std::size_t i = 0; i < p.objects.size(); ++i) {
-      std::printf("%s%d", i ? ", " : "", p.objects[i]);
+      std::printf("%s%lld", i ? ", " : "",
+                  static_cast<long long>(p.objects[i]));
     }
     std::printf("} together over T=[%d..%d] (%zu snapshots)\n",
                 p.times.front(), p.times.back(), p.times.size());

@@ -65,7 +65,8 @@ int main() {
     }
     std::printf("  community of %zu: {", community.size());
     for (std::size_t i = 0; i < community.size() && i < 10; ++i) {
-      std::printf("%s%d", i ? ", " : "", community[i]);
+      std::printf("%s%lld", i ? ", " : "",
+                  static_cast<long long>(community[i]));
     }
     if (community.size() > 10) std::printf(", ...");
     std::printf("}\n");

@@ -17,12 +17,16 @@
 #     rows, also compared WITHIN the current run): the production sender
 #     with tracing disabled within 1% of the frozen hook-free reference
 #     (off/ref >= 0.99), and with the recorder on within 5% of disabled
-#     (on/off >= 0.95).
+#     (on/off >= 0.95);
+#   - the incremental delta path must pay on a mostly-parked fleet: delta
+#     mode >= 2x full recompute on bench_incremental's large low-mover
+#     config (within the current run, so the floor is machine-neutral).
 #
 # The baselines are machine-specific; regenerate them on your hardware with
 #   build-release/bench/bench_flow_throughput --out BENCH_flow_throughput.json
 #   build-release/bench/bench_join_kernel --out BENCH_join_kernel.json
 #   build-release/bench/bench_checkpoint --out BENCH_checkpoint.json
+#   build-release/bench/bench_incremental --out BENCH_incremental.json
 # before relying on the regression gate.
 #
 # Usage: scripts/bench_smoke.sh [build-dir]   (default: build-release)
@@ -38,6 +42,8 @@ KERNEL_BASELINE="BENCH_join_kernel.json"
 KERNEL_CURRENT="BENCH_join_kernel.tmp.json"
 CKPT_BASELINE="BENCH_checkpoint.json"
 CKPT_CURRENT="BENCH_checkpoint.tmp.json"
+INCR_BASELINE="BENCH_incremental.json"
+INCR_CURRENT="BENCH_incremental.tmp.json"
 
 if [ ! -f "$BASELINE" ]; then
   echo "missing baseline $BASELINE" >&2
@@ -51,14 +57,20 @@ if [ ! -f "$CKPT_BASELINE" ]; then
   echo "missing baseline $CKPT_BASELINE" >&2
   exit 1
 fi
+if [ ! -f "$INCR_BASELINE" ]; then
+  echo "missing baseline $INCR_BASELINE" >&2
+  exit 1
+fi
 
 cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target bench_flow_throughput bench_join_kernel bench_checkpoint
+  --target bench_flow_throughput bench_join_kernel bench_checkpoint \
+  bench_incremental
 
 "$BUILD_DIR/bench/bench_flow_throughput" --out "$CURRENT"
 "$BUILD_DIR/bench/bench_join_kernel" --out "$KERNEL_CURRENT"
 "$BUILD_DIR/bench/bench_checkpoint" --out "$CKPT_CURRENT"
+"$BUILD_DIR/bench/bench_incremental" --out "$INCR_CURRENT"
 
 # Each JSON file holds one row object per line:
 #   {"workload": "...", "parallelism": P, "batch": B, "records_per_sec": R}
@@ -236,7 +248,64 @@ awk '
   }
 ' "$CKPT_BASELINE" "$CKPT_CURRENT" || status=1
 
-rm -f "$CURRENT" "$KERNEL_CURRENT" "$CKPT_CURRENT"
+# Incremental delta-path rows:
+#   {"workload": "incremental", "objects": N, "movers": M,
+#    "mode": "full"|"delta", "snapshots_per_sec": R, "replay_pct": P}
+# keyed on (objects, movers, mode). The headline floor compares delta
+# against full WITHIN the current run on the large low-mover config (the
+# regime the per-cell cache targets), so it is machine-neutral.
+awk '
+  function field(line, name,    rest) {
+    rest = line
+    sub(".*\"" name "\": *", "", rest)
+    sub("[,}].*", "", rest)
+    gsub("\"", "", rest)
+    return rest
+  }
+  {
+    key = "o" field($0, "objects") "/m" field($0, "movers") \
+          "/" field($0, "mode")
+    rate = field($0, "snapshots_per_sec") + 0
+    if (NR == FNR) { baseline[key] = rate; next }
+    current[key] = rate
+    if (!(key in baseline)) {
+      printf "NEW  incremental/%-24s %10.0f snap/s (no baseline)\n", key, rate
+      next
+    }
+    ratio = rate / baseline[key]
+    verdict = (ratio >= 0.8) ? "ok  " : "low "
+    log_sum += log(ratio)
+    rows += 1
+    printf "%s incremental/%-24s %10.0f snap/s  baseline %10.0f  (%.2fx)\n", \
+           verdict, key, rate, baseline[key], ratio
+  }
+  END {
+    if (rows == 0) { print "FAIL: no comparable incremental rows"; exit 1 }
+    geomean = exp(log_sum / rows)
+    printf "geometric-mean incremental ratio over %d rows = %.2fx\n", \
+           rows, geomean
+    if (geomean < 0.8) {
+      print "FAIL: incremental bench regressed more than 20% overall"
+      failed = 1
+    }
+    full = current["o3904/m78/full"]
+    delta = current["o3904/m78/delta"]
+    if (full <= 0 || delta <= 0) {
+      print "FAIL: missing incremental headline rows"
+      failed = 1
+    } else {
+      speedup = delta / full
+      printf "incremental headline (o3904/m78) delta/full = %.2fx\n", speedup
+      if (speedup < 2.0) {
+        print "FAIL: delta path speedup below 2x on the parked-fleet config"
+        failed = 1
+      }
+    }
+    exit failed
+  }
+' "$INCR_BASELINE" "$INCR_CURRENT" || status=1
+
+rm -f "$CURRENT" "$KERNEL_CURRENT" "$CKPT_CURRENT" "$INCR_CURRENT"
 if [ "$status" -ne 0 ]; then
   echo "bench smoke FAILED (>20% regression or lost headline win)" >&2
 else

@@ -27,6 +27,8 @@ TESTS=(
   icpe_engine_test
   icpe_replay_test
   icpe_parallel_join_test
+  incremental_join_test
+  icpe_incremental_test
   multi_query_test
   soak_test
   barrier_alignment_test

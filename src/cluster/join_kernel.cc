@@ -130,7 +130,9 @@ constexpr std::size_t kRadixMinPairs = 4096;
 constexpr std::size_t kRadixBuckets = 1u << 16;
 
 /// Lexicographic (a, b) order as one unsigned 64-bit key; order-preserving
-/// only when both ids are non-negative (callers check).
+/// only when both ids are non-negative AND fit in 32 bits (callers check).
+/// The casts below truncate wider ids, which would silently scramble the
+/// radix order, so SortUniquePairs gates on the id range first.
 inline std::uint64_t PackedKey(const NeighborPair& p) {
   return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.a)) << 32) |
          static_cast<std::uint32_t>(p.b);
@@ -143,9 +145,12 @@ void SortUniquePairs(std::vector<NeighborPair>& pairs,
   const std::size_t n = pairs.size();
   bool radixable = n >= kRadixMinPairs;
   if (radixable) {
+    // OR-fold of every id: a negative id sets the sign bit, an id above
+    // 2^32 sets a bit in [32, 63) - either disqualifies the packed key
+    // (PackedKey truncates each id to 32 bits).
     TrajectoryId any = 0;
     for (const NeighborPair& p : pairs) any |= p.a | p.b;
-    radixable = any >= 0;
+    radixable = any >= 0 && (any >> 32) == 0;
   }
   if (!radixable) {
     std::sort(pairs.begin(), pairs.end());

@@ -88,10 +88,11 @@ void SweepCellJoin(const std::vector<GridObject>& cell_objects, double eps,
 
 /// Canonical GridSync finalisation: sorts `pairs` lexicographically and
 /// removes duplicates, exactly like `std::sort` + `std::unique` but fast
-/// on large pair streams. Each pair packs into one 64-bit key (ids are
-/// 32-bit), sorted by LSD radix over 16-bit digits with trivial passes
-/// skipped; comparison sort remains the fallback for small inputs and for
-/// negative ids (where the packed key would not preserve order). `tmp` is
+/// on large pair streams. Each pair packs into one 64-bit key (each id
+/// truncated to 32 bits), sorted by LSD radix over 16-bit digits with
+/// trivial passes skipped; comparison sort remains the fallback for small
+/// inputs, for negative ids, and for ids that need more than 32 bits
+/// (either way the packed key would not preserve order). `tmp` is
 /// ping-pong scratch and holds garbage afterwards.
 void SortUniquePairs(std::vector<NeighborPair>& pairs,
                      std::vector<NeighborPair>& tmp);

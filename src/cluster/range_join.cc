@@ -127,6 +127,41 @@ std::vector<NeighborPair> GridSync(
   return out;
 }
 
+void CellDeltaCache::QueryCell(std::vector<GridObject>& cell_objects,
+                               const GridKey& key,
+                               const RangeJoinOptions& options,
+                               bool use_lemma2, CellQueryScratch& kernel,
+                               std::vector<NeighborPair>& out) {
+  // Replays may repeat work only the downstream SortUniquePairs (or the
+  // Fig. 5 sync stage's sort + unique) would remove anyway, so the merged
+  // stream is bit-identical to a full recompute.
+  Entry& entry = entries[key];
+  ++cells_seen;
+  entry.last_used = epoch;
+  if (entry.bucket == cell_objects) {
+    ++cells_replayed;
+  } else {
+    entry.pairs.clear();
+    GridQuery(cell_objects, options, use_lemma2, kernel, entry.pairs);
+    // The bucket becomes the memo key; swapping hands its storage over
+    // and leaves the old key's capacity in the caller's bucket for the
+    // next snapshot.
+    entry.bucket.swap(cell_objects);
+  }
+  out.insert(out.end(), entry.pairs.begin(), entry.pairs.end());
+}
+
+void CellDeltaCache::EndSnapshot() {
+  if (epoch % kEvictAfterEpochs != 0) return;
+  for (auto it = entries.begin(); it != entries.end();) {
+    if (it->second.last_used + kEvictAfterEpochs <= epoch) {
+      it = entries.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 namespace {
 
 /// Shared driver: allocate, bucket by cell, per-cell query, sync - all in
@@ -154,12 +189,19 @@ void RunJoin(const Snapshot& snapshot, const RangeJoinOptions& options,
     cell.push_back(std::move(o));
   }
   scratch.pairs.clear();
+  if (options.incremental) scratch.delta.BeginSnapshot();
   for (const GridKey& key : scratch.active_cells) {
     std::vector<GridObject>& cell_objects = scratch.cells.find(key)->second;
-    GridQuery(cell_objects, options, use_lemma2, scratch.cell,
-              scratch.pairs);
+    if (options.incremental) {
+      scratch.delta.QueryCell(cell_objects, key, options, use_lemma2,
+                              scratch.cell, scratch.pairs);
+    } else {
+      GridQuery(cell_objects, options, use_lemma2, scratch.cell,
+                scratch.pairs);
+    }
     cell_objects.clear();  // keep the bucket's capacity for the next snapshot
   }
+  if (options.incremental) scratch.delta.EndSnapshot();
   // GridSync on the merged stream: canonical order + dedup.
   SortUniquePairs(scratch.pairs, scratch.pairs_tmp);
 }

@@ -33,4 +33,15 @@
     }                                                                        \
   } while (0)
 
+/// Debug-build-only COMOVE_CHECK: compiled out under NDEBUG. For
+/// invariants whose verification is too expensive for the hot path (e.g.
+/// re-deriving a running counter by a full scan).
+#ifdef NDEBUG
+#define COMOVE_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#else
+#define COMOVE_DCHECK(cond) COMOVE_CHECK(cond)
+#endif
+
 #endif  // COMOVE_COMMON_CHECK_H_

@@ -13,8 +13,12 @@
 
 namespace comove {
 
-/// Identifier of a streaming trajectory (a moving object).
-using TrajectoryId = std::int32_t;
+/// Identifier of a streaming trajectory (a moving object). 64-bit so
+/// production id spaces (device ids, account ids) pass through without a
+/// remapping layer; hot-path structures that want 32-bit keys (the radix
+/// pair sort's packed key) check the actual range and fall back when an
+/// id needs more than 32 bits.
+using TrajectoryId = std::int64_t;
 
 /// Discretised time index (Definition 1). Real clock times are mapped to
 /// indices of fixed-duration intervals before any processing.

@@ -303,6 +303,11 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
   std::atomic<std::int64_t> cluster_count{0};
   std::atomic<std::int64_t> cluster_member_sum{0};
   std::atomic<std::int64_t> snapshot_count{0};
+  // Delta-path counters (incremental mode); each worker folds its private
+  // cache's totals in once, when its input closes.
+  std::atomic<std::int64_t> delta_cells_seen{0};
+  std::atomic<std::int64_t> delta_cells_replayed{0};
+  std::atomic<std::int64_t> delta_dbscan_replays{0};
 
   std::mutex collector_mu;
   std::vector<pattern::PatternCollector> collectors(queries.size());
@@ -571,6 +576,15 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
           clustering_progress(partition_sender, worker, element->watermark);
         }
       }
+      delta_cells_seen.fetch_add(
+          static_cast<std::int64_t>(scratch.join.delta.cells_seen),
+          std::memory_order_relaxed);
+      delta_cells_replayed.fetch_add(
+          static_cast<std::int64_t>(scratch.join.delta.cells_replayed),
+          std::memory_order_relaxed);
+      delta_dbscan_replays.fetch_add(
+          static_cast<std::int64_t>(scratch.dbscan_memo.replays),
+          std::memory_order_relaxed);
       if (enumerate) partition_sender.Close();
     });
   } else {
@@ -661,6 +675,13 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
       // path recycles its pages (RTree::Clear), the sweep path its SoA
       // columns - steady state allocates nothing either way.
       cluster::CellQueryScratch cell_scratch;
+      // Per-worker delta cache (incremental mode). The cell-keyed
+      // exchange pins every cell to one GridQuery subtask and the aligned
+      // watermarks process times in order, so a cell's cached bucket is
+      // exactly its contents at the last snapshot that occupied it.
+      // Derived state: never checkpointed, so recovery starts it cold.
+      cluster::CellDeltaCache delta_cache;
+      const bool incremental = options.cluster_options.join.incremental;
       if (const std::string* bytes = restored_state("grid_query", worker)) {
         BinaryReader reader(*bytes);
         COMOVE_CHECK_MSG(aligner.RestoreState(&reader),
@@ -684,10 +705,18 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
           Stopwatch watch;
           const std::uint64_t t0 = tr != nullptr ? tr->NowNs() : 0;
           std::vector<NeighborPair> pairs;
+          if (incremental) delta_cache.BeginSnapshot();
           for (auto& [key, objects] : cells_by_time.begin()->second) {
-            cluster::GridQuery(objects, options.cluster_options.join,
-                               use_lemmas, cell_scratch, pairs);
+            if (incremental) {
+              delta_cache.QueryCell(objects, key,
+                                    options.cluster_options.join,
+                                    use_lemmas, cell_scratch, pairs);
+            } else {
+              cluster::GridQuery(objects, options.cluster_options.join,
+                                 use_lemmas, cell_scratch, pairs);
+            }
           }
+          if (incremental) delta_cache.EndSnapshot();
           cluster_time.Add(watch.ElapsedMillis());
           if (tr != nullptr) {
             tr->RecordSpanSince("join", "cell_query", worker, t, t0);
@@ -750,6 +779,12 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
         }
       }
       if (!crashed.load()) process_through(kMaxTime);
+      delta_cells_seen.fetch_add(
+          static_cast<std::int64_t>(delta_cache.cells_seen),
+          std::memory_order_relaxed);
+      delta_cells_replayed.fetch_add(
+          static_cast<std::int64_t>(delta_cache.cells_replayed),
+          std::memory_order_relaxed);
       sync_exchange->CloseProducer(p + worker);
     });
 
@@ -771,6 +806,11 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
       // DBSCAN interning/CSR buffers, reused across this worker's
       // snapshots.
       cluster::DbscanScratch dbscan_scratch;
+      // Whole-snapshot DBSCAN memo (incremental mode): this worker sees
+      // every p-th snapshot time, so the memo compares against the last
+      // snapshot it clustered. Derived state - recovery starts it cold.
+      cluster::DbscanMemo dbscan_memo;
+      const bool incremental = options.cluster_options.join.incremental;
       if (const std::string* bytes = restored_state("grid_sync", worker)) {
         BinaryReader reader(*bytes);
         COMOVE_CHECK_MSG(aligner.RestoreState(&reader),
@@ -805,9 +845,15 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
           pending.pairs.erase(
               std::unique(pending.pairs.begin(), pending.pairs.end()),
               pending.pairs.end());
-          const ClusterSnapshot clustered = cluster::DbscanFromNeighbors(
-              pending.snapshot, pending.pairs,
-              options.cluster_options.dbscan, dbscan_scratch);
+          const ClusterSnapshot clustered =
+              incremental
+                  ? cluster::DbscanFromNeighborsCached(
+                        pending.snapshot, pending.pairs,
+                        options.cluster_options.dbscan, dbscan_scratch,
+                        dbscan_memo)
+                  : cluster::DbscanFromNeighbors(
+                        pending.snapshot, pending.pairs,
+                        options.cluster_options.dbscan, dbscan_scratch);
           cluster_time.Add(watch.ElapsedMillis());
           if (tr != nullptr) {
             // Covers the GridSync merge (sort + dedup) and the DBSCAN
@@ -875,6 +921,9 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
         }
       }
       if (!crashed.load()) process_through(kMaxTime);
+      delta_dbscan_replays.fetch_add(
+          static_cast<std::int64_t>(dbscan_memo.replays),
+          std::memory_order_relaxed);
       if (enumerate) partition_sender.Close();
     });
   }
@@ -1107,6 +1156,9 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
           ? static_cast<double>(cluster_member_sum.load()) /
                 static_cast<double>(result.cluster_count)
           : 0.0;
+  result.delta_cells_seen = delta_cells_seen.load();
+  result.delta_cells_replayed = delta_cells_replayed.load();
+  result.delta_dbscan_replays = delta_dbscan_replays.load();
   return result;
 }
 

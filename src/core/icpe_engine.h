@@ -180,6 +180,16 @@ struct IcpeResult {
   std::int64_t cluster_count = 0;  ///< clusters across all snapshots
   std::int64_t snapshot_count = 0;
 
+  /// Delta-path effectiveness, summed over every cluster/query worker;
+  /// all zero unless ClusteringOptions::join.incremental was set.
+  /// `delta_cells_seen` counts occupied (cell, snapshot) pairs,
+  /// `delta_cells_replayed` how many were served from the per-cell memo
+  /// instead of a re-sweep, `delta_dbscan_replays` how many snapshots
+  /// replayed the previous cluster set without running DBSCAN.
+  std::int64_t delta_cells_seen = 0;
+  std::int64_t delta_cells_replayed = 0;
+  std::int64_t delta_dbscan_replays = 0;
+
   /// True when an injected fault killed the pipeline mid-run; patterns
   /// then cover only what was emitted before the crash, and a recovery
   /// run (IcpeOptions::recover) is expected to follow.

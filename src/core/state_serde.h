@@ -34,7 +34,7 @@ inline void WriteSnapshot(BinaryWriter* w, const Snapshot& s) {
   w->WriteI32(s.time);
   w->WriteU64(s.entries.size());
   for (const SnapshotEntry& e : s.entries) {
-    w->WriteI32(e.id);
+    w->WriteI64(e.id);
     WritePoint(w, e.location);
   }
 }
@@ -47,7 +47,7 @@ inline Snapshot ReadSnapshot(BinaryReader* r) {
   s.entries.reserve(static_cast<std::size_t>(count));
   for (std::uint64_t i = 0; i < count && r->ok(); ++i) {
     SnapshotEntry e;
-    e.id = r->ReadI32();
+    e.id = r->ReadI64();
     e.location = ReadPoint(r);
     s.entries.push_back(e);
   }
@@ -58,7 +58,7 @@ inline void WriteGridObject(BinaryWriter* w, const cluster::GridObject& o) {
   w->WriteI32(o.key.cx);
   w->WriteI32(o.key.cy);
   w->WriteBool(o.is_query);
-  w->WriteI32(o.id);
+  w->WriteI64(o.id);
   WritePoint(w, o.location);
 }
 
@@ -67,32 +67,32 @@ inline cluster::GridObject ReadGridObject(BinaryReader* r) {
   o.key.cx = r->ReadI32();
   o.key.cy = r->ReadI32();
   o.is_query = r->ReadBool();
-  o.id = r->ReadI32();
+  o.id = r->ReadI64();
   o.location = ReadPoint(r);
   return o;
 }
 
 inline void WriteNeighborPair(BinaryWriter* w, const NeighborPair& p) {
-  w->WriteI32(p.a);
-  w->WriteI32(p.b);
+  w->WriteI64(p.a);
+  w->WriteI64(p.b);
 }
 
 inline NeighborPair ReadNeighborPair(BinaryReader* r) {
   NeighborPair p;
-  p.a = r->ReadI32();
-  p.b = r->ReadI32();
+  p.a = r->ReadI64();
+  p.b = r->ReadI64();
   return p;
 }
 
 inline void WritePartition(BinaryWriter* w, const pattern::Partition& p) {
-  w->WriteI32(p.owner);
+  w->WriteI64(p.owner);
   w->WriteI32(p.time);
   w->WriteIntVector(p.members);
 }
 
 inline pattern::Partition ReadPartition(BinaryReader* r) {
   pattern::Partition p;
-  p.owner = r->ReadI32();
+  p.owner = r->ReadI64();
   p.time = r->ReadI32();
   p.members = r->ReadIntVector<TrajectoryId>();
   return p;

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "common/serde.h"
 #include "common/types.h"
 
@@ -23,6 +24,7 @@ class TimeReorderBuffer {
  public:
   void Add(Timestamp time, T value) {
     buffer_[time].push_back(std::move(value));
+    ++count_;
   }
 
   /// Releases (time, item) pairs for all buffered times <= `watermark`.
@@ -33,6 +35,7 @@ class TimeReorderBuffer {
       for (T& v : buffer_.begin()->second) {
         out.emplace_back(t, std::move(v));
       }
+      count_ -= buffer_.begin()->second.size();
       buffer_.erase(buffer_.begin());
     }
     return out;
@@ -45,13 +48,18 @@ class TimeReorderBuffer {
       for (T& v : items) out.emplace_back(t, std::move(v));
     }
     buffer_.clear();
+    count_ = 0;
     return out;
   }
 
+  /// Number of buffered items. O(1): a running count is maintained by
+  /// Add/DrainThrough/DrainAll/RestoreState - this is polled as a gauge on
+  /// every MetricsSampler tick, where a scan over the buffered times would
+  /// scale with the reorder window. Debug builds re-derive the count by
+  /// scanning and assert agreement.
   std::size_t buffered() const {
-    std::size_t n = 0;
-    for (const auto& [t, items] : buffer_) n += items.size();
-    return n;
+    COMOVE_DCHECK(count_ == ScanCount());
+    return count_;
   }
 
   /// Serialises the buffered items; `write_item(writer, item)` encodes
@@ -88,11 +96,21 @@ class TimeReorderBuffer {
       }
     }
     buffer_ = std::move(restored);
+    count_ = ScanCount();
     return true;
   }
 
  private:
+  /// The O(#times) reference count; buffered() asserts against it in
+  /// debug builds, RestoreState derives the running count from it.
+  std::size_t ScanCount() const {
+    std::size_t n = 0;
+    for (const auto& [t, items] : buffer_) n += items.size();
+    return n;
+  }
+
   std::map<Timestamp, std::vector<T>> buffer_;
+  std::size_t count_ = 0;  ///< running total of buffered items
 };
 
 }  // namespace comove::flow

@@ -16,8 +16,8 @@ std::vector<Snapshot> SnapshotAssembler::OnRecord(const GpsRecord& record) {
   COMOVE_CHECK_MSG(record.time > record.last_time,
                    "record time must exceed its last_time link");
   TrajectoryState& state = trajectories_[record.id];
-  COMOVE_CHECK_MSG(!state.ended, "record after trajectory end (id=%d)",
-                   record.id);
+  COMOVE_CHECK_MSG(!state.ended, "record after trajectory end (id=%lld)",
+                   static_cast<long long>(record.id));
 
   if (record.last_time != state.last_seen) {
     // Predecessor missing: buffer until the chain closes. Records strictly
@@ -69,8 +69,8 @@ std::vector<Snapshot> SnapshotAssembler::OnTrajectoryEnd(TrajectoryId id) {
   }
   state.ended = true;
   COMOVE_CHECK_MSG(state.pending.empty(),
-                   "trajectory %d ended with unresolved out-of-order records",
-                   id);
+                   "trajectory %lld ended with unresolved out-of-order records",
+                   static_cast<long long>(id));
   return Drain();
 }
 
@@ -144,12 +144,12 @@ void SnapshotAssembler::SaveState(BinaryWriter* writer) const {
   writer->WriteBool(finished_);
   writer->WriteU64(trajectories_.size());
   for (const auto& [id, state] : trajectories_) {
-    writer->WriteI32(id);
+    writer->WriteI64(id);
     writer->WriteI32(state.last_seen);
     writer->WriteBool(state.ended);
     writer->WriteU64(state.pending.size());
     for (const auto& [last, record] : state.pending) {
-      writer->WriteI32(record.id);
+      writer->WriteI64(record.id);
       writer->WriteDouble(record.location.x);
       writer->WriteDouble(record.location.y);
       writer->WriteI32(record.time);
@@ -161,7 +161,7 @@ void SnapshotAssembler::SaveState(BinaryWriter* writer) const {
     writer->WriteI32(time);
     writer->WriteU64(entries.size());
     for (const SnapshotEntry& e : entries) {
-      writer->WriteI32(e.id);
+      writer->WriteI64(e.id);
       writer->WriteDouble(e.location.x);
       writer->WriteDouble(e.location.y);
     }
@@ -175,14 +175,14 @@ bool SnapshotAssembler::RestoreState(BinaryReader* reader) {
   finished_ = reader->ReadBool();
   const std::uint64_t trajectory_count = reader->ReadU64();
   for (std::uint64_t i = 0; i < trajectory_count && reader->ok(); ++i) {
-    const TrajectoryId id = reader->ReadI32();
+    const TrajectoryId id = reader->ReadI64();
     TrajectoryState state;
     state.last_seen = reader->ReadI32();
     state.ended = reader->ReadBool();
     const std::uint64_t pending_count = reader->ReadU64();
     for (std::uint64_t pi = 0; pi < pending_count && reader->ok(); ++pi) {
       GpsRecord record;
-      record.id = reader->ReadI32();
+      record.id = reader->ReadI64();
       record.location.x = reader->ReadDouble();
       record.location.y = reader->ReadDouble();
       record.time = reader->ReadI32();
@@ -202,7 +202,7 @@ bool SnapshotAssembler::RestoreState(BinaryReader* reader) {
     std::vector<SnapshotEntry> entries;
     for (std::uint64_t e = 0; e < entry_count && reader->ok(); ++e) {
       SnapshotEntry entry;
-      entry.id = reader->ReadI32();
+      entry.id = reader->ReadI64();
       entry.location.x = reader->ReadDouble();
       entry.location.y = reader->ReadDouble();
       entries.push_back(entry);

@@ -175,7 +175,7 @@ namespace comove::pattern {
 void BaselineEnumerator::SaveDerived(BinaryWriter* writer) const {
   writer->WriteU64(owners_.size());
   for (const auto& [owner, state] : owners_) {
-    writer->WriteI32(owner);
+    writer->WriteI64(owner);
     writer->WriteU64(state.windows.size());
     for (const Window& window : state.windows) {
       writer->WriteI32(window.start);
@@ -194,7 +194,7 @@ bool BaselineEnumerator::RestoreDerived(BinaryReader* reader) {
   live_candidates_ = 0;
   const std::uint64_t owner_count = reader->ReadU64();
   for (std::uint64_t i = 0; i < owner_count && reader->ok(); ++i) {
-    const TrajectoryId owner = reader->ReadI32();
+    const TrajectoryId owner = reader->ReadI64();
     OwnerState state;
     const std::uint64_t window_count = reader->ReadU64();
     for (std::uint64_t w = 0; w < window_count && reader->ok(); ++w) {

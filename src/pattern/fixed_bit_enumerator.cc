@@ -218,7 +218,7 @@ namespace comove::pattern {
 void FixedBitEnumerator::SaveDerived(BinaryWriter* writer) const {
   writer->WriteU64(owners_.size());
   for (const auto& [owner, state] : owners_) {
-    writer->WriteI32(owner);
+    writer->WriteI64(owner);
     writer->WriteI32(state.history_start);
     writer->WriteU64(state.history.size());
     for (const auto& members : state.history) {
@@ -231,7 +231,7 @@ bool FixedBitEnumerator::RestoreDerived(BinaryReader* reader) {
   owners_.clear();
   const std::uint64_t owner_count = reader->ReadU64();
   for (std::uint64_t i = 0; i < owner_count && reader->ok(); ++i) {
-    const TrajectoryId owner = reader->ReadI32();
+    const TrajectoryId owner = reader->ReadI64();
     OwnerState state;
     state.history_start = reader->ReadI32();
     const std::uint64_t history = reader->ReadU64();

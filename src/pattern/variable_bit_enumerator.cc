@@ -126,15 +126,15 @@ namespace comove::pattern {
 void VariableBitEnumerator::SaveDerived(BinaryWriter* writer) const {
   writer->WriteU64(owners_.size());
   for (const auto& [owner, state] : owners_) {
-    writer->WriteI32(owner);
+    writer->WriteI64(owner);
     writer->WriteU64(state.open.size());
     for (const auto& [id, bits] : state.open) {
-      writer->WriteI32(id);
+      writer->WriteI64(id);
       bits.Serialize(writer);
     }
     writer->WriteU64(state.candidates.size());
     for (const Candidate& cand : state.candidates) {
-      writer->WriteI32(cand.id);
+      writer->WriteI64(cand.id);
       cand.bits.Serialize(writer);
     }
   }
@@ -146,11 +146,11 @@ bool VariableBitEnumerator::RestoreDerived(BinaryReader* reader) {
   candidate_count_ = 0;
   const std::uint64_t owner_count = reader->ReadU64();
   for (std::uint64_t i = 0; i < owner_count && reader->ok(); ++i) {
-    const TrajectoryId owner = reader->ReadI32();
+    const TrajectoryId owner = reader->ReadI64();
     OwnerState state;
     const std::uint64_t open_count = reader->ReadU64();
     for (std::uint64_t o = 0; o < open_count && reader->ok(); ++o) {
-      const TrajectoryId id = reader->ReadI32();
+      const TrajectoryId id = reader->ReadI64();
       BitString bits;
       if (!bits.Deserialize(reader)) return false;
       open_starts_.insert(bits.start_time());
@@ -159,7 +159,7 @@ bool VariableBitEnumerator::RestoreDerived(BinaryReader* reader) {
     const std::uint64_t cand_count = reader->ReadU64();
     for (std::uint64_t c = 0; c < cand_count && reader->ok(); ++c) {
       Candidate cand;
-      cand.id = reader->ReadI32();
+      cand.id = reader->ReadI64();
       if (!cand.bits.Deserialize(reader)) return false;
       ++candidate_count_;
       state.candidates.push_back(std::move(cand));

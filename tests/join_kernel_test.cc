@@ -205,6 +205,33 @@ TEST(SortUniquePairs, MatchesComparisonSortOnLargeStreams) {
   EXPECT_EQ(pairs, expect);
 }
 
+TEST(SortUniquePairs, IdsStraddlingThirtyTwoBitsFallBackToComparisonSort) {
+  // Regression: PackedKey truncates each id to 32 bits, so ids above 2^32
+  // used to scramble the radix order (e.g. 2^32 truncates to 0, sorting
+  // BELOW small ids) and break the dedup. The guard must detect wide ids
+  // and take the comparison fallback.
+  Rng rng(71);
+  const TrajectoryId wide_base = TrajectoryId{1} << 32;
+  std::vector<NeighborPair> pairs;
+  for (int i = 0; i < 20000; ++i) {
+    // Ids straddle 2^32: small values mixed with just-above-the-boundary
+    // values whose truncation collides with the small ones.
+    const bool wide_a = rng.Bernoulli(0.5);
+    const bool wide_b = rng.Bernoulli(0.5);
+    const TrajectoryId a = static_cast<TrajectoryId>(
+        rng.UniformInt(0, 500)) + (wide_a ? wide_base : 0);
+    const TrajectoryId b = static_cast<TrajectoryId>(
+        rng.UniformInt(0, 500)) + (wide_b ? wide_base : 0);
+    pairs.push_back(CanonicalPair(a, b));
+  }
+  std::vector<NeighborPair> expect = pairs;
+  std::sort(expect.begin(), expect.end());
+  expect.erase(std::unique(expect.begin(), expect.end()), expect.end());
+  std::vector<NeighborPair> tmp;
+  SortUniquePairs(pairs, tmp);
+  EXPECT_EQ(pairs, expect);
+}
+
 TEST(SortUniquePairs, NegativeIdsFallBackToComparisonSort) {
   // Negative ids cannot use the unsigned packed key; the fallback must
   // still deliver the canonical order.
