@@ -28,6 +28,7 @@
 
 #include "cluster/join_kernel.h"
 #include "cluster/range_join.h"
+#include "common/cpu_features.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 
@@ -78,14 +79,19 @@ double TimeJoins(const Snapshot& snapshot, const cluster::RangeJoinOptions&
 }
 
 /// Best-of-`reps`, so one descheduled run cannot fake a regression in the
-/// smoke gate.
-Row Measure(cluster::JoinKernel kernel, double eps_rel, int opc, double min_ms,
+/// smoke gate. `name` selects the configuration: "rtree", "sweep" (SIMD
+/// auto-dispatch, the engine default), or "sweep_scalar" (the sweep kernel
+/// pinned to the scalar reference path - the SIMD speedup is
+/// sweep / sweep_scalar).
+Row Measure(const std::string& name, double eps_rel, int opc, double min_ms,
             int reps) {
   const Snapshot snapshot = UniformSnapshot(/*seed=*/7, opc);
   cluster::RangeJoinOptions options{.grid_cell_width = kCellWidth,
                                     .eps = eps_rel * kCellWidth};
-  options.kernel = kernel;
-  Row row{cluster::JoinKernelName(kernel), eps_rel, opc, 0, 0.0};
+  options.kernel =
+      name == "rtree" ? cluster::JoinKernel::kRTree : cluster::JoinKernel::kSweep;
+  if (name == "sweep_scalar") options.simd = SimdLevel::kScalar;
+  Row row{name, eps_rel, opc, 0, 0.0};
   for (int r = 0; r < reps; ++r) {
     std::int64_t pairs = 0;
     row.pairs_per_sec =
@@ -102,7 +108,6 @@ Row Measure(cluster::JoinKernel kernel, double eps_rel, int opc, double min_ms,
 int main(int argc, char** argv) {
   using comove::bench::Measure;
   using comove::bench::Row;
-  using comove::cluster::JoinKernel;
 
   std::string out_path = "BENCH_join_kernel.json";
   double min_ms = 100.0;  // measured wall clock per (config, kernel, rep)
@@ -122,33 +127,44 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::printf("simd: %s kernels (cpu avx2=%s)\n",
+              comove::SimdLevelName(
+                  comove::cluster::ResolveSimdLevel(comove::SimdLevel::kAuto)),
+              comove::GetCpuFeatures().avx2 ? "yes" : "no");
+
   std::vector<Row> rows;
   for (const double eps_rel : {0.125, 0.375, 0.75}) {
     for (const int opc : {16, 64, 256}) {
-      for (const JoinKernel kernel : {JoinKernel::kRTree, JoinKernel::kSweep}) {
+      for (const char* kernel : {"rtree", "sweep", "sweep_scalar"}) {
         rows.push_back(Measure(kernel, eps_rel, opc, min_ms, reps));
       }
     }
   }
 
-  std::printf("%-7s %8s %5s %12s %15s\n", "kernel", "eps_rel", "opc", "pairs",
+  std::printf("%-12s %8s %5s %12s %15s\n", "kernel", "eps_rel", "opc", "pairs",
               "pairs_per_sec");
   for (const Row& row : rows) {
-    std::printf("%-7s %8.3f %5d %12lld %15.0f\n", row.kernel.c_str(),
+    std::printf("%-12s %8.3f %5d %12lld %15.0f\n", row.kernel.c_str(),
                 row.eps_rel, row.opc, static_cast<long long>(row.pairs),
                 row.pairs_per_sec);
   }
-  // Headline: sweep over rtree at the Table 3 default geometry.
-  double rtree = 0.0, sweep = 0.0;
+  // Headlines at the Table 3 default geometry: sweep over rtree (the
+  // kernel swap) and sweep over its own scalar path (the SIMD win).
+  double rtree = 0.0, sweep = 0.0, sweep_scalar = 0.0;
   for (const Row& row : rows) {
     if (row.eps_rel == 0.375 && row.opc == 64) {
       if (row.kernel == "rtree") rtree = row.pairs_per_sec;
       if (row.kernel == "sweep") sweep = row.pairs_per_sec;
+      if (row.kernel == "sweep_scalar") sweep_scalar = row.pairs_per_sec;
     }
   }
   if (rtree > 0.0) {
     std::printf("default row (eps_rel=0.375 opc=64): sweep/rtree = %.2fx\n",
                 sweep / rtree);
+  }
+  if (sweep_scalar > 0.0) {
+    std::printf("default row (eps_rel=0.375 opc=64): sweep/scalar = %.2fx\n",
+                sweep / sweep_scalar);
   }
 
   std::ofstream out(out_path);

@@ -39,6 +39,8 @@
 #include "flow/checkpoint/snapshot_store.h"
 #include "apps/svg_export.h"
 #include "apps/trajectory_compression.h"
+#include "cluster/join_kernel.h"
+#include "common/cpu_features.h"
 #include "core/icpe_engine.h"
 #include "pattern/analysis.h"
 #include "trajgen/csv_loader.h"
@@ -228,6 +230,17 @@ int RunDetect(int argc, char** argv) {
               result.snapshots.throughput_tps,
               static_cast<long long>(result.cluster_count),
               result.avg_cluster_size);
+  if (options.collect_stats) {
+    const auto& cpu = GetCpuFeatures();
+    const SimdLevel selected =
+        cluster::ResolveSimdLevel(options.cluster_options.join.simd);
+    std::printf("simd: %s kernels (cpu avx2=%s%s) | arena %lld KiB, "
+                "%lld allocations\n",
+                SimdLevelName(selected), cpu.avx2 ? "yes" : "no",
+                cpu.force_scalar ? ", COMOVE_FORCE_SCALAR" : "",
+                static_cast<long long>(result.arena_bytes / 1024),
+                static_cast<long long>(result.arena_allocations));
+  }
   if (options.collect_stats && !result.stage_stats.empty()) {
     std::printf("\n[stage stats]\n");
     flow::PrintStageStats(result.stage_stats, std::cout);

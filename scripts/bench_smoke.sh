@@ -8,7 +8,7 @@
 # (which drags every row) still does. Two headline floors on top:
 #   - batching must pay for itself (batch 64 >= 1.5x batch 1 on the
 #     join_parallel_cells p=4 shuffle);
-#   - the sweep kernel must beat the R-tree kernel by >= 1.5x at the
+#   - the sweep kernel must beat the R-tree kernel by >= 3.0x at the
 #     paper-default geometry (eps_rel=0.375, opc=64);
 #   - checkpointing at interval=100 must cost <= 5% end-to-end throughput
 #     vs checkpointing off, at both p=1 and p=4 (bench_checkpoint,
@@ -188,8 +188,8 @@ awk '
     if (rtree_default > 0) {
       speedup = sweep_default / rtree_default
       printf "default row sweep/rtree = %.2fx\n", speedup
-      if (speedup < 1.5) {
-        print "FAIL: sweep kernel speedup below 1.5x at default geometry"
+      if (speedup < 3.0) {
+        print "FAIL: sweep kernel speedup below 3.0x at default geometry"
         failed = 1
       }
     }

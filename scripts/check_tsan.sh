@@ -28,6 +28,7 @@ TESTS=(
   icpe_replay_test
   icpe_parallel_join_test
   incremental_join_test
+  simd_kernel_test
   icpe_incremental_test
   multi_query_test
   soak_test

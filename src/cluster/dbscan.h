@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/types.h"
 
 /// \file
@@ -30,24 +31,54 @@ struct DbscanOptions {
   std::int32_t min_pts = 10;
 };
 
-/// Reusable working memory for DbscanFromNeighbors. A worker that keeps
-/// one scratch across snapshots re-runs the interning, CSR build, and BFS
-/// in buffers that retain their capacity (vectors are refilled, never
-/// freed). Owned by one worker thread; not thread-safe.
+/// One interner row: a trajectory id and its index in the snapshot's
+/// entry order. A plain struct (not std::pair) so it is trivially
+/// copyable for the arena-backed buffers below.
+struct DbscanIdIndex {
+  TrajectoryId id;
+  std::int32_t index;
+};
+
+/// One join pair re-expressed in dense snapshot indices.
+struct DbscanEdge {
+  std::int32_t a;
+  std::int32_t b;
+};
+
+/// Reusable working memory for DbscanFromNeighbors, carved from one
+/// Arena. Every buffer's size is known up front (n or |pairs|), so each
+/// call rewinds the arena once and re-reserves every buffer in a single
+/// bump - the steady state touches the same addresses every snapshot and
+/// allocates nothing. Owned by one worker thread; not thread-safe.
 struct DbscanScratch {
+  Arena arena;
   /// Dense id interning: (trajectory id, snapshot index), sorted by id.
   /// Computed once per snapshot; lookups are binary searches over a flat
   /// array instead of hash probes.
-  std::vector<std::pair<TrajectoryId, std::int32_t>> interner;
+  ArenaVector<DbscanIdIndex> interner;
   /// The join pairs re-expressed in dense indices (interned once, used by
   /// both CSR passes).
-  std::vector<std::pair<std::int32_t, std::int32_t>> edges;
-  std::vector<std::int32_t> offsets;    ///< CSR row offsets (n + 1)
-  std::vector<std::int32_t> cursor;     ///< CSR fill cursors
-  std::vector<std::int32_t> adjacency;  ///< CSR column indices (2 |pairs|)
-  std::vector<std::int32_t> cluster_of;
-  std::vector<std::int32_t> frontier;
-  std::vector<std::uint8_t> core;
+  ArenaVector<DbscanEdge> edges;
+  ArenaVector<std::int32_t> offsets;    ///< CSR row offsets (n + 1)
+  ArenaVector<std::int32_t> cursor;     ///< CSR fill cursors
+  ArenaVector<std::int32_t> adjacency;  ///< CSR column indices (2 |pairs|)
+  ArenaVector<std::int32_t> cluster_of;
+  ArenaVector<std::int32_t> frontier;
+  ArenaVector<std::uint8_t> core;
+
+  /// Rewinds the arena (called once per DbscanFromNeighbors call = once
+  /// per snapshot on a streaming worker).
+  void BeginSnapshot() {
+    arena.Reset();
+    interner.Release();
+    edges.Release();
+    offsets.Release();
+    cursor.Release();
+    adjacency.Release();
+    cluster_of.Release();
+    frontier.Release();
+    core.Release();
+  }
 };
 
 /// Runs DBSCAN over one snapshot given its range-join result.

@@ -65,8 +65,7 @@ std::vector<NeighborPair> GdcNeighborPairs(const Snapshot& snapshot,
       }
     }
   }
-  std::vector<NeighborPair> tmp;
-  SortUniquePairs(out, tmp);
+  SortUniquePairs(out);
   return out;
 }
 

@@ -1,0 +1,335 @@
+// AVX2 kernels of the sweep join and the radix histogram pass. This is
+// the ONLY translation unit compiled with -mavx2 (see
+// src/cluster/CMakeLists.txt); callers gate on cluster::ResolveSimdLevel
+// before entering. Everything here has internal linkage or is declared in
+// simd_kernels.h and crosses the TU boundary as raw pointers/PODs - no
+// std containers, no shared inline helpers - so the linker can never pick
+// an AVX2-compiled copy of an ODR-merged symbol for a scalar caller. The
+// few predicates the kernels need are re-derived locally and MUST keep
+// the exact arithmetic of their scalar references (WithinDistance in
+// common/geometry.h, InUpperHalf in cluster/join_kernel.h): same operand
+// order, one rounding per operation, no FMA contraction (-mavx2 does not
+// enable -mfma, and we never use fmadd intrinsics).
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "cluster/simd_kernels.h"
+
+namespace comove::cluster::simd {
+
+bool Avx2CompiledIn() { return true; }
+
+namespace {
+
+/// Survivor lane indices per 4-bit movemask value (lane i survives when
+/// bit i is set), for the mask-compress store: the LUT row is added to
+/// the chunk base and stored whole; only the first popcount entries are
+/// meaningful, so the destination needs 3 slack slots.
+alignas(64) constexpr std::uint32_t kCompressLut[16][4] = {
+    {0, 0, 0, 0}, {0, 0, 0, 0}, {1, 0, 0, 0}, {0, 1, 0, 0},
+    {2, 0, 0, 0}, {0, 2, 0, 0}, {1, 2, 0, 0}, {0, 1, 2, 0},
+    {3, 0, 0, 0}, {0, 3, 0, 0}, {1, 3, 0, 0}, {0, 1, 3, 0},
+    {2, 3, 0, 0}, {0, 2, 3, 0}, {1, 2, 3, 0}, {0, 1, 2, 3},
+};
+
+/// Appends the surviving lane indices (base + set bit positions of
+/// `mask`, ascending) at `dst`; returns how many were appended.
+inline std::uint32_t CompressStore(std::uint32_t* dst, std::uint32_t base,
+                                   unsigned mask) {
+  const __m128i lanes =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(kCompressLut[mask]));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(dst),
+                   _mm_add_epi32(lanes, _mm_set1_epi32(static_cast<int>(base))));
+  return static_cast<std::uint32_t>(__builtin_popcount(mask));
+}
+
+/// Local copy of WithinDistance (common/geometry.h) for the scalar tail
+/// loops; internal linkage keeps it out of ODR merging. Arithmetic must
+/// match the reference token for token.
+inline bool WithinScalar(bool l1, double qx, double qy, double x, double y,
+                         double eps) {
+  if (l1) return __builtin_fabs(qx - x) + __builtin_fabs(qy - y) <= eps;
+  const double dx = qx - x;
+  const double dy = qy - y;
+  return dx * dx + dy * dy <= eps * eps;
+}
+
+/// Local copy of InUpperHalf (cluster/join_kernel.h).
+inline bool UpperHalfScalar(double qx, double qy, TrajectoryId qid, double x,
+                            double y, TrajectoryId id) {
+  if (y != qy) return y > qy;
+  if (x != qx) return x > qx;
+  return id > qid;
+}
+
+/// Local copy of the x-band prefilter's pass condition:
+/// !(x < min_x) && !(x > max_x). Kept separate from WithinScalar because
+/// the band is NOT redundant at rounded-tie boundaries (min_x = q.x - eps
+/// can round up past a point the metric alone would accept), so dropping
+/// it would break bit-identity with the scalar kernel.
+inline bool InBandScalar(double x, double min_x, double max_x) {
+  return !(x < min_x) && !(x > max_x);
+}
+
+inline void EmitPair(PairSink& sink, TrajectoryId a, TrajectoryId b) {
+  if (sink.size == sink.capacity) {
+    sink.flush(sink.ctx, sink.buf, sink.size);
+    sink.size = 0;
+  }
+  const TrajectoryId lo = b < a ? b : a;
+  const TrajectoryId hi = b < a ? a : b;
+  sink.buf[sink.size++] = NeighborPair{lo, hi};
+}
+
+/// 4-lane WithinDistance: same operations and order as the scalar form
+/// (sub, abs-as-bitmask / mul, add, ordered-quiet compare - NaN lanes
+/// fail, exactly like the scalar <=).
+template <bool kL1>
+inline __m256d WithinMask(__m256d qx, __m256d qy, __m256d x4, __m256d y4,
+                          __m256d eps4, __m256d eps_sq4, __m256d abs_mask) {
+  const __m256d dx = _mm256_sub_pd(qx, x4);
+  const __m256d dy = _mm256_sub_pd(qy, y4);
+  if constexpr (kL1) {
+    const __m256d sum = _mm256_add_pd(_mm256_and_pd(dx, abs_mask),
+                                      _mm256_and_pd(dy, abs_mask));
+    return _mm256_cmp_pd(sum, eps4, _CMP_LE_OQ);
+  } else {
+    const __m256d sum =
+        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+    return _mm256_cmp_pd(sum, eps_sq4, _CMP_LE_OQ);
+  }
+}
+
+/// 4-lane x-band pass condition !(x < min_x) && !(x > max_x). The
+/// unordered-quiet predicates make NaN x lanes pass, like the scalar
+/// band (WithinDistance rejects them right after either way).
+inline __m256d BandMask(__m256d x4, __m256d min_x4, __m256d max_x4) {
+  return _mm256_and_pd(_mm256_cmp_pd(x4, min_x4, _CMP_NLT_UQ),
+                       _mm256_cmp_pd(x4, max_x4, _CMP_NGT_UQ));
+}
+
+/// 4-lane InUpperHalf: y > qy, ties on y broken by x > qx, ties on both
+/// by id > qid. The EQ_OQ/GT_OQ pair reproduces the scalar's != / >
+/// branches exactly (NaN lanes: both false -> predicate false, matching
+/// `NaN != qy -> return NaN > qy` = false).
+inline __m256d UpperHalfMask(__m256d qx, __m256d qy, __m256i qid4, __m256d x4,
+                             __m256d y4, __m256i id4) {
+  const __m256d y_gt = _mm256_cmp_pd(y4, qy, _CMP_GT_OQ);
+  const __m256d y_eq = _mm256_cmp_pd(y4, qy, _CMP_EQ_OQ);
+  const __m256d x_gt = _mm256_cmp_pd(x4, qx, _CMP_GT_OQ);
+  const __m256d x_eq = _mm256_cmp_pd(x4, qx, _CMP_EQ_OQ);
+  const __m256d id_gt = _mm256_castsi256_pd(_mm256_cmpgt_epi64(id4, qid4));
+  const __m256d x_break = _mm256_or_pd(x_gt, _mm256_and_pd(x_eq, id_gt));
+  return _mm256_or_pd(y_gt, _mm256_and_pd(y_eq, x_break));
+}
+
+template <bool kL1>
+void DataDataImpl(const ColumnsView& d, double eps, std::uint32_t* cand,
+                  PairSink& sink) {
+  const double* x = d.x;
+  const double* y = d.y;
+  const TrajectoryId* id = d.id;
+  const std::size_t nd = d.n;
+  const __m256d eps4 = _mm256_set1_pd(eps);
+  const __m256d eps_sq4 = _mm256_set1_pd(eps * eps);
+  const __m256d abs_mask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7FFFFFFFFFFFFFFFLL));
+  std::size_t lo = 0;
+  for (std::size_t j = 1; j < nd; ++j) {
+    const double qx = x[j];
+    const double qy = y[j];
+    const double min_y = qy - eps;
+    while (lo < j && y[lo] < min_y) ++lo;
+    const double min_x = qx - eps;
+    const double max_x = qx + eps;
+    const __m256d qx4 = _mm256_set1_pd(qx);
+    const __m256d qy4 = _mm256_set1_pd(qy);
+    const __m256d min_x4 = _mm256_set1_pd(min_x);
+    const __m256d max_x4 = _mm256_set1_pd(max_x);
+    std::uint32_t ncand = 0;
+    std::size_t i = lo;
+    for (; i + 4 <= j; i += 4) {
+      const __m256d x4 = _mm256_loadu_pd(x + i);
+      const __m256d y4 = _mm256_loadu_pd(y + i);
+      const __m256d pred = _mm256_and_pd(
+          BandMask(x4, min_x4, max_x4),
+          WithinMask<kL1>(qx4, qy4, x4, y4, eps4, eps_sq4, abs_mask));
+      const unsigned m = static_cast<unsigned>(_mm256_movemask_pd(pred));
+      if (m != 0) {
+        ncand += CompressStore(cand + ncand, static_cast<std::uint32_t>(i), m);
+      }
+    }
+    for (; i < j; ++i) {
+      if (!InBandScalar(x[i], min_x, max_x)) continue;
+      if (!WithinScalar(kL1, qx, qy, x[i], y[i], eps)) continue;
+      cand[ncand++] = static_cast<std::uint32_t>(i);
+    }
+    const TrajectoryId qid = id[j];
+    for (std::uint32_t c = 0; c < ncand; ++c) {
+      EmitPair(sink, id[cand[c]], qid);
+    }
+  }
+}
+
+/// Prefix-of-ones of a 4-bit mask (lanes before the first zero bit):
+/// the in-window scan stops at the FIRST y beyond max_y, exactly like
+/// the scalar loop condition, even for out-of-contract unsorted input.
+inline unsigned PrefixMask(unsigned m) {
+  const unsigned first_zero = ~m & (m + 1);
+  return first_zero - 1;
+}
+
+template <bool kL1, bool kUpperHalf>
+void QueryDataImpl(const ColumnsView& d, const ColumnsView& q, double eps,
+                   std::uint32_t* cand, PairSink& sink) {
+  const double* x = d.x;
+  const double* y = d.y;
+  const TrajectoryId* id = d.id;
+  const std::size_t nd = d.n;
+  const __m256d eps4 = _mm256_set1_pd(eps);
+  const __m256d eps_sq4 = _mm256_set1_pd(eps * eps);
+  const __m256d abs_mask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7FFFFFFFFFFFFFFFLL));
+  std::size_t lo = 0;
+  for (std::size_t qi = 0; qi < q.n; ++qi) {
+    const double qx = q.x[qi];
+    const double qy = q.y[qi];
+    const TrajectoryId qid = q.id[qi];
+    const double max_y = qy + eps;
+    const double min_x = qx - eps;
+    const double max_x = qx + eps;
+    if constexpr (kUpperHalf) {
+      // Lemma 1: only data at y >= q.y can be in q's upper half-space.
+      while (lo < nd && y[lo] < qy) ++lo;
+    } else {
+      const double min_y = qy - eps;
+      while (lo < nd && y[lo] < min_y) ++lo;
+    }
+    const __m256d qx4 = _mm256_set1_pd(qx);
+    const __m256d qy4 = _mm256_set1_pd(qy);
+    const __m256d max_y4 = _mm256_set1_pd(max_y);
+    const __m256d min_x4 = _mm256_set1_pd(min_x);
+    const __m256d max_x4 = _mm256_set1_pd(max_x);
+    const __m256i qid4 = _mm256_set1_epi64x(qid);
+    std::uint32_t ncand = 0;
+    std::size_t k = lo;
+    for (; k + 4 <= nd; k += 4) {
+      const __m256d x4 = _mm256_loadu_pd(x + k);
+      const __m256d y4 = _mm256_loadu_pd(y + k);
+      const unsigned my = static_cast<unsigned>(
+          _mm256_movemask_pd(_mm256_cmp_pd(y4, max_y4, _CMP_LE_OQ)));
+      __m256d pred = _mm256_and_pd(
+          BandMask(x4, min_x4, max_x4),
+          WithinMask<kL1>(qx4, qy4, x4, y4, eps4, eps_sq4, abs_mask));
+      if constexpr (kUpperHalf) {
+        const __m256i id4 =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(id + k));
+        pred = _mm256_and_pd(pred, UpperHalfMask(qx4, qy4, qid4, x4, y4, id4));
+      }
+      const unsigned m =
+          static_cast<unsigned>(_mm256_movemask_pd(pred)) & PrefixMask(my);
+      if (m != 0) {
+        ncand += CompressStore(cand + ncand, static_cast<std::uint32_t>(k), m);
+      }
+      if (my != 0xFu) break;  // window ended inside this chunk
+    }
+    if (k + 4 > nd) {
+      for (; k < nd && y[k] <= max_y; ++k) {
+        if (!InBandScalar(x[k], min_x, max_x)) continue;
+        if constexpr (kUpperHalf) {
+          if (!UpperHalfScalar(qx, qy, qid, x[k], y[k], id[k])) continue;
+        }
+        if (!WithinScalar(kL1, qx, qy, x[k], y[k], eps)) continue;
+        cand[ncand++] = static_cast<std::uint32_t>(k);
+      }
+    }
+    for (std::uint32_t c = 0; c < ncand; ++c) {
+      EmitPair(sink, qid, id[cand[c]]);
+    }
+  }
+}
+
+}  // namespace
+
+void SweepDataDataAvx2(const ColumnsView& d, double eps, bool l1,
+                       std::uint32_t* cand, PairSink& sink) {
+  if (l1) {
+    DataDataImpl<true>(d, eps, cand, sink);
+  } else {
+    DataDataImpl<false>(d, eps, cand, sink);
+  }
+}
+
+void SweepQueryDataAvx2(const ColumnsView& d, const ColumnsView& q,
+                        double eps, bool l1, bool use_lemma2,
+                        std::uint32_t* cand, PairSink& sink) {
+  if (d.n == 0) return;
+  if (l1) {
+    if (use_lemma2) {
+      QueryDataImpl<true, true>(d, q, eps, cand, sink);
+    } else {
+      QueryDataImpl<true, false>(d, q, eps, cand, sink);
+    }
+  } else {
+    if (use_lemma2) {
+      QueryDataImpl<false, true>(d, q, eps, cand, sink);
+    } else {
+      QueryDataImpl<false, false>(d, q, eps, cand, sink);
+    }
+  }
+}
+
+void PackWideHistogramsAvx2(const NeighborPair* pairs, std::size_t n,
+                            std::uint64_t* keys, std::uint32_t* counts) {
+  constexpr std::size_t kBuckets = std::size_t{1} << 16;
+  std::uint32_t* c0 = counts;
+  std::uint32_t* c1 = counts + kBuckets;
+  std::uint32_t* c2 = counts + 2 * kBuckets;
+  std::uint32_t* c3 = counts + 3 * kBuckets;
+  const __m256i mask32 = _mm256_set1_epi64x(0xFFFFFFFFLL);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // Pairs load as qword lanes [a0 b0 a1 b1] / [a2 b2 a3 b3]; each key
+    // is (a << 32) | (b & 0xffffffff) (PackedKey in join_kernel.cc).
+    // Shifting a up and byte-shifting b's low half down one lane lines
+    // both up in the even lanes; two 4x64 permutes + a blend pack the
+    // four keys of the two vectors into one.
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pairs + i));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pairs + i + 2));
+    const __m256i k01 = _mm256_or_si256(
+        _mm256_slli_epi64(v0, 32),
+        _mm256_bsrli_epi128(_mm256_and_si256(v0, mask32), 8));
+    const __m256i k23 = _mm256_or_si256(
+        _mm256_slli_epi64(v1, 32),
+        _mm256_bsrli_epi128(_mm256_and_si256(v1, mask32), 8));
+    const __m256i packed = _mm256_blend_epi32(
+        _mm256_permute4x64_epi64(k01, 0x08),
+        _mm256_permute4x64_epi64(k23, 0x80), 0xF0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(keys + i), packed);
+    for (int t = 0; t < 4; ++t) {
+      const std::uint64_t key = keys[i + static_cast<std::size_t>(t)];
+      ++c0[key & 0xFFFF];
+      ++c1[(key >> 16) & 0xFFFF];
+      ++c2[(key >> 32) & 0xFFFF];
+      ++c3[key >> 48];
+    }
+  }
+  for (; i < n; ++i) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(pairs[i].a))
+         << 32) |
+        static_cast<std::uint32_t>(pairs[i].b);
+    keys[i] = key;
+    ++c0[key & 0xFFFF];
+    ++c1[(key >> 16) & 0xFFFF];
+    ++c2[(key >> 32) & 0xFFFF];
+    ++c3[key >> 48];
+  }
+}
+
+}  // namespace comove::cluster::simd

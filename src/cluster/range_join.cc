@@ -26,10 +26,10 @@ void GridAllocate(const Snapshot& snapshot, const GridIndex& grid,
     out.push_back(GridObject{home, /*is_query=*/false, e.id, e.location});
     const Rect region = use_lemma1 ? Rect::UpperRangeRegion(e.location, eps)
                                    : Rect::RangeRegion(e.location, eps);
-    for (const GridKey& key : grid.KeysIntersecting(region)) {
-      if (key == home) continue;
+    grid.ForEachKeyIntersecting(region, [&](const GridKey& key) {
+      if (key == home) return;
       out.push_back(GridObject{key, /*is_query=*/true, e.id, e.location});
-    }
+    });
   }
 }
 
@@ -106,7 +106,7 @@ void GridQuery(const std::vector<GridObject>& cell_objects,
                CellQueryScratch& scratch, std::vector<NeighborPair>& out) {
   if (options.kernel == JoinKernel::kSweep) {
     SweepCellJoin(cell_objects, options.eps, options.metric, use_lemma2,
-                  scratch.sweep, out);
+                  options.simd, scratch.sweep, out);
     return;
   }
   if (!scratch.tree.has_value()) scratch.tree.emplace(options.rtree);
@@ -122,8 +122,7 @@ std::vector<NeighborPair> GridSync(
   for (auto& v : per_cell) {
     out.insert(out.end(), v.begin(), v.end());
   }
-  std::vector<NeighborPair> tmp;
-  SortUniquePairs(out, tmp);
+  SortUniquePairs(out);
   return out;
 }
 
@@ -135,7 +134,19 @@ void CellDeltaCache::QueryCell(std::vector<GridObject>& cell_objects,
   // Replays may repeat work only the downstream SortUniquePairs (or the
   // Fig. 5 sync stage's sort + unique) would remove anyway, so the merged
   // stream is bit-identical to a full recompute.
-  Entry& entry = entries[key];
+  auto it = entries.find(key);
+  if (it == entries.end()) {
+    Entry fresh;
+    if (!pool.empty()) {
+      // Recycle an evicted entry's vector capacity for the new cell.
+      fresh = std::move(pool.back());
+      pool.pop_back();
+      fresh.bucket.clear();
+      fresh.pairs.clear();
+    }
+    it = entries.emplace(key, std::move(fresh)).first;
+  }
+  Entry& entry = it->second;
   ++cells_seen;
   entry.last_used = epoch;
   if (entry.bucket == cell_objects) {
@@ -155,6 +166,9 @@ void CellDeltaCache::EndSnapshot() {
   if (epoch % kEvictAfterEpochs != 0) return;
   for (auto it = entries.begin(); it != entries.end();) {
     if (it->second.last_used + kEvictAfterEpochs <= epoch) {
+      if (pool.size() < kMaxPooledEntries) {
+        pool.push_back(std::move(it->second));
+      }
       it = entries.erase(it);
     } else {
       ++it;
@@ -176,22 +190,44 @@ void RunJoin(const Snapshot& snapshot, const RangeJoinOptions& options,
     COMOVE_CHECK(options.eps > 0.0);
     scratch.grid.emplace(options.grid_cell_width);
   }
-  GridAllocate(snapshot, *scratch.grid, options.eps, use_lemma1,
-               scratch.objects);
-  // Bucket into the persistent cell map. Buckets left over from earlier
+  // Once-per-snapshot arena rewind of the sweep kernel's SoA columns.
+  scratch.cell.sweep.BeginSnapshot();
+  // Fused GridAllocate + bucketing: each object goes straight into its
+  // cell's bucket in the persistent map instead of through an
+  // intermediate flat vector (same emission order, so every bucket holds
+  // the exact sequence the two-phase form produced - the delta cache's
+  // bucket memo depends on that). Buckets left over from earlier
   // snapshots are empty (cleared below), so first-touch marks a cell
   // active; iteration then follows the deterministic active list instead
-  // of unordered_map order.
+  // of map order.
   scratch.active_cells.clear();
-  for (GridObject& o : scratch.objects) {
-    std::vector<GridObject>& cell = scratch.cells[o.key];
-    if (cell.empty()) scratch.active_cells.push_back(o.key);
-    cell.push_back(std::move(o));
+  const GridIndex& grid = *scratch.grid;
+  const auto bucket_push = [&scratch](const GridKey& key,
+                                      const GridObject& o) {
+    std::vector<GridObject>& cell = scratch.cells.BucketFor(key);
+    if (cell.empty()) scratch.active_cells.push_back(key);
+    cell.push_back(o);
+  };
+  // OR-fold of the snapshot's ids, a conservative superset of the pair
+  // stream's fold: hands SortUniquePairs its radix tier without a scan
+  // over the (much longer) pair stream.
+  TrajectoryId id_fold = 0;
+  for (const SnapshotEntry& e : snapshot.entries) {
+    id_fold |= e.id;
+    const GridKey home = grid.KeyOf(e.location);
+    bucket_push(home, GridObject{home, /*is_query=*/false, e.id, e.location});
+    const Rect region = use_lemma1
+                            ? Rect::UpperRangeRegion(e.location, options.eps)
+                            : Rect::RangeRegion(e.location, options.eps);
+    grid.ForEachKeyIntersecting(region, [&](const GridKey& key) {
+      if (key == home) return;
+      bucket_push(key, GridObject{key, /*is_query=*/true, e.id, e.location});
+    });
   }
   scratch.pairs.clear();
   if (options.incremental) scratch.delta.BeginSnapshot();
   for (const GridKey& key : scratch.active_cells) {
-    std::vector<GridObject>& cell_objects = scratch.cells.find(key)->second;
+    std::vector<GridObject>& cell_objects = scratch.cells.BucketFor(key);
     if (options.incremental) {
       scratch.delta.QueryCell(cell_objects, key, options, use_lemma2,
                               scratch.cell, scratch.pairs);
@@ -203,7 +239,7 @@ void RunJoin(const Snapshot& snapshot, const RangeJoinOptions& options,
   }
   if (options.incremental) scratch.delta.EndSnapshot();
   // GridSync on the merged stream: canonical order + dedup.
-  SortUniquePairs(scratch.pairs, scratch.pairs_tmp);
+  SortUniquePairs(scratch.pairs, id_fold, scratch.sort, options.simd);
 }
 
 }  // namespace

@@ -41,6 +41,11 @@ struct RangeJoinOptions {
   double eps = 0.1;              ///< distance threshold
   DistanceMetric metric = DistanceMetric::kL1;  ///< refinement metric
   JoinKernel kernel = JoinKernel::kSweep;  ///< per-cell execution kernel
+  /// SIMD dispatch of the sweep kernel and the radix sort (see
+  /// ResolveSimdLevel). Pure performance knob - every level emits the
+  /// identical pair set - so it is excluded from checkpoint fingerprints
+  /// like the other tuning fields.
+  SimdLevel simd = SimdLevel::kAuto;
   RTreeOptions rtree;            ///< local index tuning (kRTree kernel)
   /// Snapshot-to-snapshot delta path: per-cell memoisation keyed on the
   /// cell's exact GridObject bucket (see CellDeltaCache). Pure performance
@@ -93,6 +98,12 @@ struct CellDeltaCache {
     std::uint64_t last_used = 0;      ///< epoch stamp for eviction
   };
   std::unordered_map<GridKey, Entry, GridKeyHash> entries;
+  /// Evicted entries parked for reuse: their bucket/pair capacity goes to
+  /// the next cell that enters the cache instead of back to the heap, so
+  /// a fleet drifting across the grid churns no per-cell allocations.
+  std::vector<Entry> pool;
+  /// Pool size cap; beyond this, evicted entries really are freed.
+  static constexpr std::size_t kMaxPooledEntries = 256;
   std::uint64_t epoch = 0;  ///< one tick per join call on this scratch
 
   // Lifetime counters (monotonic; read by IcpeResult / benches).
@@ -119,10 +130,62 @@ struct CellDeltaCache {
   /// Drops all cached state (counters included); used on recovery.
   void Clear() {
     entries.clear();
+    pool.clear();
     epoch = 0;
     cells_seen = 0;
     cells_replayed = 0;
   }
+};
+
+/// Open-addressing map from grid cell to its persistent GridObject
+/// bucket, used by RunJoin's bucketing pass. One linear-probe lookup per
+/// object on the hot path - measurably faster than the node-based
+/// std::unordered_map it replaces (one hash + pointer chase + possible
+/// allocation per object). Entries are never removed and bucket storage
+/// is stable, so buckets keep their capacity across snapshots exactly
+/// like the map-based form did. The reference returned by BucketFor is
+/// invalidated by the next BucketFor call that inserts a new cell.
+class CellBucketMap {
+ public:
+  std::vector<GridObject>& BucketFor(const GridKey& key) {
+    if ((occupied_ + 1) * 4 > slots_.size() * 3) Grow();
+    Slot* s = Probe(key);
+    if (s->bucket < 0) {
+      s->key = key;
+      s->bucket = static_cast<std::int32_t>(buckets_.size());
+      buckets_.emplace_back();
+      ++occupied_;
+    }
+    return buckets_[static_cast<std::size_t>(s->bucket)];
+  }
+
+ private:
+  struct Slot {
+    GridKey key;
+    std::int32_t bucket = -1;  ///< index into buckets_; -1 = empty
+  };
+
+  Slot* Probe(const GridKey& key) {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = GridKeyHash{}(key) & mask;
+    while (slots_[i].bucket >= 0 && !(slots_[i].key == key)) {
+      i = (i + 1) & mask;
+    }
+    return &slots_[i];
+  }
+
+  void Grow() {
+    const std::size_t cap = slots_.empty() ? 512 : slots_.size() * 2;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(cap, Slot{});
+    for (const Slot& s : old) {
+      if (s.bucket >= 0) *Probe(s.key) = s;
+    }
+  }
+
+  std::vector<Slot> slots_;  ///< power-of-two table, load factor <= 3/4
+  std::vector<std::vector<GridObject>> buckets_;
+  std::size_t occupied_ = 0;
 };
 
 /// Reusable working memory for the per-snapshot range join. A streaming
@@ -136,14 +199,14 @@ struct CellDeltaCache {
 /// derived once. Owned by one worker thread; not thread-safe. Assumes
 /// stable RangeJoinOptions across calls.
 struct JoinScratch {
-  std::optional<GridIndex> grid;    ///< derived once from the options
-  std::vector<GridObject> objects;  ///< GridAllocate output
-  /// Cell buckets. Entries persist across snapshots with cleared vectors;
+  std::optional<GridIndex> grid;  ///< derived once from the options
+  /// Cell buckets, filled straight from the snapshot (fused GridAllocate
+  /// + bucketing). Entries persist across snapshots with cleared vectors;
   /// `active_cells` lists the keys actually occupied by the current call.
-  std::unordered_map<GridKey, std::vector<GridObject>, GridKeyHash> cells;
+  CellBucketMap cells;
   std::vector<GridKey> active_cells;
-  std::vector<NeighborPair> pairs;      ///< join result of the last call
-  std::vector<NeighborPair> pairs_tmp;  ///< SortUniquePairs ping-pong buffer
+  std::vector<NeighborPair> pairs;  ///< join result of the last call
+  PairSortScratch sort;             ///< radix sort keys + histograms
   CellQueryScratch cell;                ///< per-cell kernel working memory
   CellDeltaCache delta;  ///< per-cell memo (options.incremental only)
 };

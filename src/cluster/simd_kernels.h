@@ -1,0 +1,76 @@
+#ifndef COMOVE_CLUSTER_SIMD_KERNELS_H_
+#define COMOVE_CLUSTER_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+
+/// \file
+/// AVX2 fast paths of the sweep join kernel and the radix sort, defined
+/// in join_kernel_avx2.cc - the only translation unit compiled with
+/// -mavx2. Everything crossing this boundary is raw pointers and PODs on
+/// purpose: per-file SIMD flags leak through ODR-merged inline functions
+/// and template instantiations (the linker keeps ONE copy of
+/// vector::push_back and friends, possibly the AVX2-compiled one, which
+/// would crash scalar callers on pre-AVX2 hardware). The AVX2 TU
+/// therefore touches no std containers and no shared inline helpers; it
+/// re-derives the few predicates it needs with internal linkage, and
+/// emits pairs through the PairSink flush callback below.
+///
+/// Callers must consult cluster::ResolveSimdLevel (join_kernel.h) before
+/// calling any *Avx2 function; calling them on a CPU without AVX2 is
+/// undefined (illegal instruction).
+
+namespace comove::cluster::simd {
+
+/// One role's sorted SoA columns (x[i], y[i], id[i]), sorted by
+/// (y, x, id). Pointers come from 32-byte-aligned arena storage.
+struct ColumnsView {
+  const double* x;
+  const double* y;
+  const TrajectoryId* id;
+  std::size_t n;
+};
+
+/// Fixed-capacity pair buffer the kernels write into; `flush` (defined in
+/// a scalar TU) drains it into the caller's result vector when full and
+/// once more after the kernel returns.
+struct PairSink {
+  NeighborPair* buf;
+  std::size_t size;
+  std::size_t capacity;
+  void* ctx;
+  void (*flush)(void* ctx, const NeighborPair* buf, std::size_t n);
+};
+
+/// True when the AVX2 kernels were compiled into this binary (x86 build
+/// with -mavx2 available and COMOVE_DISABLE_AVX2 off).
+bool Avx2CompiledIn();
+
+/// Data-data sweep (Lemma 2 analogue): for every j pairs d[j] with the
+/// surviving predecessors in its eps window. `cand` needs room for
+/// d.n + 4 indices (mask-compress stores whole lanes). Appends
+/// canonicalised pairs through `sink`. Identical pair set, order, and
+/// boundary behaviour as the scalar loop in join_kernel.cc.
+void SweepDataDataAvx2(const ColumnsView& d, double eps, bool l1,
+                       std::uint32_t* cand, PairSink& sink);
+
+/// Query-data sweep: pairs each query object with the data objects of its
+/// window, applying the Lemma 1 half-space predicate when `use_lemma2`
+/// (RJC) and the full range region otherwise (SRJ). Same contract as
+/// SweepDataDataAvx2 otherwise.
+void SweepQueryDataAvx2(const ColumnsView& d, const ColumnsView& q,
+                        double eps, bool l1, bool use_lemma2,
+                        std::uint32_t* cand, PairSink& sink);
+
+/// Pack + histogram pass of SortUniquePairs' wide radix tier: packs four
+/// pairs per iteration into 64-bit keys with AVX2, stores them to `keys`,
+/// and accumulates the four 16-bit digit histograms. `counts` points at
+/// 4 * 65536 zeroed slots (field f at counts + f * 65536).
+void PackWideHistogramsAvx2(const NeighborPair* pairs, std::size_t n,
+                            std::uint64_t* keys, std::uint32_t* counts);
+
+}  // namespace comove::cluster::simd
+
+#endif  // COMOVE_CLUSTER_SIMD_KERNELS_H_

@@ -1,0 +1,216 @@
+#ifndef COMOVE_COMMON_ARENA_H_
+#define COMOVE_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.h"
+
+/// \file
+/// Bump/arena allocation for per-snapshot scratch memory. A streaming
+/// worker runs the same join/DBSCAN passes once per snapshot with working
+/// sets of nearly constant size; general-purpose heap allocation pays
+/// malloc bookkeeping and scatters the buffers across the address space.
+/// An Arena instead hands out 32-byte-aligned slices of a few retained
+/// blocks: allocation is a pointer bump, Reset() rewinds everything in
+/// O(1) while keeping the memory, and after the first snapshot every
+/// buffer lands at the same address again - cache-warm and malloc-free.
+///
+/// Lifetime rules (see DESIGN.md): an arena is reset once per snapshot by
+/// the scratch object that owns it, every ArenaVector carved from it is
+/// released in the same breath, and arena contents are derived state -
+/// never checkpointed, rebuilt from scratch after recovery.
+
+namespace comove {
+
+/// Bump allocator over a small list of retained blocks. Not thread-safe;
+/// owned by one worker thread like the scratch structs it backs.
+class Arena {
+ public:
+  /// Every allocation is aligned to this many bytes - one AVX2 lane width,
+  /// so SIMD loads from arena buffers never split a cache line.
+  static constexpr std::size_t kAlignment = 32;
+
+  explicit Arena(std::size_t min_block_bytes = std::size_t{1} << 16)
+      : min_block_bytes_(min_block_bytes) {}
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  ~Arena() {
+    for (const Block& b : blocks_) {
+      ::operator delete(b.data, std::align_val_t{kAlignment});
+    }
+  }
+
+  /// Returns `bytes` of kAlignment-aligned storage (uninitialised). The
+  /// pointer stays valid until the next Reset().
+  void* Allocate(std::size_t bytes) {
+    bytes = (bytes + kAlignment - 1) & ~(kAlignment - 1);
+    if (bytes == 0) bytes = kAlignment;
+    while (active_ < blocks_.size() &&
+           blocks_[active_].size - offset_of_active_ < bytes) {
+      ++active_;
+      offset_of_active_ = 0;
+    }
+    if (active_ == blocks_.size()) {
+      // New block at least as large as everything retained so far: total
+      // capacity doubles per miss, so any workload reaches a steady state
+      // after O(log size) blocks - which Reset() then fuses into one.
+      std::size_t size = min_block_bytes_;
+      if (size < bytes) size = bytes;
+      if (size < total_block_bytes_) size = total_block_bytes_;
+      AddBlock(size);
+      offset_of_active_ = 0;
+    }
+    std::byte* p = blocks_[active_].data + offset_of_active_;
+    offset_of_active_ += bytes;
+    ++allocations_;
+    return p;
+  }
+
+  /// Rewinds the arena: every pointer handed out so far becomes invalid,
+  /// all memory is retained. When the last cycle spilled into a second
+  /// block, the blocks are fused into one contiguous block first, so the
+  /// steady state bumps through a single region in allocation order.
+  void Reset() {
+    if (blocks_.size() > 1) {
+      std::size_t total = 0;
+      for (const Block& b : blocks_) total += b.size;
+      for (const Block& b : blocks_) {
+        ::operator delete(b.data, std::align_val_t{kAlignment});
+      }
+      blocks_.clear();
+      total_block_bytes_ = 0;
+      AddBlock(total);
+    }
+    active_ = 0;
+    offset_of_active_ = 0;
+  }
+
+  /// Bytes of backing memory currently retained (allocated from the heap).
+  std::size_t block_bytes() const { return total_block_bytes_; }
+  /// Lifetime count of Allocate() calls (bumps, not mallocs).
+  std::uint64_t allocations() const { return allocations_; }
+
+ private:
+  struct Block {
+    std::byte* data;
+    std::size_t size;
+  };
+
+  void AddBlock(std::size_t size) {
+    auto* data = static_cast<std::byte*>(
+        ::operator new(size, std::align_val_t{kAlignment}));
+    blocks_.push_back(Block{data, size});
+    total_block_bytes_ += size;
+  }
+
+  std::size_t min_block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t active_ = 0;            ///< block currently being bumped
+  std::size_t offset_of_active_ = 0;  ///< bump offset within that block
+  std::size_t total_block_bytes_ = 0;
+  std::uint64_t allocations_ = 0;
+};
+
+/// A size/capacity view over arena storage, for trivially copyable
+/// elements. Unlike std::vector it never owns memory: Reserve() bumps the
+/// arena (copying any live elements over, like a realloc), Release() drops
+/// the storage when the owner resets the arena, and the remembered
+/// high-water capacity makes the first Reserve() after a Release() grab
+/// the full previous footprint in one bump - so per-snapshot
+/// release/reserve cycles are two pointer updates, not growth loops.
+///
+/// The owner is responsible for pairing Arena::Reset() with Release() on
+/// every vector carved from that arena; element access after the backing
+/// arena was reset is undefined.
+template <typename T>
+class ArenaVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ArenaVector elements are moved with memcpy");
+
+ public:
+  ArenaVector() = default;
+  ArenaVector(const ArenaVector&) = delete;
+  ArenaVector& operator=(const ArenaVector&) = delete;
+
+  /// Ensures capacity for `n` elements, preserving current contents.
+  void Reserve(Arena& arena, std::size_t n) {
+    if (n <= capacity_) return;
+    if (n < high_water_) n = high_water_;
+    if (n < 2 * capacity_) n = 2 * capacity_;
+    T* data = static_cast<T*>(arena.Allocate(n * sizeof(T)));
+    if (size_ != 0) std::memcpy(data, data_, size_ * sizeof(T));
+    data_ = data;
+    capacity_ = n;
+    if (capacity_ > high_water_) high_water_ = capacity_;
+  }
+
+  /// Drops the storage reference (call when the backing arena is reset);
+  /// the high-water mark survives so the next Reserve() restores the full
+  /// footprint in one allocation.
+  void Release() {
+    data_ = nullptr;
+    size_ = 0;
+    capacity_ = 0;
+  }
+
+  void Clear() { size_ = 0; }
+
+  /// Appends; the caller must have Reserved enough capacity.
+  void PushBack(const T& v) {
+    COMOVE_DCHECK(size_ < capacity_);
+    data_[size_++] = v;
+  }
+
+  /// Sets the size to `n` (elements uninitialised beyond old size).
+  void Resize(Arena& arena, std::size_t n) {
+    Reserve(arena, n);
+    size_ = n;
+  }
+
+  /// Sets the contents to `n` copies of `value`.
+  void Assign(Arena& arena, std::size_t n, const T& value) {
+    Resize(arena, n);
+    for (std::size_t i = 0; i < n; ++i) data_[i] = value;
+  }
+
+  T& operator[](std::size_t i) {
+    COMOVE_DCHECK(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    COMOVE_DCHECK(i < size_);
+    return data_[i];
+  }
+  T& Back() {
+    COMOVE_DCHECK(size_ > 0);
+    return data_[size_ - 1];
+  }
+  void PopBack() {
+    COMOVE_DCHECK(size_ > 0);
+    --size_;
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace comove
+
+#endif  // COMOVE_COMMON_ARENA_H_

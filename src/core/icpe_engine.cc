@@ -308,6 +308,9 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
   std::atomic<std::int64_t> delta_cells_seen{0};
   std::atomic<std::int64_t> delta_cells_replayed{0};
   std::atomic<std::int64_t> delta_dbscan_replays{0};
+  // Arena scratch footprint; folded the same way.
+  std::atomic<std::int64_t> arena_bytes{0};
+  std::atomic<std::int64_t> arena_allocations{0};
 
   std::mutex collector_mu;
   std::vector<pattern::PatternCollector> collectors(queries.size());
@@ -585,6 +588,16 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
       delta_dbscan_replays.fetch_add(
           static_cast<std::int64_t>(scratch.dbscan_memo.replays),
           std::memory_order_relaxed);
+      arena_bytes.fetch_add(
+          static_cast<std::int64_t>(
+              scratch.join.cell.sweep.arena.block_bytes() +
+              scratch.dbscan.arena.block_bytes()),
+          std::memory_order_relaxed);
+      arena_allocations.fetch_add(
+          static_cast<std::int64_t>(
+              scratch.join.cell.sweep.arena.allocations() +
+              scratch.dbscan.arena.allocations()),
+          std::memory_order_relaxed);
       if (enumerate) partition_sender.Close();
     });
   } else {
@@ -705,6 +718,9 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
           Stopwatch watch;
           const std::uint64_t t0 = tr != nullptr ? tr->NowNs() : 0;
           std::vector<NeighborPair> pairs;
+          // Once-per-snapshot arena rewind of the sweep kernel's columns
+          // (mirrors RunJoin in the snapshot-parallel path).
+          cell_scratch.sweep.BeginSnapshot();
           if (incremental) delta_cache.BeginSnapshot();
           for (auto& [key, objects] : cells_by_time.begin()->second) {
             if (incremental) {
@@ -785,6 +801,12 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
       delta_cells_replayed.fetch_add(
           static_cast<std::int64_t>(delta_cache.cells_replayed),
           std::memory_order_relaxed);
+      arena_bytes.fetch_add(
+          static_cast<std::int64_t>(cell_scratch.sweep.arena.block_bytes()),
+          std::memory_order_relaxed);
+      arena_allocations.fetch_add(
+          static_cast<std::int64_t>(cell_scratch.sweep.arena.allocations()),
+          std::memory_order_relaxed);
       sync_exchange->CloseProducer(p + worker);
     });
 
@@ -804,8 +826,9 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
       };
       std::map<Timestamp, PendingTime> buffer;
       // DBSCAN interning/CSR buffers, reused across this worker's
-      // snapshots.
+      // snapshots, plus the GridSync sort's radix scratch.
       cluster::DbscanScratch dbscan_scratch;
+      cluster::PairSortScratch sort_scratch;
       // Whole-snapshot DBSCAN memo (incremental mode): this worker sees
       // every p-th snapshot time, so the memo compares against the last
       // snapshot it clustered. Derived state - recovery starts it cold.
@@ -841,10 +864,8 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
           const std::uint64_t t0 = tr != nullptr ? tr->NowNs() : 0;
           // GridSync: canonical order + dedup (required for the SRJ
           // variant, a no-op for RJC with both lemmas).
-          std::sort(pending.pairs.begin(), pending.pairs.end());
-          pending.pairs.erase(
-              std::unique(pending.pairs.begin(), pending.pairs.end()),
-              pending.pairs.end());
+          cluster::SortUniquePairs(pending.pairs, sort_scratch,
+                                   options.cluster_options.join.simd);
           const ClusterSnapshot clustered =
               incremental
                   ? cluster::DbscanFromNeighborsCached(
@@ -923,6 +944,12 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
       if (!crashed.load()) process_through(kMaxTime);
       delta_dbscan_replays.fetch_add(
           static_cast<std::int64_t>(dbscan_memo.replays),
+          std::memory_order_relaxed);
+      arena_bytes.fetch_add(
+          static_cast<std::int64_t>(dbscan_scratch.arena.block_bytes()),
+          std::memory_order_relaxed);
+      arena_allocations.fetch_add(
+          static_cast<std::int64_t>(dbscan_scratch.arena.allocations()),
           std::memory_order_relaxed);
       if (enumerate) partition_sender.Close();
     });
@@ -1159,6 +1186,8 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
   result.delta_cells_seen = delta_cells_seen.load();
   result.delta_cells_replayed = delta_cells_replayed.load();
   result.delta_dbscan_replays = delta_dbscan_replays.load();
+  result.arena_bytes = arena_bytes.load();
+  result.arena_allocations = arena_allocations.load();
   return result;
 }
 

@@ -190,6 +190,14 @@ struct IcpeResult {
   std::int64_t delta_cells_replayed = 0;
   std::int64_t delta_dbscan_replays = 0;
 
+  /// Arena-backed scratch footprint, summed over every cluster/query/sync
+  /// worker as it exits: retained arena bytes and lifetime bump-allocation
+  /// count. In steady state allocations stays flat per snapshot (the
+  /// arenas rewind instead of reallocating); per-snapshot heap churn
+  /// regressions show up as growth here.
+  std::int64_t arena_bytes = 0;
+  std::int64_t arena_allocations = 0;
+
   /// True when an injected fault killed the pipeline mid-run; patterns
   /// then cover only what was emitted before the crash, and a recovery
   /// run (IcpeOptions::recover) is expected to follow.

@@ -72,12 +72,27 @@ class GridIndex {
     const std::int32_t y1 = Floor(region.max_y);
     keys.reserve(static_cast<std::size_t>(x1 - x0 + 1) *
                  static_cast<std::size_t>(y1 - y0 + 1));
+    ForEachKeyIntersecting(region, [&keys](const GridKey& k) {
+      keys.push_back(k);
+    });
+    return keys;
+  }
+
+  /// KeysIntersecting without materialising the key vector: invokes `fn`
+  /// for every intersecting key in the same (cx-major) order. The hot
+  /// allocation path (GridAllocate runs this once per snapshot entry)
+  /// uses this form so cell enumeration allocates nothing.
+  template <typename Fn>
+  void ForEachKeyIntersecting(const Rect& region, Fn&& fn) const {
+    const std::int32_t x0 = Floor(region.min_x);
+    const std::int32_t x1 = Floor(region.max_x);
+    const std::int32_t y0 = Floor(region.min_y);
+    const std::int32_t y1 = Floor(region.max_y);
     for (std::int32_t cx = x0; cx <= x1; ++cx) {
       for (std::int32_t cy = y0; cy <= y1; ++cy) {
-        keys.push_back(GridKey{cx, cy});
+        fn(GridKey{cx, cy});
       }
     }
-    return keys;
   }
 
   /// The spatial extent of cell `key`.

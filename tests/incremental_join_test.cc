@@ -46,16 +46,17 @@ std::vector<Snapshot> SlowStream(int objects, int ticks,
 }
 
 /// Joins `stream` twice - full recompute vs incremental - and requires
-/// bit-identical pair vectors at every snapshot. Returns the incremental
-/// scratch so callers can inspect the cache counters.
-JoinScratch ExpectJoinsIdentical(const std::vector<Snapshot>& stream,
-                                 RangeJoinOptions options, bool srj) {
+/// bit-identical pair vectors at every snapshot. Fills the caller's
+/// incremental scratch (arena-backed, hence non-movable) so the cache
+/// counters can be inspected afterwards.
+void ExpectJoinsIdentical(const std::vector<Snapshot>& stream,
+                          RangeJoinOptions options, bool srj,
+                          JoinScratch& delta_scratch) {
   RangeJoinOptions full = options;
   full.incremental = false;
   RangeJoinOptions delta = options;
   delta.incremental = true;
   JoinScratch full_scratch;
-  JoinScratch delta_scratch;
   for (const Snapshot& s : stream) {
     const std::vector<NeighborPair>& expect =
         srj ? RangeJoinSRJ(s, full, full_scratch)
@@ -65,7 +66,6 @@ JoinScratch ExpectJoinsIdentical(const std::vector<Snapshot>& stream,
             : RangeJoinRJC(s, delta, {}, delta_scratch);
     EXPECT_EQ(got, expect) << "diverged at t=" << s.time;
   }
-  return delta_scratch;
 }
 
 TEST(IncrementalJoin, BitIdenticalOnSlowStreamsAcrossKernelsAndMetrics) {
@@ -77,8 +77,8 @@ TEST(IncrementalJoin, BitIdenticalOnSlowStreamsAcrossKernelsAndMetrics) {
         RangeJoinOptions options{.grid_cell_width = 4.0, .eps = 1.5};
         options.kernel = kernel;
         options.metric = metric;
-        const JoinScratch scratch =
-            ExpectJoinsIdentical(stream, options, srj);
+        JoinScratch scratch;
+        ExpectJoinsIdentical(stream, options, srj, scratch);
         // 90% of the fleet never moves: the cache must be doing real work.
         EXPECT_GT(scratch.delta.cells_replayed, 0u)
             << JoinKernelName(kernel) << " srj=" << srj;
@@ -104,7 +104,8 @@ TEST(IncrementalJoin, ObjectOscillatingAcrossCellBoundary) {
     stream.push_back(std::move(s));
   }
   RangeJoinOptions options{.grid_cell_width = 4.0, .eps = 1.0};
-  const JoinScratch scratch = ExpectJoinsIdentical(stream, options, false);
+  JoinScratch scratch;
+  ExpectJoinsIdentical(stream, options, false, scratch);
   // The two-tick cycle revisits identical buckets, so period-2 replay is
   // possible in principle; what matters is that no wrong replay happened
   // (checked above) and the counters stay coherent.
@@ -132,7 +133,8 @@ TEST(IncrementalJoin, CellEmptiesAndRefillsIdentically) {
     stream.push_back(std::move(s));
   }
   RangeJoinOptions options{.grid_cell_width = 4.0, .eps = 1.5};
-  const JoinScratch scratch = ExpectJoinsIdentical(stream, options, false);
+  JoinScratch scratch;
+  ExpectJoinsIdentical(stream, options, false, scratch);
   // Ticks 1-3 replay the depot, 5-7 replay the away cells, and ticks 8-11
   // replay the depot again from the entries that survived the absence.
   EXPECT_GE(scratch.delta.cells_replayed, 9u);
@@ -187,7 +189,8 @@ TEST(IncrementalJoin, IdsStraddlingThirtyTwoBits) {
     stream.push_back(std::move(s));
   }
   RangeJoinOptions options{.grid_cell_width = 4.0, .eps = 0.5};
-  const JoinScratch scratch = ExpectJoinsIdentical(stream, options, false);
+  JoinScratch scratch;
+  ExpectJoinsIdentical(stream, options, false, scratch);
   EXPECT_GT(scratch.delta.cells_replayed, 0u);
 }
 

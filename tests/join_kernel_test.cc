@@ -200,8 +200,7 @@ TEST(SortUniquePairs, MatchesComparisonSortOnLargeStreams) {
   std::vector<NeighborPair> expect = pairs;
   std::sort(expect.begin(), expect.end());
   expect.erase(std::unique(expect.begin(), expect.end()), expect.end());
-  std::vector<NeighborPair> tmp;
-  SortUniquePairs(pairs, tmp);
+  SortUniquePairs(pairs);
   EXPECT_EQ(pairs, expect);
 }
 
@@ -227,8 +226,7 @@ TEST(SortUniquePairs, IdsStraddlingThirtyTwoBitsFallBackToComparisonSort) {
   std::vector<NeighborPair> expect = pairs;
   std::sort(expect.begin(), expect.end());
   expect.erase(std::unique(expect.begin(), expect.end()), expect.end());
-  std::vector<NeighborPair> tmp;
-  SortUniquePairs(pairs, tmp);
+  SortUniquePairs(pairs);
   EXPECT_EQ(pairs, expect);
 }
 
@@ -245,8 +243,7 @@ TEST(SortUniquePairs, NegativeIdsFallBackToComparisonSort) {
   std::vector<NeighborPair> expect = pairs;
   std::sort(expect.begin(), expect.end());
   expect.erase(std::unique(expect.begin(), expect.end()), expect.end());
-  std::vector<NeighborPair> tmp;
-  SortUniquePairs(pairs, tmp);
+  SortUniquePairs(pairs);
   EXPECT_EQ(pairs, expect);
 }
 
