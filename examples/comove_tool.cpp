@@ -240,6 +240,13 @@ int RunDetect(int argc, char** argv) {
                 cpu.force_scalar ? ", COMOVE_FORCE_SCALAR" : "",
                 static_cast<long long>(result.arena_bytes / 1024),
                 static_cast<long long>(result.arena_allocations));
+    std::printf("enumeration: %lld strings opened, %lld closed, peak %lld "
+                "live | apriori %lld nodes, %lld pruned\n",
+                static_cast<long long>(result.enum_strings_opened),
+                static_cast<long long>(result.enum_strings_closed),
+                static_cast<long long>(result.enum_candidates_peak),
+                static_cast<long long>(result.enum_apriori_nodes),
+                static_cast<long long>(result.enum_apriori_pruned));
   }
   if (options.collect_stats && !result.stage_stats.empty()) {
     std::printf("\n[stage stats]\n");

@@ -20,13 +20,17 @@
 #     (on/off >= 0.95);
 #   - the incremental delta path must pay on a mostly-parked fleet: delta
 #     mode >= 2x full recompute on bench_incremental's large low-mover
-#     config (within the current run, so the floor is machine-neutral).
+#     config (within the current run, so the floor is machine-neutral);
+#   - the word-parallel enumeration hot loop must pay: fast >= 3x the
+#     naive replica for FBA on bench_enumerator's enumeration-bound
+#     m4/k18/l3/g3/opc32 config (within the current run).
 #
 # The baselines are machine-specific; regenerate them on your hardware with
 #   build-release/bench/bench_flow_throughput --out BENCH_flow_throughput.json
 #   build-release/bench/bench_join_kernel --out BENCH_join_kernel.json
 #   build-release/bench/bench_checkpoint --out BENCH_checkpoint.json
 #   build-release/bench/bench_incremental --out BENCH_incremental.json
+#   build-release/bench/bench_enumerator --out BENCH_enum.json
 # before relying on the regression gate.
 #
 # Usage: scripts/bench_smoke.sh [build-dir]   (default: build-release)
@@ -44,6 +48,8 @@ CKPT_BASELINE="BENCH_checkpoint.json"
 CKPT_CURRENT="BENCH_checkpoint.tmp.json"
 INCR_BASELINE="BENCH_incremental.json"
 INCR_CURRENT="BENCH_incremental.tmp.json"
+ENUM_BASELINE="BENCH_enum.json"
+ENUM_CURRENT="BENCH_enum.tmp.json"
 
 if [ ! -f "$BASELINE" ]; then
   echo "missing baseline $BASELINE" >&2
@@ -61,16 +67,21 @@ if [ ! -f "$INCR_BASELINE" ]; then
   echo "missing baseline $INCR_BASELINE" >&2
   exit 1
 fi
+if [ ! -f "$ENUM_BASELINE" ]; then
+  echo "missing baseline $ENUM_BASELINE" >&2
+  exit 1
+fi
 
 cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target bench_flow_throughput bench_join_kernel bench_checkpoint \
-  bench_incremental
+  bench_incremental bench_enumerator
 
 "$BUILD_DIR/bench/bench_flow_throughput" --out "$CURRENT"
 "$BUILD_DIR/bench/bench_join_kernel" --out "$KERNEL_CURRENT"
 "$BUILD_DIR/bench/bench_checkpoint" --out "$CKPT_CURRENT"
 "$BUILD_DIR/bench/bench_incremental" --out "$INCR_CURRENT"
+"$BUILD_DIR/bench/bench_enumerator" --out "$ENUM_CURRENT"
 
 # Each JSON file holds one row object per line:
 #   {"workload": "...", "parallelism": P, "batch": B, "records_per_sec": R}
@@ -305,7 +316,67 @@ awk '
   }
 ' "$INCR_BASELINE" "$INCR_CURRENT" || status=1
 
-rm -f "$CURRENT" "$KERNEL_CURRENT" "$CKPT_CURRENT" "$INCR_CURRENT"
+# Enumeration hot-loop rows:
+#   {"workload": "enumerator", "algo": "fba"|"vba", "impl": "fast"|"naive",
+#    "m": M, "k": K, "l": L, "g": G, "opc": O, "snapshots_per_sec": R}
+# keyed on (algo, impl, m, k, l, g, opc). The headline floor compares
+# fast against the naive replica WITHIN the current run on the
+# enumeration-bound FBA config, so it is machine-neutral.
+awk '
+  function field(line, name,    rest) {
+    rest = line
+    sub(".*\"" name "\": *", "", rest)
+    sub("[,}].*", "", rest)
+    gsub("\"", "", rest)
+    return rest
+  }
+  {
+    key = field($0, "algo") "/" field($0, "impl") "/m" field($0, "m") \
+          "k" field($0, "k") "l" field($0, "l") "g" field($0, "g") \
+          "/opc" field($0, "opc")
+    rate = field($0, "snapshots_per_sec") + 0
+    if (NR == FNR) { baseline[key] = rate; next }
+    current[key] = rate
+    if (!(key in baseline)) {
+      printf "NEW  enum/%-32s %10.0f snap/s (no baseline)\n", key, rate
+      next
+    }
+    ratio = rate / baseline[key]
+    verdict = (ratio >= 0.8) ? "ok  " : "low "
+    log_sum += log(ratio)
+    rows += 1
+    printf "%s enum/%-32s %10.0f snap/s  baseline %10.0f  (%.2fx)\n", \
+           verdict, key, rate, baseline[key], ratio
+  }
+  END {
+    if (rows == 0) { print "FAIL: no comparable enumerator rows"; exit 1 }
+    geomean = exp(log_sum / rows)
+    printf "geometric-mean enumerator ratio over %d rows = %.2fx\n", \
+           rows, geomean
+    if (geomean < 0.8) {
+      print "FAIL: enumerator bench regressed more than 20% overall"
+      failed = 1
+    }
+    fast = current["fba/fast/m4k18l3g3/opc32"]
+    naive = current["fba/naive/m4k18l3g3/opc32"]
+    if (fast <= 0 || naive <= 0) {
+      print "FAIL: missing enumerator headline rows"
+      failed = 1
+    } else {
+      speedup = fast / naive
+      printf "enumerator headline (fba m4/k18/l3/g3/opc32) fast/naive = %.2fx\n", \
+             speedup
+      if (speedup < 3.0) {
+        print "FAIL: word-parallel enumeration speedup below 3x"
+        failed = 1
+      }
+    }
+    exit failed
+  }
+' "$ENUM_BASELINE" "$ENUM_CURRENT" || status=1
+
+rm -f "$CURRENT" "$KERNEL_CURRENT" "$CKPT_CURRENT" "$INCR_CURRENT" \
+  "$ENUM_CURRENT"
 if [ "$status" -ne 0 ]; then
   echo "bench smoke FAILED (>20% regression or lost headline win)" >&2
 else

@@ -35,6 +35,7 @@ TESTS=(
   barrier_alignment_test
   checkpoint_test
   recovery_test
+  enum_soak_test
 )
 
 cmake -B "$BUILD_DIR" -S "$ROOT" \

@@ -21,8 +21,12 @@ namespace comove::apps {
 /// 3 - tracing/time-series observability: run-level trace_events and
 /// trace_dropped, per-stage last_watermark (stages now mirror
 /// flow::StageStatsFields exactly), optional "time_series" (sampler
-/// ticks) and "worst_snapshots" (per-stage latency breakdown) arrays.
-inline constexpr int kResultJsonSchemaVersion = 3;
+/// ticks) and "worst_snapshots" (per-stage latency breakdown) arrays;
+/// 4 - enumeration-stage counters: run-level enum_strings_opened,
+/// enum_strings_closed, enum_candidates_peak, enum_apriori_nodes,
+/// enum_apriori_pruned (the delta_cells_* precedent applied to the
+/// pattern stage).
+inline constexpr int kResultJsonSchemaVersion = 4;
 
 /// Writes `patterns` as a JSON array of {"objects": [...], "times": [...]}.
 void WritePatternsJson(const std::vector<CoMovementPattern>& patterns,

@@ -312,6 +312,12 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
   std::atomic<std::int64_t> arena_bytes{0};
   std::atomic<std::int64_t> arena_allocations{0};
 
+  std::atomic<std::int64_t> enum_strings_opened{0};
+  std::atomic<std::int64_t> enum_strings_closed{0};
+  std::atomic<std::int64_t> enum_candidates_peak{0};
+  std::atomic<std::int64_t> enum_apriori_nodes{0};
+  std::atomic<std::int64_t> enum_apriori_pruned{0};
+
   std::mutex collector_mu;
   std::vector<pattern::PatternCollector> collectors(queries.size());
   // One sink per query, all sharing the mutex and the optional callback.
@@ -1116,6 +1122,19 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
       if (crashed.load()) return;  // uncommitted logs die with the crash
       feed(buffer.DrainAll());
       for (const auto& e : enumerators) e->Finish();
+      for (const auto& e : enumerators) {
+        const pattern::EnumerationStats es = e->enumeration_stats();
+        enum_strings_opened.fetch_add(es.strings_opened,
+                                      std::memory_order_relaxed);
+        enum_strings_closed.fetch_add(es.strings_closed,
+                                      std::memory_order_relaxed);
+        enum_candidates_peak.fetch_add(es.candidates_peak,
+                                       std::memory_order_relaxed);
+        enum_apriori_nodes.fetch_add(es.apriori_nodes,
+                                     std::memory_order_relaxed);
+        enum_apriori_pruned.fetch_add(es.apriori_pruned,
+                                      std::memory_order_relaxed);
+      }
       if (transactional) {
         std::lock_guard<std::mutex> lock(collector_mu);
         for (std::size_t q = 0; q < queries.size(); ++q) {
@@ -1188,6 +1207,11 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
   result.delta_dbscan_replays = delta_dbscan_replays.load();
   result.arena_bytes = arena_bytes.load();
   result.arena_allocations = arena_allocations.load();
+  result.enum_strings_opened = enum_strings_opened.load();
+  result.enum_strings_closed = enum_strings_closed.load();
+  result.enum_candidates_peak = enum_candidates_peak.load();
+  result.enum_apriori_nodes = enum_apriori_nodes.load();
+  result.enum_apriori_pruned = enum_apriori_pruned.load();
   return result;
 }
 

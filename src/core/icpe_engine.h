@@ -190,6 +190,19 @@ struct IcpeResult {
   std::int64_t delta_cells_replayed = 0;
   std::int64_t delta_dbscan_replays = 0;
 
+  /// Enumeration-stage counters, summed over every enumeration worker and
+  /// query as the workers exit (all zero with EnumeratorKind::kNone).
+  /// Opened/closed count per-(owner, trajectory) membership bit strings
+  /// (BA: subset candidates); peak is the high-water mark of live strings
+  /// (VBA: retained closed candidates). Apriori nodes/pruned tally
+  /// enumeration tree nodes expanded versus cut by the running-popcount /
+  /// (K, L, G) prune - the work the candidate filter saves.
+  std::int64_t enum_strings_opened = 0;
+  std::int64_t enum_strings_closed = 0;
+  std::int64_t enum_candidates_peak = 0;
+  std::int64_t enum_apriori_nodes = 0;
+  std::int64_t enum_apriori_pruned = 0;
+
   /// Arena-backed scratch footprint, summed over every cluster/query/sync
   /// worker as it exits: retained arena bytes and lifetime bump-allocation
   /// count. In steady state allocations stays flat per snapshot (the

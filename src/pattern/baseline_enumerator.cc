@@ -79,6 +79,7 @@ void BaselineEnumerator::AdvanceCandidates(OwnerState* state,
         candidates[i] = std::move(candidates.back());
         candidates.pop_back();
         --live_candidates_;
+        ++stats_.strings_closed;
         continue;
       }
       if (static_cast<std::int32_t>(cand.times.size()) >= constraints().k &&
@@ -121,6 +122,10 @@ void BaselineEnumerator::OpenWindow(OwnerState* state,
     window.candidates.push_back(std::move(cand));
   }
   live_candidates_ += window.candidates.size();
+  stats_.strings_opened += static_cast<std::int64_t>(window.candidates.size());
+  stats_.candidates_peak =
+      std::max(stats_.candidates_peak,
+               static_cast<std::int64_t>(live_candidates_));
   // Degenerate K = 1: patterns are already complete at their start time.
   if (constraints().k <= 1) {
     for (Candidate& cand : window.candidates) {
@@ -146,6 +151,8 @@ void BaselineEnumerator::CloseExpiredWindows(Timestamp now) {
         ++kept;
       } else {
         live_candidates_ -= windows[i].candidates.size();
+        stats_.strings_closed +=
+            static_cast<std::int64_t>(windows[i].candidates.size());
       }
     }
     windows.resize(kept);

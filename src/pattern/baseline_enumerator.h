@@ -40,6 +40,8 @@ class BaselineEnumerator : public StreamingEnumerator {
     return last_fed() == kNoTime ? kNoTime : last_fed() - (eta_ - 1);
   }
 
+  EnumerationStats enumeration_stats() const override { return stats_; }
+
  protected:
   void ProcessTime(Timestamp time, PartitionsByOwner&& by_owner) override;
   void FlushAtEnd(Timestamp next_time) override;
@@ -73,6 +75,7 @@ class BaselineEnumerator : public StreamingEnumerator {
   std::int32_t eta_;
   std::unordered_map<TrajectoryId, OwnerState> owners_;
   std::size_t live_candidates_ = 0;
+  EnumerationStats stats_;
 };
 
 }  // namespace comove::pattern

@@ -2,25 +2,107 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
 
 #include "common/check.h"
-#include "common/time_sequence.h"
 
 namespace comove::pattern {
 
 namespace {
-constexpr std::int32_t kBitsPerWord = 64;
-
-std::size_t WordCount(std::int32_t bits) {
-  return static_cast<std::size_t>((bits + kBitsPerWord - 1) / kBitsPerWord);
-}
+constexpr std::int32_t kBits = BitString::kBitsPerWord;
 }  // namespace
 
 BitString::BitString(Timestamp start_time, std::int32_t length)
-    : start_time_(start_time),
-      length_(length),
-      words_(WordCount(length), 0) {
+    : start_time_(start_time), length_(length) {
   COMOVE_CHECK(length >= 0);
+  EnsureCapacity(WordCountFor(length));
+}
+
+BitString::BitString(const BitString& other)
+    : start_time_(other.start_time_), length_(other.length_) {
+  const std::size_t wc = other.word_count();
+  if (wc > kInlineWords) {
+    heap_ = new std::uint64_t[wc];
+    cap_words_ = wc;
+    std::memcpy(heap_, other.words(), wc * sizeof(std::uint64_t));
+  } else {
+    std::memcpy(inline_words_, other.words(), wc * sizeof(std::uint64_t));
+  }
+}
+
+BitString::BitString(BitString&& other) noexcept
+    : start_time_(other.start_time_),
+      length_(other.length_),
+      cap_words_(other.cap_words_),
+      heap_(other.heap_) {
+  if (heap_ == nullptr) {
+    inline_words_[0] = other.inline_words_[0];
+    inline_words_[1] = other.inline_words_[1];
+  }
+  other.heap_ = nullptr;
+  other.cap_words_ = kInlineWords;
+  other.inline_words_[0] = 0;
+  other.inline_words_[1] = 0;
+  other.length_ = 0;
+  other.start_time_ = 0;
+}
+
+BitString& BitString::operator=(const BitString& other) {
+  if (this == &other) return *this;
+  const std::size_t wc = other.word_count();
+  if (wc > cap_words_) {
+    delete[] heap_;
+    heap_ = new std::uint64_t[wc];
+    cap_words_ = wc;
+  }
+  start_time_ = other.start_time_;
+  length_ = other.length_;
+  std::uint64_t* dst = words();
+  std::memcpy(dst, other.words(), wc * sizeof(std::uint64_t));
+  // Keep the all-zero tail invariant over the full retained capacity.
+  for (std::size_t w = wc; w < cap_words_; ++w) dst[w] = 0;
+  return *this;
+}
+
+BitString& BitString::operator=(BitString&& other) noexcept {
+  if (this == &other) return *this;
+  delete[] heap_;
+  start_time_ = other.start_time_;
+  length_ = other.length_;
+  cap_words_ = other.cap_words_;
+  heap_ = other.heap_;
+  if (heap_ == nullptr) {
+    inline_words_[0] = other.inline_words_[0];
+    inline_words_[1] = other.inline_words_[1];
+  }
+  other.heap_ = nullptr;
+  other.cap_words_ = kInlineWords;
+  other.inline_words_[0] = 0;
+  other.inline_words_[1] = 0;
+  other.length_ = 0;
+  other.start_time_ = 0;
+  return *this;
+}
+
+BitString::~BitString() { delete[] heap_; }
+
+void BitString::EnsureCapacity(std::size_t words_needed) {
+  if (words_needed <= cap_words_) return;
+  std::size_t new_cap = cap_words_ * 2;
+  if (new_cap < words_needed) new_cap = words_needed;
+  auto* data = new std::uint64_t[new_cap];
+  const std::size_t live = word_count();
+  std::memcpy(data, words(), live * sizeof(std::uint64_t));
+  std::memset(data + live, 0, (new_cap - live) * sizeof(std::uint64_t));
+  delete[] heap_;
+  heap_ = data;
+  cap_words_ = new_cap;
+}
+
+bool operator==(const BitString& a, const BitString& b) {
+  if (a.start_time_ != b.start_time_ || a.length_ != b.length_) return false;
+  const std::size_t wc = a.word_count();
+  return std::memcmp(a.words(), b.words(), wc * sizeof(std::uint64_t)) == 0;
 }
 
 BitString BitString::FromTimes(Timestamp start_time, std::int32_t length,
@@ -35,15 +117,13 @@ BitString BitString::FromTimes(Timestamp start_time, std::int32_t length,
 
 bool BitString::Get(std::int32_t j) const {
   COMOVE_CHECK(j >= 0 && j < length_);
-  return (words_[static_cast<std::size_t>(j / kBitsPerWord)] >>
-          (j % kBitsPerWord)) &
-         1ULL;
+  return (words()[static_cast<std::size_t>(j / kBits)] >> (j % kBits)) & 1ULL;
 }
 
 void BitString::Set(std::int32_t j, bool value) {
   COMOVE_CHECK(j >= 0 && j < length_);
-  const std::uint64_t mask = 1ULL << (j % kBitsPerWord);
-  auto& word = words_[static_cast<std::size_t>(j / kBitsPerWord)];
+  const std::uint64_t mask = 1ULL << (j % kBits);
+  auto& word = words()[static_cast<std::size_t>(j / kBits)];
   if (value) {
     word |= mask;
   } else {
@@ -52,34 +132,132 @@ void BitString::Set(std::int32_t j, bool value) {
 }
 
 void BitString::Append(bool value) {
+  EnsureCapacity(WordCountFor(length_ + 1));
   ++length_;
-  if (WordCount(length_) > words_.size()) words_.push_back(0);
-  Set(length_ - 1, value);
+  // The appended bit is already zero by the tail invariant.
+  if (value) Set(length_ - 1, true);
+}
+
+void BitString::AppendZeros(std::int32_t n) {
+  COMOVE_CHECK(n >= 0);
+  EnsureCapacity(WordCountFor(length_ + n));
+  length_ += n;  // the new bits are already zero by the tail invariant
+}
+
+void BitString::DropFront() {
+  COMOVE_CHECK(length_ > 0);
+  std::uint64_t* w = words();
+  const std::size_t wc = word_count();
+  for (std::size_t i = 0; i + 1 < wc; ++i) {
+    w[i] = (w[i] >> 1) | (w[i + 1] << (kBits - 1));
+  }
+  w[wc - 1] >>= 1;
+  ++start_time_;
+  --length_;
+  // Bits past the old length were zero, so bits past length - 1 are zero
+  // after the shift: the tail invariant holds with no extra masking.
+}
+
+std::int32_t CountOnesInWords(const std::uint64_t* words, std::size_t count) {
+  std::int32_t ones = 0;
+  for (std::size_t i = 0; i < count; ++i) ones += std::popcount(words[i]);
+  return ones;
+}
+
+bool WordsSatisfyKLG(const std::uint64_t* words, std::int32_t length,
+                     const PatternConstraints& c) {
+  // One pass over the maximal one-runs, mirroring BestChain exactly: runs
+  // shorter than L are skipped entirely (they neither contribute nor end a
+  // chain); a qualifying run extends the current chain when its start is
+  // within G of the previous qualifying run's end, else starts a new one.
+  std::int32_t best = 0;
+  std::int32_t chain_total = 0;
+  std::int32_t prev_end = 0;  // inclusive end of the last qualifying run
+  bool have_prev = false;
+  std::int32_t run_start = -1;  // -1: not inside a one-run
+
+  const auto close_run = [&](std::int32_t end_exclusive) {
+    const std::int32_t run_len = end_exclusive - run_start;
+    if (run_len >= c.l) {
+      if (have_prev && run_start - prev_end <= c.g) {
+        chain_total += run_len;
+      } else {
+        chain_total = run_len;
+      }
+      if (chain_total > best) best = chain_total;
+      have_prev = true;
+      prev_end = end_exclusive - 1;
+    }
+    run_start = -1;
+  };
+
+  const auto word_count = BitString::WordCountFor(length);
+  for (std::size_t wi = 0; wi < word_count; ++wi) {
+    const std::uint64_t w = words[wi];
+    const std::int32_t base = static_cast<std::int32_t>(wi) * kBits;
+    std::int32_t off = 0;
+    while (off < kBits) {
+      const std::uint64_t rest = w >> off;
+      if (run_start < 0) {
+        if (rest == 0) break;  // rest of the word is zeros
+        off += std::countr_zero(rest);
+        run_start = base + off;
+      } else {
+        const std::int32_t ones = std::countr_one(rest);
+        off += ones;
+        if (off < kBits) close_run(base + off);
+        // off == kBits: the run continues into the next word.
+      }
+    }
+  }
+  if (run_start >= 0) close_run(length);
+  return best >= c.k;
+}
+
+void AppendOneTimes(const std::uint64_t* words, std::int32_t length,
+                    Timestamp start, std::vector<Timestamp>* out) {
+  const auto word_count = BitString::WordCountFor(length);
+  for (std::size_t wi = 0; wi < word_count; ++wi) {
+    std::uint64_t w = words[wi];
+    while (w != 0) {
+      const int bit = std::countr_zero(w);
+      out->push_back(start + static_cast<Timestamp>(wi) * kBits + bit);
+      w &= w - 1;
+    }
+  }
 }
 
 std::int32_t BitString::CountOnes() const {
-  std::int32_t count = 0;
-  for (const std::uint64_t w : words_) count += std::popcount(w);
-  return count;
+  return CountOnesInWords(words(), word_count());
+}
+
+bool BitString::IsZero() const {
+  const std::uint64_t* w = words();
+  const std::size_t wc = word_count();
+  for (std::size_t i = 0; i < wc; ++i) {
+    if (w[i] != 0) return false;
+  }
+  return true;
 }
 
 std::int32_t BitString::LastOne() const {
-  for (std::int32_t wi = static_cast<std::int32_t>(words_.size()) - 1;
-       wi >= 0; --wi) {
-    if (words_[static_cast<std::size_t>(wi)] != 0) {
-      const int high =
-          63 - std::countl_zero(words_[static_cast<std::size_t>(wi)]);
-      return wi * kBitsPerWord + high;
+  const std::uint64_t* w = words();
+  for (std::int32_t wi = static_cast<std::int32_t>(word_count()) - 1; wi >= 0;
+       --wi) {
+    if (w[static_cast<std::size_t>(wi)] != 0) {
+      const int high = 63 - std::countl_zero(w[static_cast<std::size_t>(wi)]);
+      return wi * kBits + high;
     }
   }
   return -1;
 }
 
 std::int32_t BitString::FirstOne() const {
-  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
-    if (words_[wi] != 0) {
-      return static_cast<std::int32_t>(wi) * kBitsPerWord +
-             std::countr_zero(words_[wi]);
+  const std::uint64_t* w = words();
+  const std::size_t wc = word_count();
+  for (std::size_t wi = 0; wi < wc; ++wi) {
+    if (w[wi] != 0) {
+      return static_cast<std::int32_t>(wi) * kBits + std::countr_zero(w[wi]);
     }
   }
   return -1;
@@ -93,69 +271,68 @@ std::int32_t BitString::TrailingZeros() const {
 std::vector<Timestamp> BitString::OneTimes() const {
   std::vector<Timestamp> times;
   times.reserve(static_cast<std::size_t>(CountOnes()));
-  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
-    std::uint64_t w = words_[wi];
-    while (w != 0) {
-      const int bit = std::countr_zero(w);
-      times.push_back(start_time_ +
-                      static_cast<Timestamp>(wi) * kBitsPerWord + bit);
-      w &= w - 1;
-    }
-  }
+  AppendOneTimes(words(), length_, start_time_, &times);
   return times;
 }
 
 BitString BitString::AndAligned(const BitString& a, const BitString& b) {
   const Timestamp start = std::max(a.start_time_, b.start_time_);
-  const Timestamp end = std::min(a.start_time_ + a.length_,
-                                 b.start_time_ + b.length_);
+  const Timestamp end =
+      std::min(a.start_time_ + a.length_, b.start_time_ + b.length_);
   if (end <= start) return BitString(start, 0);
   BitString out(start, end - start);
   // Word-level AND with per-operand shifts.
   const std::int32_t off_a = start - a.start_time_;
   const std::int32_t off_b = start - b.start_time_;
-  for (std::int32_t j = 0; j < out.length_; j += kBitsPerWord) {
-    const std::int32_t chunk = std::min(kBitsPerWord, out.length_ - j);
+  std::uint64_t* dst = out.words();
+  for (std::int32_t j = 0; j < out.length_; j += kBits) {
+    const std::int32_t chunk = std::min(kBits, out.length_ - j);
     const std::uint64_t wa = a.ExtractWord(off_a + j);
     const std::uint64_t wb = b.ExtractWord(off_b + j);
     std::uint64_t w = wa & wb;
-    if (chunk < kBitsPerWord) w &= (1ULL << chunk) - 1;
-    out.words_[static_cast<std::size_t>(j / kBitsPerWord)] = w;
+    if (chunk < kBits) w &= (1ULL << chunk) - 1;
+    dst[static_cast<std::size_t>(j / kBits)] = w;
   }
   return out;
 }
 
 std::uint64_t BitString::ExtractWord(std::int32_t pos) const {
   COMOVE_CHECK(pos >= 0);
-  const std::int32_t word = pos / kBitsPerWord;
-  const std::int32_t shift = pos % kBitsPerWord;
+  const std::int32_t word = pos / kBits;
+  const std::int32_t shift = pos % kBits;
+  const std::uint64_t* w = words();
+  const auto wc = static_cast<std::int32_t>(word_count());
   const auto at = [&](std::int32_t wi) -> std::uint64_t {
-    return wi < static_cast<std::int32_t>(words_.size())
-               ? words_[static_cast<std::size_t>(wi)]
-               : 0;
+    return wi < wc ? w[static_cast<std::size_t>(wi)] : 0;
   };
-  std::uint64_t w = at(word) >> shift;
-  if (shift != 0) w |= at(word + 1) << (kBitsPerWord - shift);
-  return w;
+  std::uint64_t out = at(word) >> shift;
+  if (shift != 0) out |= at(word + 1) << (kBits - shift);
+  return out;
 }
 
 bool BitString::SatisfiesKLG(const PatternConstraints& c) const {
-  return HasQualifyingSubsequence(OneTimes(), c);
+  return WordsSatisfyKLG(words(), length_, c);
 }
 
 void BitString::TrimTrailingZeros() {
-  length_ = LastOne() + 1;
-  words_.resize(WordCount(length_));
-  if (!words_.empty() && length_ % kBitsPerWord != 0) {
-    words_.back() &= (1ULL << (length_ % kBitsPerWord)) - 1;
+  const std::int32_t new_length = LastOne() + 1;
+  std::uint64_t* w = words();
+  const std::size_t old_wc = word_count();
+  const std::size_t new_wc = WordCountFor(new_length);
+  for (std::size_t wi = new_wc; wi < old_wc; ++wi) w[wi] = 0;
+  if (new_wc != 0 && new_length % kBits != 0) {
+    w[new_wc - 1] &= (1ULL << (new_length % kBits)) - 1;
   }
+  length_ = new_length;
 }
 
 void BitString::Serialize(BinaryWriter* writer) const {
   writer->WriteI32(start_time_);
   writer->WriteI32(length_);
-  writer->WriteU64(words_.size());
-  for (const std::uint64_t w : words_) writer->WriteU64(w);
+  const std::size_t wc = word_count();
+  writer->WriteU64(wc);
+  const std::uint64_t* w = words();
+  for (std::size_t i = 0; i < wc; ++i) writer->WriteU64(w[i]);
 }
 
 bool BitString::Deserialize(BinaryReader* reader) {
@@ -163,23 +340,29 @@ bool BitString::Deserialize(BinaryReader* reader) {
   const Timestamp start = reader->ReadI32();
   const std::int32_t length = reader->ReadI32();
   const std::uint64_t word_count = reader->ReadU64();
-  if (!reader->ok() || length < 0 ||
-      word_count != WordCount(length)) {
+  if (!reader->ok() || length < 0 || word_count != WordCountFor(length)) {
     return false;
   }
   // A corrupt but self-consistent (length, word_count) pair could demand
   // gigabytes; each word is 8 wire bytes, so the count is bounded by the
   // bytes actually present.
   if (word_count > reader->remaining() / 8) return false;
-  std::vector<std::uint64_t> words;
-  words.reserve(word_count);
-  for (std::uint64_t i = 0; i < word_count; ++i) {
-    words.push_back(reader->ReadU64());
+  EnsureCapacity(word_count);
+  std::uint64_t* w = words();
+  for (std::uint64_t i = 0; i < word_count; ++i) w[i] = reader->ReadU64();
+  if (!reader->ok()) {
+    *this = BitString();
+    return false;
   }
-  if (!reader->ok()) return false;
+  // Padding bits past `length` must be zero: the word-parallel scans rely
+  // on it, so a corrupt word here would silently change results.
+  if (word_count != 0 && length % kBits != 0 &&
+      (w[word_count - 1] & ~((1ULL << (length % kBits)) - 1)) != 0) {
+    *this = BitString();
+    return false;
+  }
   start_time_ = start;
   length_ = length;
-  words_ = std::move(words);
   return true;
 }
 

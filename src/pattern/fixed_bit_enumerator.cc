@@ -1,6 +1,9 @@
 #include "pattern/fixed_bit_enumerator.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
+#include <utility>
 
 #include "common/check.h"
 #include "common/time_sequence.h"
@@ -9,123 +12,194 @@ namespace comove::pattern {
 
 namespace {
 
-/// Recursive apriori enumeration. Indices are chosen in increasing order;
-/// validity is evaluated from cardinality m_minus_one on, and only valid
-/// patterns are extended (monotonicity: AND can only clear bits). Below
-/// the target cardinality partial ANDs are pruned by the generalised
-/// Lemma 8 check (fewer than K ones can never reach duration K).
-class AprioriEnumerator {
+/// Recursive apriori enumeration over arena-resident word rows. Indices
+/// are chosen in increasing order; validity is evaluated from cardinality
+/// M-1 on, and only valid patterns are extended (monotonicity: AND can
+/// only clear bits). Below the target cardinality partial ANDs are pruned
+/// by the generalised Lemma 8 check (fewer than K ones can never reach
+/// duration K).
+///
+/// No allocation per node: every candidate is zero-extended once into a
+/// shared frame [min start, max end) of `frame_len` bits, recursion level
+/// d ANDs into the fixed arena slot d with a running popcount, and depth 0
+/// aliases the candidate row itself. All slots live until the next
+/// scratch-arena reset.
+class AprioriRunner {
  public:
-  AprioriEnumerator(const std::vector<TrajectoryId>& ids,
-                    const std::vector<BitString>& bits, TrajectoryId owner,
-                    const PatternConstraints& constraints,
-                    bool first_mandatory, const PatternSink& sink)
-      : ids_(ids),
-        bits_(bits),
+  AprioriRunner(const CandidateView* cands, std::size_t count,
+                TrajectoryId owner, const PatternConstraints& constraints,
+                bool first_mandatory, const PatternSink& sink,
+                EnumerationScratch* scratch)
+      : cands_(cands),
+        count_(count),
         owner_(owner),
         constraints_(constraints),
         first_mandatory_(first_mandatory),
-        sink_(sink) {}
+        sink_(sink),
+        scratch_(scratch) {
+    frame_start_ = cands[0].bits->start_time();
+    Timestamp frame_end = frame_start_;
+    for (std::size_t i = 0; i < count; ++i) {
+      const BitString& b = *cands[i].bits;
+      if (b.empty()) continue;
+      frame_start_ = std::min(frame_start_, b.start_time());
+      frame_end = std::max(frame_end, b.start_time() + b.length());
+    }
+    frame_len_ = std::max<std::int32_t>(frame_end - frame_start_, 0);
+    nwords_ = BitString::WordCountFor(frame_len_);
+
+    Arena& arena = scratch_->arena;
+    arena.Reset();
+    rows_ = static_cast<std::uint64_t*>(
+        arena.Allocate(count * nwords_ * sizeof(std::uint64_t)));
+    stack_ = static_cast<std::uint64_t*>(
+        arena.Allocate(count * nwords_ * sizeof(std::uint64_t)));
+    pops_ = static_cast<std::int32_t*>(
+        arena.Allocate(count * sizeof(std::int32_t)));
+    chosen_ = static_cast<std::size_t*>(
+        arena.Allocate(count * sizeof(std::size_t)));
+    std::memset(rows_, 0, count * nwords_ * sizeof(std::uint64_t));
+    for (std::size_t i = 0; i < count; ++i) {
+      ZeroExtendInto(*cands[i].bits, rows_ + i * nwords_);
+      pops_[i] = CountOnesInWords(rows_ + i * nwords_, nwords_);
+    }
+  }
 
   void Run() {
-    chosen_.clear();
+    if (frame_len_ <= 0) return;
     if (!first_mandatory_) {
-      Recurse(0, BitString());
+      Recurse(0, nullptr);
       return;
     }
     // Element 0 is mandatory (VBA: the newly closed string); every emitted
     // set contains it, so no previously known pattern is re-enumerated.
-    if (ids_.empty()) return;
-    const BitString& seed = bits_[0];
-    if (seed.CountOnes() < constraints_.k) return;
-    chosen_.push_back(0);
+    ++scratch_->nodes_visited;
+    if (pops_[0] < constraints_.k) {
+      ++scratch_->nodes_pruned;
+      return;
+    }
+    chosen_[0] = 0;
+    depth_ = 1;
     if (1 >= constraints_.m - 1) {
-      if (seed.SatisfiesKLG(constraints_)) {
-        Emit(seed);
-        Recurse(1, seed);
+      if (WordsSatisfyKLG(rows_, frame_len_, constraints_)) {
+        Emit(rows_);
+        Recurse(1, rows_);
+      } else {
+        ++scratch_->nodes_pruned;
       }
     } else {
-      Recurse(1, seed);
+      Recurse(1, rows_);
     }
   }
 
  private:
-  void Recurse(std::size_t start, const BitString& partial) {
-    for (std::size_t i = start; i < ids_.size(); ++i) {
-      BitString combined = chosen_.empty()
-                               ? bits_[i]
-                               : BitString::AndAligned(partial, bits_[i]);
-      // Generalised Lemma 8: not enough ones left for duration K.
-      if (combined.CountOnes() < constraints_.k) continue;
-      chosen_.push_back(i);
-      const auto level = static_cast<std::int32_t>(chosen_.size());
-      if (level >= constraints_.m - 1) {
-        if (combined.SatisfiesKLG(constraints_)) {
-          Emit(combined);
-          Recurse(i + 1, combined);
-        }
-        // Invalid at this level: apriori property prunes all supersets.
-      } else {
-        Recurse(i + 1, combined);
+  /// Copies `src`'s packed words into the frame row: dst bit
+  /// (src.start_time() - frame_start_ + j) = src bit j. Bits outside the
+  /// source window stay zero, which is exactly why ANDing full frame rows
+  /// equals AndAligned over the shrinking window intersection.
+  void ZeroExtendInto(const BitString& src, std::uint64_t* dst) const {
+    if (src.empty()) return;
+    const std::int32_t offset = src.start_time() - frame_start_;
+    const auto off_words = static_cast<std::size_t>(offset / 64);
+    const std::int32_t off_bits = offset % 64;
+    const std::uint64_t* words = src.word_data();
+    const std::size_t wc = src.word_count();
+    for (std::size_t w = 0; w < wc; ++w) {
+      const std::uint64_t v = words[w];
+      dst[off_words + w] |= v << off_bits;
+      if (off_bits != 0) {
+        const std::uint64_t hi = v >> (64 - off_bits);
+        if (hi != 0) dst[off_words + w + 1] |= hi;
       }
-      chosen_.pop_back();
     }
   }
 
-  void Emit(const BitString& combined) {
+  void Recurse(std::size_t start, const std::uint64_t* partial) {
+    for (std::size_t i = start; i < count_; ++i) {
+      ++scratch_->nodes_visited;
+      const std::uint64_t* row = rows_ + i * nwords_;
+      const std::uint64_t* combined;
+      std::int32_t ones;
+      if (depth_ == 0) {
+        combined = row;
+        ones = pops_[i];
+      } else {
+        std::uint64_t* slot = stack_ + depth_ * nwords_;
+        ones = 0;
+        for (std::size_t w = 0; w < nwords_; ++w) {
+          const std::uint64_t v = partial[w] & row[w];
+          slot[w] = v;
+          ones += std::popcount(v);
+        }
+        combined = slot;
+      }
+      // Generalised Lemma 8: not enough ones left for duration K.
+      if (ones < constraints_.k) {
+        ++scratch_->nodes_pruned;
+        continue;
+      }
+      chosen_[depth_] = i;
+      ++depth_;
+      if (static_cast<std::int32_t>(depth_) >= constraints_.m - 1) {
+        if (WordsSatisfyKLG(combined, frame_len_, constraints_)) {
+          Emit(combined);
+          Recurse(i + 1, combined);
+        } else {
+          // Invalid at this level: apriori property prunes all supersets.
+          ++scratch_->nodes_pruned;
+        }
+      } else {
+        Recurse(i + 1, combined);
+      }
+      --depth_;
+    }
+  }
+
+  void Emit(const std::uint64_t* combined) {
     CoMovementPattern pattern;
-    pattern.objects.reserve(chosen_.size() + 1);
-    for (const std::size_t i : chosen_) pattern.objects.push_back(ids_[i]);
+    pattern.objects.reserve(depth_ + 1);
+    for (std::size_t d = 0; d < depth_; ++d) {
+      pattern.objects.push_back(cands_[chosen_[d]].id);
+    }
     pattern.objects.push_back(owner_);
     std::sort(pattern.objects.begin(), pattern.objects.end());
+    scratch_->one_times.clear();
+    AppendOneTimes(combined, frame_len_, frame_start_, &scratch_->one_times);
     pattern.times =
-        BestQualifyingSubsequence(combined.OneTimes(), constraints_);
+        BestQualifyingSubsequence(scratch_->one_times, constraints_);
     sink_(pattern);
   }
 
-  const std::vector<TrajectoryId>& ids_;
-  const std::vector<BitString>& bits_;
+  const CandidateView* cands_;
+  const std::size_t count_;
   const TrajectoryId owner_;
   const PatternConstraints& constraints_;
   const bool first_mandatory_;
   const PatternSink& sink_;
-  std::vector<std::size_t> chosen_;
+  EnumerationScratch* scratch_;
+
+  Timestamp frame_start_ = 0;
+  std::int32_t frame_len_ = 0;
+  std::size_t nwords_ = 0;
+  std::uint64_t* rows_ = nullptr;   ///< count x nwords zero-extended strings
+  std::uint64_t* stack_ = nullptr;  ///< per-level partial-AND slots
+  std::int32_t* pops_ = nullptr;    ///< per-candidate popcounts
+  std::size_t* chosen_ = nullptr;   ///< candidate indices of the open path
+  std::size_t depth_ = 0;
 };
 
 }  // namespace
 
-void EnumerateFromCandidates(const std::vector<TrajectoryId>& candidate_ids,
-                             const std::vector<BitString>& candidate_bits,
-                             TrajectoryId owner,
+void EnumerateFromCandidates(const CandidateView* candidates,
+                             std::size_t count, TrajectoryId owner,
                              const PatternConstraints& constraints,
-                             std::int32_t require, const PatternSink& sink) {
-  COMOVE_CHECK(candidate_ids.size() == candidate_bits.size());
-  if (static_cast<std::int32_t>(candidate_ids.size()) < constraints.m - 1) {
-    return;
-  }
-  if (require < 0) {
-    AprioriEnumerator(candidate_ids, candidate_bits, owner, constraints,
-                      /*first_mandatory=*/false, sink)
-        .Run();
-    return;
-  }
-  // Move the required candidate to the front so the recursion can make it
-  // mandatory without exploring combinations that exclude it.
-  const auto r = static_cast<std::size_t>(require);
-  COMOVE_CHECK(r < candidate_ids.size());
-  std::vector<TrajectoryId> ids;
-  std::vector<BitString> bits;
-  ids.reserve(candidate_ids.size());
-  bits.reserve(candidate_bits.size());
-  ids.push_back(candidate_ids[r]);
-  bits.push_back(candidate_bits[r]);
-  for (std::size_t i = 0; i < candidate_ids.size(); ++i) {
-    if (i == r) continue;
-    ids.push_back(candidate_ids[i]);
-    bits.push_back(candidate_bits[i]);
-  }
-  AprioriEnumerator(ids, bits, owner, constraints, /*first_mandatory=*/true,
-                    sink)
+                             bool first_mandatory, const PatternSink& sink,
+                             EnumerationScratch* scratch) {
+  COMOVE_CHECK(scratch != nullptr);
+  if (count == 0) return;
+  if (static_cast<std::int32_t>(count) < constraints.m - 1) return;
+  AprioriRunner(candidates, count, owner, constraints, first_mandatory, sink,
+                scratch)
       .Run();
 }
 
@@ -133,6 +207,66 @@ FixedBitEnumerator::FixedBitEnumerator(const PatternConstraints& constraints,
                                        PatternSink sink)
     : StreamingEnumerator(constraints, std::move(sink)),
       eta_(constraints.Eta()) {}
+
+EnumerationStats FixedBitEnumerator::enumeration_stats() const {
+  EnumerationStats s = stats_;
+  s.apriori_nodes = scratch_.nodes_visited;
+  s.apriori_pruned = scratch_.nodes_pruned;
+  return s;
+}
+
+void FixedBitEnumerator::AppendTick(OwnerState* state) {
+  const std::vector<TrajectoryId>& members = state->history.back();
+  // Every live roller is history.size()-1 bits deep; append this tick's
+  // membership bit to each with one walk of the two sorted columns.
+  const std::size_t old_count = state->rolling_ids.size();
+  std::size_t mi = 0;
+  std::size_t fresh = 0;
+  for (std::size_t ri = 0; ri < old_count; ++ri) {
+    const TrajectoryId id = state->rolling_ids[ri];
+    while (mi < members.size() && members[mi] < id) {
+      ++mi;
+      ++fresh;
+    }
+    const bool present = mi < members.size() && members[mi] == id;
+    if (present) ++mi;
+    state->rolling_bits[ri].Append(present);
+  }
+  fresh += members.size() - mi;
+  if (fresh == 0) return;
+
+  // Members seen for the first time in this window start a new roller
+  // (zeros up to this tick, then a one); splice them in id order.
+  const auto len = static_cast<std::int32_t>(state->history.size()) - 1;
+  merged_ids_.clear();
+  merged_bits_.clear();
+  merged_ids_.reserve(old_count + fresh);
+  merged_bits_.reserve(old_count + fresh);
+  std::size_t ri = 0;
+  mi = 0;
+  while (ri < old_count || mi < members.size()) {
+    const bool take_roller =
+        ri < old_count &&
+        (mi >= members.size() || state->rolling_ids[ri] <= members[mi]);
+    if (take_roller) {
+      if (mi < members.size() && state->rolling_ids[ri] == members[mi]) ++mi;
+      merged_ids_.push_back(state->rolling_ids[ri]);
+      merged_bits_.push_back(std::move(state->rolling_bits[ri]));
+      ++ri;
+    } else {
+      BitString b(state->history_start, len);
+      b.Append(true);
+      merged_ids_.push_back(members[mi]);
+      merged_bits_.push_back(std::move(b));
+      ++mi;
+    }
+  }
+  state->rolling_ids.swap(merged_ids_);
+  state->rolling_bits.swap(merged_bits_);
+  stats_.strings_opened += static_cast<std::int64_t>(fresh);
+  live_rollers_ += static_cast<std::int64_t>(fresh);
+  stats_.candidates_peak = std::max(stats_.candidates_peak, live_rollers_);
+}
 
 void FixedBitEnumerator::ProcessTime(Timestamp t,
                                      PartitionsByOwner&& by_owner) {
@@ -152,9 +286,12 @@ void FixedBitEnumerator::ProcessTime(Timestamp t,
     } else {
       state.history.emplace_back();
     }
+    AppendTick(&state);
   }
   // Complete windows: when a history reaches eta entries its front time is
-  // fully covered and the Algorithm 4 batch can run.
+  // fully covered and the Algorithm 4 batch can run; afterwards the window
+  // advances by one - pop the front tick and funnel-shift every roller
+  // instead of rebuilding eta bits per trajectory.
   for (auto it = owners_.begin(); it != owners_.end();) {
     OwnerState& state = it->second;
     if (static_cast<std::int32_t>(state.history.size()) == eta_) {
@@ -163,11 +300,28 @@ void FixedBitEnumerator::ProcessTime(Timestamp t,
       }
       state.history.pop_front();
       ++state.history_start;
+      std::size_t out = 0;
+      for (std::size_t i = 0; i < state.rolling_bits.size(); ++i) {
+        state.rolling_bits[i].DropFront();
+        // An all-zero roller means the trajectory is absent from every
+        // buffered tick: no future window can see it, drop it.
+        if (!state.rolling_bits[i].IsZero()) {
+          if (out != i) {
+            state.rolling_ids[out] = state.rolling_ids[i];
+            state.rolling_bits[out] = std::move(state.rolling_bits[i]);
+          }
+          ++out;
+        }
+      }
+      const auto closed =
+          static_cast<std::int64_t>(state.rolling_ids.size() - out);
+      stats_.strings_closed += closed;
+      live_rollers_ -= closed;
+      state.rolling_ids.resize(out);
+      state.rolling_bits.resize(out);
     }
-    const bool all_empty =
-        std::all_of(state.history.begin(), state.history.end(),
-                    [](const auto& v) { return v.empty(); });
-    if (all_empty) {
+    // No roller left <=> every buffered tick is empty for this owner.
+    if (state.rolling_ids.empty()) {
       it = owners_.erase(it);
     } else {
       ++it;
@@ -177,31 +331,31 @@ void FixedBitEnumerator::ProcessTime(Timestamp t,
 
 void FixedBitEnumerator::RunWindow(TrajectoryId owner,
                                    const OwnerState& state) {
-  const Timestamp start = state.history_start;
   const std::vector<TrajectoryId>& anchor = state.history.front();
 
-  // Lines 2-8 of Algorithm 4: build B[oi] for the anchor partition's
-  // trajectories and keep those satisfying (K, L, G) as candidates.
-  std::vector<TrajectoryId> candidate_ids;
-  std::vector<BitString> candidate_bits;
+  // Lines 2-8 of Algorithm 4: B[oi] for an anchor member oi is exactly its
+  // rolling string (the window spans the full buffered history here);
+  // keep those satisfying (K, L, G) as candidates. One walk of the two
+  // sorted columns - an anchor member always has a roller (its bit 0 is
+  // set), so the inner advance cannot run off the end.
+  views_.clear();
+  std::size_t ri = 0;
   for (const TrajectoryId oi : anchor) {
-    BitString b(start, eta_);
-    std::int32_t j = 0;
-    for (const auto& members : state.history) {
-      if (std::binary_search(members.begin(), members.end(), oi)) {
-        b.Set(j, true);
-      }
-      ++j;
+    while (ri < state.rolling_ids.size() && state.rolling_ids[ri] < oi) {
+      ++ri;
     }
+    COMOVE_DCHECK(ri < state.rolling_ids.size() &&
+                  state.rolling_ids[ri] == oi);
+    const BitString& b = state.rolling_bits[ri];
+    ++ri;
     if (b.SatisfiesKLG(constraints())) {
-      candidate_ids.push_back(oi);
-      candidate_bits.push_back(std::move(b));
+      views_.push_back(CandidateView{oi, &b});
     }
   }
 
   // Lines 9-17: candidate-based apriori enumeration from level M-1.
-  EnumerateFromCandidates(candidate_ids, candidate_bits, owner,
-                          constraints(), /*require=*/-1, sink());
+  EnumerateFromCandidates(views_.data(), views_.size(), owner, constraints(),
+                          /*first_mandatory=*/false, sink(), &scratch_);
 }
 
 void FixedBitEnumerator::FlushAtEnd(Timestamp next_time) {
@@ -210,10 +364,6 @@ void FixedBitEnumerator::FlushAtEnd(Timestamp next_time) {
   }
   COMOVE_CHECK(owners_.empty());
 }
-
-}  // namespace comove::pattern
-
-namespace comove::pattern {
 
 void FixedBitEnumerator::SaveDerived(BinaryWriter* writer) const {
   writer->WriteU64(owners_.size());
@@ -238,7 +388,17 @@ bool FixedBitEnumerator::RestoreDerived(BinaryReader* reader) {
     // A history longer than eta would be inconsistent state.
     if (history > static_cast<std::uint64_t>(eta_)) return false;
     for (std::uint64_t h = 0; h < history && reader->ok(); ++h) {
-      state.history.push_back(reader->ReadIntVector<TrajectoryId>());
+      auto members = reader->ReadIntVector<TrajectoryId>();
+      if (!reader->ok()) return false;
+      // RunWindow's merge walk (and the binary searches of older builds)
+      // require strictly ascending member lists; reject corrupt bundles
+      // instead of silently misbehaving.
+      for (std::size_t j = 1; j < members.size(); ++j) {
+        if (members[j] <= members[j - 1]) return false;
+      }
+      state.history.push_back(std::move(members));
+      // Rollers are derived state: replay the tick to rebuild them.
+      AppendTick(&state);
     }
     owners_.emplace(owner, std::move(state));
   }

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
 #include "pattern/bitstring.h"
 #include "pattern/streaming_enumerator.h"
 
@@ -19,9 +20,52 @@
 /// O(|R| x |C| + C(|C|, M-1)) instead of O(2^|P|)).
 ///
 /// Streaming-wise FBA buffers eta snapshots: the verification of patterns
-/// anchored at time t runs once the snapshot t + eta - 1 has arrived.
+/// anchored at time t runs once the snapshot t + eta - 1 has arrived. The
+/// eta-bit window strings are maintained incrementally - one rolling
+/// string per (owner, trajectory), appended at the new tick and shifted by
+/// one when the window advances - instead of being rebuilt from eta binary
+/// searches per trajectory per window.
 
 namespace comove::pattern {
+
+/// A borrowed candidate bit string for the shared apriori enumeration.
+/// The caller keeps the referenced BitString alive for the call.
+struct CandidateView {
+  TrajectoryId id = 0;
+  const BitString* bits = nullptr;
+};
+
+/// Reusable scratch for EnumerateFromCandidates: one arena holding the
+/// frame-aligned candidate words and the per-level partial-AND stack, plus
+/// lifetime counters feeding the enumeration stats. Owned by one
+/// enumerator instance (single worker thread), rewound per call.
+struct EnumerationScratch {
+  Arena arena;
+  std::vector<Timestamp> one_times;  ///< reused by pattern emission
+  std::int64_t nodes_visited = 0;    ///< apriori tree nodes expanded
+  std::int64_t nodes_pruned = 0;     ///< cut by popcount or (K,L,G) check
+};
+
+/// The candidate-based apriori enumeration shared by FBA and VBA: given
+/// per-candidate bit strings (aligned or alignable by absolute time),
+/// emits every object set O (|O| >= M-1, drawn from `candidates`) whose
+/// combined string satisfies (K, L, G). With `first_mandatory` every
+/// emitted set contains candidates[0] - VBA uses it to enumerate only
+/// patterns involving the newly closed string. The owner id is appended
+/// to every emitted set.
+///
+/// Allocation-free: candidates are zero-extended into a shared time frame
+/// inside the scratch arena, and each recursion level ANDs into its own
+/// arena slot with a running popcount - no BitString is constructed per
+/// node. Zero-extension is exact: bits outside a candidate's own window
+/// are zero, so the plain word AND over the frame carries the same ones as
+/// AndAligned over the shrinking intersection, and counts, (K,L,G)
+/// verdicts, and witness times are identical.
+void EnumerateFromCandidates(const CandidateView* candidates,
+                             std::size_t count, TrajectoryId owner,
+                             const PatternConstraints& constraints,
+                             bool first_mandatory, const PatternSink& sink,
+                             EnumerationScratch* scratch);
 
 /// Streaming FBA enumerator covering all owners routed to this instance.
 class FixedBitEnumerator : public StreamingEnumerator {
@@ -35,6 +79,8 @@ class FixedBitEnumerator : public StreamingEnumerator {
     return last_fed() == kNoTime ? kNoTime : last_fed() - (eta_ - 1);
   }
 
+  EnumerationStats enumeration_stats() const override;
+
  protected:
   void ProcessTime(Timestamp time, PartitionsByOwner&& by_owner) override;
   void FlushAtEnd(Timestamp next_time) override;
@@ -47,7 +93,20 @@ class FixedBitEnumerator : public StreamingEnumerator {
     /// history.front() corresponds to `history_start`.
     std::deque<std::vector<TrajectoryId>> history;
     Timestamp history_start = 0;
+    /// Rolling presence strings over the buffered window, parallel arrays
+    /// sorted by trajectory id: rolling_bits[i] spans
+    /// [history_start, history_start + history.size()) and bit j records
+    /// membership of rolling_ids[i] at history_start + j. Derived from
+    /// `history` (rebuilt on restore, never checkpointed itself).
+    std::vector<TrajectoryId> rolling_ids;
+    std::vector<BitString> rolling_bits;
   };
+
+  /// Extends every rolling string with the freshly pushed tick
+  /// (history.back()): present members gain a one, absent tracked ids a
+  /// zero, unseen members start a new roller. One merge walk of the two
+  /// sorted columns.
+  void AppendTick(OwnerState* state);
 
   /// Runs the Algorithm 4 batch for the window anchored at the front of
   /// `state`'s history (which must be eta entries deep).
@@ -55,20 +114,13 @@ class FixedBitEnumerator : public StreamingEnumerator {
 
   std::int32_t eta_;
   std::unordered_map<TrajectoryId, OwnerState> owners_;
+  EnumerationScratch scratch_;
+  EnumerationStats stats_;
+  std::int64_t live_rollers_ = 0;
+  std::vector<CandidateView> views_;       ///< reused per window
+  std::vector<TrajectoryId> merged_ids_;   ///< reused merge scratch
+  std::vector<BitString> merged_bits_;     ///< reused merge scratch
 };
-
-/// The candidate-based apriori enumeration shared by FBA and VBA: given
-/// per-candidate bit strings (aligned or alignable by absolute time),
-/// emits every object set O (|O| >= M-1, drawn from `candidates`) whose
-/// combined string satisfies (K, L, G). `require` (optional, -1 = none)
-/// restricts output to sets containing the candidate at that index - VBA
-/// uses it to enumerate only patterns involving the newly closed string.
-/// The owner id is appended to every emitted set.
-void EnumerateFromCandidates(
-    const std::vector<TrajectoryId>& candidate_ids,
-    const std::vector<BitString>& candidate_bits, TrajectoryId owner,
-    const PatternConstraints& constraints, std::int32_t require,
-    const PatternSink& sink);
 
 }  // namespace comove::pattern
 

@@ -1,6 +1,7 @@
 #ifndef COMOVE_PATTERN_STREAMING_ENUMERATOR_H_
 #define COMOVE_PATTERN_STREAMING_ENUMERATOR_H_
 
+#include <cstdint>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -16,6 +17,20 @@
 /// receives the partitions of the owners routed to it).
 
 namespace comove::pattern {
+
+/// Enumeration-stage counters over one enumerator's lifetime, surfaced
+/// through IcpeResult / --stats. "Strings" are per-(owner, trajectory)
+/// bit strings: FBA counts one open per rolling window string created and
+/// one close per window string retired; VBA counts its variable-length
+/// open strings. Apriori counters tally enumeration tree nodes expanded
+/// versus cut by the running-popcount / (K, L, G) prune.
+struct EnumerationStats {
+  std::int64_t strings_opened = 0;
+  std::int64_t strings_closed = 0;
+  std::int64_t candidates_peak = 0;  ///< max live candidate strings seen
+  std::int64_t apriori_nodes = 0;
+  std::int64_t apriori_pruned = 0;
+};
 
 /// Base class implementing the time bookkeeping; subclasses implement
 /// ProcessTime (called once per tick, in order, with the tick's partitions
@@ -57,6 +72,10 @@ class StreamingEnumerator : public PatternEnumerator {
   /// anchored at t has run; VBA finalises t only when no open bit string
   /// covering t remains. kNoTime when nothing is finalised yet.
   virtual Timestamp FinalizedThrough() const = 0;
+
+  /// Lifetime enumeration counters (zeroes unless the subclass tracks
+  /// them). Read after Finish(); not synchronised.
+  virtual EnumerationStats enumeration_stats() const { return {}; }
 
   const PatternConstraints& constraints() const { return constraints_; }
 

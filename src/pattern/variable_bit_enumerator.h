@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "pattern/bitstring.h"
+#include "pattern/fixed_bit_enumerator.h"
 #include "pattern/streaming_enumerator.h"
 
 /// \file
@@ -20,6 +21,12 @@
 /// newly closed string, with Lemma 8 pruning combinations whose time spans
 /// cannot overlap by K. Each snapshot is therefore verified exactly once -
 /// trading detection latency for throughput, as §6.3 observes.
+///
+/// The per-tick walk is a single merge of the sorted member list against
+/// the sorted open-string column (not a hash probe per open string), and
+/// absence is a lazy zero-run counter: a string that misses G ticks costs
+/// O(1) per tick instead of G Append calls, with the zeros materialised
+/// only if a one arrives before the Lemma 7 closure.
 
 namespace comove::pattern {
 
@@ -40,6 +47,8 @@ class VariableBitEnumerator : public StreamingEnumerator {
     return open_starts_.empty() ? last_fed() : *open_starts_.begin() - 1;
   }
 
+  EnumerationStats enumeration_stats() const override;
+
  protected:
   void ProcessTime(Timestamp time, PartitionsByOwner&& by_owner) override;
   void FlushAtEnd(Timestamp next_time) override;
@@ -56,16 +65,27 @@ class VariableBitEnumerator : public StreamingEnumerator {
     }
   };
 
+  /// An open variable-length string. `bits` is kept trimmed (it always
+  /// ends with a one); `zero_run` counts the zeros accumulated since -
+  /// the Lemma 7 closure test is `zero_run > G`, and the zeros are only
+  /// written into `bits` if the trajectory reappears first.
+  struct OpenString {
+    TrajectoryId id = 0;
+    BitString bits;
+    std::int32_t zero_run = 0;
+  };
+
   struct OwnerState {
-    /// Open variable-length strings (the global hashmap H of Algorithm 5).
-    std::unordered_map<TrajectoryId, BitString> open;
-    /// Closed candidate strings (the global candidate list C).
+    /// Open strings sorted by trajectory id (the hashmap H of
+    /// Algorithm 5, laid out as a merge-friendly column).
+    std::vector<OpenString> open;
+    /// Closed candidate strings in closure order (the candidate list C).
     std::vector<Candidate> candidates;
   };
 
   /// Handles a string that just accumulated G+1 trailing zeros (or stream
-  /// end): if its trimmed form qualifies, enumerates patterns against the
-  /// candidate list and appends it (Lemma 7 closure).
+  /// end): if its (already trimmed) form qualifies, enumerates patterns
+  /// against the candidate list and appends it (Lemma 7 closure).
   void CloseString(TrajectoryId owner, OwnerState* state, TrajectoryId id,
                    BitString bits);
 
@@ -73,6 +93,10 @@ class VariableBitEnumerator : public StreamingEnumerator {
   /// Start times of all open strings across owners, for FinalizedThrough.
   std::multiset<Timestamp> open_starts_;
   std::size_t candidate_count_ = 0;
+  EnumerationScratch scratch_;
+  EnumerationStats stats_;
+  std::vector<CandidateView> views_;     ///< reused per closure
+  std::vector<OpenString> merged_open_;  ///< reused merge scratch
 };
 
 }  // namespace comove::pattern

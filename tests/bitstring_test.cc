@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "common/rng.h"
+#include "common/serde.h"
+#include "common/time_sequence.h"
 
 namespace comove::pattern {
 namespace {
@@ -139,6 +145,163 @@ TEST(BitString, StorageIsPackedNotByteExpanded) {
   // 6400 bits = 100 words = 800 bytes; allow slack for the vector header.
   EXPECT_EQ(b.CountOnes(), 6400);
   EXPECT_EQ(b.length(), 6400);
+}
+
+TEST(BitString, InlineBufferSpillsTransparently) {
+  // Grow one string across the 128-bit small-buffer boundary and verify
+  // bit content is preserved through the spill.
+  BitString b(7, 0);
+  std::vector<bool> expect;
+  Rng rng(101);
+  for (int i = 0; i < 300; ++i) {
+    const bool bit = rng.Bernoulli(0.5);
+    b.Append(bit);
+    expect.push_back(bit);
+    if (i == 127 || i == 128 || i == 191) {
+      // Straddle the boundary: full contents checked at every step there.
+      for (int j = 0; j <= i; ++j) {
+        ASSERT_EQ(b.Get(j), expect[static_cast<std::size_t>(j)]) << j;
+      }
+    }
+  }
+  EXPECT_EQ(b.length(), 300);
+  for (int j = 0; j < 300; ++j) {
+    ASSERT_EQ(b.Get(j), expect[static_cast<std::size_t>(j)]) << j;
+  }
+}
+
+TEST(BitString, CopyAndMoveAcrossSpillBoundary) {
+  for (const std::int32_t length : {10, 64, 128, 129, 400}) {
+    BitString src(3, 0);
+    for (std::int32_t i = 0; i < length; ++i) src.Append(i % 5 == 0);
+    const BitString copy = src;
+    EXPECT_EQ(copy, src);
+    BitString assigned;
+    assigned = src;
+    EXPECT_EQ(assigned, src);
+    // Self-assignment is a no-op.
+    assigned = *&assigned;
+    EXPECT_EQ(assigned, src);
+    const BitString reference = src;
+    BitString moved = std::move(src);
+    EXPECT_EQ(moved, reference);
+    BitString move_assigned;
+    move_assigned = std::move(moved);
+    EXPECT_EQ(move_assigned, reference);
+    // Moved-from objects are reset to the empty string and stay usable.
+    EXPECT_EQ(src.length(), 0);        // NOLINT(bugprone-use-after-move)
+    EXPECT_EQ(moved.length(), 0);      // NOLINT(bugprone-use-after-move)
+    src.Append(true);
+    EXPECT_EQ(src.CountOnes(), 1);
+  }
+}
+
+TEST(BitString, AppendZerosMatchesRepeatedAppend) {
+  BitString lazy(4, 0);
+  BitString eager(4, 0);
+  lazy.Append(true);
+  eager.Append(true);
+  lazy.AppendZeros(200);  // spills inline -> heap inside one call
+  for (int i = 0; i < 200; ++i) eager.Append(false);
+  lazy.Append(true);
+  eager.Append(true);
+  EXPECT_EQ(lazy, eager);
+  EXPECT_EQ(lazy.length(), 202);
+  EXPECT_EQ(lazy.TrailingZeros(), 0);
+  lazy.AppendZeros(0);
+  EXPECT_EQ(lazy.length(), 202);
+}
+
+TEST(BitString, DropFrontMatchesRebuild) {
+  Rng rng(77);
+  for (const std::int32_t length : {1, 63, 64, 65, 127, 128, 129, 200}) {
+    BitString b(10, 0);
+    std::vector<bool> bits;
+    for (std::int32_t i = 0; i < length; ++i) {
+      const bool bit = rng.Bernoulli(0.5);
+      b.Append(bit);
+      bits.push_back(bit);
+    }
+    // Shift all the way down to empty, checking against the model.
+    for (std::int32_t dropped = 1; dropped <= length; ++dropped) {
+      b.DropFront();
+      EXPECT_EQ(b.start_time(), 10 + dropped);
+      ASSERT_EQ(b.length(), length - dropped);
+      for (std::int32_t j = 0; j < b.length(); ++j) {
+        ASSERT_EQ(b.Get(j), bits[static_cast<std::size_t>(dropped + j)])
+            << "len " << length << " dropped " << dropped << " bit " << j;
+      }
+    }
+    EXPECT_TRUE(b.IsZero());
+  }
+}
+
+TEST(BitString, IsZeroTracksContent) {
+  BitString b(0, 100);
+  EXPECT_TRUE(b.IsZero());
+  b.Set(99, true);
+  EXPECT_FALSE(b.IsZero());
+  b.Set(99, false);
+  EXPECT_TRUE(b.IsZero());
+  EXPECT_TRUE(BitString().IsZero());
+}
+
+TEST(BitString, SerializeRoundTripsAcrossSpillBoundary) {
+  Rng rng(55);
+  for (const std::int32_t length : {0, 1, 64, 65, 128, 129, 333}) {
+    BitString src(42, 0);
+    for (std::int32_t i = 0; i < length; ++i) {
+      src.Append(rng.Bernoulli(0.3));
+    }
+    std::string buffer;
+    BinaryWriter writer(&buffer);
+    src.Serialize(&writer);
+    BitString restored;
+    BinaryReader reader(buffer);
+    ASSERT_TRUE(restored.Deserialize(&reader));
+    EXPECT_TRUE(reader.AtEnd());
+    EXPECT_EQ(restored, src);
+  }
+}
+
+TEST(BitString, WordParallelKlgMatchesTimeSequenceOracle) {
+  // The word-parallel scanner must agree with the segment-chain oracle of
+  // common/time_sequence.cc on random strings across the constraint grid,
+  // including multi-word and SBO-spilling lengths.
+  Rng rng(2024);
+  const std::vector<PatternConstraints> grid = {
+      {2, 2, 1, 1}, {2, 3, 2, 1}, {3, 5, 2, 2},  {2, 4, 2, 3},
+      {3, 6, 3, 2}, {2, 8, 2, 4}, {4, 10, 3, 3},
+  };
+  for (int round = 0; round < 400; ++round) {
+    const std::int32_t length =
+        static_cast<std::int32_t>(rng.UniformInt(0, 200));
+    const double density = rng.Uniform(0.1, 0.9);
+    BitString b(0, length);
+    for (std::int32_t i = 0; i < length; ++i) {
+      if (rng.Bernoulli(density)) b.Set(i, true);
+    }
+    const std::vector<Timestamp> times = b.OneTimes();
+    for (const PatternConstraints& c : grid) {
+      EXPECT_EQ(b.SatisfiesKLG(c), HasQualifyingSubsequence(times, c))
+          << "round " << round << " len " << length << " m" << c.m << " k"
+          << c.k << " l" << c.l << " g" << c.g << " bits " << b.ToString();
+    }
+  }
+}
+
+TEST(BitString, WordParallelKlgRunSpanningThreeWords) {
+  // A single one-run crossing two word boundaries exercises the
+  // countr_one continuation path (off == 64 keeps the run open).
+  const PatternConstraints c{2, 130, 2, 1};
+  BitString b(0, 0);
+  for (int i = 0; i < 130; ++i) b.Append(true);
+  EXPECT_TRUE(b.SatisfiesKLG(c));
+  b.Append(false);
+  BitString shifted(0, 1);
+  for (int i = 0; i < 130; ++i) shifted.Append(true);
+  EXPECT_TRUE(shifted.SatisfiesKLG(c));
+  EXPECT_FALSE(shifted.SatisfiesKLG(PatternConstraints{2, 131, 2, 1}));
 }
 
 }  // namespace

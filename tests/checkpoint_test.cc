@@ -385,6 +385,156 @@ TEST(Checkpoint, VariableBitCorruptionHardened) {
   CheckEnumeratorCorruptionHardened<VariableBitEnumerator>(83);
 }
 
+// ---------------------------------------------------------------------------
+// Hand-crafted corrupt bundles: structurally well-formed checkpoints whose
+// CONTENT violates an enumerator invariant must be rejected, not walked
+// into undefined behaviour (the FBA window merge and the VBA open-column
+// merge both require strictly ascending id order).
+
+void WriteEnumeratorHeader(BinaryWriter* writer, const PatternConstraints& c,
+                           Timestamp next_time) {
+  writer->WriteU32(0xC0110E01u);  // kCheckpointMagic
+  writer->WriteI32(c.m);
+  writer->WriteI32(c.k);
+  writer->WriteI32(c.l);
+  writer->WriteI32(c.g);
+  writer->WriteI32(next_time);
+  writer->WriteBool(false);
+}
+
+std::string FixedBitBundle(const PatternConstraints& c,
+                           const std::vector<TrajectoryId>& members) {
+  std::string buffer;
+  BinaryWriter writer(&buffer);
+  WriteEnumeratorHeader(&writer, c, /*next_time=*/1);
+  writer.WriteU64(1);  // owners
+  writer.WriteI64(0);  // owner id
+  writer.WriteI32(0);  // history_start
+  writer.WriteU64(1);  // history length
+  writer.WriteIntVector(members);
+  return buffer;
+}
+
+bool RestoreFixedBit(const PatternConstraints& c, const std::string& data) {
+  PatternCollector sink;
+  FixedBitEnumerator fresh(c, sink.AsSink());
+  BinaryReader reader(data);
+  return fresh.RestoreState(&reader);
+}
+
+TEST(Checkpoint, FixedBitSortedMembersAccepted) {
+  const PatternConstraints c{3, 5, 2, 2};
+  EXPECT_TRUE(RestoreFixedBit(c, FixedBitBundle(c, {3, 5, 9})));
+}
+
+TEST(Checkpoint, FixedBitUnsortedMembersRejected) {
+  const PatternConstraints c{3, 5, 2, 2};
+  EXPECT_FALSE(RestoreFixedBit(c, FixedBitBundle(c, {5, 3})));
+}
+
+TEST(Checkpoint, FixedBitDuplicateMembersRejected) {
+  const PatternConstraints c{3, 5, 2, 2};
+  EXPECT_FALSE(RestoreFixedBit(c, FixedBitBundle(c, {3, 3})));
+}
+
+pattern::BitString BitsFromString(Timestamp start, const std::string& bits) {
+  pattern::BitString b(start, 0);
+  for (const char ch : bits) b.Append(ch == '1');
+  return b;
+}
+
+std::string VariableBitBundle(
+    const PatternConstraints& c,
+    const std::vector<std::pair<TrajectoryId, std::string>>& open,
+    const std::vector<std::pair<TrajectoryId, std::string>>& candidates) {
+  std::string buffer;
+  BinaryWriter writer(&buffer);
+  WriteEnumeratorHeader(&writer, c, /*next_time=*/8);
+  writer.WriteU64(1);  // owners
+  writer.WriteI64(0);  // owner id
+  writer.WriteU64(open.size());
+  for (const auto& [id, bits] : open) {
+    writer.WriteI64(id);
+    BitsFromString(0, bits).Serialize(&writer);
+  }
+  writer.WriteU64(candidates.size());
+  for (const auto& [id, bits] : candidates) {
+    writer.WriteI64(id);
+    BitsFromString(0, bits).Serialize(&writer);
+  }
+  return buffer;
+}
+
+bool RestoreVariableBit(const PatternConstraints& c,
+                        const std::string& data) {
+  PatternCollector sink;
+  VariableBitEnumerator fresh(c, sink.AsSink());
+  BinaryReader reader(data);
+  return fresh.RestoreState(&reader);
+}
+
+TEST(Checkpoint, VariableBitValidBundleAccepted) {
+  const PatternConstraints c{3, 5, 2, 2};
+  EXPECT_TRUE(RestoreVariableBit(
+      c, VariableBitBundle(c, {{3, "11"}, {5, "1100"}},
+                           {{7, "110111"}, {3, "111011"}})));
+}
+
+TEST(Checkpoint, VariableBitUnsortedOpenIdsRejected) {
+  const PatternConstraints c{3, 5, 2, 2};
+  EXPECT_FALSE(
+      RestoreVariableBit(c, VariableBitBundle(c, {{5, "11"}, {3, "11"}}, {})));
+}
+
+TEST(Checkpoint, VariableBitDuplicateOpenIdsRejected) {
+  const PatternConstraints c{3, 5, 2, 2};
+  EXPECT_FALSE(
+      RestoreVariableBit(c, VariableBitBundle(c, {{3, "11"}, {3, "11"}}, {})));
+}
+
+TEST(Checkpoint, VariableBitAllZeroOpenStringRejected) {
+  // An open string always contains at least the one it was opened with.
+  const PatternConstraints c{3, 5, 2, 2};
+  EXPECT_FALSE(RestoreVariableBit(c, VariableBitBundle(c, {{3, "000"}}, {})));
+}
+
+TEST(Checkpoint, VariableBitOverlongZeroRunRejected) {
+  // g = 2: a string with 3 trailing zeros would already have closed
+  // (Lemma 7); such a bundle is inconsistent.
+  const PatternConstraints c{3, 5, 2, 2};
+  EXPECT_FALSE(
+      RestoreVariableBit(c, VariableBitBundle(c, {{3, "11000"}}, {})));
+}
+
+TEST(Checkpoint, VariableBitUntrimmedCandidateRejected) {
+  // Candidate strings are stored trimmed (they end with their last one).
+  const PatternConstraints c{3, 5, 2, 2};
+  EXPECT_FALSE(
+      RestoreVariableBit(c, VariableBitBundle(c, {}, {{7, "1101110"}})));
+}
+
+TEST(Checkpoint, VariableBitNonQualifyingCandidateRejected) {
+  // Only (K, L, G)-qualifying strings ever enter the candidate list;
+  // "11" cannot reach K = 5 ones.
+  const PatternConstraints c{3, 5, 2, 2};
+  EXPECT_FALSE(RestoreVariableBit(c, VariableBitBundle(c, {}, {{7, "11"}})));
+}
+
+TEST(Checkpoint, BitStringSetPaddingBitsRejected) {
+  // A serialised string whose last word carries set bits past `length`
+  // violates the tail-zero invariant every word-parallel kernel assumes.
+  std::string buffer;
+  BinaryWriter writer(&buffer);
+  writer.WriteI32(0);   // start_time
+  writer.WriteI32(3);   // length: 3 bits -> bits 3..63 must be zero
+  writer.WriteU64(1);   // word count
+  writer.WriteU64(0xFFull);  // bits 3..7 set past the length
+  pattern::BitString b;
+  BinaryReader reader(buffer);
+  EXPECT_FALSE(b.Deserialize(&reader));
+  EXPECT_EQ(b.length(), 0);
+}
+
 TEST(Checkpoint, AssemblerCorruptionHardened) {
   Rng rng(94);
   flow::SnapshotAssembler source;
