@@ -1,13 +1,43 @@
 /// Figure 14 (a-d): full pattern-detection latency and throughput vs the
 /// number of nodes N, methods F (FBA) and V (VBA). The paper scales
-/// machines 1..10; this reproduction scales the per-stage subtask count
-/// (worker-thread groups) over the same grid, exercising the same
-/// partitioning and synchronisation code paths. Expected shape: latency
-/// falls and throughput rises with N for both methods.
+/// machines 1..10; this reproduction scales both deployments the engine
+/// offers over the same grid:
+///   - Fig14/DetectionVsN      - N worker-thread groups in one process
+///     (the original mode, transport "threads");
+///   - Fig14/DetectionVsNodes  - N worker PROCESSES over loopback
+///     sockets, spawned by re-executing this binary through the
+///     MaybeNetWorker hook (transports "unix" and "tcp").
+/// Both exercise the same partitioning and synchronisation code; the
+/// process mode additionally pays serialisation, CRC framing and kernel
+/// socket hops. Expected shape: latency falls and throughput rises with
+/// N for both methods; the socket deployments trail the thread mode by a
+/// roughly constant transport tax.
+///
+/// With `--out <path>` the binary skips Google Benchmark and runs the
+/// transport sweep for scripts/bench_smoke.sh instead, emitting one JSON
+/// row per line labelled with its transport:
+///   {"workload": "transport", "transport": "threads|unix|tcp",
+///    "workers": W, "parallelism": P, "snapshots_per_sec": R}
+/// The smoke gate regresses only the "threads" rows against the
+/// checked-in BENCH_transport.json; socket rows are reported for drift
+/// but not gated - loopback throughput is too hostage to kernel and
+/// scheduler mood to fail a build over.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "bench_common.h"
+#include "common/stopwatch.h"
+#include "core/distributed.h"
 
 namespace comove::bench {
 namespace {
@@ -23,12 +53,43 @@ void BM_DetectionVsN(benchmark::State& state) {
   options.parallelism = n;
 
   state.SetLabel(std::string(trajgen::StandardDatasetName(which)) + "/" +
-                 core::EnumeratorKindName(kind) + "/N=" +
+                 core::EnumeratorKindName(kind) + "/threads/N=" +
                  std::to_string(n));
   benchmark::DoNotOptimize(core::RunIcpe(dataset, options));  // warm run
   core::IcpeResult result;
   for (auto _ : state) {
     result = core::RunIcpe(dataset, options);
+    benchmark::DoNotOptimize(result);
+  }
+  ReportRun(state, result);
+}
+
+/// The multi-process analogue: N maps to worker processes AND per-stage
+/// parallelism together, the closest available stand-in for the paper's
+/// "N machines" (each process hosts one cluster and one enumerate
+/// subtask, all edges between them cross real sockets).
+void BM_DetectionVsNodes(benchmark::State& state) {
+  const auto which = static_cast<trajgen::StandardDataset>(state.range(0));
+  const auto kind = static_cast<core::EnumeratorKind>(state.range(1));
+  const int n = static_cast<int>(state.range(2));
+  const char* transport = state.range(3) == 0 ? "unix" : "tcp";
+  const trajgen::Dataset& dataset = CachedDataset(which);
+
+  core::IcpeOptions options = DefaultOptions(dataset);
+  options.enumerator = kind;
+  options.parallelism = n;
+  core::DistributedOptions dist;
+  dist.workers = n;
+  dist.transport = transport;
+
+  state.SetLabel(std::string(trajgen::StandardDatasetName(which)) + "/" +
+                 core::EnumeratorKindName(kind) + "/" + transport +
+                 "/N=" + std::to_string(n));
+  benchmark::DoNotOptimize(
+      core::RunIcpeDistributed(dataset, options, dist));  // warm run
+  core::IcpeResult result;
+  for (auto _ : state) {
+    result = core::RunIcpeDistributed(dataset, options, dist);
     benchmark::DoNotOptimize(result);
   }
   ReportRun(state, result);
@@ -48,12 +109,141 @@ void RegisterAll() {
       }
     }
   }
+  // Process mode sweeps a reduced grid (spawning 10 processes per data
+  // point is slow) on the taxi workload, both methods, both transports.
+  for (const auto kind :
+       {core::EnumeratorKind::kFBA, core::EnumeratorKind::kVBA}) {
+    for (const int transport : {0, 1}) {
+      for (const int n : {1, 2, 4, 8}) {
+        benchmark::RegisterBenchmark("Fig14/DetectionVsNodes",
+                                     &BM_DetectionVsNodes)
+            ->Args({static_cast<int>(trajgen::StandardDataset::kTaxi),
+                    static_cast<int>(kind), n, transport})
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+}
+
+// --- Transport sweep (scripts/bench_smoke.sh mode) ---------------------
+
+struct TransportRow {
+  std::string transport;  ///< "threads", "unix" or "tcp"
+  int workers = 0;        ///< 0 for the in-process deployment
+  int parallelism = 0;
+  double snapshots_per_sec = 0.0;
+};
+
+/// Best-of-`reps` end-to-end snapshot throughput for one deployment, so
+/// one descheduled run (or one slow process spawn) cannot fake a
+/// regression in the smoke gate.
+TransportRow MeasureTransport(const trajgen::Dataset& dataset,
+                              const std::string& transport, int workers,
+                              int parallelism, int reps) {
+  TransportRow row;
+  row.transport = transport;
+  row.workers = workers;
+  row.parallelism = parallelism;
+  core::IcpeOptions options = DefaultOptions(dataset);
+  options.enumerator = core::EnumeratorKind::kFBA;
+  options.parallelism = parallelism;
+  options.collect_stats = false;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch watch;
+    core::IcpeResult result;
+    if (workers > 0) {
+      core::DistributedOptions dist;
+      dist.workers = workers;
+      dist.transport = transport;
+      result = RunIcpeDistributed(dataset, options, dist);
+    } else {
+      result = RunIcpe(dataset, options);
+    }
+    const double seconds = watch.ElapsedSeconds();
+    const double rate =
+        static_cast<double>(result.snapshot_count) / seconds;
+    row.snapshots_per_sec = std::max(row.snapshots_per_sec, rate);
+  }
+  return row;
+}
+
+int TransportSweep(const std::string& out_path, int reps) {
+  const trajgen::Dataset& dataset =
+      CachedDataset(trajgen::StandardDataset::kTaxi);
+
+  std::vector<TransportRow> rows;
+  for (const int p : {1, 2, 4}) {
+    rows.push_back(MeasureTransport(dataset, "threads", 0, p, reps));
+  }
+  for (const char* transport : {"unix", "tcp"}) {
+    for (const int w : {1, 2, 4}) {
+      rows.push_back(
+          MeasureTransport(dataset, transport, w, /*parallelism=*/4, reps));
+    }
+  }
+
+  std::printf("%9s %8s %12s %18s\n", "transport", "workers", "parallelism",
+              "snapshots_per_sec");
+  for (const TransportRow& row : rows) {
+    std::printf("%9s %8d %12d %18.0f\n", row.transport.c_str(),
+                row.workers, row.parallelism, row.snapshots_per_sec);
+  }
+  // The apples-to-apples tax: same logical pipeline at p=4, worker
+  // threads vs 4 worker processes. Informational - never gated.
+  double threads_p4 = 0.0, unix_w4 = 0.0, tcp_w4 = 0.0;
+  for (const TransportRow& row : rows) {
+    if (row.transport == "threads" && row.parallelism == 4) {
+      threads_p4 = row.snapshots_per_sec;
+    }
+    if (row.transport == "unix" && row.workers == 4) {
+      unix_w4 = row.snapshots_per_sec;
+    }
+    if (row.transport == "tcp" && row.workers == 4) {
+      tcp_w4 = row.snapshots_per_sec;
+    }
+  }
+  if (threads_p4 > 0.0) {
+    std::printf("p=4 transport tax: unix/threads = %.3fx, "
+                "tcp/threads = %.3fx\n",
+                unix_w4 / threads_p4, tcp_w4 / threads_p4);
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  for (const TransportRow& row : rows) {
+    out << "{\"workload\": \"transport\", \"transport\": \""
+        << row.transport << "\", \"workers\": " << row.workers
+        << ", \"parallelism\": " << row.parallelism
+        << ", \"snapshots_per_sec\": "
+        << static_cast<std::int64_t>(row.snapshots_per_sec) << "}\n";
+  }
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
 }
 
 }  // namespace
 }  // namespace comove::bench
 
 int main(int argc, char** argv) {
+  // Worker processes re-enter this binary; they must never reach the
+  // benchmark runner (or re-run the sweep recursively).
+  if (const auto code = comove::core::MaybeNetWorker(argc, argv)) {
+    return *code;
+  }
+  std::string out_path;
+  int reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) out_path = argv[i + 1];
+    if (arg == "--reps" && i + 1 < argc) reps = std::atoi(argv[i + 1]);
+  }
+  if (!out_path.empty()) {
+    return comove::bench::TransportSweep(out_path, reps);
+  }
   comove::bench::WarmUp();
   comove::bench::RegisterAll();
   comove::bench::InitBench(argc, argv);

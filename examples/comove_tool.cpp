@@ -25,7 +25,19 @@
 ///       Pattern-based compression round trip: detect patterns, compress,
 ///       decompress, write the (bounded-error) reconstruction, report the
 ///       achieved ratio.
+///
+///   comove_tool worker <coordinator-address> <index>
+///       Run as a net worker process (normally spawned by a distributed
+///       detect run, not typed by hand). detect grows the deployment
+///       flags: --workers N runs the pipeline across N worker processes
+///       over --transport unix|tcp loopback sockets, producing the
+///       bit-identical pattern multiset of the single-process run;
+///       --patterns-out FILE writes that multiset in a canonical text
+///       form for diffing; --inject-fault STAGE,SUBTASK,CHECKPOINT kills
+///       the named subtask while it snapshots the given checkpoint
+///       (pair with --checkpoint-dir, then rerun with --recover).
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +46,7 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "apps/json_export.h"
 #include "flow/checkpoint/snapshot_store.h"
@@ -41,6 +54,7 @@
 #include "apps/trajectory_compression.h"
 #include "cluster/join_kernel.h"
 #include "common/cpu_features.h"
+#include "core/distributed.h"
 #include "core/icpe_engine.h"
 #include "pattern/analysis.h"
 #include "trajgen/csv_loader.h"
@@ -63,8 +77,39 @@ int Usage() {
       "[--recover]\n"
       "               [--trace out.json] [--sample-interval MS] "
       "[--timeseries out.csv]\n"
-      "  comove_tool compress <in.csv> <tolerance> <out.csv>\n");
+      "               [--workers N] [--transport unix|tcp] "
+      "[--patterns-out FILE]\n"
+      "               [--inject-fault STAGE,SUBTASK,CHECKPOINT]\n"
+      "  comove_tool compress <in.csv> <tolerance> <out.csv>\n"
+      "  comove_tool worker <coordinator-address> <index>\n");
   return 2;
+}
+
+/// Canonical text form of a pattern multiset: one line per pattern,
+/// "id,id,...:t,t,...", sorted - so two runs agree bit-for-bit exactly
+/// when their pattern multisets do (the CI diff job relies on this).
+bool WritePatternsText(const std::vector<CoMovementPattern>& patterns,
+                       const std::string& path) {
+  std::vector<std::string> lines;
+  lines.reserve(patterns.size());
+  for (const CoMovementPattern& p : patterns) {
+    std::string line;
+    for (std::size_t i = 0; i < p.objects.size(); ++i) {
+      if (i > 0) line += ',';
+      line += std::to_string(p.objects[i]);
+    }
+    line += ':';
+    for (std::size_t i = 0; i < p.times.size(); ++i) {
+      if (i > 0) line += ',';
+      line += std::to_string(p.times[i]);
+    }
+    lines.push_back(std::move(line));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::ofstream out(path);
+  if (!out) return false;
+  for (const std::string& line : lines) out << line << '\n';
+  return out.good();
 }
 
 int RunGenerate(int argc, char** argv) {
@@ -124,9 +169,12 @@ int RunDetect(int argc, char** argv) {
   std::string svg_path;
   std::string checkpoint_dir;
   std::string timeseries_path;
+  std::string patterns_out;
   std::int64_t checkpoint_interval = 100;
   bool recover = false;
   bool maximal_only = false;
+  core::DistributedOptions dist;
+  dist.workers = 0;  // 0 = single process (the default deployment)
   for (int i = 3; i < argc; ++i) {
     const auto next = [&]() -> const char* {
       return ++i < argc ? argv[i] : nullptr;
@@ -178,6 +226,30 @@ int RunDetect(int argc, char** argv) {
       if (const char* v = next()) options.sample_interval_ms = std::atoll(v);
     } else if (!std::strcmp(argv[i], "--timeseries")) {
       if (const char* v = next()) timeseries_path = v;
+    } else if (!std::strcmp(argv[i], "--workers")) {
+      if (const char* v = next()) dist.workers = std::atoi(v);
+    } else if (!std::strcmp(argv[i], "--transport")) {
+      const char* v = next();
+      if (v == nullptr ||
+          (std::strcmp(v, "unix") != 0 && std::strcmp(v, "tcp") != 0)) {
+        std::fprintf(stderr, "--transport must be unix or tcp\n");
+        return 2;
+      }
+      dist.transport = v;
+    } else if (!std::strcmp(argv[i], "--patterns-out")) {
+      if (const char* v = next()) patterns_out = v;
+    } else if (!std::strcmp(argv[i], "--inject-fault")) {
+      const char* v = next();
+      char stage[16] = {0};
+      int subtask = 0;
+      long long at = 0;
+      if (v == nullptr ||
+          std::sscanf(v, "%15[a-z],%d,%lld", stage, &subtask, &at) != 3) {
+        std::fprintf(stderr,
+                     "bad --inject-fault (want STAGE,SUBTASK,CHECKPOINT)\n");
+        return 2;
+      }
+      options.fault = core::FaultSpec{stage, subtask, at};
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
@@ -207,7 +279,26 @@ int RunDetect(int argc, char** argv) {
     options.recover = recover;
   }
 
-  core::IcpeResult result = RunIcpe(dataset, options);
+  if (dist.workers < 0) {
+    std::fprintf(stderr, "--workers must be >= 0\n");
+    return 2;
+  }
+  if (dist.workers > options.parallelism) {
+    std::fprintf(stderr, "--workers must be <= --parallelism\n");
+    return 2;
+  }
+  core::IcpeResult result =
+      dist.workers > 0 ? RunIcpeDistributed(dataset, options, dist)
+                       : RunIcpe(dataset, options);
+  if (dist.workers > 0) {
+    std::printf("deployment: coordinator + %d worker processes over %s "
+                "loopback\n",
+                dist.workers, dist.transport.c_str());
+  }
+  if (result.crashed) {
+    std::printf("run crashed (injected or real fault); patterns below are "
+                "partial\n");
+  }
   if (store != nullptr) {
     std::printf("checkpoints: %lld completed, %lld failed, latest id %lld "
                 "-> %s\n",
@@ -281,6 +372,13 @@ int RunDetect(int argc, char** argv) {
     flow::WriteTimeSeriesCsv(result.time_series, out);
     std::printf("time series -> %s\n", timeseries_path.c_str());
   }
+  if (!patterns_out.empty()) {
+    if (!WritePatternsText(result.patterns, patterns_out)) {
+      std::fprintf(stderr, "cannot write %s\n", patterns_out.c_str());
+      return 1;
+    }
+    std::printf("pattern multiset -> %s\n", patterns_out.c_str());
+  }
   if (!json_path.empty()) {
     std::ofstream out(json_path);
     if (!out) {
@@ -347,9 +445,16 @@ int RunCompress(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A distributed run re-executes this binary as its worker processes.
+  if (const auto code = comove::core::MaybeNetWorker(argc, argv)) {
+    return *code;
+  }
   if (argc < 2) return Usage();
   if (!std::strcmp(argv[1], "generate")) return RunGenerate(argc, argv);
   if (!std::strcmp(argv[1], "detect")) return RunDetect(argc, argv);
   if (!std::strcmp(argv[1], "compress")) return RunCompress(argc, argv);
+  if (!std::strcmp(argv[1], "worker") && argc == 4) {
+    return comove::core::NetWorkerMain(argv[2], std::atoi(argv[3]));
+  }
   return Usage();
 }

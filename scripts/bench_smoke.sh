@@ -25,12 +25,19 @@
 #     naive replica for FBA on bench_enumerator's enumeration-bound
 #     m4/k18/l3/g3/opc32 config (within the current run).
 #
+# The transport rows (bench_fig14_scale_nodes --out, BENCH_transport.json)
+# are split: the "threads" deployment rows join the geomean gate like any
+# other workload, but the "unix"/"tcp" multi-process rows are REPORTED
+# ONLY - loopback socket throughput swings with kernel and scheduler mood
+# far beyond the 20% band, so regressing the build on it would be noise.
+#
 # The baselines are machine-specific; regenerate them on your hardware with
 #   build-release/bench/bench_flow_throughput --out BENCH_flow_throughput.json
 #   build-release/bench/bench_join_kernel --out BENCH_join_kernel.json
 #   build-release/bench/bench_checkpoint --out BENCH_checkpoint.json
 #   build-release/bench/bench_incremental --out BENCH_incremental.json
 #   build-release/bench/bench_enumerator --out BENCH_enum.json
+#   build-release/bench/bench_fig14_scale_nodes --out BENCH_transport.json
 # before relying on the regression gate.
 #
 # Usage: scripts/bench_smoke.sh [build-dir]   (default: build-release)
@@ -50,6 +57,8 @@ INCR_BASELINE="BENCH_incremental.json"
 INCR_CURRENT="BENCH_incremental.tmp.json"
 ENUM_BASELINE="BENCH_enum.json"
 ENUM_CURRENT="BENCH_enum.tmp.json"
+TRANS_BASELINE="BENCH_transport.json"
+TRANS_CURRENT="BENCH_transport.tmp.json"
 
 if [ ! -f "$BASELINE" ]; then
   echo "missing baseline $BASELINE" >&2
@@ -71,17 +80,22 @@ if [ ! -f "$ENUM_BASELINE" ]; then
   echo "missing baseline $ENUM_BASELINE" >&2
   exit 1
 fi
+if [ ! -f "$TRANS_BASELINE" ]; then
+  echo "missing baseline $TRANS_BASELINE" >&2
+  exit 1
+fi
 
 cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target bench_flow_throughput bench_join_kernel bench_checkpoint \
-  bench_incremental bench_enumerator
+  bench_incremental bench_enumerator bench_fig14_scale_nodes
 
 "$BUILD_DIR/bench/bench_flow_throughput" --out "$CURRENT"
 "$BUILD_DIR/bench/bench_join_kernel" --out "$KERNEL_CURRENT"
 "$BUILD_DIR/bench/bench_checkpoint" --out "$CKPT_CURRENT"
 "$BUILD_DIR/bench/bench_incremental" --out "$INCR_CURRENT"
 "$BUILD_DIR/bench/bench_enumerator" --out "$ENUM_CURRENT"
+"$BUILD_DIR/bench/bench_fig14_scale_nodes" --out "$TRANS_CURRENT"
 
 # Each JSON file holds one row object per line:
 #   {"workload": "...", "parallelism": P, "batch": B, "records_per_sec": R}
@@ -375,8 +389,64 @@ awk '
   }
 ' "$ENUM_BASELINE" "$ENUM_CURRENT" || status=1
 
+# Transport deployment rows:
+#   {"workload": "transport", "transport": "threads"|"unix"|"tcp",
+#    "workers": W, "parallelism": P, "snapshots_per_sec": R}
+# keyed on (transport, workers, parallelism). Only the "threads" rows
+# join the geomean gate; the multi-process socket rows are reported for
+# drift (and the p=4 transport tax is printed from the current run) but
+# never fail the build - see the header comment.
+awk '
+  function field(line, name,    rest) {
+    rest = line
+    sub(".*\"" name "\": *", "", rest)
+    sub("[,}].*", "", rest)
+    gsub("\"", "", rest)
+    return rest
+  }
+  {
+    transport = field($0, "transport")
+    key = transport "/w" field($0, "workers") "/p" field($0, "parallelism")
+    rate = field($0, "snapshots_per_sec") + 0
+    if (NR == FNR) { baseline[key] = rate; next }
+    current[key] = rate
+    if (!(key in baseline)) {
+      printf "NEW  transport/%-24s %10.0f snap/s (no baseline)\n", key, rate
+      next
+    }
+    ratio = rate / baseline[key]
+    if (transport == "threads") {
+      verdict = (ratio >= 0.8) ? "ok  " : "low "
+      log_sum += log(ratio)
+      rows += 1
+    } else {
+      verdict = "info"
+    }
+    printf "%s transport/%-24s %10.0f snap/s  baseline %10.0f  (%.2fx)\n", \
+           verdict, key, rate, baseline[key], ratio
+  }
+  END {
+    if (rows == 0) { print "FAIL: no comparable transport threads rows"; exit 1 }
+    geomean = exp(log_sum / rows)
+    printf "geometric-mean transport-threads ratio over %d rows = %.2fx\n", \
+           rows, geomean
+    if (geomean < 0.8) {
+      print "FAIL: thread-deployment throughput regressed more than 20%"
+      failed = 1
+    }
+    threads = current["threads/w0/p4"]
+    unix_w4 = current["unix/w4/p4"]
+    tcp_w4 = current["tcp/w4/p4"]
+    if (threads > 0 && unix_w4 > 0 && tcp_w4 > 0) {
+      printf "p=4 transport tax (reported, not gated): unix/threads = %.2fx, tcp/threads = %.2fx\n", \
+             unix_w4 / threads, tcp_w4 / threads
+    }
+    exit failed
+  }
+' "$TRANS_BASELINE" "$TRANS_CURRENT" || status=1
+
 rm -f "$CURRENT" "$KERNEL_CURRENT" "$CKPT_CURRENT" "$INCR_CURRENT" \
-  "$ENUM_CURRENT"
+  "$ENUM_CURRENT" "$TRANS_CURRENT"
 if [ "$status" -ne 0 ]; then
   echo "bench smoke FAILED (>20% regression or lost headline win)" >&2
 else

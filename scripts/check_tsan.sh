@@ -11,9 +11,12 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
 # The concurrency-relevant suites: everything under src/flow plus the
-# engine-level pipelines that exercise them end to end, and the
+# engine-level pipelines that exercise them end to end, the
 # fault-tolerance layer (barrier alignment, coordinator acks from every
-# worker thread, crash-and-recover engine runs).
+# worker thread, crash-and-recover engine runs), and the socket
+# transport (PeerLink reader threads racing senders, SocketTransport
+# close accounting, multi-process runs whose workers re-exec this very
+# TSan-instrumented binary).
 TESTS=(
   channel_test
   exchange_test
@@ -36,6 +39,9 @@ TESTS=(
   checkpoint_test
   recovery_test
   enum_soak_test
+  net_frame_test
+  transport_conformance_test
+  net_pipeline_test
 )
 
 cmake -B "$BUILD_DIR" -S "$ROOT" \

@@ -1,0 +1,80 @@
+#include "common/net_io.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+
+namespace comove {
+
+void UniqueFd::Reset() {
+  if (fd_ >= 0) {
+    int rc;
+    do {
+      rc = ::close(fd_);
+    } while (rc < 0 && errno == EINTR);
+    fd_ = -1;
+  }
+}
+
+bool ReadFull(int fd, void* data, std::size_t size) {
+  char* out = static_cast<char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::read(fd, out, size);
+    if (n > 0) {
+      out += n;
+      size -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) return false;  // EOF mid-record
+    if (errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool WriteFull(int fd, const void* data, std::size_t size) {
+  const char* in = static_cast<const char*>(data);
+  while (size > 0) {
+    // send() so MSG_NOSIGNAL applies; falls back to write() for
+    // non-socket fds (ENOTSOCK), where SIGPIPE-on-pipe is the caller's
+    // concern (the transport only ever writes to sockets).
+    ssize_t n = ::send(fd, in, size, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) n = ::write(fd, in, size);
+    if (n > 0) {
+      in += n;
+      size -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool PollReadable(int fd, std::int64_t timeout_ms) {
+  const auto deadline =
+      timeout_ms >= 0 ? std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(timeout_ms)
+                      : std::chrono::steady_clock::time_point::max();
+  for (;;) {
+    int wait = -1;
+    if (timeout_ms >= 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      wait = static_cast<int>(left.count() > 0 ? left.count() : 0);
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, wait);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno != EINTR) return false;
+  }
+}
+
+}  // namespace comove

@@ -1,0 +1,63 @@
+#ifndef COMOVE_COMMON_NET_IO_H_
+#define COMOVE_COMMON_NET_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+/// \file
+/// EINTR-safe POSIX I/O primitives for the socket transport: an owning
+/// file-descriptor handle plus full-length read/write loops and a
+/// readability poll. These are the only places the transport touches raw
+/// syscalls, so retry semantics (EINTR) and SIGPIPE suppression live here
+/// exactly once.
+
+namespace comove {
+
+/// Owning file descriptor; closes on destruction, move-only.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  int Release() { return std::exchange(fd_, -1); }
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Reads exactly `size` bytes, retrying on EINTR and short reads.
+/// Returns true on success; false on EOF-before-`size` or any error.
+bool ReadFull(int fd, void* data, std::size_t size);
+
+/// Writes exactly `size` bytes, retrying on EINTR and short writes.
+/// Sends with MSG_NOSIGNAL on sockets, so a peer that died yields a
+/// clean `false` (EPIPE) instead of killing the process with SIGPIPE.
+/// Returns true when every byte was accepted by the kernel.
+bool WriteFull(int fd, const void* data, std::size_t size);
+
+/// Polls `fd` for readability, retrying on EINTR with the remaining
+/// budget. `timeout_ms` < 0 waits forever. Returns true when the fd is
+/// readable (or has hung up - the subsequent read reports it), false on
+/// timeout.
+bool PollReadable(int fd, std::int64_t timeout_ms);
+
+}  // namespace comove
+
+#endif  // COMOVE_COMMON_NET_IO_H_

@@ -23,6 +23,11 @@ class BinaryWriter {
 
   void WriteBool(bool v) { out_->push_back(v ? 1 : 0); }
 
+  /// Single byte, for compact tags (element kinds, frame message types).
+  void WriteU8(std::uint8_t v) {
+    out_->push_back(static_cast<char>(v));
+  }
+
   void WriteI32(std::int32_t v) { WriteRaw(&v, sizeof(v)); }
   void WriteU32(std::uint32_t v) { WriteRaw(&v, sizeof(v)); }
   void WriteI64(std::int64_t v) { WriteRaw(&v, sizeof(v)); }
@@ -70,6 +75,17 @@ class BinaryReader {
     ReadRaw(&c, 1);
     return c != 0;
   }
+
+  std::uint8_t ReadU8() {
+    char c = 0;
+    ReadRaw(&c, 1);
+    return static_cast<std::uint8_t>(c);
+  }
+
+  /// Marks the reader failed (e.g. an out-of-range tag was decoded);
+  /// every further read returns zero values, exactly as after a short
+  /// read.
+  void MarkCorrupt() { ok_ = false; }
 
   std::int32_t ReadI32() { return ReadFixed<std::int32_t>(); }
   std::uint32_t ReadU32() { return ReadFixed<std::uint32_t>(); }

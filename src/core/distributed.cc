@@ -1,0 +1,1004 @@
+#include "core/distributed.h"
+
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/serde.h"
+#include "core/completion_tracker.h"
+#include "core/stage_workers.h"
+#include "core/state_serde.h"
+#include "core/wire_codecs.h"
+#include "flow/checkpoint/coordinator.h"
+#include "flow/exchange.h"
+#include "flow/metrics.h"
+#include "flow/metrics_sampler.h"
+#include "flow/net/peer_link.h"
+#include "flow/net/socket.h"
+#include "flow/net/socket_transport.h"
+#include "flow/task_group.h"
+
+extern char** environ;
+
+namespace comove::core {
+namespace {
+
+using flow::net::Accept;
+using flow::net::Connect;
+using flow::net::Listen;
+using flow::net::Listener;
+using flow::net::MsgType;
+using flow::net::PeerLink;
+using flow::net::SocketTransport;
+
+/// Control frame tags, all above MsgType::kFirstControl so they share the
+/// data links without colliding with kElements/kCloseProducer.
+enum CtrlTag : std::uint8_t {
+  kTagHello = 16,      ///< worker -> coord: u32 index, string listen_addr
+  kTagConfig = 17,     ///< coord -> worker: the full WorkerSetup blob
+  kTagAck = 18,        ///< worker -> coord: checkpoint state ack
+  kTagProgress = 19,   ///< worker -> coord: subtask finalized through t
+  kTagResult = 20,     ///< worker -> coord: counters + times + patterns
+  kTagPeerHello = 21,  ///< worker -> worker: u32 index (mesh handshake)
+};
+
+constexpr std::uint8_t kSnapshotEdge = 0;   ///< assembler -> cluster
+constexpr std::uint8_t kPartitionEdge = 1;  ///< cluster -> enumerate
+constexpr std::uint32_t kConfigVersion = 1;
+constexpr std::int64_t kWorkerHandshakeTimeoutMs = 15000;
+
+/// Contiguous subtask range [lo, hi) of worker `w` out of `count`.
+std::pair<std::int32_t, std::int32_t> SubtaskRange(std::int32_t parallelism,
+                                                   std::int32_t count,
+                                                   std::int32_t w) {
+  const auto lo = static_cast<std::int32_t>(
+      static_cast<std::int64_t>(w) * parallelism / count);
+  const auto hi = static_cast<std::int32_t>(
+      static_cast<std::int64_t>(w + 1) * parallelism / count);
+  return {lo, hi};
+}
+
+std::string CoordinatorAddress(const std::string& transport) {
+  if (transport == "tcp") return "tcp:127.0.0.1:0";
+  // Unique per (pid, run) so parallel tests never collide on a path.
+  static std::atomic<std::uint64_t> seq{0};
+  return "unix:/tmp/comove-net-" + std::to_string(::getpid()) + "-" +
+         std::to_string(seq.fetch_add(1)) + ".sock";
+}
+
+std::string WorkerListenAddress(const std::string& coord_address,
+                                std::int32_t index) {
+  if (coord_address.rfind("unix:", 0) == 0) {
+    return coord_address + ".w" + std::to_string(index);
+  }
+  return "tcp:127.0.0.1:0";
+}
+
+void UnlinkIfUnix(const std::string& address) {
+  if (address.rfind("unix:", 0) == 0) ::unlink(address.c_str() + 5);
+}
+
+/// Everything a worker process needs to run its subtask range,
+/// reconstructed bit-for-bit from the CONFIG frame. The options carry
+/// enumerator=kNone with the full query set in extra_queries, so
+/// BuildQueryPlan on the worker yields the coordinator's exact plan
+/// (same queries, same partition_constraints fold).
+struct WorkerSetup {
+  std::int32_t worker_count = 0;
+  std::int32_t worker_index = 0;
+  std::int32_t lo = 0;
+  std::int32_t hi = 0;
+  std::vector<std::string> peer_addresses;
+  IcpeOptions options;
+  bool checkpointing = false;
+  std::int64_t restored_id = 0;
+  std::map<std::pair<std::string, std::int32_t>, std::string> restored;
+};
+
+void EncodeConfig(BinaryWriter* w, const WorkerSetup& s) {
+  w->WriteU8(kTagConfig);
+  w->WriteU32(kConfigVersion);
+  w->WriteI32(s.worker_count);
+  w->WriteI32(s.worker_index);
+  w->WriteI32(s.options.parallelism);
+  w->WriteI32(s.lo);
+  w->WriteI32(s.hi);
+  w->WriteU64(s.peer_addresses.size());
+  for (const std::string& addr : s.peer_addresses) w->WriteString(addr);
+  w->WriteU64(s.options.channel_capacity);
+  w->WriteU64(s.options.exchange_batch_size);
+  w->WriteU8(static_cast<std::uint8_t>(s.options.clustering));
+  const cluster::RangeJoinOptions& join = s.options.cluster_options.join;
+  w->WriteDouble(join.grid_cell_width);
+  w->WriteDouble(join.eps);
+  w->WriteU8(static_cast<std::uint8_t>(join.metric));
+  w->WriteU8(static_cast<std::uint8_t>(join.kernel));
+  w->WriteU8(static_cast<std::uint8_t>(join.simd));
+  w->WriteBool(join.incremental);
+  w->WriteI32(join.rtree.max_entries);
+  w->WriteI32(join.rtree.min_entries);
+  w->WriteBool(join.rtree.enable_reinsert);
+  w->WriteI32(s.options.cluster_options.dbscan.min_pts);
+  w->WriteU64(s.options.extra_queries.size());
+  for (const PatternQuery& q : s.options.extra_queries) {
+    w->WriteI32(q.constraints.m);
+    w->WriteI32(q.constraints.k);
+    w->WriteI32(q.constraints.l);
+    w->WriteI32(q.constraints.g);
+    w->WriteU8(static_cast<std::uint8_t>(q.enumerator));
+  }
+  w->WriteBool(s.checkpointing);
+  w->WriteI64(s.restored_id);
+  w->WriteString(s.options.fault.stage);
+  w->WriteI32(s.options.fault.subtask);
+  w->WriteI64(s.options.fault.at_checkpoint);
+  w->WriteU64(s.restored.size());
+  for (const auto& [key, bytes] : s.restored) {
+    w->WriteString(key.first);
+    w->WriteI32(key.second);
+    w->WriteString(bytes);
+  }
+}
+
+/// Decodes a CONFIG body (reader positioned after the tag). Returns false
+/// on corruption or out-of-range values.
+bool DecodeConfig(BinaryReader* r, WorkerSetup* s) {
+  if (r->ReadU32() != kConfigVersion) return false;
+  s->worker_count = r->ReadI32();
+  s->worker_index = r->ReadI32();
+  s->options.parallelism = r->ReadI32();
+  s->lo = r->ReadI32();
+  s->hi = r->ReadI32();
+  const std::uint64_t peers = r->ReadU64();
+  if (!r->ok() || peers != static_cast<std::uint64_t>(s->worker_count)) {
+    return false;
+  }
+  for (std::uint64_t i = 0; i < peers; ++i) {
+    s->peer_addresses.push_back(r->ReadString());
+  }
+  s->options.channel_capacity = static_cast<std::size_t>(r->ReadU64());
+  s->options.exchange_batch_size = static_cast<std::size_t>(r->ReadU64());
+  const std::uint8_t clustering = r->ReadU8();
+  if (clustering > 2) return false;
+  s->options.clustering = static_cast<cluster::ClusteringMethod>(clustering);
+  cluster::RangeJoinOptions& join = s->options.cluster_options.join;
+  join.grid_cell_width = r->ReadDouble();
+  join.eps = r->ReadDouble();
+  const std::uint8_t metric = r->ReadU8();
+  const std::uint8_t kernel = r->ReadU8();
+  const std::uint8_t simd = r->ReadU8();
+  if (metric > 1 || kernel > 1 || simd > 2) return false;
+  join.metric = static_cast<DistanceMetric>(metric);
+  join.kernel = static_cast<cluster::JoinKernel>(kernel);
+  join.simd = static_cast<SimdLevel>(simd);
+  join.incremental = r->ReadBool();
+  join.rtree.max_entries = r->ReadI32();
+  join.rtree.min_entries = r->ReadI32();
+  join.rtree.enable_reinsert = r->ReadBool();
+  s->options.cluster_options.dbscan.min_pts = r->ReadI32();
+  const std::uint64_t queries = r->ReadU64();
+  if (!r->ok() || queries > r->remaining()) return false;
+  s->options.enumerator = EnumeratorKind::kNone;
+  for (std::uint64_t i = 0; i < queries; ++i) {
+    PatternQuery q;
+    q.constraints.m = r->ReadI32();
+    q.constraints.k = r->ReadI32();
+    q.constraints.l = r->ReadI32();
+    q.constraints.g = r->ReadI32();
+    const std::uint8_t kind = r->ReadU8();
+    if (kind > 2) return false;  // kBA/kFBA/kVBA; kNone never ships
+    q.enumerator = static_cast<EnumeratorKind>(kind);
+    if (!r->ok() || !q.constraints.IsValid()) return false;
+    s->options.extra_queries.push_back(q);
+  }
+  s->checkpointing = r->ReadBool();
+  s->restored_id = r->ReadI64();
+  s->options.fault.stage = r->ReadString();
+  s->options.fault.subtask = r->ReadI32();
+  s->options.fault.at_checkpoint = r->ReadI64();
+  const std::uint64_t states = r->ReadU64();
+  if (!r->ok() || states > r->remaining()) return false;
+  for (std::uint64_t i = 0; i < states; ++i) {
+    std::string op = r->ReadString();
+    const std::int32_t subtask = r->ReadI32();
+    std::string bytes = r->ReadString();
+    s->restored[{std::move(op), subtask}] = std::move(bytes);
+  }
+  if (!r->ok() || !r->AtEnd()) return false;
+  return s->worker_count > 0 && s->worker_index >= 0 &&
+         s->worker_index < s->worker_count && s->options.parallelism > 0 &&
+         s->lo >= 0 && s->lo <= s->hi &&
+         s->hi <= s->options.parallelism;
+}
+
+/// The 13 run counters in their fixed wire order (= declaration order).
+std::array<std::atomic<std::int64_t>*, 13> CounterFields(
+    PipelineCounters* c) {
+  return {&c->cluster_count,       &c->cluster_member_sum,
+          &c->snapshot_count,      &c->delta_cells_seen,
+          &c->delta_cells_replayed, &c->delta_dbscan_replays,
+          &c->arena_bytes,         &c->arena_allocations,
+          &c->enum_strings_opened, &c->enum_strings_closed,
+          &c->enum_candidates_peak, &c->enum_apriori_nodes,
+          &c->enum_apriori_pruned};
+}
+
+void FoldTime(TimeAccumulator* acc, double total_ms, std::int64_t count) {
+  std::lock_guard<std::mutex> lock(acc->mu);
+  acc->total_ms += total_ms;
+  acc->count += count;
+}
+
+void EncodeResult(BinaryWriter* w, PipelineCounters* counters,
+                  const TimeAccumulator& cluster_time,
+                  const TimeAccumulator& enum_time,
+                  const std::vector<pattern::PatternCollector>& collectors) {
+  w->WriteU8(kTagResult);
+  for (std::atomic<std::int64_t>* field : CounterFields(counters)) {
+    w->WriteI64(field->load(std::memory_order_relaxed));
+  }
+  w->WriteDouble(cluster_time.total_ms);
+  w->WriteI64(cluster_time.count);
+  w->WriteDouble(enum_time.total_ms);
+  w->WriteI64(enum_time.count);
+  w->WriteU64(collectors.size());
+  for (const pattern::PatternCollector& collector : collectors) {
+    w->WriteU64(collector.size());
+    for (const auto& [objects, pat] : collector.entries()) {
+      WritePattern(w, pat);
+    }
+  }
+}
+
+/// Folds one worker's RESULT body (reader past the tag) into the
+/// coordinator's run state. Thread-safe against concurrent results.
+bool FoldResult(BinaryReader* r, PipelineCounters* counters,
+                TimeAccumulator* cluster_time, TimeAccumulator* enum_time,
+                std::mutex* collector_mu,
+                std::vector<pattern::PatternCollector>* collectors) {
+  for (std::atomic<std::int64_t>* field : CounterFields(counters)) {
+    field->fetch_add(r->ReadI64(), std::memory_order_relaxed);
+  }
+  const double cluster_ms = r->ReadDouble();
+  const std::int64_t cluster_count = r->ReadI64();
+  const double enum_ms = r->ReadDouble();
+  const std::int64_t enum_count = r->ReadI64();
+  if (!r->ok()) return false;
+  FoldTime(cluster_time, cluster_ms, cluster_count);
+  FoldTime(enum_time, enum_ms, enum_count);
+  const std::uint64_t queries = r->ReadU64();
+  if (!r->ok() || queries != collectors->size()) return false;
+  std::lock_guard<std::mutex> lock(*collector_mu);
+  for (std::uint64_t q = 0; q < queries; ++q) {
+    const std::uint64_t patterns = r->ReadU64();
+    if (!r->ok() || patterns > r->remaining()) return false;
+    for (std::uint64_t i = 0; i < patterns; ++i) {
+      const CoMovementPattern pat = ReadPattern(r);
+      if (!r->ok()) return false;
+      (*collectors)[q].Add(pat);
+    }
+  }
+  return r->ok() && r->AtEnd();
+}
+
+pid_t SpawnWorker(const std::string& binary,
+                  const std::string& coord_address, std::int32_t index) {
+  const std::string index_arg = std::to_string(index);
+  std::array<char*, 5> argv = {
+      const_cast<char*>(binary.c_str()),
+      const_cast<char*>(kNetWorkerFlag),
+      const_cast<char*>(coord_address.c_str()),
+      const_cast<char*>(index_arg.c_str()),
+      nullptr,
+  };
+  pid_t pid = -1;
+  if (::posix_spawn(&pid, binary.c_str(), nullptr, nullptr, argv.data(),
+                    environ) != 0) {
+    return -1;
+  }
+  return pid;
+}
+
+}  // namespace
+
+int NetWorkerMain(const std::string& coordinator_address,
+                  std::int32_t worker_index) {
+  // --- Handshake: dial the coordinator, stand up our own listener,
+  // introduce ourselves, and block for the configuration. Everything here
+  // is single-threaded (no reader threads yet), so blocking reads are
+  // safe.
+  UniqueFd coord_fd = Connect(coordinator_address, kWorkerHandshakeTimeoutMs);
+  if (!coord_fd.valid()) {
+    std::fprintf(stderr, "net worker %d: cannot reach coordinator %s\n",
+                 worker_index, coordinator_address.c_str());
+    return 2;
+  }
+  PeerLink coord(std::move(coord_fd));
+  const std::string listen_address =
+      WorkerListenAddress(coordinator_address, worker_index);
+  std::string listen_error;
+  Listener listener = Listen(listen_address, &listen_error);
+  if (!listener.valid()) {
+    std::fprintf(stderr, "net worker %d: listen %s failed: %s\n",
+                 worker_index, listen_address.c_str(),
+                 listen_error.c_str());
+    return 2;
+  }
+  {
+    std::string hello;
+    BinaryWriter writer(&hello);
+    writer.WriteU8(kTagHello);
+    writer.WriteU32(static_cast<std::uint32_t>(worker_index));
+    writer.WriteString(listener.address);
+    if (!coord.SendFrame(hello)) return 2;
+  }
+  WorkerSetup setup;
+  {
+    std::string frame;
+    if (!coord.ReadFrameBlocking(&frame, kWorkerHandshakeTimeoutMs)) {
+      std::fprintf(stderr, "net worker %d: no CONFIG from coordinator\n",
+                   worker_index);
+      return 2;
+    }
+    BinaryReader reader(frame);
+    if (reader.ReadU8() != kTagConfig || !DecodeConfig(&reader, &setup) ||
+        setup.worker_index != worker_index) {
+      std::fprintf(stderr, "net worker %d: bad CONFIG frame\n",
+                   worker_index);
+      return 2;
+    }
+  }
+  const std::int32_t worker_count = setup.worker_count;
+  const std::int32_t p = setup.options.parallelism;
+
+  // --- Worker mesh for the p x p partition edge: connect to every
+  // lower-indexed worker, then accept every higher-indexed one. Safe
+  // ordering: the coordinator sends CONFIG only after ALL workers said
+  // HELLO, so every listener already exists when the dialing starts.
+  std::vector<std::unique_ptr<PeerLink>> peers(
+      static_cast<std::size_t>(worker_count));
+  for (std::int32_t i = 0; i < worker_index; ++i) {
+    UniqueFd fd = Connect(setup.peer_addresses[static_cast<std::size_t>(i)],
+                          kWorkerHandshakeTimeoutMs);
+    if (!fd.valid()) return 2;
+    auto link = std::make_unique<PeerLink>(std::move(fd));
+    std::string hello;
+    BinaryWriter writer(&hello);
+    writer.WriteU8(kTagPeerHello);
+    writer.WriteU32(static_cast<std::uint32_t>(worker_index));
+    if (!link->SendFrame(hello)) return 2;
+    peers[static_cast<std::size_t>(i)] = std::move(link);
+  }
+  for (std::int32_t n = worker_index + 1; n < worker_count; ++n) {
+    UniqueFd fd = Accept(listener, kWorkerHandshakeTimeoutMs);
+    if (!fd.valid()) return 2;
+    auto link = std::make_unique<PeerLink>(std::move(fd));
+    std::string frame;
+    if (!link->ReadFrameBlocking(&frame, kWorkerHandshakeTimeoutMs)) {
+      return 2;
+    }
+    BinaryReader reader(frame);
+    const std::uint8_t tag = reader.ReadU8();
+    const auto index = static_cast<std::int32_t>(reader.ReadU32());
+    if (tag != kTagPeerHello || !reader.ok() || !reader.AtEnd() ||
+        index <= worker_index || index >= worker_count ||
+        peers[static_cast<std::size_t>(index)] != nullptr) {
+      return 2;
+    }
+    peers[static_cast<std::size_t>(index)] = std::move(link);
+  }
+
+  // --- Transports. The snapshot edge only receives here (the assembler
+  // lives on the coordinator); the partition edge routes each remote
+  // consumer through the link of its hosting worker.
+  std::vector<PeerLink*> snapshot_route(static_cast<std::size_t>(p),
+                                        nullptr);
+  std::vector<PeerLink*> partition_route(static_cast<std::size_t>(p),
+                                         nullptr);
+  std::vector<std::int32_t> peer_subtasks(
+      static_cast<std::size_t>(worker_count), 0);
+  for (std::int32_t w = 0; w < worker_count; ++w) {
+    const auto [lo, hi] = SubtaskRange(p, worker_count, w);
+    peer_subtasks[static_cast<std::size_t>(w)] = hi - lo;
+    if (w == worker_index) continue;
+    for (std::int32_t c = lo; c < hi; ++c) {
+      partition_route[static_cast<std::size_t>(c)] =
+          peers[static_cast<std::size_t>(w)].get();
+    }
+  }
+  SocketTransport<Snapshot, SnapshotCodec> snapshot_transport(
+      1, p, kSnapshotEdge, setup.lo, setup.hi, snapshot_route,
+      setup.options.channel_capacity);
+  SocketTransport<pattern::Partition, PartitionCodec> partition_transport(
+      p, p, kPartitionEdge, setup.lo, setup.hi, partition_route,
+      setup.options.channel_capacity);
+
+  std::atomic<bool> crashed{false};
+  std::atomic<bool> finished{false};
+  auto declare_crash = [&] {
+    bool expected = false;
+    if (!crashed.compare_exchange_strong(expected, true)) return;
+    snapshot_transport.Cancel();
+    partition_transport.Cancel();
+  };
+
+  // --- Link readers. Close accounting decides whether a peer's EOF is a
+  // clean finish or a crash: every close frame of a link arrives before
+  // its EOF (FIFO), so by on_close time the counters are final. The
+  // counters are only ever touched from that link's own reader thread.
+  const QueryPlan plan = BuildQueryPlan(setup.options);
+  const bool enumerate = plan.enumerate();
+  std::int64_t coord_snapshot_closes = 0;
+  std::vector<std::int64_t> peer_partition_closes(
+      static_cast<std::size_t>(worker_count), 0);
+  auto on_frame = [&](std::int64_t* close_count,
+                      std::string_view payload) {
+    BinaryReader reader(payload);
+    const std::uint8_t tag = reader.ReadU8();
+    if (tag == static_cast<std::uint8_t>(MsgType::kElements)) {
+      const std::uint8_t edge = reader.ReadU8();
+      bool ok = reader.ok();
+      if (ok && edge == kSnapshotEdge) {
+        ok = snapshot_transport.OnElements(&reader);
+      } else if (ok && edge == kPartitionEdge) {
+        ok = partition_transport.OnElements(&reader);
+      } else {
+        ok = false;
+      }
+      if (!ok) declare_crash();
+    } else if (tag == static_cast<std::uint8_t>(MsgType::kCloseProducer)) {
+      const std::uint8_t edge = reader.ReadU8();
+      reader.ReadI32();  // producer index, informational
+      if (!reader.ok()) {
+        declare_crash();
+        return;
+      }
+      if (edge == kSnapshotEdge) {
+        snapshot_transport.OnCloseProducer();
+      } else if (edge == kPartitionEdge) {
+        partition_transport.OnCloseProducer();
+      }
+      ++*close_count;
+    }
+    // Unknown control tags are ignored (forward compatibility).
+  };
+  coord.Start(
+      [&](std::string_view payload) {
+        on_frame(&coord_snapshot_closes, payload);
+      },
+      [&] {
+        // Coordinator EOF is clean only once we are past our RESULT
+        // (the coordinator half-closes after collecting it).
+        if (!finished.load(std::memory_order_acquire)) declare_crash();
+      });
+  for (std::int32_t w = 0; w < worker_count; ++w) {
+    if (w == worker_index || peers[static_cast<std::size_t>(w)] == nullptr) {
+      continue;
+    }
+    std::int64_t* closes = &peer_partition_closes[static_cast<std::size_t>(w)];
+    const std::int64_t expected_closes = peer_subtasks[static_cast<std::size_t>(w)];
+    peers[static_cast<std::size_t>(w)]->Start(
+        [&, closes](std::string_view payload) { on_frame(closes, payload); },
+        [&, closes, expected_closes] {
+          // Peer EOF after all its producer closes = it finished; EOF
+          // before that = it died mid-stream.
+          if (*closes < expected_closes) declare_crash();
+        });
+  }
+
+  // --- Run state and the subtask environment. Acks and progress go to
+  // the coordinator as control frames; patterns fold into worker-local
+  // collectors shipped with the RESULT (always transactional: commit
+  // happens only at a normal exit, so a crashed worker contributes
+  // nothing and recovery regenerates its patterns exactly).
+  FaultInjector injector(setup.options.fault);
+  PipelineCounters counters;
+  TimeAccumulator cluster_time;
+  TimeAccumulator enum_time;
+  std::mutex collector_mu;
+  std::vector<pattern::PatternCollector> collectors(plan.queries.size());
+
+  StageEnv env;
+  env.options = &setup.options;
+  env.tr = nullptr;
+  env.injector = &injector;
+  env.crashed = &crashed;
+  // An injected fault is a REAL process kill here: no destructors, no
+  // RESULT, sockets slam shut - exactly what recovery must survive.
+  env.crash_all = [] { std::_Exit(3); };
+  env.ack = [&](std::int64_t id, const char* op, std::int32_t subtask,
+                std::string state, flow::StageStats* /*stats*/) {
+    std::string payload;
+    BinaryWriter writer(&payload);
+    writer.WriteU8(kTagAck);
+    writer.WriteString(op);
+    writer.WriteI32(subtask);
+    writer.WriteI64(id);
+    writer.WriteString(state);
+    coord.SendFrame(payload);
+  };
+  env.restored_state = [&](const char* op,
+                           std::int32_t subtask) -> const std::string* {
+    const auto it = setup.restored.find({std::string(op), subtask});
+    return it != setup.restored.end() ? &it->second : nullptr;
+  };
+  env.checkpointing = setup.checkpointing;
+  env.restored_id = setup.restored_id;
+  env.pop_batch_max =
+      std::max<std::size_t>(std::size_t{1}, setup.options.exchange_batch_size);
+
+  ProgressFn progress = [&](std::int32_t subtask, Timestamp through) {
+    std::string payload;
+    BinaryWriter writer(&payload);
+    writer.WriteU8(kTagProgress);
+    writer.WriteI32(subtask);
+    writer.WriteI64(through);
+    coord.SendFrame(payload);
+  };
+
+  ClusterStageEnv cluster_env;
+  cluster_env.cluster_time = &cluster_time;
+  cluster_env.counters = &counters;
+  cluster_env.cluster_stats = nullptr;
+  cluster_env.partition_constraints = &plan.partition_constraints;
+  cluster_env.enumerate = enumerate;
+  cluster_env.progress = progress;
+
+  EnumerateStageEnv enumerate_env;
+  enumerate_env.queries = &plan.queries;
+  enumerate_env.enum_time = &enum_time;
+  enumerate_env.counters = &counters;
+  enumerate_env.enumerate_stats = nullptr;
+  enumerate_env.producers = p;
+  enumerate_env.transactional = true;
+  enumerate_env.commit =
+      [&](std::vector<pattern::PatternCollector>&& logs) {
+        std::lock_guard<std::mutex> lock(collector_mu);
+        for (std::size_t q = 0; q < collectors.size(); ++q) {
+          for (const CoMovementPattern& pat : logs[q].Patterns()) {
+            collectors[q].Add(pat);
+          }
+        }
+      };
+  enumerate_env.progress = progress;
+
+  // --- The subtasks themselves: the exact same bodies RunIcpe runs.
+  {
+    flow::TaskGroup tasks;
+    for (std::int32_t s = setup.lo; s < setup.hi; ++s) {
+      tasks.Spawn([&, s] {
+        RunClusterSubtask(s, env, cluster_env,
+                          snapshot_transport.channel(s),
+                          partition_transport);
+      });
+    }
+    if (enumerate) {
+      for (std::int32_t s = setup.lo; s < setup.hi; ++s) {
+        tasks.Spawn([&, s] {
+          RunEnumerateSubtask(s, env, enumerate_env,
+                              partition_transport.channel(s));
+        });
+      }
+    }
+    tasks.JoinAll();
+  }
+
+  if (crashed.load()) {
+    // A peer (or the coordinator) died. Exit hard: _Exit drops every
+    // socket at once, so the remaining processes observe our EOF
+    // immediately instead of deadlocking on PeerLink reader joins.
+    UnlinkIfUnix(listener.address);
+    std::_Exit(1);
+  }
+
+  finished.store(true, std::memory_order_release);
+  {
+    std::string payload;
+    BinaryWriter writer(&payload);
+    EncodeResult(&writer, &counters, cluster_time, enum_time, collectors);
+    coord.SendFrame(payload);
+  }
+  // Half-close everything, then join readers: the coordinator closes our
+  // link after collecting the RESULT, peers after finishing their own
+  // ranges.
+  coord.CloseSend();
+  for (auto& peer : peers) {
+    if (peer) peer->CloseSend();
+  }
+  for (auto& peer : peers) {
+    if (peer) peer->Shutdown();
+  }
+  coord.Shutdown();
+  UnlinkIfUnix(listener.address);
+  return 0;
+}
+
+std::optional<int> MaybeNetWorker(int argc, char** argv) {
+  if (argc >= 4 && std::string_view(argv[1]) == kNetWorkerFlag) {
+    return NetWorkerMain(argv[2], std::atoi(argv[3]));
+  }
+  return std::nullopt;
+}
+
+IcpeResult RunIcpeDistributed(const trajgen::Dataset& dataset,
+                              const IcpeOptions& options,
+                              const DistributedOptions& dist) {
+  COMOVE_CHECK(options.parallelism > 0);
+  COMOVE_CHECK(options.constraints.IsValid());
+  COMOVE_CHECK_MSG(!options.join_parallel_cells,
+                   "distributed runs use the snapshot-parallel pipeline");
+  COMOVE_CHECK_MSG(!options.on_pattern,
+                   "on_pattern cannot cross a process boundary");
+  COMOVE_CHECK_MSG(dist.transport == "unix" || dist.transport == "tcp",
+                   "transport must be \"unix\" or \"tcp\"");
+  const std::int32_t p = options.parallelism;
+  const std::int32_t worker_count = dist.workers;
+  COMOVE_CHECK_MSG(worker_count >= 1 && worker_count <= p,
+                   "need 1 <= workers <= parallelism");
+  const std::size_t pop_batch_max =
+      std::max<std::size_t>(std::size_t{1}, options.exchange_batch_size);
+
+  const QueryPlan plan = BuildQueryPlan(options);
+  const std::vector<PatternQuery>& queries = plan.queries;
+  const bool enumerate = plan.enumerate();
+
+  std::optional<flow::TraceRecorder> owned_trace;
+  flow::TraceRecorder* const tr =
+      options.trace != nullptr
+          ? options.trace
+          : (!options.trace_path.empty() ? &owned_trace.emplace()
+                                         : nullptr);
+  constexpr std::size_t kWorstSnapshots = 5;
+  const bool collect_stats =
+      options.collect_stats || options.sample_interval_ms > 0;
+  flow::StageStatsRegistry stats_registry;
+  auto stats_for = [&](const char* stage) -> flow::StageStats* {
+    return collect_stats ? &stats_registry.Get(stage) : nullptr;
+  };
+
+  // --- Checkpointing/recovery plumbing, identical to RunIcpe; the
+  // fingerprint deliberately excludes the deployment, so a distributed
+  // run restores single-process checkpoints and vice versa.
+  const bool checkpointing = options.checkpoint_interval > 0;
+  if (checkpointing) {
+    COMOVE_CHECK_MSG(options.snapshot_store != nullptr,
+                     "checkpoint_interval requires a snapshot_store");
+    COMOVE_CHECK_MSG(options.replay_shuffle_window <= 0,
+                     "checkpointing requires ordered replay");
+  }
+  if (options.recover) {
+    COMOVE_CHECK_MSG(options.snapshot_store != nullptr,
+                     "recover requires a snapshot_store");
+  }
+  const std::string fingerprint =
+      (checkpointing || options.recover)
+          ? BuildFingerprint(dataset, options)
+          : std::string();
+  std::optional<flow::CheckpointBundle> restored;
+  if (options.recover) {
+    restored = options.snapshot_store->ReadLatest();
+    if (restored) {
+      COMOVE_CHECK_MSG(restored->fingerprint == fingerprint,
+                       "checkpoint fingerprint mismatch: the store was "
+                       "written by a different dataset or pipeline shape");
+    }
+  }
+  const std::int64_t restored_id = restored ? restored->id : 0;
+  std::optional<flow::CheckpointCoordinator> coordinator;
+  if (checkpointing) {
+    const std::int32_t expected_acks = 2 + p + (enumerate ? p : 0);
+    coordinator.emplace(expected_acks, options.snapshot_store, fingerprint,
+                        stats_for("checkpoint"), restored_id);
+  }
+
+  // --- Spawn the workers and complete the handshake: accept W links,
+  // read each HELLO (index + listen address), then send every worker its
+  // CONFIG - which includes ALL worker addresses, making the mesh dial-up
+  // race-free (every listener provably exists).
+  std::string listen_error;
+  Listener listener =
+      Listen(CoordinatorAddress(dist.transport), &listen_error);
+  COMOVE_CHECK_MSG(listener.valid(), "coordinator listen failed: %s",
+                   listen_error.c_str());
+  const std::string binary =
+      dist.worker_binary.empty() ? "/proc/self/exe" : dist.worker_binary;
+  std::vector<pid_t> pids;
+  for (std::int32_t w = 0; w < worker_count; ++w) {
+    const pid_t pid = SpawnWorker(binary, listener.address, w);
+    COMOVE_CHECK_MSG(pid > 0, "cannot spawn worker process %d", w);
+    pids.push_back(pid);
+  }
+  std::vector<std::unique_ptr<PeerLink>> links(
+      static_cast<std::size_t>(worker_count));
+  std::vector<std::string> worker_addresses(
+      static_cast<std::size_t>(worker_count));
+  for (std::int32_t n = 0; n < worker_count; ++n) {
+    UniqueFd fd = Accept(listener, dist.connect_timeout_ms);
+    COMOVE_CHECK_MSG(fd.valid(), "timed out waiting for worker HELLO");
+    auto link = std::make_unique<PeerLink>(std::move(fd));
+    std::string frame;
+    COMOVE_CHECK_MSG(link->ReadFrameBlocking(&frame, dist.connect_timeout_ms),
+                     "worker handshake failed");
+    BinaryReader reader(frame);
+    const std::uint8_t tag = reader.ReadU8();
+    const auto index = static_cast<std::int32_t>(reader.ReadU32());
+    std::string address = reader.ReadString();
+    COMOVE_CHECK_MSG(tag == kTagHello && reader.ok() && reader.AtEnd() &&
+                         index >= 0 && index < worker_count &&
+                         links[static_cast<std::size_t>(index)] == nullptr,
+                     "bad worker HELLO");
+    links[static_cast<std::size_t>(index)] = std::move(link);
+    worker_addresses[static_cast<std::size_t>(index)] = std::move(address);
+  }
+  for (std::int32_t w = 0; w < worker_count; ++w) {
+    WorkerSetup setup;
+    setup.worker_count = worker_count;
+    setup.worker_index = w;
+    std::tie(setup.lo, setup.hi) = SubtaskRange(p, worker_count, w);
+    setup.peer_addresses = worker_addresses;
+    setup.options.parallelism = p;
+    setup.options.channel_capacity = options.channel_capacity;
+    setup.options.exchange_batch_size = options.exchange_batch_size;
+    setup.options.clustering = options.clustering;
+    setup.options.cluster_options = options.cluster_options;
+    setup.options.enumerator = EnumeratorKind::kNone;
+    setup.options.extra_queries = queries;
+    setup.options.fault = options.fault;
+    setup.checkpointing = checkpointing;
+    setup.restored_id = restored_id;
+    if (restored) {
+      // Workers only host cluster (stateless, empty acks) and enumerate
+      // subtasks; ship exactly those states from the bundle.
+      for (const flow::OperatorState& state : restored->states) {
+        if (state.op == "cluster" || state.op == "enumerate") {
+          setup.restored[{state.op, state.subtask}] = state.bytes;
+        }
+      }
+    }
+    std::string payload;
+    BinaryWriter writer(&payload);
+    EncodeConfig(&writer, setup);
+    links[static_cast<std::size_t>(w)]->SendFrame(payload);
+  }
+
+  // --- Coordinator-local pipeline state. The snapshot-edge transport has
+  // an empty local consumer range: every cluster subtask is remote, and
+  // route[c] is the link of the worker hosting subtask c.
+  FaultInjector injector(options.fault);
+  std::atomic<bool> crashed{false};
+  flow::Exchange<GpsRecord> source_exchange(
+      1, 1, options.channel_capacity, stats_for("source->assembler"));
+  std::vector<PeerLink*> snapshot_route(static_cast<std::size_t>(p),
+                                        nullptr);
+  for (std::int32_t w = 0; w < worker_count; ++w) {
+    const auto [lo, hi] = SubtaskRange(p, worker_count, w);
+    for (std::int32_t c = lo; c < hi; ++c) {
+      snapshot_route[static_cast<std::size_t>(c)] =
+          links[static_cast<std::size_t>(w)].get();
+    }
+  }
+  SocketTransport<Snapshot, SnapshotCodec> snapshot_transport(
+      1, p, kSnapshotEdge, 0, 0, snapshot_route,
+      options.channel_capacity);
+
+  flow::SnapshotMetrics metrics;
+  if (tr != nullptr) metrics.KeepPerSnapshot(true);
+  CompletionTracker tracker(p);
+  TimeAccumulator cluster_time;
+  TimeAccumulator enum_time;
+  PipelineCounters counters;
+  std::mutex collector_mu;
+  std::vector<pattern::PatternCollector> collectors(queries.size());
+
+  StageEnv env;
+  env.options = &options;
+  env.tr = tr;
+  env.injector = &injector;
+  env.crashed = &crashed;
+  env.crash_all = [&] {
+    crashed.store(true);
+    source_exchange.Cancel();
+    snapshot_transport.Cancel();  // no local channels; kept for symmetry
+  };
+  env.ack = [&](std::int64_t id, const char* op, std::int32_t subtask,
+                std::string state, flow::StageStats* stats) {
+    if (stats != nullptr) {
+      stats->OnSnapshot(static_cast<std::int64_t>(state.size()), id);
+    }
+    const std::uint64_t t0 = tr != nullptr ? tr->NowNs() : 0;
+    coordinator->Ack(id, op, subtask, std::move(state));
+    if (tr != nullptr) {
+      tr->RecordSpanSince("checkpoint", op, subtask, kNoTime, t0, id);
+    }
+  };
+  env.restored_state = [&](const char* op,
+                           std::int32_t subtask) -> const std::string* {
+    return restored ? restored->Find(op, subtask) : nullptr;
+  };
+  env.checkpointing = checkpointing;
+  env.restored_id = restored_id;
+  env.pop_batch_max = pop_batch_max;
+
+  ProgressFn progress = [&](std::int32_t worker, Timestamp through) {
+    for (const Timestamp done : tracker.Update(worker, through)) {
+      metrics.MarkComplete(done);
+    }
+  };
+
+  // --- Link readers: dispatch worker acks, progress, and results. One
+  // accounting slot per worker flips exactly once - on RESULT or on an
+  // EOF without one (a crash) - and the run ends when all W flipped.
+  std::mutex link_mu;
+  std::condition_variable link_cv;
+  std::int32_t links_done = 0;
+  std::vector<std::atomic<bool>> accounted(
+      static_cast<std::size_t>(worker_count));
+  for (auto& flag : accounted) flag.store(false);
+  auto account_once = [&](std::int32_t w, bool with_result) {
+    bool expected = false;
+    if (!accounted[static_cast<std::size_t>(w)].compare_exchange_strong(
+            expected, true)) {
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(link_mu);
+      ++links_done;
+    }
+    link_cv.notify_all();
+    if (!with_result) {
+      // Worker died mid-run: cancel the local stages so the source and
+      // assembler unwind instead of streaming into a dead pipeline.
+      crashed.store(true);
+      source_exchange.Cancel();
+    }
+  };
+
+  for (std::int32_t w = 0; w < worker_count; ++w) {
+    PeerLink* link = links[static_cast<std::size_t>(w)].get();
+    link->Start(
+        [&, w](std::string_view payload) {
+          BinaryReader reader(payload);
+          const std::uint8_t tag = reader.ReadU8();
+          switch (tag) {
+            case kTagAck: {
+              std::string op = reader.ReadString();
+              const std::int32_t subtask = reader.ReadI32();
+              const std::int64_t id = reader.ReadI64();
+              std::string state = reader.ReadString();
+              if (!reader.ok() || !reader.AtEnd() || !coordinator) break;
+              // Remote snapshot-size stats are not charged to a local
+              // stage row; the "checkpoint" row still totals persisted
+              // bytes.
+              coordinator->Ack(id, std::move(op), subtask,
+                               std::move(state));
+              break;
+            }
+            case kTagProgress: {
+              const std::int32_t subtask = reader.ReadI32();
+              const auto through =
+                  static_cast<Timestamp>(reader.ReadI64());
+              if (!reader.ok() || !reader.AtEnd()) break;
+              progress(subtask, through);
+              break;
+            }
+            case kTagResult: {
+              if (FoldResult(&reader, &counters, &cluster_time,
+                             &enum_time, &collector_mu, &collectors)) {
+                account_once(w, true);
+              }
+              break;
+            }
+            default:
+              break;  // data frames never flow worker -> coordinator
+          }
+        },
+        [&, w] { account_once(w, false); });
+  }
+
+  // --- Run the coordinator-local stages, then wait for every worker to
+  // either report its result or die.
+  {
+    flow::TaskGroup tasks;
+    tasks.Spawn([&] { RunSourceSubtask(dataset, env, source_exchange); });
+    tasks.Spawn([&] {
+      RunAssemblerSubtask(env, source_exchange.channel(0),
+                          snapshot_transport, &metrics, &tracker, &counters,
+                          stats_for("source->assembler"));
+    });
+    tasks.JoinAll();
+  }
+  {
+    std::unique_lock<std::mutex> lock(link_mu);
+    link_cv.wait(lock, [&] { return links_done == worker_count; });
+  }
+  for (auto& link : links) link->CloseSend();
+  for (auto& link : links) link->Shutdown();
+  for (const pid_t pid : pids) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      crashed.store(true);
+    }
+  }
+  UnlinkIfUnix(listener.address);
+
+  const bool was_crashed = crashed.load();
+  if (!was_crashed) {
+    COMOVE_CHECK_MSG(tracker.pending() == 0,
+                     "pipeline drained with incomplete snapshots");
+  }
+
+  // --- Result assembly, mirroring RunIcpe. stage_stats cover only the
+  // coordinator-local edges (documented limitation of distributed runs).
+  IcpeResult result;
+  result.crashed = was_crashed;
+  result.last_checkpoint_id =
+      coordinator ? coordinator->last_completed() : restored_id;
+  if (coordinator) {
+    result.checkpoints_completed = coordinator->completed_count();
+    result.checkpoints_failed = coordinator->failed_count();
+  }
+  if (!collectors.empty() &&
+      options.enumerator != EnumeratorKind::kNone) {
+    result.patterns = collectors[0].Patterns();
+    for (std::size_t q = 1; q < collectors.size(); ++q) {
+      result.extra_patterns.push_back(collectors[q].Patterns());
+    }
+  } else {
+    for (auto& collector : collectors) {
+      result.extra_patterns.push_back(collector.Patterns());
+    }
+  }
+  result.snapshots = metrics.Collect();
+  if (collect_stats) result.stage_stats = stats_registry.Snapshot();
+  if (tr != nullptr) {
+    result.trace_events = tr->recorded();
+    result.trace_dropped = tr->dropped();
+    result.worst_snapshots = flow::BuildWorstSnapshotBreakdown(
+        tr->Events(), metrics.PerSnapshot(), kWorstSnapshots);
+    if (!options.trace_path.empty()) {
+      std::ofstream out(options.trace_path);
+      COMOVE_CHECK_MSG(out.good(), "cannot open trace_path %s",
+                       options.trace_path.c_str());
+      tr->WriteChromeTrace(out);
+    }
+  }
+  result.avg_cluster_ms = cluster_time.Average();
+  result.avg_enum_ms = enum_time.Average();
+  result.cluster_count = counters.cluster_count.load();
+  result.snapshot_count = counters.snapshot_count.load();
+  result.avg_cluster_size =
+      result.cluster_count > 0
+          ? static_cast<double>(counters.cluster_member_sum.load()) /
+                static_cast<double>(result.cluster_count)
+          : 0.0;
+  result.delta_cells_seen = counters.delta_cells_seen.load();
+  result.delta_cells_replayed = counters.delta_cells_replayed.load();
+  result.delta_dbscan_replays = counters.delta_dbscan_replays.load();
+  result.arena_bytes = counters.arena_bytes.load();
+  result.arena_allocations = counters.arena_allocations.load();
+  result.enum_strings_opened = counters.enum_strings_opened.load();
+  result.enum_strings_closed = counters.enum_strings_closed.load();
+  result.enum_candidates_peak = counters.enum_candidates_peak.load();
+  result.enum_apriori_nodes = counters.enum_apriori_nodes.load();
+  result.enum_apriori_pruned = counters.enum_apriori_pruned.load();
+  return result;
+}
+
+}  // namespace comove::core

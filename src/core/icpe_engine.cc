@@ -13,89 +13,19 @@
 #include <unordered_map>
 
 #include "common/check.h"
-#include "common/rng.h"
 #include "common/serde.h"
 #include "common/stopwatch.h"
 #include "core/completion_tracker.h"
+#include "core/stage_workers.h"
 #include "core/state_serde.h"
 #include "flow/checkpoint/barrier_aligner.h"
 #include "flow/checkpoint/coordinator.h"
 #include "flow/exchange.h"
-#include "flow/reorder_buffer.h"
 #include "flow/snapshot_assembler.h"
 #include "flow/task_group.h"
 #include "flow/watermark_aligner.h"
-#include "pattern/baseline_enumerator.h"
-#include "pattern/fixed_bit_enumerator.h"
-#include "pattern/variable_bit_enumerator.h"
 
 namespace comove::core {
-
-namespace {
-
-constexpr Timestamp kMaxTime = std::numeric_limits<Timestamp>::max();
-
-std::size_t OwnerPartition(TrajectoryId owner, std::int32_t p) {
-  // Knuth multiplicative mix; trajectory ids are dense so a plain modulo
-  // would correlate with the id-assignment scheme.
-  return (static_cast<std::uint32_t>(owner) * 2654435761u) %
-         static_cast<std::uint32_t>(p);
-}
-
-/// One replicated GridObject tagged with its snapshot time: the payload
-/// of the cell-keyed exchange in the Fig. 5 dataflow mode.
-struct CellMsg {
-  Timestamp time = 0;
-  cluster::GridObject object;
-};
-
-/// Input of the GridSync/DBSCAN stage: either the raw snapshot (shipped
-/// once) or a batch of neighbour pairs from one GridQuery subtask.
-struct SyncMsg {
-  Timestamp time = 0;
-  bool is_snapshot = false;
-  Snapshot snapshot;
-  std::vector<NeighborPair> pairs;
-};
-
-/// Thread-safe accumulation of per-snapshot stage compute times.
-struct TimeAccumulator {
-  mutable std::mutex mu;
-  double total_ms = 0.0;
-  std::int64_t count = 0;
-
-  void Add(double ms) {
-    std::lock_guard<std::mutex> lock(mu);
-    total_ms += ms;
-    ++count;
-  }
-  double Average() const {
-    std::lock_guard<std::mutex> lock(mu);
-    return count > 0 ? total_ms / static_cast<double>(count) : 0.0;
-  }
-};
-
-std::unique_ptr<pattern::StreamingEnumerator> MakeEnumerator(
-    EnumeratorKind kind, const PatternConstraints& constraints,
-    pattern::PatternSink sink) {
-  switch (kind) {
-    case EnumeratorKind::kBA:
-      return std::make_unique<pattern::BaselineEnumerator>(constraints,
-                                                           std::move(sink));
-    case EnumeratorKind::kFBA:
-      return std::make_unique<pattern::FixedBitEnumerator>(constraints,
-                                                           std::move(sink));
-    case EnumeratorKind::kVBA:
-      return std::make_unique<pattern::VariableBitEnumerator>(
-          constraints, std::move(sink));
-    case EnumeratorKind::kNone:
-      break;
-  }
-  COMOVE_CHECK(false);
-  return nullptr;
-}
-
-}  // namespace
 
 const char* EnumeratorKindName(EnumeratorKind kind) {
   switch (kind) {
@@ -115,6 +45,9 @@ std::string BuildFingerprint(const trajgen::Dataset& dataset,
                              const IcpeOptions& options) {
   // Everything that shapes the pipeline's state or routing is included;
   // pure performance knobs (batch size, channel capacity, stats) are not.
+  // Deliberately also excludes how the pipeline is deployed (process
+  // count, transport): a distributed run at the same parallelism may
+  // restore a single-process checkpoint and vice versa.
   std::string fp = "records=" + std::to_string(dataset.records.size());
   fp += ";p=" + std::to_string(options.parallelism);
   fp += ";cells=" + std::to_string(options.join_parallel_cells ? 1 : 0);
@@ -152,26 +85,11 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
 
   // The query set: the primary query (unless kNone) plus extras, all
   // evaluated over one shared cluster stream.
-  std::vector<PatternQuery> queries;
-  if (options.enumerator != EnumeratorKind::kNone) {
-    queries.push_back(
-        PatternQuery{options.constraints, options.enumerator});
-  }
-  for (const PatternQuery& q : options.extra_queries) {
-    COMOVE_CHECK(q.constraints.IsValid());
-    COMOVE_CHECK(q.enumerator != EnumeratorKind::kNone);
-    queries.push_back(q);
-  }
-  const bool enumerate = !queries.empty();
-  // Partitions are computed once with the loosest significance bound; the
-  // per-query M is enforced during enumeration (Lemma 3 only removes
-  // work, never results).
-  PatternConstraints partition_constraints =
-      enumerate ? queries.front().constraints : options.constraints;
-  for (const PatternQuery& q : queries) {
-    partition_constraints.m = std::min(partition_constraints.m,
-                                       q.constraints.m);
-  }
+  const QueryPlan plan = BuildQueryPlan(options);
+  const std::vector<PatternQuery>& queries = plan.queries;
+  const bool enumerate = plan.enumerate();
+  const PatternConstraints& partition_constraints =
+      plan.partition_constraints;
 
   // --- Tracing (zero-cost when off: `tr` stays null and every record
   // site is one untaken branch). An explicit recorder wins; a bare
@@ -245,10 +163,6 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
     }
   }
   const std::int64_t restored_id = restored ? restored->id : 0;
-  auto restored_state = [&](const char* op,
-                            std::int32_t subtask) -> const std::string* {
-    return restored ? restored->Find(op, subtask) : nullptr;
-  };
   std::optional<flow::CheckpointCoordinator> coordinator;
   if (checkpointing) {
     const std::int32_t expected_acks =
@@ -259,33 +173,7 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
   }
   FaultInjector injector(options.fault);
   std::atomic<bool> crashed{false};
-  // Simulates a process kill: every channel is cancelled so blocked
-  // producers and consumers unwind instead of deadlocking on
-  // backpressure, and all in-flight data is dropped.
-  auto crash_all = [&] {
-    crashed.store(true);
-    source_exchange.Cancel();
-    snapshot_exchange.Cancel();
-    partition_exchange.Cancel();
-    if (query_exchange) query_exchange->Cancel();
-    if (sync_exchange) sync_exchange->Cancel();
-  };
-  // Snapshot-bytes accounting goes on the acking operator's input-exchange
-  // row; the coordinator separately totals persisted bytes under
-  // "checkpoint".
-  auto ack = [&](std::int64_t id, const char* op, std::int32_t subtask,
-                 std::string state, flow::StageStats* stats) {
-    if (stats != nullptr) {
-      stats->OnSnapshot(static_cast<std::int64_t>(state.size()), id);
-    }
-    const std::uint64_t t0 = tr != nullptr ? tr->NowNs() : 0;
-    coordinator->Ack(id, op, subtask, std::move(state));
-    if (tr != nullptr) {
-      // One span per operator ack, named after the operator; aux carries
-      // the checkpoint id so a timeline groups one cut's acks together.
-      tr->RecordSpanSince("checkpoint", op, subtask, kNoTime, t0, id);
-    }
-  };
+
   flow::StageStats* const assembler_stats = stats_for("source->assembler");
   flow::StageStats* const enumerate_stats =
       enumerate ? stats_for(options.join_parallel_cells
@@ -300,23 +188,7 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
   CompletionTracker tracker(p);
   TimeAccumulator cluster_time;
   TimeAccumulator enum_time;
-  std::atomic<std::int64_t> cluster_count{0};
-  std::atomic<std::int64_t> cluster_member_sum{0};
-  std::atomic<std::int64_t> snapshot_count{0};
-  // Delta-path counters (incremental mode); each worker folds its private
-  // cache's totals in once, when its input closes.
-  std::atomic<std::int64_t> delta_cells_seen{0};
-  std::atomic<std::int64_t> delta_cells_replayed{0};
-  std::atomic<std::int64_t> delta_dbscan_replays{0};
-  // Arena scratch footprint; folded the same way.
-  std::atomic<std::int64_t> arena_bytes{0};
-  std::atomic<std::int64_t> arena_allocations{0};
-
-  std::atomic<std::int64_t> enum_strings_opened{0};
-  std::atomic<std::int64_t> enum_strings_closed{0};
-  std::atomic<std::int64_t> enum_candidates_peak{0};
-  std::atomic<std::int64_t> enum_apriori_nodes{0};
-  std::atomic<std::int64_t> enum_apriori_pruned{0};
+  PipelineCounters counters;
 
   std::mutex collector_mu;
   std::vector<pattern::PatternCollector> collectors(queries.size());
@@ -329,6 +201,93 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
       if (options.on_pattern) options.on_pattern(pat);
     };
   };
+
+  // --- The deployment-independent subtask environment (see
+  // core/stage_workers.h). This single-process deployment cancels every
+  // exchange on a crash and acks straight into the coordinator.
+  StageEnv env;
+  env.options = &options;
+  env.tr = tr;
+  env.injector = &injector;
+  env.crashed = &crashed;
+  // Simulates a process kill: every channel is cancelled so blocked
+  // producers and consumers unwind instead of deadlocking on
+  // backpressure, and all in-flight data is dropped.
+  env.crash_all = [&] {
+    crashed.store(true);
+    source_exchange.Cancel();
+    snapshot_exchange.Cancel();
+    partition_exchange.Cancel();
+    if (query_exchange) query_exchange->Cancel();
+    if (sync_exchange) sync_exchange->Cancel();
+  };
+  // Snapshot-bytes accounting goes on the acking operator's input-exchange
+  // row; the coordinator separately totals persisted bytes under
+  // "checkpoint".
+  env.ack = [&](std::int64_t id, const char* op, std::int32_t subtask,
+                std::string state, flow::StageStats* stats) {
+    if (stats != nullptr) {
+      stats->OnSnapshot(static_cast<std::int64_t>(state.size()), id);
+    }
+    const std::uint64_t t0 = tr != nullptr ? tr->NowNs() : 0;
+    coordinator->Ack(id, op, subtask, std::move(state));
+    if (tr != nullptr) {
+      // One span per operator ack, named after the operator; aux carries
+      // the checkpoint id so a timeline groups one cut's acks together.
+      tr->RecordSpanSince("checkpoint", op, subtask, kNoTime, t0, id);
+    }
+  };
+  env.restored_state = [&](const char* op,
+                           std::int32_t subtask) -> const std::string* {
+    return restored ? restored->Find(op, subtask) : nullptr;
+  };
+  env.checkpointing = checkpointing;
+  env.restored_id = restored_id;
+  env.pop_batch_max = pop_batch_max;
+
+  // Completion progress: both the clustering-only and the enumeration
+  // paths mark snapshots answered through the same tracker.
+  ProgressFn progress = [&](std::int32_t worker, Timestamp through) {
+    for (const Timestamp done : tracker.Update(worker, through)) {
+      metrics.MarkComplete(done);
+    }
+  };
+
+  // Stage environments outlive the task group (workers hold references).
+  ClusterStageEnv cluster_env;
+  cluster_env.cluster_time = &cluster_time;
+  cluster_env.counters = &counters;
+  cluster_env.cluster_stats = options.join_parallel_cells
+                                  ? nullptr
+                                  : stats_for("assembler->cluster");
+  cluster_env.partition_constraints = &partition_constraints;
+  cluster_env.enumerate = enumerate;
+  cluster_env.progress = progress;
+
+  EnumerateStageEnv enumerate_env;
+  enumerate_env.queries = &queries;
+  enumerate_env.enum_time = &enum_time;
+  enumerate_env.counters = &counters;
+  enumerate_env.enumerate_stats = enumerate_stats;
+  enumerate_env.producers = p;
+  enumerate_env.transactional = checkpointing || restored.has_value();
+  enumerate_env.direct_sink = make_sink;
+  if (options.on_pattern) {
+    enumerate_env.on_pattern = [&](const CoMovementPattern& pat) {
+      std::lock_guard<std::mutex> lock(collector_mu);
+      options.on_pattern(pat);
+    };
+  }
+  enumerate_env.commit =
+      [&](std::vector<pattern::PatternCollector>&& logs) {
+        std::lock_guard<std::mutex> lock(collector_mu);
+        for (std::size_t q = 0; q < queries.size(); ++q) {
+          for (const CoMovementPattern& pat : logs[q].Patterns()) {
+            collectors[q].Add(pat);
+          }
+        }
+      };
+  enumerate_env.progress = progress;
 
   // Live time-series sampling runs for the whole pipeline lifetime,
   // including the drain; stopped (and joined) right after JoinAll.
@@ -343,174 +302,20 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
   // --- Source: replays records with birth-bound watermarks, either in
   // time order or deterministically shuffled inside a sliding window (the
   // §4 synchronisation then has to reassemble the chains downstream).
-  tasks.Spawn([&] {
-    flow::BatchingSender<GpsRecord> sender(source_exchange, 0,
-                                           options.exchange_batch_size, tr,
-                                           "records");
-    const auto throttle = [&] {
-      if (options.replay_delay_us > 0) {
-        std::this_thread::sleep_for(
-            std::chrono::microseconds(options.replay_delay_us));
-      }
-    };
-    if (options.replay_shuffle_window <= 0) {
-      Timestamp current = kNoTime;
-      std::size_t start_index = 0;
-      if (const std::string* bytes = restored_state("source", 0)) {
-        BinaryReader reader(*bytes);
-        start_index = static_cast<std::size_t>(reader.ReadU64());
-        current = static_cast<Timestamp>(reader.ReadI64());
-        COMOVE_CHECK_MSG(reader.ok() && reader.AtEnd() &&
-                             start_index <= dataset.records.size(),
-                         "corrupt source checkpoint");
-        // The cut fell on a time boundary: the saved `current` equals the
-        // resume record's time, so the boundary branch below does not
-        // re-fire and no watermark is replayed.
-      }
-      std::int64_t next_checkpoint = restored_id + 1;
-      std::int64_t snaps_since_barrier = 0;
-      // One "emit" span per snapshot time: first record sent to last (the
-      // span a backpressured source shows as stretched).
-      std::uint64_t emit_start_ns = tr != nullptr ? tr->NowNs() : 0;
-      for (std::size_t i = start_index; i < dataset.records.size(); ++i) {
-        const GpsRecord& record = dataset.records[i];
-        if (record.time != current) {
-          COMOVE_CHECK(record.time > current);
-          if (crashed.load(std::memory_order_relaxed)) break;
-          if (tr != nullptr && current != kNoTime) {
-            tr->RecordSpanSince("source", "emit", 0, current,
-                                emit_start_ns);
-          }
-          // No trajectory can be born before this batch's time anymore.
-          sender.BroadcastWatermark(record.time - 1);
-          current = record.time;
-          throttle();
-          if (checkpointing &&
-              ++snaps_since_barrier >= options.checkpoint_interval) {
-            snaps_since_barrier = 0;
-            // Snapshot the replay offset at the boundary - before any
-            // record of `current` - then emit the barrier: everything
-            // before index i is the checkpoint's pre-image.
-            std::string state;
-            BinaryWriter writer(&state);
-            writer.WriteU64(i);
-            writer.WriteI64(current);
-            ack(next_checkpoint, "source", 0, std::move(state), nullptr);
-            sender.BroadcastBarrier(next_checkpoint);
-            ++next_checkpoint;
-          }
-          if (tr != nullptr) emit_start_ns = tr->NowNs();
-        }
-        sender.Send(0, record);
-      }
-      if (current != kNoTime && !crashed.load()) {
-        if (tr != nullptr) {
-          tr->RecordSpanSince("source", "emit", 0, current, emit_start_ns);
-        }
-        sender.BroadcastWatermark(current);
-      }
-      sender.Close();
-      return;
-    }
-    // Shuffled replay: flush blocks of `window` consecutive time units in
-    // a random permutation; the watermark trails each complete block.
-    Rng rng(options.shuffle_seed);
-    const Timestamp window = options.replay_shuffle_window;
-    std::vector<GpsRecord> block;
-    Timestamp block_start = kNoTime;
-    auto flush = [&] {
-      const std::uint64_t t0 = tr != nullptr ? tr->NowNs() : 0;
-      for (std::size_t i = block.size(); i > 1; --i) {
-        std::swap(block[i - 1],
-                  block[static_cast<std::size_t>(rng.UniformInt(
-                      0, static_cast<std::int64_t>(i) - 1))]);
-      }
-      Timestamp max_time = kNoTime;
-      for (const GpsRecord& record : block) {
-        max_time = std::max(max_time, record.time);
-        sender.Send(0, record);
-      }
-      if (max_time != kNoTime) {
-        sender.BroadcastWatermark(max_time);
-        // Shuffled replay has no per-time boundary; one span per flushed
-        // window block, tagged with the block's newest time.
-        if (tr != nullptr) {
-          tr->RecordSpanSince("source", "emit_block", 0, max_time, t0);
-        }
-      }
-      block.clear();
-    };
-    for (const GpsRecord& record : dataset.records) {
-      if (block_start == kNoTime) block_start = record.time;
-      if (record.time >= block_start + window) {
-        flush();
-        block_start = record.time;
-        throttle();
-      }
-      block.push_back(record);
-    }
-    flush();
-    sender.Close();
-  });
+  tasks.Spawn([&] { RunSourceSubtask(dataset, env, source_exchange); });
 
   // --- Assembler: §4 last-time synchronisation into snapshots.
   tasks.Spawn([&] {
-    flow::SnapshotAssembler assembler;
-    if (const std::string* bytes = restored_state("assembler", 0)) {
-      BinaryReader reader(*bytes);
-      COMOVE_CHECK_MSG(assembler.RestoreState(&reader),
-                       "corrupt assembler checkpoint");
-    }
-    auto route = [&](std::vector<Snapshot> snapshots) {
-      for (Snapshot& snapshot : snapshots) {
-        const Timestamp t = snapshot.time;
-        // The span covers ingest-mark to watermark broadcast - i.e. it
-        // absorbs downstream backpressure on the snapshot exchange.
-        const std::uint64_t t0 = tr != nullptr ? tr->NowNs() : 0;
-        metrics.MarkIngest(t);
-        tracker.Register(t);
-        snapshot_count.fetch_add(1, std::memory_order_relaxed);
-        snapshot_exchange.Send(0, static_cast<std::size_t>(t) %
-                                      static_cast<std::size_t>(p),
-                               std::move(snapshot));
-        snapshot_exchange.BroadcastWatermark(0, t);
-        if (tr != nullptr) {
-          tr->RecordSpanSince("assembler", "route", 0, t, t0);
-        }
-      }
-    };
-    auto& input = source_exchange.channel(0);
-    std::vector<flow::Element<GpsRecord>> batch;
-    while (input.PopBatch(batch, pop_batch_max) > 0) {
-      for (flow::Element<GpsRecord>& element : batch) {
-        if (element.is_data()) {
-          route(assembler.OnRecord(element.data));
-        } else if (element.is_barrier()) {
-          // Single producer: the barrier needs no alignment; snapshot,
-          // ack, and forward.
-          std::string state;
-          BinaryWriter writer(&state);
-          assembler.SaveState(&writer);
-          ack(element.checkpoint, "assembler", 0, std::move(state),
-              assembler_stats);
-          snapshot_exchange.BroadcastBarrier(0, element.checkpoint);
-        } else {
-          route(assembler.AdvanceBirthBound(element.watermark));
-        }
-      }
-    }
-    if (!crashed.load()) {
-      route(assembler.Finish());
-      snapshot_exchange.BroadcastWatermark(0, kMaxTime);
-    }
-    snapshot_exchange.CloseProducer(0);
+    RunAssemblerSubtask(env, source_exchange.channel(0), snapshot_exchange,
+                        &metrics, &tracker, &counters, assembler_stats);
   });
 
-  // Shared post-clustering actions of both clustering execution modes.
+  // Shared post-clustering actions of the cell-parallel mode (the
+  // snapshot-parallel equivalents live inside RunClusterSubtask).
   auto record_cluster_stats = [&](const ClusterSnapshot& clustered) {
     for (const Cluster& c : clustered.clusters) {
-      cluster_count.fetch_add(1, std::memory_order_relaxed);
-      cluster_member_sum.fetch_add(
+      counters.cluster_count.fetch_add(1, std::memory_order_relaxed);
+      counters.cluster_member_sum.fetch_add(
           static_cast<std::int64_t>(c.members.size()),
           std::memory_order_relaxed);
     }
@@ -526,85 +331,22 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
       out.Send(target, std::move(part));
     }
   };
-  auto clustering_progress = [&](flow::BatchingSender<pattern::Partition>& out,
-                                 std::int32_t worker, Timestamp w) {
-    if (enumerate) {
-      out.BroadcastWatermark(w);
-    } else {
-      for (const Timestamp done : tracker.Update(worker, w)) {
-        metrics.MarkComplete(done);
-      }
-    }
-  };
+  auto clustering_progress =
+      [&](flow::BatchingSender<pattern::Partition>& out,
+          std::int32_t worker, Timestamp w) {
+        if (enumerate) {
+          out.BroadcastWatermark(w);
+        } else {
+          progress(worker, w);
+        }
+      };
 
   if (!options.join_parallel_cells) {
     // --- Cluster workers: snapshot-parallel indexed clustering (§5.3).
-    flow::StageStats* const cluster_stats = stats_for("assembler->cluster");
-    tasks.SpawnIndexed(p, [&, record_cluster_stats, route_partitions,
-                           clustering_progress,
-                           cluster_stats](std::int32_t worker) {
-      flow::BatchingSender<pattern::Partition> partition_sender(
-          partition_exchange, worker, options.exchange_batch_size, tr,
-          "partitions");
-      // Join + DBSCAN working memory, reused across this worker's snapshots.
-      cluster::ClusterScratch scratch;
-      auto& input = snapshot_exchange.channel(worker);
-      while (auto element = input.Pop()) {
-        if (element->is_data()) {
-          const Timestamp t = element->data.time;
-          Stopwatch watch;
-          cluster::ClusterPhaseNs phases;
-          const std::uint64_t t0 = tr != nullptr ? tr->NowNs() : 0;
-          const ClusterSnapshot clustered = cluster::ClusterSnapshotWith(
-              options.clustering, element->data, options.cluster_options,
-              scratch, tr != nullptr ? &phases : nullptr);
-          cluster_time.Add(watch.ElapsedMillis());
-          if (tr != nullptr) {
-            // The two phases tile the clustering call: join first, then
-            // DBSCAN back-dated to start where the join ended.
-            tr->RecordSpan("join", "neighbor_pairs", worker, t, t0,
-                           phases.join_ns);
-            tr->RecordSpan("dbscan", "dbscan", worker, t,
-                           t0 + phases.join_ns, phases.dbscan_ns);
-          }
-          record_cluster_stats(clustered);
-          if (enumerate) route_partitions(partition_sender, clustered);
-        } else if (element->is_barrier()) {
-          // Single producer (the assembler): no alignment needed. The
-          // worker is stateless - its scratch is derivable - so it acks
-          // with an empty payload and forwards.
-          const std::int64_t id = element->checkpoint;
-          if (injector.ShouldCrash("cluster", worker, id)) {
-            crash_all();
-            return;
-          }
-          ack(id, "cluster", worker, std::string(), cluster_stats);
-          if (enumerate) partition_sender.BroadcastBarrier(id);
-        } else {
-          // All of this worker's snapshots <= watermark are done (FIFO).
-          clustering_progress(partition_sender, worker, element->watermark);
-        }
-      }
-      delta_cells_seen.fetch_add(
-          static_cast<std::int64_t>(scratch.join.delta.cells_seen),
-          std::memory_order_relaxed);
-      delta_cells_replayed.fetch_add(
-          static_cast<std::int64_t>(scratch.join.delta.cells_replayed),
-          std::memory_order_relaxed);
-      delta_dbscan_replays.fetch_add(
-          static_cast<std::int64_t>(scratch.dbscan_memo.replays),
-          std::memory_order_relaxed);
-      arena_bytes.fetch_add(
-          static_cast<std::int64_t>(
-              scratch.join.cell.sweep.arena.block_bytes() +
-              scratch.dbscan.arena.block_bytes()),
-          std::memory_order_relaxed);
-      arena_allocations.fetch_add(
-          static_cast<std::int64_t>(
-              scratch.join.cell.sweep.arena.allocations() +
-              scratch.dbscan.arena.allocations()),
-          std::memory_order_relaxed);
-      if (enumerate) partition_sender.Close();
+    tasks.SpawnIndexed(p, [&](std::int32_t worker) {
+      RunClusterSubtask(worker, env, cluster_env,
+                        snapshot_exchange.channel(worker),
+                        partition_exchange);
     });
   } else {
     // --- The literal Fig. 5 dataflow: GridAllocate -> cell-keyed
@@ -670,7 +412,8 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
           // Single producer, stateless stage: ack empty and fan the
           // barrier out on both output exchanges.
           const std::int64_t id = element->checkpoint;
-          ack(id, "grid_allocate", worker, std::string(), allocate_stats);
+          env.ack(id, "grid_allocate", worker, std::string(),
+                  allocate_stats);
           cell_sender.BroadcastBarrier(id);
           sync_exchange->BroadcastBarrier(worker, id);
         } else {
@@ -701,7 +444,8 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
       // Derived state: never checkpointed, so recovery starts it cold.
       cluster::CellDeltaCache delta_cache;
       const bool incremental = options.cluster_options.join.incremental;
-      if (const std::string* bytes = restored_state("grid_query", worker)) {
+      if (const std::string* bytes =
+              env.restored_state("grid_query", worker)) {
         BinaryReader reader(*bytes);
         COMOVE_CHECK_MSG(aligner.RestoreState(&reader),
                          "corrupt grid_query checkpoint");
@@ -783,7 +527,8 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
             }
           }
         }
-        ack(id, "grid_query", worker, std::move(state), grid_query_stats);
+        env.ack(id, "grid_query", worker, std::move(state),
+                grid_query_stats);
         sync_exchange->BroadcastBarrier(p + worker, id);
         return true;
       };
@@ -800,18 +545,19 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
           }
         }
       }
-      if (!crashed.load()) process_through(kMaxTime);
-      delta_cells_seen.fetch_add(
+      if (!crashed.load()) process_through(kEndOfStreamTime);
+      counters.delta_cells_seen.fetch_add(
           static_cast<std::int64_t>(delta_cache.cells_seen),
           std::memory_order_relaxed);
-      delta_cells_replayed.fetch_add(
+      counters.delta_cells_replayed.fetch_add(
           static_cast<std::int64_t>(delta_cache.cells_replayed),
           std::memory_order_relaxed);
-      arena_bytes.fetch_add(
+      counters.arena_bytes.fetch_add(
           static_cast<std::int64_t>(cell_scratch.sweep.arena.block_bytes()),
           std::memory_order_relaxed);
-      arena_allocations.fetch_add(
-          static_cast<std::int64_t>(cell_scratch.sweep.arena.allocations()),
+      counters.arena_allocations.fetch_add(
+          static_cast<std::int64_t>(
+              cell_scratch.sweep.arena.allocations()),
           std::memory_order_relaxed);
       sync_exchange->CloseProducer(p + worker);
     });
@@ -840,7 +586,8 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
       // snapshot it clustered. Derived state - recovery starts it cold.
       cluster::DbscanMemo dbscan_memo;
       const bool incremental = options.cluster_options.join.incremental;
-      if (const std::string* bytes = restored_state("grid_sync", worker)) {
+      if (const std::string* bytes =
+              env.restored_state("grid_sync", worker)) {
         BinaryReader reader(*bytes);
         COMOVE_CHECK_MSG(aligner.RestoreState(&reader),
                          "corrupt grid_sync checkpoint");
@@ -914,7 +661,7 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
         // mode: the snapshot below is never taken, so checkpoint `id`
         // cannot complete.
         if (injector.ShouldCrash("cluster", worker, id)) {
-          crash_all();
+          env.crash_all();
           alive = false;
           return false;
         }
@@ -931,7 +678,8 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
             WriteNeighborPair(&writer, pair);
           }
         }
-        ack(id, "grid_sync", worker, std::move(state), grid_sync_stats);
+        env.ack(id, "grid_sync", worker, std::move(state),
+                grid_sync_stats);
         if (enumerate) partition_sender.BroadcastBarrier(id);
         return true;
       };
@@ -947,14 +695,14 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
           handle(std::move(*element));
         }
       }
-      if (!crashed.load()) process_through(kMaxTime);
-      delta_dbscan_replays.fetch_add(
+      if (!crashed.load()) process_through(kEndOfStreamTime);
+      counters.delta_dbscan_replays.fetch_add(
           static_cast<std::int64_t>(dbscan_memo.replays),
           std::memory_order_relaxed);
-      arena_bytes.fetch_add(
+      counters.arena_bytes.fetch_add(
           static_cast<std::int64_t>(dbscan_scratch.arena.block_bytes()),
           std::memory_order_relaxed);
-      arena_allocations.fetch_add(
+      counters.arena_allocations.fetch_add(
           static_cast<std::int64_t>(dbscan_scratch.arena.allocations()),
           std::memory_order_relaxed);
       if (enumerate) partition_sender.Close();
@@ -964,188 +712,8 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
   // --- Enumeration workers: id-partitioned BA / FBA / VBA.
   if (enumerate) {
     tasks.SpawnIndexed(p, [&](std::int32_t worker) {
-      // Exactly-once sinks: while checkpointing (or resuming), patterns
-      // are folded into per-query worker-local collectors that are part of
-      // the checkpointed state, and merged into the shared collectors only
-      // at a NORMAL exit. A crash discards the uncommitted tail; recovery
-      // restores the fold as of the cut and regenerates the rest - so the
-      // merged output is bit-identical to a failure-free run. Folding
-      // (instead of logging raw emissions) is safe because the shared
-      // merge applies the same keep-longest-per-object-set rule, and keeps
-      // checkpoint state proportional to distinct patterns rather than
-      // total emissions.
-      const bool transactional = checkpointing || restored.has_value();
-      std::vector<pattern::PatternCollector> logs(queries.size());
-      auto sink_for = [&](std::size_t q) -> pattern::PatternSink {
-        if (!transactional) return make_sink(q);
-        return [&logs, &options, &collector_mu,
-                q](const CoMovementPattern& pat) {
-          logs[q].Add(pat);
-          if (options.on_pattern) {
-            std::lock_guard<std::mutex> lock(collector_mu);
-            options.on_pattern(pat);
-          }
-        };
-      };
-      // One enumerator per query; all consume the shared partition stream.
-      std::vector<std::unique_ptr<pattern::StreamingEnumerator>> enumerators;
-      for (std::size_t q = 0; q < queries.size(); ++q) {
-        enumerators.push_back(MakeEnumerator(
-            queries[q].enumerator, queries[q].constraints, sink_for(q)));
-      }
-      flow::WatermarkAligner aligner(p);
-      flow::TimeReorderBuffer<pattern::Partition> buffer;
-      if (const std::string* bytes = restored_state("enumerate", worker)) {
-        BinaryReader reader(*bytes);
-        COMOVE_CHECK_MSG(aligner.RestoreState(&reader),
-                         "corrupt enumerate checkpoint");
-        COMOVE_CHECK_MSG(buffer.RestoreState(&reader, ReadPartition),
-                         "corrupt enumerate checkpoint");
-        const std::uint64_t query_count = reader.ReadU64();
-        COMOVE_CHECK_MSG(reader.ok() && query_count == queries.size(),
-                         "corrupt enumerate checkpoint");
-        for (std::size_t q = 0; q < queries.size(); ++q) {
-          COMOVE_CHECK_MSG(enumerators[q]->RestoreState(&reader),
-                           "corrupt enumerate checkpoint");
-          const std::uint64_t emitted = reader.ReadU64();
-          if (!reader.ok()) break;
-          for (std::uint64_t i = 0; i < emitted && reader.ok(); ++i) {
-            logs[q].Add(ReadPattern(&reader));
-          }
-        }
-        COMOVE_CHECK_MSG(reader.ok() && reader.AtEnd(),
-                         "corrupt enumerate checkpoint");
-      }
-
-      // The worker is done with a time only when EVERY query is.
-      auto finalized_through = [&]() {
-        Timestamp through = kMaxTime;
-        for (const auto& e : enumerators) {
-          const Timestamp f = e->FinalizedThrough();
-          through = std::min(through, f == kNoTime
-                                          ? std::numeric_limits<
-                                                Timestamp>::min()
-                                          : f);
-        }
-        return through;
-      };
-
-      auto feed = [&](std::vector<std::pair<Timestamp, pattern::Partition>>
-                          batch) {
-        std::size_t i = 0;
-        while (i < batch.size()) {
-          const Timestamp t = batch[i].first;
-          std::vector<pattern::Partition> parts;
-          while (i < batch.size() && batch[i].first == t) {
-            parts.push_back(std::move(batch[i].second));
-            ++i;
-          }
-          Stopwatch watch;
-          const std::uint64_t t0 = tr != nullptr ? tr->NowNs() : 0;
-          for (std::size_t q = 0; q < enumerators.size(); ++q) {
-            // The last query consumes the originals; earlier ones copies.
-            enumerators[q]->OnPartitions(
-                t, q + 1 == enumerators.size()
-                       ? std::move(parts)
-                       : std::vector<pattern::Partition>(parts));
-          }
-          enum_time.Add(watch.ElapsedMillis());
-          if (tr != nullptr) {
-            tr->RecordSpanSince("enumerate", "tick", worker, t, t0);
-          }
-        }
-      };
-
-      auto handle = [&](flow::Element<pattern::Partition>&& element) {
-        if (element.is_data()) {
-          buffer.Add(element.data.time, std::move(element.data));
-        } else if (auto advanced = aligner.Update(element.producer,
-                                                  element.watermark)) {
-          const Timestamp w = *advanced;
-          feed(buffer.DrainThrough(w));
-          if (w != kMaxTime) {
-            Stopwatch watch;
-            for (const auto& e : enumerators) e->AdvanceTime(w);
-            enum_time.Add(watch.ElapsedMillis());
-          }
-          // A snapshot counts as answered once its pattern decisions
-          // are final across every query (for VBA this is deferred
-          // until strings close - the §6.3 latency/throughput trade).
-          for (const Timestamp done :
-               tracker.Update(worker, finalized_through())) {
-            metrics.MarkComplete(done);
-          }
-        }
-      };
-      bool alive = true;
-      // Sized like the previous snapshot (plus 25% growth headroom) so the
-      // serialisation pass does not redo the string's doubling reallocs on
-      // every checkpoint.
-      std::size_t last_state_bytes = 0;
-      auto on_checkpoint = [&](std::int64_t id) {
-        if (injector.ShouldCrash("enumerate", worker, id)) {
-          crash_all();
-          alive = false;
-          return false;
-        }
-        std::string state;
-        state.reserve(last_state_bytes + (last_state_bytes >> 2) + 1024);
-        BinaryWriter writer(&state);
-        aligner.SaveState(&writer);
-        buffer.SaveState(&writer, WritePartition);
-        writer.WriteU64(enumerators.size());
-        for (std::size_t q = 0; q < enumerators.size(); ++q) {
-          enumerators[q]->SaveState(&writer);
-          writer.WriteU64(logs[q].size());
-          for (const auto& [objects, pat] : logs[q].entries()) {
-            WritePattern(&writer, pat);
-          }
-        }
-        last_state_bytes = state.size();
-        ack(id, "enumerate", worker, std::move(state), enumerate_stats);
-        return true;
-      };
-      flow::BarrierAligner<pattern::Partition> barriers(
-          p, restored_id, enumerate_stats, tr, worker);
-      auto& input = partition_exchange.channel(worker);
-      std::vector<flow::Element<pattern::Partition>> batch;
-      while (alive && input.PopBatch(batch, pop_batch_max) > 0) {
-        for (flow::Element<pattern::Partition>& element : batch) {
-          if (!alive) break;
-          if (checkpointing) {
-            barriers.OnElement(std::move(element), handle, on_checkpoint);
-          } else {
-            handle(std::move(element));
-          }
-        }
-      }
-      if (crashed.load()) return;  // uncommitted logs die with the crash
-      feed(buffer.DrainAll());
-      for (const auto& e : enumerators) e->Finish();
-      for (const auto& e : enumerators) {
-        const pattern::EnumerationStats es = e->enumeration_stats();
-        enum_strings_opened.fetch_add(es.strings_opened,
-                                      std::memory_order_relaxed);
-        enum_strings_closed.fetch_add(es.strings_closed,
-                                      std::memory_order_relaxed);
-        enum_candidates_peak.fetch_add(es.candidates_peak,
-                                       std::memory_order_relaxed);
-        enum_apriori_nodes.fetch_add(es.apriori_nodes,
-                                     std::memory_order_relaxed);
-        enum_apriori_pruned.fetch_add(es.apriori_pruned,
-                                      std::memory_order_relaxed);
-      }
-      if (transactional) {
-        std::lock_guard<std::mutex> lock(collector_mu);
-        for (std::size_t q = 0; q < queries.size(); ++q) {
-          for (const CoMovementPattern& pat : logs[q].Patterns()) {
-            collectors[q].Add(pat);
-          }
-        }
-      }
-      for (const Timestamp done : tracker.Update(worker, kMaxTime)) {
-        metrics.MarkComplete(done);
-      }
+      RunEnumerateSubtask(worker, env, enumerate_env,
+                          partition_exchange.channel(worker));
     });
   }
 
@@ -1195,23 +763,23 @@ IcpeResult RunIcpe(const trajgen::Dataset& dataset,
   }
   result.avg_cluster_ms = cluster_time.Average();
   result.avg_enum_ms = enum_time.Average();
-  result.cluster_count = cluster_count.load();
-  result.snapshot_count = snapshot_count.load();
+  result.cluster_count = counters.cluster_count.load();
+  result.snapshot_count = counters.snapshot_count.load();
   result.avg_cluster_size =
       result.cluster_count > 0
-          ? static_cast<double>(cluster_member_sum.load()) /
+          ? static_cast<double>(counters.cluster_member_sum.load()) /
                 static_cast<double>(result.cluster_count)
           : 0.0;
-  result.delta_cells_seen = delta_cells_seen.load();
-  result.delta_cells_replayed = delta_cells_replayed.load();
-  result.delta_dbscan_replays = delta_dbscan_replays.load();
-  result.arena_bytes = arena_bytes.load();
-  result.arena_allocations = arena_allocations.load();
-  result.enum_strings_opened = enum_strings_opened.load();
-  result.enum_strings_closed = enum_strings_closed.load();
-  result.enum_candidates_peak = enum_candidates_peak.load();
-  result.enum_apriori_nodes = enum_apriori_nodes.load();
-  result.enum_apriori_pruned = enum_apriori_pruned.load();
+  result.delta_cells_seen = counters.delta_cells_seen.load();
+  result.delta_cells_replayed = counters.delta_cells_replayed.load();
+  result.delta_dbscan_replays = counters.delta_dbscan_replays.load();
+  result.arena_bytes = counters.arena_bytes.load();
+  result.arena_allocations = counters.arena_allocations.load();
+  result.enum_strings_opened = counters.enum_strings_opened.load();
+  result.enum_strings_closed = counters.enum_strings_closed.load();
+  result.enum_candidates_peak = counters.enum_candidates_peak.load();
+  result.enum_apriori_nodes = counters.enum_apriori_nodes.load();
+  result.enum_apriori_pruned = counters.enum_apriori_pruned.load();
   return result;
 }
 

@@ -43,7 +43,13 @@ inline Snapshot ReadSnapshot(BinaryReader* r) {
   Snapshot s;
   s.time = r->ReadI32();
   const std::uint64_t count = r->ReadU64();
-  if (!r->ok() || count > r->remaining()) return {};
+  if (!r->ok() || count > r->remaining()) {
+    // An entry count beyond the remaining bytes is corruption, and must
+    // FAIL the reader - returning an empty snapshot with the reader
+    // still ok would let a truncated wire element decode silently.
+    r->MarkCorrupt();
+    return {};
+  }
   s.entries.reserve(static_cast<std::size_t>(count));
   for (std::uint64_t i = 0; i < count && r->ok(); ++i) {
     SnapshotEntry e;

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "flow/channel.h"
 #include "flow/element.h"
+#include "flow/net/transport.h"
 #include "flow/trace.h"
 
 /// \file
@@ -27,14 +28,16 @@
 namespace comove::flow {
 
 /// An all-to-all exchange of Element<T> between `producers` upstream
-/// subtasks and `consumers` downstream subtasks.
+/// subtasks and `consumers` downstream subtasks: the in-process
+/// Transport implementation (and the default - see flow/net/transport.h
+/// for the seam and the socket implementation behind it).
 ///
 /// When a StageStats is supplied, every consumer channel reports into it,
 /// so the stats aggregate the whole exchange: pushed/popped record and
 /// watermark counts, current/max total queue depth, and cumulative
 /// blocked-time split into backpressure (Push) and starvation (Pop).
 template <typename T>
-class Exchange {
+class Exchange final : public Transport<T> {
  public:
   Exchange(std::int32_t producers, std::int32_t consumers,
            std::size_t capacity_per_channel = 256,
@@ -51,14 +54,24 @@ class Exchange {
     }
   }
 
-  std::int32_t producers() const { return producers_; }
-  std::int32_t consumers() const { return consumers_; }
+  std::int32_t producers() const override { return producers_; }
+  std::int32_t consumers() const override { return consumers_; }
 
   /// Sends a data element from `producer` to consumer subtask `partition`.
-  void Send(std::int32_t producer, std::size_t partition, T value) {
+  void Send(std::int32_t producer, std::size_t partition,
+            T value) override {
     COMOVE_CHECK(partition < channels_.size());
     channels_[partition]->Push(
         Element<T>::Data(std::move(value), producer));
+  }
+
+  /// Ships a pre-built element batch to one consumer with a single
+  /// Channel::PushBatch (one lock round-trip); the batch is drained in
+  /// place so the caller reuses its capacity.
+  void PushBatch(std::int32_t /*producer*/, std::size_t partition,
+                 std::vector<Element<T>>&& batch) override {
+    COMOVE_CHECK(partition < channels_.size());
+    channels_[partition]->PushBatch(std::move(batch));
   }
 
   /// Broadcasts a data element from `producer` to every consumer.
@@ -69,7 +82,7 @@ class Exchange {
   }
 
   /// Broadcasts watermark `t` from `producer` to every consumer.
-  void BroadcastWatermark(std::int32_t producer, Timestamp t) {
+  void BroadcastWatermark(std::int32_t producer, Timestamp t) override {
     for (auto& ch : channels_) {
       ch->Push(Element<T>::Watermark(t, producer));
     }
@@ -78,24 +91,25 @@ class Exchange {
   /// Broadcasts checkpoint barrier `checkpoint` from `producer` to every
   /// consumer. Everything this producer sent before the barrier belongs
   /// to the checkpoint's pre-image on every channel (FIFO per producer).
-  void BroadcastBarrier(std::int32_t producer, std::int64_t checkpoint) {
+  void BroadcastBarrier(std::int32_t producer,
+                        std::int64_t checkpoint) override {
     for (auto& ch : channels_) {
       ch->Push(Element<T>::Barrier(checkpoint, producer));
     }
   }
 
   /// Marks `producer` as finished on every consumer channel.
-  void CloseProducer(std::int32_t /*producer*/) {
+  void CloseProducer(std::int32_t /*producer*/) override {
     for (auto& ch : channels_) ch->CloseProducer();
   }
 
   /// Cancels every consumer channel (crash teardown; see Channel::Cancel).
-  void Cancel() {
+  void Cancel() override {
     for (auto& ch : channels_) ch->Cancel();
   }
 
   /// The input channel of consumer subtask `consumer`.
-  Channel<Element<T>>& channel(std::int32_t consumer) {
+  Channel<Element<T>>& channel(std::int32_t consumer) override {
     return *channels_.at(static_cast<std::size_t>(consumer));
   }
 
@@ -105,7 +119,7 @@ class Exchange {
   std::vector<std::unique_ptr<Channel<Element<T>>>> channels_;
 };
 
-/// Producer-side batching façade over one Exchange, owned by exactly one
+/// Producer-side batching façade over one Transport edge, owned by exactly one
 /// producer subtask (not thread-safe; make one per producer). Data records
 /// accumulate per destination partition and are flushed as a single
 /// batched push when a partition reaches `batch_size`, when a watermark is
@@ -124,15 +138,15 @@ class BatchingSender {
   /// `trace`, when non-null, records one "flush" span per shipped batch
   /// (subtask = producer, aux = batch size) under `trace_name` - by
   /// convention the destination the batches feed, e.g. "partitions".
-  BatchingSender(Exchange<T>& exchange, std::int32_t producer,
+  BatchingSender(Transport<T>& transport, std::int32_t producer,
                  std::size_t batch_size, TraceRecorder* trace = nullptr,
                  const char* trace_name = "flush")
-      : exchange_(&exchange),
+      : transport_(&transport),
         producer_(producer),
         batch_size_(batch_size),
         trace_(trace),
         trace_name_(trace_name),
-        pending_(static_cast<std::size_t>(exchange.consumers())) {}
+        pending_(static_cast<std::size_t>(transport.consumers())) {}
 
   BatchingSender(const BatchingSender&) = delete;
   BatchingSender& operator=(const BatchingSender&) = delete;
@@ -141,7 +155,7 @@ class BatchingSender {
   /// partition's buffer when it reaches the batch size.
   void Send(std::size_t partition, T value) {
     if (batch_size_ <= 1) {
-      exchange_->Send(producer_, partition, std::move(value));
+      transport_->Send(producer_, partition, std::move(value));
       return;
     }
     COMOVE_CHECK(partition < pending_.size());
@@ -157,7 +171,7 @@ class BatchingSender {
   /// Flushes all pending data, then broadcasts watermark `t`.
   void BroadcastWatermark(Timestamp t) {
     FlushAll();
-    exchange_->BroadcastWatermark(producer_, t);
+    transport_->BroadcastWatermark(producer_, t);
   }
 
   /// Flushes all pending data, then broadcasts checkpoint barrier
@@ -165,7 +179,7 @@ class BatchingSender {
   /// so they stay inside the checkpoint's pre-image.
   void BroadcastBarrier(std::int64_t checkpoint) {
     FlushAll();
-    exchange_->BroadcastBarrier(producer_, checkpoint);
+    transport_->BroadcastBarrier(producer_, checkpoint);
   }
 
   /// Ships every non-empty partition buffer now.
@@ -178,7 +192,7 @@ class BatchingSender {
   /// Flushes pending data and closes this producer on the exchange.
   void Close() {
     FlushAll();
-    exchange_->CloseProducer(producer_);
+    transport_->CloseProducer(producer_);
   }
 
   std::size_t batch_size() const { return batch_size_; }
@@ -189,15 +203,14 @@ class BatchingSender {
   void Ship(std::size_t partition, std::vector<Element<T>>& buffer) {
     const std::int64_t n = static_cast<std::int64_t>(buffer.size());
     const std::uint64_t start_ns = trace_ != nullptr ? trace_->NowNs() : 0;
-    exchange_->channel(static_cast<std::int32_t>(partition))
-        .PushBatch(std::move(buffer));
+    transport_->PushBatch(producer_, partition, std::move(buffer));
     if (trace_ != nullptr) {
       trace_->RecordSpanSince("flush", trace_name_, producer_, kNoTime,
                               start_ns, n);
     }
   }
 
-  Exchange<T>* exchange_;
+  Transport<T>* transport_;
   std::int32_t producer_;
   std::size_t batch_size_;
   TraceRecorder* trace_;

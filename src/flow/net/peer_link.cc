@@ -1,0 +1,67 @@
+#include "flow/net/peer_link.h"
+
+#include <sys/socket.h>
+
+#include "common/frame.h"
+
+namespace comove::flow::net {
+
+PeerLink::~PeerLink() { Shutdown(); }
+
+bool PeerLink::SendFrame(std::string_view payload) {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  if (dead_.load(std::memory_order_relaxed)) return false;
+  send_buffer_.clear();
+  AppendFrame(&send_buffer_, payload);
+  if (!WriteFull(fd_.get(), send_buffer_.data(), send_buffer_.size())) {
+    dead_.store(true, std::memory_order_release);
+    return false;
+  }
+  return true;
+}
+
+bool PeerLink::ReadOneFrame(std::string* payload) {
+  char header_bytes[kFrameHeaderBytes];
+  if (!ReadFull(fd_.get(), header_bytes, sizeof(header_bytes))) {
+    return false;
+  }
+  const auto header = DecodeFrameHeader(header_bytes);
+  if (!header) return false;
+  payload->resize(header->payload_bytes);
+  if (header->payload_bytes > 0 &&
+      !ReadFull(fd_.get(), payload->data(), payload->size())) {
+    return false;
+  }
+  return ValidateFramePayload(*header, *payload);
+}
+
+bool PeerLink::ReadFrameBlocking(std::string* payload,
+                                 std::int64_t timeout_ms) {
+  if (!PollReadable(fd_.get(), timeout_ms)) return false;
+  return ReadOneFrame(payload);
+}
+
+void PeerLink::Start(std::function<void(std::string_view)> on_frame,
+                     std::function<void()> on_close) {
+  reader_ = std::thread([this, on_frame = std::move(on_frame),
+                         on_close = std::move(on_close)] {
+    while (ReadOneFrame(&read_buffer_)) {
+      on_frame(read_buffer_);
+    }
+    dead_.store(true, std::memory_order_release);
+    if (on_close) on_close();
+  });
+}
+
+void PeerLink::CloseSend() {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_WR);
+}
+
+void PeerLink::Shutdown() {
+  if (reader_.joinable()) reader_.join();
+  dead_.store(true, std::memory_order_release);
+  fd_.Reset();
+}
+
+}  // namespace comove::flow::net

@@ -1,0 +1,48 @@
+#ifndef COMOVE_FLOW_NET_SOCKET_H_
+#define COMOVE_FLOW_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/net_io.h"
+
+/// \file
+/// Stream-socket addressing for the net transport. Addresses are strings
+/// with an explicit scheme so every tool flag, config frame, and log line
+/// uses one format:
+///
+///   unix:/path/to/socket      UNIX-domain stream socket
+///   tcp:127.0.0.1:PORT        TCP loopback (PORT 0 = ephemeral on listen)
+///
+/// Listen() returns the concrete address (ephemeral port resolved), which
+/// is what coordinators advertise to workers.
+
+namespace comove::flow::net {
+
+/// A bound, listening socket plus its concrete address.
+struct Listener {
+  UniqueFd fd;
+  std::string address;  ///< with the scheme, ephemeral port resolved
+
+  bool valid() const { return fd.valid(); }
+};
+
+/// True when `address` carries a recognised scheme.
+bool IsValidAddress(const std::string& address);
+
+/// Binds and listens on `address`. On failure returns an invalid
+/// Listener and fills `*error` when non-null.
+Listener Listen(const std::string& address, std::string* error = nullptr);
+
+/// Accepts one connection, waiting up to `timeout_ms` (< 0 = forever).
+/// Returns an invalid fd on timeout or error.
+UniqueFd Accept(const Listener& listener, std::int64_t timeout_ms);
+
+/// Connects to `address`, retrying (the listener may still be coming up,
+/// e.g. a worker dialing its coordinator) until `timeout_ms` elapses.
+/// Returns an invalid fd on timeout or unrecoverable error.
+UniqueFd Connect(const std::string& address, std::int64_t timeout_ms);
+
+}  // namespace comove::flow::net
+
+#endif  // COMOVE_FLOW_NET_SOCKET_H_

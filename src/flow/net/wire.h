@@ -1,0 +1,112 @@
+#ifndef COMOVE_FLOW_NET_WIRE_H_
+#define COMOVE_FLOW_NET_WIRE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serde.h"
+#include "flow/element.h"
+
+/// \file
+/// Serialisation of Element<T> envelopes for the socket transport. The
+/// payload type's encoding is supplied as a Codec policy:
+///
+///   struct FooCodec {
+///     static void Write(BinaryWriter* w, const Foo& value);
+///     // Returns false (and/or fails the reader) on corrupt input.
+///     static bool Read(BinaryReader* r, Foo* out);
+///   };
+///
+/// so the transport templates stay payload-agnostic while the concrete
+/// codecs (core/wire_codecs.h) reuse the checkpoint state serializers -
+/// one binary convention for both state-at-rest and data-in-flight.
+///
+/// Envelope layout: [u8 kind][i32 producer][kind-specific body], where
+/// data carries the Codec payload, watermarks an i64 timestamp, barriers
+/// an i64 checkpoint id - watermarks and barriers travel in-band with
+/// the data exactly as on in-process channels, which is what keeps
+/// alignment and exactly-once recovery working across processes.
+
+namespace comove::flow::net {
+
+template <typename Codec, typename T>
+void WriteElement(BinaryWriter* w, const Element<T>& e) {
+  w->WriteU8(static_cast<std::uint8_t>(e.kind));
+  w->WriteI32(e.producer);
+  switch (e.kind) {
+    case Element<T>::Kind::kData:
+      Codec::Write(w, e.data);
+      break;
+    case Element<T>::Kind::kWatermark:
+      w->WriteI64(static_cast<std::int64_t>(e.watermark));
+      break;
+    case Element<T>::Kind::kBarrier:
+      w->WriteI64(e.checkpoint);
+      break;
+  }
+}
+
+/// Decodes one envelope; returns false (with the reader failed) on a
+/// truncated body or an out-of-range kind tag.
+template <typename Codec, typename T>
+[[nodiscard]] bool ReadElement(BinaryReader* r, Element<T>* out) {
+  const std::uint8_t kind = r->ReadU8();
+  out->producer = r->ReadI32();
+  if (!r->ok() ||
+      kind > static_cast<std::uint8_t>(Element<T>::Kind::kBarrier)) {
+    r->MarkCorrupt();
+    return false;
+  }
+  out->kind = static_cast<typename Element<T>::Kind>(kind);
+  switch (out->kind) {
+    case Element<T>::Kind::kData:
+      if (!Codec::Read(r, &out->data)) {
+        r->MarkCorrupt();
+        return false;
+      }
+      break;
+    case Element<T>::Kind::kWatermark:
+      out->watermark = static_cast<Timestamp>(r->ReadI64());
+      break;
+    case Element<T>::Kind::kBarrier:
+      out->checkpoint = r->ReadI64();
+      break;
+  }
+  return r->ok();
+}
+
+/// Encodes a batch body: [u32 count][count x element]. The consumer
+/// index and edge tag are part of the enclosing frame message, not of
+/// this body.
+template <typename Codec, typename T>
+void WriteElementBatch(BinaryWriter* w,
+                       const std::vector<Element<T>>& batch) {
+  w->WriteU32(static_cast<std::uint32_t>(batch.size()));
+  for (const Element<T>& e : batch) WriteElement<Codec>(w, e);
+}
+
+/// Decodes a batch body into `out` (appended). Returns false on any
+/// corruption; `out` may then hold a prefix of the batch, which the
+/// caller discards.
+template <typename Codec, typename T>
+[[nodiscard]] bool ReadElementBatch(BinaryReader* r,
+                                    std::vector<Element<T>>* out) {
+  const std::uint32_t count = r->ReadU32();
+  if (!r->ok() || count > r->remaining()) {
+    // Every element costs >= 1 byte on the wire; a count beyond
+    // remaining() is corruption, not a large batch.
+    r->MarkCorrupt();
+    return false;
+  }
+  out->reserve(out->size() + count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Element<T> e;
+    if (!ReadElement<Codec>(r, &e)) return false;
+    out->push_back(std::move(e));
+  }
+  return true;
+}
+
+}  // namespace comove::flow::net
+
+#endif  // COMOVE_FLOW_NET_WIRE_H_
