@@ -17,7 +17,16 @@
 /// transport sweep for scripts/bench_smoke.sh instead, emitting one JSON
 /// row per line labelled with its transport:
 ///   {"workload": "transport", "transport": "threads|unix|tcp",
-///    "workers": W, "parallelism": P, "snapshots_per_sec": R}
+///    "workers": W, "parallelism": P, "snapshots_per_sec": R,
+///    "link_frames_sent": ..., "link_bytes_sent": ...,
+///    "link_frames_received": ..., "link_bytes_received": ...,
+///    "link_send_blocked_ms": ..., "link_recv_blocked_ms": ...,
+///    "link_crc_rejects": ...}
+/// The link_* keys aggregate the per-PeerLink transport counters over
+/// every "link:*" stats row of one extra instrumented run (the timed
+/// reps stay uninstrumented), making the socket tax attributable:
+/// blocked-on-socket time on both ends vs pure serialisation, with CRC
+/// rejects as a health check. Threads rows carry zeros.
 /// The smoke gate regresses only the "threads" rows against the
 /// checked-in BENCH_transport.json; socket rows are reported for drift
 /// but not gated - loopback throughput is too hostage to kernel and
@@ -133,6 +142,15 @@ struct TransportRow {
   int workers = 0;        ///< 0 for the in-process deployment
   int parallelism = 0;
   double snapshots_per_sec = 0.0;
+  /// Aggregated over every "link:*" stage-stats row of one instrumented
+  /// run (coordinator and worker sides both); zero for "threads".
+  std::int64_t link_frames_sent = 0;
+  std::int64_t link_bytes_sent = 0;
+  std::int64_t link_frames_received = 0;
+  std::int64_t link_bytes_received = 0;
+  double link_send_blocked_ms = 0.0;
+  double link_recv_blocked_ms = 0.0;
+  std::int64_t link_crc_rejects = 0;
 };
 
 /// Best-of-`reps` end-to-end snapshot throughput for one deployment, so
@@ -165,6 +183,27 @@ TransportRow MeasureTransport(const trajgen::Dataset& dataset,
         static_cast<double>(result.snapshot_count) / seconds;
     row.snapshots_per_sec = std::max(row.snapshots_per_sec, rate);
   }
+  if (workers > 0) {
+    // One extra instrumented run harvests the per-link transport
+    // counters; the timed reps above stay stats-free so instrumentation
+    // cost never taints the throughput numbers.
+    options.collect_stats = true;
+    core::DistributedOptions dist;
+    dist.workers = workers;
+    dist.transport = transport;
+    const core::IcpeResult result =
+        RunIcpeDistributed(dataset, options, dist);
+    for (const flow::StageStatsSnapshot& s : result.stage_stats) {
+      if (s.stage.find("link:") == std::string::npos) continue;
+      row.link_frames_sent += s.records_pushed;
+      row.link_bytes_sent += s.bytes_pushed;
+      row.link_frames_received += s.records_popped;
+      row.link_bytes_received += s.bytes_popped;
+      row.link_send_blocked_ms += s.push_blocked_ms;
+      row.link_recv_blocked_ms += s.pop_blocked_ms;
+      row.link_crc_rejects += s.crc_rejects;
+    }
+  }
   return row;
 }
 
@@ -183,11 +222,17 @@ int TransportSweep(const std::string& out_path, int reps) {
     }
   }
 
-  std::printf("%9s %8s %12s %18s\n", "transport", "workers", "parallelism",
-              "snapshots_per_sec");
+  std::printf("%9s %8s %12s %18s %12s %12s %13s %13s %8s\n", "transport",
+              "workers", "parallelism", "snapshots_per_sec", "link_frames",
+              "link_bytes", "send_blk_ms", "recv_blk_ms", "crc_rej");
   for (const TransportRow& row : rows) {
-    std::printf("%9s %8d %12d %18.0f\n", row.transport.c_str(),
-                row.workers, row.parallelism, row.snapshots_per_sec);
+    std::printf("%9s %8d %12d %18.0f %12lld %12lld %13.2f %13.2f %8lld\n",
+                row.transport.c_str(), row.workers, row.parallelism,
+                row.snapshots_per_sec,
+                static_cast<long long>(row.link_frames_sent),
+                static_cast<long long>(row.link_bytes_sent),
+                row.link_send_blocked_ms, row.link_recv_blocked_ms,
+                static_cast<long long>(row.link_crc_rejects));
   }
   // The apples-to-apples tax: same logical pipeline at p=4, worker
   // threads vs 4 worker processes. Informational - never gated.
@@ -219,7 +264,16 @@ int TransportSweep(const std::string& out_path, int reps) {
         << row.transport << "\", \"workers\": " << row.workers
         << ", \"parallelism\": " << row.parallelism
         << ", \"snapshots_per_sec\": "
-        << static_cast<std::int64_t>(row.snapshots_per_sec) << "}\n";
+        << static_cast<std::int64_t>(row.snapshots_per_sec)
+        << ", \"link_frames_sent\": " << row.link_frames_sent
+        << ", \"link_bytes_sent\": " << row.link_bytes_sent
+        << ", \"link_frames_received\": " << row.link_frames_received
+        << ", \"link_bytes_received\": " << row.link_bytes_received
+        << ", \"link_send_blocked_ms\": "
+        << static_cast<std::int64_t>(row.link_send_blocked_ms)
+        << ", \"link_recv_blocked_ms\": "
+        << static_cast<std::int64_t>(row.link_recv_blocked_ms)
+        << ", \"link_crc_rejects\": " << row.link_crc_rejects << "}\n";
   }
   std::cout << "wrote " << out_path << "\n";
   return 0;

@@ -36,6 +36,14 @@
 ///       form for diffing; --inject-fault STAGE,SUBTASK,CHECKPOINT kills
 ///       the named subtask while it snapshots the given checkpoint
 ///       (pair with --checkpoint-dir, then rerun with --recover).
+///       Observability crosses the process boundary: with --workers N,
+///       --stats labels every row with its process ("w<i>:" prefixes for
+///       worker-hosted stages, "link:*" rows for per-socket transport
+///       counters), --trace writes one merged Chrome timeline with a
+///       lane group per process (worker clocks aligned to the
+///       coordinator's), and --sample-interval samples local and remote
+///       rows alike. A clean run that cannot produce a complete merge
+///       aborts rather than under-report.
 
 #include <algorithm>
 #include <cstdint>

@@ -42,6 +42,7 @@ TESTS=(
   net_frame_test
   transport_conformance_test
   net_pipeline_test
+  net_observability_test
 )
 
 cmake -B "$BUILD_DIR" -S "$ROOT" \

@@ -25,8 +25,12 @@ namespace comove::apps {
 /// 4 - enumeration-stage counters: run-level enum_strings_opened,
 /// enum_strings_closed, enum_candidates_peak, enum_apriori_nodes,
 /// enum_apriori_pruned (the delta_cells_* precedent applied to the
-/// pattern stage).
-inline constexpr int kResultJsonSchemaVersion = 4;
+/// pattern stage);
+/// 5 - cross-process observability: per-stage bytes_pushed, bytes_popped
+/// and crc_rejects (nonzero on transport "link:*" rows), and distributed
+/// runs emit worker-labelled stage rows ("w<i>:assembler->cluster", ...)
+/// plus per-PeerLink "link:*" rows merged from worker STATS frames.
+inline constexpr int kResultJsonSchemaVersion = 5;
 
 /// Writes `patterns` as a JSON array of {"objects": [...], "times": [...]}.
 void WritePatternsJson(const std::vector<CoMovementPattern>& patterns,

@@ -6,6 +6,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -32,7 +33,9 @@
 #include "flow/net/peer_link.h"
 #include "flow/net/socket.h"
 #include "flow/net/socket_transport.h"
+#include "flow/net/wire.h"
 #include "flow/task_group.h"
+#include "flow/trace.h"
 
 extern char** environ;
 
@@ -56,12 +59,18 @@ enum CtrlTag : std::uint8_t {
   kTagProgress = 19,   ///< worker -> coord: subtask finalized through t
   kTagResult = 20,     ///< worker -> coord: counters + times + patterns
   kTagPeerHello = 21,  ///< worker -> worker: u32 index (mesh handshake)
+  kTagStats = 22,      ///< worker -> coord: stage-stats snapshots
+  kTagTrace = 23,      ///< worker -> coord: trace events + clock anchors
 };
 
 constexpr std::uint8_t kSnapshotEdge = 0;   ///< assembler -> cluster
 constexpr std::uint8_t kPartitionEdge = 1;  ///< cluster -> enumerate
-constexpr std::uint32_t kConfigVersion = 1;
+constexpr std::uint32_t kConfigVersion = 2;
 constexpr std::int64_t kWorkerHandshakeTimeoutMs = 15000;
+/// Cadence of periodic worker STATS frames when no sampler interval is
+/// set; with a sampler, the worker ships at the sampler's own cadence so
+/// the coordinator-side series sees remote rows advance between ticks.
+constexpr std::int64_t kDefaultStatsShipIntervalMs = 100;
 
 /// Contiguous subtask range [lo, hi) of worker `w` out of `count`.
 std::pair<std::int32_t, std::int32_t> SubtaskRange(std::int32_t parallelism,
@@ -109,6 +118,15 @@ struct WorkerSetup {
   bool checkpointing = false;
   std::int64_t restored_id = 0;
   std::map<std::pair<std::string, std::int32_t>, std::string> restored;
+  /// Observability: whether to keep a worker-side stats registry / trace
+  /// recorder and ship them back over the control link.
+  bool collect_stats = false;
+  bool trace = false;
+  std::int64_t stats_interval_ms = kDefaultStatsShipIntervalMs;
+  /// Coordinator trace clock (TraceRecorder::NowNs) at CONFIG-encode
+  /// time; paired with the worker clock at CONFIG-decode time it aligns
+  /// the two timelines to within the one-way CONFIG latency.
+  std::uint64_t coord_trace_now = 0;
 };
 
 void EncodeConfig(BinaryWriter* w, const WorkerSetup& s) {
@@ -154,6 +172,10 @@ void EncodeConfig(BinaryWriter* w, const WorkerSetup& s) {
     w->WriteI32(key.second);
     w->WriteString(bytes);
   }
+  w->WriteBool(s.collect_stats);
+  w->WriteBool(s.trace);
+  w->WriteI64(s.stats_interval_ms);
+  w->WriteU64(s.coord_trace_now);
 }
 
 /// Decodes a CONFIG body (reader positioned after the tag). Returns false
@@ -220,6 +242,10 @@ bool DecodeConfig(BinaryReader* r, WorkerSetup* s) {
     std::string bytes = r->ReadString();
     s->restored[{std::move(op), subtask}] = std::move(bytes);
   }
+  s->collect_stats = r->ReadBool();
+  s->trace = r->ReadBool();
+  s->stats_interval_ms = r->ReadI64();
+  s->coord_trace_now = r->ReadU64();
   if (!r->ok() || !r->AtEnd()) return false;
   return s->worker_count > 0 && s->worker_index >= 0 &&
          s->worker_index < s->worker_count && s->options.parallelism > 0 &&
@@ -367,6 +393,39 @@ int NetWorkerMain(const std::string& coordinator_address,
   const std::int32_t worker_count = setup.worker_count;
   const std::int32_t p = setup.options.parallelism;
 
+  // --- Worker-side observability. The worker keeps its own stats
+  // registry and trace recorder and ships both to the coordinator over
+  // the control link: throttled STATS frames piggyback on the progress
+  // cadence, and a final STATS + TRACE pair precedes the RESULT on the
+  // same FIFO link, so the coordinator has merged them by the time the
+  // result is accounted. Handshake frames stay uncounted on both ends
+  // (link stats attach only after CONFIG here, after CONFIG-send on the
+  // coordinator, and after PeerHello on both mesh sides), which keeps the
+  // per-link frame counters symmetric across a clean run.
+  const QueryPlan plan = BuildQueryPlan(setup.options);
+  const bool enumerate = plan.enumerate();
+  const bool wcollect = setup.collect_stats;
+  flow::StageStatsRegistry wstats;
+  std::optional<flow::TraceRecorder> owned_wtrace;
+  flow::TraceRecorder* const wtr =
+      setup.trace ? &owned_wtrace.emplace() : nullptr;
+  // Clock-alignment anchor: our recorder clock at CONFIG receipt pairs
+  // with the coordinator clock stamped into the CONFIG.
+  const std::uint64_t trace_anchor = wtr != nullptr ? wtr->NowNs() : 0;
+  flow::StageStats* snapshot_stats = nullptr;
+  flow::StageStats* partition_stats = nullptr;
+  if (wcollect) {
+    // Deterministic registry order: stage rows first, then the links.
+    // The coordinator pre-registers the same rows (prefixed "w<i>:") and
+    // matches incoming snapshots by name.
+    snapshot_stats = &wstats.Get("assembler->cluster");
+    if (enumerate) partition_stats = &wstats.Get("cluster->enumerate");
+    coord.set_stats(&wstats.Get("link:coord"));
+    for (std::int32_t j = 0; j < worker_count; ++j) {
+      if (j != worker_index) wstats.Get("link:w" + std::to_string(j));
+    }
+  }
+
   // --- Worker mesh for the p x p partition edge: connect to every
   // lower-indexed worker, then accept every higher-indexed one. Safe
   // ordering: the coordinator sends CONFIG only after ALL workers said
@@ -383,6 +442,9 @@ int NetWorkerMain(const std::string& coordinator_address,
     writer.WriteU8(kTagPeerHello);
     writer.WriteU32(static_cast<std::uint32_t>(worker_index));
     if (!link->SendFrame(hello)) return 2;
+    if (wcollect) {
+      link->set_stats(&wstats.Get("link:w" + std::to_string(i)));
+    }
     peers[static_cast<std::size_t>(i)] = std::move(link);
   }
   for (std::int32_t n = worker_index + 1; n < worker_count; ++n) {
@@ -400,6 +462,9 @@ int NetWorkerMain(const std::string& coordinator_address,
         index <= worker_index || index >= worker_count ||
         peers[static_cast<std::size_t>(index)] != nullptr) {
       return 2;
+    }
+    if (wcollect) {
+      link->set_stats(&wstats.Get("link:w" + std::to_string(index)));
     }
     peers[static_cast<std::size_t>(index)] = std::move(link);
   }
@@ -424,10 +489,10 @@ int NetWorkerMain(const std::string& coordinator_address,
   }
   SocketTransport<Snapshot, SnapshotCodec> snapshot_transport(
       1, p, kSnapshotEdge, setup.lo, setup.hi, snapshot_route,
-      setup.options.channel_capacity);
+      setup.options.channel_capacity, snapshot_stats);
   SocketTransport<pattern::Partition, PartitionCodec> partition_transport(
       p, p, kPartitionEdge, setup.lo, setup.hi, partition_route,
-      setup.options.channel_capacity);
+      setup.options.channel_capacity, partition_stats);
 
   std::atomic<bool> crashed{false};
   std::atomic<bool> finished{false};
@@ -442,8 +507,6 @@ int NetWorkerMain(const std::string& coordinator_address,
   // clean finish or a crash: every close frame of a link arrives before
   // its EOF (FIFO), so by on_close time the counters are final. The
   // counters are only ever touched from that link's own reader thread.
-  const QueryPlan plan = BuildQueryPlan(setup.options);
-  const bool enumerate = plan.enumerate();
   std::int64_t coord_snapshot_closes = 0;
   std::vector<std::int64_t> peer_partition_closes(
       static_cast<std::size_t>(worker_count), 0);
@@ -516,14 +579,18 @@ int NetWorkerMain(const std::string& coordinator_address,
 
   StageEnv env;
   env.options = &setup.options;
-  env.tr = nullptr;
+  env.tr = wtr;
   env.injector = &injector;
   env.crashed = &crashed;
   // An injected fault is a REAL process kill here: no destructors, no
   // RESULT, sockets slam shut - exactly what recovery must survive.
   env.crash_all = [] { std::_Exit(3); };
   env.ack = [&](std::int64_t id, const char* op, std::int32_t subtask,
-                std::string state, flow::StageStats* /*stats*/) {
+                std::string state, flow::StageStats* stats) {
+    if (stats != nullptr) {
+      stats->OnSnapshot(static_cast<std::int64_t>(state.size()), id);
+    }
+    const std::uint64_t t0 = wtr != nullptr ? wtr->NowNs() : 0;
     std::string payload;
     BinaryWriter writer(&payload);
     writer.WriteU8(kTagAck);
@@ -532,6 +599,9 @@ int NetWorkerMain(const std::string& coordinator_address,
     writer.WriteI64(id);
     writer.WriteString(state);
     coord.SendFrame(payload);
+    if (wtr != nullptr) {
+      wtr->RecordSpanSince("checkpoint", op, subtask, kNoTime, t0, id);
+    }
   };
   env.restored_state = [&](const char* op,
                            std::int32_t subtask) -> const std::string* {
@@ -543,6 +613,37 @@ int NetWorkerMain(const std::string& coordinator_address,
   env.pop_batch_max =
       std::max<std::size_t>(std::size_t{1}, setup.options.exchange_batch_size);
 
+  // Periodic + final stats shipping. SendFrame serialises on the link's
+  // send mutex, so STATS frames from different subtask threads interleave
+  // safely with acks, progress, and shipped data.
+  auto ship_stats = [&](bool final_frame) {
+    std::string payload;
+    BinaryWriter writer(&payload);
+    writer.WriteU8(kTagStats);
+    writer.WriteBool(final_frame);
+    const std::vector<flow::StageStatsSnapshot> rows = wstats.Snapshot();
+    writer.WriteU64(rows.size());
+    for (const flow::StageStatsSnapshot& row : rows) {
+      flow::net::WriteStageStatsSnapshot(&writer, row);
+    }
+    coord.SendFrame(payload);
+  };
+  std::atomic<std::int64_t> last_stats_ms{0};
+  auto maybe_ship_stats = [&] {
+    if (!wcollect) return;
+    const std::int64_t now_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    std::int64_t last = last_stats_ms.load(std::memory_order_relaxed);
+    if (now_ms - last < setup.stats_interval_ms) return;
+    if (!last_stats_ms.compare_exchange_strong(last, now_ms,
+                                               std::memory_order_relaxed)) {
+      return;  // another subtask just shipped this interval
+    }
+    ship_stats(false);
+  };
+
   ProgressFn progress = [&](std::int32_t subtask, Timestamp through) {
     std::string payload;
     BinaryWriter writer(&payload);
@@ -550,12 +651,13 @@ int NetWorkerMain(const std::string& coordinator_address,
     writer.WriteI32(subtask);
     writer.WriteI64(through);
     coord.SendFrame(payload);
+    maybe_ship_stats();
   };
 
   ClusterStageEnv cluster_env;
   cluster_env.cluster_time = &cluster_time;
   cluster_env.counters = &counters;
-  cluster_env.cluster_stats = nullptr;
+  cluster_env.cluster_stats = snapshot_stats;
   cluster_env.partition_constraints = &plan.partition_constraints;
   cluster_env.enumerate = enumerate;
   cluster_env.progress = progress;
@@ -564,7 +666,7 @@ int NetWorkerMain(const std::string& coordinator_address,
   enumerate_env.queries = &plan.queries;
   enumerate_env.enum_time = &enum_time;
   enumerate_env.counters = &counters;
-  enumerate_env.enumerate_stats = nullptr;
+  enumerate_env.enumerate_stats = partition_stats;
   enumerate_env.producers = p;
   enumerate_env.transactional = true;
   enumerate_env.commit =
@@ -608,6 +710,25 @@ int NetWorkerMain(const std::string& coordinator_address,
   }
 
   finished.store(true, std::memory_order_release);
+  // Final observability frames precede the RESULT on the same FIFO link:
+  // when the coordinator accounts the result, the merge is complete.
+  if (wcollect) ship_stats(true);
+  if (wtr != nullptr) {
+    // Subtask threads are joined, so Events() is complete and sorted.
+    std::string payload;
+    BinaryWriter writer(&payload);
+    writer.WriteU8(kTagTrace);
+    writer.WriteU64(trace_anchor);
+    writer.WriteU64(setup.coord_trace_now);
+    writer.WriteI64(wtr->recorded());
+    writer.WriteI64(wtr->dropped());
+    const std::vector<flow::TraceEvent> events = wtr->Events();
+    writer.WriteU64(events.size());
+    for (const flow::TraceEvent& e : events) {
+      flow::net::WriteTraceEvent(&writer, e);
+    }
+    coord.SendFrame(payload);
+  }
   {
     std::string payload;
     BinaryWriter writer(&payload);
@@ -762,6 +883,11 @@ IcpeResult RunIcpeDistributed(const trajgen::Dataset& dataset,
     setup.options.fault = options.fault;
     setup.checkpointing = checkpointing;
     setup.restored_id = restored_id;
+    setup.collect_stats = collect_stats;
+    setup.trace = tr != nullptr;
+    if (options.sample_interval_ms > 0) {
+      setup.stats_interval_ms = options.sample_interval_ms;
+    }
     if (restored) {
       // Workers only host cluster (stateless, empty acks) and enumerate
       // subtasks; ship exactly those states from the bundle.
@@ -771,10 +897,40 @@ IcpeResult RunIcpeDistributed(const trajgen::Dataset& dataset,
         }
       }
     }
+    // The clock anchor is per-worker: stamped right before the send so
+    // the pairing with the worker's decode-time clock is as tight as the
+    // one-way CONFIG latency allows.
+    setup.coord_trace_now = tr != nullptr ? tr->NowNs() : 0;
     std::string payload;
     BinaryWriter writer(&payload);
     EncodeConfig(&writer, setup);
     links[static_cast<std::size_t>(w)]->SendFrame(payload);
+    if (collect_stats) {
+      // Attach link stats only after CONFIG so the handshake frames stay
+      // uncounted on both ends (the worker mirrors this), keeping frame
+      // counters symmetric across a clean run.
+      links[static_cast<std::size_t>(w)]->set_stats(
+          &stats_registry.Get("link:w" + std::to_string(w)));
+    }
+  }
+  if (collect_stats) {
+    // Pre-register every row the workers will ship, in deterministic
+    // order: the sampler matches rows positionally on the append-only
+    // registry, so the layout must be stable from its first tick.
+    for (std::int32_t w = 0; w < worker_count; ++w) {
+      const std::string prefix = "w" + std::to_string(w) + ":";
+      stats_registry.Get(prefix + "assembler->cluster");
+      if (enumerate) stats_registry.Get(prefix + "cluster->enumerate");
+      stats_registry.Get(prefix + "link:coord");
+      for (std::int32_t j = 0; j < worker_count; ++j) {
+        if (j != w) stats_registry.Get(prefix + "link:w" + std::to_string(j));
+      }
+    }
+  }
+  std::optional<flow::MetricsSampler> sampler;
+  if (options.sample_interval_ms > 0) {
+    sampler.emplace(stats_registry, options.sample_interval_ms);
+    sampler->Start();
   }
 
   // --- Coordinator-local pipeline state. The snapshot-edge transport has
@@ -844,6 +1000,15 @@ IcpeResult RunIcpeDistributed(const trajgen::Dataset& dataset,
   // --- Link readers: dispatch worker acks, progress, and results. One
   // accounting slot per worker flips exactly once - on RESULT or on an
   // EOF without one (a crash) - and the run ends when all W flipped.
+  // Merged observability state: each slot is written only by its worker's
+  // link reader thread and read after Shutdown() joins that thread.
+  flow::net::TraceStringTable trace_strings;
+  std::vector<flow::ProcessTrace> worker_traces(
+      static_cast<std::size_t>(worker_count));
+  std::vector<char> stats_final(static_cast<std::size_t>(worker_count), 0);
+  std::vector<char> trace_received(static_cast<std::size_t>(worker_count),
+                                   0);
+
   std::mutex link_mu;
   std::condition_variable link_cv;
   std::int32_t links_done = 0;
@@ -904,6 +1069,69 @@ IcpeResult RunIcpeDistributed(const trajgen::Dataset& dataset,
               }
               break;
             }
+            case kTagStats: {
+              const bool final_frame = reader.ReadBool();
+              const std::uint64_t rows = reader.ReadU64();
+              if (!reader.ok() || rows > reader.remaining()) break;
+              const std::string prefix = "w" + std::to_string(w) + ":";
+              bool ok = true;
+              for (std::uint64_t i = 0; ok && i < rows; ++i) {
+                flow::StageStatsSnapshot snap;
+                ok = flow::net::ReadStageStatsSnapshot(&reader, &snap);
+                if (ok) {
+                  // OverwriteFrom stamps the remote counters into the
+                  // local row, so the sampler sees remote gauges (queue
+                  // depth, watermarks) advance like local ones.
+                  stats_registry.Get(prefix + snap.stage)
+                      .OverwriteFrom(snap);
+                }
+              }
+              if (ok && reader.AtEnd() && final_frame) {
+                stats_final[static_cast<std::size_t>(w)] = 1;
+              }
+              break;
+            }
+            case kTagTrace: {
+              const std::uint64_t worker_anchor = reader.ReadU64();
+              const std::uint64_t coord_anchor = reader.ReadU64();
+              const std::int64_t recorded = reader.ReadI64();
+              const std::int64_t dropped = reader.ReadI64();
+              const std::uint64_t events = reader.ReadU64();
+              if (!reader.ok() || events > reader.remaining()) break;
+              // Both anchors were taken at CONFIG time (coordinator side
+              // at encode, worker side at decode), so shifting by their
+              // difference puts the worker lane on the coordinator clock
+              // to within the one-way CONFIG latency.
+              const std::int64_t offset =
+                  static_cast<std::int64_t>(coord_anchor) -
+                  static_cast<std::int64_t>(worker_anchor);
+              flow::ProcessTrace proc;
+              proc.process_name = "w" + std::to_string(w);
+              proc.pid = 2 + w;
+              proc.recorded = recorded;
+              proc.dropped = dropped;
+              proc.events.reserve(static_cast<std::size_t>(events));
+              bool ok = true;
+              for (std::uint64_t i = 0; ok && i < events; ++i) {
+                flow::TraceEvent e;
+                ok = flow::net::ReadTraceEvent(&reader, &trace_strings,
+                                               &e);
+                if (!ok) break;
+                const std::int64_t shifted =
+                    static_cast<std::int64_t>(e.start_ns) + offset;
+                // Clamping keeps the lane monotone: events were sorted
+                // before the (constant) shift.
+                e.start_ns =
+                    shifted > 0 ? static_cast<std::uint64_t>(shifted) : 0;
+                proc.events.push_back(e);
+              }
+              if (ok && reader.AtEnd()) {
+                worker_traces[static_cast<std::size_t>(w)] =
+                    std::move(proc);
+                trace_received[static_cast<std::size_t>(w)] = 1;
+              }
+              break;
+            }
             default:
               break;  // data frames never flow worker -> coordinator
           }
@@ -929,6 +1157,7 @@ IcpeResult RunIcpeDistributed(const trajgen::Dataset& dataset,
   }
   for (auto& link : links) link->CloseSend();
   for (auto& link : links) link->Shutdown();
+  if (sampler) sampler->Stop();
   for (const pid_t pid : pids) {
     int status = 0;
     ::waitpid(pid, &status, 0);
@@ -942,10 +1171,23 @@ IcpeResult RunIcpeDistributed(const trajgen::Dataset& dataset,
   if (!was_crashed) {
     COMOVE_CHECK_MSG(tracker.pending() == 0,
                      "pipeline drained with incomplete snapshots");
+    // Fail loudly rather than under-report: on a clean run every worker
+    // must have delivered its final stats and trace (both precede the
+    // RESULT on the same FIFO link). Crashed runs keep whatever partial
+    // rows arrived; OverwriteFrom never leaves a row half-written.
+    for (std::int32_t w = 0; w < worker_count; ++w) {
+      COMOVE_CHECK_MSG(
+          !collect_stats || stats_final[static_cast<std::size_t>(w)] != 0,
+          "worker %d finished without shipping final stage stats", w);
+      COMOVE_CHECK_MSG(
+          tr == nullptr || trace_received[static_cast<std::size_t>(w)] != 0,
+          "worker %d finished without shipping its trace", w);
+    }
   }
 
-  // --- Result assembly, mirroring RunIcpe. stage_stats cover only the
-  // coordinator-local edges (documented limitation of distributed runs).
+  // --- Result assembly, mirroring RunIcpe. stage_stats carry the
+  // coordinator rows plus every worker's rows (prefixed "w<i>:") merged
+  // from the STATS frames; the trace gets one lane group per process.
   IcpeResult result;
   result.crashed = was_crashed;
   result.last_checkpoint_id =
@@ -967,16 +1209,34 @@ IcpeResult RunIcpeDistributed(const trajgen::Dataset& dataset,
   }
   result.snapshots = metrics.Collect();
   if (collect_stats) result.stage_stats = stats_registry.Snapshot();
+  if (sampler) result.time_series = sampler->samples();
   if (tr != nullptr) {
-    result.trace_events = tr->recorded();
-    result.trace_dropped = tr->dropped();
+    std::vector<flow::ProcessTrace> processes;
+    processes.push_back(flow::ProcessTrace{
+        "coord", 1, tr->Events(), tr->recorded(), tr->dropped()});
+    for (std::int32_t w = 0; w < worker_count; ++w) {
+      if (trace_received[static_cast<std::size_t>(w)] != 0) {
+        processes.push_back(
+            std::move(worker_traces[static_cast<std::size_t>(w)]));
+      }
+    }
+    std::vector<flow::TraceEvent> merged;
+    std::int64_t total_recorded = 0;
+    std::int64_t total_dropped = 0;
+    for (const flow::ProcessTrace& proc : processes) {
+      merged.insert(merged.end(), proc.events.begin(), proc.events.end());
+      total_recorded += proc.recorded;
+      total_dropped += proc.dropped;
+    }
+    result.trace_events = total_recorded;
+    result.trace_dropped = total_dropped;
     result.worst_snapshots = flow::BuildWorstSnapshotBreakdown(
-        tr->Events(), metrics.PerSnapshot(), kWorstSnapshots);
+        merged, metrics.PerSnapshot(), kWorstSnapshots);
     if (!options.trace_path.empty()) {
       std::ofstream out(options.trace_path);
       COMOVE_CHECK_MSG(out.good(), "cannot open trace_path %s",
                        options.trace_path.c_str());
-      tr->WriteChromeTrace(out);
+      flow::WriteChromeTraceMerged(processes, out);
     }
   }
   result.avg_cluster_ms = cluster_time.Average();

@@ -23,8 +23,9 @@
 /// core/stage_workers.h; only the edges differ).
 ///
 /// Control traffic shares the data links: workers ack checkpoints,
-/// report completion progress, and ship their final counters and pattern
-/// folds back to the coordinator as framed control messages.
+/// report completion progress, ship periodic and final stage-stats
+/// snapshots plus their trace events, and deliver their final counters
+/// and pattern folds back to the coordinator as framed control messages.
 
 namespace comove::core {
 
@@ -48,9 +49,13 @@ struct DistributedOptions {
 inline constexpr char kNetWorkerFlag[] = "--comove-net-worker";
 
 /// Runs the pipeline across 1 + workers processes and assembles the same
-/// IcpeResult a single-process run reports (stage_stats cover only the
-/// coordinator-local edges; everything else - patterns, metrics,
-/// counters, checkpoint/crash status - is complete).
+/// IcpeResult a single-process run reports. Observability is merged
+/// across the process boundary: stage_stats carry the coordinator rows,
+/// each worker's rows prefixed "w<i>:" (including its cluster/enumerate
+/// edges), and "link:*" rows with per-PeerLink transport counters
+/// (frames/bytes, blocked time, CRC rejects); the trace is one Chrome
+/// timeline with a lane group per process, worker clocks aligned via the
+/// CONFIG handshake.
 ///
 /// Restrictions: join_parallel_cells and on_pattern are not supported
 /// (the cells dataflow is single-process only; live callbacks cannot

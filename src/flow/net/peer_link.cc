@@ -2,9 +2,22 @@
 
 #include <sys/socket.h>
 
+#include <chrono>
+
 #include "common/frame.h"
 
 namespace comove::flow::net {
+
+namespace {
+
+std::uint64_t MonotonicNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 PeerLink::~PeerLink() { Shutdown(); }
 
@@ -13,26 +26,44 @@ bool PeerLink::SendFrame(std::string_view payload) {
   if (dead_.load(std::memory_order_relaxed)) return false;
   send_buffer_.clear();
   AppendFrame(&send_buffer_, payload);
+  const std::uint64_t t0 = stats_ != nullptr ? MonotonicNowNs() : 0;
   if (!WriteFull(fd_.get(), send_buffer_.data(), send_buffer_.size())) {
     dead_.store(true, std::memory_order_release);
     return false;
+  }
+  if (stats_ != nullptr) {
+    stats_->OnLinkFrameSent(static_cast<std::int64_t>(send_buffer_.size()),
+                            MonotonicNowNs() - t0);
   }
   return true;
 }
 
 bool PeerLink::ReadOneFrame(std::string* payload) {
+  const std::uint64_t t0 = stats_ != nullptr ? MonotonicNowNs() : 0;
   char header_bytes[kFrameHeaderBytes];
   if (!ReadFull(fd_.get(), header_bytes, sizeof(header_bytes))) {
     return false;
   }
   const auto header = DecodeFrameHeader(header_bytes);
-  if (!header) return false;
+  if (!header) {
+    if (stats_ != nullptr) stats_->OnCrcReject();
+    return false;
+  }
   payload->resize(header->payload_bytes);
   if (header->payload_bytes > 0 &&
       !ReadFull(fd_.get(), payload->data(), payload->size())) {
     return false;
   }
-  return ValidateFramePayload(*header, *payload);
+  if (!ValidateFramePayload(*header, *payload)) {
+    if (stats_ != nullptr) stats_->OnCrcReject();
+    return false;
+  }
+  if (stats_ != nullptr) {
+    stats_->OnLinkFrameReceived(
+        static_cast<std::int64_t>(sizeof(header_bytes) + payload->size()),
+        MonotonicNowNs() - t0);
+  }
+  return true;
 }
 
 bool PeerLink::ReadFrameBlocking(std::string* payload,

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "common/net_io.h"
+#include "flow/stage_stats.h"
 
 /// \file
 /// One framed, full-duplex connection between two processes of a
@@ -61,6 +62,15 @@ class PeerLink {
   /// True once a send failed or the stream ended.
   bool dead() const { return dead_.load(std::memory_order_acquire); }
 
+  /// Attaches per-link counters (frames/bytes each way, syscall blocked
+  /// time, CRC rejects - see the link columns of StageStatsSnapshot).
+  /// Not synchronised: set it during single-threaded setup, after any
+  /// handshake frames that should stay uncounted and before Start() /
+  /// concurrent SendFrame use. Null (the default) keeps the data path
+  /// free of clock reads.
+  void set_stats(StageStats* stats) { stats_ = stats; }
+  StageStats* stats() const { return stats_; }
+
  private:
   bool ReadOneFrame(std::string* payload);
 
@@ -70,6 +80,7 @@ class PeerLink {
   std::atomic<bool> dead_{false};
   std::thread reader_;
   std::string read_buffer_;  ///< reader-thread payload scratch
+  StageStats* stats_ = nullptr;
 };
 
 }  // namespace comove::flow::net

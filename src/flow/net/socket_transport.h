@@ -199,6 +199,11 @@ class SocketTransport final : public Transport<T> {
     writer.WriteU8(edge_);
     writer.WriteI32(static_cast<std::int32_t>(consumer));
     WriteElementBatch<Codec>(&writer, batch);
+    // The link row's batch histogram counts elements per shipped frame,
+    // the remote twin of the channel-side amortisation histogram.
+    if (StageStats* link_stats = link->stats(); link_stats != nullptr) {
+      link_stats->OnBatchPushed(batch.size());
+    }
     link->SendFrame(payload);
   }
 

@@ -2,10 +2,16 @@
 #define COMOVE_FLOW_NET_WIRE_H_
 
 #include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/serde.h"
 #include "flow/element.h"
+#include "flow/stage_stats.h"
+#include "flow/trace.h"
 
 /// \file
 /// Serialisation of Element<T> envelopes for the socket transport. The
@@ -105,6 +111,116 @@ template <typename Codec, typename T>
     out->push_back(std::move(e));
   }
   return true;
+}
+
+// --- Observability payloads -------------------------------------------
+//
+// Control frames of a distributed run ship stage-stats snapshots and
+// trace events from worker processes to the coordinator. Both use the
+// same BinaryWriter/BinaryReader conventions as the element envelopes;
+// decoders fail the reader (never trust a length) on corrupt input.
+
+/// Body layout: [string stage][17 x i64/double fixed fields]
+/// [kBatchSizeBuckets x i64][i64 last_watermark as raw i64]. Field order
+/// is frozen here, independent of StageStatsFields() display order.
+inline void WriteStageStatsSnapshot(BinaryWriter* w,
+                                    const StageStatsSnapshot& s) {
+  w->WriteString(s.stage);
+  w->WriteI64(s.records_pushed);
+  w->WriteI64(s.records_popped);
+  w->WriteI64(s.watermarks_pushed);
+  w->WriteI64(s.watermarks_popped);
+  w->WriteI64(s.queue_depth);
+  w->WriteI64(s.max_queue_depth);
+  w->WriteDouble(s.push_blocked_ms);
+  w->WriteDouble(s.pop_blocked_ms);
+  w->WriteI64(s.barriers_pushed);
+  w->WriteI64(s.barriers_popped);
+  w->WriteDouble(s.align_blocked_ms);
+  w->WriteI64(s.snapshot_bytes);
+  w->WriteI64(s.last_checkpoint_id);
+  w->WriteI64(s.batches_pushed);
+  w->WriteDouble(s.avg_batch_size);
+  for (std::int64_t b : s.batch_size_histogram) w->WriteI64(b);
+  w->WriteI64(static_cast<std::int64_t>(s.last_watermark));
+  w->WriteI64(s.bytes_pushed);
+  w->WriteI64(s.bytes_popped);
+  w->WriteI64(s.crc_rejects);
+}
+
+[[nodiscard]] inline bool ReadStageStatsSnapshot(BinaryReader* r,
+                                                 StageStatsSnapshot* out) {
+  out->stage = r->ReadString();
+  out->records_pushed = r->ReadI64();
+  out->records_popped = r->ReadI64();
+  out->watermarks_pushed = r->ReadI64();
+  out->watermarks_popped = r->ReadI64();
+  out->queue_depth = r->ReadI64();
+  out->max_queue_depth = r->ReadI64();
+  out->push_blocked_ms = r->ReadDouble();
+  out->pop_blocked_ms = r->ReadDouble();
+  out->barriers_pushed = r->ReadI64();
+  out->barriers_popped = r->ReadI64();
+  out->align_blocked_ms = r->ReadDouble();
+  out->snapshot_bytes = r->ReadI64();
+  out->last_checkpoint_id = r->ReadI64();
+  out->batches_pushed = r->ReadI64();
+  out->avg_batch_size = r->ReadDouble();
+  for (std::int64_t& b : out->batch_size_histogram) b = r->ReadI64();
+  out->last_watermark = static_cast<Timestamp>(r->ReadI64());
+  out->bytes_pushed = r->ReadI64();
+  out->bytes_popped = r->ReadI64();
+  out->crc_rejects = r->ReadI64();
+  return r->ok();
+}
+
+/// Owns the stage/name strings of trace events decoded off the wire.
+/// TraceEvent stores `const char*` (string literals in-process), so a
+/// decoder needs stable backing storage; cardinality is tiny (one entry
+/// per distinct stage/op name), so a linear scan under a mutex is fine.
+/// Thread-safe: several link reader threads may decode concurrently.
+class TraceStringTable {
+ public:
+  const char* Intern(std::string_view s) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::string& have : strings_) {
+      if (have == s) return have.c_str();
+    }
+    strings_.emplace_back(s);
+    return strings_.back().c_str();
+  }
+
+ private:
+  std::mutex mu_;
+  std::deque<std::string> strings_;  ///< deque: stable c_str() addresses
+};
+
+/// Body layout: [string stage][string name][i32 subtask]
+/// [i64 snapshot_time][i64 aux][u64 start_ns][u64 dur_ns].
+inline void WriteTraceEvent(BinaryWriter* w, const TraceEvent& e) {
+  w->WriteString(e.stage != nullptr ? e.stage : "");
+  w->WriteString(e.name != nullptr ? e.name : "");
+  w->WriteI32(e.subtask);
+  w->WriteI64(static_cast<std::int64_t>(e.snapshot_time));
+  w->WriteI64(e.aux);
+  w->WriteU64(e.start_ns);
+  w->WriteU64(e.dur_ns);
+}
+
+[[nodiscard]] inline bool ReadTraceEvent(BinaryReader* r,
+                                         TraceStringTable* strings,
+                                         TraceEvent* out) {
+  const std::string stage = r->ReadString();
+  const std::string name = r->ReadString();
+  if (!r->ok()) return false;
+  out->stage = strings->Intern(stage);
+  out->name = strings->Intern(name);
+  out->subtask = r->ReadI32();
+  out->snapshot_time = static_cast<Timestamp>(r->ReadI64());
+  out->aux = r->ReadI64();
+  out->start_ns = r->ReadU64();
+  out->dur_ns = r->ReadU64();
+  return r->ok();
 }
 
 }  // namespace comove::flow::net

@@ -201,6 +201,14 @@ struct StageStatsSnapshot {
   /// excluded). The spread of this gauge across stages is the pipeline's
   /// watermark lag: how far event time at the back trails the front.
   Timestamp last_watermark = kNoTime;
+  /// Transport-link columns, populated only on the `link:*` rows a
+  /// distributed run registers per PeerLink: wire bytes written/read
+  /// (frames ride in records_pushed/records_popped, the blocked columns
+  /// become time stalled in the socket syscalls) and frames the reader
+  /// rejected on a CRC/length mismatch. All zero for in-process stages.
+  std::int64_t bytes_pushed = 0;
+  std::int64_t bytes_popped = 0;
+  std::int64_t crc_rejects = 0;
 };
 
 /// One numeric column of the per-stage observability report, shared by the
@@ -274,6 +282,18 @@ inline const std::vector<StageStatsField>& StageStatsFields() {
       {"last_watermark", "last_wm", true,
        [](const StageStatsSnapshot& s) {
          return static_cast<double>(s.last_watermark);
+       }},
+      {"bytes_pushed", "bytes_in", true,
+       [](const StageStatsSnapshot& s) {
+         return static_cast<double>(s.bytes_pushed);
+       }},
+      {"bytes_popped", "bytes_out", true,
+       [](const StageStatsSnapshot& s) {
+         return static_cast<double>(s.bytes_popped);
+       }},
+      {"crc_rejects", "crc_rej", true,
+       [](const StageStatsSnapshot& s) {
+         return static_cast<double>(s.crc_rejects);
        }},
   };
   return kFields;
@@ -409,6 +429,81 @@ class StageStats {
                                                  std::memory_order_relaxed);
   }
 
+  /// Records one frame written to a transport link: `bytes` on the wire
+  /// (header + payload) and the time the writer spent inside the send
+  /// syscall (blocked on a full socket buffer). Frames count as
+  /// records_pushed; the queue-depth gauge is left alone - a socket has
+  /// no observable depth from user space.
+  void OnLinkFrameSent(std::int64_t bytes, std::uint64_t blocked_ns) {
+    records_pushed_.fetch_add(1, std::memory_order_relaxed);
+    bytes_pushed_.fetch_add(bytes, std::memory_order_relaxed);
+    if (blocked_ns > 0) {
+      push_blocked_ns_.fetch_add(blocked_ns, std::memory_order_relaxed);
+    }
+  }
+
+  /// Records one frame read off a transport link: `bytes` consumed and
+  /// the time the reader spent blocked in the recv syscalls waiting for
+  /// the peer (starvation side of the wire).
+  void OnLinkFrameReceived(std::int64_t bytes, std::uint64_t blocked_ns) {
+    records_popped_.fetch_add(1, std::memory_order_relaxed);
+    bytes_popped_.fetch_add(bytes, std::memory_order_relaxed);
+    if (blocked_ns > 0) {
+      pop_blocked_ns_.fetch_add(blocked_ns, std::memory_order_relaxed);
+    }
+  }
+
+  /// Records one frame the reader rejected (CRC mismatch, bad length
+  /// prefix, or corrupt payload). The link dies with it, so this is a
+  /// 0-or-1 gauge in practice - but the row makes the cause visible.
+  void OnCrcReject() {
+    crc_rejects_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Overwrites every counter with the values of `s`, replacing (not
+  /// accumulating) the previous state. This is the merge path for remote
+  /// stats: a coordinator registers one row per (worker, stage) and
+  /// stamps each periodic snapshot a worker ships over the control
+  /// channel, so the MetricsSampler sees remote gauges advance exactly
+  /// like local ones. Single-writer per row (the link's reader thread);
+  /// concurrent readers see a mix of old and new counters at worst,
+  /// which is the same guarantee live local rows give.
+  void OverwriteFrom(const StageStatsSnapshot& s) {
+    records_pushed_.store(s.records_pushed, std::memory_order_relaxed);
+    records_popped_.store(s.records_popped, std::memory_order_relaxed);
+    watermarks_pushed_.store(s.watermarks_pushed, std::memory_order_relaxed);
+    watermarks_popped_.store(s.watermarks_popped, std::memory_order_relaxed);
+    depth_.store(s.queue_depth, std::memory_order_relaxed);
+    max_depth_.store(s.max_queue_depth, std::memory_order_relaxed);
+    push_blocked_ns_.store(
+        static_cast<std::uint64_t>(s.push_blocked_ms * 1e6),
+        std::memory_order_relaxed);
+    pop_blocked_ns_.store(static_cast<std::uint64_t>(s.pop_blocked_ms * 1e6),
+                          std::memory_order_relaxed);
+    barriers_pushed_.store(s.barriers_pushed, std::memory_order_relaxed);
+    barriers_popped_.store(s.barriers_popped, std::memory_order_relaxed);
+    align_blocked_ns_.store(
+        static_cast<std::uint64_t>(s.align_blocked_ms * 1e6),
+        std::memory_order_relaxed);
+    snapshot_bytes_.store(s.snapshot_bytes, std::memory_order_relaxed);
+    last_checkpoint_id_.store(s.last_checkpoint_id,
+                              std::memory_order_relaxed);
+    batches_pushed_.store(s.batches_pushed, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kBatchSizeBuckets; ++i) {
+      batch_hist_[i].store(
+          static_cast<std::uint64_t>(s.batch_size_histogram[i]),
+          std::memory_order_relaxed);
+    }
+    last_watermark_.store(
+        s.last_watermark == kNoTime
+            ? std::numeric_limits<std::int64_t>::min()
+            : static_cast<std::int64_t>(s.last_watermark),
+        std::memory_order_relaxed);
+    bytes_pushed_.store(s.bytes_pushed, std::memory_order_relaxed);
+    bytes_popped_.store(s.bytes_popped, std::memory_order_relaxed);
+    crc_rejects_.store(s.crc_rejects, std::memory_order_relaxed);
+  }
+
   /// Bucket of batch size `n`: floor(log2(n)) clamped to the last bucket;
   /// sizes 0 and 1 share bucket 0.
   static std::size_t BatchSizeBucket(std::size_t n) {
@@ -461,6 +556,9 @@ class StageStats {
     s.last_watermark = wm == std::numeric_limits<std::int64_t>::min()
                            ? kNoTime
                            : static_cast<Timestamp>(wm);
+    s.bytes_pushed = bytes_pushed_.load(std::memory_order_relaxed);
+    s.bytes_popped = bytes_popped_.load(std::memory_order_relaxed);
+    s.crc_rejects = crc_rejects_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -483,6 +581,9 @@ class StageStats {
   std::array<std::atomic<std::uint64_t>, kBatchSizeBuckets> batch_hist_{};
   std::atomic<std::int64_t> last_watermark_{
       std::numeric_limits<std::int64_t>::min()};
+  std::atomic<std::int64_t> bytes_pushed_{0};
+  std::atomic<std::int64_t> bytes_popped_{0};
+  std::atomic<std::int64_t> crc_rejects_{0};
 };
 
 /// Owns the StageStats of one pipeline run, keyed by stage name. Get()

@@ -170,63 +170,93 @@ std::size_t TraceRecorder::thread_count() const {
 }
 
 void TraceRecorder::WriteChromeTrace(std::ostream& out) const {
-  const std::vector<TraceEvent> events = Events();
+  std::vector<ProcessTrace> processes(1);
+  processes[0].process_name = "comove";
+  processes[0].pid = 1;
+  processes[0].events = Events();
+  processes[0].recorded = recorded();
+  processes[0].dropped = dropped();
+  WriteChromeTraceMerged(processes, out);
+}
 
-  // Stable lane numbering: one tid per (stage, subtask), ordered along
-  // the pipeline so the loaded trace reads source at the top, enumerate
-  // and checkpoint at the bottom.
-  std::map<std::pair<std::pair<std::size_t, std::string>, std::int32_t>,
-           int>
-      lanes;
-  for (const TraceEvent& e : events) {
-    lanes.emplace(std::make_pair(std::make_pair(StageRank(e.stage),
-                                                std::string(e.stage)),
-                                 e.subtask),
-                  0);
+void WriteChromeTraceMerged(const std::vector<ProcessTrace>& processes,
+                            std::ostream& out) {
+  // Stable lane numbering per process: one tid per (stage, subtask),
+  // ordered along the pipeline so every process group reads source at
+  // the top, enumerate and checkpoint at the bottom. tids only need to
+  // be unique within their pid.
+  using LaneKey =
+      std::pair<std::pair<std::size_t, std::string>, std::int32_t>;
+  std::vector<std::map<LaneKey, int>> lanes(processes.size());
+  for (std::size_t p = 0; p < processes.size(); ++p) {
+    for (const TraceEvent& e : processes[p].events) {
+      lanes[p].emplace(std::make_pair(std::make_pair(StageRank(e.stage),
+                                                     std::string(e.stage)),
+                                      e.subtask),
+                       0);
+    }
+    int next_tid = 1;
+    for (auto& [key, tid] : lanes[p]) tid = next_tid++;
   }
-  int next_tid = 1;
-  for (auto& [key, tid] : lanes) tid = next_tid++;
 
   out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
-  out << "  {\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": "
-         "\"process_name\", \"args\": {\"name\": \"comove\"}}";
-  for (const auto& [key, tid] : lanes) {
-    out << ",\n  {\"ph\": \"M\", \"pid\": 1, \"tid\": " << tid
-        << ", \"name\": \"thread_name\", \"args\": {\"name\": ";
-    WriteJsonString(key.first.second + "[" + std::to_string(key.second) +
-                        "]",
-                    out);
+  std::int64_t total_recorded = 0;
+  std::int64_t total_dropped = 0;
+  bool first = true;
+  for (std::size_t p = 0; p < processes.size(); ++p) {
+    const ProcessTrace& proc = processes[p];
+    total_recorded += proc.recorded;
+    total_dropped += proc.dropped;
+    out << (first ? "  " : ",\n  ");
+    first = false;
+    out << "{\"ph\": \"M\", \"pid\": " << proc.pid
+        << ", \"tid\": 0, \"name\": \"process_name\", \"args\": {\"name\": ";
+    WriteJsonString(proc.process_name, out);
     out << "}}";
-    out << ",\n  {\"ph\": \"M\", \"pid\": 1, \"tid\": " << tid
-        << ", \"name\": \"thread_sort_index\", \"args\": {\"sort_index\": "
-        << tid << "}}";
-  }
-  for (const TraceEvent& e : events) {
-    const int tid = lanes.at(std::make_pair(
-        std::make_pair(StageRank(e.stage), std::string(e.stage)),
-        e.subtask));
-    // Chrome's ts/dur are microseconds (fractions allowed).
-    const double ts_us = static_cast<double>(e.start_ns) / 1e3;
-    out << ",\n  {\"ph\": ";
-    if (e.dur_ns == 0) {
-      out << "\"i\", \"s\": \"t\"";
-    } else {
-      out << "\"X\", \"dur\": " << static_cast<double>(e.dur_ns) / 1e3;
+    out << ",\n  {\"ph\": \"M\", \"pid\": " << proc.pid
+        << ", \"tid\": 0, \"name\": \"process_sort_index\", "
+           "\"args\": {\"sort_index\": "
+        << proc.pid << "}}";
+    for (const auto& [key, tid] : lanes[p]) {
+      out << ",\n  {\"ph\": \"M\", \"pid\": " << proc.pid
+          << ", \"tid\": " << tid
+          << ", \"name\": \"thread_name\", \"args\": {\"name\": ";
+      WriteJsonString(key.first.second + "[" + std::to_string(key.second) +
+                          "]",
+                      out);
+      out << "}}";
+      out << ",\n  {\"ph\": \"M\", \"pid\": " << proc.pid
+          << ", \"tid\": " << tid
+          << ", \"name\": \"thread_sort_index\", \"args\": {\"sort_index\": "
+          << tid << "}}";
     }
-    out << ", \"pid\": 1, \"tid\": " << tid << ", \"ts\": " << ts_us
-        << ", \"cat\": ";
-    WriteJsonString(e.stage, out);
-    out << ", \"name\": ";
-    WriteJsonString(e.name, out);
-    out << ", \"args\": {\"stage\": ";
-    WriteJsonString(e.stage, out);
-    out << ", \"subtask\": " << e.subtask
-        << ", \"snapshot_time\": " << e.snapshot_time;
-    if (e.aux != 0) out << ", \"aux\": " << e.aux;
-    out << "}}";
+    for (const TraceEvent& e : proc.events) {
+      const int tid = lanes[p].at(std::make_pair(
+          std::make_pair(StageRank(e.stage), std::string(e.stage)),
+          e.subtask));
+      // Chrome's ts/dur are microseconds (fractions allowed).
+      const double ts_us = static_cast<double>(e.start_ns) / 1e3;
+      out << ",\n  {\"ph\": ";
+      if (e.dur_ns == 0) {
+        out << "\"i\", \"s\": \"t\"";
+      } else {
+        out << "\"X\", \"dur\": " << static_cast<double>(e.dur_ns) / 1e3;
+      }
+      out << ", \"pid\": " << proc.pid << ", \"tid\": " << tid
+          << ", \"ts\": " << ts_us << ", \"cat\": ";
+      WriteJsonString(e.stage, out);
+      out << ", \"name\": ";
+      WriteJsonString(e.name, out);
+      out << ", \"args\": {\"stage\": ";
+      WriteJsonString(e.stage, out);
+      out << ", \"subtask\": " << e.subtask
+          << ", \"snapshot_time\": " << e.snapshot_time;
+      if (e.aux != 0) out << ", \"aux\": " << e.aux;
+      out << "}}";
+    }
   }
-  out << "\n], \"otherData\": {\"recorded\": " << recorded()
-      << ", \"dropped\": " << dropped() << "}}\n";
+  out << "\n], \"otherData\": {\"recorded\": " << total_recorded
+      << ", \"dropped\": " << total_dropped << "}}\n";
 }
 
 std::vector<SnapshotStageBreakdown> BuildWorstSnapshotBreakdown(

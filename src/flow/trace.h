@@ -255,6 +255,30 @@ class TraceSpan {
   std::uint64_t start_ns_;
 };
 
+/// One process's contribution to a multi-process timeline: its events
+/// (already shifted onto the coordinator's clock by the caller), the
+/// Chrome pid lane group they render under, and the recorder totals for
+/// the merged footer. The coordinator builds one of these per process -
+/// its own recorder plus every worker's shipped events - and hands the
+/// set to WriteChromeTraceMerged.
+struct ProcessTrace {
+  std::string process_name;  ///< e.g. "coord", "w0"
+  int pid = 1;               ///< coordinator = 1, worker i = 2 + i
+  std::vector<TraceEvent> events;
+  std::int64_t recorded = 0;
+  std::int64_t dropped = 0;
+};
+
+/// Writes several processes' events as one Chrome trace_event JSON
+/// document: per-process pid lane groups (process_name /
+/// process_sort_index metadata), per-(stage, subtask) tid lanes inside
+/// each process in pipeline order, and a footer summing recorded/dropped
+/// across processes. Events within each process must be sorted by
+/// start_ns (TraceRecorder::Events() order) so every lane's timestamps
+/// are monotone - validate_trace.py checks exactly that.
+void WriteChromeTraceMerged(const std::vector<ProcessTrace>& processes,
+                            std::ostream& out);
+
 /// Per-stage share of one snapshot's pipeline time: where the worst
 /// latencies were actually spent. Built from the trace's
 /// snapshot-correlated spans, ranked by the measured ingest->emit latency.

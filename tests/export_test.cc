@@ -57,7 +57,7 @@ TEST(JsonExport, ResultIncludesMetrics) {
   std::ostringstream out;
   apps::WriteResultJson(result, out);
   const std::string json = out.str();
-  EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 5"), std::string::npos);
   EXPECT_NE(json.find("\"enum_strings_opened\": 11"), std::string::npos);
   EXPECT_NE(json.find("\"enum_strings_closed\": 9"), std::string::npos);
   EXPECT_NE(json.find("\"enum_candidates_peak\": 5"), std::string::npos);

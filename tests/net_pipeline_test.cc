@@ -2,12 +2,14 @@
 
 #include <cmath>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/icpe_engine.h"
 #include "flow/checkpoint/snapshot_store.h"
+#include "flow/stage_stats.h"
 #include "trajgen/dataset.h"
 
 /// End-to-end tests of the multi-process deployment: this binary is BOTH
@@ -136,6 +138,128 @@ TEST(NetPipeline, CheckpointsCompleteAcrossProcesses) {
   EXPECT_EQ(distributed.checkpoints_failed, 0);
   EXPECT_EQ(RunIcpe(dataset, BaseOptions()).patterns,
             distributed.patterns);
+}
+
+const flow::StageStatsSnapshot* FindRow(
+    const std::vector<flow::StageStatsSnapshot>& rows,
+    const std::string& stage) {
+  for (const flow::StageStatsSnapshot& row : rows) {
+    if (row.stage == stage) return &row;
+  }
+  return nullptr;
+}
+
+/// Conservation invariants over the merged stats of a distributed run:
+/// what the workers report entering their edges equals what a
+/// single-process run at the same parallelism pushes through the same
+/// edges, and the per-link frame/byte counters balance between the two
+/// ends of every socket.
+TEST(NetPipeline, MergedStatsConservationInvariants) {
+  const Dataset dataset = ConvoyDataset();
+  IcpeOptions options = BaseOptions();
+  options.collect_stats = true;
+  const std::int32_t workers = 2;
+  const IcpeResult single = RunIcpe(dataset, options);
+  const IcpeResult distributed =
+      RunIcpeDistributed(dataset, options, Deployment(workers, "unix"));
+  ASSERT_FALSE(distributed.crashed);
+  EXPECT_EQ(distributed.patterns, single.patterns);
+  const auto& rows = distributed.stage_stats;
+
+  // Per remote edge: the sum of worker-side records-in equals the
+  // single-process flow through the same logical edge.
+  for (const char* edge : {"assembler->cluster", "cluster->enumerate"}) {
+    const flow::StageStatsSnapshot* reference =
+        FindRow(single.stage_stats, edge);
+    ASSERT_NE(reference, nullptr) << edge;
+    std::int64_t pushed = 0;
+    std::int64_t popped = 0;
+    for (std::int32_t w = 0; w < workers; ++w) {
+      const flow::StageStatsSnapshot* row =
+          FindRow(rows, "w" + std::to_string(w) + ":" + edge);
+      ASSERT_NE(row, nullptr) << edge << " of worker " << w;
+      pushed += row->records_pushed;
+      popped += row->records_popped;
+    }
+    EXPECT_EQ(pushed, reference->records_pushed) << edge;
+    EXPECT_EQ(popped, reference->records_popped) << edge;
+  }
+
+  // Per link: coordinator->worker is exactly symmetric (frames and
+  // bytes). Worker->coordinator trails by exactly the frames a worker
+  // sends after taking its final stats snapshot: that snapshot cannot
+  // count itself (final STATS) or the RESULT that follows it.
+  for (std::int32_t w = 0; w < workers; ++w) {
+    const std::string wp = "w" + std::to_string(w) + ":";
+    const flow::StageStatsSnapshot* coord_side =
+        FindRow(rows, "link:w" + std::to_string(w));
+    const flow::StageStatsSnapshot* worker_side =
+        FindRow(rows, wp + "link:coord");
+    ASSERT_NE(coord_side, nullptr);
+    ASSERT_NE(worker_side, nullptr);
+    EXPECT_EQ(coord_side->records_pushed, worker_side->records_popped);
+    EXPECT_EQ(coord_side->bytes_pushed, worker_side->bytes_popped);
+    EXPECT_EQ(coord_side->records_popped, worker_side->records_pushed + 2);
+    EXPECT_GT(coord_side->bytes_popped, worker_side->bytes_pushed);
+    EXPECT_GT(coord_side->records_pushed, 0);
+    EXPECT_GT(coord_side->bytes_pushed, 0);
+    EXPECT_EQ(coord_side->crc_rejects, 0);
+    EXPECT_EQ(worker_side->crc_rejects, 0);
+    // Worker-to-worker links quiesce before the final snapshot (the
+    // last peer frames are the producer closes), so they balance
+    // exactly in both directions.
+    for (std::int32_t j = 0; j < workers; ++j) {
+      if (j == w) continue;
+      const flow::StageStatsSnapshot* ours =
+          FindRow(rows, wp + "link:w" + std::to_string(j));
+      const flow::StageStatsSnapshot* theirs = FindRow(
+          rows, "w" + std::to_string(j) + ":link:w" + std::to_string(w));
+      ASSERT_NE(ours, nullptr);
+      ASSERT_NE(theirs, nullptr);
+      EXPECT_EQ(ours->records_pushed, theirs->records_popped);
+      EXPECT_EQ(ours->bytes_pushed, theirs->bytes_popped);
+    }
+  }
+
+  // In-process stage rows never report transport bytes.
+  const flow::StageStatsSnapshot* local =
+      FindRow(rows, "source->assembler");
+  ASSERT_NE(local, nullptr);
+  EXPECT_EQ(local->bytes_pushed, 0);
+  EXPECT_EQ(local->bytes_popped, 0);
+}
+
+/// A worker killed mid-run must not corrupt the merge: the coordinator
+/// keeps whatever partial snapshots arrived (rows pre-registered for
+/// every worker stay present, possibly zero) and the loud-fail
+/// completeness check applies only to clean runs.
+TEST(NetPipeline, WorkerCrashKeepsMergedStatsUsable) {
+  const Dataset dataset = ConvoyDataset();
+  flow::MemorySnapshotStore store;
+  IcpeOptions options = BaseOptions();
+  options.collect_stats = true;
+  options.checkpoint_interval = 4;
+  options.snapshot_store = &store;
+  options.fault = FaultSpec{"enumerate", /*subtask=*/1, /*at_checkpoint=*/2};
+  const IcpeResult crashed =
+      RunIcpeDistributed(dataset, options, Deployment(2, "unix"));
+  EXPECT_TRUE(crashed.crashed);
+  ASSERT_FALSE(crashed.stage_stats.empty());
+  for (std::int32_t w = 0; w < 2; ++w) {
+    const std::string wp = "w" + std::to_string(w) + ":";
+    EXPECT_NE(FindRow(crashed.stage_stats, wp + "assembler->cluster"),
+              nullptr);
+    EXPECT_NE(FindRow(crashed.stage_stats, wp + "link:coord"), nullptr);
+  }
+  // The periodic STATS cadence usually lands at least one snapshot
+  // before the kill; whether or not it did, every counter must be
+  // non-negative (OverwriteFrom never leaves a row half-written).
+  for (const flow::StageStatsSnapshot& row : crashed.stage_stats) {
+    EXPECT_GE(row.records_pushed, 0) << row.stage;
+    EXPECT_GE(row.records_popped, 0) << row.stage;
+    EXPECT_GE(row.bytes_pushed, 0) << row.stage;
+    EXPECT_EQ(row.crc_rejects, 0) << row.stage;
+  }
 }
 
 /// The headline guarantee across processes: kill a worker for real

@@ -287,6 +287,79 @@ TEST(StageStats, SentinelOnlyWatermarksLeaveGaugeUnset) {
   EXPECT_EQ(stats.Snapshot().last_watermark, kNoTime);
 }
 
+TEST(StageStats, LinkCountersTrackFramesBytesAndRejects) {
+  StageStats stats("link:w0");
+  stats.OnLinkFrameSent(100, 2'000'000);     // 2 ms blocked in write
+  stats.OnLinkFrameSent(50, 0);              // zero blocked time elided
+  stats.OnLinkFrameReceived(80, 1'000'000);  // 1 ms blocked in read
+  stats.OnCrcReject();
+  const StageStatsSnapshot s = stats.Snapshot();
+  EXPECT_EQ(s.records_pushed, 2);  // frames ride the records counters
+  EXPECT_EQ(s.records_popped, 1);
+  EXPECT_EQ(s.bytes_pushed, 150);
+  EXPECT_EQ(s.bytes_popped, 80);
+  EXPECT_EQ(s.crc_rejects, 1);
+  EXPECT_DOUBLE_EQ(s.push_blocked_ms, 2.0);
+  EXPECT_DOUBLE_EQ(s.pop_blocked_ms, 1.0);
+  // Links have no user-space queue: the depth gauge stays untouched.
+  EXPECT_EQ(s.queue_depth, 0);
+  EXPECT_EQ(s.max_queue_depth, 0);
+}
+
+TEST(StageStats, OverwriteFromRoundTripsEveryField) {
+  // Build a source row with every counter family exercised...
+  StageStats source("w0:cluster->enumerate");
+  source.OnPushN(/*records=*/3, /*watermarks=*/1);
+  source.OnPopN(/*records=*/2, /*watermarks=*/1, /*blocked_ns=*/6'000'000);
+  source.OnWatermarkValue(41);
+  source.OnPushBlocked(4'000'000);
+  source.OnBarriersPushed(1);
+  source.OnBarriersPopped(1);
+  source.OnAlignBlocked(8'000'000);
+  source.OnSnapshot(512, 7);
+  source.OnBatchPushed(5);
+  source.OnLinkFrameSent(100, 0);
+  source.OnLinkFrameReceived(60, 0);
+  source.OnCrcReject();
+  const StageStatsSnapshot from = source.Snapshot();
+
+  // ...stamp it into a fresh registry row (the coordinator's merge
+  // path), and the re-snapshot must match field for field.
+  StageStats target("w0:cluster->enumerate");
+  target.OverwriteFrom(from);
+  const StageStatsSnapshot got = target.Snapshot();
+  EXPECT_EQ(got.records_pushed, from.records_pushed);
+  EXPECT_EQ(got.records_popped, from.records_popped);
+  EXPECT_EQ(got.watermarks_pushed, from.watermarks_pushed);
+  EXPECT_EQ(got.watermarks_popped, from.watermarks_popped);
+  EXPECT_EQ(got.queue_depth, from.queue_depth);
+  EXPECT_EQ(got.max_queue_depth, from.max_queue_depth);
+  EXPECT_DOUBLE_EQ(got.push_blocked_ms, from.push_blocked_ms);
+  EXPECT_DOUBLE_EQ(got.pop_blocked_ms, from.pop_blocked_ms);
+  EXPECT_EQ(got.barriers_pushed, from.barriers_pushed);
+  EXPECT_EQ(got.barriers_popped, from.barriers_popped);
+  EXPECT_DOUBLE_EQ(got.align_blocked_ms, from.align_blocked_ms);
+  EXPECT_EQ(got.snapshot_bytes, from.snapshot_bytes);
+  EXPECT_EQ(got.last_checkpoint_id, from.last_checkpoint_id);
+  EXPECT_EQ(got.batches_pushed, from.batches_pushed);
+  EXPECT_EQ(got.batch_size_histogram, from.batch_size_histogram);
+  EXPECT_EQ(got.last_watermark, from.last_watermark);
+  EXPECT_EQ(got.bytes_pushed, from.bytes_pushed);
+  EXPECT_EQ(got.bytes_popped, from.bytes_popped);
+  EXPECT_EQ(got.crc_rejects, from.crc_rejects);
+
+  // A later (cumulative) snapshot replaces, never accumulates.
+  target.OverwriteFrom(from);
+  EXPECT_EQ(target.Snapshot().records_pushed, from.records_pushed);
+}
+
+TEST(StageStats, OverwriteFromPreservesUnsetWatermark) {
+  StageStats source("a->b");
+  StageStats target("a->b");
+  target.OverwriteFrom(source.Snapshot());
+  EXPECT_EQ(target.Snapshot().last_watermark, kNoTime);
+}
+
 TEST(StageStats, UninstrumentedChannelTakesNoStats) {
   // A channel without stats must behave identically (smoke-check the
   // disabled hot path the engine runs by default).

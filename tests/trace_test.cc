@@ -210,6 +210,39 @@ TEST(TraceRecorderTest, WritesWellFormedChromeTrace) {
   }
 }
 
+TEST(WriteChromeTraceMergedTest, EmitsOneLaneGroupPerProcess) {
+  // Two processes with one span each, plus per-process drop accounting;
+  // the merged trace must carry both pid lane groups, their
+  // process_name metadata, and a footer summing recorded/dropped.
+  std::vector<ProcessTrace> processes(2);
+  processes[0].process_name = "coord";
+  processes[0].pid = 1;
+  processes[0].events.push_back(
+      TraceEvent{"source", "emit", 0, 1, 0, 1'000, 500});
+  processes[0].recorded = 1;
+  processes[1].process_name = "w0";
+  processes[1].pid = 2;
+  processes[1].events.push_back(
+      TraceEvent{"join", "neighbor_pairs", 1, 1, 0, 2'000, 700});
+  processes[1].recorded = 1;
+  processes[1].dropped = 3;
+
+  std::ostringstream out;
+  WriteChromeTraceMerged(processes, out);
+  const std::string json = out.str();
+
+  CheckBalancedJson(json);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"coord\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"w0\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"stage\": \"source\""), std::string::npos);
+  EXPECT_NE(json.find("\"stage\": \"join\""), std::string::npos);
+  EXPECT_NE(json.find("\"recorded\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\": 3"), std::string::npos);
+}
+
 TEST(BuildWorstSnapshotBreakdownTest, SelectsWorstKAndSumsStages) {
   std::vector<TraceEvent> events;
   const auto add = [&events](const char* stage, Timestamp t,
